@@ -1,0 +1,154 @@
+//! Criterion micro-benchmarks for every engine in the workspace.
+//!
+//! These cover the per-stage costs behind Table III (placement, routing,
+//! timing, power), the prediction stack of Fig. 3/5 (feature extraction,
+//! UNet forward), and the optimization stack of Fig. 4 / Algorithm 2
+//! (GCN forward, rasterizer forward/backward, one full DCO step's losses).
+//!
+//! ```sh
+//! cargo bench -p dco-bench
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dco3d::{SmoothDensity, SoftRasterizer};
+use dco_features::{FeatureExtractor, SoftAssignment};
+use dco_gnn::{build_adjacency, build_node_features, Gcn, GcnConfig};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::Design;
+use dco_place::{fm_bipartition, legalize, GlobalPlacer, PlacementParams};
+use dco_route::{Router, RouterConfig};
+use dco_tensor::{CustomOp, Graph, Tensor};
+use dco_timing::{PowerAnalyzer, Sta};
+use dco_unet::{SiameseUNet, UNetConfig};
+use std::hint::black_box;
+use std::rc::Rc;
+
+fn bench_design() -> Design {
+    GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.03).generate(1).expect("gen")
+}
+
+fn bench_substrates(c: &mut Criterion) {
+    let design = bench_design();
+    let params = PlacementParams::default();
+
+    c.bench_function("netlist_generate_dma_3pct", |b| {
+        b.iter(|| {
+            GeneratorConfig::for_profile(DesignProfile::Dma)
+                .with_scale(0.03)
+                .generate(black_box(1))
+                .expect("gen")
+        })
+    });
+
+    c.bench_function("global_place_dma_3pct", |b| {
+        b.iter(|| GlobalPlacer::new(&design).place(black_box(&params), 1))
+    });
+
+    let placed = GlobalPlacer::new(&design).place(&params, 1);
+    c.bench_function("fm_bipartition_dma_3pct", |b| {
+        b.iter(|| fm_bipartition(&design.netlist, black_box(placed.tiers()), 0.1, 2))
+    });
+
+    c.bench_function("legalize_dma_3pct", |b| {
+        b.iter_batched(
+            || placed.clone(),
+            |mut p| legalize(&design, &mut p, 5),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let router = Router::new(&design, RouterConfig::default());
+    c.bench_function("route_rrr6_dma_3pct", |b| b.iter(|| router.route(black_box(&placed))));
+
+    let routed = router.route(&placed);
+    let sta = Sta::new(&design);
+    c.bench_function("sta_dma_3pct", |b| {
+        b.iter(|| sta.analyze(black_box(&placed), Some(&routed.net_lengths), Some(&routed.net_bonds)))
+    });
+
+    let power = PowerAnalyzer::new(&design);
+    c.bench_function("power_dma_3pct", |b| {
+        b.iter(|| power.analyze(black_box(&placed), Some(&routed.net_lengths)))
+    });
+}
+
+fn bench_prediction_stack(c: &mut Criterion) {
+    let design = bench_design();
+    let fx = FeatureExtractor::new(design.floorplan.grid);
+
+    c.bench_function("feature_extract_dma_3pct", |b| {
+        b.iter(|| fx.extract(&design.netlist, black_box(&design.placement)))
+    });
+
+    let unet = SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 6, size: 32 }, 1);
+    let f = Tensor::zeros(&[1, 7, 32, 32]);
+    c.bench_function("unet_forward_32x32_c6", |b| b.iter(|| unet.predict(black_box(&f), &f)));
+}
+
+fn bench_dco_stack(c: &mut Criterion) {
+    let design = bench_design();
+    let timing = Sta::new(&design).analyze(&design.placement, None, None);
+    let features = build_node_features(&design, &design.placement, &timing);
+    let adj = Rc::new(build_adjacency(&design, 48));
+
+    c.bench_function("gcn_forward_dma_3pct", |b| {
+        b.iter_batched(
+            || Gcn::new(GcnConfig::default(), 1),
+            |mut gcn| {
+                let mut g = Graph::new();
+                let x = g.input(features.clone());
+                let out = gcn.forward(&mut g, Rc::clone(&adj), x);
+                black_box(g.value(out).len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let grid = dco_netlist::GcellGrid {
+        nx: 32,
+        ny: 32,
+        dx: design.floorplan.die.width / 32.0,
+        dy: design.floorplan.die.height / 32.0,
+    };
+    let netlist = Rc::new(design.netlist.clone());
+    let raster = SoftRasterizer::new(Rc::clone(&netlist), grid);
+    let n = design.netlist.num_cells();
+    let x = Tensor::from_vec(design.placement.xs().iter().map(|&v| v as f32).collect(), &[n]);
+    let y = Tensor::from_vec(design.placement.ys().iter().map(|&v| v as f32).collect(), &[n]);
+    let z = Tensor::from_vec(
+        design.placement.tiers().iter().map(|t| t.as_z() as f32).collect(),
+        &[n],
+    );
+    c.bench_function("rasterizer_forward_32x32", |b| {
+        b.iter(|| raster.forward(black_box(&[&x, &y, &z])))
+    });
+
+    let out = raster.forward(&[&x, &y, &z]);
+    let gy = Tensor::ones(out.shape());
+    c.bench_function("rasterizer_backward_eq6_32x32", |b| {
+        b.iter(|| raster.backward(black_box(&[&x, &y, &z]), &out, &gy))
+    });
+
+    let dens = SmoothDensity::new(netlist, grid);
+    c.bench_function("smooth_density_forward_32x32", |b| {
+        b.iter(|| dens.forward(black_box(&[&x, &y, &z])))
+    });
+
+    // soft feature extraction at probabilistic z = 0.5 (the DCO hot path)
+    let fx = FeatureExtractor::new(grid);
+    let soft = SoftAssignment {
+        x: design.placement.xs().to_vec(),
+        y: design.placement.ys().to_vec(),
+        z: vec![0.5; n],
+    };
+    c.bench_function("soft_features_halfz_32x32", |b| {
+        b.iter(|| fx.extract_soft(&design.netlist, black_box(&soft)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_substrates, bench_prediction_stack, bench_dco_stack
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Regenerates Fig. 2: visualization of the seven input feature maps and the
+//! ground-truth post-route congestion for one 3D global placement (AES
+//! profile), as ASCII heatmaps plus a JSON dump for external plotting.
+//!
+//! ```sh
+//! cargo run --release -p dco-bench --bin repro_fig2 [-- <scale>]
+//! ```
+
+use dco_features::{FeatureExtractor, CHANNEL_NAMES};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_route::{Router, RouterConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(scale).generate(2)?;
+    println!(
+        "Fig. 2 sample: {} ({} cells), grid {}x{}",
+        design.name,
+        design.netlist.num_cells(),
+        design.floorplan.grid.nx,
+        design.floorplan.grid.ny
+    );
+
+    let fx = FeatureExtractor::new(design.floorplan.grid);
+    let [bottom, top] = fx.extract(&design.netlist, &design.placement);
+    let routed = Router::new(&design, RouterConfig::default()).route(&design.placement);
+
+    for (die_name, feats, cong) in
+        [("bottom", &bottom, &routed.congestion[0]), ("top", &top, &routed.congestion[1])]
+    {
+        println!("\n=== {die_name} die ===");
+        for (name, map) in CHANNEL_NAMES.iter().zip(feats.channels()) {
+            println!("\n{name} (max {:.2}):", map.max());
+            print!("{}", map.normalized().to_ascii());
+        }
+        println!("\nground-truth congestion (post-route overflow, max {:.1}):", cong.max());
+        print!("{}", cong.normalized().to_ascii());
+    }
+
+    // machine-readable dump
+    let dump = serde_json::json!({
+        "design": design.name,
+        "grid": { "nx": design.floorplan.grid.nx, "ny": design.floorplan.grid.ny },
+        "bottom": {
+            "features": CHANNEL_NAMES.iter().zip(bottom.channels()).map(|(n, m)| (n.to_string(), m.data().to_vec())).collect::<std::collections::BTreeMap<_, _>>(),
+            "congestion": routed.congestion[0].data(),
+        },
+        "top": {
+            "features": CHANNEL_NAMES.iter().zip(top.channels()).map(|(n, m)| (n.to_string(), m.data().to_vec())).collect::<std::collections::BTreeMap<_, _>>(),
+            "congestion": routed.congestion[1].data(),
+        },
+    });
+    let path = "target/repro_fig2.json";
+    std::fs::write(path, serde_json::to_string(&dump)?)?;
+    println!("\nwrote raw maps to {path}");
+    // PPM heatmap images (viewable with any image tool)
+    std::fs::create_dir_all("target/fig2")?;
+    for (die, feats, cong) in
+        [("bottom", &bottom, &routed.congestion[0]), ("top", &top, &routed.congestion[1])]
+    {
+        for (name, map) in CHANNEL_NAMES.iter().zip(feats.channels()) {
+            map.write_ppm(format!("target/fig2/{die}_{name}.ppm"), 8)?;
+        }
+        cong.write_ppm(format!("target/fig2/{die}_congestion.ppm"), 8)?;
+    }
+    println!("wrote PPM heatmaps to target/fig2/");
+    Ok(())
+}

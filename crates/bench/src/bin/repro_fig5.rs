@@ -1,0 +1,118 @@
+//! Regenerates Fig. 5: (a) training/testing loss curves of the Siamese
+//! UNet, (b) NRMSE/SSIM histograms over the test set, and (c) the
+//! predicted / RUDY / ground-truth comparison on an AES test sample.
+//!
+//! ```sh
+//! cargo run --release -p dco-bench --bin repro_fig5 [-- <scale> <layouts> <epochs>]
+//! ```
+
+use dco_features::{nrmse, pearson, resize_nearest, ssim};
+use dco_flow::build_dataset;
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_route::RouterConfig;
+use dco_unet::{evaluate_metrics, predict_maps, train, SiameseUNet, TrainConfig, UNetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let scale: f64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let layouts: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let epochs: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(25);
+    let map_size = 32;
+    let seed = 5;
+
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(scale).generate(seed)?;
+    println!(
+        "Fig. 5: training the Siamese UNet on {} ({} cells), {layouts} layouts at {map_size}x{map_size} (paper: 300 at 224x224)",
+        design.name,
+        design.netlist.num_cells()
+    );
+    let dataset = build_dataset(&design, layouts, map_size, &RouterConfig::default(), seed);
+    let mut model = SiameseUNet::new(
+        UNetConfig { in_channels: 7, base_channels: 6, size: map_size },
+        seed,
+    );
+    let result = train(
+        &mut model,
+        &dataset,
+        &TrainConfig { epochs, seed, ..TrainConfig::default() },
+    );
+
+    // (a) loss curves
+    println!("\nFig. 5a — loss curves (epoch, train, test):");
+    for (e, (tr, te)) in result.train_loss.iter().zip(&result.test_loss).enumerate() {
+        let bar = "#".repeat((tr * 120.0).min(60.0) as usize);
+        println!("  {:>3}  {:.4}  {:.4}  {bar}", e + 1, tr, te);
+    }
+
+    // (b) metric histograms
+    println!("\nFig. 5b — test-set metric distribution:");
+    let nrmses: Vec<f32> = result.test_metrics.iter().map(|m| m.nrmse).collect();
+    let ssims: Vec<f32> = result.test_metrics.iter().map(|m| m.ssim).collect();
+    histogram("NRMSE", &nrmses, &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0]);
+    histogram("SSIM", &ssims, &[-1.0, 0.0, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0]);
+    let good_nrmse = nrmses.iter().filter(|&&v| v < 0.2).count() as f64 / nrmses.len() as f64;
+    let good_ssim = ssims.iter().filter(|&&v| v > 0.8).count() as f64 / ssims.len() as f64;
+    println!(
+        "  {:.0}% of samples NRMSE < 0.2, {:.0}% SSIM > 0.8 (paper: >85% for both)",
+        good_nrmse * 100.0,
+        good_ssim * 100.0
+    );
+
+    // (c) model vs RUDY vs ground truth on a held-out-style sample
+    println!("\nFig. 5c — predicted vs RUDY vs ground truth (bottom die, normalized):");
+    let sample = dataset.last().expect("non-empty dataset");
+    let pred = predict_maps(&model, &result.normalization, [&sample.features[0], &sample.features[1]]);
+    let truth = &sample.labels[0];
+    let mut rudy = sample.features[0][2].clone(); // rudy_2d
+    rudy.add_assign(&sample.features[0][3]); // + rudy_3d
+    let rudy = resize_nearest(&rudy, truth.nx(), truth.ny());
+    let range = truth.max().max(1e-6);
+    let rudy_scaled = rudy.normalized().map(|v| v * range);
+    println!(
+        "  model: NRMSE {:.3} SSIM {:.3} Pearson {:.3}",
+        nrmse(&pred[0], truth),
+        ssim(&pred[0], truth, range),
+        pearson(&pred[0], truth)
+    );
+    println!(
+        "  RUDY : NRMSE {:.3} SSIM {:.3} Pearson {:.3}",
+        nrmse(&rudy_scaled, truth),
+        ssim(&rudy_scaled, truth, range),
+        pearson(&rudy, truth)
+    );
+    println!("\n  predicted | RUDY | ground truth:");
+    let a = pred[0].normalized().to_ascii();
+    let b = rudy.normalized().to_ascii();
+    let c = truth.normalized().to_ascii();
+    for ((la, lb), lc) in a.lines().zip(b.lines()).zip(c.lines()) {
+        println!("  {la} | {lb} | {lc}");
+    }
+
+    // sanity metric on the training fit itself
+    let refit = evaluate_metrics(&model, &dataset.iter().collect::<Vec<_>>(), &result.normalization);
+    let mean: f32 = refit.iter().map(|m| m.nrmse).sum::<f32>() / refit.len() as f32;
+    println!("\nwhole-dataset mean NRMSE: {mean:.3}");
+
+    let dump = serde_json::json!({
+        "train_loss": result.train_loss,
+        "test_loss": result.test_loss,
+        "nrmse": nrmses,
+        "ssim": ssims,
+    });
+    std::fs::write("target/repro_fig5.json", serde_json::to_string(&dump)?)?;
+    println!("wrote curves to target/repro_fig5.json");
+    Ok(())
+}
+
+fn histogram(name: &str, values: &[f32], edges: &[f32]) {
+    println!("  {name}:");
+    for w in edges.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        let count = values.iter().filter(|&&v| v >= lo && v < hi).count();
+        let pct = 100.0 * count as f64 / values.len().max(1) as f64;
+        println!(
+            "    [{lo:>5.2}, {hi:>5.2}): {:<30} {pct:5.1}%",
+            "#".repeat((pct / 3.0) as usize)
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Extension experiment: cross-design generalization of the congestion
+//! predictor.
+//!
+//! The paper trains one predictor per netlist (300 layouts of the same
+//! design). A natural question the paper leaves open is whether the
+//! predictor transfers across designs. This harness trains on one profile
+//! and evaluates NRMSE/SSIM on every other profile's layouts.
+//!
+//! ```sh
+//! cargo run --release -p dco-bench --bin repro_generalization [-- <scale>]
+//! ```
+
+use dco_flow::{build_dataset, FlowConfig};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_unet::{evaluate_metrics, train, SiameseUNet, TrainConfig, UNetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let cfg = FlowConfig::default();
+    let seed = 3u64;
+    let profiles = [DesignProfile::Dma, DesignProfile::Aes, DesignProfile::Vga];
+
+    // per-profile datasets
+    let mut datasets = Vec::new();
+    for p in profiles {
+        let design = GeneratorConfig::for_profile(p).with_scale(scale).generate(seed)?;
+        eprintln!("building dataset for {} ({} cells)...", p.name(), design.netlist.num_cells());
+        datasets.push(build_dataset(&design, cfg.train_layouts, cfg.map_size, &cfg.stage_router, seed));
+    }
+
+    println!("cross-design NRMSE (rows = trained on, cols = evaluated on):");
+    print!("{:<10}", "");
+    for p in profiles {
+        print!("{:>10}", p.name());
+    }
+    println!();
+    for (ti, tp) in profiles.iter().enumerate() {
+        let mut model = SiameseUNet::new(
+            UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+            seed,
+        );
+        let result = train(
+            &mut model,
+            &datasets[ti],
+            &TrainConfig { epochs: cfg.train_epochs, seed, ..TrainConfig::default() },
+        );
+        print!("{:<10}", tp.name());
+        for ds in &datasets {
+            let refs: Vec<_> = ds.iter().collect();
+            let m = evaluate_metrics(&model, &refs, &result.normalization);
+            let mean = m.iter().map(|r| r.nrmse).sum::<f32>() / m.len().max(1) as f32;
+            print!("{:>10.3}", mean);
+        }
+        println!();
+    }
+    println!("\ndiagonal = in-distribution (the paper's setting); off-diagonal = transfer.");
+    Ok(())
+}

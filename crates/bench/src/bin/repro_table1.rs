@@ -1,0 +1,66 @@
+//! Regenerates Table I: the 3D placement-parameter space used to construct
+//! the training dataset, and a demonstration that sampling it produces
+//! diverse layouts.
+//!
+//! ```sh
+//! cargo run --release -p dco-bench --bin repro_table1
+//! ```
+
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_place::{LayoutSampler, PlacementParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table I: 3D placement parameters used for constructing the placement dataset");
+    println!("{:<38} {:>6} {:>18}", "placement parameter", "type", "value range");
+    let rows = [
+        ("coarse.pin_density_aware", "bool", "false, true"),
+        ("coarse.target_routing_density", "float", "[0, 1]"),
+        ("coarse.adv_node_cong_max_util", "float", "[0, 1]"),
+        ("coarse.congestion_driven_max_util", "float", "[0, 1]"),
+        ("coarse.cong_restruct_effort", "enum", "[0, 4]"),
+        ("coarse.cong_restruct_iterations", "int", "[0, 10]"),
+        ("coarse.enhanced_low_power_effort", "enum", "[0, 4]"),
+        ("coarse.low_power_placement", "bool", "false, true"),
+        ("coarse.max_density", "float", "[0, 1]"),
+        ("legalize.displacement_threshold", "int", "[0, 10]"),
+        ("initial_place.two_pass", "bool", "false, true"),
+        ("initial_drc.global_route_based", "bool", "false, true"),
+        ("flow.enable_ccd", "bool", "false, true"),
+        ("initial_place.effort", "enum", "[0, 2]"),
+        ("final_place.effort", "enum", "[0, 2]"),
+        ("flow.enable_irap", "bool", "false, true"),
+    ];
+    for (name, ty, range) in rows {
+        println!("{name:<38} {ty:>6} {range:>18}");
+    }
+
+    // Show three concrete draws and the layout diversity they induce.
+    println!("\nthree sampled configurations:");
+    let mut rng = StdRng::seed_from_u64(0xDC0);
+    for i in 0..3 {
+        let p = PlacementParams::sample(&mut rng);
+        println!(
+            "  #{i}: max_density {:.2}, target_routing_density {:.2}, restruct {}x{}, two_pass {}, irap {}",
+            p.max_density,
+            p.target_routing_density,
+            p.cong_restruct_effort,
+            p.cong_restruct_iterations,
+            p.two_pass,
+            p.enable_irap
+        );
+    }
+
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.02).generate(7)?;
+    let layouts = LayoutSampler::new(&design).sample(5, 7);
+    println!("\n5 sampled layouts of miniature {} (paper: 300 per design):", design.name);
+    for (i, l) in layouts.iter().enumerate() {
+        println!(
+            "  layout {i}: HPWL {:>8.1} um, cut {:>4}",
+            l.placement.total_hpwl(&design.netlist),
+            l.placement.cut_size(&design.netlist)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,2 @@
+//! Criterion benches and table/figure regeneration binaries for the
+//! DCO-3D reproduction. See DESIGN.md for the experiment index.

@@ -1,0 +1,85 @@
+//! Minimal dependency-free argument parsing for the `dco3d` CLI.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional args, and `--key value` /
+/// `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: String,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    /// `--key value` options (flags map to `"true"`).
+    pub options: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of argument strings (excluding `argv[0]`).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Self {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match it.peek() {
+                    Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                out.options.insert(key.to_string(), value);
+            } else if out.command.is_empty() {
+                out.command = a;
+            } else {
+                out.positional.push(a);
+            }
+        }
+        out
+    }
+
+    /// Fetch an option parsed into `T`, or the default.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Fetch a string option.
+    pub fn get_str(&self, key: &str, default: &str) -> String {
+        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    /// Whether a boolean flag is present (and not explicitly "false").
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).map(|v| v != "false").unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn subcommand_positionals_and_options() {
+        let a = parse("route mydesign --scale 0.05 --seed 7 --verbose");
+        assert_eq!(a.command, "route");
+        assert_eq!(a.positional, vec!["mydesign"]);
+        assert_eq!(a.get("scale", 0.0f64), 0.05);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply_for_missing_options() {
+        let a = parse("place");
+        assert_eq!(a.get("scale", 0.03f64), 0.03);
+        assert_eq!(a.get_str("design", "DMA"), "DMA");
+    }
+
+    #[test]
+    fn malformed_numbers_fall_back_to_default() {
+        let a = parse("x --scale banana");
+        assert_eq!(a.get("scale", 0.5f64), 0.5);
+    }
+}

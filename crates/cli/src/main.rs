@@ -1,0 +1,269 @@
+//! `dco3d` — the unified CLI for the DCO-3D reproduction.
+//!
+//! ```text
+//! dco3d generate --design LDPC --scale 0.05 --out ldpc      # emit Bookshelf files
+//! dco3d place    --design LDPC --scale 0.05 --cong          # place + legalize, report HPWL/cut
+//! dco3d route    --design LDPC --scale 0.05                 # route, report overflow
+//! dco3d sta      --design LDPC --scale 0.05                 # timing + power report
+//! dco3d train    --design LDPC --scale 0.05 --out pred.json # train + save the predictor
+//! dco3d dco      --design LDPC --scale 0.05 --predictor pred.json   # run Algorithm 2
+//! dco3d flow     --design LDPC --scale 0.05                 # all four Table-III flows
+//! ```
+//!
+//! All subcommands share `--design <name>`, `--scale <f>`, `--seed <n>`.
+
+mod args;
+
+use args::Args;
+use dco3d::{DcoConfig, DcoOptimizer};
+use dco_flow::{
+    format_design_block, train_predictor, FlowConfig, FlowKind, FlowRunner, Predictor,
+};
+use dco_gnn::{build_node_features, Gcn, GcnConfig};
+use dco_netlist::bookshelf;
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::Design;
+use dco_place::{legalize, GlobalPlacer, PlacementParams};
+use dco_route::{Router, RouterConfig};
+use dco_timing::{synthesize_clock_tree, PowerAnalyzer, Sta};
+use dco_unet::{load_predictor, save_predictor, TrainResult};
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    let result = match args.command.as_str() {
+        "generate" => cmd_generate(&args),
+        "place" => cmd_place(&args),
+        "route" => cmd_route(&args),
+        "sta" => cmd_sta(&args),
+        "train" => cmd_train(&args),
+        "dco" => cmd_dco(&args),
+        "flow" => cmd_flow(&args),
+        "" | "help" | "-h" => {
+            print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("unknown subcommand `{other}`\n");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn print_help() {
+    println!(
+        "dco3d — DCO-3D reproduction CLI\n\n\
+         subcommands:\n\
+         \x20 generate   emit a synthetic benchmark as Bookshelf files (--out <prefix>)\n\
+         \x20 place      3D global placement + legalization (--cong for congestion-driven)\n\
+         \x20 route      global routing and overflow report\n\
+         \x20 sta        timing and power analysis of the placed+routed design\n\
+         \x20 train      train the congestion predictor (--out <file.json>)\n\
+         \x20 dco        run differentiable congestion optimization (--predictor <file>)\n\
+         \x20 flow       run all four Table-III flows and print the comparison block\n\n\
+         common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>"
+    );
+}
+
+fn load_design(args: &Args) -> Result<Design, Box<dyn std::error::Error>> {
+    let name = args.get_str("design", "DMA").to_uppercase();
+    let profile = DesignProfile::ALL
+        .into_iter()
+        .find(|p| p.name().to_uppercase() == name)
+        .ok_or_else(|| format!("unknown design `{name}` (try DMA/AES/ECG/LDPC/VGA/Rocket)"))?;
+    let scale = args.get("scale", 0.03f64);
+    let seed = args.get("seed", 1u64);
+    Ok(GeneratorConfig::for_profile(profile).with_scale(scale).generate(seed)?)
+}
+
+fn placed(args: &Args, design: &Design) -> dco_netlist::Placement3 {
+    let params = if args.flag("cong") {
+        PlacementParams::congestion_focused()
+    } else {
+        PlacementParams::pin3d_baseline()
+    };
+    let seed = args.get("seed", 1u64);
+    let mut p = GlobalPlacer::new(design).place(&params, seed);
+    legalize(design, &mut p, params.displacement_threshold);
+    p
+}
+
+fn cmd_generate(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let prefix = args.get_str("out", "design");
+    std::fs::write(format!("{prefix}.nodes"), bookshelf::to_nodes(&design.netlist))?;
+    std::fs::write(format!("{prefix}.nets"), bookshelf::to_nets(&design.netlist))?;
+    std::fs::write(format!("{prefix}.pl"), bookshelf::to_pl(&design.netlist, &design.placement))?;
+    println!(
+        "{}: {} cells, {} nets, {} pins -> {prefix}.nodes/.nets/.pl",
+        design.name,
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        design.netlist.num_pins()
+    );
+    Ok(())
+}
+
+fn cmd_place(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let p = placed(args, &design);
+    println!(
+        "{}: HPWL {:.1} um, cut {}, die {:.1}x{:.1} um",
+        design.name,
+        p.total_hpwl(&design.netlist),
+        p.cut_size(&design.netlist),
+        design.floorplan.die.width,
+        design.floorplan.die.height
+    );
+    if let Some(out) = args.options.get("out") {
+        std::fs::write(out, bookshelf::to_pl(&design.netlist, &p))?;
+        println!("wrote placement to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_route(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let p = placed(args, &design);
+    let cfg = RouterConfig {
+        rrr_iterations: args.get("rrr", 6usize),
+        maze_margin: args.get("maze", 8usize),
+        ..RouterConfig::default()
+    };
+    let r = Router::new(&design, cfg).route(&p);
+    println!(
+        "{}: overflow {:.0} (H {:.0} / V {:.0}), {:.2}% GCells, WL {:.0} um, {} bonds",
+        design.name,
+        r.report.total,
+        r.report.h_overflow,
+        r.report.v_overflow,
+        r.report.overflow_gcell_pct,
+        r.wirelength,
+        r.bond_count
+    );
+    if args.flag("map") {
+        println!("bottom-die congestion:\n{}", r.congestion[0].to_ascii());
+    }
+    Ok(())
+}
+
+fn cmd_sta(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let p = placed(args, &design);
+    let r = Router::new(&design, RouterConfig::default()).route(&p);
+    let cts = synthesize_clock_tree(&design, &p);
+    let mut sta = Sta::new(&design);
+    sta.setup_ps += cts.skew_ps;
+    let t = sta.analyze(&p, Some(&r.net_lengths), Some(&r.net_bonds));
+    let pw = PowerAnalyzer::new(&design).analyze(&p, Some(&r.net_lengths));
+    println!(
+        "{}: WNS {:.1} ps, TNS {:.0} ps ({} violations), clock skew {:.2} ps",
+        design.name, t.wns_ps, t.tns_ps, t.violations, cts.skew_ps
+    );
+    println!(
+        "power {:.3} mW (switching {:.3} + internal {:.3} + leakage {:.3})",
+        pw.total_mw(),
+        pw.switching_mw,
+        pw.internal_mw,
+        pw.leakage_mw
+    );
+    Ok(())
+}
+
+fn cmd_train(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let seed = args.get("seed", 1u64);
+    let mut cfg = FlowConfig::default();
+    cfg.train_layouts = args.get("layouts", cfg.train_layouts);
+    cfg.train_epochs = args.get("epochs", cfg.train_epochs);
+    let predictor = train_predictor(&design, &cfg, seed);
+    let m = &predictor.train_result;
+    let mean_nrmse =
+        m.test_metrics.iter().map(|x| x.nrmse).sum::<f32>() / m.test_metrics.len().max(1) as f32;
+    println!(
+        "trained on {} layouts for {} epochs: final train loss {:.4}, test NRMSE {:.3}",
+        cfg.train_layouts,
+        cfg.train_epochs,
+        m.train_loss.last().copied().unwrap_or(f32::NAN),
+        mean_nrmse
+    );
+    let out = args.get_str("out", "predictor.json");
+    save_predictor(&out, &predictor.unet, &predictor.normalization)?;
+    println!("saved predictor to {out}");
+    Ok(())
+}
+
+fn cmd_dco(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let seed = args.get("seed", 1u64);
+    let predictor_path = args.get_str("predictor", "predictor.json");
+    let (unet, norm) = load_predictor(&predictor_path)?;
+    let params = PlacementParams::pin3d_baseline();
+    let before = GlobalPlacer::new(&design).place(&params, seed);
+    let timing = Sta::new(&design).analyze(&before, None, None);
+    let features = build_node_features(&design, &before, &timing);
+    let cfg = DcoConfig {
+        max_iter: args.get("iters", DcoConfig::default().max_iter),
+        enable_z: !args.flag("no-z"),
+        ..DcoConfig::default()
+    };
+    let mut dco =
+        DcoOptimizer::new(&design, &unet, &norm, features, Gcn::new(GcnConfig::default(), seed), cfg);
+    let result = dco.run(&before);
+    let mut after = result.placement.clone();
+    legalize(&design, &mut after, params.displacement_threshold);
+    let mut base = before.clone();
+    legalize(&design, &mut base, params.displacement_threshold);
+    let router = Router::new(&design, RouterConfig::default());
+    let (rb, ra) = (router.route(&base), router.route(&after));
+    println!(
+        "DCO ({} iterations, converged: {}): overflow {:.0} -> {:.0} ({:+.1}%)",
+        result.iterations,
+        result.converged,
+        rb.report.total,
+        ra.report.total,
+        100.0 * (ra.report.total - rb.report.total) / rb.report.total.max(1.0)
+    );
+    if let Some(out) = args.options.get("out") {
+        std::fs::write(out, bookshelf::to_pl(&design.netlist, &after))?;
+        println!("wrote optimized placement to {out}");
+    }
+    Ok(())
+}
+
+fn cmd_flow(args: &Args) -> CliResult {
+    let design = load_design(args)?;
+    let seed = args.get("seed", 1u64);
+    let cfg = FlowConfig::default();
+    let predictor: Predictor = match args.options.get("predictor") {
+        Some(path) => {
+            let (unet, normalization) = load_predictor(path)?;
+            Predictor {
+                unet,
+                normalization: normalization.clone(),
+                train_result: TrainResult {
+                    train_loss: Vec::new(),
+                    test_loss: Vec::new(),
+                    test_metrics: Vec::new(),
+                    normalization,
+                },
+            }
+        }
+        None => train_predictor(&design, &cfg, seed),
+    };
+    let runner = FlowRunner::new(&design, cfg);
+    let mut outcomes = Vec::new();
+    for kind in FlowKind::ALL {
+        eprintln!("running {} ...", kind.label());
+        let p = (kind == FlowKind::Dco3d).then_some(&predictor);
+        outcomes.push(runner.run(kind, seed, p));
+    }
+    println!("{}", format_design_block(&design, &outcomes));
+    Ok(())
+}

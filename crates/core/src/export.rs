@@ -1,0 +1,140 @@
+//! Export of cell-spreading decisions as P&R-tool constraints.
+//!
+//! The paper's DCO-3D emits TCL constraints consumed by Synopsys ICC2 ("no
+//! additional PD optimization steps — supplemental TCL and Python scripts to
+//! guide cell spreading"). We emit the same style of directives so a real
+//! flow (or our own [`dco_netlist::Placement3`]-based flow) can apply them.
+
+use dco_netlist::{Netlist, Placement3, Tier};
+use std::fmt::Write as _;
+
+/// One cell-spreading directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadDirective {
+    /// Instance name.
+    pub cell: String,
+    /// New x (micron).
+    pub x: f64,
+    /// New y (micron).
+    pub y: f64,
+    /// New tier.
+    pub tier: Tier,
+    /// Whether this directive moves the cell across tiers.
+    pub tier_changed: bool,
+}
+
+/// Diff two placements into directives for every moved cell.
+///
+/// Cells whose position changed by less than `min_move` microns and whose
+/// tier is unchanged are skipped.
+pub fn diff_placements(
+    netlist: &Netlist,
+    before: &Placement3,
+    after: &Placement3,
+    min_move: f64,
+) -> Vec<SpreadDirective> {
+    netlist
+        .cell_ids()
+        .filter_map(|id| {
+            let moved = (before.x(id) - after.x(id)).abs() + (before.y(id) - after.y(id)).abs();
+            let tier_changed = before.tier(id) != after.tier(id);
+            if moved < min_move && !tier_changed {
+                return None;
+            }
+            Some(SpreadDirective {
+                cell: netlist.cell(id).name.clone(),
+                x: after.x(id),
+                y: after.y(id),
+                tier: after.tier(id),
+                tier_changed,
+            })
+        })
+        .collect()
+}
+
+/// Render directives as ICC2-style TCL.
+///
+/// # Example
+///
+/// ```
+/// use dco3d::{diff_placements, directives_to_tcl};
+/// use dco_netlist::{CellClass, CellId, NetlistBuilder, Placement3, PinDirection, Tier};
+///
+/// # fn main() -> Result<(), dco_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("d");
+/// let a = b.add_cell_simple("u_alu", CellClass::Combinational);
+/// let c = b.add_cell_simple("u_dec", CellClass::Combinational);
+/// b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+/// let nl = b.finish()?;
+/// let before = Placement3::zeroed(2);
+/// let mut after = before.clone();
+/// after.set_xy(CellId(0), 3.0, 4.0);
+/// after.set_tier(CellId(0), Tier::Top);
+/// let tcl = directives_to_tcl(&diff_placements(&nl, &before, &after, 0.01));
+/// assert!(tcl.contains("u_alu"));
+/// assert!(tcl.contains("-to_die top"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn directives_to_tcl(directives: &[SpreadDirective]) -> String {
+    let mut out = String::new();
+    out.push_str("# DCO-3D cell spreading directives (generated)\n");
+    for d in directives {
+        if d.tier_changed {
+            let die = match d.tier {
+                Tier::Top => "top",
+                Tier::Bottom => "bottom",
+            };
+            let _ = writeln!(out, "move_cell_to_die -to_die {die} {{{}}}", d.cell);
+        }
+        let _ = writeln!(
+            out,
+            "set_cell_location -coordinates {{{:.4} {:.4}}} -fixed false {{{}}}",
+            d.x, d.y, d.cell
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::{CellClass, CellId, NetlistBuilder, PinDirection};
+
+    fn setup() -> (Netlist, Placement3, Placement3) {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        let c = b.add_cell_simple("c", CellClass::Combinational);
+        b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let nl = b.finish().expect("valid");
+        let before = Placement3::zeroed(2);
+        let after = before.clone();
+        (nl, before, after)
+    }
+
+    #[test]
+    fn unmoved_cells_emit_nothing() {
+        let (nl, before, after) = setup();
+        assert!(diff_placements(&nl, &before, &after, 0.01).is_empty());
+    }
+
+    #[test]
+    fn tier_change_is_always_reported() {
+        let (nl, before, mut after) = setup();
+        after.set_tier(CellId(1), Tier::Top);
+        let ds = diff_placements(&nl, &before, &after, 10.0);
+        assert_eq!(ds.len(), 1);
+        assert!(ds[0].tier_changed);
+        let tcl = directives_to_tcl(&ds);
+        assert!(tcl.contains("move_cell_to_die"));
+    }
+
+    #[test]
+    fn min_move_filters_jitter() {
+        let (nl, before, mut after) = setup();
+        after.set_xy(CellId(0), 0.001, 0.0);
+        assert!(diff_placements(&nl, &before, &after, 0.01).is_empty());
+        after.set_xy(CellId(0), 5.0, 0.0);
+        assert_eq!(diff_placements(&nl, &before, &after, 0.01).len(), 1);
+    }
+}

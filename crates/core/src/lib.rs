@@ -1,0 +1,62 @@
+//! DCO-3D: differentiable congestion optimization in 3D ICs.
+//!
+//! This is the paper's primary contribution (Sec. IV / Algorithm 2): a
+//! fully differentiable, three-dimensional cell-spreading framework that
+//! resolves predicted congestion hotspots while preserving placement
+//! quality. Cells move in x, y, *and* z — the probabilistic tier assignment
+//! lets a cell contribute to both dies until the final hard cut at
+//! z >= 0.5.
+//!
+//! The pieces:
+//!
+//! - [`SoftRasterizer`]: a custom autograd op rendering (x, y, z) into the
+//!   14 feature channels the Siamese UNet consumes, with the hand-derived
+//!   backward pass of Eq. 5-6 (RUDY bbox-edge gradients routed through
+//!   Kronecker deltas to the extreme-pin cells),
+//! - [`SmoothDensity`]: the bell-shaped density potential of Eq. 8-10,
+//! - loss terms: [`congestion_loss`] (Eq. 4 on predictions),
+//!   [`CutsizeLoss`] (Eq. 7), [`overlap_loss`], [`displacement_loss`]
+//!   (Eq. 11),
+//! - [`DcoOptimizer`]: the gradient loop of Algorithm 2, driving a
+//!   [`dco_gnn::Gcn`] spreader against a frozen [`dco_unet::SiameseUNet`],
+//! - [`diff_placements`] / [`directives_to_tcl`]: exporting the spreading
+//!   decisions as ICC2-style TCL, mirroring how the paper's DCO-3D plugs
+//!   into the commercial flow.
+//!
+//! # Example (miniature end-to-end run)
+//!
+//! ```
+//! use dco3d::{DcoConfig, DcoOptimizer};
+//! use dco_gnn::{build_node_features, Gcn, GcnConfig};
+//! use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+//! use dco_unet::{Normalization, SiameseUNet, UNetConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.005).generate(1)?;
+//! let unet_cfg = UNetConfig { size: 8, base_channels: 2, ..UNetConfig::default() };
+//! let unet = SiameseUNet::new(unet_cfg, 0); // normally: trained via dco_unet::train
+//! let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+//! let timing = dco_timing::Sta::new(&design).analyze(&design.placement, None, None);
+//! let features = build_node_features(&design, &design.placement, &timing);
+//! let gcn = Gcn::new(GcnConfig::default(), 7);
+//! let cfg = DcoConfig { max_iter: 2, ..DcoConfig::default() };
+//! let mut dco = DcoOptimizer::new(&design, &unet, &norm, features, gcn, cfg);
+//! let result = dco.run(&design.placement);
+//! assert!(result.iterations >= 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod density;
+mod direct;
+mod export;
+mod losses;
+mod optimizer;
+mod rasterizer;
+
+pub use density::{bell, bell_dd, SmoothDensity};
+pub use direct::DirectOptimizer;
+pub use export::{diff_placements, directives_to_tcl, SpreadDirective};
+pub use losses::{congestion_loss, displacement_loss, overlap_loss, CutsizeLoss};
+pub use optimizer::{DcoConfig, DcoOptimizer, DcoResult, LossBreakdown};
+pub use rasterizer::SoftRasterizer;

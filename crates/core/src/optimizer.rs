@@ -1,0 +1,425 @@
+//! Algorithm 2: the differentiable congestion optimization loop.
+
+use crate::losses::{congestion_loss, overlap_loss, weighted_displacement_loss, CutsizeLoss};
+use crate::{SmoothDensity, SoftRasterizer};
+use dco_features::NUM_CHANNELS;
+use dco_gnn::Gcn;
+use dco_netlist::{Design, GcellGrid, Netlist, Placement3, Tier};
+use dco_tensor::{Adam, Graph, Tensor, Var};
+use dco_unet::{Normalization, SiameseUNet};
+use std::rc::Rc;
+
+/// DCO hyperparameters (the α, β, γ, δ of Algorithm 2 plus machinery).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcoConfig {
+    /// Maximum optimization iterations.
+    pub max_iter: usize,
+    /// Adam learning rate for the GNN parameters.
+    pub learning_rate: f32,
+    /// α: displacement-loss weight.
+    pub alpha: f32,
+    /// β: overlap-loss weight.
+    pub beta: f32,
+    /// γ: cutsize-loss weight.
+    pub gamma: f32,
+    /// δ: congestion-loss weight.
+    pub delta: f32,
+    /// Maximum (x, y) displacement as a fraction of the die side.
+    pub max_displacement_frac: f64,
+    /// Target bin density for the overlap loss.
+    pub target_density: f32,
+    /// Utilization above which predicted congestion is penalized.
+    pub congestion_threshold: f32,
+    /// Relative loss-change threshold for convergence (3 consecutive hits).
+    pub convergence_tol: f32,
+    /// Allow cross-tier movement (z optimization). Disabling reduces DCO to
+    /// a 2D spreader — the paper's motivating ablation.
+    pub enable_z: bool,
+}
+
+impl Default for DcoConfig {
+    fn default() -> Self {
+        Self {
+            max_iter: 40,
+            learning_rate: 2e-2,
+            alpha: 1.5,
+            beta: 10.0,
+            gamma: 2.0,
+            delta: 8.0,
+            max_displacement_frac: 0.10,
+            target_density: 0.8,
+            congestion_threshold: 0.85,
+            convergence_tol: 1e-5,
+            enable_z: true,
+        }
+    }
+}
+
+/// Loss breakdown at one iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LossBreakdown {
+    /// Weighted total.
+    pub total: f32,
+    /// Displacement term (unweighted).
+    pub displacement: f32,
+    /// Overlap term (unweighted).
+    pub overlap: f32,
+    /// Cutsize term (unweighted).
+    pub cutsize: f32,
+    /// Congestion term (unweighted).
+    pub congestion: f32,
+}
+
+/// Result of a DCO run.
+#[derive(Debug, Clone)]
+pub struct DcoResult {
+    /// The optimized placement (hard tier assignment via z ≥ 0.5).
+    pub placement: Placement3,
+    /// Final soft tier probabilities.
+    pub soft_z: Vec<f64>,
+    /// Loss trajectory.
+    pub history: Vec<LossBreakdown>,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether the loop converged before `max_iter`.
+    pub converged: bool,
+}
+
+/// The DCO-3D optimizer (paper Sec. IV, Algorithm 2).
+///
+/// Couples a [`Gcn`] cell spreader to a frozen [`SiameseUNet`] congestion
+/// predictor through the differentiable [`SoftRasterizer`], and descends
+/// the four-term objective `α·L_disp + β·L_ovlp + γ·L_cut + δ·L_cong`.
+pub struct DcoOptimizer<'a> {
+    design: &'a Design,
+    netlist: Rc<Netlist>,
+    unet: &'a SiameseUNet,
+    normalization: &'a Normalization,
+    node_features: Tensor,
+    cfg: DcoConfig,
+    gcn: Gcn,
+    cutsize: CutsizeLoss,
+    raster_grid: GcellGrid,
+    disp_weights: Tensor,
+}
+
+impl<'a> DcoOptimizer<'a> {
+    /// Create an optimizer.
+    ///
+    /// - `unet`/`normalization`: the trained congestion predictor and the
+    ///   dataset normalization it was trained with,
+    /// - `node_features`: the `[n, F]` Table-II feature matrix (see
+    ///   [`dco_gnn::build_node_features`]),
+    /// - `gcn`: a (typically freshly initialized) GNN; DCO trains it
+    ///   in-place as its optimization vehicle.
+    pub fn new(
+        design: &'a Design,
+        unet: &'a SiameseUNet,
+        normalization: &'a Normalization,
+        node_features: Tensor,
+        gcn: Gcn,
+        cfg: DcoConfig,
+    ) -> Self {
+        let size = unet.config().size;
+        let raster_grid = GcellGrid {
+            nx: size,
+            ny: size,
+            dx: design.floorplan.die.width / size as f64,
+            dy: design.floorplan.die.height / size as f64,
+        };
+        let n = design.netlist.num_cells();
+        Self {
+            design,
+            netlist: Rc::new(design.netlist.clone()),
+            unet,
+            normalization,
+            node_features,
+            cfg,
+            gcn,
+            cutsize: CutsizeLoss::new(&design.netlist, 48),
+            raster_grid,
+            disp_weights: Tensor::ones(&[n, 1]),
+        }
+    }
+
+    /// Anchor timing-critical cells harder: per-cell displacement weight
+    /// `1 + boost · criticality`, with criticality = `clamp(-slack /
+    /// clock_period, 0, 1)`. Cells with healthy slack keep weight 1.
+    pub fn set_timing_criticality(&mut self, cell_slack_ps: &[f64], boost: f32) {
+        let period = self.design.technology.clock_period_ps.max(1e-9);
+        let n = self.netlist.num_cells();
+        assert_eq!(cell_slack_ps.len(), n, "slack vector length mismatch");
+        let w: Vec<f32> = cell_slack_ps
+            .iter()
+            .map(|&s| 1.0 + boost * ((-s / period).clamp(0.0, 1.0) as f32))
+            .collect();
+        self.disp_weights = Tensor::from_vec(w, &[n, 1]);
+    }
+
+    /// Run Algorithm 2 starting from `initial` and return the optimized
+    /// placement.
+    pub fn run(&mut self, initial: &Placement3) -> DcoResult {
+        let n = self.netlist.num_cells();
+        let die = self.design.floorplan.die;
+        let max_disp = (die.width.min(die.height) * self.cfg.max_displacement_frac) as f32;
+
+        let x0 = Tensor::from_vec(initial.xs().iter().map(|&v| v as f32).collect(), &[n, 1]);
+        let y0 = Tensor::from_vec(initial.ys().iter().map(|&v| v as f32).collect(), &[n, 1]);
+        // bias so sigmoid(z) starts near the initial tier (0.88 / 0.12)
+        let z_bias = Tensor::from_vec(
+            initial.tiers().iter().map(|t| if t.as_z() > 0.5 { 2.0 } else { -2.0 }).collect(),
+            &[n, 1],
+        );
+        // mask: 1 for movable cells, 0 for fixed (macros / IOs stay put)
+        let movable = Tensor::from_vec(
+            self.netlist.cells().map(|c| f32::from(u8::from(c.movable()))).collect(),
+            &[n, 1],
+        );
+
+        let adj = Rc::new(dco_gnn::build_adjacency(self.design, 48));
+        let rasterizer = Rc::new(SoftRasterizer::new(Rc::clone(&self.netlist), self.raster_grid));
+        let density_op = Rc::new(SmoothDensity::new(Rc::clone(&self.netlist), self.raster_grid));
+        // per-channel inverse scales applied to the rasterizer output so it
+        // matches the UNet's training normalization
+        let inv_scale = self.channel_inverse_scale();
+
+        let mut opt = Adam::new(self.cfg.learning_rate);
+        let mut history: Vec<LossBreakdown> = Vec::with_capacity(self.cfg.max_iter);
+        let mut calm_iters = 0usize;
+        let mut converged = false;
+        let mut iterations = 0usize;
+
+        for iter in 0..self.cfg.max_iter {
+            iterations = iter + 1;
+            let mut g = Graph::new();
+            let (x, y, z, dx, dy) =
+                self.decode(&mut g, &adj, &x0, &y0, &z_bias, &movable, max_disp);
+
+            // losses (dx/dy are displacements; critical cells weighted)
+            let wts = g.input(self.disp_weights.clone());
+            let l_disp = weighted_displacement_loss(&mut g, dx, dy, wts, max_disp);
+            let feats = g.custom(Rc::clone(&rasterizer) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let scale = g.input(inv_scale.clone());
+            let feats = g.mul(feats, scale);
+            let f0 = g.slice_chan(feats, 0, NUM_CHANNELS);
+            let f1 = g.slice_chan(feats, NUM_CHANNELS, NUM_CHANNELS);
+            let (c0, c1) = self.unet.forward_frozen(&mut g, f0, f1);
+            // Predictions live in normalized label space; rescale to raw
+            // utilization so the congestion threshold has physical units.
+            let label_scale = self.normalization.label_scale.max(1e-9);
+            let c0 = g.mul_scalar(c0, label_scale);
+            let c1 = g.mul_scalar(c1, label_scale);
+            let l_cong = congestion_loss(&mut g, c0, c1, self.cfg.congestion_threshold);
+            let l_cut = self.cutsize.loss(&mut g, z);
+            let dens = g.custom(Rc::clone(&density_op) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let l_ovlp = overlap_loss(&mut g, dens, self.cfg.target_density);
+
+            let wa = g.mul_scalar(l_disp, self.cfg.alpha);
+            let wb = g.mul_scalar(l_ovlp, self.cfg.beta);
+            let wc = g.mul_scalar(l_cut, self.cfg.gamma);
+            let wd = g.mul_scalar(l_cong, self.cfg.delta);
+            let s1 = g.add(wa, wb);
+            let s2 = g.add(wc, wd);
+            let total = g.add(s1, s2);
+
+            let breakdown = LossBreakdown {
+                total: g.value(total).data()[0],
+                displacement: g.value(l_disp).data()[0],
+                overlap: g.value(l_ovlp).data()[0],
+                cutsize: g.value(l_cut).data()[0],
+                congestion: g.value(l_cong).data()[0],
+            };
+
+            g.backward(total);
+            self.gcn.store_mut().apply_grads(&g);
+            self.gcn.store_mut().clip_grad_norm(5.0);
+            opt.step(self.gcn.store_mut());
+
+            if let Some(prev) = history.last() {
+                let rel = (prev.total - breakdown.total).abs() / prev.total.abs().max(1e-9);
+                if rel < self.cfg.convergence_tol {
+                    calm_iters += 1;
+                } else {
+                    calm_iters = 0;
+                }
+            }
+            history.push(breakdown);
+            if calm_iters >= 3 {
+                converged = true;
+                break;
+            }
+        }
+
+        // Final decode with the trained GNN -> hard placement.
+        let mut g = Graph::new();
+        let (x, y, z, _, _) = self.decode(&mut g, &adj, &x0, &y0, &z_bias, &movable, max_disp);
+        let xs = g.value(x).data().to_vec();
+        let ys = g.value(y).data().to_vec();
+        let zs = g.value(z).data().to_vec();
+        let mut placement = initial.clone();
+        let mut soft_z = Vec::with_capacity(n);
+        for id in self.netlist.cell_ids() {
+            let i = id.index();
+            let cell = self.netlist.cell(id);
+            if cell.movable() {
+                let nx = (xs[i] as f64).clamp(0.0, die.width - cell.width);
+                let ny = (ys[i] as f64).clamp(0.0, die.height - cell.height);
+                placement.set_xy(id, nx, ny);
+                if self.cfg.enable_z {
+                    placement.set_tier(id, Tier::from_z(zs[i] as f64));
+                }
+                soft_z.push(zs[i] as f64);
+            } else {
+                soft_z.push(initial.tier(id).as_z());
+            }
+        }
+        DcoResult { placement, soft_z, history, iterations, converged }
+    }
+
+    /// Shared GNN-decode: returns `(x, y, z, dx, dy)` graph vars.
+    fn decode(
+        &mut self,
+        g: &mut Graph,
+        adj: &Rc<dco_tensor::Csr>,
+        x0: &Tensor,
+        y0: &Tensor,
+        z_bias: &Tensor,
+        movable: &Tensor,
+        max_disp: f32,
+    ) -> (Var, Var, Var, Var, Var) {
+        let feats = g.input(self.node_features.clone());
+        let raw = self.gcn.forward(g, Rc::clone(adj), feats);
+        let raw_dx = g.slice_cols(raw, 0, 1);
+        let raw_dy = g.slice_cols(raw, 1, 1);
+        let raw_z = g.slice_cols(raw, 2, 1);
+        let mv = g.input(movable.clone());
+        let tdx = g.tanh(raw_dx);
+        let tdx = g.mul(tdx, mv);
+        let dx = g.mul_scalar(tdx, max_disp);
+        let tdy = g.tanh(raw_dy);
+        let tdy = g.mul(tdy, mv);
+        let dy = g.mul_scalar(tdy, max_disp);
+        let x0v = g.input(x0.clone());
+        let y0v = g.input(y0.clone());
+        let x = g.add(x0v, dx);
+        let y = g.add(y0v, dy);
+        let zb = g.input(z_bias.clone());
+        let z = if self.cfg.enable_z {
+            let zr = g.mul(raw_z, mv);
+            let logits = g.add(zr, zb);
+            g.sigmoid(logits)
+        } else {
+            g.sigmoid(zb)
+        };
+        (x, y, z, dx, dy)
+    }
+
+    fn channel_inverse_scale(&self) -> Tensor {
+        let plane = self.raster_grid.len();
+        let mut data = Vec::with_capacity(2 * NUM_CHANNELS * plane);
+        for _die in 0..2 {
+            for c in 0..NUM_CHANNELS {
+                let s = 1.0 / self.normalization.channel_scale[c].max(1e-9);
+                data.extend(std::iter::repeat(s).take(plane));
+            }
+        }
+        Tensor::from_vec(data, &[1, 2 * NUM_CHANNELS, self.raster_grid.ny, self.raster_grid.nx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_gnn::{build_node_features, Gcn, GcnConfig};
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+    use dco_unet::{Normalization, SiameseUNet, UNetConfig};
+
+    fn setup() -> (Design, SiameseUNet, Normalization) {
+        let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(3)
+            .expect("gen");
+        let unet =
+            SiameseUNet::new(UNetConfig { size: 8, base_channels: 2, ..UNetConfig::default() }, 1);
+        let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+        (design, unet, norm)
+    }
+
+    fn optimizer<'a>(
+        design: &'a Design,
+        unet: &'a SiameseUNet,
+        norm: &'a Normalization,
+        cfg: DcoConfig,
+    ) -> DcoOptimizer<'a> {
+        let timing = dco_timing::Sta::new(design).analyze(&design.placement, None, None);
+        let features = build_node_features(design, &design.placement, &timing);
+        DcoOptimizer::new(design, unet, norm, features, Gcn::new(GcnConfig::default(), 5), cfg)
+    }
+
+    #[test]
+    fn dco_runs_and_tracks_losses() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig { max_iter: 4, ..DcoConfig::default() };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        assert_eq!(result.history.len(), result.iterations);
+        assert!(result.iterations >= 1);
+        for lb in &result.history {
+            assert!(lb.total.is_finite());
+            assert!(lb.congestion >= 0.0);
+            assert!(lb.overlap >= 0.0);
+        }
+        assert_eq!(result.soft_z.len(), design.netlist.num_cells());
+    }
+
+    #[test]
+    fn fixed_cells_never_move() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig { max_iter: 3, ..DcoConfig::default() };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        for id in design.netlist.cell_ids() {
+            if !design.netlist.cell(id).movable() {
+                assert_eq!(result.placement.x(id), design.placement.x(id));
+                assert_eq!(result.placement.tier(id), design.placement.tier(id));
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_stays_bounded() {
+        let (design, unet, norm) = setup();
+        let frac = 0.1;
+        let cfg = DcoConfig { max_iter: 5, max_displacement_frac: frac, ..DcoConfig::default() };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        let max_d = design.floorplan.die.width.min(design.floorplan.die.height) * frac;
+        for id in design.netlist.cell_ids() {
+            let dx = (result.placement.x(id) - design.placement.x(id)).abs();
+            let dy = (result.placement.y(id) - design.placement.y(id)).abs();
+            assert!(dx <= max_d + 1e-3, "dx {dx} > {max_d}");
+            assert!(dy <= max_d + 1e-3, "dy {dy} > {max_d}");
+        }
+    }
+
+    #[test]
+    fn disabling_z_keeps_tiers() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig { max_iter: 3, enable_z: false, ..DcoConfig::default() };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        for id in design.netlist.cell_ids() {
+            assert_eq!(result.placement.tier(id), design.placement.tier(id));
+        }
+    }
+
+    #[test]
+    fn dco_is_deterministic() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig { max_iter: 3, ..DcoConfig::default() };
+        let a = optimizer(&design, &unet, &norm, cfg.clone()).run(&design.placement);
+        let b = optimizer(&design, &unet, &norm, cfg).run(&design.placement);
+        assert_eq!(a.placement, b.placement);
+        assert_eq!(a.history.len(), b.history.len());
+    }
+}

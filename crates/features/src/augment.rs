@@ -1,0 +1,137 @@
+//! Orientation augmentation (paper Sec. III-B3): rotations by 0/90/180/270
+//! degrees plus horizontal/vertical flips, an 8-fold increase in training
+//! diversity.
+
+use crate::GridMap;
+
+/// One of the eight layout orientations used for data augmentation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Orientation {
+    /// Identity.
+    R0,
+    /// 90° counter-clockwise rotation.
+    R90,
+    /// 180° rotation.
+    R180,
+    /// 270° counter-clockwise rotation.
+    R270,
+    /// Horizontal mirror (flip columns).
+    FlipH,
+    /// Vertical mirror (flip rows).
+    FlipV,
+    /// Transpose (R90 then FlipH).
+    Transpose,
+    /// Anti-transpose (R270 then FlipH).
+    AntiTranspose,
+}
+
+impl Orientation {
+    /// All eight orientations of the dihedral group D4.
+    pub const ALL: [Orientation; 8] = [
+        Orientation::R0,
+        Orientation::R90,
+        Orientation::R180,
+        Orientation::R270,
+        Orientation::FlipH,
+        Orientation::FlipV,
+        Orientation::Transpose,
+        Orientation::AntiTranspose,
+    ];
+
+    /// The orientation that undoes this one.
+    pub fn inverse(self) -> Self {
+        match self {
+            Self::R90 => Self::R270,
+            Self::R270 => Self::R90,
+            other => other, // all others are involutions
+        }
+    }
+}
+
+/// Apply `orientation` to a map.
+///
+/// # Example
+///
+/// ```
+/// use dco_features::{apply_orientation, GridMap, Orientation};
+///
+/// let m = GridMap::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let r = apply_orientation(&m, Orientation::R180);
+/// assert_eq!(r.data(), &[4.0, 3.0, 2.0, 1.0]);
+/// ```
+pub fn apply_orientation(src: &GridMap, orientation: Orientation) -> GridMap {
+    let (nx, ny) = (src.nx(), src.ny());
+    let (onx, ony) = match orientation {
+        Orientation::R0 | Orientation::R180 | Orientation::FlipH | Orientation::FlipV => (nx, ny),
+        _ => (ny, nx),
+    };
+    let mut out = GridMap::zeros(onx, ony);
+    for row in 0..ny {
+        for col in 0..nx {
+            let v = src.get(col, row);
+            let (oc, or) = match orientation {
+                Orientation::R0 => (col, row),
+                Orientation::R90 => (ny - 1 - row, col),
+                Orientation::R180 => (nx - 1 - col, ny - 1 - row),
+                Orientation::R270 => (row, nx - 1 - col),
+                Orientation::FlipH => (nx - 1 - col, row),
+                Orientation::FlipV => (col, ny - 1 - row),
+                Orientation::Transpose => (row, col),
+                Orientation::AntiTranspose => (ny - 1 - row, nx - 1 - col),
+            };
+            out.set(oc, or, v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GridMap {
+        GridMap::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.])
+    }
+
+    #[test]
+    fn all_orientations_preserve_multiset() {
+        let m = sample();
+        for o in Orientation::ALL {
+            let t = apply_orientation(&m, o);
+            let mut a: Vec<_> = m.data().to_vec();
+            let mut b: Vec<_> = t.data().to_vec();
+            a.sort_by(f32::total_cmp);
+            b.sort_by(f32::total_cmp);
+            assert_eq!(a, b, "orientation {o:?} lost values");
+        }
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let m = sample();
+        for o in Orientation::ALL {
+            let round = apply_orientation(&apply_orientation(&m, o), o.inverse());
+            assert_eq!(round, m, "orientation {o:?} inverse failed");
+        }
+    }
+
+    #[test]
+    fn r90_moves_corner_correctly() {
+        // value at (col=0,row=0) moves to (col=ny-1, row=0) under CCW R90
+        let m = sample();
+        let r = apply_orientation(&m, Orientation::R90);
+        assert_eq!(r.nx(), 2);
+        assert_eq!(r.ny(), 3);
+        assert_eq!(r.get(1, 0), m.get(0, 0));
+    }
+
+    #[test]
+    fn four_r90s_are_identity() {
+        let m = sample();
+        let mut t = m.clone();
+        for _ in 0..4 {
+            t = apply_orientation(&t, Orientation::R90);
+        }
+        assert_eq!(t, m);
+    }
+}

@@ -1,0 +1,268 @@
+use serde::{Deserialize, Serialize};
+
+/// A 2D scalar field over a GCell grid (row-major, `ny` rows × `nx` cols).
+///
+/// This is the common currency of the feature/label pipeline: RUDY maps,
+/// densities, congestion labels, and the UNet's inputs/outputs all travel as
+/// `GridMap`s.
+///
+/// # Example
+///
+/// ```
+/// use dco_features::GridMap;
+///
+/// let mut m = GridMap::zeros(4, 3);
+/// m.set(2, 1, 5.0);
+/// assert_eq!(m.get(2, 1), 5.0);
+/// assert_eq!(m.sum(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GridMap {
+    nx: usize,
+    ny: usize,
+    data: Vec<f32>,
+}
+
+impl GridMap {
+    /// An all-zero map with `nx` columns and `ny` rows.
+    pub fn zeros(nx: usize, ny: usize) -> Self {
+        Self { nx, ny, data: vec![0.0; nx * ny] }
+    }
+
+    /// Build from a flat row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nx * ny`.
+    pub fn from_vec(nx: usize, ny: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), nx * ny, "grid data length mismatch");
+        Self { nx, ny, data }
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the map has zero cells.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Value at (col, row).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, col: usize, row: usize) -> f32 {
+        assert!(col < self.nx && row < self.ny, "grid index out of range");
+        self.data[row * self.nx + col]
+    }
+
+    /// Set the value at (col, row).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn set(&mut self, col: usize, row: usize, v: f32) {
+        assert!(col < self.nx && row < self.ny, "grid index out of range");
+        self.data[row * self.nx + col] = v;
+    }
+
+    /// Add to the value at (col, row).
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn add(&mut self, col: usize, row: usize, v: f32) {
+        assert!(col < self.nx && row < self.ny, "grid index out of range");
+        self.data[row * self.nx + col] += v;
+    }
+
+    /// Flat row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Sum of all values.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum value (`NEG_INFINITY` when empty).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum value (`INFINITY` when empty).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Mean value (0.0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Elementwise map into a new grid.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self { nx: self.nx, ny: self.ny, data: self.data.iter().map(|&v| f(v)).collect() }
+    }
+
+    /// Elementwise `self += other`.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn add_assign(&mut self, other: &Self) {
+        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "grid dim mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Normalize values into [0, 1] by the max (no-op if max <= 0).
+    pub fn normalized(&self) -> Self {
+        let m = self.max();
+        if m > 0.0 {
+            self.map(|v| v / m)
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Render as a binary PPM (P6) heatmap image, scaled `scale` pixels per
+    /// GCell, using a perceptual dark-blue → yellow color ramp. Row 0 is at
+    /// the bottom (chip coordinates), so the image is vertically flipped
+    /// relative to the raw data.
+    pub fn to_ppm(&self, scale: usize) -> Vec<u8> {
+        let scale = scale.max(1);
+        let (w, h) = (self.nx * scale, self.ny * scale);
+        let mut out = format!("P6\n{w} {h}\n255\n").into_bytes();
+        let m = self.max().max(1e-12);
+        for py in 0..h {
+            let row = self.ny - 1 - py / scale;
+            for px in 0..w {
+                let col = px / scale;
+                let v = (self.get(col, row) / m).clamp(0.0, 1.0);
+                let (r, g, b) = heat_color(v);
+                out.extend_from_slice(&[r, g, b]);
+            }
+        }
+        out
+    }
+
+    /// Write the [`GridMap::to_ppm`] image to a file.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_ppm(&self, path: impl AsRef<std::path::Path>, scale: usize) -> std::io::Result<()> {
+        std::fs::write(path, self.to_ppm(scale))
+    }
+
+    /// Render as coarse ASCII art (darker = larger), for CLI figure dumps.
+    pub fn to_ascii(&self) -> String {
+        const RAMP: &[u8] = b" .:-=+*#%@";
+        let m = self.max().max(1e-12);
+        let mut out = String::with_capacity((self.nx + 1) * self.ny);
+        for row in (0..self.ny).rev() {
+            for col in 0..self.nx {
+                let v = (self.get(col, row) / m).clamp(0.0, 1.0);
+                let i = ((v * (RAMP.len() - 1) as f32).round()) as usize;
+                out.push(RAMP[i] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Map a normalized value to a dark-blue -> magenta -> yellow heat ramp.
+fn heat_color(v: f32) -> (u8, u8, u8) {
+    let v = v.clamp(0.0, 1.0);
+    // three-stop gradient: (13, 8, 135) -> (204, 71, 120) -> (240, 249, 33)
+    let (a, b, t) = if v < 0.5 {
+        ((13.0, 8.0, 135.0), (204.0, 71.0, 120.0), v * 2.0)
+    } else {
+        ((204.0, 71.0, 120.0), (240.0, 249.0, 33.0), (v - 0.5) * 2.0)
+    };
+    let mix = |x: f64, y: f64| (x + (y - x) * t as f64).round() as u8;
+    (mix(a.0, b.0), mix(a.1, b.1), mix(a.2, b.2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ppm_has_correct_header_and_size() {
+        let m = GridMap::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        let ppm = m.to_ppm(2);
+        let header = b"P6\n8 6\n255\n";
+        assert!(ppm.starts_with(header));
+        assert_eq!(ppm.len(), header.len() + 8 * 6 * 3);
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), (13, 8, 135));
+        assert_eq!(heat_color(1.0), (240, 249, 33));
+        // midpoint is the middle stop
+        assert_eq!(heat_color(0.5), (204, 71, 120));
+    }
+
+    #[test]
+    fn get_set_add_round_trip() {
+        let mut m = GridMap::zeros(3, 2);
+        m.set(0, 1, 2.0);
+        m.add(0, 1, 0.5);
+        assert_eq!(m.get(0, 1), 2.5);
+        assert_eq!(m.data()[3], 2.5); // row 1, col 0
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        GridMap::zeros(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn normalization() {
+        let m = GridMap::from_vec(2, 1, vec![1.0, 4.0]);
+        let n = m.normalized();
+        assert_eq!(n.data(), &[0.25, 1.0]);
+        let z = GridMap::zeros(2, 2);
+        assert_eq!(z.normalized(), z);
+    }
+
+    #[test]
+    fn ascii_has_one_line_per_row() {
+        let m = GridMap::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        let s = m.to_ascii();
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.lines().all(|l| l.chars().count() == 4));
+    }
+}

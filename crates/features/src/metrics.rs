@@ -1,0 +1,158 @@
+//! Map-quality metrics used in the paper's evaluation (Fig. 5b):
+//! normalized root-mean-square error (NRMSE) and the structural similarity
+//! index (SSIM).
+
+use crate::GridMap;
+
+/// NRMSE between a prediction and the ground truth, normalized by the
+/// ground-truth dynamic range. Values below 0.2 indicate close alignment
+/// (paper Sec. V-A).
+///
+/// Returns 0.0 when both maps are identical, and normalizes by 1.0 when the
+/// ground truth is constant.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn nrmse(pred: &GridMap, truth: &GridMap) -> f32 {
+    assert_eq!((pred.nx(), pred.ny()), (truth.nx(), truth.ny()), "nrmse dim mismatch");
+    let n = truth.len().max(1) as f32;
+    let mse: f32 =
+        pred.data().iter().zip(truth.data()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>() / n;
+    let range = truth.max() - truth.min();
+    let range = if range > 1e-12 { range } else { 1.0 };
+    mse.sqrt() / range
+}
+
+/// Mean SSIM over sliding windows (uniform window, standard constants).
+///
+/// `data_range` is the dynamic range `L` of the signals (use the max of the
+/// two maps, or 1.0 for normalized maps). Returns a value in [-1, 1]; 1
+/// means identical. Values above 0.7 are considered sufficient by the paper.
+///
+/// # Panics
+/// Panics on dimension mismatch or a non-positive `data_range`.
+pub fn ssim(a: &GridMap, b: &GridMap, data_range: f32) -> f32 {
+    assert_eq!((a.nx(), a.ny()), (b.nx(), b.ny()), "ssim dim mismatch");
+    assert!(data_range > 0.0, "data_range must be positive");
+    let win = 7usize.min(a.nx()).min(a.ny());
+    let c1 = (0.01 * data_range) * (0.01 * data_range);
+    let c2 = (0.03 * data_range) * (0.03 * data_range);
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    let n = (win * win) as f32;
+    for row0 in 0..=(a.ny() - win) {
+        for col0 in 0..=(a.nx() - win) {
+            let (mut sa, mut sb, mut saa, mut sbb, mut sab) = (0.0f32, 0.0, 0.0, 0.0, 0.0);
+            for r in row0..row0 + win {
+                for c in col0..col0 + win {
+                    let va = a.get(c, r);
+                    let vb = b.get(c, r);
+                    sa += va;
+                    sb += vb;
+                    saa += va * va;
+                    sbb += vb * vb;
+                    sab += va * vb;
+                }
+            }
+            let mu_a = sa / n;
+            let mu_b = sb / n;
+            let var_a = (saa / n - mu_a * mu_a).max(0.0);
+            let var_b = (sbb / n - mu_b * mu_b).max(0.0);
+            let cov = sab / n - mu_a * mu_b;
+            let s = ((2.0 * mu_a * mu_b + c1) * (2.0 * cov + c2))
+                / ((mu_a * mu_a + mu_b * mu_b + c1) * (var_a + var_b + c2));
+            total += s as f64;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        (total / count as f64) as f32
+    }
+}
+
+/// Pearson correlation coefficient between two maps (used when comparing
+/// RUDY against ground-truth congestion in Fig. 5c).
+///
+/// Returns 0.0 if either map is constant.
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn pearson(a: &GridMap, b: &GridMap) -> f32 {
+    assert_eq!((a.nx(), a.ny()), (b.nx(), b.ny()), "pearson dim mismatch");
+    let n = a.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.mean() as f64;
+    let mb = b.mean() as f64;
+    let (mut cov, mut va, mut vb) = (0.0f64, 0.0, 0.0);
+    for (&x, &y) in a.data().iter().zip(b.data()) {
+        let dx = x as f64 - ma;
+        let dy = y as f64 - mb;
+        cov += dx * dy;
+        va += dx * dx;
+        vb += dy * dy;
+    }
+    if va < 1e-18 || vb < 1e-18 {
+        0.0
+    } else {
+        (cov / (va.sqrt() * vb.sqrt())) as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(nx: usize, ny: usize) -> GridMap {
+        GridMap::from_vec(nx, ny, (0..nx * ny).map(|v| v as f32).collect())
+    }
+
+    #[test]
+    fn identical_maps_score_perfectly() {
+        let m = ramp(10, 10);
+        assert_eq!(nrmse(&m, &m), 0.0);
+        assert!((ssim(&m, &m, m.max()) - 1.0).abs() < 1e-6);
+        assert!((pearson(&m, &m) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nrmse_scales_with_error() {
+        let m = ramp(4, 4);
+        let off = m.map(|v| v + 3.0);
+        let range = m.max() - m.min();
+        assert!((nrmse(&off, &m) - 3.0 / range).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ssim_penalizes_noise_more_than_shift() {
+        let m = ramp(12, 12);
+        let shifted = m.map(|v| v + 1.0);
+        let noisy = GridMap::from_vec(
+            12,
+            12,
+            m.data().iter().enumerate().map(|(i, &v)| if i % 2 == 0 { v + 30.0 } else { v - 30.0 }).collect(),
+        );
+        let s_shift = ssim(&shifted, &m, m.max());
+        let s_noise = ssim(&noisy, &m, m.max());
+        assert!(s_shift > s_noise, "shift {s_shift} should beat noise {s_noise}");
+    }
+
+    #[test]
+    fn pearson_detects_anticorrelation() {
+        let m = ramp(5, 5);
+        let inv = m.map(|v| -v);
+        assert!((pearson(&m, &inv) + 1.0).abs() < 1e-6);
+        let flat = GridMap::zeros(5, 5);
+        assert_eq!(pearson(&m, &flat), 0.0);
+    }
+
+    #[test]
+    fn constant_truth_uses_unit_range() {
+        let truth = GridMap::zeros(3, 3);
+        let pred = GridMap::from_vec(3, 3, vec![0.5; 9]);
+        assert!((nrmse(&pred, &truth) - 0.5).abs() < 1e-6);
+    }
+}

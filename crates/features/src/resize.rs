@@ -1,0 +1,73 @@
+//! Nearest-neighbour resizing (paper Sec. III-B3).
+//!
+//! Feature and label maps of differently-sized designs are resized to a
+//! fixed `H × W` before entering the CNN, preserving pixel magnitudes so the
+//! original map is recoverable after the inverse transform.
+
+use crate::GridMap;
+
+/// Nearest-neighbour resize to `nx_new` × `ny_new`.
+///
+/// # Example
+///
+/// ```
+/// use dco_features::{resize_nearest, GridMap};
+///
+/// let m = GridMap::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let big = resize_nearest(&m, 4, 4);
+/// assert_eq!(big.get(0, 0), 1.0);
+/// assert_eq!(big.get(3, 3), 4.0);
+/// // round trip recovers the original exactly
+/// assert_eq!(resize_nearest(&big, 2, 2), m);
+/// ```
+pub fn resize_nearest(src: &GridMap, nx_new: usize, ny_new: usize) -> GridMap {
+    assert!(nx_new > 0 && ny_new > 0, "resize target must be non-empty");
+    let mut out = GridMap::zeros(nx_new, ny_new);
+    for row in 0..ny_new {
+        // Sample the source at the center of each destination pixel.
+        let sy = ((row as f64 + 0.5) * src.ny() as f64 / ny_new as f64) as usize;
+        let sy = sy.min(src.ny() - 1);
+        for col in 0..nx_new {
+            let sx = ((col as f64 + 0.5) * src.nx() as f64 / nx_new as f64) as usize;
+            let sx = sx.min(src.nx() - 1);
+            out.set(col, row, src.get(sx, sy));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_resize_is_noop() {
+        let m = GridMap::from_vec(3, 2, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(resize_nearest(&m, 3, 2), m);
+    }
+
+    #[test]
+    fn upscale_preserves_magnitudes() {
+        let m = GridMap::from_vec(2, 1, vec![7.0, 9.0]);
+        let big = resize_nearest(&m, 6, 3);
+        assert_eq!(big.max(), 9.0);
+        assert_eq!(big.min(), 7.0);
+        // left half is 7, right half is 9
+        assert_eq!(big.get(0, 1), 7.0);
+        assert_eq!(big.get(5, 1), 9.0);
+    }
+
+    #[test]
+    fn downscale_then_upscale_round_trips_uniform_blocks() {
+        // A map that is constant over 2x2 blocks survives 2x down + up.
+        let mut m = GridMap::zeros(4, 4);
+        for row in 0..4 {
+            for col in 0..4 {
+                m.set(col, row, ((row / 2) * 2 + col / 2) as f32);
+            }
+        }
+        let small = resize_nearest(&m, 2, 2);
+        let back = resize_nearest(&small, 4, 4);
+        assert_eq!(back, m);
+    }
+}

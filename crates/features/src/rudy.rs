@@ -1,0 +1,250 @@
+//! RUDY and PinRUDY routing-demand estimators (paper Sec. II-B) and the
+//! analytic RUDY gradients used by DCO-3D's custom backward pass (Eq. 6).
+
+use crate::GridMap;
+use dco_netlist::GcellGrid;
+
+/// Axis-aligned bounding box of a net's pins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bbox {
+    /// Left edge.
+    pub xl: f64,
+    /// Bottom edge.
+    pub yl: f64,
+    /// Right edge.
+    pub xh: f64,
+    /// Top edge.
+    pub yh: f64,
+}
+
+impl Bbox {
+    /// Bounding box of a set of points.
+    ///
+    /// Returns `None` for an empty iterator.
+    pub fn of_points(points: impl IntoIterator<Item = (f64, f64)>) -> Option<Self> {
+        let mut it = points.into_iter();
+        let (x0, y0) = it.next()?;
+        let mut b = Self { xl: x0, yl: y0, xh: x0, yh: y0 };
+        for (x, y) in it {
+            b.xl = b.xl.min(x);
+            b.xh = b.xh.max(x);
+            b.yl = b.yl.min(y);
+            b.yh = b.yh.max(y);
+        }
+        Some(b)
+    }
+
+    /// Width clamped below by `min_size` (degenerate nets still have demand).
+    #[inline]
+    pub fn width(&self, min_size: f64) -> f64 {
+        (self.xh - self.xl).max(min_size)
+    }
+
+    /// Height clamped below by `min_size`.
+    #[inline]
+    pub fn height(&self, min_size: f64) -> f64 {
+        (self.yh - self.yl).max(min_size)
+    }
+
+    /// The RUDY density factor `1/w + 1/h` (Eq. 1).
+    #[inline]
+    pub fn rudy_factor(&self, min_size: f64) -> f64 {
+        1.0 / self.width(min_size) + 1.0 / self.height(min_size)
+    }
+}
+
+/// Accumulate a net's RUDY (Eq. 2) into `grid`.
+///
+/// Each GCell overlapping the bbox receives
+/// `weight * (1/w + 1/h) * overlap_area / gcell_area`.
+pub fn accumulate_rudy(grid: &mut GridMap, g: &GcellGrid, bbox: &Bbox, weight: f32) {
+    if weight == 0.0 {
+        return;
+    }
+    let min_size = g.dx.min(g.dy) * 0.5;
+    let factor = bbox.rudy_factor(min_size);
+    // Expand degenerate boxes so they still cover at least a sliver.
+    let (xl, xh) = if bbox.xh > bbox.xl { (bbox.xl, bbox.xh) } else { (bbox.xl - min_size / 2.0, bbox.xl + min_size / 2.0) };
+    let (yl, yh) = if bbox.yh > bbox.yl { (bbox.yl, bbox.yh) } else { (bbox.yl - min_size / 2.0, bbox.yl + min_size / 2.0) };
+    let c0 = g.col(xl);
+    let c1 = g.col(xh);
+    let r0 = g.row(yl);
+    let r1 = g.row(yh);
+    let inv_area = 1.0 / g.cell_area();
+    for row in r0..=r1 {
+        for col in c0..=c1 {
+            let (tx0, ty0, tx1, ty1) = g.bounds(col, row);
+            let ow = (xh.min(tx1) - xl.max(tx0)).max(0.0);
+            let oh = (yh.min(ty1) - yl.max(ty0)).max(0.0);
+            if ow > 0.0 && oh > 0.0 {
+                grid.add(col, row, weight * (factor * ow * oh * inv_area) as f32);
+            }
+        }
+    }
+}
+
+/// Accumulate a pin's PinRUDY (Eq. 3) into `grid`: the pin's tile receives
+/// `weight * (1/w + 1/h)` of its net's bbox.
+pub fn accumulate_pin_rudy(
+    grid: &mut GridMap,
+    g: &GcellGrid,
+    pin_xy: (f64, f64),
+    bbox: &Bbox,
+    weight: f32,
+) {
+    if weight == 0.0 {
+        return;
+    }
+    let min_size = g.dx.min(g.dy) * 0.5;
+    let col = g.col(pin_xy.0);
+    let row = g.row(pin_xy.1);
+    grid.add(col, row, weight * bbox.rudy_factor(min_size) as f32);
+}
+
+/// Gradient of a net's RUDY value in one tile w.r.t. its bbox edges.
+///
+/// This is the exact differential of Eq. 2; the paper's Eq. 6 is the special
+/// case where the moving edge lies inside the tile. The caller maps edge
+/// gradients to cell-position gradients via the Kronecker deltas
+/// `(δ_ih − δ_il)` — only the cells holding the extreme pins move the bbox.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RudyEdgeGrad {
+    /// d RUDY / d xl.
+    pub d_xl: f64,
+    /// d RUDY / d xh.
+    pub d_xh: f64,
+    /// d RUDY / d yl.
+    pub d_yl: f64,
+    /// d RUDY / d yh.
+    pub d_yh: f64,
+}
+
+/// Compute [`RudyEdgeGrad`] for `bbox` in the tile with the given bounds.
+///
+/// `tile = (tx0, ty0, tx1, ty1)`, `tile_area` is the GCell area, and
+/// `min_size` clamps degenerate bbox dimensions (must match the value used
+/// in [`accumulate_rudy`]).
+pub fn rudy_edge_grad(
+    bbox: &Bbox,
+    tile: (f64, f64, f64, f64),
+    tile_area: f64,
+    min_size: f64,
+) -> RudyEdgeGrad {
+    let (tx0, ty0, tx1, ty1) = tile;
+    let w = bbox.width(min_size);
+    let h = bbox.height(min_size);
+    let ow = (bbox.xh.min(tx1) - bbox.xl.max(tx0)).max(0.0);
+    let oh = (bbox.yh.min(ty1) - bbox.yl.max(ty0)).max(0.0);
+    if ow <= 0.0 || oh <= 0.0 {
+        return RudyEdgeGrad::default();
+    }
+    let factor = 1.0 / w + 1.0 / h;
+    let inv_area = 1.0 / tile_area;
+    // Indicators: does moving an edge change the overlap?
+    let xh_active = bbox.xh < tx1 && bbox.xh - bbox.xl >= min_size;
+    let xl_active = bbox.xl > tx0 && bbox.xh - bbox.xl >= min_size;
+    let yh_active = bbox.yh < ty1 && bbox.yh - bbox.yl >= min_size;
+    let yl_active = bbox.yl > ty0 && bbox.yh - bbox.yl >= min_size;
+    let clamped_w = bbox.xh - bbox.xl < min_size;
+    let clamped_h = bbox.yh - bbox.yl < min_size;
+    // d(1/w)/dxh = -1/w^2 (zero while the width is clamped).
+    let dfactor_dxh = if clamped_w { 0.0 } else { -1.0 / (w * w) };
+    let dfactor_dyh = if clamped_h { 0.0 } else { -1.0 / (h * h) };
+    RudyEdgeGrad {
+        d_xh: (dfactor_dxh * ow * oh + factor * oh * f64::from(u8::from(xh_active))) * inv_area,
+        d_xl: (-dfactor_dxh * ow * oh - factor * oh * f64::from(u8::from(xl_active))) * inv_area,
+        d_yh: (dfactor_dyh * ow * oh + factor * ow * f64::from(u8::from(yh_active))) * inv_area,
+        d_yl: (-dfactor_dyh * ow * oh - factor * ow * f64::from(u8::from(yl_active))) * inv_area,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::{Die, GcellGrid};
+
+    fn grid4() -> GcellGrid {
+        GcellGrid::cover(Die { width: 4.0, height: 4.0 }, 1.0)
+    }
+
+    #[test]
+    fn bbox_of_points() {
+        let b = Bbox::of_points(vec![(1.0, 2.0), (3.0, 0.5)]).expect("non-empty");
+        assert_eq!(b, Bbox { xl: 1.0, yl: 0.5, xh: 3.0, yh: 2.0 });
+        assert!(Bbox::of_points(std::iter::empty()).is_none());
+    }
+
+    #[test]
+    fn rudy_total_equals_wirelength_identity() {
+        // Integrating RUDY over all tiles gives (1/w + 1/h) * bbox_area / tile_area
+        // = (w + h) * wl-per-area identity.
+        let g = grid4();
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 3.0 };
+        accumulate_rudy(&mut m, &g, &b, 1.0);
+        let expect = (1.0 / 2.0 + 1.0 / 3.0) * (2.0 * 3.0) / 1.0;
+        assert!((m.sum() as f64 - expect).abs() < 1e-5, "sum {} vs {}", m.sum(), expect);
+    }
+
+    #[test]
+    fn rudy_is_uniform_inside_bbox() {
+        let g = grid4();
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 2.0 };
+        accumulate_rudy(&mut m, &g, &b, 1.0);
+        assert!((m.get(0, 0) - m.get(1, 1)).abs() < 1e-6);
+        assert_eq!(m.get(3, 3), 0.0);
+    }
+
+    #[test]
+    fn degenerate_net_still_contributes() {
+        let g = grid4();
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        let b = Bbox { xl: 1.5, yl: 1.5, xh: 1.5, yh: 1.5 };
+        accumulate_rudy(&mut m, &g, &b, 1.0);
+        assert!(m.sum() > 0.0);
+    }
+
+    #[test]
+    fn pin_rudy_lands_in_pin_tile() {
+        let g = grid4();
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 2.0 };
+        accumulate_pin_rudy(&mut m, &g, (2.5, 0.5), &b, 1.0);
+        assert!(m.get(2, 0) > 0.0);
+        assert_eq!(m.sum(), m.get(2, 0));
+    }
+
+    /// Finite-difference check of the analytic edge gradient.
+    #[test]
+    fn edge_grad_matches_finite_difference() {
+        let g = grid4();
+        let tile = g.bounds(1, 1);
+        let min_size = 0.5;
+        let base = Bbox { xl: 0.3, yl: 0.4, xh: 2.7, yh: 3.1 };
+        let value = |b: &Bbox| -> f64 {
+            let ow = (b.xh.min(tile.2) - b.xl.max(tile.0)).max(0.0);
+            let oh = (b.yh.min(tile.3) - b.yl.max(tile.1)).max(0.0);
+            b.rudy_factor(min_size) * ow * oh / g.cell_area()
+        };
+        let grad = rudy_edge_grad(&base, tile, g.cell_area(), min_size);
+        let eps = 1e-5;
+        let num = |f: &dyn Fn(f64) -> Bbox| (value(&f(eps)) - value(&f(-eps))) / (2.0 * eps);
+        let d_xh = num(&|e| Bbox { xh: base.xh + e, ..base });
+        let d_xl = num(&|e| Bbox { xl: base.xl + e, ..base });
+        let d_yh = num(&|e| Bbox { yh: base.yh + e, ..base });
+        let d_yl = num(&|e| Bbox { yl: base.yl + e, ..base });
+        assert!((grad.d_xh - d_xh).abs() < 1e-5, "d_xh {} vs {}", grad.d_xh, d_xh);
+        assert!((grad.d_xl - d_xl).abs() < 1e-5, "d_xl {} vs {}", grad.d_xl, d_xl);
+        assert!((grad.d_yh - d_yh).abs() < 1e-5, "d_yh {} vs {}", grad.d_yh, d_yh);
+        assert!((grad.d_yl - d_yl).abs() < 1e-5, "d_yl {} vs {}", grad.d_yl, d_yl);
+    }
+
+    #[test]
+    fn edge_grad_zero_outside_tile() {
+        let g = grid4();
+        let tile = g.bounds(3, 3);
+        let b = Bbox { xl: 0.0, yl: 0.0, xh: 1.0, yh: 1.0 };
+        assert_eq!(rudy_edge_grad(&b, tile, g.cell_area(), 0.5), RudyEdgeGrad::default());
+    }
+}

@@ -1,0 +1,46 @@
+//! Flow orchestration for the DCO-3D reproduction.
+//!
+//! This crate assembles the substrates (placement, routing, timing, power,
+//! the trained congestion predictor, and the DCO optimizer) into the four
+//! flows compared in the paper's Table III:
+//!
+//! - [`FlowKind::Pin3d`] — the Pin-3D baseline,
+//! - [`FlowKind::Pin3dCong`] — congestion-driven placement at max effort,
+//! - [`FlowKind::Pin3dBo`] — Bayesian optimization of the Table-I knobs
+//!   ([`bayesian_minimize`], a Gaussian process with expected improvement),
+//! - [`FlowKind::Dco3d`] — the proposed flow: predictor training
+//!   ([`train_predictor`]) + differentiable 3D cell spreading.
+//!
+//! All flows share the same seed and are scored by the same router, STA and
+//! power engines, so differences are attributable to the optimization.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use dco_flow::{FlowConfig, FlowKind, FlowRunner, train_predictor};
+//! use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+//!
+//! # fn main() -> Result<(), dco_netlist::NetlistError> {
+//! let design = GeneratorConfig::for_profile(DesignProfile::Ldpc).with_scale(0.05).generate(1)?;
+//! let cfg = FlowConfig::default();
+//! let predictor = train_predictor(&design, &cfg, 1);
+//! let runner = FlowRunner::new(&design, cfg);
+//! let baseline = runner.run(FlowKind::Pin3d, 1, None);
+//! let ours = runner.run(FlowKind::Dco3d, 1, Some(&predictor));
+//! println!("overflow {} -> {}", baseline.placement_stage.overflow, ours.placement_stage.overflow);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bo;
+mod dataset;
+mod flow;
+mod report;
+
+pub use bo::{bayesian_minimize, BoConfig};
+pub use dataset::build_dataset;
+pub use flow::{
+    train_predictor, FlowConfig, FlowKind, FlowOutcome, FlowRunner, Predictor, SignoffMetrics,
+    StageMetrics,
+};
+pub use report::{format_design_block, to_csv};

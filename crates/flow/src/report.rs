@@ -1,0 +1,141 @@
+//! Table-III-style report formatting.
+
+use crate::{FlowKind, FlowOutcome};
+use dco_netlist::Design;
+
+/// Render one design's block of Table III (four flow rows).
+///
+/// Percentages vs. the Pin-3D baseline are appended to the DCO-3D row,
+/// matching the paper's presentation.
+pub fn format_design_block(design: &Design, outcomes: &[FlowOutcome]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{} (#cells: {}, #nets: {}, #IO: {})\n",
+        design.name,
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        design.netlist.num_ios()
+    ));
+    out.push_str(&format!(
+        "{:<16} {:>10} {:>12} {:>9} {:>9} {:>15} {:>15} {:>12} {:>14} {:>9}\n",
+        "flow", "overflow", "ovf gcell%", "H ovf", "V ovf", "setup wns (ps)", "setup tns (ps)", "power (mW)", "WL (um)", "ECO cells"
+    ));
+    let base = outcomes.iter().find(|o| o.kind == FlowKind::Pin3d);
+    for o in outcomes {
+        let pct = |ours: f64, theirs: f64| -> String {
+            if theirs.abs() < 1e-12 {
+                String::new()
+            } else {
+                format!(" ({:+.2}%)", 100.0 * (ours - theirs) / theirs.abs())
+            }
+        };
+        let (ovf_note, tns_note, pow_note) = match (o.kind, base) {
+            (FlowKind::Dco3d, Some(b)) => (
+                pct(o.placement_stage.overflow, b.placement_stage.overflow),
+                pct(o.signoff.tns_ps.abs(), b.signoff.tns_ps.abs()),
+                pct(o.signoff.total_power_mw, b.signoff.total_power_mw),
+            ),
+            _ => (String::new(), String::new(), String::new()),
+        };
+        out.push_str(&format!(
+            "{:<16} {:>10.0}{} {:>12.2} {:>9.0} {:>9.0} {:>15.2} {:>15.0}{} {:>12.2}{} {:>14.2} {:>9}\n",
+            o.kind.label(),
+            o.placement_stage.overflow,
+            ovf_note,
+            o.placement_stage.ovf_gcell_pct,
+            o.placement_stage.h_overflow,
+            o.placement_stage.v_overflow,
+            o.signoff.wns_ps,
+            o.signoff.tns_ps,
+            tns_note,
+            o.signoff.total_power_mw,
+            pow_note,
+            o.signoff.wirelength_um,
+            o.signoff.eco_cells,
+        ));
+    }
+    out
+}
+
+/// CSV row set for machine-readable output.
+pub fn to_csv(design: &Design, outcomes: &[FlowOutcome]) -> String {
+    let mut out = String::from(
+        "design,flow,overflow,ovf_gcell_pct,h_ovf,v_ovf,wns_ps,tns_ps,power_mw,wl_um,cut,eco_cells\n",
+    );
+    for o in outcomes {
+        out.push_str(&format!(
+            "{},{},{:.1},{:.3},{:.1},{:.1},{:.2},{:.1},{:.3},{:.1},{},{}\n",
+            design.name,
+            o.kind.label(),
+            o.placement_stage.overflow,
+            o.placement_stage.ovf_gcell_pct,
+            o.placement_stage.h_overflow,
+            o.placement_stage.v_overflow,
+            o.signoff.wns_ps,
+            o.signoff.tns_ps,
+            o.signoff.total_power_mw,
+            o.signoff.wirelength_um,
+            o.cut_size,
+            o.signoff.eco_cells,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SignoffMetrics, StageMetrics};
+    use dco_features::GridMap;
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+    use dco_netlist::Placement3;
+
+    fn fake_outcome(kind: FlowKind, ovf: f64) -> FlowOutcome {
+        FlowOutcome {
+            kind,
+            placement_stage: StageMetrics {
+                overflow: ovf,
+                ovf_gcell_pct: 10.0,
+                h_overflow: ovf / 2.0,
+                v_overflow: ovf / 2.0,
+            },
+            signoff: SignoffMetrics {
+                wns_ps: -20.0,
+                tns_ps: -1000.0,
+                total_power_mw: 11.0,
+                wirelength_um: 25000.0,
+                eco_cells: 17,
+            },
+            cut_size: 42,
+            placement: Placement3::zeroed(1),
+            congestion: [GridMap::zeros(2, 2), GridMap::zeros(2, 2)],
+        }
+    }
+
+    #[test]
+    fn block_contains_all_rows_and_relative_pct() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(1)
+            .expect("gen");
+        let outcomes =
+            vec![fake_outcome(FlowKind::Pin3d, 1000.0), fake_outcome(FlowKind::Dco3d, 600.0)];
+        let block = format_design_block(&d, &outcomes);
+        assert!(block.contains("Pin3D"));
+        assert!(block.contains("DCO-3D (ours)"));
+        assert!(block.contains("(-40.00%)"), "relative overflow missing:\n{block}");
+    }
+
+    #[test]
+    fn csv_has_one_line_per_flow_plus_header() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(1)
+            .expect("gen");
+        let outcomes =
+            vec![fake_outcome(FlowKind::Pin3d, 1000.0), fake_outcome(FlowKind::Pin3dBo, 800.0)];
+        let csv = to_csv(&d, &outcomes);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("design,flow"));
+    }
+}

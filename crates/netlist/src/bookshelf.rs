@@ -1,0 +1,272 @@
+//! Bookshelf-format interchange (.nodes / .nets / .pl).
+//!
+//! Bookshelf is the lingua franca of academic placement research
+//! (ISPD/DAC contests, NTUplace, ePlace, DREAMPlace). Exporting lets
+//! downstream users feed our synthetic benchmarks and optimized placements
+//! into other tools; importing lets them bring external designs into this
+//! flow. The `.pl` dialect is extended with a `DIE_TOP` attribute to carry
+//! the 3D tier assignment.
+
+use crate::{
+    Cell, CellClass, CellId, Netlist, NetlistBuilder, NetlistError, Placement3, PinDirection, Tier,
+};
+use std::fmt::Write as _;
+
+/// Render the `.nodes` file: one line per cell with its dimensions;
+/// macros and IOs are marked `terminal` (fixed).
+pub fn to_nodes(netlist: &Netlist) -> String {
+    let mut out = String::from("UCLA nodes 1.0\n");
+    let terminals = netlist.cells().filter(|c| !c.movable()).count();
+    let _ = writeln!(out, "NumNodes : {}", netlist.num_cells());
+    let _ = writeln!(out, "NumTerminals : {terminals}");
+    for cell in netlist.cells() {
+        let terminal = if cell.movable() { "" } else { " terminal" };
+        let _ = writeln!(out, "\t{} {:.4} {:.4}{}", cell.name, cell.width, cell.height, terminal);
+    }
+    out
+}
+
+/// Render the `.nets` file: net connectivity with pin offsets relative to
+/// cell centers (Bookshelf convention).
+pub fn to_nets(netlist: &Netlist) -> String {
+    let mut out = String::from("UCLA nets 1.0\n");
+    let _ = writeln!(out, "NumNets : {}", netlist.num_nets());
+    let _ = writeln!(out, "NumPins : {}", netlist.num_pins());
+    for net_id in netlist.net_ids() {
+        let net = netlist.net(net_id);
+        let _ = writeln!(out, "NetDegree : {} {}", net.degree(), net.name);
+        for &pid in &net.pins {
+            let pin = netlist.pin(pid);
+            let cell = netlist.cell(pin.cell);
+            let io = match pin.direction {
+                PinDirection::Output => "O",
+                PinDirection::Input => "I",
+            };
+            // offsets relative to the cell center
+            let dx = pin.offset.0 - cell.width / 2.0;
+            let dy = pin.offset.1 - cell.height / 2.0;
+            let _ = writeln!(out, "\t{} {io} : {dx:.4} {dy:.4}", cell.name);
+        }
+    }
+    out
+}
+
+/// Render the `.pl` file with the 3D extension: a trailing `DIE_TOP`
+/// attribute marks top-die cells (absent = bottom die).
+pub fn to_pl(netlist: &Netlist, placement: &Placement3) -> String {
+    let mut out = String::from("UCLA pl 1.0\n");
+    for id in netlist.cell_ids() {
+        let cell = netlist.cell(id);
+        let fixed = if cell.movable() { "" } else { " /FIXED" };
+        let die = if placement.tier(id) == Tier::Top { " DIE_TOP" } else { "" };
+        let _ = writeln!(
+            out,
+            "{} {:.4} {:.4} : N{}{}",
+            cell.name,
+            placement.x(id),
+            placement.y(id),
+            fixed,
+            die
+        );
+    }
+    out
+}
+
+/// Parse `.nodes` + `.nets` into a [`Netlist`].
+///
+/// Cells not mentioned in any net are kept (they still occupy area).
+/// Electrical attributes are filled with nominal values (Bookshelf does not
+/// carry them).
+///
+/// # Errors
+/// Returns [`NetlistError::InvalidConfig`] on malformed input and the usual
+/// construction errors for inconsistent connectivity.
+pub fn from_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, NetlistError> {
+    let mut b = NetlistBuilder::new("bookshelf");
+    let mut index = std::collections::HashMap::new();
+    for line in nodes.lines().map(str::trim) {
+        if line.is_empty()
+            || line.starts_with('#')
+            || line.starts_with("UCLA")
+            || line.starts_with("NumNodes")
+            || line.starts_with("NumTerminals")
+        {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| NetlistError::InvalidConfig("missing node name".into()))?;
+        let width: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad width for node {name}")))?;
+        let height: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad height for node {name}")))?;
+        let terminal = parts.next() == Some("terminal");
+        let class = if terminal { CellClass::Macro } else { CellClass::Combinational };
+        let id = b.add_cell(Cell {
+            name: name.to_string(),
+            class,
+            width,
+            height,
+            drive_res: 5.0,
+            input_cap: 0.5,
+            leakage: 1.0,
+            internal_energy: 0.25,
+            intrinsic_delay: 4.0,
+        });
+        index.insert(name.to_string(), id);
+    }
+
+    let mut current: Option<(String, Vec<(CellId, PinDirection)>)> = None;
+    let flush = |b: &mut NetlistBuilder,
+                     cur: &mut Option<(String, Vec<(CellId, PinDirection)>)>|
+     -> Result<(), NetlistError> {
+        if let Some((name, conns)) = cur.take() {
+            if conns.len() < 2 {
+                return Err(NetlistError::InvalidConfig(format!("net {name} has < 2 pins")));
+            }
+            b.add_net(name, &conns);
+        }
+        Ok(())
+    };
+    for line in nets.lines().map(str::trim) {
+        if line.is_empty()
+            || line.starts_with('#')
+            || line.starts_with("UCLA")
+            || line.starts_with("NumNets")
+            || line.starts_with("NumPins")
+        {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("NetDegree") {
+            flush(&mut b, &mut current)?;
+            let name = rest
+                .split_whitespace()
+                .nth(2)
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("n{}", b.num_nets()));
+            current = Some((name, Vec::new()));
+        } else if let Some((_, conns)) = current.as_mut() {
+            let mut parts = line.split_whitespace();
+            let cell_name = parts
+                .next()
+                .ok_or_else(|| NetlistError::InvalidConfig("missing pin cell".into()))?;
+            let dir = match parts.next() {
+                Some("O") => PinDirection::Output,
+                _ => PinDirection::Input,
+            };
+            let id = *index
+                .get(cell_name)
+                .ok_or_else(|| NetlistError::InvalidConfig(format!("unknown cell {cell_name}")))?;
+            conns.push((id, dir));
+        }
+    }
+    flush(&mut b, &mut current)?;
+    b.finish()
+}
+
+/// Parse a `.pl` file against an existing netlist (cells matched by name).
+///
+/// # Errors
+/// Returns [`NetlistError::InvalidConfig`] for unknown cells or malformed
+/// lines.
+pub fn pl_into_placement(netlist: &Netlist, pl: &str) -> Result<Placement3, NetlistError> {
+    let mut index = std::collections::HashMap::new();
+    for id in netlist.cell_ids() {
+        index.insert(netlist.cell(id).name.clone(), id);
+    }
+    let mut placement = Placement3::zeroed(netlist.num_cells());
+    for line in pl.lines().map(str::trim) {
+        if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| NetlistError::InvalidConfig("missing cell name".into()))?;
+        let x: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad x for {name}")))?;
+        let y: f64 = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad y for {name}")))?;
+        let id = *index
+            .get(name)
+            .ok_or_else(|| NetlistError::InvalidConfig(format!("unknown cell {name}")))?;
+        placement.set_xy(id, x, y);
+        let tier = if line.contains("DIE_TOP") { Tier::Top } else { Tier::Bottom };
+        placement.set_tier(id, tier);
+    }
+    Ok(placement)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{DesignProfile, GeneratorConfig};
+
+    #[test]
+    fn export_import_round_trips_structure() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(5)
+            .expect("gen");
+        let nodes = to_nodes(&d.netlist);
+        let nets = to_nets(&d.netlist);
+        let back = from_bookshelf(&nodes, &nets).expect("parse");
+        assert_eq!(back.num_cells(), d.netlist.num_cells());
+        assert_eq!(back.num_nets(), d.netlist.num_nets());
+        assert_eq!(back.num_pins(), d.netlist.num_pins());
+        // cell dimensions survive
+        for (a, b) in d.netlist.cells().zip(back.cells()) {
+            assert_eq!(a.name, b.name);
+            assert!((a.width - b.width).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn pl_round_trips_positions_and_tiers() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(6)
+            .expect("gen");
+        let pl = to_pl(&d.netlist, &d.placement);
+        let back = pl_into_placement(&d.netlist, &pl).expect("parse");
+        for id in d.netlist.cell_ids() {
+            assert!((back.x(id) - d.placement.x(id)).abs() < 1e-3);
+            assert!((back.y(id) - d.placement.y(id)).abs() < 1e-3);
+            assert_eq!(back.tier(id), d.placement.tier(id));
+        }
+    }
+
+    #[test]
+    fn headers_match_bookshelf_dialect() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(7)
+            .expect("gen");
+        let nodes = to_nodes(&d.netlist);
+        assert!(nodes.starts_with("UCLA nodes 1.0"));
+        assert!(nodes.contains("NumNodes :"));
+        assert!(nodes.contains("terminal"));
+        let nets = to_nets(&d.netlist);
+        assert!(nets.starts_with("UCLA nets 1.0"));
+        assert!(nets.contains("NetDegree :"));
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_bookshelf("UCLA nodes 1.0\n\tbad", "UCLA nets 1.0").is_err());
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(8)
+            .expect("gen");
+        assert!(pl_into_placement(&d.netlist, "ghost 1.0 2.0 : N").is_err());
+    }
+}

@@ -1,0 +1,150 @@
+use crate::{Cell, CellClass, CellId, Net, NetId, Netlist, NetlistError, Pin, PinDirection, PinId};
+
+/// Incremental construction of a [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use dco_netlist::{NetlistBuilder, CellClass, PinDirection};
+///
+/// # fn main() -> Result<(), dco_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("demo");
+/// let u0 = b.add_cell_simple("u0", CellClass::Combinational);
+/// let u1 = b.add_cell_simple("u1", CellClass::Sequential);
+/// b.add_net("w", &[(u0, PinDirection::Output), (u1, PinDirection::Input)]);
+/// let netlist = b.finish()?;
+/// assert_eq!(netlist.num_nets(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    pins: Vec<Pin>,
+}
+
+impl NetlistBuilder {
+    /// Start building a netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self { name: name.into(), cells: Vec::new(), nets: Vec::new(), pins: Vec::new() }
+    }
+
+    /// Add a fully-specified cell; returns its id.
+    pub fn add_cell(&mut self, cell: Cell) -> CellId {
+        let id = CellId(self.cells.len() as u32);
+        self.cells.push(cell);
+        id
+    }
+
+    /// Add a cell with default-sized geometry and nominal electrical
+    /// attributes for its class. Convenient in tests.
+    pub fn add_cell_simple(&mut self, name: impl Into<String>, class: CellClass) -> CellId {
+        let (width, height) = match class {
+            CellClass::Combinational => (0.090, 0.21),
+            CellClass::Sequential => (0.180, 0.21),
+            CellClass::Macro => (8.0, 8.0),
+            CellClass::Io => (0.5, 0.5),
+        };
+        self.add_cell(Cell {
+            name: name.into(),
+            class,
+            width,
+            height,
+            drive_res: 5.0,
+            input_cap: 0.5,
+            leakage: if class == CellClass::Macro { 50.0 } else { 1.2 },
+            internal_energy: 0.25,
+            intrinsic_delay: 4.0,
+        })
+    }
+
+    /// Add a net connecting pins at the centers of the given cells.
+    ///
+    /// Each `(cell, direction)` entry creates a new pin. Returns the net id.
+    pub fn add_net(
+        &mut self,
+        name: impl Into<String>,
+        conns: &[(CellId, PinDirection)],
+    ) -> NetId {
+        self.add_weighted_net(name, conns, 1.0, false)
+    }
+
+    /// Add a net with explicit weight and clock flag.
+    pub fn add_weighted_net(
+        &mut self,
+        name: impl Into<String>,
+        conns: &[(CellId, PinDirection)],
+        weight: f64,
+        is_clock: bool,
+    ) -> NetId {
+        let net_id = NetId(self.nets.len() as u32);
+        let mut pin_ids = Vec::with_capacity(conns.len());
+        for &(cell, direction) in conns {
+            let pin_id = PinId(self.pins.len() as u32);
+            let offset = self
+                .cells
+                .get(cell.index())
+                .map(|c| (c.width / 2.0, c.height / 2.0))
+                .unwrap_or((0.0, 0.0));
+            self.pins.push(Pin { cell, net: net_id, offset, direction });
+            pin_ids.push(pin_id);
+        }
+        self.nets.push(Net { name: name.into(), pins: pin_ids, weight, is_clock });
+        net_id
+    }
+
+    /// Number of cells added so far.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of nets added so far.
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Validate and freeze the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] if any pin references an unknown cell/net or
+    /// any net has fewer than two pins.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        Netlist::from_parts(self.name, self.cells, self.nets, self.pins)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_net_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        b.add_net("lonely", &[(a, PinDirection::Output)]);
+        assert_eq!(b.finish().unwrap_err(), NetlistError::DegenerateNet(0));
+    }
+
+    #[test]
+    fn unknown_cell_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        b.add_net("w", &[(a, PinDirection::Output), (CellId(99), PinDirection::Input)]);
+        assert_eq!(b.finish().unwrap_err(), NetlistError::UnknownCell(99));
+    }
+
+    #[test]
+    fn pin_offsets_are_cell_centers() {
+        let mut b = NetlistBuilder::new("ok");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        let c = b.add_cell_simple("c", CellClass::Combinational);
+        b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let n = b.finish().expect("valid");
+        let p = n.pin(PinId(0));
+        assert!((p.offset.0 - 0.045).abs() < 1e-12);
+        assert!((p.offset.1 - 0.105).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a cell in a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    /// The cell's position in the netlist's cell vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for CellId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Functional class of a cell; determines how flows treat it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CellClass {
+    /// Combinational standard cell (gates, muxes, ...).
+    Combinational,
+    /// Sequential element (flip-flop/latch); a timing start/end point.
+    Sequential,
+    /// Hard macro (SRAM, ...); fixed during spreading, blocks routing.
+    Macro,
+    /// IO pad at the die boundary; position is fixed.
+    Io,
+}
+
+impl CellClass {
+    /// Whether this cell may be moved by placement/spreading.
+    pub fn movable(self) -> bool {
+        matches!(self, Self::Combinational | Self::Sequential)
+    }
+}
+
+/// A standard cell, macro, or IO pad.
+///
+/// Geometry is in microns. The power/timing attributes correspond to the
+/// handcrafted GNN node features in Table II of the paper.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Instance name.
+    pub name: String,
+    /// Functional class.
+    pub class: CellClass,
+    /// Width in microns.
+    pub width: f64,
+    /// Height in microns.
+    pub height: f64,
+    /// Drive resistance in kohm (smaller = stronger driver).
+    pub drive_res: f64,
+    /// Input pin capacitance in fF.
+    pub input_cap: f64,
+    /// Leakage power in nW.
+    pub leakage: f64,
+    /// Internal (short-circuit) energy per toggle, in fJ.
+    pub internal_energy: f64,
+    /// Intrinsic gate delay in ps.
+    pub intrinsic_delay: f64,
+}
+
+impl Cell {
+    /// Footprint area in square microns.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Whether the cell is movable by placement and cell spreading.
+    #[inline]
+    pub fn movable(&self) -> bool {
+        self.class.movable()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_area_and_mobility() {
+        let c = Cell {
+            name: "u1".into(),
+            class: CellClass::Combinational,
+            width: 0.09,
+            height: 0.21,
+            drive_res: 5.0,
+            input_cap: 0.5,
+            leakage: 1.0,
+            internal_energy: 0.2,
+            intrinsic_delay: 4.0,
+        };
+        assert!((c.area() - 0.0189).abs() < 1e-12);
+        assert!(c.movable());
+        assert!(!CellClass::Macro.movable());
+        assert!(!CellClass::Io.movable());
+    }
+
+    #[test]
+    fn cell_id_display_and_index() {
+        assert_eq!(CellId(7).to_string(), "c7");
+        assert_eq!(CellId(7).index(), 7);
+    }
+}

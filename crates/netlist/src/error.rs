@@ -1,0 +1,38 @@
+use std::fmt;
+
+/// Errors produced while constructing or validating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A pin referenced a cell id that does not exist.
+    UnknownCell(u32),
+    /// A pin referenced a net id that does not exist.
+    UnknownNet(u32),
+    /// A net has fewer than two pins and cannot be routed.
+    DegenerateNet(u32),
+    /// Generator configuration is invalid (e.g. zero cells requested).
+    InvalidConfig(String),
+    /// Placement vector lengths disagree with the netlist cell count.
+    PlacementSizeMismatch {
+        /// Number of cells in the netlist.
+        cells: usize,
+        /// Length of the offending placement vector.
+        got: usize,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownCell(id) => write!(f, "unknown cell id {id}"),
+            Self::UnknownNet(id) => write!(f, "unknown net id {id}"),
+            Self::DegenerateNet(id) => write!(f, "net {id} has fewer than two pins"),
+            Self::InvalidConfig(msg) => write!(f, "invalid generator configuration: {msg}"),
+            Self::PlacementSizeMismatch { cells, got } => {
+                write!(f, "placement has {got} entries but netlist has {cells} cells")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,82 @@
+use crate::CellId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a net in a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net's position in the netlist's net vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for PinId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Index of a pin in a [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PinId(pub u32);
+
+impl PinId {
+    /// The pin's position in the netlist's pin vector.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Signal direction of a pin, from the perspective of its cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PinDirection {
+    /// The pin drives the net (cell output / IO input pad).
+    Output,
+    /// The pin is driven by the net (cell input / IO output pad).
+    Input,
+}
+
+/// A pin: the attachment point of a cell to a net.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Pin {
+    /// Owning cell.
+    pub cell: CellId,
+    /// Net this pin belongs to.
+    pub net: NetId,
+    /// Offset of the pin from the cell origin, in microns.
+    pub offset: (f64, f64),
+    /// Direction.
+    pub direction: PinDirection,
+}
+
+/// A (hyper)net connecting two or more pins.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Net {
+    /// Net name.
+    pub name: String,
+    /// Pins on this net; by convention the first `Output` pin is the driver.
+    pub pins: Vec<PinId>,
+    /// Net weight used by placement and routing (criticality).
+    pub weight: f64,
+    /// Whether this is a clock net (excluded from signal routing demand).
+    pub is_clock: bool,
+}
+
+impl Net {
+    /// Number of pins on the net.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.pins.len()
+    }
+}

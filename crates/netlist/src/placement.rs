@@ -1,0 +1,224 @@
+use crate::{CellId, Netlist, NetlistError, PinId};
+use serde::{Deserialize, Serialize};
+
+/// Which die of the F2F stack a cell sits on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tier {
+    /// The bottom die (z = 0 in the paper's probabilistic encoding).
+    Bottom,
+    /// The top die (z = 1).
+    Top,
+}
+
+impl Tier {
+    /// The other tier.
+    #[inline]
+    pub fn flipped(self) -> Self {
+        match self {
+            Self::Bottom => Self::Top,
+            Self::Top => Self::Bottom,
+        }
+    }
+
+    /// Probabilistic encoding used by DCO-3D: top = 1.0, bottom = 0.0.
+    #[inline]
+    pub fn as_z(self) -> f64 {
+        match self {
+            Self::Bottom => 0.0,
+            Self::Top => 1.0,
+        }
+    }
+
+    /// Hard assignment from a probabilistic z (z >= 0.5 means top).
+    #[inline]
+    pub fn from_z(z: f64) -> Self {
+        if z >= 0.5 {
+            Self::Top
+        } else {
+            Self::Bottom
+        }
+    }
+}
+
+/// A hard 3D placement: (x, y) in microns plus a tier per cell.
+///
+/// Coordinates refer to the cell origin (lower-left corner).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement3 {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    tier: Vec<Tier>,
+}
+
+impl Placement3 {
+    /// All cells at the origin on the bottom tier.
+    pub fn zeroed(num_cells: usize) -> Self {
+        Self {
+            x: vec![0.0; num_cells],
+            y: vec![0.0; num_cells],
+            tier: vec![Tier::Bottom; num_cells],
+        }
+    }
+
+    /// Build from explicit coordinate/tier vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::PlacementSizeMismatch`] if vector lengths
+    /// differ.
+    pub fn from_vecs(x: Vec<f64>, y: Vec<f64>, tier: Vec<Tier>) -> Result<Self, NetlistError> {
+        if x.len() != y.len() || x.len() != tier.len() {
+            return Err(NetlistError::PlacementSizeMismatch { cells: x.len(), got: tier.len() });
+        }
+        Ok(Self { x, y, tier })
+    }
+
+    /// Number of placed cells.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the placement is empty.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// X coordinate of `cell`'s origin.
+    #[inline]
+    pub fn x(&self, cell: CellId) -> f64 {
+        self.x[cell.index()]
+    }
+
+    /// Y coordinate of `cell`'s origin.
+    #[inline]
+    pub fn y(&self, cell: CellId) -> f64 {
+        self.y[cell.index()]
+    }
+
+    /// Tier of `cell`.
+    #[inline]
+    pub fn tier(&self, cell: CellId) -> Tier {
+        self.tier[cell.index()]
+    }
+
+    /// Set the (x, y) location of `cell`.
+    #[inline]
+    pub fn set_xy(&mut self, cell: CellId, x: f64, y: f64) {
+        self.x[cell.index()] = x;
+        self.y[cell.index()] = y;
+    }
+
+    /// Set the tier of `cell`.
+    #[inline]
+    pub fn set_tier(&mut self, cell: CellId, tier: Tier) {
+        self.tier[cell.index()] = tier;
+    }
+
+    /// Raw x vector (indexed by cell id).
+    pub fn xs(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Raw y vector (indexed by cell id).
+    pub fn ys(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// Raw tier vector (indexed by cell id).
+    pub fn tiers(&self) -> &[Tier] {
+        &self.tier
+    }
+
+    /// Absolute location of a pin: cell origin + pin offset.
+    pub fn pin_location(&self, netlist: &Netlist, pin: PinId) -> (f64, f64, Tier) {
+        let p = netlist.pin(pin);
+        let c = p.cell;
+        (self.x(c) + p.offset.0, self.y(c) + p.offset.1, self.tier(c))
+    }
+
+    /// Half-perimeter wirelength of `net` in the (x, y) plane.
+    ///
+    /// Pins on different tiers still contribute to the same bounding box;
+    /// inter-die hops are charged separately by the router/timer.
+    pub fn net_hpwl(&self, netlist: &Netlist, net: crate::NetId) -> f64 {
+        let pins = &netlist.net(net).pins;
+        if pins.len() < 2 {
+            return 0.0;
+        }
+        let (mut xl, mut yl) = (f64::INFINITY, f64::INFINITY);
+        let (mut xh, mut yh) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for &p in pins {
+            let (px, py, _) = self.pin_location(netlist, p);
+            xl = xl.min(px);
+            xh = xh.max(px);
+            yl = yl.min(py);
+            yh = yh.max(py);
+        }
+        (xh - xl) + (yh - yl)
+    }
+
+    /// Total half-perimeter wirelength over all signal nets.
+    pub fn total_hpwl(&self, netlist: &Netlist) -> f64 {
+        netlist
+            .net_ids()
+            .filter(|&n| !netlist.net(n).is_clock)
+            .map(|n| self.net_hpwl(netlist, n))
+            .sum()
+    }
+
+    /// Number of nets whose pins span both tiers (the cut size).
+    pub fn cut_size(&self, netlist: &Netlist) -> usize {
+        netlist
+            .net_ids()
+            .filter(|&n| {
+                let mut top = false;
+                let mut bot = false;
+                for &p in &netlist.net(n).pins {
+                    match self.tier(netlist.pin(p).cell) {
+                        Tier::Top => top = true,
+                        Tier::Bottom => bot = true,
+                    }
+                }
+                top && bot
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CellClass, NetlistBuilder, PinDirection};
+
+    #[test]
+    fn tier_round_trips_through_z() {
+        assert_eq!(Tier::from_z(0.7), Tier::Top);
+        assert_eq!(Tier::from_z(0.3), Tier::Bottom);
+        assert_eq!(Tier::from_z(Tier::Top.as_z()), Tier::Top);
+        assert_eq!(Tier::Top.flipped(), Tier::Bottom);
+    }
+
+    #[test]
+    fn hpwl_and_cut() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        let c = b.add_cell_simple("c", CellClass::Combinational);
+        b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let n = b.finish().expect("valid");
+
+        let mut p = Placement3::zeroed(2);
+        p.set_xy(CellId(0), 0.0, 0.0);
+        p.set_xy(CellId(1), 3.0, 4.0);
+        // pin offsets are identical (same cell template), so HPWL = |dx|+|dy|
+        assert!((p.net_hpwl(&n, crate::NetId(0)) - 7.0).abs() < 1e-9);
+        assert_eq!(p.cut_size(&n), 0);
+        p.set_tier(CellId(1), Tier::Top);
+        assert_eq!(p.cut_size(&n), 1);
+    }
+
+    #[test]
+    fn from_vecs_validates_lengths() {
+        let err = Placement3::from_vecs(vec![0.0], vec![0.0, 1.0], vec![Tier::Top]);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,75 @@
+use serde::{Deserialize, Serialize};
+
+/// Technology parameters for the simulated advanced node.
+///
+/// These numbers are a self-consistent stand-in for the commercial 3nm PDK
+/// used by the paper: they drive cell geometry, routing capacities, wire RC,
+/// and the power model. Absolute values are not calibrated to any foundry;
+/// only their ratios matter for reproducing the paper's comparisons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Technology {
+    /// Standard-cell row (site) height in microns.
+    pub site_height: f64,
+    /// Minimum site width in microns; cell widths are multiples of this.
+    pub site_width: f64,
+    /// Horizontal routing tracks per nominal GCell per die, aggregated
+    /// over all horizontal metal layers. Routers scale this by the actual
+    /// GCell size, so capacity per area is technology-constant.
+    pub h_tracks_per_gcell: u32,
+    /// Vertical routing tracks per nominal GCell per die (all V layers).
+    pub v_tracks_per_gcell: u32,
+    /// GCell edge length in microns (square GCells).
+    pub gcell_size: f64,
+    /// Wire resistance per micron, in ohm/um.
+    pub wire_res_per_um: f64,
+    /// Wire capacitance per micron, in fF/um.
+    pub wire_cap_per_um: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+    /// Default clock period in picoseconds.
+    pub clock_period_ps: f64,
+    /// Hybrid-bonding pitch in microns (F2F inter-die connections).
+    pub bond_pitch: f64,
+    /// Extra delay charged per inter-die crossing, in picoseconds.
+    pub bond_delay_ps: f64,
+}
+
+impl Technology {
+    /// A simulated 3nm-class node with 1 um F2F hybrid-bonding pitch,
+    /// matching the paper's experimental setup.
+    pub fn sim_3nm() -> Self {
+        Self {
+            site_height: 0.21,
+            site_width: 0.045,
+            h_tracks_per_gcell: 72,
+            v_tracks_per_gcell: 60,
+            gcell_size: 1.5,
+            wire_res_per_um: 40.0,
+            wire_cap_per_um: 0.18,
+            vdd: 0.65,
+            clock_period_ps: 1000.0,
+            bond_pitch: 1.0,
+            bond_delay_ps: 2.5,
+        }
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Self::sim_3nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_3nm_is_self_consistent() {
+        let t = Technology::sim_3nm();
+        assert!(t.site_height > 0.0 && t.site_width > 0.0);
+        assert!(t.gcell_size > t.site_height);
+        assert!(t.h_tracks_per_gcell > 0 && t.v_tracks_per_gcell > 0);
+        assert_eq!(t, Technology::default());
+    }
+}

@@ -1,0 +1,276 @@
+//! Tetris-style row legalization.
+//!
+//! After global placement, standard cells are snapped into non-overlapping
+//! positions on their tier's cell rows, minimizing displacement — the
+//! counterpart of ICC2's `legalize_placement` (whose displacement budget is
+//! the Table-I knob `legalize.displacement_threshold`).
+
+use dco_netlist::{Design, Placement3, Tier};
+
+/// Outcome statistics of a legalization run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LegalizeStats {
+    /// Cells moved.
+    pub moved: usize,
+    /// Total displacement in microns.
+    pub total_displacement: f64,
+    /// Maximum single-cell displacement in microns.
+    pub max_displacement: f64,
+    /// Cells whose displacement exceeded the threshold (still placed, but
+    /// reported, mirroring ICC2 warnings).
+    pub over_threshold: usize,
+}
+
+/// Legalize both tiers of `placement` in place.
+///
+/// `displacement_threshold` is in row heights (the Table-I knob). Cells are
+/// processed in x order per tier (classic Tetris); each is placed at the
+/// nearest feasible position in the best row within a search window around
+/// its global-placement row.
+pub fn legalize(design: &Design, placement: &mut Placement3, displacement_threshold: u8) -> LegalizeStats {
+    let mut stats = LegalizeStats::default();
+    rebalance_tiers(design, placement);
+    for tier in [Tier::Bottom, Tier::Top] {
+        legalize_tier(design, placement, tier, displacement_threshold, &mut stats);
+    }
+    stats
+}
+
+/// Safety prepass: if one tier's movable cells exceed its physical row
+/// capacity (e.g. after aggressive cross-tier spreading), flip the widest
+/// excess cells to the other tier until both fit with margin. Mirrors the
+/// tier-rebalancing ECO real pseudo-3D flows run before legalization.
+fn rebalance_tiers(design: &Design, placement: &mut Placement3) {
+    let netlist = &design.netlist;
+    let fp = &design.floorplan;
+    let row_capacity = fp.die.width * fp.num_rows() as f64;
+    let margin = 0.97;
+    let mut widths = [0.0f64; 2];
+    for id in netlist.cell_ids() {
+        let cell = netlist.cell(id);
+        if cell.movable() {
+            widths[usize::from(placement.tier(id) == Tier::Top)] += cell.width;
+        } else if cell.class == dco_netlist::CellClass::Macro {
+            // macros consume row capacity on their tier
+            let rows_spanned = (cell.height / fp.row_height).ceil();
+            widths[usize::from(placement.tier(id) == Tier::Top)] += cell.width * rows_spanned;
+        }
+    }
+    for t in 0..2 {
+        let cap = row_capacity * margin;
+        if widths[t] <= cap {
+            continue;
+        }
+        let from = if t == 1 { Tier::Top } else { Tier::Bottom };
+        // Flip widest cells first: fewest flips for the most area relief.
+        let mut candidates: Vec<_> = netlist
+            .cell_ids()
+            .filter(|&id| netlist.cell(id).movable() && placement.tier(id) == from)
+            .collect();
+        candidates.sort_by(|&a, &b| {
+            netlist.cell(b).width.total_cmp(&netlist.cell(a).width).then(a.0.cmp(&b.0))
+        });
+        let mut excess = widths[t] - cap;
+        for id in candidates {
+            if excess <= 0.0 {
+                break;
+            }
+            placement.set_tier(id, from.flipped());
+            excess -= netlist.cell(id).width;
+        }
+    }
+}
+
+fn legalize_tier(
+    design: &Design,
+    placement: &mut Placement3,
+    tier: Tier,
+    displacement_threshold: u8,
+    stats: &mut LegalizeStats,
+) {
+    let netlist = &design.netlist;
+    let fp = &design.floorplan;
+    let row_h = fp.row_height;
+    let n_rows = fp.num_rows();
+    let threshold = displacement_threshold as f64 * row_h;
+
+    // Free intervals per row; macros punch holes before packing starts.
+    let mut rows: Vec<FreeRow> = (0..n_rows).map(|_| FreeRow::new(fp.die.width)).collect();
+    for id in netlist.cell_ids() {
+        let cell = netlist.cell(id);
+        if cell.class == dco_netlist::CellClass::Macro && placement.tier(id) == tier {
+            let y0 = placement.y(id);
+            let y1 = y0 + cell.height;
+            let r0 = ((y0 / row_h).floor().max(0.0)) as usize;
+            let r1 = (((y1 / row_h).ceil()) as usize).min(n_rows);
+            for r in r0..r1 {
+                rows[r].block(placement.x(id), placement.x(id) + cell.width);
+            }
+        }
+    }
+
+    let mut cells: Vec<_> = netlist
+        .cell_ids()
+        .filter(|&id| netlist.cell(id).movable() && placement.tier(id) == tier)
+        .collect();
+    cells.sort_by(|&a, &b| placement.x(a).total_cmp(&placement.x(b)));
+
+    for id in cells {
+        let cell = netlist.cell(id);
+        let (gx, gy) = (placement.x(id), placement.y(id));
+        let want_row = ((gy / row_h) as isize).clamp(0, n_rows as isize - 1) as usize;
+        // Search rows outward from the target row for the cheapest slot.
+        let mut best: Option<(usize, f64, f64)> = None; // (row, x, cost)
+        'rows: for radius in 0..n_rows {
+            for row in candidate_rows(want_row, radius, n_rows) {
+                if let Some(x) = rows[row].best_position(gx, cell.width) {
+                    let dy = (row as f64 * row_h - gy).abs();
+                    let cost = (x - gx).abs() + dy;
+                    if best.map(|(_, _, bc)| cost < bc).unwrap_or(true) {
+                        best = Some((row, x, cost));
+                    }
+                }
+            }
+            // Rows further out cost at least radius * row_h vertically.
+            if let Some((_, _, bc)) = best {
+                if radius as f64 * row_h > bc {
+                    break 'rows;
+                }
+            }
+        }
+        let (row, x, cost) = best.expect("a row always has space in a <1.0 utilization die");
+        placement.set_xy(id, x, row as f64 * row_h);
+        rows[row].block(x, x + cell.width);
+        if cost > 1e-9 {
+            stats.moved += 1;
+            stats.total_displacement += cost;
+            stats.max_displacement = stats.max_displacement.max(cost);
+            if cost > threshold {
+                stats.over_threshold += 1;
+            }
+        }
+    }
+}
+
+/// Free-interval bookkeeping for one cell row.
+#[derive(Debug, Clone)]
+struct FreeRow {
+    /// Disjoint free segments, sorted by start.
+    free: Vec<(f64, f64)>,
+}
+
+impl FreeRow {
+    fn new(width: f64) -> Self {
+        Self { free: vec![(0.0, width)] }
+    }
+
+    /// Remove `[x0, x1)` from the free set.
+    fn block(&mut self, x0: f64, x1: f64) {
+        let mut out = Vec::with_capacity(self.free.len() + 1);
+        for &(s, e) in &self.free {
+            if x1 <= s || x0 >= e {
+                out.push((s, e));
+                continue;
+            }
+            if x0 > s {
+                out.push((s, x0));
+            }
+            if x1 < e {
+                out.push((x1, e));
+            }
+        }
+        self.free = out;
+    }
+
+    /// Best x for a cell of `width` minimizing |x - desired|, or None.
+    fn best_position(&self, desired: f64, width: f64) -> Option<f64> {
+        let mut best: Option<(f64, f64)> = None; // (x, |x - desired|)
+        for &(s, e) in &self.free {
+            if e - s + 1e-9 < width {
+                continue;
+            }
+            let x = desired.clamp(s, e - width);
+            let d = (x - desired).abs();
+            if best.map(|(_, bd)| d < bd).unwrap_or(true) {
+                best = Some((x, d));
+            }
+        }
+        best.map(|(x, _)| x)
+    }
+}
+
+/// Rows at exactly `radius` from `center` (both directions), within range.
+fn candidate_rows(center: usize, radius: usize, n_rows: usize) -> impl Iterator<Item = usize> {
+    let lo = center.checked_sub(radius);
+    let hi = if radius > 0 && center + radius < n_rows { Some(center + radius) } else { None };
+    lo.into_iter().chain(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GlobalPlacer, PlacementParams};
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+
+    fn placed_design() -> (dco_netlist::Design, Placement3) {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.03)
+            .generate(11)
+            .expect("gen");
+        let p = GlobalPlacer::new(&d).place(&PlacementParams::default(), 1);
+        (d, p)
+    }
+
+    #[test]
+    fn legalized_cells_sit_on_rows_without_overlap() {
+        let (d, mut p) = placed_design();
+        legalize(&d, &mut p, 5);
+        let row_h = d.floorplan.row_height;
+        for tier in [Tier::Bottom, Tier::Top] {
+            let mut cells: Vec<_> = d
+                .netlist
+                .cell_ids()
+                .filter(|&id| d.netlist.cell(id).movable() && p.tier(id) == tier)
+                .collect();
+            cells.sort_by(|&a, &b| {
+                (p.y(a), p.x(a)).partial_cmp(&(p.y(b), p.x(b))).expect("finite")
+            });
+            for w in cells.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                // on-row check
+                let ra = p.y(a) / row_h;
+                assert!((ra - ra.round()).abs() < 1e-6, "cell not on row: y={}", p.y(a));
+                // overlap check within the same row
+                if (p.y(a) - p.y(b)).abs() < 1e-9 {
+                    assert!(
+                        p.x(a) + d.netlist.cell(a).width <= p.x(b) + 1e-6,
+                        "overlap between {a:?} and {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn displacement_is_reported() {
+        let (d, mut p) = placed_design();
+        let stats = legalize(&d, &mut p, 0);
+        assert!(stats.moved > 0);
+        assert!(stats.total_displacement > 0.0);
+        assert!(stats.max_displacement >= stats.total_displacement / stats.moved as f64);
+        // threshold 0 rows: every moved cell is over threshold
+        assert_eq!(stats.over_threshold, stats.moved);
+    }
+
+    #[test]
+    fn legalization_is_idempotent() {
+        let (d, mut p) = placed_design();
+        legalize(&d, &mut p, 5);
+        let snapshot = p.clone();
+        let second = legalize(&d, &mut p, 5);
+        // Cells are already legal; Tetris re-packs deterministically from
+        // identical inputs, so nothing should move measurably.
+        assert_eq!(p, snapshot);
+        assert_eq!(second.moved, 0, "second pass moved {} cells", second.moved);
+    }
+}

@@ -1,0 +1,41 @@
+//! Analytical 3D global placement for the DCO-3D reproduction.
+//!
+//! This crate stands in for the ICC2 pseudo-3D placement stage of the
+//! Pin-3D flow:
+//!
+//! - [`PlacementParams`]: the Table-I placement-parameter space,
+//! - [`GlobalPlacer`]: force-directed wirelength + density (+ optional
+//!   congestion) global placement,
+//! - [`fm_bipartition`]: Fiduccia-Mattheyses min-cut tier assignment,
+//! - [`legalize`]: Tetris row legalization,
+//! - [`LayoutSampler`]: the dataset-construction loop of Sec. III-A.
+//!
+//! # Example
+//!
+//! ```
+//! use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+//! use dco_place::{legalize, GlobalPlacer, PlacementParams};
+//!
+//! # fn main() -> Result<(), dco_netlist::NetlistError> {
+//! let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.02).generate(1)?;
+//! let params = PlacementParams::congestion_focused();
+//! let mut placement = GlobalPlacer::new(&design).place(&params, 42);
+//! let stats = legalize(&design, &mut placement, params.displacement_threshold);
+//! assert!(stats.max_displacement >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod detailed;
+mod global;
+mod legalize;
+mod params;
+mod partition;
+mod sampler;
+
+pub use detailed::{detailed_place, DetailedStats};
+pub use global::GlobalPlacer;
+pub use legalize::{legalize, LegalizeStats};
+pub use params::{Effort, PlacementParams};
+pub use partition::{cut_size, fm_bipartition};
+pub use sampler::{LayoutSampler, SampledLayout};

@@ -1,0 +1,217 @@
+//! The placement-parameter space of Table I.
+//!
+//! The paper samples 16 ICC2 placement knobs to build its training dataset.
+//! Our placer exposes an analogous knob set; each knob maps to a concrete
+//! behaviour of [`crate::GlobalPlacer`] (documented per field). The Bayesian
+//! optimization baseline (Pin-3D + BO) searches this same space.
+
+use rand::Rng;
+
+/// Effort levels mirroring ICC2's enum knobs (`[0, 4]` in Table I).
+pub type Effort = u8;
+
+/// Placement parameters; the Table-I analog.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementParams {
+    /// `coarse.pin_density_aware`: include pin density in the spreading
+    /// force, not just cell area.
+    pub pin_density_aware: bool,
+    /// `coarse.target_routing_density` in `[0, 1]`: RUDY level above which
+    /// congestion repulsion kicks in (lower = more aggressive spreading).
+    pub target_routing_density: f64,
+    /// `coarse.adv_node_cong_max_util` in `[0, 1]`: utilization cap applied in
+    /// GCells flagged as congested.
+    pub adv_node_cong_max_util: f64,
+    /// `coarse.congestion_driven_max_util` in `[0, 1]`: global utilization cap
+    /// while congestion-driven placement is active.
+    pub congestion_driven_max_util: f64,
+    /// `coarse.cong_restruct_effort` in `[0, 4]`: strength of the post-pass
+    /// congestion restructuring moves.
+    pub cong_restruct_effort: Effort,
+    /// `coarse.cong_restruct_iterations` in `[0, 10]`: number of restructuring
+    /// sweeps.
+    pub cong_restruct_iterations: u8,
+    /// `coarse.enhanced_low_power_effort` in `[0, 4]`: how strongly high-power
+    /// nets are shortened at the cost of others.
+    pub enhanced_low_power_effort: Effort,
+    /// `coarse.low_power_placement`: enable power-weighted net weights.
+    pub low_power_placement: bool,
+    /// `coarse.max_density` in `[0, 1]`: target bin density during spreading.
+    pub max_density: f64,
+    /// `legalize.displacement_threshold` in `[0, 10]` rows: legalization
+    /// displacement budget.
+    pub displacement_threshold: u8,
+    /// `initial_place.two_pass`: run global placement twice, re-anchoring.
+    pub two_pass: bool,
+    /// `initial_drc.global_route_based`: derive congestion pressure from
+    /// net-bbox RUDY (true) or pin density only (false).
+    pub global_route_based: bool,
+    /// `flow.enable_ccd`: concurrent clock/data weighting of critical nets.
+    pub enable_ccd: bool,
+    /// `initial_place.effort` in `[0, 2]`: initial placement iteration budget.
+    pub initial_place_effort: Effort,
+    /// `final_place.effort` in `[0, 2]`: final placement iteration budget.
+    pub final_place_effort: Effort,
+    /// `flow.enable_irap`: integrated routing-aware placement (adds a RUDY
+    /// term to every spreading iteration rather than only the post-pass).
+    pub enable_irap: bool,
+}
+
+impl Default for PlacementParams {
+    fn default() -> Self {
+        Self {
+            pin_density_aware: false,
+            target_routing_density: 0.8,
+            adv_node_cong_max_util: 0.85,
+            congestion_driven_max_util: 0.85,
+            cong_restruct_effort: 0,
+            cong_restruct_iterations: 0,
+            enhanced_low_power_effort: 0,
+            low_power_placement: false,
+            max_density: 0.75,
+            displacement_threshold: 5,
+            two_pass: false,
+            global_route_based: true,
+            enable_ccd: false,
+            initial_place_effort: 1,
+            final_place_effort: 1,
+            enable_irap: false,
+        }
+    }
+}
+
+impl PlacementParams {
+    /// The configuration used by the plain Pin-3D baseline.
+    pub fn pin3d_baseline() -> Self {
+        Self::default()
+    }
+
+    /// The "Pin-3D + Cong." configuration: ICC2 congestion-driven placement
+    /// at the highest effort (paper Sec. V-B).
+    pub fn congestion_focused() -> Self {
+        Self {
+            pin_density_aware: true,
+            target_routing_density: 0.5,
+            adv_node_cong_max_util: 0.7,
+            congestion_driven_max_util: 0.72,
+            cong_restruct_effort: 4,
+            cong_restruct_iterations: 10,
+            max_density: 0.72,
+            global_route_based: true,
+            enable_irap: true,
+            ..Self::default()
+        }
+    }
+
+    /// Sample the Table-I space uniformly (dataset construction, Sec. III-A,
+    /// and the BO baseline's search space).
+    pub fn sample(rng: &mut impl Rng) -> Self {
+        Self {
+            pin_density_aware: rng.gen_bool(0.5),
+            target_routing_density: rng.gen_range(0.0..=1.0),
+            adv_node_cong_max_util: rng.gen_range(0.0..=1.0),
+            congestion_driven_max_util: rng.gen_range(0.0..=1.0),
+            cong_restruct_effort: rng.gen_range(0..=4),
+            cong_restruct_iterations: rng.gen_range(0..=10),
+            enhanced_low_power_effort: rng.gen_range(0..=4),
+            low_power_placement: rng.gen_bool(0.5),
+            max_density: rng.gen_range(0.4..=0.95),
+            displacement_threshold: rng.gen_range(0..=10),
+            two_pass: rng.gen_bool(0.5),
+            global_route_based: rng.gen_bool(0.5),
+            enable_ccd: rng.gen_bool(0.5),
+            initial_place_effort: rng.gen_range(0..=2),
+            final_place_effort: rng.gen_range(0..=2),
+            enable_irap: rng.gen_bool(0.5),
+        }
+    }
+
+    /// Encode to a fixed-length numeric vector in `[0,1]^16` (for the BO
+    /// baseline's Gaussian process).
+    pub fn to_unit_vector(&self) -> [f64; 16] {
+        [
+            f64::from(u8::from(self.pin_density_aware)),
+            self.target_routing_density,
+            self.adv_node_cong_max_util,
+            self.congestion_driven_max_util,
+            f64::from(self.cong_restruct_effort) / 4.0,
+            f64::from(self.cong_restruct_iterations) / 10.0,
+            f64::from(self.enhanced_low_power_effort) / 4.0,
+            f64::from(u8::from(self.low_power_placement)),
+            self.max_density,
+            f64::from(self.displacement_threshold) / 10.0,
+            f64::from(u8::from(self.two_pass)),
+            f64::from(u8::from(self.global_route_based)),
+            f64::from(u8::from(self.enable_ccd)),
+            f64::from(self.initial_place_effort) / 2.0,
+            f64::from(self.final_place_effort) / 2.0,
+            f64::from(u8::from(self.enable_irap)),
+        ]
+    }
+
+    /// Decode from a unit vector (inverse of [`PlacementParams::to_unit_vector`],
+    /// rounding the discrete knobs).
+    pub fn from_unit_vector(v: &[f64; 16]) -> Self {
+        let b = |x: f64| x >= 0.5;
+        Self {
+            pin_density_aware: b(v[0]),
+            target_routing_density: v[1].clamp(0.0, 1.0),
+            adv_node_cong_max_util: v[2].clamp(0.0, 1.0),
+            congestion_driven_max_util: v[3].clamp(0.0, 1.0),
+            cong_restruct_effort: (v[4].clamp(0.0, 1.0) * 4.0).round() as u8,
+            cong_restruct_iterations: (v[5].clamp(0.0, 1.0) * 10.0).round() as u8,
+            enhanced_low_power_effort: (v[6].clamp(0.0, 1.0) * 4.0).round() as u8,
+            low_power_placement: b(v[7]),
+            max_density: v[8].clamp(0.0, 1.0),
+            displacement_threshold: (v[9].clamp(0.0, 1.0) * 10.0).round() as u8,
+            two_pass: b(v[10]),
+            global_route_based: b(v[11]),
+            enable_ccd: b(v[12]),
+            initial_place_effort: (v[13].clamp(0.0, 1.0) * 2.0).round() as u8,
+            final_place_effort: (v[14].clamp(0.0, 1.0) * 2.0).round() as u8,
+            enable_irap: b(v[15]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn unit_vector_round_trips() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..20 {
+            let p = PlacementParams::sample(&mut rng);
+            let v = p.to_unit_vector();
+            let q = PlacementParams::from_unit_vector(&v);
+            assert_eq!(p, q);
+        }
+    }
+
+    #[test]
+    fn sampled_params_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let p = PlacementParams::sample(&mut rng);
+            assert!(p.max_density >= 0.4 && p.max_density <= 0.95);
+            assert!(p.cong_restruct_effort <= 4);
+            assert!(p.cong_restruct_iterations <= 10);
+            assert!(p.initial_place_effort <= 2 && p.final_place_effort <= 2);
+            for x in p.to_unit_vector() {
+                assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn congestion_focused_is_more_aggressive_than_baseline() {
+        let base = PlacementParams::pin3d_baseline();
+        let cong = PlacementParams::congestion_focused();
+        assert!(cong.max_density < base.max_density);
+        assert!(cong.cong_restruct_effort > base.cong_restruct_effort);
+        assert!(cong.enable_irap && !base.enable_irap);
+    }
+}

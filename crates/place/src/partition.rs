@@ -1,0 +1,281 @@
+//! Fiduccia–Mattheyses min-cut bipartitioning for tier assignment.
+//!
+//! Pin-3D assigns z coordinates by partitioning the netlist into two tiers;
+//! we use classic FM with an area-balance constraint. DCO-3D later refines
+//! this assignment differentiably.
+
+use dco_netlist::{CellId, NetId, Netlist, Tier};
+
+/// Bipartition the netlist's movable cells into tiers, minimizing the number
+/// of cut nets while keeping the per-tier movable area within
+/// `balance_tolerance` (fraction of total) of an even split.
+///
+/// `initial` supplies the starting assignment (e.g. the generator's cluster
+/// tiers); fixed cells (macros, IOs) keep their initial tier and their nets
+/// still count toward the cut. `max_passes` bounds the number of FM passes.
+///
+/// Returns the tier of every cell (fixed cells unchanged).
+pub fn fm_bipartition(
+    netlist: &Netlist,
+    initial: &[Tier],
+    balance_tolerance: f64,
+    max_passes: usize,
+) -> Vec<Tier> {
+    let n = netlist.num_cells();
+    assert_eq!(initial.len(), n, "initial assignment length mismatch");
+    let mut tier: Vec<Tier> = initial.to_vec();
+    let movable: Vec<bool> = netlist.cells().map(|c| c.movable()).collect();
+    let areas: Vec<f64> = netlist.cells().map(|c| c.area()).collect();
+    let total_movable_area: f64 =
+        areas.iter().zip(&movable).filter(|&(_, &m)| m).map(|(a, _)| a).sum();
+    let half = total_movable_area / 2.0;
+    let slack = total_movable_area * balance_tolerance;
+
+    // net -> cells (deduped), cell -> nets
+    let net_cells: Vec<Vec<CellId>> =
+        netlist.net_ids().map(|nid| netlist.net_cells(nid)).collect();
+    let mut cell_nets: Vec<Vec<NetId>> = vec![Vec::new(); n];
+    for (ni, cells) in net_cells.iter().enumerate() {
+        for &c in cells {
+            cell_nets[c.index()].push(NetId(ni as u32));
+        }
+    }
+
+    let mut top_area: f64 = (0..n)
+        .filter(|&i| movable[i] && tier[i] == Tier::Top)
+        .map(|i| areas[i])
+        .sum();
+
+    for _pass in 0..max_passes {
+        // Pins-per-side counts per net.
+        let mut top_count: Vec<u32> = vec![0; net_cells.len()];
+        let mut bot_count: Vec<u32> = vec![0; net_cells.len()];
+        for (ni, cells) in net_cells.iter().enumerate() {
+            for &c in cells {
+                match tier[c.index()] {
+                    Tier::Top => top_count[ni] += 1,
+                    Tier::Bottom => bot_count[ni] += 1,
+                }
+            }
+        }
+        let gain_of = |i: usize, tier: &[Tier], tc: &[u32], bc: &[u32]| -> i64 {
+            let mut gain = 0i64;
+            for &nid in &cell_nets[i] {
+                let ni = nid.index();
+                let (from, to) = match tier[i] {
+                    Tier::Top => (tc[ni], bc[ni]),
+                    Tier::Bottom => (bc[ni], tc[ni]),
+                };
+                if from == 1 {
+                    gain += 1; // moving uncuts this net
+                }
+                if to == 0 {
+                    gain -= 1; // moving newly cuts this net
+                }
+            }
+            gain
+        };
+
+        // One FM pass: greedily move best-gain unlocked cells (lazy max-heap
+        // with cached gains), allowing negative gains, and roll back to the
+        // best prefix.
+        let mut locked = vec![false; n];
+        let mut gains: Vec<i64> = (0..n)
+            .map(|i| if movable[i] { gain_of(i, &tier, &top_count, &bot_count) } else { i64::MIN })
+            .collect();
+        let mut heap: std::collections::BinaryHeap<(i64, usize)> = (0..n)
+            .filter(|&i| movable[i])
+            .map(|i| (gains[i], i))
+            .collect();
+        let mut moves: Vec<(usize, i64)> = Vec::new();
+        let mut best_prefix = 0usize;
+        let mut cum = 0i64;
+        let mut best_cum = 0i64;
+        let mut cur_top_area = top_area;
+        let mut best_balanced = (top_area - half).abs() <= slack;
+        let mut deferred: Vec<usize> = Vec::new();
+        while let Some((g, i)) = heap.pop() {
+            if locked[i] || g != gains[i] {
+                continue; // stale heap entry
+            }
+            // Balance check for the prospective move: allow it when the
+            // result stays within the slack, or when it strictly improves a
+            // currently-violated balance (so FM can escape one-sided starts).
+            let new_top = match tier[i] {
+                Tier::Top => cur_top_area - areas[i],
+                Tier::Bottom => cur_top_area + areas[i],
+            };
+            let new_dev = (new_top - half).abs();
+            let cur_dev = (cur_top_area - half).abs();
+            if new_dev > slack + areas[i] && new_dev >= cur_dev {
+                deferred.push(i);
+                continue;
+            }
+            // Apply the move.
+            locked[i] = true;
+            for &nid in &cell_nets[i] {
+                let ni = nid.index();
+                match tier[i] {
+                    Tier::Top => {
+                        top_count[ni] -= 1;
+                        bot_count[ni] += 1;
+                    }
+                    Tier::Bottom => {
+                        bot_count[ni] -= 1;
+                        top_count[ni] += 1;
+                    }
+                }
+            }
+            cur_top_area = new_top;
+            tier[i] = tier[i].flipped();
+            moves.push((i, g));
+            cum += g;
+            // A prefix is preferable if it restores balance that the best
+            // one lacks, or matches its balance with a better cut gain.
+            let balanced_now = (cur_top_area - half).abs() <= slack;
+            if (balanced_now && !best_balanced)
+                || (balanced_now == best_balanced && cum > best_cum)
+            {
+                best_cum = cum;
+                best_prefix = moves.len();
+                best_balanced = balanced_now;
+            }
+            // Moving i changes the gains of its unlocked neighbours.
+            for &nid in &cell_nets[i] {
+                for &c in &net_cells[nid.index()] {
+                    let j = c.index();
+                    if !locked[j] && movable[j] {
+                        let ng = gain_of(j, &tier, &top_count, &bot_count);
+                        if ng != gains[j] {
+                            gains[j] = ng;
+                            heap.push((ng, j));
+                        }
+                    }
+                }
+            }
+            // Balance may have shifted enough to unblock deferred cells.
+            for j in deferred.drain(..) {
+                if !locked[j] {
+                    heap.push((gains[j], j));
+                }
+            }
+            // Early stop when deep in negative territory (only once the best
+            // prefix is already balanced, so balance recovery can finish).
+            if best_balanced && cum < best_cum - 50 {
+                break;
+            }
+        }
+        // Roll back moves after the best prefix.
+        for &(i, _) in moves.iter().skip(best_prefix).rev() {
+            match tier[i] {
+                Tier::Top => cur_top_area -= areas[i],
+                Tier::Bottom => cur_top_area += areas[i],
+            }
+            tier[i] = tier[i].flipped();
+        }
+        top_area = cur_top_area;
+        if best_prefix == 0 {
+            break;
+        }
+    }
+    // Fixed cells keep their initial assignment.
+    for i in 0..n {
+        if !movable[i] {
+            tier[i] = initial[i];
+        }
+    }
+    tier
+}
+
+/// Count nets spanning both tiers under `tier`.
+pub fn cut_size(netlist: &Netlist, tier: &[Tier]) -> usize {
+    netlist
+        .net_ids()
+        .filter(|&nid| {
+            let mut top = false;
+            let mut bot = false;
+            for c in netlist.net_cells(nid) {
+                match tier[c.index()] {
+                    Tier::Top => top = true,
+                    Tier::Bottom => bot = true,
+                }
+            }
+            top && bot
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::{CellClass, NetlistBuilder, PinDirection};
+
+    /// Two clusters of 4 cells each, densely connected inside, one net
+    /// between them. FM should put each cluster on its own tier.
+    fn clustered() -> Netlist {
+        let mut b = NetlistBuilder::new("clusters");
+        let cells: Vec<_> =
+            (0..8).map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational)).collect();
+        for g in 0..2 {
+            let base = g * 4;
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b.add_net(
+                        format!("n{g}_{i}_{j}"),
+                        &[
+                            (cells[base + i], PinDirection::Output),
+                            (cells[base + j], PinDirection::Input),
+                        ],
+                    );
+                }
+            }
+        }
+        b.add_net("bridge", &[(cells[0], PinDirection::Output), (cells[4], PinDirection::Input)]);
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn fm_finds_the_natural_cut() {
+        let n = clustered();
+        // Adversarial start: alternate tiers, cutting many nets.
+        let initial: Vec<Tier> =
+            (0..8).map(|i| if i % 2 == 0 { Tier::Top } else { Tier::Bottom }).collect();
+        assert!(cut_size(&n, &initial) > 1);
+        let out = fm_bipartition(&n, &initial, 0.2, 8);
+        assert_eq!(cut_size(&n, &out), 1, "only the bridge net should be cut");
+    }
+
+    #[test]
+    fn balance_is_respected() {
+        let n = clustered();
+        let initial = vec![Tier::Bottom; 8];
+        let out = fm_bipartition(&n, &initial, 0.15, 8);
+        let top = out.iter().filter(|&&t| t == Tier::Top).count();
+        // 8 equal-area cells, 15% tolerance: must be a 4/4 split.
+        assert_eq!(top, 4, "split was {top}/4");
+    }
+
+    #[test]
+    fn fixed_cells_keep_their_tier() {
+        let mut b = NetlistBuilder::new("fx");
+        let m = b.add_cell_simple("m", CellClass::Macro);
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        let c = b.add_cell_simple("c", CellClass::Combinational);
+        b.add_net("w", &[(m, PinDirection::Output), (a, PinDirection::Input)]);
+        b.add_net("v", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+        let n = b.finish().expect("valid");
+        let initial = vec![Tier::Top, Tier::Bottom, Tier::Bottom];
+        let out = fm_bipartition(&n, &initial, 0.5, 4);
+        assert_eq!(out[0], Tier::Top, "macro must not move");
+    }
+
+    #[test]
+    fn never_worse_than_initial() {
+        let n = clustered();
+        let initial: Vec<Tier> =
+            (0..8).map(|i| if i < 4 { Tier::Top } else { Tier::Bottom }).collect();
+        let before = cut_size(&n, &initial);
+        let out = fm_bipartition(&n, &initial, 0.2, 4);
+        assert!(cut_size(&n, &out) <= before);
+    }
+}

@@ -1,0 +1,39 @@
+//! GCell global routing for two-die F2F 3D ICs.
+//!
+//! This crate stands in for ICC2's global router + congestion report, which
+//! the paper uses to produce ground-truth congestion labels and the
+//! Table-III overflow metrics. It implements the classic recipe:
+//!
+//! 1. decompose every signal net into 2-pin segments (Prim MST over pins),
+//! 2. route each segment with minimum-cost L patterns (Z patterns during
+//!    refinement),
+//! 3. negotiated-congestion rip-up-and-reroute with history costs,
+//! 4. report per-GCell overflow (total / horizontal / vertical / GCell%)
+//!    and per-die congestion label maps.
+//!
+//! Cross-tier nets are split at a hybrid-bonding point; each side routes on
+//! its own die, mirroring F2F bonding with a 1 um pitch.
+//!
+//! # Example
+//!
+//! ```
+//! use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+//! use dco_route::{Router, RouterConfig};
+//!
+//! # fn main() -> Result<(), dco_netlist::NetlistError> {
+//! let d = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.02).generate(1)?;
+//! let result = Router::new(&d, RouterConfig::default()).route(&d.placement);
+//! assert!(result.wirelength > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod maze;
+mod report;
+mod router;
+mod topology;
+
+pub use maze::{maze_route, MazeCost};
+pub use report::OverflowReport;
+pub use router::{RouteResult, Router, RouterConfig};
+pub use topology::{decompose_net, Segment3};

@@ -1,0 +1,183 @@
+//! A* maze routing, the escalation tier above L/Z pattern routing.
+//!
+//! Pattern routing handles the bulk of segments cheaply; segments that are
+//! still stuck in over-capacity GCells after negotiated-congestion
+//! refinement are re-routed with a full maze search inside a window around
+//! their bounding box, allowing arbitrary monotone and non-monotone
+//! detours (the same escalation ladder classic global routers use).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A step-cost oracle for the maze: cost of *entering* GCell `(col, row)`
+/// moving in the given direction (`horiz`) on a fixed die.
+pub trait MazeCost {
+    /// Cost of one track through the GCell; must be >= 1.
+    fn step_cost(&self, col: usize, row: usize, horiz: bool) -> f32;
+}
+
+/// Route from `(c0, r0)` to `(c1, r1)` on a grid of `nx` × `ny` GCells with
+/// A*, restricted to the segment bbox expanded by `margin` GCells.
+///
+/// Returns the path as a list of `(col, row, horiz)` usage steps (the same
+/// convention as pattern routes: one entry per crossed GCell boundary), or
+/// `None` if start equals target.
+pub fn maze_route(
+    cost: &impl MazeCost,
+    nx: usize,
+    ny: usize,
+    (c0, r0): (usize, usize),
+    (c1, r1): (usize, usize),
+    margin: usize,
+) -> Option<Vec<(usize, usize, bool)>> {
+    if (c0, r0) == (c1, r1) {
+        return None;
+    }
+    // Search window.
+    let lo_c = c0.min(c1).saturating_sub(margin);
+    let hi_c = (c0.max(c1) + margin).min(nx - 1);
+    let lo_r = r0.min(r1).saturating_sub(margin);
+    let hi_r = (r0.max(r1) + margin).min(ny - 1);
+    let w = hi_c - lo_c + 1;
+    let h = hi_r - lo_r + 1;
+    let idx = |c: usize, r: usize| (r - lo_r) * w + (c - lo_c);
+
+    let mut dist = vec![f32::INFINITY; w * h];
+    let mut prev: Vec<u32> = vec![u32::MAX; w * h];
+    let start = idx(c0, r0);
+    let goal = idx(c1, r1);
+    dist[start] = 0.0;
+    // Admissible heuristic: Manhattan distance (every step costs >= 1).
+    let hfun = |c: usize, r: usize| (c.abs_diff(c1) + r.abs_diff(r1)) as f32;
+    let mut heap: BinaryHeap<Reverse<(OrderedF32, u32)>> = BinaryHeap::new();
+    heap.push(Reverse((OrderedF32::from(hfun(c0, r0)), start as u32)));
+
+    while let Some(Reverse((_, u))) = heap.pop() {
+        let u = u as usize;
+        if u == goal {
+            break;
+        }
+        let (uc, ur) = (u % w + lo_c, u / w + lo_r);
+        let du = dist[u];
+        for (dc, dr, horiz) in [(-1i64, 0i64, true), (1, 0, true), (0, -1, false), (0, 1, false)] {
+            let nc = uc as i64 + dc;
+            let nr = ur as i64 + dr;
+            if nc < lo_c as i64 || nc > hi_c as i64 || nr < lo_r as i64 || nr > hi_r as i64 {
+                continue;
+            }
+            let (nc, nr) = (nc as usize, nr as usize);
+            // Track usage is charged on the GCell being left, matching the
+            // pattern router's run semantics (runs charge lo..hi).
+            let (charge_c, charge_r) = if dc < 0 || dr < 0 { (nc, nr) } else { (uc, ur) };
+            let step = cost.step_cost(charge_c, charge_r, horiz).max(1.0);
+            let v = idx(nc, nr);
+            let nd = du + step;
+            if nd < dist[v] {
+                dist[v] = nd;
+                prev[v] = u as u32;
+                heap.push(Reverse((OrderedF32::from(nd + hfun(nc, nr)), v as u32)));
+            }
+        }
+    }
+    if !dist[goal].is_finite() {
+        // Window always contains an L path, so this cannot happen; guard
+        // anyway for robustness.
+        return None;
+    }
+    // Reconstruct: emit one usage step per edge.
+    let mut path = Vec::new();
+    let mut v = goal;
+    while v != start {
+        let u = prev[v] as usize;
+        let (uc, ur) = (u % w + lo_c, u / w + lo_r);
+        let (vc, vr) = (v % w + lo_c, v / w + lo_r);
+        let horiz = ur == vr;
+        let (cc, cr) = (uc.min(vc), ur.min(vr));
+        path.push((cc, cr, horiz));
+        v = u;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Total-orderable f32 priority for the A* heap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct OrderedF32(f32);
+
+impl From<f32> for OrderedF32 {
+    fn from(v: f32) -> Self {
+        Self(v)
+    }
+}
+
+impl Eq for OrderedF32 {}
+
+impl PartialOrd for OrderedF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Uniform;
+    impl MazeCost for Uniform {
+        fn step_cost(&self, _c: usize, _r: usize, _h: bool) -> f32 {
+            1.0
+        }
+    }
+
+    /// One column is poisoned except at the top; the maze must detour.
+    struct Wall;
+    impl MazeCost for Wall {
+        fn step_cost(&self, c: usize, r: usize, _h: bool) -> f32 {
+            if c == 4 && r < 9 {
+                1000.0
+            } else {
+                1.0
+            }
+        }
+    }
+
+    #[test]
+    fn shortest_path_on_uniform_grid_is_manhattan() {
+        let p = maze_route(&Uniform, 16, 16, (2, 3), (9, 8), 4).expect("path");
+        assert_eq!(p.len(), 7 + 5);
+        // path is connected: consecutive steps differ by one gcell
+        // (weak check: counts per direction match)
+        let hsteps = p.iter().filter(|s| s.2).count();
+        assert_eq!(hsteps, 7);
+    }
+
+    #[test]
+    fn maze_detours_around_expensive_wall() {
+        let direct = maze_route(&Uniform, 16, 16, (0, 0), (8, 0), 12).expect("path");
+        assert_eq!(direct.len(), 8);
+        let detour = maze_route(&Wall, 16, 16, (0, 0), (8, 0), 12).expect("path");
+        // must climb above row 9 and come back: longer than direct
+        assert!(detour.len() > direct.len(), "detour len {}", detour.len());
+        // and must not pass through the expensive cells
+        for &(c, r, _) in &detour {
+            assert!(!(c == 4 && r < 9), "path crossed the wall at ({c}, {r})");
+        }
+    }
+
+    #[test]
+    fn degenerate_route_is_none() {
+        assert!(maze_route(&Uniform, 8, 8, (3, 3), (3, 3), 2).is_none());
+    }
+
+    #[test]
+    fn window_clamps_at_grid_edges() {
+        let p = maze_route(&Uniform, 4, 4, (0, 0), (3, 3), 100).expect("path");
+        assert_eq!(p.len(), 6);
+    }
+}

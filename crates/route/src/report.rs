@@ -1,0 +1,81 @@
+//! Overflow reporting (the Table-III routability columns).
+
+use dco_features::GridMap;
+
+/// Aggregated routing-overflow metrics over both dies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverflowReport {
+    /// Total overflow: sum over GCells of demand above capacity (H + V).
+    pub total: f64,
+    /// Horizontal component of `total`.
+    pub h_overflow: f64,
+    /// Vertical component of `total`.
+    pub v_overflow: f64,
+    /// Percentage of GCells (both dies) with any overflow.
+    pub overflow_gcell_pct: f64,
+    /// Overflow per die `[bottom, top]`.
+    pub per_die: [f64; 2],
+}
+
+impl OverflowReport {
+    /// Build a report from per-die H/V usage grids and per-GCell capacities.
+    pub fn from_usage(h: &[GridMap; 2], v: &[GridMap; 2], h_cap: f32, v_cap: f32) -> Self {
+        let mut h_overflow = 0.0f64;
+        let mut v_overflow = 0.0f64;
+        let mut per_die = [0.0f64; 2];
+        let mut ovf_cells = 0usize;
+        let mut cells = 0usize;
+        for die in 0..2 {
+            cells += h[die].len();
+            for i in 0..h[die].len() {
+                let ho = f64::from((h[die].data()[i] - h_cap).max(0.0));
+                let vo = f64::from((v[die].data()[i] - v_cap).max(0.0));
+                h_overflow += ho;
+                v_overflow += vo;
+                per_die[die] += ho + vo;
+                if ho + vo > 0.0 {
+                    ovf_cells += 1;
+                }
+            }
+        }
+        let total = h_overflow + v_overflow;
+        Self {
+            total,
+            h_overflow,
+            v_overflow,
+            overflow_gcell_pct: if cells > 0 { 100.0 * ovf_cells as f64 / cells as f64 } else { 0.0 },
+            per_die,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_from_known_usage() {
+        let mut h0 = GridMap::zeros(2, 2);
+        h0.set(0, 0, 5.0); // cap 3 -> overflow 2
+        let v0 = GridMap::zeros(2, 2);
+        let mut h1 = GridMap::zeros(2, 2);
+        h1.set(1, 1, 4.0); // overflow 1
+        let mut v1 = GridMap::zeros(2, 2);
+        v1.set(1, 1, 10.0); // cap 2 -> overflow 8
+        let rep = OverflowReport::from_usage(&[h0, h1], &[v0, v1], 3.0, 2.0);
+        assert_eq!(rep.h_overflow, 3.0);
+        assert_eq!(rep.v_overflow, 8.0);
+        assert_eq!(rep.total, 11.0);
+        assert_eq!(rep.per_die, [2.0, 9.0]);
+        // 2 of 8 gcells overflow
+        assert!((rep.overflow_gcell_pct - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn no_usage_no_overflow() {
+        let z = || GridMap::zeros(3, 3);
+        let rep = OverflowReport::from_usage(&[z(), z()], &[z(), z()], 1.0, 1.0);
+        assert_eq!(rep.total, 0.0);
+        assert_eq!(rep.overflow_gcell_pct, 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Net decomposition into routable 2-pin segments.
+
+use dco_netlist::{NetId, Netlist, Placement3, Tier};
+
+/// A 2-pin routing segment in 3D: endpoints carry a die each. Cross-tier
+/// segments are split at a bonding point by the router.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Segment3 {
+    /// Net this segment belongs to.
+    pub net: NetId,
+    /// Source endpoint (x, y) in microns.
+    pub from: (f64, f64),
+    /// Source die.
+    pub from_tier: Tier,
+    /// Sink endpoint (x, y) in microns.
+    pub to: (f64, f64),
+    /// Sink die.
+    pub to_tier: Tier,
+}
+
+impl Segment3 {
+    /// Whether the segment crosses tiers (needs a hybrid bond).
+    #[inline]
+    pub fn crosses_tiers(&self) -> bool {
+        self.from_tier != self.to_tier
+    }
+
+    /// Manhattan length in the (x, y) plane.
+    #[inline]
+    pub fn manhattan_length(&self) -> f64 {
+        (self.from.0 - self.to.0).abs() + (self.from.1 - self.to.1).abs()
+    }
+}
+
+/// Decompose `net` into 2-pin segments with a Prim minimum spanning tree
+/// over its pin locations (Manhattan metric, with a small penalty for
+/// crossing tiers so same-die pins connect first).
+///
+/// Nets with more pins than `max_mst_pins` use a star topology from the
+/// first pin instead (quadratic MST would be too slow for huge fanouts).
+pub fn decompose_net(
+    netlist: &Netlist,
+    placement: &Placement3,
+    net: NetId,
+    max_mst_pins: usize,
+) -> Vec<Segment3> {
+    let pins = &netlist.net(net).pins;
+    if pins.len() < 2 {
+        return Vec::new();
+    }
+    let pts: Vec<((f64, f64), Tier)> = pins
+        .iter()
+        .map(|&p| {
+            let (x, y, t) = placement.pin_location(netlist, p);
+            ((x, y), t)
+        })
+        .collect();
+
+    let mut segs = Vec::with_capacity(pts.len() - 1);
+    if pts.len() > max_mst_pins {
+        // Star from the driver (pin 0 by convention).
+        let (hub, hub_t) = pts[0];
+        for &(p, t) in &pts[1..] {
+            segs.push(Segment3 { net, from: hub, from_tier: hub_t, to: p, to_tier: t });
+        }
+        return segs;
+    }
+
+    // Prim MST with tier-crossing penalty.
+    let n = pts.len();
+    let dist = |a: usize, b: usize| -> f64 {
+        let d = (pts[a].0 .0 - pts[b].0 .0).abs() + (pts[a].0 .1 - pts[b].0 .1).abs();
+        if pts[a].1 != pts[b].1 {
+            d + 2.0
+        } else {
+            d
+        }
+    };
+    let mut in_tree = vec![false; n];
+    let mut best_d = vec![f64::INFINITY; n];
+    let mut best_parent = vec![0usize; n];
+    in_tree[0] = true;
+    for j in 1..n {
+        best_d[j] = dist(0, j);
+    }
+    for _ in 1..n {
+        let mut pick = usize::MAX;
+        let mut pd = f64::INFINITY;
+        for j in 0..n {
+            if !in_tree[j] && best_d[j] < pd {
+                pd = best_d[j];
+                pick = j;
+            }
+        }
+        if pick == usize::MAX {
+            break;
+        }
+        in_tree[pick] = true;
+        let parent = best_parent[pick];
+        segs.push(Segment3 {
+            net,
+            from: pts[parent].0,
+            from_tier: pts[parent].1,
+            to: pts[pick].0,
+            to_tier: pts[pick].1,
+        });
+        for j in 0..n {
+            if !in_tree[j] {
+                let d = dist(pick, j);
+                if d < best_d[j] {
+                    best_d[j] = d;
+                    best_parent[j] = pick;
+                }
+            }
+        }
+    }
+    segs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::{CellClass, CellId, NetlistBuilder, PinDirection};
+
+    fn chain(n_cells: usize) -> (Netlist, Placement3) {
+        let mut b = NetlistBuilder::new("chain");
+        let cells: Vec<_> = (0..n_cells)
+            .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+            .collect();
+        let conns: Vec<_> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (c, if i == 0 { PinDirection::Output } else { PinDirection::Input })
+            })
+            .collect();
+        b.add_net("n", &conns);
+        let nl = b.finish().expect("valid");
+        let mut p = Placement3::zeroed(n_cells);
+        for i in 0..n_cells {
+            p.set_xy(CellId(i as u32), i as f64 * 10.0, 0.0);
+        }
+        (nl, p)
+    }
+
+    #[test]
+    fn mst_of_collinear_pins_is_a_chain() {
+        let (nl, p) = chain(4);
+        let segs = decompose_net(&nl, &p, NetId(0), 32);
+        assert_eq!(segs.len(), 3);
+        let total: f64 = segs.iter().map(Segment3::manhattan_length).sum();
+        assert!((total - 30.0).abs() < 1e-9, "MST length {total}");
+    }
+
+    #[test]
+    fn high_fanout_uses_star() {
+        let (nl, p) = chain(6);
+        let segs = decompose_net(&nl, &p, NetId(0), 4);
+        assert_eq!(segs.len(), 5);
+        // star: all segments start at pin 0
+        for s in &segs {
+            assert_eq!(s.from, (p.x(CellId(0)) + 0.045, 0.105));
+        }
+    }
+
+    #[test]
+    fn mst_prefers_same_tier_edges() {
+        // Cells 0 and 2 sit together on the bottom die; cell 1 is far away
+        // on the top die. The MST must connect 0-2 directly and reach the
+        // top die with exactly one crossing edge.
+        let (nl, mut p) = chain(3);
+        p.set_tier(CellId(1), Tier::Top);
+        p.set_xy(CellId(1), 50.0, 0.0);
+        p.set_xy(CellId(2), 1.0, 0.0);
+        let segs = decompose_net(&nl, &p, NetId(0), 32);
+        let crossings = segs.iter().filter(|s| s.crosses_tiers()).count();
+        assert_eq!(crossings, 1, "exactly one edge should cross tiers");
+    }
+}

@@ -1,0 +1,458 @@
+//! Convolution, transposed-convolution and pooling kernels.
+//!
+//! These are free functions over [`Tensor`]; the autograd [`crate::Graph`]
+//! wires them into the tape. Layout is `[B, C, H, W]` throughout;
+//! convolution weights are `[C_out, C_in, KH, KW]` and transposed-convolution
+//! weights are `[C_in, C_out, KH, KW]` (PyTorch conventions).
+
+use crate::Tensor;
+
+/// Output spatial size of a convolution.
+#[inline]
+pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input + 2 * pad - kernel) / stride + 1
+}
+
+/// Unfold one image `[C, H, W]` into columns `[C*KH*KW, OH*OW]`.
+fn im2col(
+    x: &[f32],
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
+    let ncols = oh * ow;
+    for ci in 0..c {
+        for u in 0..kh {
+            for v in 0..kw {
+                let row = (ci * kh + u) * kw + v;
+                let dst = &mut cols[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + u) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * stride + v) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        dst[oy * ow + ox] = x[(ci * h + iy as usize) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(cols, &[c * kh * kw, ncols])
+}
+
+/// Fold columns `[C*KH*KW, OH*OW]` back into an image `[C, H, W]`,
+/// accumulating overlapping contributions (adjoint of [`im2col`]).
+fn col2im(
+    cols: &Tensor,
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+) -> Vec<f32> {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
+    let ncols = oh * ow;
+    let data = cols.data();
+    let mut img = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        for u in 0..kh {
+            for v in 0..kw {
+                let row = (ci * kh + u) * kw + v;
+                let src = &data[row * ncols..(row + 1) * ncols];
+                for oy in 0..oh {
+                    let iy = (oy * stride + u) as isize - pad as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for ox in 0..ow {
+                        let ix = (ox * stride + v) as isize - pad as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        img[(ci * h + iy as usize) * w + ix as usize] += src[oy * ow + ox];
+                    }
+                }
+            }
+        }
+    }
+    img
+}
+
+/// 2D convolution forward pass.
+///
+/// # Panics
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("conv2d input must be 4D");
+    let [cout, cin2, kh, kw]: [usize; 4] = w.shape().try_into().expect("conv2d weight must be 4D");
+    assert_eq!(cin, cin2, "conv2d channel mismatch");
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(wd, kw, stride, pad);
+    let wmat = w.clone().reshaped(&[cout, cin * kh * kw]);
+    let mut out = vec![0.0f32; bsz * cout * oh * ow];
+    let per_img = cin * h * wd;
+    let per_out = cout * oh * ow;
+    for bi in 0..bsz {
+        let cols = im2col(&x.data()[bi * per_img..(bi + 1) * per_img], (cin, h, wd), (kh, kw), stride, pad);
+        let y = wmat.matmul(&cols); // [cout, oh*ow]
+        out[bi * per_out..(bi + 1) * per_out].copy_from_slice(y.data());
+    }
+    let mut out = Tensor::from_vec(out, &[bsz, cout, oh, ow]);
+    if let Some(bias) = b {
+        assert_eq!(bias.shape(), &[cout], "conv2d bias must be [C_out]");
+        let od = out.data_mut();
+        for bi in 0..bsz {
+            for co in 0..cout {
+                let base = (bi * cout + co) * oh * ow;
+                let bv = bias.data()[co];
+                for v in &mut od[base..base + oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// 2D convolution backward pass. Returns `(grad_x, grad_w, grad_b)`.
+pub fn conv2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    gy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("conv2d input must be 4D");
+    let [cout, _, kh, kw]: [usize; 4] = w.shape().try_into().expect("conv2d weight must be 4D");
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(wd, kw, stride, pad);
+    let wmat = w.clone().reshaped(&[cout, cin * kh * kw]);
+    let wmat_t = wmat.transposed();
+    let per_img = cin * h * wd;
+    let per_out = cout * oh * ow;
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = Tensor::zeros(&[cout, cin * kh * kw]);
+    let mut gb = Tensor::zeros(&[cout]);
+    for bi in 0..bsz {
+        let gyb =
+            Tensor::from_vec(gy.data()[bi * per_out..(bi + 1) * per_out].to_vec(), &[cout, oh * ow]);
+        // grad bias: sum over spatial
+        for co in 0..cout {
+            gb.data_mut()[co] += gyb.data()[co * oh * ow..(co + 1) * oh * ow].iter().sum::<f32>();
+        }
+        // grad weight: gy_b (cols)^T
+        let cols = im2col(&x.data()[bi * per_img..(bi + 1) * per_img], (cin, h, wd), (kh, kw), stride, pad);
+        gw.add_assign(&gyb.matmul(&cols.transposed()));
+        // grad input: W^T gy_b, folded back
+        let gcols = wmat_t.matmul(&gyb);
+        let gimg = col2im(&gcols, (cin, h, wd), (kh, kw), stride, pad);
+        for (dst, src) in gx[bi * per_img..(bi + 1) * per_img].iter_mut().zip(&gimg) {
+            *dst += src;
+        }
+    }
+    (
+        Tensor::from_vec(gx, x.shape()),
+        gw.reshaped(&[cout, cin, kh, kw]),
+        gb,
+    )
+}
+
+/// Output spatial size of a transposed convolution.
+#[inline]
+pub fn convt_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> usize {
+    (input - 1) * stride + kernel - 2 * pad
+}
+
+/// 2D transposed convolution forward pass (upsampling).
+///
+/// Weight layout is `[C_in, C_out, KH, KW]`.
+///
+/// # Panics
+/// Panics on rank or channel mismatches.
+pub fn conv_transpose2d_forward(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("convT input must be 4D");
+    let [cin2, cout, kh, kw]: [usize; 4] = w.shape().try_into().expect("convT weight must be 4D");
+    assert_eq!(cin, cin2, "convT channel mismatch");
+    let oh = convt_out_size(h, kh, stride, pad);
+    let ow = convt_out_size(wd, kw, stride, pad);
+    let mut out = vec![0.0f32; bsz * cout * oh * ow];
+    let xd = x.data();
+    let wdta = w.data();
+    for bi in 0..bsz {
+        for ci in 0..cin {
+            for iy in 0..h {
+                for ix in 0..wd {
+                    let xv = xd[((bi * cin + ci) * h + iy) * wd + ix];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    for co in 0..cout {
+                        let wbase = ((ci * cout + co) * kh) * kw;
+                        let obase = (bi * cout + co) * oh * ow;
+                        for u in 0..kh {
+                            let oy = (iy * stride + u) as isize - pad as isize;
+                            if oy < 0 || oy >= oh as isize {
+                                continue;
+                            }
+                            for v in 0..kw {
+                                let ox = (ix * stride + v) as isize - pad as isize;
+                                if ox < 0 || ox >= ow as isize {
+                                    continue;
+                                }
+                                out[obase + oy as usize * ow + ox as usize] +=
+                                    xv * wdta[wbase + u * kw + v];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if let Some(bias) = b {
+        assert_eq!(bias.shape(), &[cout], "convT bias must be [C_out]");
+        for bi in 0..bsz {
+            for co in 0..cout {
+                let base = (bi * cout + co) * oh * ow;
+                let bv = bias.data()[co];
+                for v in &mut out[base..base + oh * ow] {
+                    *v += bv;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[bsz, cout, oh, ow])
+}
+
+/// 2D transposed convolution backward pass. Returns `(grad_x, grad_w, grad_b)`.
+pub fn conv_transpose2d_backward(
+    x: &Tensor,
+    w: &Tensor,
+    stride: usize,
+    pad: usize,
+    gy: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("convT input must be 4D");
+    let [_, cout, kh, kw]: [usize; 4] = w.shape().try_into().expect("convT weight must be 4D");
+    let oh = convt_out_size(h, kh, stride, pad);
+    let ow = convt_out_size(wd, kw, stride, pad);
+    let mut gx = vec![0.0f32; x.len()];
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; cout];
+    let xd = x.data();
+    let wdta = w.data();
+    let gyd = gy.data();
+    for bi in 0..bsz {
+        for co in 0..cout {
+            let obase = (bi * cout + co) * oh * ow;
+            gb[co] += gyd[obase..obase + oh * ow].iter().sum::<f32>();
+        }
+        for ci in 0..cin {
+            for iy in 0..h {
+                for ix in 0..wd {
+                    let xidx = ((bi * cin + ci) * h + iy) * wd + ix;
+                    let xv = xd[xidx];
+                    let mut acc = 0.0f32;
+                    for co in 0..cout {
+                        let wbase = ((ci * cout + co) * kh) * kw;
+                        let obase = (bi * cout + co) * oh * ow;
+                        for u in 0..kh {
+                            let oy = (iy * stride + u) as isize - pad as isize;
+                            if oy < 0 || oy >= oh as isize {
+                                continue;
+                            }
+                            for v in 0..kw {
+                                let ox = (ix * stride + v) as isize - pad as isize;
+                                if ox < 0 || ox >= ow as isize {
+                                    continue;
+                                }
+                                let g = gyd[obase + oy as usize * ow + ox as usize];
+                                acc += g * wdta[wbase + u * kw + v];
+                                gw[wbase + u * kw + v] += g * xv;
+                            }
+                        }
+                    }
+                    gx[xidx] += acc;
+                }
+            }
+        }
+    }
+    (
+        Tensor::from_vec(gx, x.shape()),
+        Tensor::from_vec(gw, w.shape()),
+        Tensor::from_vec(gb, &[cout]),
+    )
+}
+
+/// 2x2 (or kxk) max pooling forward. Returns the pooled tensor and the flat
+/// argmax index (into the input) of every output element, for backward.
+///
+/// # Panics
+/// Panics unless H and W are divisible by `k`.
+pub fn maxpool2d_forward(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
+    let [bsz, c, h, w]: [usize; 4] = x.shape().try_into().expect("pool input must be 4D");
+    assert!(h % k == 0 && w % k == 0, "pool size {k} must divide H={h}, W={w}");
+    let (oh, ow) = (h / k, w / k);
+    let mut out = vec![0.0f32; bsz * c * oh * ow];
+    let mut idx = vec![0u32; out.len()];
+    let xd = x.data();
+    for bc in 0..bsz * c {
+        let ibase = bc * h * w;
+        let obase = bc * oh * ow;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                let mut besti = 0usize;
+                for u in 0..k {
+                    for v in 0..k {
+                        let i = ibase + (oy * k + u) * w + (ox * k + v);
+                        if xd[i] > best {
+                            best = xd[i];
+                            besti = i;
+                        }
+                    }
+                }
+                out[obase + oy * ow + ox] = best;
+                idx[obase + oy * ow + ox] = besti as u32;
+            }
+        }
+    }
+    (Tensor::from_vec(out, &[bsz, c, oh, ow]), idx)
+}
+
+/// Max pooling backward: routes each output gradient to its argmax input.
+pub fn maxpool2d_backward(indices: &[u32], input_shape: &[usize], gy: &Tensor) -> Tensor {
+    let mut gx = Tensor::zeros(input_shape);
+    let gxd = gx.data_mut();
+    for (&i, &g) in indices.iter().zip(gy.data()) {
+        gxd[i as usize] += g;
+    }
+    gx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        // 1x1 kernel with weight 1 reproduces the input.
+        let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+        let w = Tensor::ones(&[1, 1, 1, 1]);
+        let y = conv2d_forward(&x, &w, None, 1, 0);
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 2x2 input, 2x2 kernel, no pad: single output = dot product.
+        let x = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]);
+        let w = Tensor::from_vec(vec![10., 20., 30., 40.], &[1, 1, 2, 2]);
+        let y = conv2d_forward(&x, &w, Some(&Tensor::from_vec(vec![5.0], &[1])), 1, 0);
+        assert_eq!(y.shape(), &[1, 1, 1, 1]);
+        assert_eq!(y.data()[0], 1. * 10. + 2. * 20. + 3. * 30. + 4. * 40. + 5.);
+    }
+
+    #[test]
+    fn conv2d_padding_and_stride_shapes() {
+        let x = Tensor::zeros(&[2, 3, 8, 8]);
+        let w = Tensor::zeros(&[5, 3, 3, 3]);
+        let y = conv2d_forward(&x, &w, None, 2, 1);
+        assert_eq!(y.shape(), &[2, 5, 4, 4]);
+    }
+
+    /// Numerical gradient check for conv2d.
+    #[test]
+    fn conv2d_gradcheck() {
+        let x = Tensor::from_vec((0..18).map(|v| (v as f32) * 0.1 - 0.9).collect(), &[1, 2, 3, 3]);
+        let w = Tensor::from_vec((0..16).map(|v| (v as f32) * 0.05 - 0.4).collect(), &[2, 2, 2, 2]);
+        let gy = Tensor::ones(&[1, 2, 2, 2]);
+        let (gx, gw, gb) = conv2d_backward(&x, &w, 1, 0, &gy);
+        let f = |x: &Tensor, w: &Tensor| conv2d_forward(x, w, None, 1, 0).sum();
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}]: {num} vs {}", gx.data()[i]);
+        }
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}]: {num} vs {}", gw.data()[i]);
+        }
+        // bias gradient of a sum loss = number of output pixels per channel
+        assert_eq!(gb.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn convt_upsamples_shape() {
+        let x = Tensor::ones(&[1, 2, 4, 4]);
+        let w = Tensor::ones(&[2, 3, 2, 2]);
+        let y = conv_transpose2d_forward(&x, &w, None, 2, 0);
+        assert_eq!(y.shape(), &[1, 3, 8, 8]);
+    }
+
+    #[test]
+    fn convt_gradcheck() {
+        let x = Tensor::from_vec((0..8).map(|v| v as f32 * 0.2 - 0.8).collect(), &[1, 2, 2, 2]);
+        let w = Tensor::from_vec((0..24).map(|v| v as f32 * 0.03 - 0.3).collect(), &[2, 3, 2, 2]);
+        let gy = Tensor::ones(&[1, 3, 4, 4]);
+        let (gx, gw, _gb) = conv_transpose2d_backward(&x, &w, 2, 0, &gy);
+        let f = |x: &Tensor, w: &Tensor| conv_transpose2d_forward(x, w, None, 2, 0).sum();
+        let eps = 1e-2f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
+            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}]: {num} vs {}", gx.data()[i]);
+        }
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
+            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}]: {num} vs {}", gw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn maxpool_forward_and_backward() {
+        let x = Tensor::from_vec(vec![1., 5., 2., 0., 3., 4., 1., 1., 0., 0., 9., 2., 0., 0., 3., 1.], &[1, 1, 4, 4]);
+        let (y, idx) = maxpool2d_forward(&x, 2);
+        assert_eq!(y.data(), &[5., 2., 0., 9.]);
+        let gy = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]);
+        let gx = maxpool2d_backward(&idx, x.shape(), &gy);
+        assert_eq!(gx.data()[1], 1.0); // max 5 at flat index 1
+        assert_eq!(gx.data()[10], 4.0); // max 9 at flat index 10
+        assert_eq!(gx.sum(), 10.0);
+    }
+}

@@ -1,0 +1,986 @@
+//! Reverse-mode automatic differentiation over a flat tape.
+//!
+//! A [`Graph`] is rebuilt for every optimization step (define-by-run, like
+//! PyTorch). Leaves are created with [`Graph::input`] (no gradient) or
+//! [`Graph::param`] (gradient tracked); every op returns a new [`Var`].
+//! Calling [`Graph::backward`] on a scalar propagates gradients to every
+//! parameter, readable via [`Graph::grad`].
+//!
+//! # Example
+//!
+//! ```
+//! use dco_tensor::{Graph, Tensor};
+//!
+//! let mut g = Graph::new();
+//! let x = g.param(Tensor::from_vec(vec![2.0], &[1]));
+//! let y = g.mul(x, x); // y = x^2
+//! g.backward(y);
+//! assert_eq!(g.grad(x).expect("grad").data(), &[4.0]); // dy/dx = 2x
+//! ```
+
+use crate::conv::{
+    conv2d_backward, conv2d_forward, conv_transpose2d_backward, conv_transpose2d_forward,
+    maxpool2d_backward, maxpool2d_forward,
+};
+use crate::{Csr, Tensor};
+use std::rc::Rc;
+
+/// Handle to a node in a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// A user-defined differentiable operation.
+///
+/// DCO-3D uses this for the soft feature-map rasterizer, whose backward pass
+/// is the paper's hand-derived Eq. (6) rather than anything expressible with
+/// the built-in ops.
+pub trait CustomOp {
+    /// Short name for debugging.
+    fn name(&self) -> &str;
+    /// Compute the output from the input values.
+    fn forward(&self, inputs: &[&Tensor]) -> Tensor;
+    /// Given input values, the forward output, and the output gradient,
+    /// return one optional gradient per input (None = not differentiable /
+    /// not needed).
+    fn backward(
+        &self,
+        inputs: &[&Tensor],
+        output: &Tensor,
+        grad_output: &Tensor,
+    ) -> Vec<Option<Tensor>>;
+}
+
+#[derive(Clone)]
+enum Op {
+    Leaf,
+    Add(Var, Var),
+    Sub(Var, Var),
+    Mul(Var, Var),
+    Div(Var, Var),
+    Neg(Var),
+    AddScalar(Var),
+    MulScalar(Var, f32),
+    Relu(Var),
+    LeakyRelu(Var, f32),
+    Sigmoid(Var),
+    Tanh(Var),
+    Softplus(Var),
+    Sqrt(Var),
+    Square(Var),
+    Clamp(Var, f32, f32),
+    Matmul(Var, Var),
+    AddBiasRow(Var, Var),
+    AddBiasChan(Var, Var),
+    SumAll(Var),
+    MeanAll(Var),
+    Reshape(Var),
+    Conv2d { x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize },
+    ConvT2d { x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize },
+    MaxPool2d { x: Var, indices: Rc<Vec<u32>> },
+    ConcatChan(Rc<Vec<Var>>),
+    SliceChan { x: Var, start: usize, len: usize },
+    SliceCols { x: Var, start: usize, len: usize },
+    Spmm { a: Rc<Csr>, x: Var },
+    Custom { op: Rc<dyn CustomOp>, inputs: Rc<Vec<Var>> },
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    requires_grad: bool,
+}
+
+/// A define-by-run autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of nodes recorded so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
+        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn req(&self, v: Var) -> bool {
+        self.nodes[v.0].requires_grad
+    }
+
+    /// Add a constant leaf (no gradient tracked).
+    pub fn input(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Add a trainable leaf (gradient tracked).
+    pub fn param(&mut self, value: Tensor) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// The current value of `v`.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient of the last [`Graph::backward`] target w.r.t. `v`, if
+    /// any was propagated.
+    pub fn grad(&self, v: Var) -> Option<&Tensor> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    // ---- elementwise -----------------------------------------------------
+
+    /// Elementwise `a + b` (same shapes).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x + y);
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Add(a, b), r)
+    }
+
+    /// Elementwise `a - b` (same shapes).
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x - y);
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Sub(a, b), r)
+    }
+
+    /// Elementwise `a * b` (same shapes).
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x * y);
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Mul(a, b), r)
+    }
+
+    /// Elementwise `a / b` (same shapes; caller must avoid zeros in `b`).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x / y);
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Div(a, b), r)
+    }
+
+    /// Elementwise negation.
+    pub fn neg(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| -x);
+        let r = self.req(a);
+        self.push(v, Op::Neg(a), r)
+    }
+
+    /// `a + s` for scalar `s`.
+    pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        let r = self.req(a);
+        self.push(v, Op::AddScalar(a), r)
+    }
+
+    /// `a * s` for scalar `s`.
+    pub fn mul_scalar(&mut self, a: Var, s: f32) -> Var {
+        let v = self.value(a).map(|x| x * s);
+        let r = self.req(a);
+        self.push(v, Op::MulScalar(a, s), r)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        let r = self.req(a);
+        self.push(v, Op::Relu(a), r)
+    }
+
+    /// Leaky ReLU with negative slope `alpha`.
+    pub fn leaky_relu(&mut self, a: Var, alpha: f32) -> Var {
+        let v = self.value(a).map(|x| if x >= 0.0 { x } else { alpha * x });
+        let r = self.req(a);
+        self.push(v, Op::LeakyRelu(a, alpha), r)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        let r = self.req(a);
+        self.push(v, Op::Sigmoid(a), r)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f32::tanh);
+        let r = self.req(a);
+        self.push(v, Op::Tanh(a), r)
+    }
+
+    /// Softplus `ln(1 + e^x)`, a smooth ReLU.
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
+        let r = self.req(a);
+        self.push(v, Op::Softplus(a), r)
+    }
+
+    /// Elementwise square root (inputs must be non-negative).
+    pub fn sqrt(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0).sqrt());
+        let r = self.req(a);
+        self.push(v, Op::Sqrt(a), r)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x * x);
+        let r = self.req(a);
+        self.push(v, Op::Square(a), r)
+    }
+
+    /// Clamp to `[lo, hi]` with straight-through subgradient inside the
+    /// interval and zero outside.
+    pub fn clamp(&mut self, a: Var, lo: f32, hi: f32) -> Var {
+        let v = self.value(a).map(|x| x.clamp(lo, hi));
+        let r = self.req(a);
+        self.push(v, Op::Clamp(a, lo, hi), r)
+    }
+
+    // ---- linear algebra ----------------------------------------------------
+
+    /// Dense matrix multiply `[m,k] x [k,n]`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        let r = self.req(a) || self.req(b);
+        self.push(v, Op::Matmul(a, b), r)
+    }
+
+    /// Broadcast-add a row bias: `x [r, n] + b [n]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_bias_row(&mut self, x: Var, b: Var) -> Var {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        assert_eq!(xv.shape().len(), 2, "add_bias_row needs rank-2 input");
+        let n = xv.shape()[1];
+        assert_eq!(bv.shape(), &[n], "bias must be [n]");
+        let mut out = xv.clone();
+        for row in 0..xv.shape()[0] {
+            for j in 0..n {
+                out.data_mut()[row * n + j] += bv.data()[j];
+            }
+        }
+        let r = self.req(x) || self.req(b);
+        self.push(out, Op::AddBiasRow(x, b), r)
+    }
+
+    /// Broadcast-add a channel bias: `x [b, c, h, w] + bias [c]`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_bias_chan(&mut self, x: Var, b: Var) -> Var {
+        let xv = self.value(x);
+        let bv = self.value(b);
+        let [bsz, c, h, w]: [usize; 4] = xv.shape().try_into().expect("add_bias_chan needs 4D");
+        assert_eq!(bv.shape(), &[c], "bias must be [c]");
+        let mut out = xv.clone();
+        for bi in 0..bsz {
+            for ci in 0..c {
+                let base = (bi * c + ci) * h * w;
+                let bias = bv.data()[ci];
+                for v in &mut out.data_mut()[base..base + h * w] {
+                    *v += bias;
+                }
+            }
+        }
+        let r = self.req(x) || self.req(b);
+        self.push(out, Op::AddBiasChan(x, b), r)
+    }
+
+    /// Sparse × dense product with a constant CSR matrix.
+    pub fn spmm(&mut self, a: Rc<Csr>, x: Var) -> Var {
+        let v = a.matmul_dense(self.value(x));
+        let r = self.req(x);
+        self.push(v, Op::Spmm { a, x }, r)
+    }
+
+    // ---- reductions / shape -------------------------------------------------
+
+    /// Sum of all elements (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).sum());
+        let r = self.req(a);
+        self.push(v, Op::SumAll(a), r)
+    }
+
+    /// Mean of all elements (scalar output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Tensor::scalar(self.value(a).mean());
+        let r = self.req(a);
+        self.push(v, Op::MeanAll(a), r)
+    }
+
+    /// Reshape to a new shape with the same element count.
+    pub fn reshape(&mut self, a: Var, shape: &[usize]) -> Var {
+        let v = self.value(a).clone().reshaped(shape);
+        let r = self.req(a);
+        self.push(v, Op::Reshape(a), r)
+    }
+
+    // ---- convolution stack ----------------------------------------------------
+
+    /// 2D convolution; `x` is `[B,C,H,W]`, `w` is `[C_out,C_in,KH,KW]`.
+    pub fn conv2d(&mut self, x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize) -> Var {
+        let v = conv2d_forward(self.value(x), self.value(w), b.map(|bb| self.value(bb)), stride, pad);
+        let r = self.req(x) || self.req(w) || b.map(|bb| self.req(bb)).unwrap_or(false);
+        self.push(v, Op::Conv2d { x, w, b, stride, pad }, r)
+    }
+
+    /// 2D transposed convolution; `w` is `[C_in,C_out,KH,KW]`.
+    pub fn conv_transpose2d(
+        &mut self,
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        stride: usize,
+        pad: usize,
+    ) -> Var {
+        let v = conv_transpose2d_forward(
+            self.value(x),
+            self.value(w),
+            b.map(|bb| self.value(bb)),
+            stride,
+            pad,
+        );
+        let r = self.req(x) || self.req(w) || b.map(|bb| self.req(bb)).unwrap_or(false);
+        self.push(v, Op::ConvT2d { x, w, b, stride, pad }, r)
+    }
+
+    /// k×k max pooling (k must divide H and W).
+    pub fn maxpool2d(&mut self, x: Var, k: usize) -> Var {
+        let (v, idx) = maxpool2d_forward(self.value(x), k);
+        let r = self.req(x);
+        self.push(v, Op::MaxPool2d { x, indices: Rc::new(idx) }, r)
+    }
+
+    /// Concatenate along the channel axis; all inputs `[B,C_i,H,W]`.
+    ///
+    /// # Panics
+    /// Panics if batch/spatial dims disagree or `parts` is empty.
+    pub fn concat_chan(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_chan needs at least one input");
+        let first = self.value(parts[0]).shape().to_vec();
+        let (bsz, h, w) = (first[0], first[2], first[3]);
+        let mut c_total = 0;
+        for &p in parts {
+            let s = self.value(p).shape();
+            assert_eq!(s.len(), 4, "concat_chan inputs must be 4D");
+            assert_eq!((s[0], s[2], s[3]), (bsz, h, w), "concat_chan dim mismatch");
+            c_total += s[1];
+        }
+        let mut out = Tensor::zeros(&[bsz, c_total, h, w]);
+        let plane = h * w;
+        for bi in 0..bsz {
+            let mut c_off = 0;
+            for &p in parts {
+                let s = self.value(p).shape().to_vec();
+                let c = s[1];
+                let src = self.value(p).data();
+                let dst = out.data_mut();
+                for ci in 0..c {
+                    let sbase = (bi * c + ci) * plane;
+                    let dbase = (bi * c_total + c_off + ci) * plane;
+                    dst[dbase..dbase + plane].copy_from_slice(&src[sbase..sbase + plane]);
+                }
+                c_off += c;
+            }
+        }
+        let r = parts.iter().any(|&p| self.req(p));
+        self.push(out, Op::ConcatChan(Rc::new(parts.to_vec())), r)
+    }
+
+    /// Slice `len` channels starting at `start`: `[B,C,H,W] -> [B,len,H,W]`.
+    ///
+    /// # Panics
+    /// Panics if the channel range is out of bounds.
+    pub fn slice_chan(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let s = self.value(x).shape().to_vec();
+        assert_eq!(s.len(), 4, "slice_chan input must be 4D");
+        let (bsz, c, h, w) = (s[0], s[1], s[2], s[3]);
+        assert!(start + len <= c, "channel slice out of range");
+        let plane = h * w;
+        let mut out = Tensor::zeros(&[bsz, len, h, w]);
+        for bi in 0..bsz {
+            for ci in 0..len {
+                let sbase = (bi * c + start + ci) * plane;
+                let dbase = (bi * len + ci) * plane;
+                let src = self.value(x).data()[sbase..sbase + plane].to_vec();
+                out.data_mut()[dbase..dbase + plane].copy_from_slice(&src);
+            }
+        }
+        let r = self.req(x);
+        self.push(out, Op::SliceChan { x, start, len }, r)
+    }
+
+    /// Slice `len` columns starting at `start`: `[R,C] -> [R,len]`.
+    ///
+    /// # Panics
+    /// Panics if the column range is out of bounds.
+    pub fn slice_cols(&mut self, x: Var, start: usize, len: usize) -> Var {
+        let s = self.value(x).shape().to_vec();
+        assert_eq!(s.len(), 2, "slice_cols input must be 2D");
+        let (rows, cols) = (s[0], s[1]);
+        assert!(start + len <= cols, "column slice out of range");
+        let mut out = Tensor::zeros(&[rows, len]);
+        for r in 0..rows {
+            for j in 0..len {
+                let v = self.value(x).data()[r * cols + start + j];
+                out.data_mut()[r * len + j] = v;
+            }
+        }
+        let r = self.req(x);
+        self.push(out, Op::SliceCols { x, start, len }, r)
+    }
+
+    /// Record a user-defined differentiable op.
+    pub fn custom(&mut self, op: Rc<dyn CustomOp>, inputs: &[Var]) -> Var {
+        let vals: Vec<&Tensor> = inputs.iter().map(|&v| self.value(v)).collect();
+        let out = op.forward(&vals);
+        let r = inputs.iter().any(|&v| self.req(v));
+        self.push(out, Op::Custom { op, inputs: Rc::new(inputs.to_vec()) }, r)
+    }
+
+    // ---- backward ------------------------------------------------------------
+
+    fn accum(&mut self, v: Var, g: Tensor) {
+        if !self.nodes[v.0].requires_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Backpropagate from scalar `target`, filling gradients of every
+    /// gradient-requiring node reachable from it.
+    ///
+    /// # Panics
+    /// Panics if `target` is not a scalar (one element).
+    pub fn backward(&mut self, target: Var) {
+        assert_eq!(self.value(target).len(), 1, "backward target must be scalar");
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        if !self.nodes[target.0].requires_grad {
+            return;
+        }
+        self.nodes[target.0].grad = Some(Tensor::ones(self.value(target).shape()));
+        for i in (0..=target.0).rev() {
+            if !self.nodes[i].requires_grad {
+                continue;
+            }
+            let gy = match &self.nodes[i].grad {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            let op = self.nodes[i].op.clone();
+            match op {
+                Op::Leaf => {}
+                Op::Add(a, b) => {
+                    self.accum(a, gy.clone());
+                    self.accum(b, gy);
+                }
+                Op::Sub(a, b) => {
+                    self.accum(a, gy.clone());
+                    self.accum(b, gy.map(|v| -v));
+                }
+                Op::Mul(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    self.accum(a, gy.zip(&bv, |g, y| g * y));
+                    self.accum(b, gy.zip(&av, |g, x| g * x));
+                }
+                Op::Div(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    self.accum(a, gy.zip(&bv, |g, y| g / y));
+                    let gb = gy
+                        .zip(&av, |g, x| g * x)
+                        .zip(&bv, |gx_, y| -gx_ / (y * y));
+                    self.accum(b, gb);
+                }
+                Op::Neg(a) => self.accum(a, gy.map(|v| -v)),
+                Op::AddScalar(a) => self.accum(a, gy),
+                Op::MulScalar(a, s) => self.accum(a, gy.map(|v| v * s)),
+                Op::Relu(a) => {
+                    let av = self.value(a).clone();
+                    self.accum(a, gy.zip(&av, |g, x| if x > 0.0 { g } else { 0.0 }));
+                }
+                Op::LeakyRelu(a, alpha) => {
+                    let av = self.value(a).clone();
+                    self.accum(a, gy.zip(&av, |g, x| if x >= 0.0 { g } else { alpha * g }));
+                }
+                Op::Sigmoid(a) => {
+                    let yv = self.nodes[i].value.clone();
+                    self.accum(a, gy.zip(&yv, |g, y| g * y * (1.0 - y)));
+                }
+                Op::Tanh(a) => {
+                    let yv = self.nodes[i].value.clone();
+                    self.accum(a, gy.zip(&yv, |g, y| g * (1.0 - y * y)));
+                }
+                Op::Softplus(a) => {
+                    let av = self.value(a).clone();
+                    self.accum(a, gy.zip(&av, |g, x| g / (1.0 + (-x).exp())));
+                }
+                Op::Sqrt(a) => {
+                    let yv = self.nodes[i].value.clone();
+                    self.accum(a, gy.zip(&yv, |g, y| if y > 1e-12 { g / (2.0 * y) } else { 0.0 }));
+                }
+                Op::Square(a) => {
+                    let av = self.value(a).clone();
+                    self.accum(a, gy.zip(&av, |g, x| 2.0 * g * x));
+                }
+                Op::Clamp(a, lo, hi) => {
+                    let av = self.value(a).clone();
+                    self.accum(a, gy.zip(&av, |g, x| if x >= lo && x <= hi { g } else { 0.0 }));
+                }
+                Op::Matmul(a, b) => {
+                    let av = self.value(a).clone();
+                    let bv = self.value(b).clone();
+                    self.accum(a, gy.matmul(&bv.transposed()));
+                    self.accum(b, av.transposed().matmul(&gy));
+                }
+                Op::AddBiasRow(x, b) => {
+                    let n = self.value(b).len();
+                    let rows = gy.len() / n;
+                    let mut gb = Tensor::zeros(&[n]);
+                    for r in 0..rows {
+                        for j in 0..n {
+                            gb.data_mut()[j] += gy.data()[r * n + j];
+                        }
+                    }
+                    self.accum(x, gy);
+                    self.accum(b, gb);
+                }
+                Op::AddBiasChan(x, b) => {
+                    let c = self.value(b).len();
+                    let shape = gy.shape().to_vec();
+                    let (bsz, h, w) = (shape[0], shape[2], shape[3]);
+                    let mut gb = Tensor::zeros(&[c]);
+                    for bi in 0..bsz {
+                        for ci in 0..c {
+                            let base = (bi * c + ci) * h * w;
+                            gb.data_mut()[ci] += gy.data()[base..base + h * w].iter().sum::<f32>();
+                        }
+                    }
+                    self.accum(x, gy);
+                    self.accum(b, gb);
+                }
+                Op::SumAll(a) => {
+                    let g = gy.data()[0];
+                    let shape = self.value(a).shape().to_vec();
+                    self.accum(a, Tensor::full(&shape, g));
+                }
+                Op::MeanAll(a) => {
+                    let n = self.value(a).len().max(1);
+                    let g = gy.data()[0] / n as f32;
+                    let shape = self.value(a).shape().to_vec();
+                    self.accum(a, Tensor::full(&shape, g));
+                }
+                Op::Reshape(a) => {
+                    let shape = self.value(a).shape().to_vec();
+                    self.accum(a, gy.reshaped(&shape));
+                }
+                Op::Conv2d { x, w, b, stride, pad } => {
+                    let xv = self.value(x).clone();
+                    let wv = self.value(w).clone();
+                    let (gx, gw, gb) = conv2d_backward(&xv, &wv, stride, pad, &gy);
+                    self.accum(x, gx);
+                    self.accum(w, gw);
+                    if let Some(bb) = b {
+                        self.accum(bb, gb);
+                    }
+                }
+                Op::ConvT2d { x, w, b, stride, pad } => {
+                    let xv = self.value(x).clone();
+                    let wv = self.value(w).clone();
+                    let (gx, gw, gb) = conv_transpose2d_backward(&xv, &wv, stride, pad, &gy);
+                    self.accum(x, gx);
+                    self.accum(w, gw);
+                    if let Some(bb) = b {
+                        self.accum(bb, gb);
+                    }
+                }
+                Op::MaxPool2d { x, indices } => {
+                    let shape = self.value(x).shape().to_vec();
+                    self.accum(x, maxpool2d_backward(&indices, &shape, &gy));
+                }
+                Op::ConcatChan(parts) => {
+                    let shape = gy.shape().to_vec();
+                    let (bsz, c_total, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+                    let plane = h * w;
+                    let mut c_off = 0;
+                    for &p in parts.iter() {
+                        let c = self.value(p).shape()[1];
+                        let mut gp = Tensor::zeros(&[bsz, c, h, w]);
+                        for bi in 0..bsz {
+                            for ci in 0..c {
+                                let sbase = (bi * c_total + c_off + ci) * plane;
+                                let dbase = (bi * c + ci) * plane;
+                                gp.data_mut()[dbase..dbase + plane]
+                                    .copy_from_slice(&gy.data()[sbase..sbase + plane]);
+                            }
+                        }
+                        self.accum(p, gp);
+                        c_off += c;
+                    }
+                }
+                Op::SliceChan { x, start, len } => {
+                    let shape = self.value(x).shape().to_vec();
+                    let (bsz, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+                    let plane = h * w;
+                    let mut gx = Tensor::zeros(&shape);
+                    for bi in 0..bsz {
+                        for ci in 0..len {
+                            let dbase = (bi * c + start + ci) * plane;
+                            let sbase = (bi * len + ci) * plane;
+                            gx.data_mut()[dbase..dbase + plane]
+                                .copy_from_slice(&gy.data()[sbase..sbase + plane]);
+                        }
+                    }
+                    self.accum(x, gx);
+                }
+                Op::SliceCols { x, start, len } => {
+                    let shape = self.value(x).shape().to_vec();
+                    let (rows, cols) = (shape[0], shape[1]);
+                    let mut gx = Tensor::zeros(&shape);
+                    for r in 0..rows {
+                        for j in 0..len {
+                            gx.data_mut()[r * cols + start + j] = gy.data()[r * len + j];
+                        }
+                    }
+                    self.accum(x, gx);
+                }
+                Op::Spmm { a, x } => {
+                    self.accum(x, a.transpose_matmul_dense(&gy));
+                }
+                Op::Custom { op, inputs } => {
+                    let vals: Vec<Tensor> =
+                        inputs.iter().map(|&v| self.value(v).clone()).collect();
+                    let refs: Vec<&Tensor> = vals.iter().collect();
+                    let out = self.nodes[i].value.clone();
+                    let grads = op.backward(&refs, &out, &gy);
+                    assert_eq!(
+                        grads.len(),
+                        inputs.len(),
+                        "custom op {} returned wrong gradient count",
+                        op.name()
+                    );
+                    for (&inp, g) in inputs.iter().zip(grads) {
+                        if let Some(g) = g {
+                            self.accum(inp, g);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Numerical gradient check for a scalar function of a single tensor.
+    fn gradcheck(
+        build: impl Fn(&mut Graph, Var) -> Var,
+        x0: Tensor,
+        tol: f32,
+    ) {
+        let mut g = Graph::new();
+        let x = g.param(x0.clone());
+        let y = build(&mut g, x);
+        g.backward(y);
+        let analytic = g.grad(x).expect("gradient").clone();
+        let eps = 1e-2f32;
+        for i in 0..x0.len() {
+            let mut xp = x0.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x0.clone();
+            xm.data_mut()[i] -= eps;
+            let mut gp = Graph::new();
+            let vp = gp.param(xp);
+            let yp = build(&mut gp, vp);
+            let mut gm = Graph::new();
+            let vm = gm.param(xm);
+            let ym = build(&mut gm, vm);
+            let num = (gp.value(yp).data()[0] - gm.value(ym).data()[0]) / (2.0 * eps);
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() < tol,
+                "grad[{i}]: numeric {num} vs analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn simple_chain_rule() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(3.0));
+        let y = g.mul(x, x);
+        let z = g.mul_scalar(y, 2.0); // z = 2x^2
+        g.backward(z);
+        assert_eq!(g.grad(x).expect("grad").data(), &[12.0]);
+    }
+
+    #[test]
+    fn gradients_accumulate_over_branches() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(2.0));
+        let a = g.mul(x, x); // x^2
+        let b = g.mul_scalar(x, 3.0); // 3x
+        let s = g.add(a, b); // x^2 + 3x
+        g.backward(s);
+        assert_eq!(g.grad(x).expect("grad").data(), &[7.0]); // 2x + 3
+    }
+
+    #[test]
+    fn inputs_get_no_gradient() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::scalar(2.0));
+        let w = g.param(Tensor::scalar(5.0));
+        let y = g.mul(x, w);
+        g.backward(y);
+        assert!(g.grad(x).is_none());
+        assert_eq!(g.grad(w).expect("grad").data(), &[2.0]);
+    }
+
+    #[test]
+    fn gradcheck_elementwise_ops() {
+        let x0 = Tensor::from_vec(vec![0.5, -0.3, 1.2, -1.7], &[4]);
+        gradcheck(|g, x| { let y = g.sigmoid(x); g.sum_all(y) }, x0.clone(), 1e-2);
+        gradcheck(|g, x| { let y = g.tanh(x); g.sum_all(y) }, x0.clone(), 1e-2);
+        gradcheck(|g, x| { let y = g.softplus(x); g.sum_all(y) }, x0.clone(), 1e-2);
+        gradcheck(|g, x| { let y = g.square(x); g.mean_all(y) }, x0.clone(), 1e-2);
+        gradcheck(
+            |g, x| { let y = g.leaky_relu(x, 0.1); g.sum_all(y) },
+            x0.clone(),
+            1e-2,
+        );
+        gradcheck(
+            |g, x| {
+                let y = g.mul(x, x);
+                let z = g.add_scalar(y, 1.0);
+                let w = g.sqrt(z);
+                g.sum_all(w)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_div() {
+        let x0 = Tensor::from_vec(vec![1.0, 2.0, -3.0], &[3]);
+        gradcheck(
+            |g, x| {
+                let two = g.input(Tensor::from_vec(vec![2.0, 4.0, 5.0], &[3]));
+                let y = g.div(x, two);
+                g.sum_all(y)
+            },
+            x0,
+            1e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_matmul() {
+        let x0 = Tensor::from_vec(vec![1.0, -2.0, 0.5, 3.0], &[2, 2]);
+        gradcheck(
+            |g, x| {
+                let w = g.input(Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.2], &[2, 2]));
+                let y = g.matmul(x, w);
+                let s = g.square(y);
+                g.sum_all(s)
+            },
+            x0,
+            2e-1,
+        );
+    }
+
+    #[test]
+    fn gradcheck_conv_graph() {
+        let x0 = Tensor::from_vec((0..16).map(|v| v as f32 * 0.1 - 0.8).collect(), &[1, 1, 4, 4]);
+        gradcheck(
+            |g, x| {
+                let w = g.input(Tensor::from_vec(
+                    vec![0.5, -0.2, 0.1, 0.7, -0.4, 0.3, 0.2, -0.1, 0.6],
+                    &[1, 1, 3, 3],
+                ));
+                let y = g.conv2d(x, w, None, 1, 1);
+                let r = g.square(y); // smooth nonlinearity keeps finite differences valid
+                g.sum_all(r)
+            },
+            x0,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn concat_and_slice_round_trip() {
+        let mut g = Graph::new();
+        let a = g.param(Tensor::full(&[1, 2, 2, 2], 1.0));
+        let b = g.param(Tensor::full(&[1, 3, 2, 2], 2.0));
+        let cat = g.concat_chan(&[a, b]);
+        assert_eq!(g.value(cat).shape(), &[1, 5, 2, 2]);
+        let back = g.slice_chan(cat, 2, 3);
+        assert_eq!(g.value(back).data(), g.value(b).data());
+        let s = g.sum_all(back);
+        g.backward(s);
+        assert_eq!(g.grad(b).expect("grad").sum(), 12.0);
+        assert_eq!(g.grad(a).expect("grad").sum(), 0.0);
+    }
+
+    #[test]
+    fn slice_cols_grads_scatter() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[2, 3]));
+        let y = g.slice_cols(x, 1, 1);
+        assert_eq!(g.value(y).data(), &[2.0, 5.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).expect("grad").data(), &[0., 1., 0., 0., 1., 0.]);
+    }
+
+    #[test]
+    fn spmm_backward_uses_transpose() {
+        let a = Rc::new(Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]));
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
+        let y = g.spmm(a, x);
+        assert_eq!(g.value(y).data(), &[5.0, 6.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        // d(sum)/dx = A^T 1 = [1, 5]
+        assert_eq!(g.grad(x).expect("grad").data(), &[1.0, 5.0]);
+    }
+
+    struct DoubleOp;
+    impl CustomOp for DoubleOp {
+        fn name(&self) -> &str {
+            "double"
+        }
+        fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+            inputs[0].map(|v| 2.0 * v)
+        }
+        fn backward(
+            &self,
+            _inputs: &[&Tensor],
+            _output: &Tensor,
+            grad_output: &Tensor,
+        ) -> Vec<Option<Tensor>> {
+            vec![Some(grad_output.map(|v| 2.0 * v))]
+        }
+    }
+
+    #[test]
+    fn custom_op_backward_is_invoked() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.custom(Rc::new(DoubleOp), &[x]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).expect("grad").data(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn neg_and_clamp_gradients() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![-2.0, -0.5, 0.5, 2.0], &[4]));
+        let c = g.clamp(x, -1.0, 1.0);
+        let n = g.neg(c);
+        let s = g.sum_all(n);
+        g.backward(s);
+        // straight-through inside [-1, 1], zero outside; negated
+        assert_eq!(g.grad(x).expect("grad").data(), &[0.0, -1.0, -1.0, 0.0]);
+        assert_eq!(g.value(c).data(), &[-1.0, -0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn bias_gradients_match_finite_differences() {
+        let x0 = Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, -0.5, 0.6], &[2, 3]);
+        gradcheck(
+            |g, x| {
+                let b = g.input(Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]));
+                let y = g.add_bias_row(x, b);
+                let sq = g.square(y);
+                g.sum_all(sq)
+            },
+            x0,
+            1e-2,
+        );
+        // channel bias: gradient of bias = sum over batch*spatial
+        let mut g = Graph::new();
+        let x = g.input(Tensor::ones(&[2, 3, 2, 2]));
+        let b = g.param(Tensor::from_vec(vec![0.0, 1.0, -1.0], &[3]));
+        let y = g.add_bias_chan(x, b);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(b).expect("grad").data(), &[8.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn reshape_routes_gradients_back() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let r = g.reshape(x, &[4]);
+        let sq = g.square(r);
+        let s = g.sum_all(sq);
+        g.backward(s);
+        let grad = g.grad(x).expect("grad");
+        assert_eq!(grad.shape(), &[2, 2]);
+        assert_eq!(grad.data(), &[2.0, 4.0, 6.0, 8.0]);
+    }
+
+    #[test]
+    fn rectangular_spmm_shapes() {
+        let a = Rc::new(Csr::from_triplets(2, 3, vec![(0, 2, 1.0), (1, 0, 2.0)]));
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[3, 2]));
+        let y = g.spmm(a, x);
+        assert_eq!(g.value(y).shape(), &[2, 2]);
+        assert_eq!(g.value(y).data(), &[5.0, 6.0, 2.0, 4.0]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).expect("grad").shape(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward target must be scalar")]
+    fn backward_rejects_non_scalar() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::ones(&[2]));
+        g.backward(x);
+    }
+
+    #[test]
+    fn maxpool_in_graph() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(
+            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            &[1, 1, 4, 4],
+        ));
+        let y = g.maxpool2d(x, 2);
+        assert_eq!(g.value(y).data(), &[6., 8., 14., 16.]);
+        let s = g.sum_all(y);
+        g.backward(s);
+        assert_eq!(g.grad(x).expect("grad").sum(), 4.0);
+    }
+}

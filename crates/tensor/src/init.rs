@@ -1,0 +1,106 @@
+//! Weight initializers.
+
+use crate::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic weight initializer seeded once per model.
+///
+/// # Example
+///
+/// ```
+/// use dco_tensor::Initializer;
+///
+/// let mut init = Initializer::new(42);
+/// let w = init.xavier_uniform(&[16, 8]);
+/// assert_eq!(w.shape(), &[16, 8]);
+/// ```
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Create an initializer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    ///
+    /// Fan-in/out are derived from the shape: for rank-2 `[out, in]`, for
+    /// rank-4 conv weights `[out, in, kh, kw]` the kernel area multiplies
+    /// both fans.
+    pub fn xavier_uniform(&mut self, shape: &[usize]) -> Tensor {
+        let (fan_in, fan_out) = fans(shape);
+        let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        self.uniform(shape, -a, a)
+    }
+
+    /// He/Kaiming normal: `N(0, sqrt(2 / fan_in))`, good before ReLU.
+    pub fn he_normal(&mut self, shape: &[usize]) -> Tensor {
+        let (fan_in, _) = fans(shape);
+        let std = (2.0 / fan_in as f32).sqrt();
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| {
+                // Box-Muller transform.
+                let u1: f32 = self.rng.gen_range(1e-7..1.0);
+                let u2: f32 = self.rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * std
+            })
+            .collect();
+        Tensor::from_vec(data, shape)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
+        let data =
+            (0..shape.iter().product::<usize>()).map(|_| self.rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape)
+    }
+}
+
+fn fans(shape: &[usize]) -> (usize, usize) {
+    match shape.len() {
+        0 => (1, 1),
+        1 => (shape[0], shape[0]),
+        2 => (shape[1], shape[0]),
+        4 => {
+            let receptive = shape[2] * shape[3];
+            (shape[1] * receptive, shape[0] * receptive)
+        }
+        _ => {
+            let n: usize = shape.iter().product();
+            (n / shape[0], shape[0])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let mut init = Initializer::new(1);
+        let w = init.xavier_uniform(&[32, 32]);
+        let a = (6.0f32 / 64.0).sqrt();
+        assert!(w.max() <= a && w.min() >= -a);
+    }
+
+    #[test]
+    fn he_normal_has_roughly_right_std() {
+        let mut init = Initializer::new(2);
+        let w = init.he_normal(&[2000, 50]);
+        let std = (w.data().iter().map(|v| v * v).sum::<f32>() / w.len() as f32).sqrt();
+        let want = (2.0f32 / 50.0).sqrt();
+        assert!((std - want).abs() / want < 0.1, "std {std} vs want {want}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Initializer::new(7).xavier_uniform(&[4, 4]);
+        let b = Initializer::new(7).xavier_uniform(&[4, 4]);
+        assert_eq!(a, b);
+    }
+}

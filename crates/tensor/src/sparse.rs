@@ -1,0 +1,194 @@
+//! Compressed-sparse-row matrices for graph convolutions.
+
+use crate::Tensor;
+
+/// A CSR sparse matrix with `f32` values.
+///
+/// Used for the normalized adjacency of the netlist graph inside the GCN;
+/// the matrix itself is constant during optimization, so autograd only needs
+/// products with dense right-hand sides (and with the transpose, for
+/// backward).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f32>,
+}
+
+impl Csr {
+    /// Build from (row, col, value) triplets; duplicate coordinates are
+    /// summed.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of range.
+    pub fn from_triplets(
+        n_rows: usize,
+        n_cols: usize,
+        triplets: impl IntoIterator<Item = (usize, usize, f32)>,
+    ) -> Self {
+        let mut per_row: Vec<Vec<(u32, f32)>> = vec![Vec::new(); n_rows];
+        for (r, c, v) in triplets {
+            assert!(r < n_rows && c < n_cols, "triplet ({r}, {c}) out of range");
+            per_row[r].push((c as u32, v));
+        }
+        let mut row_ptr = Vec::with_capacity(n_rows + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < row.len() {
+                let c = row[i].0;
+                let mut v = 0.0;
+                while i < row.len() && row[i].0 == c {
+                    v += row[i].1;
+                    i += 1;
+                }
+                col_idx.push(c);
+                vals.push(v);
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Self { n_rows, n_cols, row_ptr, col_idx, vals }
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Sparse × dense product: `self [r, c] × x [c, f] -> [r, f]`.
+    ///
+    /// # Panics
+    /// Panics if `x` is not rank-2 with `x.shape()[0] == n_cols`.
+    pub fn matmul_dense(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.shape().len(), 2, "spmm rhs must be rank 2");
+        assert_eq!(x.shape()[0], self.n_cols, "spmm dim mismatch");
+        let f = x.shape()[1];
+        let xd = x.data();
+        let mut out = vec![0.0f32; self.n_rows * f];
+        for r in 0..self.n_rows {
+            let orow = &mut out[r * f..(r + 1) * f];
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let v = self.vals[k];
+                let xrow = &xd[c * f..(c + 1) * f];
+                for (o, &xv) in orow.iter_mut().zip(xrow) {
+                    *o += v * xv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.n_rows, f])
+    }
+
+    /// Transposed sparse × dense product: `selfᵀ [c, r] × y [r, f] -> [c, f]`.
+    ///
+    /// # Panics
+    /// Panics if `y` is not rank-2 with `y.shape()[0] == n_rows`.
+    pub fn transpose_matmul_dense(&self, y: &Tensor) -> Tensor {
+        assert_eq!(y.shape().len(), 2, "spmm^T rhs must be rank 2");
+        assert_eq!(y.shape()[0], self.n_rows, "spmm^T dim mismatch");
+        let f = y.shape()[1];
+        let yd = y.data();
+        let mut out = vec![0.0f32; self.n_cols * f];
+        for r in 0..self.n_rows {
+            let yrow = &yd[r * f..(r + 1) * f];
+            for k in self.row_ptr[r]..self.row_ptr[r + 1] {
+                let c = self.col_idx[k] as usize;
+                let v = self.vals[k];
+                let orow = &mut out[c * f..(c + 1) * f];
+                for (o, &yv) in orow.iter_mut().zip(yrow) {
+                    *o += v * yv;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[self.n_cols, f])
+    }
+
+    /// Symmetrically normalized adjacency with self loops:
+    /// `D^{-1/2} (A + I) D^{-1/2}` — the standard GCN propagation matrix.
+    ///
+    /// `edges` lists undirected weighted edges; each is inserted in both
+    /// directions.
+    pub fn gcn_normalized(n: usize, edges: impl IntoIterator<Item = (usize, usize, f32)>) -> Self {
+        let mut trip: Vec<(usize, usize, f32)> = Vec::new();
+        for (u, v, w) in edges {
+            trip.push((u, v, w));
+            trip.push((v, u, w));
+        }
+        for i in 0..n {
+            trip.push((i, i, 1.0));
+        }
+        let mut deg = vec![0.0f32; n];
+        for &(u, _, w) in &trip {
+            deg[u] += w;
+        }
+        let inv_sqrt: Vec<f32> =
+            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        Self::from_triplets(
+            n,
+            n,
+            trip.into_iter().map(|(u, v, w)| (u, v, w * inv_sqrt[u] * inv_sqrt[v])),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_deduplicate() {
+        let m = Csr::from_triplets(2, 2, vec![(0, 1, 1.0), (0, 1, 2.0), (1, 0, 4.0)]);
+        assert_eq!(m.nnz(), 2);
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[2, 1]);
+        let y = m.matmul_dense(&x);
+        assert_eq!(y.data(), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = Csr::from_triplets(3, 3, vec![(0, 0, 2.0), (1, 2, -1.0), (2, 1, 0.5)]);
+        let x = Tensor::from_vec(vec![1., 2., 3., 4., 5., 6.], &[3, 2]);
+        let y = m.matmul_dense(&x);
+        assert_eq!(y.data(), &[2., 4., -5., -6., 1.5, 2.0]);
+    }
+
+    #[test]
+    fn transpose_product_is_adjoint() {
+        // <A x, y> == <x, A^T y>
+        let m = Csr::from_triplets(2, 3, vec![(0, 0, 1.0), (0, 2, 2.0), (1, 1, -3.0)]);
+        let x = Tensor::from_vec(vec![1., 2., 3.], &[3, 1]);
+        let y = Tensor::from_vec(vec![4., 5.], &[2, 1]);
+        let ax = m.matmul_dense(&x);
+        let aty = m.transpose_matmul_dense(&y);
+        let lhs: f32 = ax.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(aty.data()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gcn_normalization_is_stochastic_on_regular_graphs() {
+        // On a regular graph (triangle), D^{-1/2}(A+I)D^{-1/2} is doubly
+        // stochastic: every row sums to exactly 1.
+        let m = Csr::gcn_normalized(3, vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)]);
+        let ones = Tensor::ones(&[3, 1]);
+        let y = m.matmul_dense(&ones);
+        for &v in y.data() {
+            assert!((v - 1.0).abs() < 1e-5, "row sum {v}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Clock-tree synthesis estimate (CTS-lite).
+//!
+//! The Pin-3D flow runs 3D CTS between placement and routing. For the
+//! reproduction we model the clock tree as a recursive geometric-median
+//! bipartition tree (an H-tree relaxation): it yields a deterministic clock
+//! wirelength (fed to the power model) and a per-sink insertion-delay skew
+//! estimate (fed to the STA margin), which is all the downstream flow
+//! consumes.
+
+use dco_netlist::{CellClass, Design, Placement3};
+
+/// Summary of the synthesized clock tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClockTreeReport {
+    /// Total clock-tree wirelength in microns.
+    pub wirelength: f64,
+    /// Estimated global skew in ps (max insertion-delay spread).
+    pub skew_ps: f64,
+    /// Number of clock sinks (sequential cells).
+    pub sinks: usize,
+    /// Tree depth.
+    pub depth: usize,
+}
+
+/// Build the CTS estimate for `placement`.
+pub fn synthesize_clock_tree(design: &Design, placement: &Placement3) -> ClockTreeReport {
+    let netlist = &design.netlist;
+    let mut sinks: Vec<(f64, f64)> = netlist
+        .cell_ids()
+        .filter(|&id| netlist.cell(id).class == CellClass::Sequential)
+        .map(|id| (placement.x(id), placement.y(id)))
+        .collect();
+    let n = sinks.len();
+    if n == 0 {
+        return ClockTreeReport { wirelength: 0.0, skew_ps: 0.0, sinks: 0, depth: 0 };
+    }
+    let mut wirelength = 0.0;
+    let mut depth = 0usize;
+    recurse(&mut sinks, 0, &mut wirelength, &mut depth);
+    // Skew: wire-delay spread across the deepest branches; proportional to
+    // the average leaf-level segment length and the RC constant.
+    let tech = &design.technology;
+    let avg_leg = wirelength / (2.0 * n as f64).max(1.0);
+    let rc_ps = 0.69 * (tech.wire_res_per_um / 1000.0) * tech.wire_cap_per_um
+        * avg_leg * avg_leg;
+    let skew_ps = rc_ps * (depth as f64).sqrt() * 0.25;
+    ClockTreeReport { wirelength, skew_ps, sinks: n, depth }
+}
+
+/// Recursive bipartition: connect the centroids of the two halves, recurse.
+fn recurse(pts: &mut [(f64, f64)], level: usize, wl: &mut f64, depth: &mut usize) {
+    *depth = (*depth).max(level);
+    if pts.len() <= 1 {
+        return;
+    }
+    // Alternate split axis; median split keeps the tree balanced.
+    let horizontal = level % 2 == 0;
+    if horizontal {
+        pts.sort_by(|a, b| a.0.total_cmp(&b.0));
+    } else {
+        pts.sort_by(|a, b| a.1.total_cmp(&b.1));
+    }
+    let mid = pts.len() / 2;
+    let (left, right) = pts.split_at_mut(mid);
+    let cl = centroid(left);
+    let cr = centroid(right);
+    *wl += (cl.0 - cr.0).abs() + (cl.1 - cr.1).abs();
+    recurse(left, level + 1, wl, depth);
+    recurse(right, level + 1, wl, depth);
+}
+
+fn centroid(pts: &[(f64, f64)]) -> (f64, f64) {
+    let n = pts.len().max(1) as f64;
+    let (sx, sy) = pts.iter().fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
+    (sx / n, sy / n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+
+    #[test]
+    fn clock_tree_scales_with_spread() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Ecg)
+            .with_scale(0.02)
+            .generate(2)
+            .expect("gen");
+        let rep = synthesize_clock_tree(&d, &d.placement);
+        assert!(rep.sinks > 0);
+        assert!(rep.wirelength > 0.0);
+        assert!(rep.depth > 0);
+        assert!(rep.skew_ps >= 0.0);
+
+        // Compress all sinks to a point: wirelength collapses.
+        let mut tight = d.placement.clone();
+        for id in d.netlist.cell_ids() {
+            tight.set_xy(id, 1.0, 1.0);
+        }
+        let rep2 = synthesize_clock_tree(&d, &tight);
+        assert!(rep2.wirelength < rep.wirelength * 0.01);
+    }
+
+    #[test]
+    fn empty_design_yields_empty_tree() {
+        let mut b = dco_netlist::NetlistBuilder::new("nosinks");
+        let a = b.add_cell_simple("a", CellClass::Combinational);
+        let c = b.add_cell_simple("c", CellClass::Combinational);
+        b.add_net("w", &[(a, dco_netlist::PinDirection::Output), (c, dco_netlist::PinDirection::Input)]);
+        let nl = b.finish().expect("valid");
+        let tech = dco_netlist::Technology::sim_3nm();
+        let fp = dco_netlist::Floorplan::for_area(1.0, 0.6, &tech);
+        let d = Design {
+            placement: Placement3::zeroed(nl.num_cells()),
+            netlist: nl,
+            floorplan: fp,
+            technology: tech,
+            name: "t".into(),
+        };
+        let rep = synthesize_clock_tree(&d, &d.placement);
+        assert_eq!(rep.sinks, 0);
+        assert_eq!(rep.wirelength, 0.0);
+    }
+}

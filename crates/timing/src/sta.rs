@@ -1,0 +1,577 @@
+//! Topological static timing analysis over the pin graph.
+
+use dco_netlist::{CellClass, Design, PinDirection, PinId, Placement3};
+
+/// A per-design STA report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Worst negative slack in ps (0.0 when all paths meet timing).
+    pub wns_ps: f64,
+    /// Total negative slack in ps (sum over violating endpoints).
+    pub tns_ps: f64,
+    /// Number of violating endpoints.
+    pub violations: usize,
+    /// Worst slack seen by each cell (min over its pins), ps. Positive =
+    /// slack available. This is the `wst slack` GNN feature of Table II.
+    pub cell_slack: Vec<f64>,
+    /// Worst (largest) output-pin transition per cell, ps.
+    pub cell_output_slew: Vec<f64>,
+    /// Worst (largest) input-pin transition per cell, ps.
+    pub cell_input_slew: Vec<f64>,
+    /// Number of combinational-cycle edges that had to be broken.
+    pub broken_cycle_edges: usize,
+    /// Hold worst negative slack in ps (0.0 when no hold violations).
+    pub hold_wns_ps: f64,
+    /// Hold total negative slack in ps.
+    pub hold_tns_ps: f64,
+    /// Number of hold-violating endpoints.
+    pub hold_violations: usize,
+    /// Arrival time per pin (ps), for path extraction.
+    pub pin_arrival: Vec<f64>,
+    /// Worst-arrival predecessor pin per pin (`u32::MAX` = start point).
+    pub worst_pred: Vec<u32>,
+}
+
+/// Static timing analyzer.
+///
+/// Delay model:
+/// - cell arc (input → output pin): `intrinsic + drive_res * load_cap`,
+/// - net arc (driver → sink): lumped Elmore `0.69 * R_wire * (C_wire/2 +
+///   C_sink)` using the net's routed length split per sink by HPWL fractions,
+/// - every hybrid bond on a net adds the technology's bond delay,
+/// - slew: `2.2 * drive_res * load_cap` propagated max per pin.
+///
+/// Start points are sequential outputs and input pads; endpoints are
+/// sequential inputs (checked against the clock period minus setup) and
+/// output pads.
+#[derive(Debug)]
+pub struct Sta<'a> {
+    design: &'a Design,
+    /// Setup margin at sequential endpoints, ps.
+    pub setup_ps: f64,
+    /// Hold requirement at sequential endpoints, ps: the fast-corner
+    /// arrival must exceed this.
+    pub hold_ps: f64,
+    /// Fast-corner derate applied to every delay for the hold (min-path)
+    /// analysis.
+    pub fast_corner: f64,
+}
+
+impl<'a> Sta<'a> {
+    /// An analyzer for `design` with a 5 ps setup margin, 2 ps hold
+    /// requirement, and a 0.5x fast corner.
+    pub fn new(design: &'a Design) -> Self {
+        Self { design, setup_ps: 5.0, hold_ps: 2.0, fast_corner: 0.5 }
+    }
+
+    /// Analyze `placement`, using per-net routed lengths when available
+    /// (falling back to HPWL otherwise). `net_bonds` adds bond delay per
+    /// inter-die crossing.
+    pub fn analyze(
+        &self,
+        placement: &Placement3,
+        net_lengths: Option<&[f64]>,
+        net_bonds: Option<&[u32]>,
+    ) -> TimingReport {
+        self.analyze_with_drive_scale(placement, net_lengths, net_bonds, None)
+    }
+
+    /// Like [`Sta::analyze`], with an optional per-cell drive-resistance
+    /// scale (values < 1.0 model upsized/stronger drivers). Used by the
+    /// post-route timing-ECO pass.
+    pub fn analyze_with_drive_scale(
+        &self,
+        placement: &Placement3,
+        net_lengths: Option<&[f64]>,
+        net_bonds: Option<&[u32]>,
+        drive_scale: Option<&[f64]>,
+    ) -> TimingReport {
+        let netlist = &self.design.netlist;
+        let drive = |cell_idx: usize, base: f64| -> f64 {
+            base * drive_scale.map(|s| s[cell_idx]).unwrap_or(1.0)
+        };
+        let tech = &self.design.technology;
+        let n_pins = netlist.num_pins();
+        let n_cells = netlist.num_cells();
+
+        // --- net loads and delays -------------------------------------------
+        let mut net_load = vec![0.0f64; netlist.num_nets()]; // fF
+        let mut net_wire_delay = vec![0.0f64; netlist.num_nets()]; // ps
+        for net_id in netlist.net_ids() {
+            let net = netlist.net(net_id);
+            let len = net_lengths
+                .and_then(|l| l.get(net_id.index()).copied())
+                .filter(|&l| l > 0.0)
+                .unwrap_or_else(|| placement.net_hpwl(netlist, net_id));
+            let c_wire = tech.wire_cap_per_um * len;
+            let c_sinks: f64 = net
+                .pins
+                .iter()
+                .map(|&p| {
+                    let pin = netlist.pin(p);
+                    if pin.direction == PinDirection::Input {
+                        netlist.cell(pin.cell).input_cap
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            net_load[net_id.index()] = c_wire + c_sinks;
+            // Elmore with lumped RC: R in kohm * C in fF gives ps.
+            let r_wire = tech.wire_res_per_um * len / 1000.0;
+            let bonds = net_bonds.map(|b| b[net_id.index()]).unwrap_or(0) as f64;
+            net_wire_delay[net_id.index()] =
+                0.69 * r_wire * (c_wire / 2.0 + c_sinks) + bonds * tech.bond_delay_ps;
+        }
+
+        // --- pin graph edges --------------------------------------------------
+        // edge (from_pin -> to_pin, delay)
+        let mut succ: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_pins];
+        let mut indeg = vec![0u32; n_pins];
+        let add_edge = |succ: &mut Vec<Vec<(u32, f64)>>, indeg: &mut Vec<u32>, a: PinId, b: PinId, d: f64| {
+            succ[a.index()].push((b.0, d));
+            indeg[b.index()] += 1;
+        };
+        // net arcs: driver output pin -> every input pin
+        for net_id in netlist.net_ids() {
+            if netlist.net(net_id).is_clock {
+                continue; // ideal clock
+            }
+            let driver = match netlist.net_driver(net_id) {
+                Some(d) => d,
+                None => continue,
+            };
+            let d = net_wire_delay[net_id.index()];
+            for &p in &netlist.net(net_id).pins {
+                if netlist.pin(p).direction == PinDirection::Input {
+                    add_edge(&mut succ, &mut indeg, driver, p, d);
+                }
+            }
+        }
+        // cell arcs: combinational input pin -> output pins of same cell
+        for cell_id in netlist.cell_ids() {
+            let cell = netlist.cell(cell_id);
+            if cell.class != CellClass::Combinational && cell.class != CellClass::Macro {
+                continue; // sequential and IO cells cut timing paths
+            }
+            let pins = netlist.cell_pins(cell_id);
+            for &pi in pins {
+                if netlist.pin(pi).direction != PinDirection::Input {
+                    continue;
+                }
+                for &po in pins {
+                    if netlist.pin(po).direction != PinDirection::Output {
+                        continue;
+                    }
+                    let load = net_load[netlist.pin(po).net.index()];
+                    let d =
+                        cell.intrinsic_delay + drive(cell_id.index(), cell.drive_res) * load;
+                    add_edge(&mut succ, &mut indeg, pi, po, d);
+                }
+            }
+        }
+
+        // --- start points ------------------------------------------------------
+        let mut arrival = vec![0.0f64; n_pins];
+        let mut min_arrival = vec![f64::INFINITY; n_pins];
+        let mut worst_pred: Vec<u32> = vec![u32::MAX; n_pins];
+        let mut slew = vec![5.0f64; n_pins];
+        for cell_id in netlist.cell_ids() {
+            let cell = netlist.cell(cell_id);
+            let launches = matches!(cell.class, CellClass::Sequential | CellClass::Io);
+            if !launches {
+                continue;
+            }
+            for &p in netlist.cell_pins(cell_id) {
+                if netlist.pin(p).direction == PinDirection::Output {
+                    // clk-to-q (or pad) delay
+                    let load = net_load[netlist.pin(p).net.index()];
+                    let r = drive(cell_id.index(), cell.drive_res);
+                    arrival[p.index()] = cell.intrinsic_delay + r * load;
+                    min_arrival[p.index()] = self.fast_corner * arrival[p.index()];
+                    slew[p.index()] = 2.2 * r * load;
+                }
+            }
+        }
+
+        // --- Kahn propagation with cycle breaking ------------------------------
+        let mut queue: std::collections::VecDeque<u32> =
+            (0..n_pins as u32).filter(|&p| indeg[p as usize] == 0).collect();
+        let mut processed = vec![false; n_pins];
+        let mut n_done = 0usize;
+        let mut broken = 0usize;
+        loop {
+            while let Some(p) = queue.pop_front() {
+                let pi = p as usize;
+                if processed[pi] {
+                    continue;
+                }
+                processed[pi] = true;
+                n_done += 1;
+                let a = arrival[pi];
+                let s = slew[pi];
+                for &(q, d) in &succ[pi] {
+                    let qi = q as usize;
+                    if arrival[pi] + d > arrival[qi] {
+                        arrival[qi] = a + d;
+                        worst_pred[qi] = p;
+                    }
+                    let fast = min_arrival[pi] + self.fast_corner * d;
+                    if fast < min_arrival[qi] {
+                        min_arrival[qi] = fast;
+                    }
+                    // slew degrades along wires, regenerates at cell outputs
+                    slew[qi] = slew[qi].max(s * 0.5 + d * 0.4);
+                    indeg[qi] = indeg[qi].saturating_sub(1);
+                    if indeg[qi] == 0 {
+                        queue.push_back(q);
+                    }
+                }
+            }
+            if n_done >= n_pins {
+                break;
+            }
+            // Combinational cycle: force the lowest-id unprocessed pin.
+            match (0..n_pins).find(|&i| !processed[i]) {
+                Some(i) => {
+                    broken += 1;
+                    indeg[i] = 0;
+                    queue.push_back(i as u32);
+                }
+                None => break,
+            }
+        }
+
+        // --- endpoints and slacks -----------------------------------------------
+        let period = tech.clock_period_ps;
+        let mut wns = f64::INFINITY;
+        let mut tns = 0.0f64;
+        let mut violations = 0usize;
+        let mut hold_wns = f64::INFINITY;
+        let mut hold_tns = 0.0f64;
+        let mut hold_violations = 0usize;
+        let mut cell_slack = vec![period; n_cells];
+        let mut cell_out_slew = vec![0.0f64; n_cells];
+        let mut cell_in_slew = vec![0.0f64; n_cells];
+        for pin_id in 0..n_pins {
+            let pin = netlist.pin(PinId(pin_id as u32));
+            let cell = netlist.cell(pin.cell);
+            match pin.direction {
+                PinDirection::Output => {
+                    let ci = pin.cell.index();
+                    cell_out_slew[ci] = cell_out_slew[ci].max(slew[pin_id]);
+                }
+                PinDirection::Input => {
+                    let ci = pin.cell.index();
+                    cell_in_slew[ci] = cell_in_slew[ci].max(slew[pin_id]);
+                }
+            }
+            let is_endpoint = pin.direction == PinDirection::Input
+                && matches!(cell.class, CellClass::Sequential | CellClass::Io);
+            if is_endpoint {
+                let slack = period - self.setup_ps - arrival[pin_id];
+                if slack < wns {
+                    wns = slack;
+                }
+                if slack < 0.0 {
+                    tns += slack;
+                    violations += 1;
+                }
+                // hold: the fastest arrival must not race past the capture
+                // edge (ideal clock, so the requirement is `hold_ps`).
+                if min_arrival[pin_id].is_finite() {
+                    let hold_slack = min_arrival[pin_id] - self.hold_ps;
+                    if hold_slack < hold_wns {
+                        hold_wns = hold_slack;
+                    }
+                    if hold_slack < 0.0 {
+                        hold_tns += hold_slack;
+                        hold_violations += 1;
+                    }
+                }
+            }
+        }
+        if !wns.is_finite() {
+            wns = period;
+        }
+        if !hold_wns.is_finite() {
+            hold_wns = 0.0;
+        }
+        // back-annotate worst slack onto every cell on the path (approximate:
+        // a cell's slack is the worst endpoint slack reachable, here we use
+        // arrival-based estimate: slack_i = period - setup - arrival_worst_i).
+        for pin_id in 0..n_pins {
+            let ci = netlist.pin(PinId(pin_id as u32)).cell.index();
+            let s = period - self.setup_ps - arrival[pin_id];
+            if s < cell_slack[ci] {
+                cell_slack[ci] = s;
+            }
+        }
+
+        TimingReport {
+            wns_ps: wns.min(0.0).min(period),
+            tns_ps: tns,
+            violations,
+            cell_slack,
+            cell_output_slew: cell_out_slew,
+            cell_input_slew: cell_in_slew,
+            broken_cycle_edges: broken,
+            hold_wns_ps: hold_wns.min(0.0),
+            hold_tns_ps: hold_tns,
+            hold_violations,
+            pin_arrival: arrival,
+            worst_pred,
+        }
+    }
+}
+
+/// Convenience: worst slack including positive values (not clipped at 0).
+pub fn raw_wns(report: &TimingReport) -> f64 {
+    report.cell_slack.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+/// HPWL-based pre-route analysis shortcut.
+pub fn analyze_preroute(design: &Design, placement: &Placement3) -> TimingReport {
+    Sta::new(design).analyze(placement, None, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+    use dco_netlist::{CellClass, NetlistBuilder, PinDirection};
+
+    #[test]
+    fn longer_wires_mean_worse_slack() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.03)
+            .generate(5)
+            .expect("gen");
+        let sta = Sta::new(&d);
+        let short = sta.analyze(&d.placement, None, None);
+        // Pretend every net is 10x longer.
+        let lens: Vec<f64> = d
+            .netlist
+            .net_ids()
+            .map(|n| d.placement.net_hpwl(&d.netlist, n) * 10.0 + 1.0)
+            .collect();
+        let long = sta.analyze(&d.placement, Some(&lens), None);
+        assert!(
+            long.tns_ps <= short.tns_ps,
+            "longer wires should not improve TNS: {} vs {}",
+            long.tns_ps,
+            short.tns_ps
+        );
+        assert!(raw_wns(&long) < raw_wns(&short));
+    }
+
+    #[test]
+    fn bond_crossings_add_delay() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.03)
+            .generate(5)
+            .expect("gen");
+        let sta = Sta::new(&d);
+        let no_bonds = sta.analyze(&d.placement, None, None);
+        let bonds: Vec<u32> = vec![3; d.netlist.num_nets()];
+        let with_bonds = sta.analyze(&d.placement, None, Some(&bonds));
+        assert!(raw_wns(&with_bonds) < raw_wns(&no_bonds));
+    }
+
+    #[test]
+    fn single_stage_pipeline_meets_timing() {
+        // ff -> small combinational cloud -> ff with tiny wires must meet a
+        // 500ps clock easily.
+        let mut b = NetlistBuilder::new("pipe");
+        let ff1 = b.add_cell_simple("ff1", CellClass::Sequential);
+        let g1 = b.add_cell_simple("g1", CellClass::Combinational);
+        let ff2 = b.add_cell_simple("ff2", CellClass::Sequential);
+        b.add_net("a", &[(ff1, PinDirection::Output), (g1, PinDirection::Input)]);
+        b.add_net("b", &[(g1, PinDirection::Output), (ff2, PinDirection::Input)]);
+        let nl = b.finish().expect("valid");
+        let d = wrap_design(nl);
+        let rep = Sta::new(&d).analyze(&d.placement, None, None);
+        assert_eq!(rep.violations, 0);
+        assert_eq!(rep.wns_ps, 0.0);
+        assert_eq!(rep.tns_ps, 0.0);
+    }
+
+    #[test]
+    fn combinational_cycles_are_broken_not_hung() {
+        let mut b = NetlistBuilder::new("loop");
+        let g1 = b.add_cell_simple("g1", CellClass::Combinational);
+        let g2 = b.add_cell_simple("g2", CellClass::Combinational);
+        b.add_net("a", &[(g1, PinDirection::Output), (g2, PinDirection::Input)]);
+        b.add_net("b", &[(g2, PinDirection::Output), (g1, PinDirection::Input)]);
+        let nl = b.finish().expect("valid");
+        let d = wrap_design(nl);
+        let rep = Sta::new(&d).analyze(&d.placement, None, None);
+        assert!(rep.broken_cycle_edges > 0);
+    }
+
+    #[test]
+    fn hold_analysis_flags_short_paths() {
+        // ff -> ff direct connection with near-zero wire: fast-corner
+        // arrival ~ clk-to-q * 0.5, which beats a large hold requirement.
+        let mut b = NetlistBuilder::new("hold");
+        let ff1 = b.add_cell_simple("ff1", CellClass::Sequential);
+        let ff2 = b.add_cell_simple("ff2", CellClass::Sequential);
+        b.add_net("q", &[(ff1, PinDirection::Output), (ff2, PinDirection::Input)]);
+        let nl = b.finish().expect("valid");
+        let d = wrap_design(nl);
+        let mut sta = Sta::new(&d);
+        sta.hold_ps = 50.0; // exaggerated requirement
+        let rep = sta.analyze(&d.placement, None, None);
+        assert!(rep.hold_violations > 0, "short path should violate hold");
+        assert!(rep.hold_wns_ps < 0.0);
+        // relaxing the requirement clears it
+        sta.hold_ps = 0.0;
+        let ok = sta.analyze(&d.placement, None, None);
+        assert_eq!(ok.hold_violations, 0);
+        assert_eq!(ok.hold_wns_ps, 0.0);
+    }
+
+    #[test]
+    fn hold_and_setup_move_oppositely_with_wire_length(){
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.02)
+            .generate(7)
+            .expect("gen");
+        let mut sta = Sta::new(&d);
+        sta.hold_ps = 8.0;
+        let base: Vec<f64> = d
+            .netlist
+            .net_ids()
+            .map(|n| d.placement.net_hpwl(&d.netlist, n).max(0.1))
+            .collect();
+        let long: Vec<f64> = base.iter().map(|&l| l * 5.0).collect();
+        let t0 = sta.analyze(&d.placement, Some(&base), None);
+        let t1 = sta.analyze(&d.placement, Some(&long), None);
+        // longer wires: setup worse, hold no worse
+        assert!(t1.tns_ps <= t0.tns_ps);
+        assert!(t1.hold_tns_ps >= t0.hold_tns_ps - 1e-9);
+    }
+
+    #[test]
+    fn worst_paths_trace_back_to_launch_points() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Ecg)
+            .with_scale(0.02)
+            .generate(9)
+            .expect("gen");
+        let rep = Sta::new(&d).analyze(&d.placement, None, None);
+        let paths = crate::worst_paths(&d, &rep, 3);
+        assert_eq!(paths.len(), 3);
+        // worst-first ordering
+        assert!(paths[0].0 <= paths[1].0 && paths[1].0 <= paths[2].0);
+        for (_slack, pts) in &paths {
+            assert!(pts.len() >= 2, "path too short: {pts:?}");
+            // arrivals are non-decreasing along the path
+            for w in pts.windows(2) {
+                assert!(w[0].arrival_ps <= w[1].arrival_ps + 1e-9);
+            }
+            // with no broken cycles the launch point is a sequential/IO
+            // output; cycle-broken designs may truncate mid-path
+            if rep.broken_cycle_edges == 0 {
+                let first = d.netlist.pin(pts[0].pin);
+                assert!(matches!(
+                    d.netlist.cell(first.cell).class,
+                    CellClass::Sequential | CellClass::Io
+                ));
+            }
+        }
+    }
+
+    #[test]
+    fn slews_are_populated() {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.02)
+            .generate(3)
+            .expect("gen");
+        let rep = Sta::new(&d).analyze(&d.placement, None, None);
+        assert!(rep.cell_output_slew.iter().any(|&s| s > 0.0));
+        assert!(rep.cell_input_slew.iter().any(|&s| s > 0.0));
+        assert_eq!(rep.cell_slack.len(), d.netlist.num_cells());
+    }
+
+    fn wrap_design(netlist: dco_netlist::Netlist) -> Design {
+        let tech = dco_netlist::Technology::sim_3nm();
+        let area: f64 = netlist.cells().map(|c| c.area()).sum();
+        let fp = dco_netlist::Floorplan::for_area(area.max(1.0), 0.6, &tech);
+        let n = netlist.num_cells();
+        Design {
+            netlist,
+            floorplan: fp,
+            placement: Placement3::zeroed(n),
+            technology: tech,
+            name: "test".into(),
+        }
+    }
+}
+
+/// One hop of a critical path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathPoint {
+    /// Pin on the path.
+    pub pin: PinId,
+    /// Instance name of the pin's cell.
+    pub cell_name: String,
+    /// Arrival time at this pin, ps.
+    pub arrival_ps: f64,
+}
+
+/// Extract the `k` worst setup paths from a [`TimingReport`].
+///
+/// Each path is traced from a violating (or worst-slack) endpoint back
+/// through the worst-arrival predecessors to its launch point. Paths are
+/// returned worst-first, each as `(endpoint slack, points start → end)`.
+pub fn worst_paths(
+    design: &Design,
+    report: &TimingReport,
+    k: usize,
+) -> Vec<(f64, Vec<PathPoint>)> {
+    let netlist = &design.netlist;
+    let period = design.technology.clock_period_ps;
+    // endpoints ranked by slack
+    let mut endpoints: Vec<(f64, usize)> = (0..netlist.num_pins())
+        .filter(|&pi| {
+            let pin = netlist.pin(PinId(pi as u32));
+            pin.direction == PinDirection::Input
+                && matches!(
+                    netlist.cell(pin.cell).class,
+                    CellClass::Sequential | CellClass::Io
+                )
+        })
+        .map(|pi| (period - report.pin_arrival[pi], pi))
+        .collect();
+    endpoints.sort_by(|a, b| a.0.total_cmp(&b.0));
+    endpoints
+        .into_iter()
+        .take(k)
+        .map(|(slack, end)| {
+            let mut points = Vec::new();
+            let mut cur = end as u32;
+            let mut hops = 0;
+            while cur != u32::MAX && hops < netlist.num_pins() {
+                let pin = netlist.pin(PinId(cur));
+                points.push(PathPoint {
+                    pin: PinId(cur),
+                    cell_name: netlist.cell(pin.cell).name.clone(),
+                    arrival_ps: report.pin_arrival[cur as usize],
+                });
+                let pred = report.worst_pred[cur as usize];
+                // Broken combinational cycles can leave a stale predecessor
+                // whose arrival exceeds ours; truncate the trace there.
+                if pred != u32::MAX
+                    && report.pin_arrival[pred as usize]
+                        > report.pin_arrival[cur as usize] + 1e-9
+                {
+                    break;
+                }
+                cur = pred;
+                hops += 1;
+            }
+            points.reverse();
+            (slack, points)
+        })
+        .collect()
+}

@@ -1,0 +1,167 @@
+//! Dataset plumbing: samples, normalization, tensor conversion, and the
+//! 8-fold orientation augmentation of Sec. III-B3.
+
+use dco_features::{apply_orientation, resize_nearest, DieFeatures, GridMap, Orientation, NUM_CHANNELS};
+use dco_tensor::Tensor;
+
+/// One supervised sample: per-die feature stacks and congestion labels,
+/// already resized to the network's input size.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Feature channels per die `[bottom, top]`, each `NUM_CHANNELS` maps.
+    pub features: [Vec<GridMap>; 2],
+    /// Ground-truth congestion per die `[bottom, top]`.
+    pub labels: [GridMap; 2],
+}
+
+impl Sample {
+    /// Build a sample from extracted features + label maps, resizing
+    /// everything to `size` × `size` with nearest-neighbour interpolation.
+    pub fn from_maps(features: [&DieFeatures; 2], labels: [&GridMap; 2], size: usize) -> Self {
+        let resize_all = |f: &DieFeatures| -> Vec<GridMap> {
+            f.channels().iter().map(|m| resize_nearest(m, size, size)).collect()
+        };
+        Self {
+            features: [resize_all(features[0]), resize_all(features[1])],
+            labels: [
+                resize_nearest(labels[0], size, size),
+                resize_nearest(labels[1], size, size),
+            ],
+        }
+    }
+
+    /// Apply one orientation to every map of the sample (features and labels
+    /// must rotate together to stay consistent).
+    pub fn oriented(&self, o: Orientation) -> Self {
+        Self {
+            features: [
+                self.features[0].iter().map(|m| apply_orientation(m, o)).collect(),
+                self.features[1].iter().map(|m| apply_orientation(m, o)).collect(),
+            ],
+            labels: [
+                apply_orientation(&self.labels[0], o),
+                apply_orientation(&self.labels[1], o),
+            ],
+        }
+    }
+}
+
+/// Dataset-level normalization: per-channel feature scales and a label
+/// scale, computed on the training split and reused for test/inference.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Normalization {
+    /// Divisor per feature channel.
+    pub channel_scale: [f32; NUM_CHANNELS],
+    /// Divisor for labels.
+    pub label_scale: f32,
+}
+
+impl Normalization {
+    /// Fit scales as the max absolute value over the training samples
+    /// (clamped away from zero).
+    pub fn fit(samples: &[Sample]) -> Self {
+        let mut channel_scale = [1e-6f32; NUM_CHANNELS];
+        let mut label_scale = 1e-6f32;
+        for s in samples {
+            for die in 0..2 {
+                for (c, m) in s.features[die].iter().enumerate() {
+                    channel_scale[c] = channel_scale[c].max(m.max());
+                }
+                label_scale = label_scale.max(s.labels[die].max());
+            }
+        }
+        for c in channel_scale.iter_mut() {
+            if *c <= 1e-6 {
+                *c = 1.0;
+            }
+        }
+        if label_scale <= 1e-6 {
+            label_scale = 1.0;
+        }
+        Self { channel_scale, label_scale }
+    }
+
+    /// Stack one die's features into a normalized `[1, C, H, W]` tensor.
+    pub fn features_tensor(&self, maps: &[GridMap]) -> Tensor {
+        assert_eq!(maps.len(), NUM_CHANNELS, "expected {NUM_CHANNELS} channels");
+        let (nx, ny) = (maps[0].nx(), maps[0].ny());
+        let mut data = Vec::with_capacity(NUM_CHANNELS * nx * ny);
+        for (c, m) in maps.iter().enumerate() {
+            let s = self.channel_scale[c];
+            data.extend(m.data().iter().map(|&v| v / s));
+        }
+        Tensor::from_vec(data, &[1, NUM_CHANNELS, ny, nx])
+    }
+
+    /// Normalized `[1, 1, H, W]` label tensor.
+    pub fn label_tensor(&self, map: &GridMap) -> Tensor {
+        let data: Vec<f32> = map.data().iter().map(|&v| v / self.label_scale).collect();
+        Tensor::from_vec(data, &[1, 1, map.ny(), map.nx()])
+    }
+
+    /// Convert a normalized `[1, 1, H, W]` prediction back to a map in the
+    /// original label units.
+    pub fn prediction_to_map(&self, t: &Tensor) -> GridMap {
+        let shape = t.shape();
+        assert_eq!(shape.len(), 4, "prediction must be 4D");
+        let (ny, nx) = (shape[2], shape[3]);
+        GridMap::from_vec(
+            nx,
+            ny,
+            t.data().iter().map(|&v| (v * self.label_scale).max(0.0)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_features::Orientation;
+
+    fn sample(size: usize) -> Sample {
+        let f = DieFeatures::zeros(size, size);
+        let mut lbl = GridMap::zeros(size, size);
+        lbl.set(1, 0, 4.0);
+        Sample::from_maps([&f, &f], [&lbl, &lbl], size)
+    }
+
+    #[test]
+    fn from_maps_resizes_everything() {
+        let f = DieFeatures::zeros(10, 6);
+        let lbl = GridMap::zeros(10, 6);
+        let s = Sample::from_maps([&f, &f], [&lbl, &lbl], 8);
+        assert_eq!(s.features[0].len(), NUM_CHANNELS);
+        assert_eq!((s.labels[0].nx(), s.labels[0].ny()), (8, 8));
+        assert_eq!((s.features[1][3].nx(), s.features[1][3].ny()), (8, 8));
+    }
+
+    #[test]
+    fn orientation_moves_features_and_labels_together() {
+        let s = sample(4);
+        let r = s.oriented(Orientation::R180);
+        assert_eq!(r.labels[0].get(2, 3), 4.0);
+        assert_eq!(r.labels[0].get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn normalization_round_trips_labels() {
+        let s = sample(4);
+        let norm = Normalization::fit(std::slice::from_ref(&s));
+        assert_eq!(norm.label_scale, 4.0);
+        let t = norm.label_tensor(&s.labels[0]);
+        assert_eq!(t.max(), 1.0);
+        let back = norm.prediction_to_map(&t);
+        assert_eq!(back, s.labels[0]);
+    }
+
+    #[test]
+    fn empty_features_use_unit_scale() {
+        let s = sample(4);
+        let norm = Normalization::fit(std::slice::from_ref(&s));
+        for c in norm.channel_scale {
+            assert!(c > 0.0);
+        }
+        let t = norm.features_tensor(&s.features[0]);
+        assert_eq!(t.shape(), &[1, NUM_CHANNELS, 4, 4]);
+    }
+}

@@ -1,0 +1,33 @@
+//! The Siamese 3D UNet congestion predictor of DCO-3D (paper Sec. III).
+//!
+//! A shared-weight encoder/decoder UNet processes the seven feature maps of
+//! each die; a pointwise communication layer between encoder and decoder
+//! exchanges information across dies, enabling concurrent post-route
+//! congestion prediction for the whole F2F stack ([`SiameseUNet`], Fig. 3).
+//! Training follows Algorithm 1 ([`train`]): RMS-Frobenius loss (Eq. 4),
+//! 80/20 split, 8-orientation augmentation, Adam.
+//!
+//! # Example
+//!
+//! ```
+//! use dco_tensor::Tensor;
+//! use dco_unet::{SiameseUNet, UNetConfig};
+//!
+//! let cfg = UNetConfig { size: 16, base_channels: 4, ..UNetConfig::default() };
+//! let model = SiameseUNet::new(cfg, 0);
+//! let f = Tensor::zeros(&[1, 7, 16, 16]);
+//! let (bottom, top) = model.predict(&f, &f);
+//! assert_eq!(bottom.shape(), top.shape());
+//! ```
+
+mod data;
+mod model;
+mod persist;
+mod trainer;
+
+pub use data::{Normalization, Sample};
+pub use persist::{load_predictor, save_predictor, PersistError, PredictorBundle};
+pub use model::{SiameseUNet, UNetConfig};
+pub use trainer::{
+    evaluate_loss, evaluate_metrics, predict_maps, train, EvalRecord, TrainConfig, TrainResult,
+};

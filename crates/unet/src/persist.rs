@@ -1,0 +1,170 @@
+//! Saving and loading trained predictors.
+//!
+//! Training the Siamese UNet is the expensive part of the DCO-3D flow;
+//! persisting the weights (plus the dataset normalization they were trained
+//! with) lets a flow train once per design and reuse the predictor across
+//! runs — the same deployment model as the paper's pre-trained `SiaUNet*`.
+
+use crate::{Normalization, SiameseUNet, UNetConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// On-disk predictor bundle: architecture, weights, and normalization.
+#[derive(Debug, Serialize, Deserialize)]
+pub struct PredictorBundle {
+    /// Format version for forward compatibility.
+    pub version: u32,
+    /// Architecture the weights belong to.
+    pub config: UNetConfig,
+    /// Named weight tensors.
+    pub weights: BTreeMap<String, dco_tensor::Tensor>,
+    /// Dataset normalization fitted at training time.
+    pub normalization: Normalization,
+}
+
+/// Error type for predictor persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Bundle is structurally valid JSON but not a usable predictor.
+    Invalid(String),
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "io error: {e}"),
+            Self::Json(e) => write!(f, "json error: {e}"),
+            Self::Invalid(msg) => write!(f, "invalid predictor bundle: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        Self::Json(e)
+    }
+}
+
+/// Serialize a trained model + normalization to JSON at `path`.
+///
+/// # Errors
+/// Returns [`PersistError`] on filesystem or serialization failure.
+pub fn save_predictor(
+    path: impl AsRef<Path>,
+    model: &SiameseUNet,
+    normalization: &Normalization,
+) -> Result<(), PersistError> {
+    let weights: BTreeMap<String, dco_tensor::Tensor> = model
+        .store_ref()
+        .names()
+        .map(|n| (n.to_string(), model.store_ref().get(n).clone()))
+        .collect();
+    let bundle = PredictorBundle {
+        version: 1,
+        config: model.config().clone(),
+        weights,
+        normalization: normalization.clone(),
+    };
+    std::fs::write(path, serde_json::to_vec(&bundle)?)?;
+    Ok(())
+}
+
+/// Load a predictor bundle saved by [`save_predictor`].
+///
+/// # Errors
+/// Returns [`PersistError`] on IO/JSON failure or when the weight set does
+/// not match the declared architecture.
+pub fn load_predictor(
+    path: impl AsRef<Path>,
+) -> Result<(SiameseUNet, Normalization), PersistError> {
+    let bytes = std::fs::read(path)?;
+    let bundle: PredictorBundle = serde_json::from_slice(&bytes)?;
+    if bundle.version != 1 {
+        return Err(PersistError::Invalid(format!("unsupported version {}", bundle.version)));
+    }
+    let mut model = SiameseUNet::new(bundle.config, 0);
+    // Validate the weight set against the freshly initialized architecture.
+    let expected: Vec<String> = model.store_ref().names().map(str::to_string).collect();
+    for name in &expected {
+        let loaded = bundle
+            .weights
+            .get(name)
+            .ok_or_else(|| PersistError::Invalid(format!("missing weight {name}")))?;
+        let want = model.store_ref().get(name).shape().to_vec();
+        if loaded.shape() != want {
+            return Err(PersistError::Invalid(format!(
+                "weight {name} has shape {:?}, expected {:?}",
+                loaded.shape(),
+                want
+            )));
+        }
+        model.store_mut().insert(name.clone(), loaded.clone());
+    }
+    Ok((model, bundle.normalization))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dco_tensor::Tensor;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dco_unet_persist_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_round_trips_predictions() {
+        let cfg = UNetConfig { in_channels: 7, base_channels: 4, size: 8 };
+        let model = SiameseUNet::new(cfg, 9);
+        let norm = Normalization { channel_scale: [2.0; 7], label_scale: 3.5 };
+        let path = tmp("roundtrip");
+        save_predictor(&path, &model, &norm).expect("save");
+        let (loaded, norm2) = load_predictor(&path).expect("load");
+        assert_eq!(norm, norm2);
+        let f = Tensor::from_vec((0..7 * 64).map(|v| (v % 11) as f32 * 0.1).collect(), &[1, 7, 8, 8]);
+        let (a, _) = model.predict(&f, &f);
+        let (b, _) = loaded.predict(&f, &f);
+        assert_eq!(a, b, "loaded model must predict identically");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupted_bundle_is_rejected() {
+        let path = tmp("corrupt");
+        std::fs::write(&path, b"{not json").expect("write");
+        assert!(load_predictor(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let cfg = UNetConfig { in_channels: 7, base_channels: 4, size: 8 };
+        let model = SiameseUNet::new(cfg, 1);
+        let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+        let path = tmp("shape");
+        save_predictor(&path, &model, &norm).expect("save");
+        // tamper: change one weight's shape
+        let mut bundle: PredictorBundle =
+            serde_json::from_slice(&std::fs::read(&path).expect("read")).expect("parse");
+        bundle.weights.insert("enc1.w".into(), Tensor::zeros(&[1, 1, 1, 1]));
+        std::fs::write(&path, serde_json::to_vec(&bundle).expect("ser")).expect("write");
+        match load_predictor(&path) {
+            Err(PersistError::Invalid(msg)) => assert!(msg.contains("enc1.w")),
+            other => panic!("expected Invalid error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,253 @@
+//! The training procedure of Algorithm 1.
+
+use crate::{Normalization, Sample, SiameseUNet};
+use dco_features::{nrmse, ssim, GridMap, Orientation};
+use dco_tensor::{Adam, Graph};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Training hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of epochs over the training split.
+    pub epochs: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Fraction of samples reserved for testing (paper: 20%).
+    pub test_fraction: f64,
+    /// Enable the 8-orientation augmentation.
+    pub augment: bool,
+    /// Shuffle/augmentation seed.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 30, learning_rate: 5e-3, test_fraction: 0.2, augment: true, seed: 0 }
+    }
+}
+
+/// Per-sample evaluation record (Fig. 5b histograms).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EvalRecord {
+    /// NRMSE against ground truth (lower is better; < 0.2 is good).
+    pub nrmse: f32,
+    /// SSIM against ground truth (higher is better; > 0.7 sufficient).
+    pub ssim: f32,
+}
+
+/// Training outcome: loss curves and test-set metrics.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Mean training loss per epoch (Fig. 5a).
+    pub train_loss: Vec<f32>,
+    /// Mean test loss per epoch (Fig. 5a).
+    pub test_loss: Vec<f32>,
+    /// Per-die evaluation records for every test sample (Fig. 5b).
+    pub test_metrics: Vec<EvalRecord>,
+    /// Fitted normalization (needed to run inference later).
+    pub normalization: Normalization,
+}
+
+/// Train a [`SiameseUNet`] on a dataset of [`Sample`]s (Algorithm 1).
+///
+/// The dataset is split train/test by `cfg.test_fraction`; normalization is
+/// fitted on the training split only. Each step draws a random orientation
+/// when augmentation is on.
+pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> TrainResult {
+    assert!(!dataset.is_empty(), "dataset must not be empty");
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x7EA1);
+    let mut order: Vec<usize> = (0..dataset.len()).collect();
+    order.shuffle(&mut rng);
+    let n_test = ((dataset.len() as f64 * cfg.test_fraction).round() as usize)
+        .min(dataset.len().saturating_sub(1));
+    let (test_idx, train_idx) = order.split_at(n_test);
+    let train_samples: Vec<&Sample> = train_idx.iter().map(|&i| &dataset[i]).collect();
+    let test_samples: Vec<&Sample> = test_idx.iter().map(|&i| &dataset[i]).collect();
+
+    let norm = Normalization::fit(&train_idx.iter().map(|&i| dataset[i].clone()).collect::<Vec<_>>());
+    let mut opt = Adam::new(cfg.learning_rate);
+    let mut train_loss = Vec::with_capacity(cfg.epochs);
+    let mut test_loss = Vec::with_capacity(cfg.epochs);
+
+    let mut shuffled: Vec<usize> = (0..train_samples.len()).collect();
+    for _epoch in 0..cfg.epochs {
+        shuffled.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        for &si in &shuffled {
+            let mut sample = train_samples[si].clone();
+            if cfg.augment {
+                let o = Orientation::ALL[rng.gen_range(0..Orientation::ALL.len())];
+                sample = sample.oriented(o);
+            }
+            let mut g = Graph::new();
+            let f0 = g.input(norm.features_tensor(&sample.features[0]));
+            let f1 = g.input(norm.features_tensor(&sample.features[1]));
+            let y0 = g.input(norm.label_tensor(&sample.labels[0]));
+            let y1 = g.input(norm.label_tensor(&sample.labels[1]));
+            let (c0, c1) = model.forward(&mut g, f0, f1);
+            let loss = SiameseUNet::loss(&mut g, (c0, c1), (y0, y1));
+            epoch_loss += g.value(loss).data()[0];
+            g.backward(loss);
+            model.store_mut().apply_grads(&g);
+            model.store_mut().clip_grad_norm(5.0);
+            opt.step(model.store_mut());
+        }
+        train_loss.push(epoch_loss / train_samples.len().max(1) as f32);
+        test_loss.push(evaluate_loss(model, &test_samples, &norm));
+    }
+
+    let test_metrics = evaluate_metrics(model, &test_samples, &norm);
+    TrainResult { train_loss, test_loss, test_metrics, normalization: norm }
+}
+
+/// Mean Eq.-4 loss over a sample set (no gradient).
+pub fn evaluate_loss(model: &SiameseUNet, samples: &[&Sample], norm: &Normalization) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f32;
+    for s in samples {
+        let f0 = norm.features_tensor(&s.features[0]);
+        let f1 = norm.features_tensor(&s.features[1]);
+        let (c0, c1) = model.predict(&f0, &f1);
+        let y0 = norm.label_tensor(&s.labels[0]);
+        let y1 = norm.label_tensor(&s.labels[1]);
+        let rms = |p: &dco_tensor::Tensor, t: &dco_tensor::Tensor| -> f32 {
+            let mse: f32 = p
+                .data()
+                .iter()
+                .zip(t.data())
+                .map(|(&a, &b)| (a - b) * (a - b))
+                .sum::<f32>()
+                / p.len() as f32;
+            mse.sqrt()
+        };
+        total += 0.5 * (rms(&c0, &y0) + rms(&c1, &y1));
+    }
+    total / samples.len() as f32
+}
+
+/// NRMSE/SSIM per test sample per die (Fig. 5b).
+pub fn evaluate_metrics(
+    model: &SiameseUNet,
+    samples: &[&Sample],
+    norm: &Normalization,
+) -> Vec<EvalRecord> {
+    let mut out = Vec::with_capacity(samples.len() * 2);
+    for s in samples {
+        let f0 = norm.features_tensor(&s.features[0]);
+        let f1 = norm.features_tensor(&s.features[1]);
+        let (c0, c1) = model.predict(&f0, &f1);
+        for (pred_t, label) in [(c0, &s.labels[0]), (c1, &s.labels[1])] {
+            let pred = norm.prediction_to_map(&pred_t);
+            let range = label.max().max(pred.max()).max(1e-6);
+            out.push(EvalRecord { nrmse: nrmse(&pred, label), ssim: ssim(&pred, label, range) });
+        }
+    }
+    out
+}
+
+/// Run inference on raw (unnormalized) per-die feature maps, returning
+/// congestion maps in label units.
+pub fn predict_maps(
+    model: &SiameseUNet,
+    norm: &Normalization,
+    features: [&[GridMap]; 2],
+) -> [GridMap; 2] {
+    let f0 = norm.features_tensor(features[0]);
+    let f1 = norm.features_tensor(features[1]);
+    let (c0, c1) = model.predict(&f0, &f1);
+    [norm.prediction_to_map(&c0), norm.prediction_to_map(&c1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UNetConfig;
+    use dco_features::GridMap;
+
+    /// Synthetic task: congestion = sum of two feature channels. The
+    /// network must learn it quickly at tiny size.
+    fn synthetic_dataset(n: usize, size: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mk = |rng: &mut StdRng| {
+                    GridMap::from_vec(
+                        size,
+                        size,
+                        (0..size * size).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+                    )
+                };
+                let mut features0 = Vec::new();
+                let mut features1 = Vec::new();
+                for _ in 0..dco_features::NUM_CHANNELS {
+                    features0.push(mk(&mut rng));
+                    features1.push(mk(&mut rng));
+                }
+                let label = |f: &[GridMap]| {
+                    let mut l = f[2].clone();
+                    l.add_assign(&f[0]);
+                    l
+                };
+                Sample {
+                    labels: [label(&features0), label(&features1)],
+                    features: [features0, features1],
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_reduces_loss_on_learnable_task() {
+        let data = synthetic_dataset(10, 8, 1);
+        let mut model =
+            SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 7);
+        let cfg = TrainConfig { epochs: 6, learning_rate: 5e-3, augment: false, ..TrainConfig::default() };
+        let result = train(&mut model, &data, &cfg);
+        assert_eq!(result.train_loss.len(), 6);
+        let first = result.train_loss[0];
+        let last = *result.train_loss.last().expect("non-empty");
+        assert!(last < first * 0.9, "loss barely moved: {first} -> {last}");
+        assert!(!result.test_metrics.is_empty());
+    }
+
+    #[test]
+    fn metrics_improve_with_training() {
+        let data = synthetic_dataset(10, 8, 2);
+        let make = || SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 3);
+        let cfg0 = TrainConfig { epochs: 1, augment: false, ..TrainConfig::default() };
+        let cfg1 = TrainConfig { epochs: 10, augment: false, ..TrainConfig::default() };
+        let mut m0 = make();
+        let r0 = train(&mut m0, &data, &cfg0);
+        let mut m1 = make();
+        let r1 = train(&mut m1, &data, &cfg1);
+        let mean_nrmse = |r: &TrainResult| {
+            r.test_metrics.iter().map(|m| m.nrmse).sum::<f32>() / r.test_metrics.len() as f32
+        };
+        assert!(
+            mean_nrmse(&r1) < mean_nrmse(&r0),
+            "more training should improve NRMSE: {} vs {}",
+            mean_nrmse(&r1),
+            mean_nrmse(&r0)
+        );
+    }
+
+    #[test]
+    fn predict_maps_round_trips_shapes() {
+        let data = synthetic_dataset(4, 8, 3);
+        let mut model =
+            SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 9);
+        let cfg = TrainConfig { epochs: 1, augment: false, ..TrainConfig::default() };
+        let result = train(&mut model, &data, &cfg);
+        let maps = predict_maps(
+            &model,
+            &result.normalization,
+            [&data[0].features[0], &data[0].features[1]],
+        );
+        assert_eq!((maps[0].nx(), maps[0].ny()), (8, 8));
+        assert!(maps[0].min() >= 0.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Train the Siamese UNet congestion predictor on a sampled-layout dataset
+//! and evaluate it against the raw RUDY estimator (the paper's Sec. III and
+//! Fig. 5c comparison).
+//!
+//! ```sh
+//! cargo run --release -p dco-examples --bin congestion_prediction
+//! ```
+
+use dco_features::{nrmse, pearson, resize_nearest, ssim, FeatureExtractor};
+use dco_flow::{build_dataset, FlowConfig};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_route::RouterConfig;
+use dco_unet::{predict_maps, train, SiameseUNet, TrainConfig, UNetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(0.01).generate(7)?;
+    let cfg = FlowConfig::default();
+    println!(
+        "building dataset: {} layouts of {} at {}x{} ...",
+        cfg.train_layouts, design.name, cfg.map_size, cfg.map_size
+    );
+    let dataset = build_dataset(&design, cfg.train_layouts, cfg.map_size, &RouterConfig::default(), 7);
+
+    let mut model = SiameseUNet::new(
+        UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+        7,
+    );
+    println!("training SiameseUNet ({} parameters) ...", model.num_parameters());
+    let result = train(
+        &mut model,
+        &dataset,
+        &TrainConfig { epochs: 6, seed: 7, ..TrainConfig::default() },
+    );
+    for (e, (tr, te)) in result.train_loss.iter().zip(&result.test_loss).enumerate() {
+        println!("epoch {:>2}: train loss {:.4}, test loss {:.4}", e + 1, tr, te);
+    }
+    let mean_nrmse: f32 =
+        result.test_metrics.iter().map(|m| m.nrmse).sum::<f32>() / result.test_metrics.len() as f32;
+    let mean_ssim: f32 =
+        result.test_metrics.iter().map(|m| m.ssim).sum::<f32>() / result.test_metrics.len() as f32;
+    println!("test NRMSE {mean_nrmse:.3}, SSIM {mean_ssim:.3}");
+
+    // Compare against raw RUDY on the first sample (Fig. 5c).
+    let sample = &dataset[0];
+    let pred = predict_maps(
+        &model,
+        &result.normalization,
+        [&sample.features[0], &sample.features[1]],
+    );
+    // RUDY proxy: 2D + 3D RUDY channels summed.
+    let fx = FeatureExtractor::new(design.floorplan.grid);
+    let [bottom, _top] = fx.extract(&design.netlist, &design.placement);
+    let mut rudy = bottom.rudy_2d.clone();
+    rudy.add_assign(&bottom.rudy_3d);
+    let rudy = resize_nearest(&rudy, cfg.map_size, cfg.map_size);
+
+    let truth = &sample.labels[0];
+    let range = truth.max().max(1e-6);
+    println!("\nbottom-die comparison vs ground truth:");
+    println!(
+        "  model : NRMSE {:.3}, SSIM {:.3}, Pearson {:.3}",
+        nrmse(&pred[0], truth),
+        ssim(&pred[0], truth, range),
+        pearson(&pred[0], truth)
+    );
+    println!(
+        "  RUDY  : NRMSE {:.3}, SSIM {:.3}, Pearson {:.3}",
+        nrmse(&rudy.normalized().map(|v| v * range), truth),
+        ssim(&rudy.normalized().map(|v| v * range), truth, range),
+        pearson(&rudy, truth)
+    );
+    println!("\npredicted (left ascii) vs ground truth (right ascii):");
+    let a = pred[0].to_ascii();
+    let b = truth.to_ascii();
+    for (la, lb) in a.lines().zip(b.lines()) {
+        println!("{la}   |   {lb}");
+    }
+    Ok(())
+}

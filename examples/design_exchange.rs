@@ -1,0 +1,74 @@
+//! Interchange workflow: persist designs and predictors, exchange
+//! placements with other tools via Bookshelf, and export DCO's spreading
+//! decisions as TCL — the integration surface a downstream flow would use.
+//!
+//! ```sh
+//! cargo run --release -p dco-examples --bin design_exchange
+//! ```
+
+use dco3d::{diff_placements, directives_to_tcl};
+use dco_netlist::bookshelf;
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::Design;
+use dco_place::{detailed_place, legalize, GlobalPlacer, PlacementParams};
+use dco_unet::{load_predictor, save_predictor, SiameseUNet, UNetConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join("dco3d_exchange");
+    std::fs::create_dir_all(&dir)?;
+
+    // 1. Generate and persist a design as JSON (full fidelity).
+    let design = GeneratorConfig::for_profile(DesignProfile::Ecg).with_scale(0.02).generate(5)?;
+    let json_path = dir.join("ecg.json");
+    design.save_json(&json_path)?;
+    let reloaded = Design::load_json(&json_path)?;
+    assert_eq!(reloaded.netlist, design.netlist);
+    println!("JSON round trip: {} cells intact ({})", reloaded.netlist.num_cells(), json_path.display());
+
+    // 2. Export to Bookshelf for external placement tools.
+    let nodes = bookshelf::to_nodes(&design.netlist);
+    let nets = bookshelf::to_nets(&design.netlist);
+    std::fs::write(dir.join("ecg.nodes"), &nodes)?;
+    std::fs::write(dir.join("ecg.nets"), &nets)?;
+    println!("Bookshelf export: {} node lines, {} net lines", nodes.lines().count(), nets.lines().count());
+
+    // 3. Place here, export the .pl, re-import it (as an external tool would
+    //    hand back a placement), and verify equivalence.
+    let params = PlacementParams::pin3d_baseline();
+    let mut placement = GlobalPlacer::new(&design).place(&params, 5);
+    legalize(&design, &mut placement, params.displacement_threshold);
+    let stats = detailed_place(&design, &mut placement, 4, 2);
+    println!("detailed placement: {} swaps, {:.2} um HPWL recovered", stats.swaps, stats.hpwl_gain);
+    let pl = bookshelf::to_pl(&design.netlist, &placement);
+    std::fs::write(dir.join("ecg.pl"), &pl)?;
+    let imported = bookshelf::pl_into_placement(&design.netlist, &pl)?;
+    let max_err = design
+        .netlist
+        .cell_ids()
+        .map(|id| (imported.x(id) - placement.x(id)).abs())
+        .fold(0.0f64, f64::max);
+    println!("Bookshelf .pl round trip: max coordinate error {max_err:.2e} um");
+
+    // 4. Persist an (untrained, for speed) predictor and reload it.
+    let model = SiameseUNet::new(UNetConfig::default(), 5);
+    let norm = dco_unet::Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+    let pred_path = dir.join("predictor.json");
+    save_predictor(&pred_path, &model, &norm)?;
+    let (loaded, _) = load_predictor(&pred_path)?;
+    assert_eq!(loaded.num_parameters(), model.num_parameters());
+    println!("predictor bundle: {} parameters ({})", loaded.num_parameters(), pred_path.display());
+
+    // 5. Export spreading directives between two placements as TCL.
+    let mut nudged = placement.clone();
+    for id in design.netlist.cell_ids().take(5) {
+        if design.netlist.cell(id).movable() {
+            nudged.set_xy(id, placement.x(id) + 0.5, placement.y(id));
+        }
+    }
+    let tcl = directives_to_tcl(&diff_placements(&design.netlist, &placement, &nudged, 0.01));
+    println!("TCL export ({} directives):", tcl.lines().count() - 1);
+    for line in tcl.lines().take(4) {
+        println!("  {line}");
+    }
+    Ok(())
+}

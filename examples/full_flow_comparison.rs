@@ -1,0 +1,29 @@
+//! Run all four Table-III flows on one design and print the comparison
+//! block (a single-design slice of the paper's headline table).
+//!
+//! ```sh
+//! cargo run --release -p dco-examples --bin full_flow_comparison [-- <scale>]
+//! ```
+
+use dco_flow::{format_design_block, train_predictor, FlowConfig, FlowKind, FlowRunner};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let seed = 1u64;
+    let design = GeneratorConfig::for_profile(DesignProfile::Vga).with_scale(scale).generate(seed)?;
+    let cfg = FlowConfig::default();
+
+    println!("training DCO-3D predictor ...");
+    let predictor = train_predictor(&design, &cfg, seed);
+    let runner = FlowRunner::new(&design, cfg);
+
+    let mut outcomes = Vec::new();
+    for kind in FlowKind::ALL {
+        println!("running {} ...", kind.label());
+        let p = (kind == FlowKind::Dco3d).then_some(&predictor);
+        outcomes.push(runner.run(kind, seed, p));
+    }
+    println!("\n{}", format_design_block(&design, &outcomes));
+    Ok(())
+}

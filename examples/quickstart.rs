@@ -1,0 +1,68 @@
+//! Quickstart: generate a design, place it, route it, and report PPA.
+//!
+//! ```sh
+//! cargo run --release -p dco-examples --bin quickstart
+//! ```
+
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_place::{legalize, GlobalPlacer, PlacementParams};
+use dco_route::{Router, RouterConfig};
+use dco_timing::{PowerAnalyzer, Sta};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A miniature DMA-profile design (5% of the paper's 13K cells).
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.05).generate(42)?;
+    println!(
+        "design {}: {} cells, {} nets, {} IOs, die {:.1} x {:.1} um",
+        design.name,
+        design.netlist.num_cells(),
+        design.netlist.num_nets(),
+        design.netlist.num_ios(),
+        design.floorplan.die.width,
+        design.floorplan.die.height
+    );
+
+    // 2. 3D global placement + legalization (the Pin-3D placement stage).
+    let params = PlacementParams::pin3d_baseline();
+    let mut placement = GlobalPlacer::new(&design).place(&params, 42);
+    let stats = legalize(&design, &mut placement, params.displacement_threshold);
+    println!(
+        "placed: HPWL {:.0} um, cut size {}, legalization moved {} cells (max {:.3} um)",
+        placement.total_hpwl(&design.netlist),
+        placement.cut_size(&design.netlist),
+        stats.moved,
+        stats.max_displacement
+    );
+
+    // 3. Global routing with rip-up-and-reroute.
+    let routed = Router::new(&design, RouterConfig::default()).route(&placement);
+    println!(
+        "routed: WL {:.0} um, overflow {:.0} (H {:.0} / V {:.0}), {:.2}% GCells overflowed, {} bonds",
+        routed.wirelength,
+        routed.report.total,
+        routed.report.h_overflow,
+        routed.report.v_overflow,
+        routed.report.overflow_gcell_pct,
+        routed.bond_count
+    );
+
+    // 4. Signoff-style timing and power.
+    let timing = Sta::new(&design).analyze(&placement, Some(&routed.net_lengths), Some(&routed.net_bonds));
+    let power = PowerAnalyzer::new(&design).analyze(&placement, Some(&routed.net_lengths));
+    println!(
+        "timing: WNS {:.1} ps, TNS {:.0} ps ({} violations)",
+        timing.wns_ps, timing.tns_ps, timing.violations
+    );
+    println!(
+        "power: {:.2} mW total ({:.2} switching + {:.2} internal + {:.2} leakage)",
+        power.total_mw(),
+        power.switching_mw,
+        power.internal_mw,
+        power.leakage_mw
+    );
+
+    // 5. A peek at the congestion map (bottom die).
+    println!("\nbottom-die congestion map:");
+    print!("{}", routed.congestion[0].to_ascii());
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Examples package; see the `[[bin]]` targets.

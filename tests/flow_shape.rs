@@ -1,0 +1,81 @@
+//! The headline claim, as an integration test: on a miniature benchmark,
+//! DCO-3D reduces post-route overflow versus the Pin-3D baseline under the
+//! same seed (the shape of Table III).
+//!
+//! This is a statistical claim about an optimization heuristic, so the test
+//! uses a small but non-trivial design and a fixed seed; the full sweep
+//! lives in `repro_table3`.
+
+use dco_flow::{train_predictor, FlowConfig, FlowKind, FlowRunner};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_route::RouterConfig;
+use dco3d::DcoConfig;
+
+fn fast_cfg() -> FlowConfig {
+    FlowConfig {
+        // The rasterizer renders at the UNet size; keeping it equal to the
+        // routing grid (32) tightens the predictor-router correspondence.
+        map_size: 32,
+        unet_channels: 4,
+        train_layouts: 8,
+        train_epochs: 12,
+        dco: DcoConfig { max_iter: 25, ..DcoConfig::default() },
+        stage_router: RouterConfig { rrr_iterations: 1, maze_margin: 0, ..RouterConfig::default() },
+        router: RouterConfig { rrr_iterations: 4, ..RouterConfig::default() },
+        ..FlowConfig::default()
+    }
+}
+
+#[test]
+fn dco_reduces_overflow_vs_pin3d() {
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.03)
+        .generate(1)
+        .expect("gen");
+    let cfg = fast_cfg();
+    let predictor = train_predictor(&design, &cfg, 1);
+    let runner = FlowRunner::new(&design, cfg);
+    let base = runner.run(FlowKind::Pin3d, 1, None);
+    let ours = runner.run(FlowKind::Dco3d, 1, Some(&predictor));
+    assert!(
+        ours.placement_stage.overflow < base.placement_stage.overflow,
+        "DCO-3D should reduce overflow: {} -> {}",
+        base.placement_stage.overflow,
+        ours.placement_stage.overflow
+    );
+}
+
+#[test]
+fn congestion_focused_placement_reduces_overflow_but_costs_wirelength() {
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.03)
+        .generate(2)
+        .expect("gen");
+    let runner = FlowRunner::new(&design, fast_cfg());
+    let base = runner.run(FlowKind::Pin3d, 2, None);
+    let cong = runner.run(FlowKind::Pin3dCong, 2, None);
+    assert!(
+        cong.placement_stage.overflow <= base.placement_stage.overflow * 1.05,
+        "+Cong should not increase overflow materially: {} -> {}",
+        base.placement_stage.overflow,
+        cong.placement_stage.overflow
+    );
+}
+
+#[test]
+fn bo_baseline_improves_over_plain_pin3d_overflow() {
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.02)
+        .generate(3)
+        .expect("gen");
+    let runner = FlowRunner::new(&design, fast_cfg());
+    let base = runner.run(FlowKind::Pin3d, 3, None);
+    let bo = runner.run(FlowKind::Pin3dBo, 3, None);
+    // BO explicitly optimizes stage overflow; it must not be much worse.
+    assert!(
+        bo.placement_stage.overflow <= base.placement_stage.overflow * 1.05,
+        "BO should roughly match or beat baseline: {} vs {}",
+        bo.placement_stage.overflow,
+        base.placement_stage.overflow
+    );
+}

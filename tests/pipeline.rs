@@ -1,0 +1,117 @@
+//! Cross-crate integration: generator → placer → router → STA/power, and
+//! the DCO stack on top.
+
+use dco_features::{nrmse, FeatureExtractor};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::{Design, Tier};
+use dco_place::{legalize, GlobalPlacer, LayoutSampler, PlacementParams};
+use dco_route::{Router, RouterConfig};
+use dco_timing::{synthesize_clock_tree, PowerAnalyzer, Sta};
+
+fn small(profile: DesignProfile, seed: u64) -> Design {
+    GeneratorConfig::for_profile(profile).with_scale(0.02).generate(seed).expect("gen")
+}
+
+#[test]
+fn placement_recovers_from_a_scrambled_start() {
+    // The generator's initial layout is already cluster-aware, so the true
+    // test of the placer is recovering wirelength from a *scrambled*
+    // placement (what ICC2 faces after floorplan-less init).
+    let mut d = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.05)
+        .generate(1)
+        .expect("gen");
+    // deterministic scramble of all movable cells
+    let die = d.floorplan.die;
+    let n = d.netlist.num_cells();
+    for (k, id) in d.netlist.cell_ids().enumerate() {
+        if d.netlist.cell(id).movable() {
+            let h = (k.wrapping_mul(2654435761)) % 10_000;
+            let v = (k.wrapping_mul(40503).wrapping_add(977)) % 10_000;
+            d.placement.set_xy(
+                id,
+                die.width * h as f64 / 10_000.0,
+                die.height * v as f64 / 10_000.0,
+            );
+        }
+    }
+    let _ = n;
+    let scrambled_hpwl = d.placement.total_hpwl(&d.netlist);
+    let router = Router::new(&d, RouterConfig::default());
+    let before = router.route(&d.placement);
+    let mut placed = GlobalPlacer::new(&d).place(&PlacementParams::default(), 1);
+    legalize(&d, &mut placed, 5);
+    let after = router.route(&placed);
+    assert!(
+        placed.total_hpwl(&d.netlist) < scrambled_hpwl * 0.8,
+        "HPWL should recover strongly: {scrambled_hpwl} -> {}",
+        placed.total_hpwl(&d.netlist)
+    );
+    assert!(
+        after.wirelength < before.wirelength,
+        "routed WL should improve from a scrambled start: {} -> {}",
+        before.wirelength,
+        after.wirelength
+    );
+}
+
+#[test]
+fn full_evaluation_chain_is_consistent() {
+    let d = small(DesignProfile::Vga, 2);
+    let mut p = GlobalPlacer::new(&d).place(&PlacementParams::default(), 2);
+    legalize(&d, &mut p, 5);
+    let routed = Router::new(&d, RouterConfig::default()).route(&p);
+    let cts = synthesize_clock_tree(&d, &p);
+    let timing = Sta::new(&d).analyze(&p, Some(&routed.net_lengths), Some(&routed.net_bonds));
+    let power = PowerAnalyzer::new(&d).analyze(&p, Some(&routed.net_lengths));
+
+    assert!(routed.wirelength > 0.0);
+    assert!(cts.sinks > 0);
+    assert!(power.total_mw() > 0.0);
+    assert!(timing.wns_ps <= 0.0);
+    assert!(timing.tns_ps <= 0.0);
+    // every per-net routed length is consistent with the total
+    let sum: f64 = routed.net_lengths.iter().sum();
+    assert!((sum - routed.wirelength).abs() < 1e-6 * routed.wirelength.max(1.0));
+}
+
+#[test]
+fn congestion_labels_match_features_grid() {
+    let d = small(DesignProfile::Ecg, 3);
+    let fx = FeatureExtractor::new(d.floorplan.grid);
+    let [bottom, top] = fx.extract(&d.netlist, &d.placement);
+    let routed = Router::new(&d, RouterConfig::default()).route(&d.placement);
+    assert_eq!(bottom.rudy_2d.nx(), routed.congestion[0].nx());
+    assert_eq!(top.rudy_2d.ny(), routed.congestion[1].ny());
+    // RUDY should correlate (weakly) with real congestion: at minimum the
+    // prediction error of RUDY against itself is zero and maps are non-empty
+    assert!(bottom.rudy_2d.sum() + bottom.rudy_3d.sum() > 0.0);
+    assert_eq!(nrmse(&routed.congestion[0], &routed.congestion[0]), 0.0);
+}
+
+#[test]
+fn sampled_layouts_have_diverse_congestion() {
+    let d = small(DesignProfile::Dma, 4);
+    let layouts = LayoutSampler::new(&d).sample(3, 4);
+    let router = Router::new(&d, RouterConfig { rrr_iterations: 2, ..RouterConfig::default() });
+    let overflows: Vec<f64> =
+        layouts.iter().map(|l| router.route(&l.placement).report.total).collect();
+    let min = overflows.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = overflows.iter().copied().fold(0.0f64, f64::max);
+    assert!(max > min, "parameter sampling should change congestion: {overflows:?}");
+}
+
+#[test]
+fn tier_balance_is_reasonable_after_placement() {
+    let d = small(DesignProfile::Rocket, 5);
+    let p = GlobalPlacer::new(&d).place(&PlacementParams::default(), 5);
+    let movable: Vec<_> = d.netlist.cell_ids().filter(|&c| d.netlist.cell(c).movable()).collect();
+    let top_area: f64 = movable
+        .iter()
+        .filter(|&&c| p.tier(c) == Tier::Top)
+        .map(|&c| d.netlist.cell(c).area())
+        .sum();
+    let total: f64 = movable.iter().map(|&c| d.netlist.cell(c).area()).sum();
+    let frac = top_area / total;
+    assert!((0.3..=0.7).contains(&frac), "tier split {frac} too lopsided");
+}

@@ -1,0 +1,358 @@
+//! Property-based tests over the core data structures and estimators.
+
+use dco_features::rudy::{accumulate_rudy, Bbox};
+use dco_features::{apply_orientation, nrmse, resize_nearest, ssim, GridMap, Orientation};
+use dco_netlist::{Die, GcellGrid};
+use proptest::prelude::*;
+
+fn arb_grid_map(nx: usize, ny: usize) -> impl Strategy<Value = GridMap> {
+    proptest::collection::vec(0.0f32..10.0, nx * ny)
+        .prop_map(move |v| GridMap::from_vec(nx, ny, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Integrated RUDY mass equals the analytic value (1/w + 1/h) * area,
+    /// independent of where the bbox sits on the grid.
+    #[test]
+    fn rudy_mass_is_position_invariant(
+        x in 0.0f64..20.0,
+        y in 0.0f64..20.0,
+        w in 0.5f64..8.0,
+        h in 0.5f64..8.0,
+    ) {
+        let g = GcellGrid::cover(Die { width: 32.0, height: 32.0 }, 1.0);
+        let b = Bbox { xl: x, yl: y, xh: x + w, yh: y + h };
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        accumulate_rudy(&mut m, &g, &b, 1.0);
+        let expected = (1.0 / w + 1.0 / h) * w * h;
+        prop_assert!(
+            ((m.sum() as f64) - expected).abs() < 1e-3 * expected,
+            "mass {} vs {}", m.sum(), expected
+        );
+    }
+
+    /// Orientations are bijections: applying one then its inverse recovers
+    /// the map exactly for any contents.
+    #[test]
+    fn orientation_inverse_round_trips(m in arb_grid_map(7, 5)) {
+        for o in Orientation::ALL {
+            let round = apply_orientation(&apply_orientation(&m, o), o.inverse());
+            prop_assert_eq!(&round, &m);
+        }
+    }
+
+    /// Nearest-neighbour upscale never invents values: the value multiset of
+    /// the result is a subset of the source values, and extremes survive.
+    #[test]
+    fn resize_preserves_extremes(m in arb_grid_map(6, 6)) {
+        let big = resize_nearest(&m, 12, 18);
+        prop_assert!(big.max() <= m.max() + 1e-6);
+        prop_assert!(big.min() >= m.min() - 1e-6);
+        // center-sampling guarantees exact recovery for integer factors
+        let back = resize_nearest(&big, 6, 6);
+        prop_assert_eq!(back, m);
+    }
+
+    /// NRMSE is zero iff identical, symmetric under constant shifts of the
+    /// prediction in the expected way, and SSIM of a map with itself is 1.
+    #[test]
+    fn metric_identities(m in arb_grid_map(8, 8)) {
+        prop_assert_eq!(nrmse(&m, &m), 0.0);
+        let s = ssim(&m, &m, m.max().max(1e-3));
+        prop_assert!((s - 1.0).abs() < 1e-5, "self-SSIM {}", s);
+    }
+
+    /// The RUDY grid never receives negative demand for positive weights.
+    #[test]
+    fn rudy_is_non_negative(
+        x in 0.0f64..30.0,
+        y in 0.0f64..30.0,
+        w in 0.0f64..5.0,
+        h in 0.0f64..5.0,
+        weight in 0.0f32..4.0,
+    ) {
+        let g = GcellGrid::cover(Die { width: 32.0, height: 32.0 }, 2.0);
+        let b = Bbox { xl: x, yl: y, xh: x + w, yh: y + h };
+        let mut m = GridMap::zeros(g.nx, g.ny);
+        accumulate_rudy(&mut m, &g, &b, weight);
+        prop_assert!(m.min() >= 0.0);
+    }
+}
+
+mod placement_props {
+    use super::*;
+    use dco_netlist::{CellClass, CellId, NetlistBuilder, Placement3, PinDirection};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// HPWL is translation-invariant and scales linearly.
+        #[test]
+        fn hpwl_translation_invariance(
+            xs in proptest::collection::vec(0.0f64..50.0, 4),
+            ys in proptest::collection::vec(0.0f64..50.0, 4),
+            dx in -10.0f64..10.0,
+            dy in -10.0f64..10.0,
+        ) {
+            let mut b = NetlistBuilder::new("p");
+            let cells: Vec<_> = (0..4)
+                .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+                .collect();
+            let conns: Vec<_> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| (c, if i == 0 { PinDirection::Output } else { PinDirection::Input }))
+                .collect();
+            b.add_net("n", &conns);
+            let nl = b.finish().expect("valid");
+            let mut p = Placement3::zeroed(4);
+            let mut q = Placement3::zeroed(4);
+            for i in 0..4 {
+                p.set_xy(CellId(i as u32), xs[i], ys[i]);
+                q.set_xy(CellId(i as u32), xs[i] + dx, ys[i] + dy);
+            }
+            let a = p.total_hpwl(&nl);
+            let c = q.total_hpwl(&nl);
+            prop_assert!((a - c).abs() < 1e-9, "{} vs {}", a, c);
+        }
+
+        /// Cut size is invariant under flipping every cell's tier.
+        #[test]
+        fn cut_is_symmetric_under_global_flip(tiers in proptest::collection::vec(any::<bool>(), 6)) {
+            let mut b = NetlistBuilder::new("p");
+            let cells: Vec<_> = (0..6)
+                .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+                .collect();
+            for i in 0..5 {
+                b.add_net(format!("n{i}"), &[(cells[i], PinDirection::Output), (cells[i + 1], PinDirection::Input)]);
+            }
+            let nl = b.finish().expect("valid");
+            let mut p = Placement3::zeroed(6);
+            let mut q = Placement3::zeroed(6);
+            for (i, &t) in tiers.iter().enumerate() {
+                let tier = if t { dco_netlist::Tier::Top } else { dco_netlist::Tier::Bottom };
+                p.set_tier(CellId(i as u32), tier);
+                q.set_tier(CellId(i as u32), tier.flipped());
+            }
+            prop_assert_eq!(p.cut_size(&nl), q.cut_size(&nl));
+        }
+    }
+}
+
+mod tensor_props {
+    use super::*;
+    use dco_tensor::{Graph, Tensor};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// (A B)^T == B^T A^T for the dense matmul.
+        #[test]
+        fn matmul_transpose_identity(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+        ) {
+            let a = Tensor::from_vec(a, &[2, 3]);
+            let b = Tensor::from_vec(b, &[3, 2]);
+            let ab_t = a.matmul(&b).transposed();
+            let bt_at = b.transposed().matmul(&a.transposed());
+            for (x, y) in ab_t.data().iter().zip(bt_at.data()) {
+                prop_assert!((x - y).abs() < 1e-4);
+            }
+        }
+
+        /// Autograd gradient of sum(x*x) is 2x for any x.
+        #[test]
+        fn square_sum_gradient(xs in proptest::collection::vec(-3.0f32..3.0, 5)) {
+            let t = Tensor::from_vec(xs.clone(), &[5]);
+            let mut g = Graph::new();
+            let x = g.param(t);
+            let y = g.mul(x, x);
+            let s = g.sum_all(y);
+            g.backward(s);
+            let grad = g.grad(x).expect("grad");
+            for (gv, xv) in grad.data().iter().zip(&xs) {
+                prop_assert!((gv - 2.0 * xv).abs() < 1e-5);
+            }
+        }
+    }
+}
+
+mod conv_props {
+    use super::*;
+    use dco_tensor::conv::{conv2d_forward, conv_out_size, convt_out_size, conv_transpose2d_forward};
+    use dco_tensor::Tensor;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Convolution is linear: conv(a*x) == a * conv(x).
+        #[test]
+        fn conv_is_linear_in_input(
+            xs in proptest::collection::vec(-1.0f32..1.0, 16),
+            ws in proptest::collection::vec(-1.0f32..1.0, 9),
+            a in -3.0f32..3.0,
+        ) {
+            let x = Tensor::from_vec(xs.clone(), &[1, 1, 4, 4]);
+            let w = Tensor::from_vec(ws, &[1, 1, 3, 3]);
+            let ax = Tensor::from_vec(xs.iter().map(|v| a * v).collect(), &[1, 1, 4, 4]);
+            let y1 = conv2d_forward(&ax, &w, None, 1, 1);
+            let y2 = conv2d_forward(&x, &w, None, 1, 1);
+            for (p, q) in y1.data().iter().zip(y2.data()) {
+                prop_assert!((p - a * q).abs() < 1e-3, "{} vs {}", p, a * q);
+            }
+        }
+
+        /// convT output size inverts conv output size for stride-2/pad-0
+        /// with even kernels (the UNet's up/down path uses k = 2).
+        #[test]
+        fn convt_inverts_conv_shapes(h in 2usize..20, half_k in 1usize..3) {
+            let k = half_k * 2;
+            let down = conv_out_size(h * 2, k, 2, 0);
+            let up = convt_out_size(down, k, 2, 0);
+            prop_assert_eq!(up, h * 2);
+        }
+
+        /// Transposed convolution is the adjoint of convolution:
+        /// <conv(x), y> == <x, convT(y)> for matching layouts.
+        #[test]
+        fn convt_is_conv_adjoint(
+            xs in proptest::collection::vec(-1.0f32..1.0, 16),
+            ys in proptest::collection::vec(-1.0f32..1.0, 4),
+            ws in proptest::collection::vec(-1.0f32..1.0, 4),
+        ) {
+            let x = Tensor::from_vec(xs, &[1, 1, 4, 4]);
+            let y = Tensor::from_vec(ys, &[1, 1, 2, 2]);
+            // conv with stride 2 maps 4x4 -> 2x2; convT maps 2x2 -> 4x4.
+            let w_conv = Tensor::from_vec(ws.clone(), &[1, 1, 2, 2]);
+            let w_convt = Tensor::from_vec(ws, &[1, 1, 2, 2]);
+            let cx = conv2d_forward(&x, &w_conv, None, 2, 0);
+            let cty = conv_transpose2d_forward(&y, &w_convt, None, 2, 0);
+            let lhs: f32 = cx.data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+            let rhs: f32 = x.data().iter().zip(cty.data()).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-3, "{} vs {}", lhs, rhs);
+        }
+    }
+}
+
+mod engine_props {
+    use super::*;
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+    use dco_netlist::Tier;
+    use dco_place::{legalize, GlobalPlacer, PlacementParams};
+    use dco_route::{Router, RouterConfig};
+    use dco_timing::Sta;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// The legalizer never produces overlapping cells, for any seed.
+        #[test]
+        fn legalizer_is_overlap_free(seed in 0u64..200) {
+            let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+                .with_scale(0.015)
+                .generate(seed)
+                .expect("gen");
+            let mut p = GlobalPlacer::new(&d).place(&PlacementParams::default(), seed);
+            legalize(&d, &mut p, 5);
+            for tier in [Tier::Bottom, Tier::Top] {
+                let mut cells: Vec<_> = d
+                    .netlist
+                    .cell_ids()
+                    .filter(|&id| d.netlist.cell(id).movable() && p.tier(id) == tier)
+                    .collect();
+                cells.sort_by(|&a, &b| (p.y(a), p.x(a)).partial_cmp(&(p.y(b), p.x(b))).expect("finite"));
+                for w in cells.windows(2) {
+                    if (p.y(w[0]) - p.y(w[1])).abs() < 1e-9 {
+                        prop_assert!(
+                            p.x(w[0]) + d.netlist.cell(w[0]).width <= p.x(w[1]) + 1e-6,
+                            "overlap at seed {}", seed
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Routed wirelength is never less than the total HPWL lower bound
+        /// divided by a constant (HPWL is a lower bound per net up to MST
+        /// decomposition overheads), and never negative usage appears.
+        #[test]
+        fn router_respects_lower_bounds(seed in 0u64..100) {
+            let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+                .with_scale(0.01)
+                .generate(seed)
+                .expect("gen");
+            let r = Router::new(&d, RouterConfig::default()).route(&d.placement);
+            for die in 0..2 {
+                prop_assert!(r.h_usage[die].min() >= 0.0);
+                prop_assert!(r.v_usage[die].min() >= 0.0);
+            }
+            // every routed net at least reaches its HPWL (grid-quantized,
+            // so allow one gcell of slack per net)
+            let g = d.floorplan.grid;
+            let slack = (g.dx + g.dy) * 1.5;
+            for nid in d.netlist.net_ids() {
+                if d.netlist.net(nid).is_clock {
+                    continue;
+                }
+                let hpwl = d.placement.net_hpwl(&d.netlist, nid);
+                let routed = r.net_lengths[nid.index()];
+                prop_assert!(
+                    routed + slack >= hpwl * 0.9,
+                    "net {:?}: routed {} << hpwl {}", nid, routed, hpwl
+                );
+            }
+        }
+
+        /// STA slack is monotone in wire length: scaling every net length up
+        /// never improves TNS.
+        #[test]
+        fn sta_is_monotone_in_wirelength(seed in 0u64..100, factor in 1.1f64..4.0) {
+            let d = GeneratorConfig::for_profile(DesignProfile::Ecg)
+                .with_scale(0.01)
+                .generate(seed)
+                .expect("gen");
+            let sta = Sta::new(&d);
+            let base: Vec<f64> = d
+                .netlist
+                .net_ids()
+                .map(|n| d.placement.net_hpwl(&d.netlist, n).max(0.1))
+                .collect();
+            let long: Vec<f64> = base.iter().map(|&l| l * factor).collect();
+            let t0 = sta.analyze(&d.placement, Some(&base), None);
+            let t1 = sta.analyze(&d.placement, Some(&long), None);
+            prop_assert!(t1.tns_ps <= t0.tns_ps + 1e-9);
+        }
+    }
+}
+
+mod bookshelf_props {
+    use super::*;
+    use dco_netlist::bookshelf::{from_bookshelf, pl_into_placement, to_nets, to_nodes, to_pl};
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Bookshelf export/import round-trips the full design structure
+        /// and placement for any generator seed.
+        #[test]
+        fn bookshelf_round_trip(seed in 0u64..500) {
+            let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+                .with_scale(0.008)
+                .generate(seed)
+                .expect("gen");
+            let back = from_bookshelf(&to_nodes(&d.netlist), &to_nets(&d.netlist)).expect("parse");
+            prop_assert_eq!(back.num_cells(), d.netlist.num_cells());
+            prop_assert_eq!(back.num_pins(), d.netlist.num_pins());
+            let pl = to_pl(&d.netlist, &d.placement);
+            let placement = pl_into_placement(&back, &pl).expect("pl");
+            for id in d.netlist.cell_ids() {
+                prop_assert!((placement.x(id) - d.placement.x(id)).abs() < 1e-3);
+                prop_assert_eq!(placement.tier(id), d.placement.tier(id));
+            }
+        }
+    }
+}
