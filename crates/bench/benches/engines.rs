@@ -24,7 +24,10 @@ use std::hint::black_box;
 use std::rc::Rc;
 
 fn bench_design() -> Design {
-    GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.03).generate(1).expect("gen")
+    GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.03)
+        .generate(1)
+        .expect("gen")
 }
 
 fn bench_substrates(c: &mut Criterion) {
@@ -37,16 +40,16 @@ fn bench_substrates(c: &mut Criterion) {
                 .with_scale(0.03)
                 .generate(black_box(1))
                 .expect("gen")
-        })
+        });
     });
 
     c.bench_function("global_place_dma_3pct", |b| {
-        b.iter(|| GlobalPlacer::new(&design).place(black_box(&params), 1))
+        b.iter(|| GlobalPlacer::new(&design).place(black_box(&params), 1));
     });
 
     let placed = GlobalPlacer::new(&design).place(&params, 1);
     c.bench_function("fm_bipartition_dma_3pct", |b| {
-        b.iter(|| fm_bipartition(&design.netlist, black_box(placed.tiers()), 0.1, 2))
+        b.iter(|| fm_bipartition(&design.netlist, black_box(placed.tiers()), 0.1, 2));
     });
 
     c.bench_function("legalize_dma_3pct", |b| {
@@ -54,21 +57,29 @@ fn bench_substrates(c: &mut Criterion) {
             || placed.clone(),
             |mut p| legalize(&design, &mut p, 5),
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 
     let router = Router::new(&design, RouterConfig::default());
-    c.bench_function("route_rrr6_dma_3pct", |b| b.iter(|| router.route(black_box(&placed))));
+    c.bench_function("route_rrr6_dma_3pct", |b| {
+        b.iter(|| router.route(black_box(&placed)));
+    });
 
     let routed = router.route(&placed);
     let sta = Sta::new(&design);
     c.bench_function("sta_dma_3pct", |b| {
-        b.iter(|| sta.analyze(black_box(&placed), Some(&routed.net_lengths), Some(&routed.net_bonds)))
+        b.iter(|| {
+            sta.analyze(
+                black_box(&placed),
+                Some(&routed.net_lengths),
+                Some(&routed.net_bonds),
+            )
+        });
     });
 
     let power = PowerAnalyzer::new(&design);
     c.bench_function("power_dma_3pct", |b| {
-        b.iter(|| power.analyze(black_box(&placed), Some(&routed.net_lengths)))
+        b.iter(|| power.analyze(black_box(&placed), Some(&routed.net_lengths)));
     });
 }
 
@@ -77,12 +88,21 @@ fn bench_prediction_stack(c: &mut Criterion) {
     let fx = FeatureExtractor::new(design.floorplan.grid);
 
     c.bench_function("feature_extract_dma_3pct", |b| {
-        b.iter(|| fx.extract(&design.netlist, black_box(&design.placement)))
+        b.iter(|| fx.extract(&design.netlist, black_box(&design.placement)));
     });
 
-    let unet = SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 6, size: 32 }, 1);
+    let unet = SiameseUNet::new(
+        UNetConfig {
+            in_channels: 7,
+            base_channels: 6,
+            size: 32,
+        },
+        1,
+    );
     let f = Tensor::zeros(&[1, 7, 32, 32]);
-    c.bench_function("unet_forward_32x32_c6", |b| b.iter(|| unet.predict(black_box(&f), &f)));
+    c.bench_function("unet_forward_32x32_c6", |b| {
+        b.iter(|| unet.predict(black_box(&f), &f));
+    });
 }
 
 fn bench_dco_stack(c: &mut Criterion) {
@@ -101,7 +121,7 @@ fn bench_dco_stack(c: &mut Criterion) {
                 black_box(g.value(out).len())
             },
             criterion::BatchSize::SmallInput,
-        )
+        );
     });
 
     let grid = dco_netlist::GcellGrid {
@@ -113,25 +133,36 @@ fn bench_dco_stack(c: &mut Criterion) {
     let netlist = Rc::new(design.netlist.clone());
     let raster = SoftRasterizer::new(Rc::clone(&netlist), grid);
     let n = design.netlist.num_cells();
-    let x = Tensor::from_vec(design.placement.xs().iter().map(|&v| v as f32).collect(), &[n]);
-    let y = Tensor::from_vec(design.placement.ys().iter().map(|&v| v as f32).collect(), &[n]);
+    let x = Tensor::from_vec(
+        design.placement.xs().iter().map(|&v| v as f32).collect(),
+        &[n],
+    );
+    let y = Tensor::from_vec(
+        design.placement.ys().iter().map(|&v| v as f32).collect(),
+        &[n],
+    );
     let z = Tensor::from_vec(
-        design.placement.tiers().iter().map(|t| t.as_z() as f32).collect(),
+        design
+            .placement
+            .tiers()
+            .iter()
+            .map(|t| t.as_z() as f32)
+            .collect(),
         &[n],
     );
     c.bench_function("rasterizer_forward_32x32", |b| {
-        b.iter(|| raster.forward(black_box(&[&x, &y, &z])))
+        b.iter(|| raster.forward(black_box(&[&x, &y, &z])));
     });
 
     let out = raster.forward(&[&x, &y, &z]);
     let gy = Tensor::ones(out.shape());
     c.bench_function("rasterizer_backward_eq6_32x32", |b| {
-        b.iter(|| raster.backward(black_box(&[&x, &y, &z]), &out, &gy))
+        b.iter(|| raster.backward(black_box(&[&x, &y, &z]), &out, &gy));
     });
 
     let dens = SmoothDensity::new(netlist, grid);
     c.bench_function("smooth_density_forward_32x32", |b| {
-        b.iter(|| dens.forward(black_box(&[&x, &y, &z])))
+        b.iter(|| dens.forward(black_box(&[&x, &y, &z])));
     });
 
     // soft feature extraction at probabilistic z = 0.5 (the DCO hot path)
@@ -142,7 +173,7 @@ fn bench_dco_stack(c: &mut Criterion) {
         z: vec![0.5; n],
     };
     c.bench_function("soft_features_halfz_32x32", |b| {
-        b.iter(|| fx.extract_soft(&design.netlist, black_box(&soft)))
+        b.iter(|| fx.extract_soft(&design.netlist, black_box(&soft)));
     });
 }
 

@@ -10,10 +10,20 @@ use dco_route::{Router, RouterConfig};
 use dco_timing::Sta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
     let seed = 1u64;
-    let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(scale).generate(seed)?;
-    println!("design: {} cells, grid {}x{}", design.netlist.num_cells(), design.floorplan.grid.nx, design.floorplan.grid.ny);
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(scale)
+        .generate(seed)?;
+    println!(
+        "design: {} cells, grid {}x{}",
+        design.netlist.num_cells(),
+        design.floorplan.grid.nx,
+        design.floorplan.grid.ny
+    );
 
     let cfg = FlowConfig {
         map_size: 32,
@@ -36,12 +46,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- distribution check: training features vs rasterized features ---
     {
-        use dco_flow::build_dataset;
-        use dco_route::RouterConfig as RC;
         use dco3d::SoftRasterizer;
         use dco_features::SoftAssignment;
+        use dco_flow::build_dataset;
+        use dco_route::RouterConfig as RC;
         use std::rc::Rc;
-        let data = build_dataset(&design, 2, cfg.map_size, &RC { rrr_iterations: 2, ..RC::default() }, seed);
+        let data = build_dataset(
+            &design,
+            2,
+            cfg.map_size,
+            &RC {
+                rrr_iterations: 2,
+                ..RC::default()
+            },
+            seed,
+        );
         let s0 = &data[0];
         let f0 = predictor.normalization.features_tensor(&s0.features[0]);
         let f1 = predictor.normalization.features_tensor(&s0.features[1]);
@@ -52,15 +71,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         // rasterized features at the same placement as sample 0? use design.placement
         let grid = dco_netlist::GcellGrid {
-            nx: cfg.map_size, ny: cfg.map_size,
+            nx: cfg.map_size,
+            ny: cfg.map_size,
             dx: design.floorplan.die.width / cfg.map_size as f64,
             dy: design.floorplan.die.height / cfg.map_size as f64,
         };
         let ras = SoftRasterizer::new(Rc::new(design.netlist.clone()), grid);
         let soft = SoftAssignment::from_placement(&design.placement);
-        let x = dco_tensor::Tensor::from_vec(soft.x.iter().map(|&v| v as f32).collect(), &[soft.x.len()]);
-        let y = dco_tensor::Tensor::from_vec(soft.y.iter().map(|&v| v as f32).collect(), &[soft.y.len()]);
-        let z = dco_tensor::Tensor::from_vec(soft.z.iter().map(|&v| v as f32).collect(), &[soft.z.len()]);
+        let x = dco_tensor::Tensor::from_vec(
+            soft.x.iter().map(|&v| v as f32).collect(),
+            &[soft.x.len()],
+        );
+        let y = dco_tensor::Tensor::from_vec(
+            soft.y.iter().map(|&v| v as f32).collect(),
+            &[soft.y.len()],
+        );
+        let z = dco_tensor::Tensor::from_vec(
+            soft.z.iter().map(|&v| v as f32).collect(),
+            &[soft.z.len()],
+        );
         use dco_tensor::CustomOp;
         let feats = ras.forward(&[&x, &y, &z]);
         let plane = cfg.map_size * cfg.map_size;
@@ -70,7 +99,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let ras_max = ras_ch.iter().cloned().fold(f32::MIN, f32::max);
             println!(
                 "  ch{} {:>14}: train max {:>8.3} | raster max {:>8.3} | norm scale {:>8.3}",
-                c, dco_features::CHANNEL_NAMES[c], train_ch.max(), ras_max,
+                c,
+                dco_features::CHANNEL_NAMES[c],
+                train_ch.max(),
+                ras_max,
                 predictor.normalization.channel_scale[c]
             );
         }
@@ -79,9 +111,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = PlacementParams::pin3d_baseline();
     let mut base = GlobalPlacer::new(&design).place(&params, seed);
     legalize(&design, &mut base, params.displacement_threshold);
-    let router = Router::new(&design, RouterConfig { rrr_iterations: 1, ..RouterConfig::default() });
+    let router = Router::new(
+        &design,
+        RouterConfig {
+            rrr_iterations: 1,
+            ..RouterConfig::default()
+        },
+    );
     let before = router.route(&base);
-    println!("baseline overflow: {:.0} ({:.1}% gcells)", before.report.total, before.report.overflow_gcell_pct);
+    println!(
+        "baseline overflow: {:.0} ({:.1}% gcells)",
+        before.report.total, before.report.overflow_gcell_pct
+    );
 
     let timing = Sta::new(&design).analyze(&base, None, None);
     let features = build_node_features(&design, &base, &timing);
@@ -111,7 +152,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut max_move = 0.0f64;
     let mut flips = 0;
     for id in design.netlist.cell_ids() {
-        let d = (result.placement.x(id) - base.x(id)).abs() + (result.placement.y(id) - base.y(id)).abs();
+        let d = (result.placement.x(id) - base.x(id)).abs()
+            + (result.placement.y(id) - base.y(id)).abs();
         total_move += d;
         max_move = max_move.max(d);
         if result.placement.tier(id) != base.tier(id) {
@@ -131,9 +173,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let after = router.route(&opt);
     println!(
         "after DCO overflow: {:.0} ({:.1}% gcells)  [was {:.0}]",
-        after.report.total,
-        after.report.overflow_gcell_pct,
-        before.report.total
+        after.report.total, after.report.overflow_gcell_pct, before.report.total
     );
     println!(
         "HPWL: {:.0} -> {:.0}; cut {} -> {}",

@@ -21,11 +21,20 @@ use dco_route::{Router, RouterConfig};
 use dco_timing::Sta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
     let seed = 1;
-    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc).with_scale(scale).generate(seed)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc)
+        .with_scale(scale)
+        .generate(seed)?;
     let cfg = FlowConfig::default();
-    eprintln!("training predictor for {} ({} cells)...", design.name, design.netlist.num_cells());
+    eprintln!(
+        "training predictor for {} ({} cells)...",
+        design.name,
+        design.netlist.num_cells()
+    );
     let predictor = train_predictor(&design, &cfg, seed);
 
     let params = PlacementParams::pin3d_baseline();
@@ -43,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Pattern-only estimate, matching the placement-stage metric of Table III.
     let router = Router::new(
         &design,
-        RouterConfig { rrr_iterations: 2, maze_margin: 0, ..RouterConfig::default() },
+        RouterConfig {
+            rrr_iterations: 2,
+            maze_margin: 0,
+            ..RouterConfig::default()
+        },
     );
     let baseline = router.route(&base);
     println!(
@@ -56,11 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // post-route timing probe, plus criticality-weighted displacement.
     let run_dco = |dco_cfg: DcoConfig| {
         let probe = router.route(&base_gp);
-        let timing = Sta::new(&design).analyze(
-            &base_gp,
-            Some(&probe.net_lengths),
-            Some(&probe.net_bonds),
-        );
+        let timing =
+            Sta::new(&design).analyze(&base_gp, Some(&probe.net_lengths), Some(&probe.net_bonds));
         let features = build_node_features(&design, &base_gp, &timing);
         let mut dco = DcoOptimizer::new(
             &design,
@@ -73,12 +83,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dco.set_timing_criticality(&timing.cell_slack, 10.0);
         let placed = finish(&dco.run(&base_gp).placement);
         let routed = router.route(&placed);
-        (routed.report.total, placed.cut_size(&design.netlist), routed.wirelength)
+        (
+            routed.report.total,
+            placed.cut_size(&design.netlist),
+            routed.wirelength,
+        )
     };
 
     println!("\n--- ablation 1: cross-tier (z) spreading ---");
-    for (label, enable_z) in [("3D spreading (full DCO)", true), ("2D-only spreading (no z)", false)] {
-        let (ovf, cut, wl) = run_dco(DcoConfig { enable_z, ..DcoConfig::default() });
+    for (label, enable_z) in [
+        ("3D spreading (full DCO)", true),
+        ("2D-only spreading (no z)", false),
+    ] {
+        let (ovf, cut, wl) = run_dco(DcoConfig {
+            enable_z,
+            ..DcoConfig::default()
+        });
         println!(
             "  {label:<28} overflow {ovf:>8.0} ({:+6.1}%)  cut {cut:>5}  WL {wl:>9.0}",
             100.0 * (ovf - baseline.report.total) / baseline.report.total
@@ -87,7 +107,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n--- ablation 2: cutsize weight gamma ---");
     for gamma in [0.0f32, 0.5, 2.0, 8.0] {
-        let (ovf, cut, _) = run_dco(DcoConfig { gamma, ..DcoConfig::default() });
+        let (ovf, cut, _) = run_dco(DcoConfig {
+            gamma,
+            ..DcoConfig::default()
+        });
         println!("  gamma {gamma:>4.1}: overflow {ovf:>8.0}, cut {cut:>5}");
     }
 
@@ -96,9 +119,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("full multi-objective", DcoConfig::default()),
         (
             "congestion only",
-            DcoConfig { alpha: 0.0, beta: 0.0, gamma: 0.0, ..DcoConfig::default() },
+            DcoConfig {
+                alpha: 0.0,
+                beta: 0.0,
+                gamma: 0.0,
+                ..DcoConfig::default()
+            },
         ),
-        ("no congestion term", DcoConfig { delta: 0.0, ..DcoConfig::default() }),
+        (
+            "no congestion term",
+            DcoConfig {
+                delta: 0.0,
+                ..DcoConfig::default()
+            },
+        ),
     ];
     for (label, dcfg) in variants {
         let (ovf, cut, wl) = run_dco(dcfg);
@@ -111,11 +145,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // connectivity-aware updates converge more stably.
     {
         let probe = router.route(&base_gp);
-        let timing = Sta::new(&design).analyze(
-            &base_gp,
-            Some(&probe.net_lengths),
-            Some(&probe.net_bonds),
-        );
+        let timing =
+            Sta::new(&design).analyze(&base_gp, Some(&probe.net_lengths), Some(&probe.net_bonds));
         let features = build_node_features(&design, &base_gp, &timing);
         let gcn = Gcn::new(GcnConfig::default(), seed);
         let gnn_params = {
@@ -140,17 +171,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         let direct_params = direct.num_parameters();
         let direct_result = direct.run(&base_gp);
-        let route_of = |placement: &dco_netlist::Placement3| router.route(&finish(placement)).report.total;
+        let route_of =
+            |placement: &dco_netlist::Placement3| router.route(&finish(placement)).report.total;
         println!(
             "  GNN spreader   : {:>8} params, final loss {:.4}, overflow {:>8.0}",
             gnn_params,
-            gnn_result.history.last().map(|l| l.total).unwrap_or(f32::NAN),
+            gnn_result
+                .history
+                .last()
+                .map(|l| l.total)
+                .unwrap_or(f32::NAN),
             route_of(&gnn_result.placement)
         );
         println!(
             "  direct per-cell: {:>8} params, final loss {:.4}, overflow {:>8.0}",
             direct_params,
-            direct_result.history.last().map(|l| l.total).unwrap_or(f32::NAN),
+            direct_result
+                .history
+                .last()
+                .map(|l| l.total)
+                .unwrap_or(f32::NAN),
             route_of(&direct_result.placement)
         );
     }
@@ -162,8 +202,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     {
         use dco_flow::build_dataset;
         use dco_unet::{evaluate_metrics, SiameseUNet, UNetConfig};
-        let dataset =
-            build_dataset(&design, cfg.train_layouts, cfg.map_size, &cfg.stage_router, seed);
+        let dataset = build_dataset(
+            &design,
+            cfg.train_layouts,
+            cfg.map_size,
+            &cfg.stage_router,
+            seed,
+        );
         let refs: Vec<&dco_unet::Sample> = dataset.iter().collect();
         let mean = |m: &[dco_unet::EvalRecord]| {
             m.iter().map(|r| r.nrmse).sum::<f32>() / m.len().max(1) as f32
@@ -171,7 +216,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let intact = evaluate_metrics(&predictor.unet, &refs, &predictor.normalization);
         // clone the trained weights into a fresh model, then lesion it
         let mut lesioned = SiameseUNet::new(
-            UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+            UNetConfig {
+                in_channels: 7,
+                base_channels: cfg.unet_channels,
+                size: cfg.map_size,
+            },
             seed,
         );
         copy_params(&predictor.unet, &mut lesioned);

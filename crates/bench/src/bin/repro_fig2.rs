@@ -11,8 +11,13 @@ use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 use dco_route::{Router, RouterConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
-    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(scale).generate(2)?;
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes)
+        .with_scale(scale)
+        .generate(2)?;
     println!(
         "Fig. 2 sample: {} ({} cells), grid {}x{}",
         design.name,
@@ -25,15 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let [bottom, top] = fx.extract(&design.netlist, &design.placement);
     let routed = Router::new(&design, RouterConfig::default()).route(&design.placement);
 
-    for (die_name, feats, cong) in
-        [("bottom", &bottom, &routed.congestion[0]), ("top", &top, &routed.congestion[1])]
-    {
+    for (die_name, feats, cong) in [
+        ("bottom", &bottom, &routed.congestion[0]),
+        ("top", &top, &routed.congestion[1]),
+    ] {
         println!("\n=== {die_name} die ===");
         for (name, map) in CHANNEL_NAMES.iter().zip(feats.channels()) {
             println!("\n{name} (max {:.2}):", map.max());
             print!("{}", map.normalized().to_ascii());
         }
-        println!("\nground-truth congestion (post-route overflow, max {:.1}):", cong.max());
+        println!(
+            "\nground-truth congestion (post-route overflow, max {:.1}):",
+            cong.max()
+        );
         print!("{}", cong.normalized().to_ascii());
     }
 
@@ -55,9 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nwrote raw maps to {path}");
     // PPM heatmap images (viewable with any image tool)
     std::fs::create_dir_all("target/fig2")?;
-    for (die, feats, cong) in
-        [("bottom", &bottom, &routed.congestion[0]), ("top", &top, &routed.congestion[1])]
-    {
+    for (die, feats, cong) in [
+        ("bottom", &bottom, &routed.congestion[0]),
+        ("top", &top, &routed.congestion[1]),
+    ] {
         for (name, map) in CHANNEL_NAMES.iter().zip(feats.channels()) {
             map.write_ppm(format!("target/fig2/{die}_{name}.ppm"), 8)?;
         }

@@ -20,7 +20,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let map_size = 32;
     let seed = 5;
 
-    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(scale).generate(seed)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes)
+        .with_scale(scale)
+        .generate(seed)?;
     println!(
         "Fig. 5: training the Siamese UNet on {} ({} cells), {layouts} layouts at {map_size}x{map_size} (paper: 300 at 224x224)",
         design.name,
@@ -28,13 +30,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let dataset = build_dataset(&design, layouts, map_size, &RouterConfig::default(), seed);
     let mut model = SiameseUNet::new(
-        UNetConfig { in_channels: 7, base_channels: 6, size: map_size },
+        UNetConfig {
+            in_channels: 7,
+            base_channels: 6,
+            size: map_size,
+        },
         seed,
     );
     let result = train(
         &mut model,
         &dataset,
-        &TrainConfig { epochs, seed, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs,
+            seed,
+            ..TrainConfig::default()
+        },
     );
 
     // (a) loss curves
@@ -48,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nFig. 5b — test-set metric distribution:");
     let nrmses: Vec<f32> = result.test_metrics.iter().map(|m| m.nrmse).collect();
     let ssims: Vec<f32> = result.test_metrics.iter().map(|m| m.ssim).collect();
-    histogram("NRMSE", &nrmses, &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0]);
+    histogram(
+        "NRMSE",
+        &nrmses,
+        &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1.0],
+    );
     histogram("SSIM", &ssims, &[-1.0, 0.0, 0.5, 0.7, 0.8, 0.9, 0.95, 1.0]);
     let good_nrmse = nrmses.iter().filter(|&&v| v < 0.2).count() as f64 / nrmses.len() as f64;
     let good_ssim = ssims.iter().filter(|&&v| v > 0.8).count() as f64 / ssims.len() as f64;
@@ -61,7 +75,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // (c) model vs RUDY vs ground truth on a held-out-style sample
     println!("\nFig. 5c — predicted vs RUDY vs ground truth (bottom die, normalized):");
     let sample = dataset.last().expect("non-empty dataset");
-    let pred = predict_maps(&model, &result.normalization, [&sample.features[0], &sample.features[1]]);
+    let pred = predict_maps(
+        &model,
+        &result.normalization,
+        [&sample.features[0], &sample.features[1]],
+    );
     let truth = &sample.labels[0];
     let mut rudy = sample.features[0][2].clone(); // rudy_2d
     rudy.add_assign(&sample.features[0][3]); // + rudy_3d
@@ -89,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // sanity metric on the training fit itself
-    let refit = evaluate_metrics(&model, &dataset.iter().collect::<Vec<_>>(), &result.normalization);
+    let refit = evaluate_metrics(
+        &model,
+        &dataset.iter().collect::<Vec<_>>(),
+        &result.normalization,
+    );
     let mean: f32 = refit.iter().map(|m| m.nrmse).sum::<f32>() / refit.len() as f32;
     println!("\nwhole-dataset mean NRMSE: {mean:.3}");
 

@@ -10,9 +10,14 @@ use dco_flow::{train_predictor, FlowConfig, FlowKind, FlowRunner};
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.03);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.03);
     let seed = 1;
-    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc).with_scale(scale).generate(seed)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc)
+        .with_scale(scale)
+        .generate(seed)?;
     println!(
         "Fig. 6/7: {} ({} cells), Pin3D vs DCO-3D",
         design.name,
@@ -71,10 +76,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         base.congestion[di].write_ppm(format!("target/fig6_7/pin3d_{die}_congestion.ppm"), 8)?;
         ours.congestion[di].write_ppm(format!("target/fig6_7/dco3d_{die}_congestion.ppm"), 8)?;
     }
-    b_bot.cell_density.write_ppm("target/fig6_7/pin3d_bottom_density.ppm", 8)?;
-    b_top.cell_density.write_ppm("target/fig6_7/pin3d_top_density.ppm", 8)?;
-    o_bot.cell_density.write_ppm("target/fig6_7/dco3d_bottom_density.ppm", 8)?;
-    o_top.cell_density.write_ppm("target/fig6_7/dco3d_top_density.ppm", 8)?;
+    b_bot
+        .cell_density
+        .write_ppm("target/fig6_7/pin3d_bottom_density.ppm", 8)?;
+    b_top
+        .cell_density
+        .write_ppm("target/fig6_7/pin3d_top_density.ppm", 8)?;
+    o_bot
+        .cell_density
+        .write_ppm("target/fig6_7/dco3d_bottom_density.ppm", 8)?;
+    o_top
+        .cell_density
+        .write_ppm("target/fig6_7/dco3d_top_density.ppm", 8)?;
     // Fig. 6's layout panels as SVG (cells colored by class, congestion
     // underlay), one file per flow.
     for (label, outcome) in [("pin3d", &base), ("dco3d", &ours)] {

@@ -15,7 +15,10 @@ use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 use dco_unet::{evaluate_metrics, train, SiameseUNet, TrainConfig, UNetConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let cfg = FlowConfig::default();
     let seed = 3u64;
     let profiles = [DesignProfile::Dma, DesignProfile::Aes, DesignProfile::Vga];
@@ -23,9 +26,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // per-profile datasets
     let mut datasets = Vec::new();
     for p in profiles {
-        let design = GeneratorConfig::for_profile(p).with_scale(scale).generate(seed)?;
-        eprintln!("building dataset for {} ({} cells)...", p.name(), design.netlist.num_cells());
-        datasets.push(build_dataset(&design, cfg.train_layouts, cfg.map_size, &cfg.stage_router, seed));
+        let design = GeneratorConfig::for_profile(p)
+            .with_scale(scale)
+            .generate(seed)?;
+        eprintln!(
+            "building dataset for {} ({} cells)...",
+            p.name(),
+            design.netlist.num_cells()
+        );
+        datasets.push(build_dataset(
+            &design,
+            cfg.train_layouts,
+            cfg.map_size,
+            &cfg.stage_router,
+            seed,
+        ));
     }
 
     println!("cross-design NRMSE (rows = trained on, cols = evaluated on):");
@@ -36,13 +51,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     for (ti, tp) in profiles.iter().enumerate() {
         let mut model = SiameseUNet::new(
-            UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+            UNetConfig {
+                in_channels: 7,
+                base_channels: cfg.unet_channels,
+                size: cfg.map_size,
+            },
             seed,
         );
         let result = train(
             &mut model,
             &datasets[ti],
-            &TrainConfig { epochs: cfg.train_epochs, seed, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: cfg.train_epochs,
+                seed,
+                ..TrainConfig::default()
+            },
         );
         print!("{:<10}", tp.name());
         for ds in &datasets {

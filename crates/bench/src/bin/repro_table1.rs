@@ -13,7 +13,10 @@ use rand::SeedableRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table I: 3D placement parameters used for constructing the placement dataset");
-    println!("{:<38} {:>6} {:>18}", "placement parameter", "type", "value range");
+    println!(
+        "{:<38} {:>6} {:>18}",
+        "placement parameter", "type", "value range"
+    );
     let rows = [
         ("coarse.pin_density_aware", "bool", "false, true"),
         ("coarse.target_routing_density", "float", "[0, 1]"),
@@ -52,9 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.02).generate(7)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.02)
+        .generate(7)?;
     let layouts = LayoutSampler::new(&design).sample(5, 7);
-    println!("\n5 sampled layouts of miniature {} (paper: 300 per design):", design.name);
+    println!(
+        "\n5 sampled layouts of miniature {} (paper: 300 per design):",
+        design.name
+    );
     for (i, l) in layouts.iter().enumerate() {
         println!(
             "  layout {i}: HPWL {:>8.1} um, cut {:>4}",

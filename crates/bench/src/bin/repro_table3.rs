@@ -38,11 +38,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut csv = String::new();
     for profile in DesignProfile::ALL {
-        if !wanted.is_empty() && !wanted.iter().any(|w| w == profile.name().to_uppercase().as_str())
+        if !wanted.is_empty()
+            && !wanted
+                .iter()
+                .any(|w| w == profile.name().to_uppercase().as_str())
         {
             continue;
         }
-        let design = GeneratorConfig::for_profile(profile).with_scale(scale).generate(seed)?;
+        let design = GeneratorConfig::for_profile(profile)
+            .with_scale(scale)
+            .generate(seed)?;
         eprintln!(
             "[{}] training predictor ({} cells)...",
             profile.name(),
@@ -70,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Err(_) => {
                 let p = train_predictor(&design, &cfg, seed);
                 if let Err(e) = save_predictor(&cache, &p.unet, &p.normalization) {
-                    eprintln!("[{}] warning: could not cache predictor: {e}", profile.name());
+                    eprintln!(
+                        "[{}] warning: could not cache predictor: {e}",
+                        profile.name()
+                    );
                 }
                 p
             }

@@ -1,0 +1,37 @@
+//! Static analysis for the DCO-3D workspace.
+//!
+//! Two layers:
+//!
+//! 1. **Autograd-graph analysis** — re-exports
+//!    [`Graph::validate`](dco_tensor::Graph::validate)'s diagnostics from
+//!    `dco-tensor` and adds [`gradcheck`], a finite-difference harness
+//!    that verifies analytic gradients (built-in ops and `CustomOp`
+//!    backward passes alike) by replaying the recorded tape.
+//! 2. **Workspace lint** — [`lint::lint_path`] scans `.rs` sources for
+//!    panicking calls, stdio writes, and exact float comparisons in
+//!    library code; the `dco-check` binary drives it for CI.
+//!
+//! ```
+//! use dco_check::{gradcheck_fn};
+//! use dco_tensor::{Graph, Tensor};
+//!
+//! let report = gradcheck_fn(
+//!     |g| {
+//!         let x = g.param(Tensor::from_vec(vec![0.3, -0.9], &[2]));
+//!         let y = g.tanh(x);
+//!         g.sum_all(y)
+//!     },
+//!     1e-2,
+//! );
+//! assert!(report.passed());
+//! ```
+
+mod gradcheck;
+pub mod lint;
+
+pub use gradcheck::{gradcheck, gradcheck_fn, GradcheckConfig, GradcheckFailure, GradcheckReport};
+pub use lint::{lint_path, lint_source, Violation};
+
+// Layer-1 diagnostic types live next to the tape; re-export them so tools
+// depending on dco-check see one coherent API.
+pub use dco_tensor::{Diagnostic, DiagnosticKind, NodeInfo, Severity, TapeOp};

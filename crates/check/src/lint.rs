@@ -1,0 +1,535 @@
+//! A line/token lint pass over workspace Rust sources.
+//!
+//! Three rules, tuned for a numerical codebase:
+//!
+//! - **unwrap** — no `.unwrap()` / `.expect(...)` in library code. Panics
+//!   belong in tests, binaries, and benches; libraries return errors or
+//!   document invariants with `debug_assert!`.
+//! - **print** — no `println!`-family macros in library code; libraries
+//!   must not write to the driver program's stdio.
+//! - **float-eq** — no `==`/`!=` against floating-point literals in
+//!   loss/gradient code, where exact comparison is almost always a bug.
+//!
+//! Sources are masked first (comments, strings, and char literals blanked
+//! with a small state machine) so matches inside literals or docs never
+//! fire. Test context — `tests/`, `benches/`, `examples/`, `src/bin/`,
+//! `main.rs`, `build.rs`, and `#[cfg(test)]` modules — is exempt from
+//! `unwrap` and `print`. A finding is suppressed by putting
+//! `// lint: allow(<rule>)` on the offending line or the line above.
+
+use serde::Serialize;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directories never descended into when walking a tree.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "node_modules"];
+
+/// Path markers that make a file "loss/gradient code" for `float-eq`.
+const GRAD_CODE_MARKERS: &[&str] = &["loss", "grad", "optim", "raster", "graph"];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Violation {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// Rule id: `unwrap`, `print`, or `float-eq`.
+    pub rule: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// What to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}\n    {}",
+            self.file, self.line, self.column, self.rule, self.message, self.snippet
+        )
+    }
+}
+
+/// Whether a relative path is test/bin context (unwrap + print allowed).
+fn is_bin_or_test_context(rel: &Path) -> bool {
+    let special_dir = rel.components().any(|c| {
+        matches!(
+            c.as_os_str().to_str(),
+            Some("tests") | Some("benches") | Some("examples") | Some("bin")
+        )
+    });
+    let special_file = matches!(
+        rel.file_name().and_then(|f| f.to_str()),
+        Some("main.rs") | Some("build.rs")
+    );
+    special_dir || special_file
+}
+
+/// Whether `float-eq` applies to this file.
+fn is_grad_code(rel: &Path) -> bool {
+    let lower = rel.to_string_lossy().to_lowercase();
+    GRAD_CODE_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Blank out comments, strings, and char literals, preserving layout.
+///
+/// Returns `(masked, comments)` where `comments` holds each line's comment
+/// text (for `lint: allow` markers).
+fn mask_source(src: &str) -> (String, Vec<String>) {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+    }
+    let bytes = src.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut comments: Vec<String> = vec![String::new()];
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            masked.push(b'\n');
+            comments.push(String::new());
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    masked.push(b' ');
+                    i += 1;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    masked.push(b' ');
+                    i += 1;
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        masked.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        i = j + 1;
+                    } else {
+                        masked.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // char literal vs lifetime: a literal closes within a
+                    // few bytes ('x' or an escape); a lifetime does not
+                    let close = if bytes.get(i + 1) == Some(&b'\\') {
+                        bytes[i + 2..]
+                            .iter()
+                            .take(8)
+                            .position(|&c| c == b'\'')
+                            .map(|p| i + 2 + p)
+                    } else if bytes.get(i + 2) == Some(&b'\'') {
+                        Some(i + 2)
+                    } else {
+                        None
+                    };
+                    if let Some(end) = close {
+                        masked.extend(std::iter::repeat_n(b' ', end - i + 1));
+                        i = end + 1;
+                    } else {
+                        masked.push(b);
+                        i += 1;
+                    }
+                } else {
+                    masked.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if let Some(last) = comments.last_mut() {
+                    last.push(b as char);
+                }
+                masked.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    masked.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' {
+                    masked.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    if b == b'"' {
+                        state = State::Code;
+                    }
+                    masked.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"'
+                    && bytes[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&c| c == b'#')
+                        .count()
+                        == hashes
+                {
+                    masked.extend(std::iter::repeat_n(b' ', hashes + 1));
+                    i += 1 + hashes;
+                    state = State::Code;
+                } else {
+                    masked.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    (String::from_utf8_lossy(&masked).into_owned(), comments)
+}
+
+/// Per-line flags: is the line inside a `#[cfg(test)]` module body?
+fn cfg_test_lines(masked: &str) -> Vec<bool> {
+    let n_lines = masked.lines().count().max(1);
+    let mut in_test = vec![false; n_lines + 1];
+    let bytes = masked.as_bytes();
+    let mut line = 0usize;
+    let mut depth = 0i64;
+    // stack of depths at which a cfg(test) region opened
+    let mut region_depths: Vec<i64> = Vec::new();
+    let mut pending_attr = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\n' => {
+                line += 1;
+            }
+            b'#' if masked[i..].starts_with("#[cfg(test)]") => {
+                pending_attr = true;
+                i += "#[cfg(test)]".len();
+                continue;
+            }
+            b'{' => {
+                depth += 1;
+                if pending_attr {
+                    region_depths.push(depth);
+                    pending_attr = false;
+                }
+            }
+            b'}' => {
+                if region_depths.last() == Some(&depth) {
+                    region_depths.pop();
+                }
+                depth -= 1;
+            }
+            // other tokens (e.g. `mod tests`) may sit between the attribute
+            // and its brace; only an item end (`;`) cancels it
+            b';' if pending_attr => pending_attr = false,
+            _ => {}
+        }
+        if !region_depths.is_empty() && line < in_test.len() {
+            in_test[line] = true;
+        }
+        i += 1;
+    }
+    in_test
+}
+
+/// Does `comment` (or the previous line's) allow `rule` here?
+fn allowed(comments: &[String], line_idx: usize, rule: &str) -> bool {
+    let marker = format!("lint: allow({rule})");
+    let here = comments
+        .get(line_idx)
+        .map(|c| c.contains(&marker))
+        .unwrap_or(false);
+    let above = line_idx > 0
+        && comments
+            .get(line_idx - 1)
+            .map(|c| c.contains(&marker))
+            .unwrap_or(false);
+    here || above
+}
+
+/// Is `text[..idx]`'s tail or `text[idx..]`'s head a float literal operand?
+fn float_operand_near(line: &str, op_start: usize, op_len: usize) -> bool {
+    let is_float_token = |tok: &str| {
+        let t = tok
+            .trim_end_matches("f32")
+            .trim_end_matches("f64")
+            .trim_end_matches('_');
+        !t.is_empty() && t.contains('.') && t.parse::<f64>().is_ok()
+    };
+    // right operand
+    let right = line[op_start + op_len..].trim_start();
+    let rtok: String = right
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-' | '+'))
+        .collect();
+    if is_float_token(rtok.trim_start_matches(['-', '+'])) {
+        return true;
+    }
+    // left operand
+    let left = line[..op_start].trim_end();
+    let ltok: String = left
+        .chars()
+        .rev()
+        .take_while(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_'))
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    is_float_token(&ltok)
+}
+
+/// Occurrences of `needle` in `hay` at macro-call word boundaries.
+fn find_macro(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let abs = from + pos;
+        let before_ok = abs == 0
+            || !hay.as_bytes()[abs - 1].is_ascii_alphanumeric() && hay.as_bytes()[abs - 1] != b'_';
+        if before_ok {
+            return Some(abs);
+        }
+        from = abs + needle.len();
+    }
+    None
+}
+
+/// Lint one file's source text. `rel` is used for context classification
+/// and reporting only.
+pub fn lint_source(rel: &Path, src: &str) -> Vec<Violation> {
+    let (masked, comments) = mask_source(src);
+    let in_test = cfg_test_lines(&masked);
+    let bin_or_test = is_bin_or_test_context(rel);
+    let grad_code = is_grad_code(rel);
+    let rel_str = rel.to_string_lossy().into_owned();
+    let originals: Vec<&str> = src.lines().collect();
+
+    let mut out = Vec::new();
+    for (idx, line) in masked.lines().enumerate() {
+        let exempt = bin_or_test || in_test.get(idx).copied().unwrap_or(false);
+        let snippet = originals
+            .get(idx)
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default();
+        let mut push = |col: usize, rule: &str, message: String| {
+            out.push(Violation {
+                file: rel_str.clone(),
+                line: idx + 1,
+                column: col + 1,
+                rule: rule.to_string(),
+                snippet: snippet.clone(),
+                message,
+            });
+        };
+
+        if !exempt && !allowed(&comments, idx, "unwrap") {
+            if let Some(col) = line.find(".unwrap()") {
+                push(
+                    col,
+                    "unwrap",
+                    "`.unwrap()` in library code; return an error or document the \
+                     invariant with `debug_assert!`"
+                        .to_string(),
+                );
+            }
+            if let Some(col) = line.find(".expect(") {
+                push(
+                    col,
+                    "unwrap",
+                    "`.expect(...)` in library code; return an error or document the \
+                     invariant with `debug_assert!`"
+                        .to_string(),
+                );
+            }
+        }
+
+        if !exempt && !allowed(&comments, idx, "print") {
+            for mac in ["println!", "eprintln!", "print!", "eprint!"] {
+                if let Some(col) = find_macro(line, mac) {
+                    push(
+                        col,
+                        "print",
+                        format!("`{mac}` in library code; surface data through the API instead"),
+                    );
+                    break;
+                }
+            }
+        }
+
+        if grad_code
+            && !in_test.get(idx).copied().unwrap_or(false)
+            && !allowed(&comments, idx, "float-eq")
+        {
+            let mut from = 0;
+            while let Some(pos) = line[from..].find("==").or_else(|| line[from..].find("!=")) {
+                let abs = from + pos;
+                // skip <=, >=, !=='s first char handled by find; skip pattern
+                // `=>` and `<=`-style neighbours
+                let prev = abs.checked_sub(1).map(|p| line.as_bytes()[p]);
+                if !matches!(prev, Some(b'<') | Some(b'>') | Some(b'=') | Some(b'!'))
+                    && float_operand_near(line, abs, 2)
+                {
+                    push(
+                        abs,
+                        "float-eq",
+                        "exact float comparison in loss/gradient code; compare against \
+                         a tolerance"
+                            .to_string(),
+                    );
+                    break;
+                }
+                from = abs + 2;
+            }
+        }
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `root`, skipping [`SKIP_DIRS`].
+fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(root)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.path());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every Rust source under `root` (a directory) or `root` itself (a
+/// file). Violations are ordered by path, then line.
+pub fn lint_path(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    if root.is_file() {
+        files.push(root.to_path_buf());
+    } else {
+        collect_rs_files(root, &mut files)?;
+    }
+    let mut out = Vec::new();
+    for file in files {
+        let src = fs::read_to_string(&file)?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        out.extend(lint_source(rel, &src));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_unwrap_in_library_code() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "unwrap");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn test_and_bin_context_is_exempt() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { println!(\"x\"); v.unwrap() }\n";
+        assert!(lint_source(Path::new("tests/t.rs"), src).is_empty());
+        assert!(lint_source(Path::new("src/bin/tool.rs"), src).is_empty());
+        assert!(lint_source(Path::new("src/main.rs"), src).is_empty());
+        assert_eq!(lint_source(Path::new("src/lib.rs"), src).len(), 2);
+    }
+
+    #[test]
+    fn cfg_test_modules_are_exempt() {
+        let src = "pub fn f() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       #[test]\n\
+                       fn t() { Some(1).unwrap(); }\n\
+                   }\n";
+        assert!(lint_source(Path::new("src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// .unwrap() in a comment\n\
+                   /* println!(\"hi\") */\n\
+                   pub const HELP: &str = \".unwrap() and println!\";\n";
+        assert!(lint_source(Path::new("src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_same_and_next_line() {
+        let src = "pub fn f(v: Option<u32>) -> u32 { v.unwrap() } // lint: allow(unwrap)\n\
+                   // lint: allow(unwrap)\n\
+                   pub fn g(v: Option<u32>) -> u32 { v.unwrap() }\n\
+                   pub fn h(v: Option<u32>) -> u32 { v.unwrap() }\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 4);
+    }
+
+    #[test]
+    fn float_eq_only_in_grad_code() {
+        let src = "pub fn f(x: f32) -> bool { x == 0.0 }\n";
+        assert_eq!(lint_source(Path::new("src/losses.rs"), src).len(), 1);
+        assert_eq!(
+            lint_source(Path::new("src/losses.rs"), src)[0].rule,
+            "float-eq"
+        );
+        assert!(lint_source(Path::new("src/netlist.rs"), src).is_empty());
+        // tolerance comparisons are fine
+        let ok = "pub fn f(x: f32) -> bool { (x - 1.0).abs() < 1e-6 }\n";
+        assert!(lint_source(Path::new("src/losses.rs"), ok).is_empty());
+        // integer equality is fine
+        let int_eq = "pub fn f(x: usize) -> bool { x == 0 }\n";
+        assert!(lint_source(Path::new("src/losses.rs"), int_eq).is_empty());
+    }
+
+    #[test]
+    fn lifetimes_do_not_break_masking() {
+        let src = "pub fn f<'a>(v: &'a Option<u32>) -> u32 { v.clone().unwrap() }\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1);
+    }
+}

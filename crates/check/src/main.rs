@@ -1,0 +1,95 @@
+//! `dco-check`: workspace lint driver.
+//!
+//! ```text
+//! dco-check lint [PATH] [--format human|json]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+
+use dco_check::lint::lint_path;
+use serde_json::json;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: dco-check lint [PATH] [--format human|json]\n\
+                     \n\
+                     Lints every .rs file under PATH (default: current directory) for:\n\
+                     \x20 unwrap    .unwrap()/.expect() in library code\n\
+                     \x20 print     println!-family macros in library code\n\
+                     \x20 float-eq  exact float comparison in loss/gradient code\n\
+                     \n\
+                     Suppress a finding with `// lint: allow(<rule>)` on or above the line.";
+
+enum Format {
+    Human,
+    Json,
+}
+
+fn run() -> Result<bool, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(|| USAGE.to_string())?;
+    if command != "lint" {
+        return Err(format!("unknown command `{command}`\n{USAGE}"));
+    }
+
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Human;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--format" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?;
+                format = match value.as_str() {
+                    "human" => Format::Human,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+                };
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    let violations =
+        lint_path(&root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
+
+    match format {
+        Format::Human => {
+            for v in &violations {
+                println!("{v}");
+            }
+            if violations.is_empty() {
+                println!("dco-check: clean ({})", root.display());
+            } else {
+                println!("dco-check: {} violation(s)", violations.len());
+            }
+        }
+        Format::Json => {
+            let payload = json!({
+                "root": root.display().to_string(),
+                "violations": violations,
+                "count": violations.len(),
+            });
+            println!(
+                "{}",
+                serde_json::to_string(&payload).map_err(|e| e.to_string())?
+            );
+        }
+    }
+    Ok(violations.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end tests for the `dco-check` binary: exit codes and output
+//! formats over the real repository and over a seeded violation fixture.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_dco-check")
+}
+
+/// The workspace root (two levels up from this crate's manifest).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn repo_is_lint_clean() {
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(repo_root())
+        .output()
+        .expect("spawn dco-check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "dco-check found violations in the repo:\n{stdout}"
+    );
+    assert!(stdout.contains("clean"), "unexpected output: {stdout}");
+}
+
+#[test]
+fn seeded_fixture_fails_with_nonzero_exit() {
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(1), "expected exit 1 on violations");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // one unwrap(), one expect(), one println!, one float ==; the marked
+    // site must be suppressed
+    assert!(stdout.contains("4 violation(s)"), "got:\n{stdout}");
+    assert!(stdout.contains("[unwrap]"), "got:\n{stdout}");
+    assert!(stdout.contains("[print]"), "got:\n{stdout}");
+    assert!(stdout.contains("[float-eq]"), "got:\n{stdout}");
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let out = Command::new(bin())
+        .args(["lint", "--format", "json"])
+        .arg(fixture_dir())
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    let Some(serde_json::Value::Number(count)) = v.get("count") else {
+        panic!("missing numeric `count` in {v:?}");
+    };
+    assert_eq!(*count as u64, 4);
+    let Some(serde_json::Value::Array(violations)) = v.get("violations") else {
+        panic!("missing `violations` array in {v:?}");
+    };
+    assert_eq!(violations.len(), 4);
+    for item in violations {
+        assert!(item.get("file").is_some());
+        assert!(item.get("line").is_some());
+        assert!(item.get("rule").is_some());
+    }
+}
+
+#[test]
+fn bad_arguments_exit_2() {
+    let out = Command::new(bin())
+        .arg("frobnicate")
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(2));
+    let out = Command::new(bin())
+        .args(["lint", "--format", "yaml"])
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(2));
+}

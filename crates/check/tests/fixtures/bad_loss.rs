@@ -1,0 +1,26 @@
+//! Deliberately bad "library" source used by the CLI integration test.
+//!
+//! This file lives under `fixtures/`, which the lint walker skips, so it
+//! never pollutes a whole-repo scan; the test lints this directory
+//! explicitly. The `loss` in the filename opts it into the float-eq rule.
+//!
+//! Expected findings: one `unwrap`, one `unwrap` (expect form), one
+//! `print`, one `float-eq`.
+
+pub fn take(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn take_loudly(v: Option<u32>) -> u32 {
+    println!("taking {v:?}");
+    v.expect("a value")
+}
+
+pub fn loss_is_zero(l: f32) -> bool {
+    l == 0.0
+}
+
+pub fn suppressed(v: Option<u32>) -> u32 {
+    // lint: allow(unwrap) — marker keeps this one out of the count
+    v.unwrap()
+}

@@ -1,0 +1,418 @@
+//! Gradient verification across the whole tape vocabulary.
+//!
+//! Property-based [`gradcheck`] coverage for every `Graph` op over random
+//! small graphs, plus deterministic checks for each Algorithm-2 loss term
+//! and for the hand-written Eq.-6 rasterizer/density custom backwards.
+
+use dco3d::{
+    congestion_loss, displacement_loss, overlap_loss, weighted_displacement_loss, CutsizeLoss,
+    SmoothDensity, SoftRasterizer,
+};
+use dco_check::{gradcheck, gradcheck_fn, GradcheckConfig};
+use dco_netlist::{CellClass, Die, GcellGrid, NetlistBuilder, PinDirection};
+use dco_tensor::{Csr, Graph, Tensor};
+use proptest::prelude::*;
+use std::rc::Rc;
+
+/// Push every value at least `margin` away from each kink point, so central
+/// differences (step 1e-2) never straddle a non-differentiable point.
+fn away_from(mut v: Vec<f32>, kinks: &[f32], margin: f32) -> Vec<f32> {
+    for x in &mut v {
+        for &k in kinks {
+            if (*x - k).abs() < margin {
+                *x = k + if *x >= k { margin } else { -margin };
+            }
+        }
+    }
+    v
+}
+
+/// Replace values by rank-spaced ones (`rank * step`): pairwise gaps of at
+/// least `step` keep pooling argmaxes stable under perturbation.
+fn rank_spaced(v: &[f32], step: f32) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&a, &b| v[a].total_cmp(&v[b]).then(a.cmp(&b)));
+    let mut out = vec![0.0f32; v.len()];
+    for (rank, &i) in idx.iter().enumerate() {
+        out[i] = rank as f32 * step;
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// add / sub / mul / div / neg / add_scalar / mul_scalar, chained.
+    #[test]
+    fn elementwise_arithmetic_ops(
+        a in collection::vec(-2.0f32..2.0, 6),
+        b in collection::vec(0.5f32..2.0, 6),
+        flip in any::<bool>(),
+    ) {
+        // divisor bounded away from zero on either side
+        let b: Vec<f32> = if flip { b.iter().map(|v| -v).collect() } else { b };
+        let report = gradcheck_fn(
+            |g| {
+                let av = g.param(Tensor::from_vec(a.clone(), &[6]));
+                let bv = g.param(Tensor::from_vec(b.clone(), &[6]));
+                let s = g.add(av, bv);
+                let d = g.sub(s, av);
+                let m = g.mul(d, av);
+                let q = g.div(m, bv);
+                let n = g.neg(q);
+                let sh = g.add_scalar(n, 0.7);
+                let sc = g.mul_scalar(sh, 1.3);
+                g.sum_all(sc)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// sigmoid / tanh / softplus / square / sqrt on smooth domains.
+    #[test]
+    fn smooth_unary_ops(
+        x in collection::vec(-2.0f32..2.0, 5),
+        p in collection::vec(0.5f32..3.0, 5),
+    ) {
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[5]));
+                let s = g.sigmoid(xv);
+                let t = g.tanh(s);
+                let sp = g.softplus(t);
+                let pv = g.param(Tensor::from_vec(p.clone(), &[5]));
+                let r = g.sqrt(pv);
+                let sq = g.square(r);
+                let both = g.mul(sp, sq);
+                g.mean_all(both)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// relu / leaky_relu / clamp with inputs held away from their kinks.
+    #[test]
+    fn kinked_ops_away_from_kinks(x in collection::vec(-1.0f32..1.0, 8)) {
+        let x = away_from(x, &[0.0, -0.5, 0.5], 0.05);
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[8]));
+                let r = g.relu(xv);
+                let l = g.leaky_relu(xv, 0.1);
+                let c = g.clamp(xv, -0.5, 0.5);
+                let s1 = g.add(r, l);
+                let s2 = g.add(s1, c);
+                g.sum_all(s2)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// matmul / add_bias_row / slice_cols / reshape / mean_all.
+    #[test]
+    fn matmul_bias_and_slicing(
+        a in collection::vec(-1.0f32..1.0, 6),
+        b in collection::vec(-1.0f32..1.0, 8),
+        bias in collection::vec(-1.0f32..1.0, 4),
+    ) {
+        let report = gradcheck_fn(
+            |g| {
+                let av = g.param(Tensor::from_vec(a.clone(), &[3, 2]));
+                let bv = g.param(Tensor::from_vec(b.clone(), &[2, 4]));
+                let m = g.matmul(av, bv);
+                let biasv = g.param(Tensor::from_vec(bias.clone(), &[4]));
+                let mb = g.add_bias_row(m, biasv);
+                let sl = g.slice_cols(mb, 1, 2);
+                let rs = g.reshape(sl, &[6]);
+                g.mean_all(rs)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// conv2d / add_bias_chan / slice_chan / concat_chan.
+    #[test]
+    fn conv_and_channel_ops(
+        x in collection::vec(-1.0f32..1.0, 32),
+        w in collection::vec(-0.5f32..0.5, 54),
+        b in collection::vec(-0.5f32..0.5, 3),
+        b2 in collection::vec(-0.5f32..0.5, 3),
+    ) {
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[1, 2, 4, 4]));
+                let wv = g.param(Tensor::from_vec(w.clone(), &[3, 2, 3, 3]));
+                let bv = g.param(Tensor::from_vec(b.clone(), &[3]));
+                let c = g.conv2d(xv, wv, Some(bv), 1, 1);
+                let b2v = g.param(Tensor::from_vec(b2.clone(), &[3]));
+                let cb = g.add_bias_chan(c, b2v);
+                let s0 = g.slice_chan(cb, 0, 2);
+                let s1 = g.slice_chan(cb, 1, 2);
+                let cc = g.concat_chan(&[s0, s1]);
+                g.mean_all(cc)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// conv_transpose2d with stride and bias.
+    #[test]
+    fn conv_transpose_op(
+        x in collection::vec(-1.0f32..1.0, 18),
+        w in collection::vec(-0.5f32..0.5, 24),
+        b in collection::vec(-0.5f32..0.5, 3),
+    ) {
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[1, 2, 3, 3]));
+                let wv = g.param(Tensor::from_vec(w.clone(), &[2, 3, 2, 2]));
+                let bv = g.param(Tensor::from_vec(b.clone(), &[3]));
+                let ct = g.conv_transpose2d(xv, wv, Some(bv), 2, 0);
+                g.mean_all(ct)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// maxpool2d over rank-spaced values (stable argmax under perturbation).
+    #[test]
+    fn maxpool_op(x in collection::vec(0.0f32..1.0, 16)) {
+        let x = rank_spaced(&x, 0.1);
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[1, 1, 4, 4]));
+                let p = g.maxpool2d(xv, 2);
+                g.sum_all(p)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// spmm against a small constant CSR matrix.
+    #[test]
+    fn spmm_op(
+        x in collection::vec(-1.0f32..1.0, 8),
+        w in collection::vec(0.1f32..1.0, 3),
+    ) {
+        let a = Csr::from_triplets(4, 4, [(0, 1, w[0]), (1, 2, w[1]), (3, 0, w[2])]);
+        let report = gradcheck_fn(
+            |g| {
+                let xv = g.param(Tensor::from_vec(x.clone(), &[4, 2]));
+                let y = g.spmm(Rc::new(a), xv);
+                g.sum_all(y)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+
+    /// Randomly composed smooth chains: random graph shapes, not just the
+    /// fixed compositions above.
+    #[test]
+    fn random_smooth_chains(
+        x in collection::vec(0.5f32..1.5, 4),
+        ops in collection::vec(0usize..7, 1..6),
+    ) {
+        let report = gradcheck_fn(
+            |g| {
+                let mut v = g.param(Tensor::from_vec(x.clone(), &[4]));
+                for &op in &ops {
+                    v = match op {
+                        0 => g.sigmoid(v),
+                        1 => g.tanh(v),
+                        2 => g.softplus(v),
+                        3 => g.square(v),
+                        4 => g.add_scalar(v, 0.5),
+                        5 => g.mul_scalar(v, 0.8),
+                        _ => g.neg(v),
+                    };
+                }
+                g.sum_all(v)
+            },
+            1e-2,
+        );
+        prop_assert!(report.passed(), "{report}");
+    }
+}
+
+// ---- Algorithm-2 loss terms ------------------------------------------------
+
+#[test]
+fn congestion_loss_gradcheck() {
+    // utilizations straddling the 0.85 threshold, none within 0.05 of it
+    let c0 = vec![0.5, 0.95, 1.1, 0.7, 0.92, 0.6, 1.05, 0.78];
+    let c1 = vec![0.99, 0.55, 0.75, 1.2, 0.65, 0.91, 0.72, 1.0];
+    let report = gradcheck_fn(
+        |g| {
+            let c0v = g.param(Tensor::from_vec(c0.clone(), &[1, 1, 2, 4]));
+            let c1v = g.param(Tensor::from_vec(c1.clone(), &[1, 1, 2, 4]));
+            congestion_loss(g, c0v, c1v, 0.85)
+        },
+        1e-2,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn displacement_losses_gradcheck() {
+    let report = gradcheck_fn(
+        |g| {
+            let x0 = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
+            let y0 = g.input(Tensor::from_vec(vec![0.5, 1.5, 2.5], &[3, 1]));
+            let x = g.param(Tensor::from_vec(vec![1.2, 1.7, 3.4], &[3, 1]));
+            let y = g.param(Tensor::from_vec(vec![0.8, 1.1, 2.9], &[3, 1]));
+            displacement_loss(g, x, x0, y, y0, 2.0)
+        },
+        1e-2,
+    );
+    assert!(report.passed(), "{report}");
+
+    let report = gradcheck_fn(
+        |g| {
+            let dx = g.param(Tensor::from_vec(vec![0.2, -0.3, 0.4], &[3, 1]));
+            let dy = g.param(Tensor::from_vec(vec![-0.1, 0.5, 0.0], &[3, 1]));
+            let w = g.input(Tensor::from_vec(vec![1.0, 2.5, 1.5], &[3, 1]));
+            weighted_displacement_loss(g, dx, dy, w, 2.0)
+        },
+        1e-2,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+#[test]
+fn overlap_loss_gradcheck() {
+    // densities away from the 0.8 target kink
+    let d = vec![0.2, 0.95, 1.3, 0.6, 1.1, 0.4, 0.99, 0.7];
+    let report = gradcheck_fn(
+        |g| {
+            let dv = g.param(Tensor::from_vec(d.clone(), &[2, 2, 2]));
+            overlap_loss(g, dv, 0.8)
+        },
+        1e-2,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+fn two_cluster_netlist() -> dco_netlist::Netlist {
+    let mut b = NetlistBuilder::new("cl");
+    let cells: Vec<_> = (0..6)
+        .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+        .collect();
+    for grp in 0..2 {
+        let base = grp * 3;
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                b.add_net(
+                    format!("n{grp}{i}{j}"),
+                    &[
+                        (cells[base + i], PinDirection::Output),
+                        (cells[base + j], PinDirection::Input),
+                    ],
+                );
+            }
+        }
+    }
+    b.add_net(
+        "bridge",
+        &[
+            (cells[0], PinDirection::Output),
+            (cells[3], PinDirection::Input),
+        ],
+    );
+    b.finish().expect("valid netlist")
+}
+
+#[test]
+fn cutsize_loss_gradcheck() {
+    let nl = two_cluster_netlist();
+    let cs = CutsizeLoss::new(&nl, 32);
+    let report = gradcheck_fn(
+        |g| {
+            let z = g.param(Tensor::from_vec(
+                vec![0.3, 0.45, 0.6, 0.55, 0.4, 0.65],
+                &[6, 1],
+            ));
+            cs.loss(g, z)
+        },
+        1e-2,
+    );
+    assert!(report.passed(), "{report}");
+}
+
+// ---- The paper's custom backwards (Eq. 6 rasterizer, smooth density) -------
+
+fn tiny_netlist() -> (Rc<dco_netlist::Netlist>, GcellGrid) {
+    let mut b = NetlistBuilder::new("t");
+    let a = b.add_cell_simple("a", CellClass::Combinational);
+    let c = b.add_cell_simple("c", CellClass::Combinational);
+    let d = b.add_cell_simple("d", CellClass::Sequential);
+    b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+    b.add_net(
+        "v",
+        &[
+            (c, PinDirection::Output),
+            (d, PinDirection::Input),
+            (a, PinDirection::Input),
+        ],
+    );
+    let nl = Rc::new(b.finish().expect("valid netlist"));
+    let grid = GcellGrid::cover(
+        Die {
+            width: 8.0,
+            height: 8.0,
+        },
+        1.0,
+    );
+    (nl, grid)
+}
+
+#[test]
+fn rasterizer_custom_backward_gradcheck() {
+    let (nl, grid) = tiny_netlist();
+    let op = Rc::new(SoftRasterizer::new(nl, grid));
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(vec![1.3, 5.2, 3.7], &[3]));
+    let y = g.param(Tensor::from_vec(vec![2.1, 4.8, 6.3], &[3]));
+    let z = g.param(Tensor::from_vec(vec![0.3, 0.7, 0.5], &[3]));
+    let feats = g.custom(op, &[x, y, z]);
+    // smooth scalar objective over the feature maps
+    let sq = g.square(feats);
+    let root = g.mean_all(sq);
+    // smaller step than default: position gradients are piecewise in the
+    // tile decomposition, so stay well inside one linear piece
+    let cfg = GradcheckConfig {
+        eps: 1e-3,
+        tol: 1e-2,
+        max_elements_per_param: 64,
+    };
+    let report = gradcheck(&mut g, root, &cfg);
+    assert!(report.passed(), "{report}");
+    assert_eq!(report.params_checked, 3);
+}
+
+#[test]
+fn smooth_density_custom_backward_gradcheck() {
+    let (nl, grid) = tiny_netlist();
+    let op = Rc::new(SmoothDensity::new(nl, grid));
+    let mut g = Graph::new();
+    let x = g.param(Tensor::from_vec(vec![1.3, 5.2, 3.7], &[3]));
+    let y = g.param(Tensor::from_vec(vec![2.1, 4.8, 6.3], &[3]));
+    let z = g.param(Tensor::from_vec(vec![0.3, 0.7, 0.5], &[3]));
+    let dens = g.custom(op, &[x, y, z]);
+    let sq = g.square(dens);
+    let root = g.mean_all(sq);
+    let cfg = GradcheckConfig {
+        eps: 1e-3,
+        tol: 1e-2,
+        max_elements_per_param: 64,
+    };
+    let report = gradcheck(&mut g, root, &cfg);
+    assert!(report.passed(), "{report}");
+}

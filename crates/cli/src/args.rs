@@ -21,10 +21,9 @@ impl Args {
         let mut it = args.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = match it.peek() {
-                    Some(v) if !v.starts_with("--") => it.next().expect("peeked"),
-                    _ => "true".to_string(),
-                };
+                let value = it
+                    .next_if(|v| !v.starts_with("--"))
+                    .unwrap_or_else(|| "true".to_string());
                 out.options.insert(key.to_string(), value);
             } else if out.command.is_empty() {
                 out.command = a;
@@ -37,12 +36,18 @@ impl Args {
 
     /// Fetch an option parsed into `T`, or the default.
     pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
-        self.options.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.options
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Fetch a string option.
     pub fn get_str(&self, key: &str, default: &str) -> String {
-        self.options.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     /// Whether a boolean flag is present (and not explicitly "false").

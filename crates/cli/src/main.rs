@@ -16,9 +16,7 @@ mod args;
 
 use args::Args;
 use dco3d::{DcoConfig, DcoOptimizer};
-use dco_flow::{
-    format_design_block, train_predictor, FlowConfig, FlowKind, FlowRunner, Predictor,
-};
+use dco_flow::{format_design_block, train_predictor, FlowConfig, FlowKind, FlowRunner, Predictor};
 use dco_gnn::{build_node_features, Gcn, GcnConfig};
 use dco_netlist::bookshelf;
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
@@ -65,7 +63,8 @@ fn print_help() {
          \x20 route      global routing and overflow report\n\
          \x20 sta        timing and power analysis of the placed+routed design\n\
          \x20 train      train the congestion predictor (--out <file.json>)\n\
-         \x20 dco        run differentiable congestion optimization (--predictor <file>)\n\
+         \x20 dco        run differentiable congestion optimization (--predictor <file>,\n\
+         \x20            --validate to statically check the autograd tape)\n\
          \x20 flow       run all four Table-III flows and print the comparison block\n\n\
          common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>"
     );
@@ -79,7 +78,9 @@ fn load_design(args: &Args) -> Result<Design, Box<dyn std::error::Error>> {
         .ok_or_else(|| format!("unknown design `{name}` (try DMA/AES/ECG/LDPC/VGA/Rocket)"))?;
     let scale = args.get("scale", 0.03f64);
     let seed = args.get("seed", 1u64);
-    Ok(GeneratorConfig::for_profile(profile).with_scale(scale).generate(seed)?)
+    Ok(GeneratorConfig::for_profile(profile)
+        .with_scale(scale)
+        .generate(seed)?)
 }
 
 fn placed(args: &Args, design: &Design) -> dco_netlist::Placement3 {
@@ -97,9 +98,18 @@ fn placed(args: &Args, design: &Design) -> dco_netlist::Placement3 {
 fn cmd_generate(args: &Args) -> CliResult {
     let design = load_design(args)?;
     let prefix = args.get_str("out", "design");
-    std::fs::write(format!("{prefix}.nodes"), bookshelf::to_nodes(&design.netlist))?;
-    std::fs::write(format!("{prefix}.nets"), bookshelf::to_nets(&design.netlist))?;
-    std::fs::write(format!("{prefix}.pl"), bookshelf::to_pl(&design.netlist, &design.placement))?;
+    std::fs::write(
+        format!("{prefix}.nodes"),
+        bookshelf::to_nodes(&design.netlist),
+    )?;
+    std::fs::write(
+        format!("{prefix}.nets"),
+        bookshelf::to_nets(&design.netlist),
+    )?;
+    std::fs::write(
+        format!("{prefix}.pl"),
+        bookshelf::to_pl(&design.netlist, &design.placement),
+    )?;
     println!(
         "{}: {} cells, {} nets, {} pins -> {prefix}.nodes/.nets/.pl",
         design.name,
@@ -211,11 +221,27 @@ fn cmd_dco(args: &Args) -> CliResult {
     let cfg = DcoConfig {
         max_iter: args.get("iters", DcoConfig::default().max_iter),
         enable_z: !args.flag("no-z"),
+        validate_graph: args.flag("validate"),
         ..DcoConfig::default()
     };
-    let mut dco =
-        DcoOptimizer::new(&design, &unet, &norm, features, Gcn::new(GcnConfig::default(), seed), cfg);
+    let mut dco = DcoOptimizer::new(
+        &design,
+        &unet,
+        &norm,
+        features,
+        Gcn::new(GcnConfig::default(), seed),
+        cfg,
+    );
     let result = dco.run(&before);
+    if args.flag("validate") {
+        println!(
+            "graph validation: {} diagnostic(s)",
+            result.diagnostics.len()
+        );
+        for d in &result.diagnostics {
+            println!("  {d}");
+        }
+    }
     let mut after = result.placement.clone();
     legalize(&design, &mut after, params.displacement_threshold);
     let mut base = before.clone();

@@ -102,7 +102,9 @@ impl CustomOp for SmoothDensity {
     }
 
     fn forward(&self, inputs: &[&Tensor]) -> Tensor {
-        let [x, y, z]: [&Tensor; 3] = inputs.try_into().expect("density takes (x, y, z)");
+        let &[x, y, z] = inputs else {
+            panic!("density takes (x, y, z), got {} inputs", inputs.len());
+        };
         let g = self.grid;
         let plane = g.len();
         let mut out = vec![0.0f32; 2 * plane];
@@ -140,7 +142,9 @@ impl CustomOp for SmoothDensity {
         _output: &Tensor,
         grad_output: &Tensor,
     ) -> Vec<Option<Tensor>> {
-        let [x, y, z]: [&Tensor; 3] = inputs.try_into().expect("density takes (x, y, z)");
+        let &[x, y, z] = inputs else {
+            panic!("density takes (x, y, z), got {} inputs", inputs.len());
+        };
         let g = self.grid;
         let plane = g.len();
         let n = x.len();
@@ -167,19 +171,34 @@ impl CustomOp for SmoothDensity {
             // Treat the normalizer c_v as locally constant (standard
             // approximation; its derivative is second-order).
             let c_v = cell.area() / mass * inv_area;
-            self.visit_bins(cx, cy, cell.width, cell.height, |col, row, px, py, dpx, dpy| {
-                let gb = grad_output.data()[row * g.nx + col] as f64;
-                let gt = grad_output.data()[plane + row * g.nx + col] as f64;
-                let up = gb * (1.0 - zt) + gt * zt;
-                gx[i] += up * c_v * dpx * py;
-                gy[i] += up * c_v * px * dpy;
-                gz[i] += (gt - gb) * c_v * px * py;
-            });
+            self.visit_bins(
+                cx,
+                cy,
+                cell.width,
+                cell.height,
+                |col, row, px, py, dpx, dpy| {
+                    let gb = grad_output.data()[row * g.nx + col] as f64;
+                    let gt = grad_output.data()[plane + row * g.nx + col] as f64;
+                    let up = gb * (1.0 - zt) + gt * zt;
+                    gx[i] += up * c_v * dpx * py;
+                    gy[i] += up * c_v * px * dpy;
+                    gz[i] += (gt - gb) * c_v * px * py;
+                },
+            );
         }
         vec![
-            Some(Tensor::from_vec(gx.iter().map(|&v| v as f32).collect(), x.shape())),
-            Some(Tensor::from_vec(gy.iter().map(|&v| v as f32).collect(), y.shape())),
-            Some(Tensor::from_vec(gz.iter().map(|&v| v as f32).collect(), z.shape())),
+            Some(Tensor::from_vec(
+                gx.iter().map(|&v| v as f32).collect(),
+                x.shape(),
+            )),
+            Some(Tensor::from_vec(
+                gy.iter().map(|&v| v as f32).collect(),
+                y.shape(),
+            )),
+            Some(Tensor::from_vec(
+                gz.iter().map(|&v| v as f32).collect(),
+                z.shape(),
+            )),
         ]
     }
 }

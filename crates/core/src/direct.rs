@@ -82,15 +82,28 @@ impl<'a> DirectOptimizer<'a> {
         let x0 = Tensor::from_vec(initial.xs().iter().map(|&v| v as f32).collect(), &[n, 1]);
         let y0 = Tensor::from_vec(initial.ys().iter().map(|&v| v as f32).collect(), &[n, 1]);
         let z_bias = Tensor::from_vec(
-            initial.tiers().iter().map(|t| if t.as_z() > 0.5 { 2.0 } else { -2.0 }).collect(),
+            initial
+                .tiers()
+                .iter()
+                .map(|t| if t.as_z() > 0.5 { 2.0 } else { -2.0 })
+                .collect(),
             &[n, 1],
         );
         let movable = Tensor::from_vec(
-            self.netlist.cells().map(|c| f32::from(u8::from(c.movable()))).collect(),
+            self.netlist
+                .cells()
+                .map(|c| f32::from(u8::from(c.movable())))
+                .collect(),
             &[n, 1],
         );
-        let rasterizer = Rc::new(SoftRasterizer::new(Rc::clone(&self.netlist), self.raster_grid));
-        let density_op = Rc::new(SmoothDensity::new(Rc::clone(&self.netlist), self.raster_grid));
+        let rasterizer = Rc::new(SoftRasterizer::new(
+            Rc::clone(&self.netlist),
+            self.raster_grid,
+        ));
+        let density_op = Rc::new(SmoothDensity::new(
+            Rc::clone(&self.netlist),
+            self.raster_grid,
+        ));
         let inv_scale = self.channel_inverse_scale();
 
         let mut opt = Adam::new(self.cfg.learning_rate);
@@ -128,8 +141,10 @@ impl<'a> DirectOptimizer<'a> {
             let zero_x = g.input(Tensor::zeros(&[n, 1]));
             let zero_y = g.input(Tensor::zeros(&[n, 1]));
             let l_disp = displacement_loss(&mut g, dx, zero_x, dy, zero_y, max_disp);
-            let feats =
-                g.custom(Rc::clone(&rasterizer) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let feats = g.custom(
+                Rc::clone(&rasterizer) as Rc<dyn dco_tensor::CustomOp>,
+                &[x, y, z],
+            );
             let scale = g.input(inv_scale.clone());
             let feats = g.mul(feats, scale);
             let f0 = g.slice_chan(feats, 0, NUM_CHANNELS);
@@ -140,8 +155,10 @@ impl<'a> DirectOptimizer<'a> {
             let c1 = g.mul_scalar(c1, label_scale);
             let l_cong = congestion_loss(&mut g, c0, c1, self.cfg.congestion_threshold);
             let l_cut = self.cutsize.loss(&mut g, z);
-            let dens =
-                g.custom(Rc::clone(&density_op) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let dens = g.custom(
+                Rc::clone(&density_op) as Rc<dyn dco_tensor::CustomOp>,
+                &[x, y, z],
+            );
             let l_ovlp = overlap_loss(&mut g, dens, self.cfg.target_density);
 
             let wa = g.mul_scalar(l_disp, self.cfg.alpha);
@@ -167,7 +184,11 @@ impl<'a> DirectOptimizer<'a> {
             if let Some(prev) = history.last() {
                 let p: &LossBreakdown = prev;
                 let rel = (p.total - breakdown.total).abs() / p.total.abs().max(1e-9);
-                calm = if rel < self.cfg.convergence_tol { calm + 1 } else { 0 };
+                calm = if rel < self.cfg.convergence_tol {
+                    calm + 1
+                } else {
+                    0
+                };
             }
             history.push(breakdown);
             if calm >= 3 {
@@ -191,7 +212,11 @@ impl<'a> DirectOptimizer<'a> {
                 let ny = (initial.y(id) + (dy.data()[i].tanh() * max_disp) as f64)
                     .clamp(0.0, die.height - cell.height);
                 placement.set_xy(id, nx, ny);
-                let zb = if initial.tier(id) == Tier::Top { 2.0 } else { -2.0 };
+                let zb = if initial.tier(id) == Tier::Top {
+                    2.0
+                } else {
+                    -2.0
+                };
                 let z = 1.0 / (1.0 + (-(zl.data()[i] + zb) as f64).exp());
                 if self.cfg.enable_z {
                     placement.set_tier(id, Tier::from_z(z));
@@ -201,7 +226,14 @@ impl<'a> DirectOptimizer<'a> {
                 soft_z.push(initial.tier(id).as_z());
             }
         }
-        DcoResult { placement, soft_z, history, iterations, converged }
+        DcoResult {
+            placement,
+            soft_z,
+            history,
+            iterations,
+            converged,
+            diagnostics: Vec::new(),
+        }
     }
 
     fn channel_inverse_scale(&self) -> Tensor {
@@ -210,10 +242,18 @@ impl<'a> DirectOptimizer<'a> {
         for _die in 0..2 {
             for c in 0..NUM_CHANNELS {
                 let s = 1.0 / self.normalization.channel_scale[c].max(1e-9);
-                data.extend(std::iter::repeat(s).take(plane));
+                data.extend(std::iter::repeat_n(s, plane));
             }
         }
-        Tensor::from_vec(data, &[1, 2 * NUM_CHANNELS, self.raster_grid.ny, self.raster_grid.nx])
+        Tensor::from_vec(
+            data,
+            &[
+                1,
+                2 * NUM_CHANNELS,
+                self.raster_grid.ny,
+                self.raster_grid.nx,
+            ],
+        )
     }
 }
 
@@ -228,16 +268,29 @@ mod tests {
             .with_scale(0.01)
             .generate(3)
             .expect("gen");
-        let unet =
-            SiameseUNet::new(UNetConfig { size: 8, base_channels: 2, ..UNetConfig::default() }, 1);
-        let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+        let unet = SiameseUNet::new(
+            UNetConfig {
+                size: 8,
+                base_channels: 2,
+                ..UNetConfig::default()
+            },
+            1,
+        );
+        let norm = Normalization {
+            channel_scale: [1.0; 7],
+            label_scale: 1.0,
+        };
         (design, unet, norm)
     }
 
     #[test]
     fn direct_optimizer_runs_and_moves_cells() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 5, learning_rate: 0.05, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 5,
+            learning_rate: 0.05,
+            ..DcoConfig::default()
+        };
         let mut opt = DirectOptimizer::new(&design, &unet, &norm, cfg, 7);
         let result = opt.run(&design.placement);
         assert_eq!(result.history.len(), result.iterations);
@@ -258,7 +311,10 @@ mod tests {
     #[test]
     fn fixed_cells_stay_put() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 3, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 3,
+            ..DcoConfig::default()
+        };
         let mut opt = DirectOptimizer::new(&design, &unet, &norm, cfg, 2);
         let result = opt.run(&design.placement);
         for id in design.netlist.cell_ids() {

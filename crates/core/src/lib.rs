@@ -57,6 +57,8 @@ mod rasterizer;
 pub use density::{bell, bell_dd, SmoothDensity};
 pub use direct::DirectOptimizer;
 pub use export::{diff_placements, directives_to_tcl, SpreadDirective};
-pub use losses::{congestion_loss, displacement_loss, overlap_loss, CutsizeLoss};
+pub use losses::{
+    congestion_loss, displacement_loss, overlap_loss, weighted_displacement_loss, CutsizeLoss,
+};
 pub use optimizer::{DcoConfig, DcoOptimizer, DcoResult, LossBreakdown};
 pub use rasterizer::SoftRasterizer;

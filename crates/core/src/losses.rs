@@ -67,7 +67,13 @@ impl CutsizeLoss {
         let zt = Tensor::from_vec(z.to_vec(), &[z.len(), 1]);
         let az = self.adjacency.matmul_dense(&zt);
         let zaz: f32 = zt.data().iter().zip(az.data()).map(|(a, b)| a * b).sum();
-        let dz: f32 = self.degrees.data().iter().zip(zt.data()).map(|(a, b)| a * b).sum();
+        let dz: f32 = self
+            .degrees
+            .data()
+            .iter()
+            .zip(zt.data())
+            .map(|(a, b)| a * b)
+            .sum();
         dz - zaz
     }
 }
@@ -141,20 +147,30 @@ mod tests {
 
     fn two_cluster_netlist() -> Netlist {
         let mut b = NetlistBuilder::new("cl");
-        let cells: Vec<_> =
-            (0..6).map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational)).collect();
+        let cells: Vec<_> = (0..6)
+            .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+            .collect();
         for g in 0..2 {
             let base = g * 3;
             for i in 0..3 {
                 for j in (i + 1)..3 {
                     b.add_net(
                         format!("n{g}{i}{j}"),
-                        &[(cells[base + i], PinDirection::Output), (cells[base + j], PinDirection::Input)],
+                        &[
+                            (cells[base + i], PinDirection::Output),
+                            (cells[base + j], PinDirection::Input),
+                        ],
                     );
                 }
             }
         }
-        b.add_net("bridge", &[(cells[0], PinDirection::Output), (cells[3], PinDirection::Input)]);
+        b.add_net(
+            "bridge",
+            &[
+                (cells[0], PinDirection::Output),
+                (cells[3], PinDirection::Input),
+            ],
+        );
         b.finish().expect("valid")
     }
 
@@ -170,7 +186,10 @@ mod tests {
         };
         let natural = eval(vec![0.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
         let bad = eval(vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0]);
-        assert!(natural < bad, "natural {natural} should beat interleaved {bad}");
+        assert!(
+            natural < bad,
+            "natural {natural} should beat interleaved {bad}"
+        );
         let all_one_side = eval(vec![0.0; 6]);
         // one-sided: cut = 0 -> loss 0; natural has cut 1
         assert!(all_one_side <= natural);
@@ -191,7 +210,10 @@ mod tests {
         let nl = two_cluster_netlist();
         let cs = CutsizeLoss::new(&nl, 32);
         let mut g = Graph::new();
-        let z = g.param(Tensor::from_vec(vec![0.4, 0.5, 0.6, 0.5, 0.5, 0.5], &[6, 1]));
+        let z = g.param(Tensor::from_vec(
+            vec![0.4, 0.5, 0.6, 0.5, 0.5, 0.5],
+            &[6, 1],
+        ));
         let l = cs.loss(&mut g, z);
         g.backward(l);
         let grad = g.grad(z).expect("gradient");

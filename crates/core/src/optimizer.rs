@@ -35,6 +35,11 @@ pub struct DcoConfig {
     /// Allow cross-tier movement (z optimization). Disabling reduces DCO to
     /// a 2D spreader — the paper's motivating ablation.
     pub enable_z: bool,
+    /// Run [`Graph::validate`] on the first iteration's tape: panic on
+    /// error-severity diagnostics (shape mismatches, non-finite values) and
+    /// collect warnings into [`DcoResult::diagnostics`]. Off by default; a
+    /// debugging aid with a one-iteration analysis cost.
+    pub validate_graph: bool,
 }
 
 impl Default for DcoConfig {
@@ -51,6 +56,7 @@ impl Default for DcoConfig {
             congestion_threshold: 0.85,
             convergence_tol: 1e-5,
             enable_z: true,
+            validate_graph: false,
         }
     }
 }
@@ -83,6 +89,9 @@ pub struct DcoResult {
     pub iterations: usize,
     /// Whether the loop converged before `max_iter`.
     pub converged: bool,
+    /// Warning-severity diagnostics from the first iteration's tape when
+    /// [`DcoConfig::validate_graph`] is set (empty otherwise).
+    pub diagnostics: Vec<dco_tensor::Diagnostic>,
 }
 
 /// The DCO-3D optimizer (paper Sec. IV, Algorithm 2).
@@ -167,18 +176,31 @@ impl<'a> DcoOptimizer<'a> {
         let y0 = Tensor::from_vec(initial.ys().iter().map(|&v| v as f32).collect(), &[n, 1]);
         // bias so sigmoid(z) starts near the initial tier (0.88 / 0.12)
         let z_bias = Tensor::from_vec(
-            initial.tiers().iter().map(|t| if t.as_z() > 0.5 { 2.0 } else { -2.0 }).collect(),
+            initial
+                .tiers()
+                .iter()
+                .map(|t| if t.as_z() > 0.5 { 2.0 } else { -2.0 })
+                .collect(),
             &[n, 1],
         );
         // mask: 1 for movable cells, 0 for fixed (macros / IOs stay put)
         let movable = Tensor::from_vec(
-            self.netlist.cells().map(|c| f32::from(u8::from(c.movable()))).collect(),
+            self.netlist
+                .cells()
+                .map(|c| f32::from(u8::from(c.movable())))
+                .collect(),
             &[n, 1],
         );
 
         let adj = Rc::new(dco_gnn::build_adjacency(self.design, 48));
-        let rasterizer = Rc::new(SoftRasterizer::new(Rc::clone(&self.netlist), self.raster_grid));
-        let density_op = Rc::new(SmoothDensity::new(Rc::clone(&self.netlist), self.raster_grid));
+        let rasterizer = Rc::new(SoftRasterizer::new(
+            Rc::clone(&self.netlist),
+            self.raster_grid,
+        ));
+        let density_op = Rc::new(SmoothDensity::new(
+            Rc::clone(&self.netlist),
+            self.raster_grid,
+        ));
         // per-channel inverse scales applied to the rasterizer output so it
         // matches the UNet's training normalization
         let inv_scale = self.channel_inverse_scale();
@@ -188,6 +210,7 @@ impl<'a> DcoOptimizer<'a> {
         let mut calm_iters = 0usize;
         let mut converged = false;
         let mut iterations = 0usize;
+        let mut diagnostics: Vec<dco_tensor::Diagnostic> = Vec::new();
 
         for iter in 0..self.cfg.max_iter {
             iterations = iter + 1;
@@ -198,7 +221,10 @@ impl<'a> DcoOptimizer<'a> {
             // losses (dx/dy are displacements; critical cells weighted)
             let wts = g.input(self.disp_weights.clone());
             let l_disp = weighted_displacement_loss(&mut g, dx, dy, wts, max_disp);
-            let feats = g.custom(Rc::clone(&rasterizer) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let feats = g.custom(
+                Rc::clone(&rasterizer) as Rc<dyn dco_tensor::CustomOp>,
+                &[x, y, z],
+            );
             let scale = g.input(inv_scale.clone());
             let feats = g.mul(feats, scale);
             let f0 = g.slice_chan(feats, 0, NUM_CHANNELS);
@@ -211,7 +237,10 @@ impl<'a> DcoOptimizer<'a> {
             let c1 = g.mul_scalar(c1, label_scale);
             let l_cong = congestion_loss(&mut g, c0, c1, self.cfg.congestion_threshold);
             let l_cut = self.cutsize.loss(&mut g, z);
-            let dens = g.custom(Rc::clone(&density_op) as Rc<dyn dco_tensor::CustomOp>, &[x, y, z]);
+            let dens = g.custom(
+                Rc::clone(&density_op) as Rc<dyn dco_tensor::CustomOp>,
+                &[x, y, z],
+            );
             let l_ovlp = overlap_loss(&mut g, dens, self.cfg.target_density);
 
             let wa = g.mul_scalar(l_disp, self.cfg.alpha);
@@ -221,6 +250,21 @@ impl<'a> DcoOptimizer<'a> {
             let s1 = g.add(wa, wb);
             let s2 = g.add(wc, wd);
             let total = g.add(s1, s2);
+
+            if self.cfg.validate_graph && iter == 0 {
+                let diags = g.validate(total);
+                let errors: Vec<String> = diags
+                    .iter()
+                    .filter(|d| d.severity == dco_tensor::Severity::Error)
+                    .map(std::string::ToString::to_string)
+                    .collect();
+                assert!(
+                    errors.is_empty(),
+                    "DCO graph failed validation:\n{}",
+                    errors.join("\n")
+                );
+                diagnostics = diags;
+            }
 
             let breakdown = LossBreakdown {
                 total: g.value(total).data()[0],
@@ -262,8 +306,18 @@ impl<'a> DcoOptimizer<'a> {
             let i = id.index();
             let cell = self.netlist.cell(id);
             if cell.movable() {
-                let nx = (xs[i] as f64).clamp(0.0, die.width - cell.width);
-                let ny = (ys[i] as f64).clamp(0.0, die.height - cell.height);
+                // Keep the cell inside the die without exceeding the
+                // displacement budget: when the initial position already
+                // overhangs the die edge the budget wins (the overhang is a
+                // pre-existing condition legalization resolves later).
+                let md = f64::from(max_disp);
+                let (ix, iy) = (initial.x(id), initial.y(id));
+                let lo_x = (ix - md).max(0.0);
+                let hi_x = (ix + md).min((die.width - cell.width).max(0.0)).max(lo_x);
+                let lo_y = (iy - md).max(0.0);
+                let hi_y = (iy + md).min((die.height - cell.height).max(0.0)).max(lo_y);
+                let nx = (xs[i] as f64).clamp(lo_x, hi_x);
+                let ny = (ys[i] as f64).clamp(lo_y, hi_y);
                 placement.set_xy(id, nx, ny);
                 if self.cfg.enable_z {
                     placement.set_tier(id, Tier::from_z(zs[i] as f64));
@@ -273,10 +327,18 @@ impl<'a> DcoOptimizer<'a> {
                 soft_z.push(initial.tier(id).as_z());
             }
         }
-        DcoResult { placement, soft_z, history, iterations, converged }
+        DcoResult {
+            placement,
+            soft_z,
+            history,
+            iterations,
+            converged,
+            diagnostics,
+        }
     }
 
     /// Shared GNN-decode: returns `(x, y, z, dx, dy)` graph vars.
+    #[allow(clippy::too_many_arguments)]
     fn decode(
         &mut self,
         g: &mut Graph,
@@ -320,10 +382,18 @@ impl<'a> DcoOptimizer<'a> {
         for _die in 0..2 {
             for c in 0..NUM_CHANNELS {
                 let s = 1.0 / self.normalization.channel_scale[c].max(1e-9);
-                data.extend(std::iter::repeat(s).take(plane));
+                data.extend(std::iter::repeat_n(s, plane));
             }
         }
-        Tensor::from_vec(data, &[1, 2 * NUM_CHANNELS, self.raster_grid.ny, self.raster_grid.nx])
+        Tensor::from_vec(
+            data,
+            &[
+                1,
+                2 * NUM_CHANNELS,
+                self.raster_grid.ny,
+                self.raster_grid.nx,
+            ],
+        )
     }
 }
 
@@ -339,9 +409,18 @@ mod tests {
             .with_scale(0.01)
             .generate(3)
             .expect("gen");
-        let unet =
-            SiameseUNet::new(UNetConfig { size: 8, base_channels: 2, ..UNetConfig::default() }, 1);
-        let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+        let unet = SiameseUNet::new(
+            UNetConfig {
+                size: 8,
+                base_channels: 2,
+                ..UNetConfig::default()
+            },
+            1,
+        );
+        let norm = Normalization {
+            channel_scale: [1.0; 7],
+            label_scale: 1.0,
+        };
         (design, unet, norm)
     }
 
@@ -353,13 +432,23 @@ mod tests {
     ) -> DcoOptimizer<'a> {
         let timing = dco_timing::Sta::new(design).analyze(&design.placement, None, None);
         let features = build_node_features(design, &design.placement, &timing);
-        DcoOptimizer::new(design, unet, norm, features, Gcn::new(GcnConfig::default(), 5), cfg)
+        DcoOptimizer::new(
+            design,
+            unet,
+            norm,
+            features,
+            Gcn::new(GcnConfig::default(), 5),
+            cfg,
+        )
     }
 
     #[test]
     fn dco_runs_and_tracks_losses() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 4, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 4,
+            ..DcoConfig::default()
+        };
         let mut dco = optimizer(&design, &unet, &norm, cfg);
         let result = dco.run(&design.placement);
         assert_eq!(result.history.len(), result.iterations);
@@ -375,7 +464,10 @@ mod tests {
     #[test]
     fn fixed_cells_never_move() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 3, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 3,
+            ..DcoConfig::default()
+        };
         let mut dco = optimizer(&design, &unet, &norm, cfg);
         let result = dco.run(&design.placement);
         for id in design.netlist.cell_ids() {
@@ -390,7 +482,11 @@ mod tests {
     fn displacement_stays_bounded() {
         let (design, unet, norm) = setup();
         let frac = 0.1;
-        let cfg = DcoConfig { max_iter: 5, max_displacement_frac: frac, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 5,
+            max_displacement_frac: frac,
+            ..DcoConfig::default()
+        };
         let mut dco = optimizer(&design, &unet, &norm, cfg);
         let result = dco.run(&design.placement);
         let max_d = design.floorplan.die.width.min(design.floorplan.die.height) * frac;
@@ -405,7 +501,11 @@ mod tests {
     #[test]
     fn disabling_z_keeps_tiers() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 3, enable_z: false, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 3,
+            enable_z: false,
+            ..DcoConfig::default()
+        };
         let mut dco = optimizer(&design, &unet, &norm, cfg);
         let result = dco.run(&design.placement);
         for id in design.netlist.cell_ids() {
@@ -414,9 +514,40 @@ mod tests {
     }
 
     #[test]
+    fn validate_flag_checks_the_training_tape() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig {
+            max_iter: 2,
+            validate_graph: true,
+            ..DcoConfig::default()
+        };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        // A well-formed DCO tape must pass validation (no panic) and any
+        // collected diagnostics are warnings, never errors.
+        let result = dco.run(&design.placement);
+        for d in &result.diagnostics {
+            assert_eq!(
+                d.severity,
+                dco_tensor::Severity::Warning,
+                "unexpected error: {d}"
+            );
+        }
+        // With the flag off, nothing is collected.
+        let cfg = DcoConfig {
+            max_iter: 1,
+            ..DcoConfig::default()
+        };
+        let result = optimizer(&design, &unet, &norm, cfg).run(&design.placement);
+        assert!(result.diagnostics.is_empty());
+    }
+
+    #[test]
     fn dco_is_deterministic() {
         let (design, unet, norm) = setup();
-        let cfg = DcoConfig { max_iter: 3, ..DcoConfig::default() };
+        let cfg = DcoConfig {
+            max_iter: 3,
+            ..DcoConfig::default()
+        };
         let a = optimizer(&design, &unet, &norm, cfg.clone()).run(&design.placement);
         let b = optimizer(&design, &unet, &norm, cfg).run(&design.placement);
         assert_eq!(a.placement, b.placement);

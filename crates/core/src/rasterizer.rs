@@ -54,7 +54,9 @@ impl CustomOp for SoftRasterizer {
     }
 
     fn forward(&self, inputs: &[&Tensor]) -> Tensor {
-        let [x, y, z]: [&Tensor; 3] = inputs.try_into().expect("rasterizer takes (x, y, z)");
+        let &[x, y, z] = inputs else {
+            panic!("rasterizer takes (x, y, z), got {} inputs", inputs.len());
+        };
         let n = self.netlist.num_cells();
         assert_eq!(x.len(), n, "x length mismatch");
         assert_eq!(y.len(), n, "y length mismatch");
@@ -62,7 +64,10 @@ impl CustomOp for SoftRasterizer {
         let soft = SoftAssignment {
             x: x.data().iter().map(|&v| v as f64).collect(),
             y: y.data().iter().map(|&v| v as f64).collect(),
-            z: z.data().iter().map(|&v| (v as f64).clamp(0.0, 1.0)).collect(),
+            z: z.data()
+                .iter()
+                .map(|&v| (v as f64).clamp(0.0, 1.0))
+                .collect(),
         };
         let fx = FeatureExtractor::new(self.grid);
         let [bottom, top] = fx.extract_soft(&self.netlist, &soft);
@@ -78,7 +83,9 @@ impl CustomOp for SoftRasterizer {
         _output: &Tensor,
         grad_output: &Tensor,
     ) -> Vec<Option<Tensor>> {
-        let [x, y, z]: [&Tensor; 3] = inputs.try_into().expect("rasterizer takes (x, y, z)");
+        let &[x, y, z] = inputs else {
+            panic!("rasterizer takes (x, y, z), got {} inputs", inputs.len());
+        };
         let n = self.netlist.num_cells();
         let g = self.grid;
         let plane = g.len();
@@ -95,7 +102,11 @@ impl CustomOp for SoftRasterizer {
             grad_output.data()[(die * NUM_CHANNELS + ch) * plane + row * g.nx + col] as f64
         };
 
-        let zs: Vec<f64> = z.data().iter().map(|&v| (v as f64).clamp(0.0, 1.0)).collect();
+        let zs: Vec<f64> = z
+            .data()
+            .iter()
+            .map(|&v| (v as f64).clamp(0.0, 1.0))
+            .collect();
 
         // ---- cell density + pin density ------------------------------------
         for id in netlist.cell_ids() {
@@ -112,6 +123,10 @@ impl CustomOp for SoftRasterizer {
             let c1 = g.col(x1);
             let r0 = g.row(y0);
             let r1 = g.row(y1);
+            debug_assert!(
+                c0 <= c1 && r0 <= r1 && c1 < g.nx && r1 < g.ny,
+                "cell {i} covers an inverted/out-of-grid tile range ({c0}..={c1}, {r0}..={r1})"
+            );
             for row in r0..=r1 {
                 for col in c0..=c1 {
                     let (tx0, ty0, tx1, ty1) = g.bounds(col, row);
@@ -165,15 +180,22 @@ impl CustomOp for SoftRasterizer {
                 p_top *= zs[i];
                 p_bot *= 1.0 - zs[i];
             }
-            let bbox = match Bbox::of_points(pts.iter().map(|&(px, py, _)| (px, py))) {
-                Some(b) => b,
-                None => continue,
+            let Some(bbox) = Bbox::of_points(pts.iter().map(|&(px, py, _)| (px, py))) else {
+                continue;
             };
+            debug_assert!(
+                (0.0..=1.0).contains(&p_top) && (0.0..=1.0).contains(&p_bot),
+                "tier probabilities escaped [0, 1]: p_top = {p_top}, p_bot = {p_bot}"
+            );
             // Kronecker deltas of Eq. 6: which cells own the extreme pins.
             let arg = |f: &dyn Fn(&(f64, f64, usize)) -> f64, max: bool| -> usize {
                 let mut best = 0usize;
                 for (k, p) in pts.iter().enumerate() {
-                    let better = if max { f(p) > f(&pts[best]) } else { f(p) < f(&pts[best]) };
+                    let better = if max {
+                        f(p) > f(&pts[best])
+                    } else {
+                        f(p) < f(&pts[best])
+                    };
                     if better {
                         best = k;
                     }
@@ -249,8 +271,16 @@ impl CustomOp for SoftRasterizer {
             let factor = bbox.rudy_factor(min_size);
             let wd = bbox.width(min_size);
             let hd = bbox.height(min_size);
-            let dfac_dxh = if bbox.xh - bbox.xl >= min_size { -1.0 / (wd * wd) } else { 0.0 };
-            let dfac_dyh = if bbox.yh - bbox.yl >= min_size { -1.0 / (hd * hd) } else { 0.0 };
+            let dfac_dxh = if bbox.xh - bbox.xl >= min_size {
+                -1.0 / (wd * wd)
+            } else {
+                0.0
+            };
+            let dfac_dyh = if bbox.yh - bbox.yl >= min_size {
+                -1.0 / (hd * hd)
+            } else {
+                0.0
+            };
             let mut pin_up = 0.0f64; // Σ over pins of upstream grad at the pin tile
             for &(px, py, ci) in &pts {
                 let (col, row) = (g.col(px), g.row(py));
@@ -296,10 +326,23 @@ impl CustomOp for SoftRasterizer {
             }
         }
 
+        debug_assert!(
+            gx.iter().chain(&gy).chain(&gz).all(|v| v.is_finite()),
+            "Eq. 6 backward produced a non-finite gradient"
+        );
         vec![
-            Some(Tensor::from_vec(gx.iter().map(|&v| v as f32).collect(), x.shape())),
-            Some(Tensor::from_vec(gy.iter().map(|&v| v as f32).collect(), y.shape())),
-            Some(Tensor::from_vec(gz.iter().map(|&v| v as f32).collect(), z.shape())),
+            Some(Tensor::from_vec(
+                gx.iter().map(|&v| v as f32).collect(),
+                x.shape(),
+            )),
+            Some(Tensor::from_vec(
+                gy.iter().map(|&v| v as f32).collect(),
+                y.shape(),
+            )),
+            Some(Tensor::from_vec(
+                gz.iter().map(|&v| v as f32).collect(),
+                z.shape(),
+            )),
         ]
     }
 }
@@ -318,7 +361,6 @@ fn prod_excluding(pts: &[(f64, f64, usize)], zs: &[f64], exclude: usize, top: bo
     prod
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,10 +375,20 @@ mod tests {
         b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
         b.add_net(
             "v",
-            &[(c, PinDirection::Output), (d, PinDirection::Input), (a, PinDirection::Input)],
+            &[
+                (c, PinDirection::Output),
+                (d, PinDirection::Input),
+                (a, PinDirection::Input),
+            ],
         );
         let nl = Rc::new(b.finish().expect("valid"));
-        let grid = GcellGrid::cover(Die { width: 8.0, height: 8.0 }, 1.0);
+        let grid = GcellGrid::cover(
+            Die {
+                width: 8.0,
+                height: 8.0,
+            },
+            1.0,
+        );
         (nl, grid)
     }
 
@@ -364,12 +416,15 @@ mod tests {
         let [bottom, _top] = FeatureExtractor::new(grid).extract_soft(&nl, &soft);
         let plane = grid.len();
         for (i, &v) in bottom.cell_density.data().iter().enumerate() {
-            assert!((out.data()[i] - v).abs() < 1e-6, "cell density mismatch at {i}");
+            assert!(
+                (out.data()[i] - v).abs() < 1e-6,
+                "cell density mismatch at {i}"
+            );
         }
-        assert!((out.data()[2 * plane..3 * plane].iter().sum::<f32>()
-            - bottom.rudy_2d.sum())
-            .abs()
-            < 1e-4);
+        assert!(
+            (out.data()[2 * plane..3 * plane].iter().sum::<f32>() - bottom.rudy_2d.sum()).abs()
+                < 1e-4
+        );
     }
 
     /// Finite-difference check of the full custom backward: perturb every
@@ -383,7 +438,9 @@ mod tests {
         let out = op.forward(&[&x, &y, &z]);
         // deterministic pseudo-random upstream gradient
         let gy = Tensor::from_vec(
-            (0..out.len()).map(|i| ((i * 2654435761usize) % 1000) as f32 / 1000.0 - 0.3).collect(),
+            (0..out.len())
+                .map(|i| ((i * 2654435761usize) % 1000) as f32 / 1000.0 - 0.3)
+                .collect(),
             out.shape(),
         );
         let grads = op.backward(&[&x, &y, &z], &out, &gy);
@@ -430,7 +487,13 @@ mod tests {
         let a = b.add_cell_simple("a", CellClass::Combinational);
         b.add_net("w", &[(m, PinDirection::Output), (a, PinDirection::Input)]);
         let nl = Rc::new(b.finish().expect("valid"));
-        let grid = GcellGrid::cover(Die { width: 16.0, height: 16.0 }, 2.0);
+        let grid = GcellGrid::cover(
+            Die {
+                width: 16.0,
+                height: 16.0,
+            },
+            2.0,
+        );
         let op = SoftRasterizer::new(nl, grid);
         let x = Tensor::from_vec(vec![2.0, 9.0], &[2]);
         let y = Tensor::from_vec(vec![2.0, 9.0], &[2]);

@@ -26,7 +26,11 @@ pub struct GridMap {
 impl GridMap {
     /// An all-zero map with `nx` columns and `ny` rows.
     pub fn zeros(nx: usize, ny: usize) -> Self {
-        Self { nx, ny, data: vec![0.0; nx * ny] }
+        Self {
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        }
     }
 
     /// Build from a flat row-major vector.
@@ -130,7 +134,11 @@ impl GridMap {
 
     /// Elementwise map into a new grid.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { nx: self.nx, ny: self.ny, data: self.data.iter().map(|&v| f(v)).collect() }
+        Self {
+            nx: self.nx,
+            ny: self.ny,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
     }
 
     /// Elementwise `self += other`.
@@ -138,7 +146,11 @@ impl GridMap {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn add_assign(&mut self, other: &Self) {
-        assert_eq!((self.nx, self.ny), (other.nx, other.ny), "grid dim mismatch");
+        assert_eq!(
+            (self.nx, self.ny),
+            (other.nx, other.ny),
+            "grid dim mismatch"
+        );
         for (a, &b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -179,7 +191,11 @@ impl GridMap {
     ///
     /// # Errors
     /// Propagates filesystem errors.
-    pub fn write_ppm(&self, path: impl AsRef<std::path::Path>, scale: usize) -> std::io::Result<()> {
+    pub fn write_ppm(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        scale: usize,
+    ) -> std::io::Result<()> {
         std::fs::write(path, self.to_ppm(scale))
     }
 

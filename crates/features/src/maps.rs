@@ -186,7 +186,9 @@ impl FeatureExtractor {
             let col = g.col(px);
             let row = g.row(py);
             top.pin_density.add(col, row, zt * inv_area as f32);
-            bottom.pin_density.add(col, row, (1.0 - zt) * inv_area as f32);
+            bottom
+                .pin_density
+                .add(col, row, (1.0 - zt) * inv_area as f32);
         }
 
         // --- RUDY / PinRUDY --------------------------------------------------
@@ -206,9 +208,8 @@ impl FeatureExtractor {
                 p_top *= z;
                 p_bot *= 1.0 - z;
             }
-            let bbox = match Bbox::of_points(pts.iter().copied()) {
-                Some(b) => b,
-                None => continue,
+            let Some(bbox) = Bbox::of_points(pts.iter().copied()) else {
+                continue;
             };
             let w = net.weight as f32;
             let w_top2d = (p_top as f32) * w;
@@ -272,7 +273,13 @@ mod tests {
         let c = b.add_cell_simple("c", CellClass::Combinational);
         b.add_net("w", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
         let n = b.finish().expect("valid");
-        let g = GcellGrid::cover(Die { width: 8.0, height: 8.0 }, 1.0);
+        let g = GcellGrid::cover(
+            Die {
+                width: 8.0,
+                height: 8.0,
+            },
+            1.0,
+        );
         let mut p = Placement3::zeroed(2);
         p.set_xy(CellId(0), 1.0, 1.0);
         p.set_xy(CellId(1), 5.0, 5.0);
@@ -341,10 +348,24 @@ mod tests {
         let mut b = NetlistBuilder::new("t");
         let a = b.add_cell_simple("a", CellClass::Combinational);
         let c = b.add_cell_simple("c", CellClass::Sequential);
-        b.add_weighted_net("clk", &[(a, PinDirection::Output), (c, PinDirection::Input)], 1.0, true);
-        b.add_net("sig", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
+        b.add_weighted_net(
+            "clk",
+            &[(a, PinDirection::Output), (c, PinDirection::Input)],
+            1.0,
+            true,
+        );
+        b.add_net(
+            "sig",
+            &[(a, PinDirection::Output), (c, PinDirection::Input)],
+        );
         let n = b.finish().expect("valid");
-        let g = GcellGrid::cover(Die { width: 4.0, height: 4.0 }, 1.0);
+        let g = GcellGrid::cover(
+            Die {
+                width: 4.0,
+                height: 4.0,
+            },
+            1.0,
+        );
         let p = Placement3::zeroed(2);
         let fx = FeatureExtractor::new(g);
         let [bottom, _] = fx.extract(&n, &p);

@@ -14,10 +14,19 @@ use crate::GridMap;
 /// # Panics
 /// Panics on dimension mismatch.
 pub fn nrmse(pred: &GridMap, truth: &GridMap) -> f32 {
-    assert_eq!((pred.nx(), pred.ny()), (truth.nx(), truth.ny()), "nrmse dim mismatch");
+    assert_eq!(
+        (pred.nx(), pred.ny()),
+        (truth.nx(), truth.ny()),
+        "nrmse dim mismatch"
+    );
     let n = truth.len().max(1) as f32;
-    let mse: f32 =
-        pred.data().iter().zip(truth.data()).map(|(&a, &b)| (a - b) * (a - b)).sum::<f32>() / n;
+    let mse: f32 = pred
+        .data()
+        .iter()
+        .zip(truth.data())
+        .map(|(&a, &b)| (a - b) * (a - b))
+        .sum::<f32>()
+        / n;
     let range = truth.max() - truth.min();
     let range = if range > 1e-12 { range } else { 1.0 };
     mse.sqrt() / range
@@ -133,11 +142,18 @@ mod tests {
         let noisy = GridMap::from_vec(
             12,
             12,
-            m.data().iter().enumerate().map(|(i, &v)| if i % 2 == 0 { v + 30.0 } else { v - 30.0 }).collect(),
+            m.data()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if i % 2 == 0 { v + 30.0 } else { v - 30.0 })
+                .collect(),
         );
         let s_shift = ssim(&shifted, &m, m.max());
         let s_noise = ssim(&noisy, &m, m.max());
-        assert!(s_shift > s_noise, "shift {s_shift} should beat noise {s_noise}");
+        assert!(
+            s_shift > s_noise,
+            "shift {s_shift} should beat noise {s_noise}"
+        );
     }
 
     #[test]

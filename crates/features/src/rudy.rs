@@ -24,7 +24,12 @@ impl Bbox {
     pub fn of_points(points: impl IntoIterator<Item = (f64, f64)>) -> Option<Self> {
         let mut it = points.into_iter();
         let (x0, y0) = it.next()?;
-        let mut b = Self { xl: x0, yl: y0, xh: x0, yh: y0 };
+        let mut b = Self {
+            xl: x0,
+            yl: y0,
+            xh: x0,
+            yh: y0,
+        };
         for (x, y) in it {
             b.xl = b.xl.min(x);
             b.xh = b.xh.max(x);
@@ -64,8 +69,16 @@ pub fn accumulate_rudy(grid: &mut GridMap, g: &GcellGrid, bbox: &Bbox, weight: f
     let min_size = g.dx.min(g.dy) * 0.5;
     let factor = bbox.rudy_factor(min_size);
     // Expand degenerate boxes so they still cover at least a sliver.
-    let (xl, xh) = if bbox.xh > bbox.xl { (bbox.xl, bbox.xh) } else { (bbox.xl - min_size / 2.0, bbox.xl + min_size / 2.0) };
-    let (yl, yh) = if bbox.yh > bbox.yl { (bbox.yl, bbox.yh) } else { (bbox.yl - min_size / 2.0, bbox.yl + min_size / 2.0) };
+    let (xl, xh) = if bbox.xh > bbox.xl {
+        (bbox.xl, bbox.xh)
+    } else {
+        (bbox.xl - min_size / 2.0, bbox.xl + min_size / 2.0)
+    };
+    let (yl, yh) = if bbox.yh > bbox.yl {
+        (bbox.yl, bbox.yh)
+    } else {
+        (bbox.yl - min_size / 2.0, bbox.yl + min_size / 2.0)
+    };
     let c0 = g.col(xl);
     let c1 = g.col(xh);
     let r0 = g.row(yl);
@@ -164,13 +177,27 @@ mod tests {
     use dco_netlist::{Die, GcellGrid};
 
     fn grid4() -> GcellGrid {
-        GcellGrid::cover(Die { width: 4.0, height: 4.0 }, 1.0)
+        GcellGrid::cover(
+            Die {
+                width: 4.0,
+                height: 4.0,
+            },
+            1.0,
+        )
     }
 
     #[test]
     fn bbox_of_points() {
         let b = Bbox::of_points(vec![(1.0, 2.0), (3.0, 0.5)]).expect("non-empty");
-        assert_eq!(b, Bbox { xl: 1.0, yl: 0.5, xh: 3.0, yh: 2.0 });
+        assert_eq!(
+            b,
+            Bbox {
+                xl: 1.0,
+                yl: 0.5,
+                xh: 3.0,
+                yh: 2.0
+            }
+        );
         assert!(Bbox::of_points(std::iter::empty()).is_none());
     }
 
@@ -180,17 +207,32 @@ mod tests {
         // = (w + h) * wl-per-area identity.
         let g = grid4();
         let mut m = GridMap::zeros(g.nx, g.ny);
-        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 3.0 };
+        let b = Bbox {
+            xl: 0.0,
+            yl: 0.0,
+            xh: 2.0,
+            yh: 3.0,
+        };
         accumulate_rudy(&mut m, &g, &b, 1.0);
         let expect = (1.0 / 2.0 + 1.0 / 3.0) * (2.0 * 3.0) / 1.0;
-        assert!((m.sum() as f64 - expect).abs() < 1e-5, "sum {} vs {}", m.sum(), expect);
+        assert!(
+            (m.sum() as f64 - expect).abs() < 1e-5,
+            "sum {} vs {}",
+            m.sum(),
+            expect
+        );
     }
 
     #[test]
     fn rudy_is_uniform_inside_bbox() {
         let g = grid4();
         let mut m = GridMap::zeros(g.nx, g.ny);
-        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 2.0 };
+        let b = Bbox {
+            xl: 0.0,
+            yl: 0.0,
+            xh: 2.0,
+            yh: 2.0,
+        };
         accumulate_rudy(&mut m, &g, &b, 1.0);
         assert!((m.get(0, 0) - m.get(1, 1)).abs() < 1e-6);
         assert_eq!(m.get(3, 3), 0.0);
@@ -200,7 +242,12 @@ mod tests {
     fn degenerate_net_still_contributes() {
         let g = grid4();
         let mut m = GridMap::zeros(g.nx, g.ny);
-        let b = Bbox { xl: 1.5, yl: 1.5, xh: 1.5, yh: 1.5 };
+        let b = Bbox {
+            xl: 1.5,
+            yl: 1.5,
+            xh: 1.5,
+            yh: 1.5,
+        };
         accumulate_rudy(&mut m, &g, &b, 1.0);
         assert!(m.sum() > 0.0);
     }
@@ -209,7 +256,12 @@ mod tests {
     fn pin_rudy_lands_in_pin_tile() {
         let g = grid4();
         let mut m = GridMap::zeros(g.nx, g.ny);
-        let b = Bbox { xl: 0.0, yl: 0.0, xh: 2.0, yh: 2.0 };
+        let b = Bbox {
+            xl: 0.0,
+            yl: 0.0,
+            xh: 2.0,
+            yh: 2.0,
+        };
         accumulate_pin_rudy(&mut m, &g, (2.5, 0.5), &b, 1.0);
         assert!(m.get(2, 0) > 0.0);
         assert_eq!(m.sum(), m.get(2, 0));
@@ -221,7 +273,12 @@ mod tests {
         let g = grid4();
         let tile = g.bounds(1, 1);
         let min_size = 0.5;
-        let base = Bbox { xl: 0.3, yl: 0.4, xh: 2.7, yh: 3.1 };
+        let base = Bbox {
+            xl: 0.3,
+            yl: 0.4,
+            xh: 2.7,
+            yh: 3.1,
+        };
         let value = |b: &Bbox| -> f64 {
             let ow = (b.xh.min(tile.2) - b.xl.max(tile.0)).max(0.0);
             let oh = (b.yh.min(tile.3) - b.yl.max(tile.1)).max(0.0);
@@ -230,21 +287,61 @@ mod tests {
         let grad = rudy_edge_grad(&base, tile, g.cell_area(), min_size);
         let eps = 1e-5;
         let num = |f: &dyn Fn(f64) -> Bbox| (value(&f(eps)) - value(&f(-eps))) / (2.0 * eps);
-        let d_xh = num(&|e| Bbox { xh: base.xh + e, ..base });
-        let d_xl = num(&|e| Bbox { xl: base.xl + e, ..base });
-        let d_yh = num(&|e| Bbox { yh: base.yh + e, ..base });
-        let d_yl = num(&|e| Bbox { yl: base.yl + e, ..base });
-        assert!((grad.d_xh - d_xh).abs() < 1e-5, "d_xh {} vs {}", grad.d_xh, d_xh);
-        assert!((grad.d_xl - d_xl).abs() < 1e-5, "d_xl {} vs {}", grad.d_xl, d_xl);
-        assert!((grad.d_yh - d_yh).abs() < 1e-5, "d_yh {} vs {}", grad.d_yh, d_yh);
-        assert!((grad.d_yl - d_yl).abs() < 1e-5, "d_yl {} vs {}", grad.d_yl, d_yl);
+        let d_xh = num(&|e| Bbox {
+            xh: base.xh + e,
+            ..base
+        });
+        let d_xl = num(&|e| Bbox {
+            xl: base.xl + e,
+            ..base
+        });
+        let d_yh = num(&|e| Bbox {
+            yh: base.yh + e,
+            ..base
+        });
+        let d_yl = num(&|e| Bbox {
+            yl: base.yl + e,
+            ..base
+        });
+        assert!(
+            (grad.d_xh - d_xh).abs() < 1e-5,
+            "d_xh {} vs {}",
+            grad.d_xh,
+            d_xh
+        );
+        assert!(
+            (grad.d_xl - d_xl).abs() < 1e-5,
+            "d_xl {} vs {}",
+            grad.d_xl,
+            d_xl
+        );
+        assert!(
+            (grad.d_yh - d_yh).abs() < 1e-5,
+            "d_yh {} vs {}",
+            grad.d_yh,
+            d_yh
+        );
+        assert!(
+            (grad.d_yl - d_yl).abs() < 1e-5,
+            "d_yl {} vs {}",
+            grad.d_yl,
+            d_yl
+        );
     }
 
     #[test]
     fn edge_grad_zero_outside_tile() {
         let g = grid4();
         let tile = g.bounds(3, 3);
-        let b = Bbox { xl: 0.0, yl: 0.0, xh: 1.0, yh: 1.0 };
-        assert_eq!(rudy_edge_grad(&b, tile, g.cell_area(), 0.5), RudyEdgeGrad::default());
+        let b = Bbox {
+            xl: 0.0,
+            yl: 0.0,
+            xh: 1.0,
+            yh: 1.0,
+        };
+        assert_eq!(
+            rudy_edge_grad(&b, tile, g.cell_area(), 0.5),
+            RudyEdgeGrad::default()
+        );
     }
 }

@@ -20,7 +20,11 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        Self { scale: 12.0, congestion: None, panel_gap: 24.0 }
+        Self {
+            scale: 12.0,
+            congestion: None,
+            panel_gap: 24.0,
+        }
     }
 }
 
@@ -93,7 +97,11 @@ pub fn render_layout_svg(
                 (cell.height * s).max(0.5),
             );
         }
-        let label = if tier == Tier::Bottom { "bottom die" } else { "top die" };
+        let label = if tier == Tier::Bottom {
+            "bottom die"
+        } else {
+            "top die"
+        };
         let _ = writeln!(
             out,
             r##"<text x="{:.1}" y="14" font-family="monospace" font-size="12" fill="#222">{label}</text>"##,
@@ -115,7 +123,12 @@ mod tests {
             .with_scale(0.01)
             .generate(1)
             .expect("gen");
-        let svg = render_layout_svg(&d.netlist, &d.placement, &d.floorplan.die, &SvgOptions::default());
+        let svg = render_layout_svg(
+            &d.netlist,
+            &d.placement,
+            &d.floorplan.die,
+            &SvgOptions::default(),
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>\n"));
         // 2 panel frames + 1 rect per cell (+ text labels)
@@ -132,12 +145,20 @@ mod tests {
             .expect("gen");
         let mut hot = GridMap::zeros(4, 4);
         hot.set(1, 1, 5.0);
-        let plain = render_layout_svg(&d.netlist, &d.placement, &d.floorplan.die, &SvgOptions::default());
+        let plain = render_layout_svg(
+            &d.netlist,
+            &d.placement,
+            &d.floorplan.die,
+            &SvgOptions::default(),
+        );
         let with_heat = render_layout_svg(
             &d.netlist,
             &d.placement,
             &d.floorplan.die,
-            &SvgOptions { congestion: Some([hot.clone(), hot]), ..SvgOptions::default() },
+            &SvgOptions {
+                congestion: Some([hot.clone(), hot]),
+                ..SvgOptions::default()
+            },
         );
         assert!(with_heat.matches("<rect").count() > plain.matches("<rect").count());
         assert!(with_heat.contains("fill-opacity=\"0.55\""));

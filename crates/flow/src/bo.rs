@@ -21,7 +21,13 @@ pub struct BoConfig {
 
 impl Default for BoConfig {
     fn default() -> Self {
-        Self { initial_samples: 4, iterations: 8, candidates: 128, length_scale: 0.5, noise: 1e-4 }
+        Self {
+            initial_samples: 4,
+            iterations: 8,
+            candidates: 128,
+            length_scale: 0.5,
+            noise: 1e-4,
+        }
     }
 }
 
@@ -54,7 +60,8 @@ pub fn bayesian_minimize(
     let mut xs: Vec<Vec<f64>> = Vec::new();
     let mut ys: Vec<f64> = Vec::new();
 
-    let sample = |rng: &mut StdRng| -> Vec<f64> { (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect() };
+    let sample =
+        |rng: &mut StdRng| -> Vec<f64> { (0..dims).map(|_| rng.gen_range(0.0..=1.0)).collect() };
 
     for _ in 0..cfg.initial_samples.max(2) {
         let x = sample(&mut rng);
@@ -83,34 +90,58 @@ pub fn bayesian_minimize(
                 kmat[i * n + j] = k(&xs[i], &xs[j]) + if i == j { cfg.noise } else { 0.0 };
             }
         }
-        let chol = cholesky(&kmat, n).expect("kernel matrix is positive definite with jitter");
+        // RBF Gram matrices are PSD; the jitter makes them PD unless samples
+        // are (nearly) duplicated. Escalate the jitter before giving up.
+        let mut chol = cholesky(&kmat, n);
+        let mut jitter = cfg.noise.max(1e-9);
+        for _ in 0..8 {
+            if chol.is_some() {
+                break;
+            }
+            jitter *= 100.0;
+            for i in 0..n {
+                kmat[i * n + i] += jitter;
+            }
+            chol = cholesky(&kmat, n);
+        }
+        let Some(chol) = chol else {
+            panic!("GP kernel matrix is not positive definite (n = {n})");
+        };
         let alpha = chol_solve(&chol, n, &yn);
 
         // Expected improvement over the best normalized observation.
         let best = yn.iter().copied().fold(f64::INFINITY, f64::min);
-        let mut best_cand: Option<(Vec<f64>, f64)> = None;
-        for _ in 0..cfg.candidates {
-            let c = sample(&mut rng);
-            let kv: Vec<f64> = xs.iter().map(|x| k(x, &c)).collect();
+        let ei_of = |c: &[f64]| -> f64 {
+            let kv: Vec<f64> = xs.iter().map(|x| k(x, c)).collect();
             let mu: f64 = kv.iter().zip(&alpha).map(|(&a, &b)| a * b).sum();
             let v = chol_forward(&chol, n, &kv);
             let var = (1.0 + cfg.noise - v.iter().map(|&x| x * x).sum::<f64>()).max(1e-12);
             let sigma = var.sqrt();
             let z = (best - mu) / sigma;
-            let ei = sigma * (z * normal_cdf(z) + normal_pdf(z));
-            if best_cand.as_ref().map(|&(_, bei)| ei > bei).unwrap_or(true) {
-                best_cand = Some((c, ei));
+            sigma * (z * normal_cdf(z) + normal_pdf(z))
+        };
+        let mut next = sample(&mut rng);
+        let mut next_ei = ei_of(&next);
+        for _ in 1..cfg.candidates.max(1) {
+            let c = sample(&mut rng);
+            let ei = ei_of(&c);
+            if ei > next_ei {
+                next = c;
+                next_ei = ei;
             }
         }
-        let (next, _) = best_cand.expect("candidate pool is non-empty");
         let y = objective(&next);
         xs.push(next);
         ys.push(y);
     }
 
-    let (bi, &by) =
-        ys.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty history");
-    (xs[bi].clone(), by)
+    let mut bi = 0;
+    for (i, y) in ys.iter().enumerate() {
+        if *y < ys[bi] {
+            bi = i;
+        }
+    }
+    (xs[bi].clone(), ys[bi])
 }
 
 /// Lower-triangular Cholesky factor of a row-major `n x n` SPD matrix.
@@ -218,10 +249,12 @@ mod tests {
 
     #[test]
     fn bo_beats_random_on_smooth_objective() {
-        let f = |v: &[f64]| -> f64 {
-            v.iter().map(|&c| (c - 0.7) * (c - 0.7)).sum::<f64>() + 0.1
+        let f = |v: &[f64]| -> f64 { v.iter().map(|&c| (c - 0.7) * (c - 0.7)).sum::<f64>() + 0.1 };
+        let cfg = BoConfig {
+            initial_samples: 4,
+            iterations: 12,
+            ..BoConfig::default()
         };
-        let cfg = BoConfig { initial_samples: 4, iterations: 12, ..BoConfig::default() };
         let (_, bo_best) = bayesian_minimize(3, f, &cfg, 1);
         // pure random with the same budget
         let mut rng = StdRng::seed_from_u64(1);
@@ -231,8 +264,14 @@ mod tests {
                 f(&x)
             })
             .fold(f64::INFINITY, f64::min);
-        assert!(bo_best <= rand_best * 1.5, "BO {bo_best} vs random {rand_best}");
-        assert!(bo_best < 0.25, "BO failed to approach the optimum: {bo_best}");
+        assert!(
+            bo_best <= rand_best * 1.5,
+            "BO {bo_best} vs random {rand_best}"
+        );
+        assert!(
+            bo_best < 0.25,
+            "BO failed to approach the optimum: {bo_best}"
+        );
     }
 
     #[test]

@@ -26,8 +26,12 @@ pub enum FlowKind {
 
 impl FlowKind {
     /// All four flows in Table-III row order.
-    pub const ALL: [FlowKind; 4] =
-        [FlowKind::Pin3d, FlowKind::Pin3dCong, FlowKind::Pin3dBo, FlowKind::Dco3d];
+    pub const ALL: [FlowKind; 4] = [
+        FlowKind::Pin3d,
+        FlowKind::Pin3dCong,
+        FlowKind::Pin3dBo,
+        FlowKind::Dco3d,
+    ];
 
     /// Row label used in reports.
     pub fn label(self) -> &'static str {
@@ -141,14 +145,32 @@ pub struct Predictor {
 
 /// Train the DCO-3D congestion predictor for `design` (Sec. III).
 pub fn train_predictor(design: &Design, cfg: &FlowConfig, seed: u64) -> Predictor {
-    let dataset = build_dataset(design, cfg.train_layouts, cfg.map_size, &cfg.stage_router, seed);
-    let mut unet = SiameseUNet::new(
-        UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+    let dataset = build_dataset(
+        design,
+        cfg.train_layouts,
+        cfg.map_size,
+        &cfg.stage_router,
         seed,
     );
-    let train_cfg = TrainConfig { epochs: cfg.train_epochs, seed, ..TrainConfig::default() };
+    let mut unet = SiameseUNet::new(
+        UNetConfig {
+            in_channels: 7,
+            base_channels: cfg.unet_channels,
+            size: cfg.map_size,
+        },
+        seed,
+    );
+    let train_cfg = TrainConfig {
+        epochs: cfg.train_epochs,
+        seed,
+        ..TrainConfig::default()
+    };
     let train_result = train(&mut unet, &dataset, &train_cfg);
-    Predictor { unet, normalization: train_result.normalization.clone(), train_result }
+    Predictor {
+        unet,
+        normalization: train_result.normalization.clone(),
+        train_result,
+    }
 }
 
 /// Runs the four flows on one design with a shared seed ("exact same ICC2
@@ -191,7 +213,9 @@ impl<'a> FlowRunner<'a> {
 
         // --- DCO-3D cell spreading (the contribution) -------------------------
         if kind == FlowKind::Dco3d {
-            let predictor = predictor.expect("DCO-3D needs a trained predictor");
+            let Some(predictor) = predictor else {
+                panic!("FlowKind::Dco3d requires a trained predictor bundle; train one or pick Pin3d/Pin3dBo");
+            };
             // Timing snapshot from a quick global route: the GNN's Table-II
             // features (and the criticality anchors) reflect routed reality,
             // as they would when DCO reads the tool's timing database.
@@ -249,7 +273,10 @@ impl<'a> FlowRunner<'a> {
             Some(&net_lengths),
             Some(&routed.net_bonds),
             &sta,
-            &EcoConfig { max_rounds: 2, ..EcoConfig::default() },
+            &EcoConfig {
+                max_rounds: 2,
+                ..EcoConfig::default()
+            },
         );
         let power = PowerAnalyzer::new(design).analyze(&placement, Some(&net_lengths));
 
@@ -292,7 +319,9 @@ impl<'a> FlowRunner<'a> {
         let (best, _) = bayesian_minimize(
             16,
             |v| {
-                let arr: [f64; 16] = v.try_into().expect("16 dims");
+                // bayesian_minimize samples exactly `dims` = 16 coordinates
+                let mut arr = [0.0f64; 16];
+                arr.copy_from_slice(v);
                 let params = PlacementParams::from_unit_vector(&arr);
                 let mut p = placer.place(&params, seed);
                 legalize(design, &mut p, params.displacement_threshold);
@@ -301,7 +330,8 @@ impl<'a> FlowRunner<'a> {
             &self.cfg.bo,
             seed,
         );
-        let arr: [f64; 16] = best.as_slice().try_into().expect("16 dims");
+        let mut arr = [0.0f64; 16];
+        arr.copy_from_slice(&best);
         PlacementParams::from_unit_vector(&arr)
     }
 }
@@ -317,14 +347,25 @@ mod tests {
             unet_channels: 4,
             train_layouts: 3,
             train_epochs: 1,
-            dco: DcoConfig { max_iter: 3, ..DcoConfig::default() },
-            bo: BoConfig { initial_samples: 2, iterations: 2, candidates: 16, ..BoConfig::default() },
+            dco: DcoConfig {
+                max_iter: 3,
+                ..DcoConfig::default()
+            },
+            bo: BoConfig {
+                initial_samples: 2,
+                iterations: 2,
+                candidates: 16,
+                ..BoConfig::default()
+            },
             ..FlowConfig::default()
         }
     }
 
     fn design() -> Design {
-        GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.015).generate(2).expect("gen")
+        GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.015)
+            .generate(2)
+            .expect("gen")
     }
 
     #[test]

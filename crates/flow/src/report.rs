@@ -18,7 +18,16 @@ pub fn format_design_block(design: &Design, outcomes: &[FlowOutcome]) -> String 
     ));
     out.push_str(&format!(
         "{:<16} {:>10} {:>12} {:>9} {:>9} {:>15} {:>15} {:>12} {:>14} {:>9}\n",
-        "flow", "overflow", "ovf gcell%", "H ovf", "V ovf", "setup wns (ps)", "setup tns (ps)", "power (mW)", "WL (um)", "ECO cells"
+        "flow",
+        "overflow",
+        "ovf gcell%",
+        "H ovf",
+        "V ovf",
+        "setup wns (ps)",
+        "setup tns (ps)",
+        "power (mW)",
+        "WL (um)",
+        "ECO cells"
     ));
     let base = outcomes.iter().find(|o| o.kind == FlowKind::Pin3d);
     for o in outcomes {
@@ -118,12 +127,17 @@ mod tests {
             .with_scale(0.01)
             .generate(1)
             .expect("gen");
-        let outcomes =
-            vec![fake_outcome(FlowKind::Pin3d, 1000.0), fake_outcome(FlowKind::Dco3d, 600.0)];
+        let outcomes = vec![
+            fake_outcome(FlowKind::Pin3d, 1000.0),
+            fake_outcome(FlowKind::Dco3d, 600.0),
+        ];
         let block = format_design_block(&d, &outcomes);
         assert!(block.contains("Pin3D"));
         assert!(block.contains("DCO-3D (ours)"));
-        assert!(block.contains("(-40.00%)"), "relative overflow missing:\n{block}");
+        assert!(
+            block.contains("(-40.00%)"),
+            "relative overflow missing:\n{block}"
+        );
     }
 
     #[test]
@@ -132,8 +146,10 @@ mod tests {
             .with_scale(0.01)
             .generate(1)
             .expect("gen");
-        let outcomes =
-            vec![fake_outcome(FlowKind::Pin3d, 1000.0), fake_outcome(FlowKind::Pin3dBo, 800.0)];
+        let outcomes = vec![
+            fake_outcome(FlowKind::Pin3d, 1000.0),
+            fake_outcome(FlowKind::Pin3dBo, 800.0),
+        ];
         let csv = to_csv(&d, &outcomes);
         assert_eq!(csv.lines().count(), 3);
         assert!(csv.starts_with("design,flow"));

@@ -47,7 +47,9 @@ pub fn build_node_features(
         }
     }
 
-    let mut cols: Vec<Vec<f64>> = vec![Vec::with_capacity(n); NUM_NODE_FEATURES];
+    let mut cols: Vec<Vec<f64>> = (0..NUM_NODE_FEATURES)
+        .map(|_| Vec::with_capacity(n))
+        .collect();
     for id in netlist.cell_ids() {
         let i = id.index();
         let cell = netlist.cell(id);
@@ -113,8 +115,7 @@ mod tests {
         assert!(f.max() <= 1.0 + 1e-5);
         assert!(f.min() >= -1.0 - 1e-5);
         // width column is non-zero
-        let widths: f32 =
-            (0..d.netlist.num_cells()).map(|i| f.at(&[i, 6])).sum();
+        let widths: f32 = (0..d.netlist.num_cells()).map(|i| f.at(&[i, 6])).sum();
         assert!(widths > 0.0);
     }
 

@@ -18,7 +18,12 @@ pub struct GcnConfig {
 
 impl Default for GcnConfig {
     fn default() -> Self {
-        Self { in_features: crate::NUM_NODE_FEATURES, hidden: 16, layers: 3, out_features: 3 }
+        Self {
+            in_features: crate::NUM_NODE_FEATURES,
+            hidden: 16,
+            layers: 3,
+            out_features: 3,
+        }
     }
 }
 
@@ -89,12 +94,22 @@ mod tests {
     use dco_tensor::Adam;
 
     fn ring(n: usize) -> Rc<Csr> {
-        Rc::new(Csr::gcn_normalized(n, (0..n).map(|i| (i, (i + 1) % n, 1.0))))
+        Rc::new(Csr::gcn_normalized(
+            n,
+            (0..n).map(|i| (i, (i + 1) % n, 1.0)),
+        ))
     }
 
     #[test]
     fn forward_shape_and_determinism() {
-        let mut gcn = Gcn::new(GcnConfig { in_features: 5, hidden: 8, ..GcnConfig::default() }, 1);
+        let mut gcn = Gcn::new(
+            GcnConfig {
+                in_features: 5,
+                hidden: 8,
+                ..GcnConfig::default()
+            },
+            1,
+        );
         let adj = ring(6);
         let x = Tensor::from_vec((0..30).map(|v| v as f32 * 0.1).collect(), &[6, 5]);
         let mut g1 = Graph::new();
@@ -110,7 +125,14 @@ mod tests {
 
     #[test]
     fn initial_output_is_near_zero() {
-        let mut gcn = Gcn::new(GcnConfig { in_features: 5, hidden: 8, ..GcnConfig::default() }, 2);
+        let mut gcn = Gcn::new(
+            GcnConfig {
+                in_features: 5,
+                hidden: 8,
+                ..GcnConfig::default()
+            },
+            2,
+        );
         let adj = ring(4);
         let mut g = Graph::new();
         let x = g.input(Tensor::ones(&[4, 5]));
@@ -122,7 +144,16 @@ mod tests {
     fn message_passing_spreads_information() {
         // Perturbing node 0's features changes node 1's output (1 hop) and,
         // with 3 layers, node 3's output (3 hops).
-        let mk = || Gcn::new(GcnConfig { in_features: 2, hidden: 8, ..GcnConfig::default() }, 3);
+        let mk = || {
+            Gcn::new(
+                GcnConfig {
+                    in_features: 2,
+                    hidden: 8,
+                    ..GcnConfig::default()
+                },
+                3,
+            )
+        };
         let adj = Rc::new(Csr::gcn_normalized(
             5,
             vec![(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)],
@@ -139,9 +170,8 @@ mod tests {
         };
         let a = run(base);
         let b = run(pert);
-        let row_delta = |r: usize| -> f32 {
-            (0..3).map(|c| (a.at(&[r, c]) - b.at(&[r, c])).abs()).sum()
-        };
+        let row_delta =
+            |r: usize| -> f32 { (0..3).map(|c| (a.at(&[r, c]) - b.at(&[r, c])).abs()).sum() };
         assert!(row_delta(1) > 1e-7, "1-hop neighbour unaffected");
         assert!(row_delta(3) > 1e-9, "3-hop neighbour unaffected");
         // node 4 is 4 hops away: unreachable with 3 GCN layers
@@ -150,7 +180,14 @@ mod tests {
 
     #[test]
     fn gcn_trains_toward_target() {
-        let mut gcn = Gcn::new(GcnConfig { in_features: 3, hidden: 8, ..GcnConfig::default() }, 4);
+        let mut gcn = Gcn::new(
+            GcnConfig {
+                in_features: 3,
+                hidden: 8,
+                ..GcnConfig::default()
+            },
+            4,
+        );
         let adj = ring(4);
         let x = Tensor::from_vec((0..12).map(|v| (v % 3) as f32 * 0.3).collect(), &[4, 3]);
         let target = Tensor::full(&[4, 3], 0.5);

@@ -8,7 +8,7 @@
 //! the 3D tier assignment.
 
 use crate::{
-    Cell, CellClass, CellId, Netlist, NetlistBuilder, NetlistError, Placement3, PinDirection, Tier,
+    Cell, CellClass, CellId, Netlist, NetlistBuilder, NetlistError, PinDirection, Placement3, Tier,
 };
 use std::fmt::Write as _;
 
@@ -21,7 +21,11 @@ pub fn to_nodes(netlist: &Netlist) -> String {
     let _ = writeln!(out, "NumTerminals : {terminals}");
     for cell in netlist.cells() {
         let terminal = if cell.movable() { "" } else { " terminal" };
-        let _ = writeln!(out, "\t{} {:.4} {:.4}{}", cell.name, cell.width, cell.height, terminal);
+        let _ = writeln!(
+            out,
+            "\t{} {:.4} {:.4}{}",
+            cell.name, cell.width, cell.height, terminal
+        );
     }
     out
 }
@@ -58,7 +62,11 @@ pub fn to_pl(netlist: &Netlist, placement: &Placement3) -> String {
     for id in netlist.cell_ids() {
         let cell = netlist.cell(id);
         let fixed = if cell.movable() { "" } else { " /FIXED" };
-        let die = if placement.tier(id) == Tier::Top { " DIE_TOP" } else { "" };
+        let die = if placement.tier(id) == Tier::Top {
+            " DIE_TOP"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "{} {:.4} {:.4} : N{}{}",
@@ -106,7 +114,11 @@ pub fn from_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, NetlistError> 
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| NetlistError::InvalidConfig(format!("bad height for node {name}")))?;
         let terminal = parts.next() == Some("terminal");
-        let class = if terminal { CellClass::Macro } else { CellClass::Combinational };
+        let class = if terminal {
+            CellClass::Macro
+        } else {
+            CellClass::Combinational
+        };
         let id = b.add_cell(Cell {
             name: name.to_string(),
             class,
@@ -123,11 +135,13 @@ pub fn from_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, NetlistError> 
 
     let mut current: Option<(String, Vec<(CellId, PinDirection)>)> = None;
     let flush = |b: &mut NetlistBuilder,
-                     cur: &mut Option<(String, Vec<(CellId, PinDirection)>)>|
+                 cur: &mut Option<(String, Vec<(CellId, PinDirection)>)>|
      -> Result<(), NetlistError> {
         if let Some((name, conns)) = cur.take() {
             if conns.len() < 2 {
-                return Err(NetlistError::InvalidConfig(format!("net {name} has < 2 pins")));
+                return Err(NetlistError::InvalidConfig(format!(
+                    "net {name} has < 2 pins"
+                )));
             }
             b.add_net(name, &conns);
         }
@@ -200,7 +214,11 @@ pub fn pl_into_placement(netlist: &Netlist, pl: &str) -> Result<Placement3, Netl
             .get(name)
             .ok_or_else(|| NetlistError::InvalidConfig(format!("unknown cell {name}")))?;
         placement.set_xy(id, x, y);
-        let tier = if line.contains("DIE_TOP") { Tier::Top } else { Tier::Bottom };
+        let tier = if line.contains("DIE_TOP") {
+            Tier::Top
+        } else {
+            Tier::Bottom
+        };
         placement.set_tier(id, tier);
     }
     Ok(placement)

@@ -28,7 +28,12 @@ pub struct NetlistBuilder {
 impl NetlistBuilder {
     /// Start building a netlist with the given design name.
     pub fn new(name: impl Into<String>) -> Self {
-        Self { name: name.into(), cells: Vec::new(), nets: Vec::new(), pins: Vec::new() }
+        Self {
+            name: name.into(),
+            cells: Vec::new(),
+            nets: Vec::new(),
+            pins: Vec::new(),
+        }
     }
 
     /// Add a fully-specified cell; returns its id.
@@ -63,11 +68,7 @@ impl NetlistBuilder {
     /// Add a net connecting pins at the centers of the given cells.
     ///
     /// Each `(cell, direction)` entry creates a new pin. Returns the net id.
-    pub fn add_net(
-        &mut self,
-        name: impl Into<String>,
-        conns: &[(CellId, PinDirection)],
-    ) -> NetId {
+    pub fn add_net(&mut self, name: impl Into<String>, conns: &[(CellId, PinDirection)]) -> NetId {
         self.add_weighted_net(name, conns, 1.0, false)
     }
 
@@ -88,10 +89,20 @@ impl NetlistBuilder {
                 .get(cell.index())
                 .map(|c| (c.width / 2.0, c.height / 2.0))
                 .unwrap_or((0.0, 0.0));
-            self.pins.push(Pin { cell, net: net_id, offset, direction });
+            self.pins.push(Pin {
+                cell,
+                net: net_id,
+                offset,
+                direction,
+            });
             pin_ids.push(pin_id);
         }
-        self.nets.push(Net { name: name.into(), pins: pin_ids, weight, is_clock });
+        self.nets.push(Net {
+            name: name.into(),
+            pins: pin_ids,
+            weight,
+            is_clock,
+        });
         net_id
     }
 
@@ -132,7 +143,10 @@ mod tests {
     fn unknown_cell_is_rejected() {
         let mut b = NetlistBuilder::new("bad");
         let a = b.add_cell_simple("a", CellClass::Combinational);
-        b.add_net("w", &[(a, PinDirection::Output), (CellId(99), PinDirection::Input)]);
+        b.add_net(
+            "w",
+            &[(a, PinDirection::Output), (CellId(99), PinDirection::Input)],
+        );
         assert_eq!(b.finish().unwrap_err(), NetlistError::UnknownCell(99));
     }
 

@@ -29,7 +29,10 @@ impl fmt::Display for NetlistError {
             Self::DegenerateNet(id) => write!(f, "net {id} has fewer than two pins"),
             Self::InvalidConfig(msg) => write!(f, "invalid generator configuration: {msg}"),
             Self::PlacementSizeMismatch { cells, got } => {
-                write!(f, "placement has {got} entries but netlist has {cells} cells")
+                write!(
+                    f,
+                    "placement has {got} entries but netlist has {cells} cells"
+                )
             }
         }
     }

@@ -20,7 +20,10 @@ impl Die {
     /// Clamp a point into the die, leaving a small margin.
     pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
         let eps = 1e-6;
-        (x.clamp(0.0, self.width - eps), y.clamp(0.0, self.height - eps))
+        (
+            x.clamp(0.0, self.width - eps),
+            y.clamp(0.0, self.height - eps),
+        )
     }
 }
 
@@ -42,7 +45,12 @@ impl GcellGrid {
     pub fn cover(die: Die, gcell_size: f64) -> Self {
         let nx = (die.width / gcell_size).ceil().max(1.0) as usize;
         let ny = (die.height / gcell_size).ceil().max(1.0) as usize;
-        Self { nx, ny, dx: die.width / nx as f64, dy: die.height / ny as f64 }
+        Self {
+            nx,
+            ny,
+            dx: die.width / nx as f64,
+            dy: die.height / ny as f64,
+        }
     }
 
     /// Total number of GCells.
@@ -113,12 +121,19 @@ impl Floorplan {
     pub fn for_area(total_cell_area: f64, utilization: f64, tech: &Technology) -> Self {
         let die_area = (total_cell_area / (2.0 * utilization.clamp(0.05, 0.95))).max(1.0);
         let side = die_area.sqrt();
-        let die = Die { width: side, height: side };
+        let die = Die {
+            width: side,
+            height: side,
+        };
         // Keep the GCell grid between ~32 and 224 cells per side: miniature
         // dies get proportionally smaller GCells (routing capacity scales
         // with GCell size, so capacity per area stays constant).
         let gcell = tech.gcell_size.min(side / 32.0).max(side / 224.0);
-        Self { die, grid: GcellGrid::cover(die, gcell), row_height: tech.site_height }
+        Self {
+            die,
+            grid: GcellGrid::cover(die, gcell),
+            row_height: tech.site_height,
+        }
     }
 
     /// Number of standard-cell rows on each die.
@@ -133,7 +148,10 @@ mod tests {
 
     #[test]
     fn grid_covers_die_exactly() {
-        let die = Die { width: 10.0, height: 7.0 };
+        let die = Die {
+            width: 10.0,
+            height: 7.0,
+        };
         let g = GcellGrid::cover(die, 1.5);
         assert_eq!(g.nx, 7);
         assert_eq!(g.ny, 5);
@@ -143,7 +161,13 @@ mod tests {
 
     #[test]
     fn col_row_clamp_out_of_range() {
-        let g = GcellGrid::cover(Die { width: 10.0, height: 10.0 }, 1.0);
+        let g = GcellGrid::cover(
+            Die {
+                width: 10.0,
+                height: 10.0,
+            },
+            1.0,
+        );
         assert_eq!(g.col(-5.0), 0);
         assert_eq!(g.col(100.0), g.nx - 1);
         assert_eq!(g.row(9.99), g.ny - 1);
@@ -160,7 +184,13 @@ mod tests {
 
     #[test]
     fn bounds_tile_the_die() {
-        let g = GcellGrid::cover(Die { width: 4.0, height: 4.0 }, 2.0);
+        let g = GcellGrid::cover(
+            Die {
+                width: 4.0,
+                height: 4.0,
+            },
+            2.0,
+        );
         let (x0, y0, x1, y1) = g.bounds(1, 1);
         assert_eq!((x0, y0, x1, y1), (2.0, 2.0, 4.0, 4.0));
         assert_eq!(g.idx(1, 1), 3);

@@ -174,7 +174,12 @@ pub struct GeneratorConfig {
 impl GeneratorConfig {
     /// Configuration matching one of the paper's six designs at full size.
     pub fn for_profile(profile: DesignProfile) -> Self {
-        Self { profile, scale: 1.0, utilization: 0.62, technology: Technology::sim_3nm() }
+        Self {
+            profile,
+            scale: 1.0,
+            utilization: 0.62,
+            technology: Technology::sim_3nm(),
+        }
     }
 
     /// Scale all counts by `scale` (e.g. 0.1 for a 10% miniature). Values are
@@ -216,7 +221,9 @@ impl GeneratorConfig {
         // small scales, which distorts every flow comparison).
         let n_ios = (((s.ios as f64) * self.scale) as usize).clamp(4, n_cells / 2);
         if n_cells < 8 {
-            return Err(NetlistError::InvalidConfig("scaled design too small".into()));
+            return Err(NetlistError::InvalidConfig(
+                "scaled design too small".into(),
+            ));
         }
         let n_clusters =
             ((s.clustering as f64 * self.scale.sqrt()).round() as usize).clamp(4, n_cells / 2);
@@ -225,6 +232,7 @@ impl GeneratorConfig {
         let mut b = NetlistBuilder::new(self.profile.name());
 
         // --- Cells ---------------------------------------------------------
+        // lint: allow(unwrap) — constant parameters are statically valid
         let width_dist = LogNormal::new(0.0_f64, 0.45).expect("valid lognormal");
         let tech = &self.technology;
         let mut classes = Vec::with_capacity(n_cells);
@@ -235,8 +243,14 @@ impl GeneratorConfig {
                 CellClass::Combinational
             };
             classes.push(class);
-            let base_sites = if class == CellClass::Sequential { 4.0 } else { 2.0 };
-            let sites = (base_sites * width_dist.sample(&mut rng)).clamp(1.0, 24.0).round();
+            let base_sites = if class == CellClass::Sequential {
+                4.0
+            } else {
+                2.0
+            };
+            let sites = (base_sites * width_dist.sample(&mut rng))
+                .clamp(1.0, 24.0)
+                .round();
             let width = sites * tech.site_width;
             let drive = rng.gen_range(2.0..9.0);
             b.add_cell(Cell {
@@ -299,6 +313,7 @@ impl GeneratorConfig {
 
         // --- Signal nets -----------------------------------------------------
         let fanout_p = 1.0 / s.fanout_mean.max(1.01);
+        // lint: allow(unwrap) — fanout_p is clamped into (0, 1] just above
         let fanout_dist = Geometric::new(fanout_p).expect("valid geometric");
         for n in 0..n_nets {
             let driver = rng.gen_range(0..n_cells);
@@ -334,7 +349,11 @@ impl GeneratorConfig {
             let ports = rng.gen_range(8..24usize);
             for p in 0..ports {
                 let peer = rng.gen_range(0..n_cells);
-                let dir = if p % 2 == 0 { PinDirection::Output } else { PinDirection::Input };
+                let dir = if p % 2 == 0 {
+                    PinDirection::Output
+                } else {
+                    PinDirection::Input
+                };
                 let peer_dir = match dir {
                     PinDirection::Output => PinDirection::Input,
                     PinDirection::Input => PinDirection::Output,
@@ -355,7 +374,10 @@ impl GeneratorConfig {
             } else {
                 (PinDirection::Input, PinDirection::Output)
             };
-            b.add_net(format!("ionet{i}"), &[(io, io_dir), (CellId(peer as u32), peer_dir)]);
+            b.add_net(
+                format!("ionet{i}"),
+                &[(io, io_dir), (CellId(peer as u32), peer_dir)],
+            );
         }
 
         // --- Clock net --------------------------------------------------------
@@ -413,7 +435,13 @@ fn initial_placement(
     let ch = fp.die.height / grid as f64;
 
     let cluster_tier: Vec<Tier> = (0..n_clusters)
-        .map(|_| if rng.gen_bool(0.5) { Tier::Top } else { Tier::Bottom })
+        .map(|_| {
+            if rng.gen_bool(0.5) {
+                Tier::Top
+            } else {
+                Tier::Bottom
+            }
+        })
         .collect();
 
     let n_std = n - macro_ids.len() - io_ids.len();
@@ -505,8 +533,14 @@ mod tests {
             .expect("gen");
         for id in d.netlist.cell_ids() {
             let (x, y) = (d.placement.x(id), d.placement.y(id));
-            assert!(x >= 0.0 && x <= d.floorplan.die.width, "x out of range: {x}");
-            assert!(y >= 0.0 && y <= d.floorplan.die.height, "y out of range: {y}");
+            assert!(
+                x >= 0.0 && x <= d.floorplan.die.width,
+                "x out of range: {x}"
+            );
+            assert!(
+                y >= 0.0 && y <= d.floorplan.die.height,
+                "y out of range: {y}"
+            );
         }
     }
 
@@ -517,7 +551,11 @@ mod tests {
             .with_utilization(0.7)
             .generate(5)
             .expect("gen");
-        assert!((d.utilization() - 0.7).abs() < 0.02, "util = {}", d.utilization());
+        assert!(
+            (d.utilization() - 0.7).abs() < 0.02,
+            "util = {}",
+            d.utilization()
+        );
     }
 
     #[test]
@@ -526,8 +564,11 @@ mod tests {
             .with_scale(0.01)
             .generate(11)
             .expect("gen");
-        let clock_nets: Vec<_> =
-            d.netlist.net_ids().filter(|&n| d.netlist.net(n).is_clock).collect();
+        let clock_nets: Vec<_> = d
+            .netlist
+            .net_ids()
+            .filter(|&n| d.netlist.net(n).is_clock)
+            .collect();
         assert_eq!(clock_nets.len(), 1);
         let seq = d
             .netlist

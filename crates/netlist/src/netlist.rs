@@ -42,7 +42,13 @@ impl Netlist {
         for (i, pin) in pins.iter().enumerate() {
             pins_of_cell[pin.cell.index()].push(PinId(i as u32));
         }
-        Ok(Self { name, cells, nets, pins, pins_of_cell })
+        Ok(Self {
+            name,
+            cells,
+            nets,
+            pins,
+            pins_of_cell,
+        })
     }
 
     /// Design name.
@@ -72,7 +78,10 @@ impl Netlist {
 
     /// Number of IO pads.
     pub fn num_ios(&self) -> usize {
-        self.cells.iter().filter(|c| c.class == crate::CellClass::Io).count()
+        self.cells
+            .iter()
+            .filter(|c| c.class == crate::CellClass::Io)
+            .count()
     }
 
     /// Look up a cell.
@@ -210,7 +219,11 @@ mod tests {
         b.add_net("n0", &[(a, PinDirection::Output), (c, PinDirection::Input)]);
         b.add_net(
             "n1",
-            &[(c, PinDirection::Output), (d, PinDirection::Input), (a, PinDirection::Input)],
+            &[
+                (c, PinDirection::Output),
+                (d, PinDirection::Input),
+                (a, PinDirection::Input),
+            ],
         );
         b.finish().expect("valid netlist")
     }
@@ -242,7 +255,9 @@ mod tests {
         for (u, edges) in adj.iter().enumerate() {
             for &(v, w) in edges {
                 assert!(
-                    adj[v.index()].iter().any(|&(x, xw)| x.index() == u && (xw - w).abs() < 1e-12),
+                    adj[v.index()]
+                        .iter()
+                        .any(|&(x, xw)| x.index() == u && (xw - w).abs() < 1e-12),
                     "edge ({u}, {v}) not mirrored"
                 );
             }

@@ -68,7 +68,10 @@ impl Placement3 {
     /// differ.
     pub fn from_vecs(x: Vec<f64>, y: Vec<f64>, tier: Vec<Tier>) -> Result<Self, NetlistError> {
         if x.len() != y.len() || x.len() != tier.len() {
-            return Err(NetlistError::PlacementSizeMismatch { cells: x.len(), got: tier.len() });
+            return Err(NetlistError::PlacementSizeMismatch {
+                cells: x.len(),
+                got: tier.len(),
+            });
         }
         Ok(Self { x, y, tier })
     }

@@ -71,9 +71,10 @@ pub fn detailed_place(
                 continue;
             }
             cells.sort_by(|&a, &b| {
-                (placement.x(a), placement.y(a))
-                    .partial_cmp(&(placement.x(b), placement.y(b)))
-                    .expect("finite coordinates")
+                placement
+                    .x(a)
+                    .total_cmp(&placement.x(b))
+                    .then(placement.y(a).total_cmp(&placement.y(b)))
             });
             for i in 0..cells.len() {
                 for j in (i + 1)..(i + 1 + window).min(cells.len()) {
@@ -171,7 +172,9 @@ mod tests {
                 .filter(|&id| d.netlist.cell(id).movable() && p.tier(id) == tier)
                 .collect();
             cells.sort_by(|&a, &b| {
-                (p.y(a), p.x(a)).partial_cmp(&(p.y(b), p.x(b))).expect("finite")
+                (p.y(a), p.x(a))
+                    .partial_cmp(&(p.y(b), p.x(b)))
+                    .expect("finite")
             });
             for w in cells.windows(2) {
                 if (p.y(w[0]) - p.y(w[1])).abs() < 1e-9 {

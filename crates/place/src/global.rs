@@ -53,7 +53,11 @@ impl<'a> GlobalPlacer<'a> {
         for pass in 0..passes {
             let iters = 12
                 + 8 * params.initial_place_effort as usize
-                + if pass + 1 == passes { 8 * params.final_place_effort as usize } else { 0 };
+                + if pass + 1 == passes {
+                    8 * params.final_place_effort as usize
+                } else {
+                    0
+                };
             for it in 0..iters {
                 let alpha = 0.6 * (1.0 - it as f64 / iters as f64) + 0.1;
                 self.wirelength_step(&mut p, &adj, alpha);
@@ -169,7 +173,9 @@ impl<'a> GlobalPlacer<'a> {
             }
             density[t].add(col, row, amount);
         }
-        let target = params.max_density.min(params.congestion_driven_max_util.max(0.3)) as f32;
+        let target = params
+            .max_density
+            .min(params.congestion_driven_max_util.max(0.3)) as f32;
         for id in netlist.cell_ids() {
             if !netlist.cell(id).movable() {
                 continue;
@@ -253,16 +259,15 @@ impl<'a> GlobalPlacer<'a> {
             }
             maps
         };
-        for t in 0..2 {
-            let m = &demand[t];
+        for (t, m) in demand.iter().enumerate() {
             let mx = m.max();
             if mx <= 0.0 {
                 continue;
             }
             // Demand above this fraction of the peak counts as hot; lower
             // target_routing_density widens the hot set.
-            let aggressiveness = (params.target_routing_density
-                * params.adv_node_cong_max_util.max(0.3)) as f32;
+            let aggressiveness =
+                (params.target_routing_density * params.adv_node_cong_max_util.max(0.3)) as f32;
             let threshold = mx * (0.55 + 0.40 * aggressiveness.clamp(0.0, 1.0));
             let tier = if t == 1 { Tier::Top } else { Tier::Bottom };
             for id in netlist.cell_ids() {

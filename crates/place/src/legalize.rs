@@ -27,7 +27,11 @@ pub struct LegalizeStats {
 /// processed in x order per tier (classic Tetris); each is placed at the
 /// nearest feasible position in the best row within a search window around
 /// its global-placement row.
-pub fn legalize(design: &Design, placement: &mut Placement3, displacement_threshold: u8) -> LegalizeStats {
+pub fn legalize(
+    design: &Design,
+    placement: &mut Placement3,
+    displacement_threshold: u8,
+) -> LegalizeStats {
     let mut stats = LegalizeStats::default();
     rebalance_tiers(design, placement);
     for tier in [Tier::Bottom, Tier::Top] {
@@ -56,9 +60,9 @@ fn rebalance_tiers(design: &Design, placement: &mut Placement3) {
             widths[usize::from(placement.tier(id) == Tier::Top)] += cell.width * rows_spanned;
         }
     }
-    for t in 0..2 {
+    for (t, &used) in widths.iter().enumerate() {
         let cap = row_capacity * margin;
-        if widths[t] <= cap {
+        if used <= cap {
             continue;
         }
         let from = if t == 1 { Tier::Top } else { Tier::Bottom };
@@ -68,9 +72,13 @@ fn rebalance_tiers(design: &Design, placement: &mut Placement3) {
             .filter(|&id| netlist.cell(id).movable() && placement.tier(id) == from)
             .collect();
         candidates.sort_by(|&a, &b| {
-            netlist.cell(b).width.total_cmp(&netlist.cell(a).width).then(a.0.cmp(&b.0))
+            netlist
+                .cell(b)
+                .width
+                .total_cmp(&netlist.cell(a).width)
+                .then(a.0.cmp(&b.0))
         });
-        let mut excess = widths[t] - cap;
+        let mut excess = used - cap;
         for id in candidates {
             if excess <= 0.0 {
                 break;
@@ -103,8 +111,8 @@ fn legalize_tier(
             let y1 = y0 + cell.height;
             let r0 = ((y0 / row_h).floor().max(0.0)) as usize;
             let r1 = (((y1 / row_h).ceil()) as usize).min(n_rows);
-            for r in r0..r1 {
-                rows[r].block(placement.x(id), placement.x(id) + cell.width);
+            for row in &mut rows[r0..r1] {
+                row.block(placement.x(id), placement.x(id) + cell.width);
             }
         }
     }
@@ -138,7 +146,11 @@ fn legalize_tier(
                 }
             }
         }
-        let (row, x, cost) = best.expect("a row always has space in a <1.0 utilization die");
+        let Some((row, x, cost)) = best else {
+            // No row can host the cell: the die is over-packed, which
+            // violates the generator/placer utilization contract (< 1.0).
+            panic!("legalize: no free interval fits cell {id:?} on tier {tier:?}; die utilization exceeds 1.0");
+        };
         placement.set_xy(id, x, row as f64 * row_h);
         rows[row].block(x, x + cell.width);
         if cost > 1e-9 {
@@ -161,7 +173,9 @@ struct FreeRow {
 
 impl FreeRow {
     fn new(width: f64) -> Self {
-        Self { free: vec![(0.0, width)] }
+        Self {
+            free: vec![(0.0, width)],
+        }
     }
 
     /// Remove `[x0, x1)` from the free set.
@@ -202,7 +216,11 @@ impl FreeRow {
 /// Rows at exactly `radius` from `center` (both directions), within range.
 fn candidate_rows(center: usize, radius: usize, n_rows: usize) -> impl Iterator<Item = usize> {
     let lo = center.checked_sub(radius);
-    let hi = if radius > 0 && center + radius < n_rows { Some(center + radius) } else { None };
+    let hi = if radius > 0 && center + radius < n_rows {
+        Some(center + radius)
+    } else {
+        None
+    };
     lo.into_iter().chain(hi)
 }
 
@@ -233,13 +251,19 @@ mod tests {
                 .filter(|&id| d.netlist.cell(id).movable() && p.tier(id) == tier)
                 .collect();
             cells.sort_by(|&a, &b| {
-                (p.y(a), p.x(a)).partial_cmp(&(p.y(b), p.x(b))).expect("finite")
+                (p.y(a), p.x(a))
+                    .partial_cmp(&(p.y(b), p.x(b)))
+                    .expect("finite")
             });
             for w in cells.windows(2) {
                 let (a, b) = (w[0], w[1]);
                 // on-row check
                 let ra = p.y(a) / row_h;
-                assert!((ra - ra.round()).abs() < 1e-6, "cell not on row: y={}", p.y(a));
+                assert!(
+                    (ra - ra.round()).abs() < 1e-6,
+                    "cell not on row: y={}",
+                    p.y(a)
+                );
                 // overlap check within the same row
                 if (p.y(a) - p.y(b)).abs() < 1e-9 {
                     assert!(

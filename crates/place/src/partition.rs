@@ -26,14 +26,20 @@ pub fn fm_bipartition(
     let mut tier: Vec<Tier> = initial.to_vec();
     let movable: Vec<bool> = netlist.cells().map(|c| c.movable()).collect();
     let areas: Vec<f64> = netlist.cells().map(|c| c.area()).collect();
-    let total_movable_area: f64 =
-        areas.iter().zip(&movable).filter(|&(_, &m)| m).map(|(a, _)| a).sum();
+    let total_movable_area: f64 = areas
+        .iter()
+        .zip(&movable)
+        .filter(|&(_, &m)| m)
+        .map(|(a, _)| a)
+        .sum();
     let half = total_movable_area / 2.0;
     let slack = total_movable_area * balance_tolerance;
 
     // net -> cells (deduped), cell -> nets
-    let net_cells: Vec<Vec<CellId>> =
-        netlist.net_ids().map(|nid| netlist.net_cells(nid)).collect();
+    let net_cells: Vec<Vec<CellId>> = netlist
+        .net_ids()
+        .map(|nid| netlist.net_cells(nid))
+        .collect();
     let mut cell_nets: Vec<Vec<NetId>> = vec![Vec::new(); n];
     for (ni, cells) in net_cells.iter().enumerate() {
         for &c in cells {
@@ -81,7 +87,13 @@ pub fn fm_bipartition(
         // best prefix.
         let mut locked = vec![false; n];
         let mut gains: Vec<i64> = (0..n)
-            .map(|i| if movable[i] { gain_of(i, &tier, &top_count, &bot_count) } else { i64::MIN })
+            .map(|i| {
+                if movable[i] {
+                    gain_of(i, &tier, &top_count, &bot_count)
+                } else {
+                    i64::MIN
+                }
+            })
             .collect();
         let mut heap: std::collections::BinaryHeap<(i64, usize)> = (0..n)
             .filter(|&i| movable[i])
@@ -133,8 +145,7 @@ pub fn fm_bipartition(
             // A prefix is preferable if it restores balance that the best
             // one lacks, or matches its balance with a better cut gain.
             let balanced_now = (cur_top_area - half).abs() <= slack;
-            if (balanced_now && !best_balanced)
-                || (balanced_now == best_balanced && cum > best_cum)
+            if (balanced_now && !best_balanced) || (balanced_now == best_balanced && cum > best_cum)
             {
                 best_cum = cum;
                 best_prefix = moves.len();
@@ -214,8 +225,9 @@ mod tests {
     /// between them. FM should put each cluster on its own tier.
     fn clustered() -> Netlist {
         let mut b = NetlistBuilder::new("clusters");
-        let cells: Vec<_> =
-            (0..8).map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational)).collect();
+        let cells: Vec<_> = (0..8)
+            .map(|i| b.add_cell_simple(format!("c{i}"), CellClass::Combinational))
+            .collect();
         for g in 0..2 {
             let base = g * 4;
             for i in 0..4 {
@@ -230,7 +242,13 @@ mod tests {
                 }
             }
         }
-        b.add_net("bridge", &[(cells[0], PinDirection::Output), (cells[4], PinDirection::Input)]);
+        b.add_net(
+            "bridge",
+            &[
+                (cells[0], PinDirection::Output),
+                (cells[4], PinDirection::Input),
+            ],
+        );
         b.finish().expect("valid")
     }
 
@@ -238,8 +256,9 @@ mod tests {
     fn fm_finds_the_natural_cut() {
         let n = clustered();
         // Adversarial start: alternate tiers, cutting many nets.
-        let initial: Vec<Tier> =
-            (0..8).map(|i| if i % 2 == 0 { Tier::Top } else { Tier::Bottom }).collect();
+        let initial: Vec<Tier> = (0..8)
+            .map(|i| if i % 2 == 0 { Tier::Top } else { Tier::Bottom })
+            .collect();
         assert!(cut_size(&n, &initial) > 1);
         let out = fm_bipartition(&n, &initial, 0.2, 8);
         assert_eq!(cut_size(&n, &out), 1, "only the bridge net should be cut");
@@ -272,8 +291,9 @@ mod tests {
     #[test]
     fn never_worse_than_initial() {
         let n = clustered();
-        let initial: Vec<Tier> =
-            (0..8).map(|i| if i < 4 { Tier::Top } else { Tier::Bottom }).collect();
+        let initial: Vec<Tier> = (0..8)
+            .map(|i| if i < 4 { Tier::Top } else { Tier::Bottom })
+            .collect();
         let before = cut_size(&n, &initial);
         let out = fm_bipartition(&n, &initial, 0.2, 4);
         assert!(cut_size(&n, &out) <= before);

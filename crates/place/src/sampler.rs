@@ -56,7 +56,11 @@ impl<'a> LayoutSampler<'a> {
                 let params = PlacementParams::sample(&mut rng);
                 let mut placement = placer.place(&params, s);
                 legalize(self.design, &mut placement, params.displacement_threshold);
-                SampledLayout { params, placement, seed: s }
+                SampledLayout {
+                    params,
+                    placement,
+                    seed: s,
+                }
             })
             .collect()
     }
@@ -80,7 +84,10 @@ mod tests {
             assert_eq!(x.placement, y.placement, "same seed must reproduce");
             assert_eq!(x.params, y.params);
         }
-        assert_ne!(a[0].placement, a[1].placement, "different draws must differ");
+        assert_ne!(
+            a[0].placement, a[1].placement,
+            "different draws must differ"
+        );
         assert_ne!(a[0].params, a[1].params);
     }
 }

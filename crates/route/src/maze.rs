@@ -59,7 +59,12 @@ pub fn maze_route(
         }
         let (uc, ur) = (u % w + lo_c, u / w + lo_r);
         let du = dist[u];
-        for (dc, dr, horiz) in [(-1i64, 0i64, true), (1, 0, true), (0, -1, false), (0, 1, false)] {
+        for (dc, dr, horiz) in [
+            (-1i64, 0i64, true),
+            (1, 0, true),
+            (0, -1, false),
+            (0, 1, false),
+        ] {
             let nc = uc as i64 + dc;
             let nr = ur as i64 + dr;
             if nc < lo_c as i64 || nc > hi_c as i64 || nr < lo_r as i64 || nr > hi_r as i64 {

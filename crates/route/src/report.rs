@@ -43,7 +43,11 @@ impl OverflowReport {
             total,
             h_overflow,
             v_overflow,
-            overflow_gcell_pct: if cells > 0 { 100.0 * ovf_cells as f64 / cells as f64 } else { 0.0 },
+            overflow_gcell_pct: if cells > 0 {
+                100.0 * ovf_cells as f64 / cells as f64
+            } else {
+                0.0
+            },
             per_die,
         }
     }

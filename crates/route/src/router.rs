@@ -98,9 +98,15 @@ impl<'a> Router<'a> {
         // grid so routing capacity per unit area is constant.
         let h_cap = (tech.h_tracks_per_gcell as f64 * grid.dy / tech.gcell_size).max(1.0) as f32;
         let v_cap = (tech.v_tracks_per_gcell as f64 * grid.dx / tech.gcell_size).max(1.0) as f32;
-        let bond_cap =
-            ((grid.dx * grid.dy) / (tech.bond_pitch * tech.bond_pitch)).max(1.0) as f32;
-        Self { design, cfg, grid, h_cap, v_cap, bond_cap }
+        let bond_cap = ((grid.dx * grid.dy) / (tech.bond_pitch * tech.bond_pitch)).max(1.0) as f32;
+        Self {
+            design,
+            cfg,
+            grid,
+            h_cap,
+            v_cap,
+            bond_cap,
+        }
     }
 
     /// Route all signal nets of `placement` and report congestion.
@@ -115,7 +121,12 @@ impl<'a> Router<'a> {
             if netlist.net(net_id).is_clock {
                 continue;
             }
-            segments.extend(decompose_net(netlist, placement, net_id, self.cfg.max_mst_pins));
+            segments.extend(decompose_net(
+                netlist,
+                placement,
+                net_id,
+                self.cfg.max_mst_pins,
+            ));
         }
         segments.sort_by(|a, b| a.manhattan_length().total_cmp(&b.manhattan_length()));
 
@@ -136,7 +147,8 @@ impl<'a> Router<'a> {
 
         // Negotiated-congestion refinement.
         for _ in 0..self.cfg.rrr_iterations {
-            let overfull = state.mark_overflow_history(self.h_cap, self.v_cap, self.cfg.history_increment);
+            let overfull =
+                state.mark_overflow_history(self.h_cap, self.v_cap, self.cfg.history_increment);
             if !overfull {
                 break;
             }
@@ -208,7 +220,8 @@ impl<'a> Router<'a> {
             for i in 0..g.len() {
                 let hu = state.h[die].data()[i];
                 let vu = state.v[die].data()[i];
-                congestion[die].data_mut()[i] = (hu - self.h_cap).max(0.0) + (vu - self.v_cap).max(0.0);
+                congestion[die].data_mut()[i] =
+                    (hu - self.h_cap).max(0.0) + (vu - self.v_cap).max(0.0);
                 utilization[die].data_mut()[i] = 0.5 * (hu / self.h_cap + vu / self.v_cap);
             }
         }
@@ -252,30 +265,32 @@ impl<'a> Router<'a> {
         } else {
             // Split at a bonding point: try both L corners plus the midpoint,
             // folding the bond-site congestion into the candidate cost.
-            let candidates = [
-                (c1, r0),
-                (c0, r1),
-                ((c0 + c1) / 2, (r0 + r1) / 2),
-            ];
-            let mut best: Option<(Vec<Step>, (u16, u16), f32)> = None;
+            let candidates = [(c1, r0), (c0, r1), ((c0 + c1) / 2, (r0 + r1) / 2)];
+            let mut best: (Vec<Step>, (u16, u16), f32) = (Vec::new(), candidates[0], f32::INFINITY);
             for &(bc, br) in &candidates {
                 let mut path = self.best_planar(c0, r0, bc, br, d0, state, use_z);
                 path.extend(self.best_planar(bc, br, c1, r1, d1, state, use_z));
                 let bond_pressure = {
                     let u = state.bonds.get(bc as usize, br as usize);
+                    debug_assert!(u.is_finite(), "bond usage at ({bc}, {br}) is non-finite");
                     (u + 1.0 - self.bond_cap).max(0.0) * self.cfg.overflow_penalty
                 };
                 let cost = self.path_cost(&path, state) + bond_pressure;
-                if best.as_ref().map(|(_, _, bcost)| cost < *bcost).unwrap_or(true) {
-                    best = Some((path, (bc, br), cost));
+                if cost < best.2 {
+                    best = (path, (bc, br), cost);
                 }
             }
-            let (path, bond, _) = best.expect("candidates are non-empty");
+            debug_assert!(
+                best.2.is_finite(),
+                "every bond candidate had non-finite cost"
+            );
+            let (path, bond, _) = best;
             (path, Some(bond))
         }
     }
 
     /// Cheapest pattern route between two GCells on one die.
+    #[allow(clippy::too_many_arguments)]
     fn best_planar(
         &self,
         c0: u16,
@@ -286,14 +301,16 @@ impl<'a> Router<'a> {
         state: &RouteState,
         use_z: bool,
     ) -> Vec<Step> {
-        let mut best: Option<(Vec<Step>, f32)> = None;
+        // seed with the first L shape so `best` is never empty
+        let seed = l_path(c0, r0, c1, r1, die, true);
+        let seed_cost = self.path_cost(&seed, state);
+        let mut best: (Vec<Step>, f32) = (seed, seed_cost);
         let mut consider = |path: Vec<Step>, this: &Self| {
             let cost = this.path_cost(&path, state);
-            if best.as_ref().map(|(_, bc)| cost < *bc).unwrap_or(true) {
-                best = Some((path, cost));
+            if cost < best.1 {
+                best = (path, cost);
             }
         };
-        consider(l_path(c0, r0, c1, r1, die, true), self);
         consider(l_path(c0, r0, c1, r1, die, false), self);
         if use_z && c0 != c1 && r0 != r1 {
             let (clo, chi) = (c0.min(c1), c0.max(c1));
@@ -305,11 +322,13 @@ impl<'a> Router<'a> {
                 consider(z_path_vhv(c0, r0, c1, r1, rm, die), self);
             }
         }
-        best.expect("at least one L candidate").0
+        best.0
     }
 
     fn path_cost(&self, path: &[Step], state: &RouteState) -> f32 {
-        path.iter().map(|s| state.step_cost(s, self.h_cap, self.v_cap, self.cfg.overflow_penalty)).sum()
+        path.iter()
+            .map(|s| state.step_cost(s, self.h_cap, self.v_cap, self.cfg.overflow_penalty))
+            .sum()
     }
 
     /// Maze-route one segment (both planar pieces for cross-tier segments).
@@ -334,7 +353,12 @@ impl<'a> Router<'a> {
             match crate::maze::maze_route(&oracle, g.nx, g.ny, from, to, self.cfg.maze_margin) {
                 Some(steps) => steps
                     .into_iter()
-                    .map(|(col, row, horiz)| Step { die, col: col as u16, row: row as u16, horiz })
+                    .map(|(col, row, horiz)| Step {
+                        die,
+                        col: col as u16,
+                        row: row as u16,
+                        horiz,
+                    })
                     .collect(),
                 None => Vec::new(),
             }
@@ -361,8 +385,14 @@ struct DieCost<'a> {
 
 impl crate::maze::MazeCost for DieCost<'_> {
     fn step_cost(&self, col: usize, row: usize, horiz: bool) -> f32 {
-        let s = Step { die: self.die as u8, col: col as u16, row: row as u16, horiz };
-        self.state.step_cost(&s, self.h_cap, self.v_cap, self.penalty)
+        let s = Step {
+            die: self.die as u8,
+            col: col as u16,
+            row: row as u16,
+            horiz,
+        };
+        self.state
+            .step_cost(&s, self.h_cap, self.v_cap, self.penalty)
     }
 }
 
@@ -504,14 +534,24 @@ fn z_path_vhv(c0: u16, r0: u16, c1: u16, r1: u16, rm: u16, die: u8) -> Vec<Step>
 fn push_h_run(path: &mut Vec<Step>, c0: u16, c1: u16, row: u16, die: u8) {
     let (lo, hi) = (c0.min(c1), c0.max(c1));
     for col in lo..hi {
-        path.push(Step { die, col, row, horiz: true });
+        path.push(Step {
+            die,
+            col,
+            row,
+            horiz: true,
+        });
     }
 }
 
 fn push_v_run(path: &mut Vec<Step>, r0: u16, r1: u16, col: u16, die: u8) {
     let (lo, hi) = (r0.min(r1), r0.max(r1));
     for row in lo..hi {
-        path.push(Step { die, col, row, horiz: false });
+        path.push(Step {
+            die,
+            col,
+            row,
+            horiz: false,
+        });
     }
 }
 
@@ -521,7 +561,10 @@ mod tests {
     use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 
     fn design() -> Design {
-        GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.03).generate(5).expect("gen")
+        GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.03)
+            .generate(5)
+            .expect("gen")
     }
 
     #[test]
@@ -552,14 +595,24 @@ mod tests {
         assert!(r.wirelength > 0.0);
         // congestion labels agree with the report
         let label_sum: f32 = r.congestion[0].sum() + r.congestion[1].sum();
-        assert!((label_sum as f64 - rep.total).abs() < 1.0, "{label_sum} vs {}", rep.total);
+        assert!(
+            (label_sum as f64 - rep.total).abs() < 1.0,
+            "{label_sum} vs {}",
+            rep.total
+        );
     }
 
     #[test]
     fn rrr_never_increases_overflow() {
         let d = design();
-        let base = Router::new(&d, RouterConfig { rrr_iterations: 0, ..RouterConfig::default() })
-            .route(&d.placement);
+        let base = Router::new(
+            &d,
+            RouterConfig {
+                rrr_iterations: 0,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&d.placement);
         let refined = Router::new(&d, RouterConfig::default()).route(&d.placement);
         assert!(
             refined.report.total <= base.report.total,
@@ -590,8 +643,15 @@ mod tests {
                 top && bot
             })
             .count();
-        assert!(signal_cut > 0, "test design should have cross-tier signal nets");
-        assert!(r.bond_count >= signal_cut, "bonds {} < cut {signal_cut}", r.bond_count);
+        assert!(
+            signal_cut > 0,
+            "test design should have cross-tier signal nets"
+        );
+        assert!(
+            r.bond_count >= signal_cut,
+            "bonds {} < cut {signal_cut}",
+            r.bond_count
+        );
     }
 
     #[test]
@@ -599,7 +659,12 @@ mod tests {
         let d = design();
         let r = Router::new(&d, RouterConfig::default()).route(&d.placement);
         // every cross-tier segment placed exactly one bond
-        assert!((r.bond_usage.sum() as usize) == r.bond_count, "{} vs {}", r.bond_usage.sum(), r.bond_count);
+        assert!(
+            (r.bond_usage.sum() as usize) == r.bond_count,
+            "{} vs {}",
+            r.bond_usage.sum(),
+            r.bond_count
+        );
         assert!(r.bond_usage.min() >= 0.0);
         assert!(r.bond_overflow >= 0.0);
     }
@@ -622,7 +687,10 @@ mod tests {
         let d = design();
         let no_maze = Router::new(
             &d,
-            RouterConfig { maze_margin: 0, ..RouterConfig::default() },
+            RouterConfig {
+                maze_margin: 0,
+                ..RouterConfig::default()
+            },
         )
         .route(&d.placement);
         let with_maze = Router::new(&d, RouterConfig::default()).route(&d.placement);

@@ -61,7 +61,13 @@ pub fn decompose_net(
         // Star from the driver (pin 0 by convention).
         let (hub, hub_t) = pts[0];
         for &(p, t) in &pts[1..] {
-            segs.push(Segment3 { net, from: hub, from_tier: hub_t, to: p, to_tier: t });
+            segs.push(Segment3 {
+                net,
+                from: hub,
+                from_tier: hub_t,
+                to: p,
+                to_tier: t,
+            });
         }
         return segs;
     }
@@ -80,8 +86,8 @@ pub fn decompose_net(
     let mut best_d = vec![f64::INFINITY; n];
     let mut best_parent = vec![0usize; n];
     in_tree[0] = true;
-    for j in 1..n {
-        best_d[j] = dist(0, j);
+    for (j, d) in best_d.iter_mut().enumerate().skip(1) {
+        *d = dist(0, j);
     }
     for _ in 1..n {
         let mut pick = usize::MAX;
@@ -131,7 +137,14 @@ mod tests {
             .iter()
             .enumerate()
             .map(|(i, &c)| {
-                (c, if i == 0 { PinDirection::Output } else { PinDirection::Input })
+                (
+                    c,
+                    if i == 0 {
+                        PinDirection::Output
+                    } else {
+                        PinDirection::Input
+                    },
+                )
             })
             .collect();
         b.add_net("n", &conns);

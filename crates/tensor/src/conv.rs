@@ -13,6 +13,13 @@ pub fn conv_out_size(input: usize, kernel: usize, stride: usize, pad: usize) -> 
     (input + 2 * pad - kernel) / stride + 1
 }
 
+/// Destructure a rank-4 shape, asserting the rank.
+#[inline]
+fn dims4(shape: &[usize], what: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(shape.len(), 4, "{what} must be rank-4, got {shape:?}");
+    (shape[0], shape[1], shape[2], shape[3])
+}
+
 /// Unfold one image `[C, H, W]` into columns `[C*KH*KW, OH*OW]`.
 fn im2col(
     x: &[f32],
@@ -98,8 +105,8 @@ pub fn conv2d_forward(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("conv2d input must be 4D");
-    let [cout, cin2, kh, kw]: [usize; 4] = w.shape().try_into().expect("conv2d weight must be 4D");
+    let (bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
+    let (cout, cin2, kh, kw) = dims4(w.shape(), "conv2d weight");
     assert_eq!(cin, cin2, "conv2d channel mismatch");
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(wd, kw, stride, pad);
@@ -108,7 +115,13 @@ pub fn conv2d_forward(
     let per_img = cin * h * wd;
     let per_out = cout * oh * ow;
     for bi in 0..bsz {
-        let cols = im2col(&x.data()[bi * per_img..(bi + 1) * per_img], (cin, h, wd), (kh, kw), stride, pad);
+        let cols = im2col(
+            &x.data()[bi * per_img..(bi + 1) * per_img],
+            (cin, h, wd),
+            (kh, kw),
+            stride,
+            pad,
+        );
         let y = wmat.matmul(&cols); // [cout, oh*ow]
         out[bi * per_out..(bi + 1) * per_out].copy_from_slice(y.data());
     }
@@ -137,8 +150,8 @@ pub fn conv2d_backward(
     pad: usize,
     gy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("conv2d input must be 4D");
-    let [cout, _, kh, kw]: [usize; 4] = w.shape().try_into().expect("conv2d weight must be 4D");
+    let (bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
+    let (cout, _, kh, kw) = dims4(w.shape(), "conv2d weight");
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(wd, kw, stride, pad);
     let wmat = w.clone().reshaped(&[cout, cin * kh * kw]);
@@ -149,14 +162,24 @@ pub fn conv2d_backward(
     let mut gw = Tensor::zeros(&[cout, cin * kh * kw]);
     let mut gb = Tensor::zeros(&[cout]);
     for bi in 0..bsz {
-        let gyb =
-            Tensor::from_vec(gy.data()[bi * per_out..(bi + 1) * per_out].to_vec(), &[cout, oh * ow]);
+        let gyb = Tensor::from_vec(
+            gy.data()[bi * per_out..(bi + 1) * per_out].to_vec(),
+            &[cout, oh * ow],
+        );
         // grad bias: sum over spatial
         for co in 0..cout {
-            gb.data_mut()[co] += gyb.data()[co * oh * ow..(co + 1) * oh * ow].iter().sum::<f32>();
+            gb.data_mut()[co] += gyb.data()[co * oh * ow..(co + 1) * oh * ow]
+                .iter()
+                .sum::<f32>();
         }
         // grad weight: gy_b (cols)^T
-        let cols = im2col(&x.data()[bi * per_img..(bi + 1) * per_img], (cin, h, wd), (kh, kw), stride, pad);
+        let cols = im2col(
+            &x.data()[bi * per_img..(bi + 1) * per_img],
+            (cin, h, wd),
+            (kh, kw),
+            stride,
+            pad,
+        );
         gw.add_assign(&gyb.matmul(&cols.transposed()));
         // grad input: W^T gy_b, folded back
         let gcols = wmat_t.matmul(&gyb);
@@ -191,8 +214,8 @@ pub fn conv_transpose2d_forward(
     stride: usize,
     pad: usize,
 ) -> Tensor {
-    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("convT input must be 4D");
-    let [cin2, cout, kh, kw]: [usize; 4] = w.shape().try_into().expect("convT weight must be 4D");
+    let (bsz, cin, h, wd) = dims4(x.shape(), "convT input");
+    let (cin2, cout, kh, kw) = dims4(w.shape(), "convT weight");
     assert_eq!(cin, cin2, "convT channel mismatch");
     let oh = convt_out_size(h, kh, stride, pad);
     let ow = convt_out_size(wd, kw, stride, pad);
@@ -252,8 +275,8 @@ pub fn conv_transpose2d_backward(
     pad: usize,
     gy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    let [bsz, cin, h, wd]: [usize; 4] = x.shape().try_into().expect("convT input must be 4D");
-    let [_, cout, kh, kw]: [usize; 4] = w.shape().try_into().expect("convT weight must be 4D");
+    let (bsz, cin, h, wd) = dims4(x.shape(), "convT input");
+    let (_, cout, kh, kw) = dims4(w.shape(), "convT weight");
     let oh = convt_out_size(h, kh, stride, pad);
     let ow = convt_out_size(wd, kw, stride, pad);
     let mut gx = vec![0.0f32; x.len()];
@@ -263,9 +286,9 @@ pub fn conv_transpose2d_backward(
     let wdta = w.data();
     let gyd = gy.data();
     for bi in 0..bsz {
-        for co in 0..cout {
+        for (co, gbv) in gb.iter_mut().enumerate() {
             let obase = (bi * cout + co) * oh * ow;
-            gb[co] += gyd[obase..obase + oh * ow].iter().sum::<f32>();
+            *gbv += gyd[obase..obase + oh * ow].iter().sum::<f32>();
         }
         for ci in 0..cin {
             for iy in 0..h {
@@ -310,8 +333,11 @@ pub fn conv_transpose2d_backward(
 /// # Panics
 /// Panics unless H and W are divisible by `k`.
 pub fn maxpool2d_forward(x: &Tensor, k: usize) -> (Tensor, Vec<u32>) {
-    let [bsz, c, h, w]: [usize; 4] = x.shape().try_into().expect("pool input must be 4D");
-    assert!(h % k == 0 && w % k == 0, "pool size {k} must divide H={h}, W={w}");
+    let (bsz, c, h, w) = dims4(x.shape(), "pool input");
+    assert!(
+        h % k == 0 && w % k == 0,
+        "pool size {k} must divide H={h}, W={w}"
+    );
     let (oh, ow) = (h / k, w / k);
     let mut out = vec![0.0f32; bsz * c * oh * ow];
     let mut idx = vec![0u32; out.len()];
@@ -384,8 +410,14 @@ mod tests {
     /// Numerical gradient check for conv2d.
     #[test]
     fn conv2d_gradcheck() {
-        let x = Tensor::from_vec((0..18).map(|v| (v as f32) * 0.1 - 0.9).collect(), &[1, 2, 3, 3]);
-        let w = Tensor::from_vec((0..16).map(|v| (v as f32) * 0.05 - 0.4).collect(), &[2, 2, 2, 2]);
+        let x = Tensor::from_vec(
+            (0..18).map(|v| (v as f32) * 0.1 - 0.9).collect(),
+            &[1, 2, 3, 3],
+        );
+        let w = Tensor::from_vec(
+            (0..16).map(|v| (v as f32) * 0.05 - 0.4).collect(),
+            &[2, 2, 2, 2],
+        );
         let gy = Tensor::ones(&[1, 2, 2, 2]);
         let (gx, gw, gb) = conv2d_backward(&x, &w, 1, 0, &gy);
         let f = |x: &Tensor, w: &Tensor| conv2d_forward(x, w, None, 1, 0).sum();
@@ -396,7 +428,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}]: {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-2,
+                "gx[{i}]: {num} vs {}",
+                gx.data()[i]
+            );
         }
         for i in 0..w.len() {
             let mut wp = w.clone();
@@ -404,7 +440,11 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}]: {num} vs {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 1e-2,
+                "gw[{i}]: {num} vs {}",
+                gw.data()[i]
+            );
         }
         // bias gradient of a sum loss = number of output pixels per channel
         assert_eq!(gb.data(), &[4.0, 4.0]);
@@ -420,8 +460,14 @@ mod tests {
 
     #[test]
     fn convt_gradcheck() {
-        let x = Tensor::from_vec((0..8).map(|v| v as f32 * 0.2 - 0.8).collect(), &[1, 2, 2, 2]);
-        let w = Tensor::from_vec((0..24).map(|v| v as f32 * 0.03 - 0.3).collect(), &[2, 3, 2, 2]);
+        let x = Tensor::from_vec(
+            (0..8).map(|v| v as f32 * 0.2 - 0.8).collect(),
+            &[1, 2, 2, 2],
+        );
+        let w = Tensor::from_vec(
+            (0..24).map(|v| v as f32 * 0.03 - 0.3).collect(),
+            &[2, 3, 2, 2],
+        );
         let gy = Tensor::ones(&[1, 3, 4, 4]);
         let (gx, gw, _gb) = conv_transpose2d_backward(&x, &w, 2, 0, &gy);
         let f = |x: &Tensor, w: &Tensor| conv_transpose2d_forward(x, w, None, 2, 0).sum();
@@ -432,7 +478,11 @@ mod tests {
             let mut xm = x.clone();
             xm.data_mut()[i] -= eps;
             let num = (f(&xp, &w) - f(&xm, &w)) / (2.0 * eps);
-            assert!((num - gx.data()[i]).abs() < 1e-2, "gx[{i}]: {num} vs {}", gx.data()[i]);
+            assert!(
+                (num - gx.data()[i]).abs() < 1e-2,
+                "gx[{i}]: {num} vs {}",
+                gx.data()[i]
+            );
         }
         for i in 0..w.len() {
             let mut wp = w.clone();
@@ -440,13 +490,22 @@ mod tests {
             let mut wm = w.clone();
             wm.data_mut()[i] -= eps;
             let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
-            assert!((num - gw.data()[i]).abs() < 1e-2, "gw[{i}]: {num} vs {}", gw.data()[i]);
+            assert!(
+                (num - gw.data()[i]).abs() < 1e-2,
+                "gw[{i}]: {num} vs {}",
+                gw.data()[i]
+            );
         }
     }
 
     #[test]
     fn maxpool_forward_and_backward() {
-        let x = Tensor::from_vec(vec![1., 5., 2., 0., 3., 4., 1., 1., 0., 0., 9., 2., 0., 0., 3., 1.], &[1, 1, 4, 4]);
+        let x = Tensor::from_vec(
+            vec![
+                1., 5., 2., 0., 3., 4., 1., 1., 0., 0., 9., 2., 0., 0., 3., 1.,
+            ],
+            &[1, 1, 4, 4],
+        );
         let (y, idx) = maxpool2d_forward(&x, 2);
         assert_eq!(y.data(), &[5., 2., 0., 9.]);
         let gy = Tensor::from_vec(vec![1., 2., 3., 4.], &[1, 1, 2, 2]);

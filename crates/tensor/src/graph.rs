@@ -27,7 +27,14 @@ use std::rc::Rc;
 
 /// Handle to a node in a [`Graph`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct Var(usize);
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Position of this node on its graph's tape (0-based, creation order).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
 
 /// A user-defined differentiable operation.
 ///
@@ -51,14 +58,14 @@ pub trait CustomOp {
 }
 
 #[derive(Clone)]
-enum Op {
+pub(crate) enum Op {
     Leaf,
     Add(Var, Var),
     Sub(Var, Var),
     Mul(Var, Var),
     Div(Var, Var),
     Neg(Var),
-    AddScalar(Var),
+    AddScalar(Var, f32),
     MulScalar(Var, f32),
     Relu(Var),
     LeakyRelu(Var, f32),
@@ -74,27 +81,57 @@ enum Op {
     SumAll(Var),
     MeanAll(Var),
     Reshape(Var),
-    Conv2d { x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize },
-    ConvT2d { x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize },
-    MaxPool2d { x: Var, indices: Rc<Vec<u32>> },
+    Conv2d {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        stride: usize,
+        pad: usize,
+    },
+    ConvT2d {
+        x: Var,
+        w: Var,
+        b: Option<Var>,
+        stride: usize,
+        pad: usize,
+    },
+    MaxPool2d {
+        x: Var,
+        k: usize,
+        indices: Rc<Vec<u32>>,
+    },
     ConcatChan(Rc<Vec<Var>>),
-    SliceChan { x: Var, start: usize, len: usize },
-    SliceCols { x: Var, start: usize, len: usize },
-    Spmm { a: Rc<Csr>, x: Var },
-    Custom { op: Rc<dyn CustomOp>, inputs: Rc<Vec<Var>> },
+    SliceChan {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    SliceCols {
+        x: Var,
+        start: usize,
+        len: usize,
+    },
+    Spmm {
+        a: Rc<Csr>,
+        x: Var,
+    },
+    Custom {
+        op: Rc<dyn CustomOp>,
+        inputs: Rc<Vec<Var>>,
+    },
 }
 
-struct Node {
-    value: Tensor,
-    grad: Option<Tensor>,
-    op: Op,
-    requires_grad: bool,
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) grad: Option<Tensor>,
+    pub(crate) op: Op,
+    pub(crate) requires_grad: bool,
 }
 
 /// A define-by-run autograd tape.
 #[derive(Default)]
 pub struct Graph {
-    nodes: Vec<Node>,
+    pub(crate) nodes: Vec<Node>,
 }
 
 impl Graph {
@@ -114,7 +151,12 @@ impl Graph {
     }
 
     fn push(&mut self, value: Tensor, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
@@ -130,6 +172,24 @@ impl Graph {
     /// Add a trainable leaf (gradient tracked).
     pub fn param(&mut self, value: Tensor) -> Var {
         self.push(value, Op::Leaf, true)
+    }
+
+    /// Replace the value of a leaf in place, without rebuilding the tape.
+    ///
+    /// Downstream node values recorded at build time become stale until the
+    /// tape is re-executed with [`Graph::replay_value`]; inconsistencies
+    /// introduced here (e.g. a shape change) are caught by
+    /// [`Graph::validate`].
+    ///
+    /// # Panics
+    /// Panics if `v` is not a leaf ([`Graph::input`] / [`Graph::param`]).
+    pub fn set_leaf(&mut self, v: Var, value: Tensor) {
+        assert!(
+            matches!(self.nodes[v.0].op, Op::Leaf),
+            "set_leaf: node {} is not a leaf",
+            v.0
+        );
+        self.nodes[v.0].value = value;
     }
 
     /// The current value of `v`.
@@ -184,7 +244,7 @@ impl Graph {
     pub fn add_scalar(&mut self, a: Var, s: f32) -> Var {
         let v = self.value(a).map(|x| x + s);
         let r = self.req(a);
-        self.push(v, Op::AddScalar(a), r)
+        self.push(v, Op::AddScalar(a, s), r)
     }
 
     /// `a * s` for scalar `s`.
@@ -224,7 +284,9 @@ impl Graph {
 
     /// Softplus `ln(1 + e^x)`, a smooth ReLU.
     pub fn softplus(&mut self, a: Var) -> Var {
-        let v = self.value(a).map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
+        let v = self
+            .value(a)
+            .map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() });
         let r = self.req(a);
         self.push(v, Op::Softplus(a), r)
     }
@@ -287,7 +349,9 @@ impl Graph {
     pub fn add_bias_chan(&mut self, x: Var, b: Var) -> Var {
         let xv = self.value(x);
         let bv = self.value(b);
-        let [bsz, c, h, w]: [usize; 4] = xv.shape().try_into().expect("add_bias_chan needs 4D");
+        let s = xv.shape();
+        assert_eq!(s.len(), 4, "add_bias_chan needs 4D, got {s:?}");
+        let (bsz, c, h, w) = (s[0], s[1], s[2], s[3]);
         assert_eq!(bv.shape(), &[c], "bias must be [c]");
         let mut out = xv.clone();
         for bi in 0..bsz {
@@ -337,9 +401,25 @@ impl Graph {
 
     /// 2D convolution; `x` is `[B,C,H,W]`, `w` is `[C_out,C_in,KH,KW]`.
     pub fn conv2d(&mut self, x: Var, w: Var, b: Option<Var>, stride: usize, pad: usize) -> Var {
-        let v = conv2d_forward(self.value(x), self.value(w), b.map(|bb| self.value(bb)), stride, pad);
+        let v = conv2d_forward(
+            self.value(x),
+            self.value(w),
+            b.map(|bb| self.value(bb)),
+            stride,
+            pad,
+        );
         let r = self.req(x) || self.req(w) || b.map(|bb| self.req(bb)).unwrap_or(false);
-        self.push(v, Op::Conv2d { x, w, b, stride, pad }, r)
+        self.push(
+            v,
+            Op::Conv2d {
+                x,
+                w,
+                b,
+                stride,
+                pad,
+            },
+            r,
+        )
     }
 
     /// 2D transposed convolution; `w` is `[C_in,C_out,KH,KW]`.
@@ -359,14 +439,32 @@ impl Graph {
             pad,
         );
         let r = self.req(x) || self.req(w) || b.map(|bb| self.req(bb)).unwrap_or(false);
-        self.push(v, Op::ConvT2d { x, w, b, stride, pad }, r)
+        self.push(
+            v,
+            Op::ConvT2d {
+                x,
+                w,
+                b,
+                stride,
+                pad,
+            },
+            r,
+        )
     }
 
     /// k×k max pooling (k must divide H and W).
     pub fn maxpool2d(&mut self, x: Var, k: usize) -> Var {
         let (v, idx) = maxpool2d_forward(self.value(x), k);
         let r = self.req(x);
-        self.push(v, Op::MaxPool2d { x, indices: Rc::new(idx) }, r)
+        self.push(
+            v,
+            Op::MaxPool2d {
+                x,
+                k,
+                indices: Rc::new(idx),
+            },
+            r,
+        )
     }
 
     /// Concatenate along the channel axis; all inputs `[B,C_i,H,W]`.
@@ -453,7 +551,14 @@ impl Graph {
         let vals: Vec<&Tensor> = inputs.iter().map(|&v| self.value(v)).collect();
         let out = op.forward(&vals);
         let r = inputs.iter().any(|&v| self.req(v));
-        self.push(out, Op::Custom { op, inputs: Rc::new(inputs.to_vec()) }, r)
+        self.push(
+            out,
+            Op::Custom {
+                op,
+                inputs: Rc::new(inputs.to_vec()),
+            },
+            r,
+        )
     }
 
     // ---- backward ------------------------------------------------------------
@@ -474,7 +579,11 @@ impl Graph {
     /// # Panics
     /// Panics if `target` is not a scalar (one element).
     pub fn backward(&mut self, target: Var) {
-        assert_eq!(self.value(target).len(), 1, "backward target must be scalar");
+        assert_eq!(
+            self.value(target).len(),
+            1,
+            "backward target must be scalar"
+        );
         for n in &mut self.nodes {
             n.grad = None;
         }
@@ -511,13 +620,11 @@ impl Graph {
                     let av = self.value(a).clone();
                     let bv = self.value(b).clone();
                     self.accum(a, gy.zip(&bv, |g, y| g / y));
-                    let gb = gy
-                        .zip(&av, |g, x| g * x)
-                        .zip(&bv, |gx_, y| -gx_ / (y * y));
+                    let gb = gy.zip(&av, |g, x| g * x).zip(&bv, |gx_, y| -gx_ / (y * y));
                     self.accum(b, gb);
                 }
                 Op::Neg(a) => self.accum(a, gy.map(|v| -v)),
-                Op::AddScalar(a) => self.accum(a, gy),
+                Op::AddScalar(a, _) => self.accum(a, gy),
                 Op::MulScalar(a, s) => self.accum(a, gy.map(|v| v * s)),
                 Op::Relu(a) => {
                     let av = self.value(a).clone();
@@ -541,7 +648,10 @@ impl Graph {
                 }
                 Op::Sqrt(a) => {
                     let yv = self.nodes[i].value.clone();
-                    self.accum(a, gy.zip(&yv, |g, y| if y > 1e-12 { g / (2.0 * y) } else { 0.0 }));
+                    self.accum(
+                        a,
+                        gy.zip(&yv, |g, y| if y > 1e-12 { g / (2.0 * y) } else { 0.0 }),
+                    );
                 }
                 Op::Square(a) => {
                     let av = self.value(a).clone();
@@ -549,7 +659,10 @@ impl Graph {
                 }
                 Op::Clamp(a, lo, hi) => {
                     let av = self.value(a).clone();
-                    self.accum(a, gy.zip(&av, |g, x| if x >= lo && x <= hi { g } else { 0.0 }));
+                    self.accum(
+                        a,
+                        gy.zip(&av, |g, x| if x >= lo && x <= hi { g } else { 0.0 }),
+                    );
                 }
                 Op::Matmul(a, b) => {
                     let av = self.value(a).clone();
@@ -598,7 +711,13 @@ impl Graph {
                     let shape = self.value(a).shape().to_vec();
                     self.accum(a, gy.reshaped(&shape));
                 }
-                Op::Conv2d { x, w, b, stride, pad } => {
+                Op::Conv2d {
+                    x,
+                    w,
+                    b,
+                    stride,
+                    pad,
+                } => {
                     let xv = self.value(x).clone();
                     let wv = self.value(w).clone();
                     let (gx, gw, gb) = conv2d_backward(&xv, &wv, stride, pad, &gy);
@@ -608,7 +727,13 @@ impl Graph {
                         self.accum(bb, gb);
                     }
                 }
-                Op::ConvT2d { x, w, b, stride, pad } => {
+                Op::ConvT2d {
+                    x,
+                    w,
+                    b,
+                    stride,
+                    pad,
+                } => {
                     let xv = self.value(x).clone();
                     let wv = self.value(w).clone();
                     let (gx, gw, gb) = conv_transpose2d_backward(&xv, &wv, stride, pad, &gy);
@@ -618,7 +743,7 @@ impl Graph {
                         self.accum(bb, gb);
                     }
                 }
-                Op::MaxPool2d { x, indices } => {
+                Op::MaxPool2d { x, k: _, indices } => {
                     let shape = self.value(x).shape().to_vec();
                     self.accum(x, maxpool2d_backward(&indices, &shape, &gy));
                 }
@@ -672,8 +797,7 @@ impl Graph {
                     self.accum(x, a.transpose_matmul_dense(&gy));
                 }
                 Op::Custom { op, inputs } => {
-                    let vals: Vec<Tensor> =
-                        inputs.iter().map(|&v| self.value(v).clone()).collect();
+                    let vals: Vec<Tensor> = inputs.iter().map(|&v| self.value(v).clone()).collect();
                     let refs: Vec<&Tensor> = vals.iter().collect();
                     let out = self.nodes[i].value.clone();
                     let grads = op.backward(&refs, &out, &gy);
@@ -699,11 +823,7 @@ mod tests {
     use super::*;
 
     /// Numerical gradient check for a scalar function of a single tensor.
-    fn gradcheck(
-        build: impl Fn(&mut Graph, Var) -> Var,
-        x0: Tensor,
-        tol: f32,
-    ) {
+    fn gradcheck(build: impl Fn(&mut Graph, Var) -> Var, x0: Tensor, tol: f32) {
         let mut g = Graph::new();
         let x = g.param(x0.clone());
         let y = build(&mut g, x);
@@ -765,12 +885,43 @@ mod tests {
     #[test]
     fn gradcheck_elementwise_ops() {
         let x0 = Tensor::from_vec(vec![0.5, -0.3, 1.2, -1.7], &[4]);
-        gradcheck(|g, x| { let y = g.sigmoid(x); g.sum_all(y) }, x0.clone(), 1e-2);
-        gradcheck(|g, x| { let y = g.tanh(x); g.sum_all(y) }, x0.clone(), 1e-2);
-        gradcheck(|g, x| { let y = g.softplus(x); g.sum_all(y) }, x0.clone(), 1e-2);
-        gradcheck(|g, x| { let y = g.square(x); g.mean_all(y) }, x0.clone(), 1e-2);
         gradcheck(
-            |g, x| { let y = g.leaky_relu(x, 0.1); g.sum_all(y) },
+            |g, x| {
+                let y = g.sigmoid(x);
+                g.sum_all(y)
+            },
+            x0.clone(),
+            1e-2,
+        );
+        gradcheck(
+            |g, x| {
+                let y = g.tanh(x);
+                g.sum_all(y)
+            },
+            x0.clone(),
+            1e-2,
+        );
+        gradcheck(
+            |g, x| {
+                let y = g.softplus(x);
+                g.sum_all(y)
+            },
+            x0.clone(),
+            1e-2,
+        );
+        gradcheck(
+            |g, x| {
+                let y = g.square(x);
+                g.mean_all(y)
+            },
+            x0.clone(),
+            1e-2,
+        );
+        gradcheck(
+            |g, x| {
+                let y = g.leaky_relu(x, 0.1);
+                g.sum_all(y)
+            },
             x0.clone(),
             1e-2,
         );
@@ -817,7 +968,10 @@ mod tests {
 
     #[test]
     fn gradcheck_conv_graph() {
-        let x0 = Tensor::from_vec((0..16).map(|v| v as f32 * 0.1 - 0.8).collect(), &[1, 1, 4, 4]);
+        let x0 = Tensor::from_vec(
+            (0..16).map(|v| v as f32 * 0.1 - 0.8).collect(),
+            &[1, 1, 4, 4],
+        );
         gradcheck(
             |g, x| {
                 let w = g.input(Tensor::from_vec(
@@ -861,7 +1015,11 @@ mod tests {
 
     #[test]
     fn spmm_backward_uses_transpose() {
-        let a = Rc::new(Csr::from_triplets(2, 2, vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)]));
+        let a = Rc::new(Csr::from_triplets(
+            2,
+            2,
+            vec![(0, 0, 1.0), (0, 1, 2.0), (1, 1, 3.0)],
+        ));
         let mut g = Graph::new();
         let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
         let y = g.spmm(a, x);
@@ -974,7 +1132,9 @@ mod tests {
     fn maxpool_in_graph() {
         let mut g = Graph::new();
         let x = g.param(Tensor::from_vec(
-            vec![1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.],
+            vec![
+                1., 2., 3., 4., 5., 6., 7., 8., 9., 10., 11., 12., 13., 14., 15., 16.,
+            ],
             &[1, 1, 4, 4],
         ));
         let y = g.maxpool2d(x, 2);

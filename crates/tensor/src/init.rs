@@ -23,7 +23,9 @@ pub struct Initializer {
 impl Initializer {
     /// Create an initializer from a seed.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Xavier/Glorot uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
@@ -54,8 +56,9 @@ impl Initializer {
 
     /// Uniform in `[lo, hi)`.
     pub fn uniform(&mut self, shape: &[usize], lo: f32, hi: f32) -> Tensor {
-        let data =
-            (0..shape.iter().product::<usize>()).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let data = (0..shape.iter().product::<usize>())
+            .map(|_| self.rng.gen_range(lo..hi))
+            .collect();
         Tensor::from_vec(data, shape)
     }
 }

@@ -1,0 +1,1152 @@
+//! Static analysis and replay over a recorded autograd tape.
+//!
+//! A [`Graph`](crate::Graph) is a flat tape of ops; this module lets tools
+//! look at that tape without executing it:
+//!
+//! - [`Graph::node_info`] / [`Graph::nodes_info`] expose each node's op
+//!   ([`TapeOp`]), shape, and gradient flags,
+//! - [`Graph::validate`] runs symbolic shape inference, gradient
+//!   reachability, dead-node detection, and NaN-hazard flagging, returning
+//!   [`Diagnostic`]s instead of panicking,
+//! - [`Graph::replay_value`] re-executes the tape from (optionally
+//!   overridden) leaf values — the primitive finite-difference gradient
+//!   checking is built on (see the `dco-check` crate).
+
+use crate::conv::{
+    conv2d_forward, conv_out_size, conv_transpose2d_forward, convt_out_size, maxpool2d_forward,
+};
+use crate::graph::{Node, Op};
+use crate::{Graph, Tensor, Var};
+use std::fmt;
+
+/// Public, introspectable mirror of one tape op.
+///
+/// Operand order matches the op's mathematical argument order. `Custom` ops
+/// expose only their name and inputs; their semantics are opaque.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TapeOp {
+    /// A leaf created by `input` (constant) or `param` (trainable).
+    Leaf,
+    /// Elementwise `a + b`.
+    Add(Var, Var),
+    /// Elementwise `a - b`.
+    Sub(Var, Var),
+    /// Elementwise `a * b`.
+    Mul(Var, Var),
+    /// Elementwise `a / b`.
+    Div(Var, Var),
+    /// Elementwise negation.
+    Neg(Var),
+    /// `a + s`.
+    AddScalar(Var, f32),
+    /// `a * s`.
+    MulScalar(Var, f32),
+    /// Rectified linear unit.
+    Relu(Var),
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(Var, f32),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Softplus.
+    Softplus(Var),
+    /// Elementwise square root.
+    Sqrt(Var),
+    /// Elementwise square.
+    Square(Var),
+    /// Clamp to `[lo, hi]`.
+    Clamp(Var, f32, f32),
+    /// Dense matrix multiply.
+    Matmul(Var, Var),
+    /// Row-bias broadcast add.
+    AddBiasRow(Var, Var),
+    /// Channel-bias broadcast add.
+    AddBiasChan(Var, Var),
+    /// Sum of all elements.
+    SumAll(Var),
+    /// Mean of all elements.
+    MeanAll(Var),
+    /// Reshape (element count preserved).
+    Reshape(Var),
+    /// 2D convolution.
+    Conv2d {
+        /// Input `[B,C_in,H,W]`.
+        x: Var,
+        /// Weights `[C_out,C_in,KH,KW]`.
+        w: Var,
+        /// Optional bias `[C_out]`.
+        b: Option<Var>,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// 2D transposed convolution.
+    ConvT2d {
+        /// Input `[B,C_in,H,W]`.
+        x: Var,
+        /// Weights `[C_in,C_out,KH,KW]`.
+        w: Var,
+        /// Optional bias `[C_out]`.
+        b: Option<Var>,
+        /// Stride.
+        stride: usize,
+        /// Zero padding.
+        pad: usize,
+    },
+    /// k×k max pooling.
+    MaxPool2d {
+        /// Input `[B,C,H,W]`.
+        x: Var,
+        /// Pool size.
+        k: usize,
+    },
+    /// Channel concatenation.
+    ConcatChan(Vec<Var>),
+    /// Channel slice.
+    SliceChan {
+        /// Input `[B,C,H,W]`.
+        x: Var,
+        /// First channel.
+        start: usize,
+        /// Number of channels.
+        len: usize,
+    },
+    /// Column slice.
+    SliceCols {
+        /// Input `[R,C]`.
+        x: Var,
+        /// First column.
+        start: usize,
+        /// Number of columns.
+        len: usize,
+    },
+    /// Sparse × dense product with a constant `[rows, cols]` CSR matrix.
+    Spmm {
+        /// CSR row count.
+        rows: usize,
+        /// CSR column count.
+        cols: usize,
+        /// Dense right-hand side.
+        x: Var,
+    },
+    /// A user-defined [`CustomOp`](crate::CustomOp).
+    Custom {
+        /// The op's debug name.
+        name: String,
+        /// Its inputs.
+        inputs: Vec<Var>,
+    },
+}
+
+impl TapeOp {
+    /// Short op name, e.g. `"add"`, `"conv2d"`, or a custom op's own name.
+    pub fn name(&self) -> &str {
+        match self {
+            TapeOp::Leaf => "leaf",
+            TapeOp::Add(..) => "add",
+            TapeOp::Sub(..) => "sub",
+            TapeOp::Mul(..) => "mul",
+            TapeOp::Div(..) => "div",
+            TapeOp::Neg(..) => "neg",
+            TapeOp::AddScalar(..) => "add_scalar",
+            TapeOp::MulScalar(..) => "mul_scalar",
+            TapeOp::Relu(..) => "relu",
+            TapeOp::LeakyRelu(..) => "leaky_relu",
+            TapeOp::Sigmoid(..) => "sigmoid",
+            TapeOp::Tanh(..) => "tanh",
+            TapeOp::Softplus(..) => "softplus",
+            TapeOp::Sqrt(..) => "sqrt",
+            TapeOp::Square(..) => "square",
+            TapeOp::Clamp(..) => "clamp",
+            TapeOp::Matmul(..) => "matmul",
+            TapeOp::AddBiasRow(..) => "add_bias_row",
+            TapeOp::AddBiasChan(..) => "add_bias_chan",
+            TapeOp::SumAll(..) => "sum_all",
+            TapeOp::MeanAll(..) => "mean_all",
+            TapeOp::Reshape(..) => "reshape",
+            TapeOp::Conv2d { .. } => "conv2d",
+            TapeOp::ConvT2d { .. } => "conv_transpose2d",
+            TapeOp::MaxPool2d { .. } => "maxpool2d",
+            TapeOp::ConcatChan(..) => "concat_chan",
+            TapeOp::SliceChan { .. } => "slice_chan",
+            TapeOp::SliceCols { .. } => "slice_cols",
+            TapeOp::Spmm { .. } => "spmm",
+            TapeOp::Custom { name, .. } => name,
+        }
+    }
+
+    /// The op's direct operands, in argument order.
+    pub fn operands(&self) -> Vec<Var> {
+        match self {
+            TapeOp::Leaf => Vec::new(),
+            TapeOp::Add(a, b)
+            | TapeOp::Sub(a, b)
+            | TapeOp::Mul(a, b)
+            | TapeOp::Div(a, b)
+            | TapeOp::Matmul(a, b)
+            | TapeOp::AddBiasRow(a, b)
+            | TapeOp::AddBiasChan(a, b) => vec![*a, *b],
+            TapeOp::Neg(a)
+            | TapeOp::AddScalar(a, _)
+            | TapeOp::MulScalar(a, _)
+            | TapeOp::Relu(a)
+            | TapeOp::LeakyRelu(a, _)
+            | TapeOp::Sigmoid(a)
+            | TapeOp::Tanh(a)
+            | TapeOp::Softplus(a)
+            | TapeOp::Sqrt(a)
+            | TapeOp::Square(a)
+            | TapeOp::Clamp(a, _, _)
+            | TapeOp::SumAll(a)
+            | TapeOp::MeanAll(a)
+            | TapeOp::Reshape(a) => vec![*a],
+            TapeOp::Conv2d { x, w, b, .. } | TapeOp::ConvT2d { x, w, b, .. } => {
+                let mut v = vec![*x, *w];
+                v.extend(*b);
+                v
+            }
+            TapeOp::MaxPool2d { x, .. }
+            | TapeOp::SliceChan { x, .. }
+            | TapeOp::SliceCols { x, .. }
+            | TapeOp::Spmm { x, .. } => vec![*x],
+            TapeOp::ConcatChan(parts) => parts.clone(),
+            TapeOp::Custom { inputs, .. } => inputs.clone(),
+        }
+    }
+}
+
+fn to_tape_op(op: &Op) -> TapeOp {
+    match op {
+        Op::Leaf => TapeOp::Leaf,
+        Op::Add(a, b) => TapeOp::Add(*a, *b),
+        Op::Sub(a, b) => TapeOp::Sub(*a, *b),
+        Op::Mul(a, b) => TapeOp::Mul(*a, *b),
+        Op::Div(a, b) => TapeOp::Div(*a, *b),
+        Op::Neg(a) => TapeOp::Neg(*a),
+        Op::AddScalar(a, s) => TapeOp::AddScalar(*a, *s),
+        Op::MulScalar(a, s) => TapeOp::MulScalar(*a, *s),
+        Op::Relu(a) => TapeOp::Relu(*a),
+        Op::LeakyRelu(a, s) => TapeOp::LeakyRelu(*a, *s),
+        Op::Sigmoid(a) => TapeOp::Sigmoid(*a),
+        Op::Tanh(a) => TapeOp::Tanh(*a),
+        Op::Softplus(a) => TapeOp::Softplus(*a),
+        Op::Sqrt(a) => TapeOp::Sqrt(*a),
+        Op::Square(a) => TapeOp::Square(*a),
+        Op::Clamp(a, lo, hi) => TapeOp::Clamp(*a, *lo, *hi),
+        Op::Matmul(a, b) => TapeOp::Matmul(*a, *b),
+        Op::AddBiasRow(a, b) => TapeOp::AddBiasRow(*a, *b),
+        Op::AddBiasChan(a, b) => TapeOp::AddBiasChan(*a, *b),
+        Op::SumAll(a) => TapeOp::SumAll(*a),
+        Op::MeanAll(a) => TapeOp::MeanAll(*a),
+        Op::Reshape(a) => TapeOp::Reshape(*a),
+        Op::Conv2d {
+            x,
+            w,
+            b,
+            stride,
+            pad,
+        } => TapeOp::Conv2d {
+            x: *x,
+            w: *w,
+            b: *b,
+            stride: *stride,
+            pad: *pad,
+        },
+        Op::ConvT2d {
+            x,
+            w,
+            b,
+            stride,
+            pad,
+        } => TapeOp::ConvT2d {
+            x: *x,
+            w: *w,
+            b: *b,
+            stride: *stride,
+            pad: *pad,
+        },
+        Op::MaxPool2d { x, k, .. } => TapeOp::MaxPool2d { x: *x, k: *k },
+        Op::ConcatChan(parts) => TapeOp::ConcatChan(parts.to_vec()),
+        Op::SliceChan { x, start, len } => TapeOp::SliceChan {
+            x: *x,
+            start: *start,
+            len: *len,
+        },
+        Op::SliceCols { x, start, len } => TapeOp::SliceCols {
+            x: *x,
+            start: *start,
+            len: *len,
+        },
+        Op::Spmm { a, x } => TapeOp::Spmm {
+            rows: a.n_rows(),
+            cols: a.n_cols(),
+            x: *x,
+        },
+        Op::Custom { op, inputs } => TapeOp::Custom {
+            name: op.name().to_string(),
+            inputs: inputs.to_vec(),
+        },
+    }
+}
+
+/// Introspection snapshot of one tape node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeInfo {
+    /// Tape position (equals `Var::index()`).
+    pub id: usize,
+    /// The recorded op.
+    pub op: TapeOp,
+    /// Shape of the recorded value.
+    pub shape: Vec<usize>,
+    /// Whether gradients flow through this node.
+    pub requires_grad: bool,
+}
+
+impl NodeInfo {
+    /// Whether this node is a trainable leaf.
+    pub fn is_param(&self) -> bool {
+        matches!(self.op, TapeOp::Leaf) && self.requires_grad
+    }
+}
+
+/// How serious a [`Diagnostic`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but executable (dead node, NaN hazard, unreachable param).
+    Warning,
+    /// The graph is inconsistent; backward/replay results are unreliable.
+    Error,
+}
+
+/// What a [`Diagnostic`] is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiagnosticKind {
+    /// Operand shapes are incompatible, or a recorded output shape does not
+    /// match what the op would produce (e.g. after [`Graph::set_leaf`]).
+    ShapeMismatch,
+    /// A `param` leaf with no path to the validation root: `backward` from
+    /// that root can never give it a gradient.
+    UnreachableParam,
+    /// A non-leaf node that does not feed the validation root.
+    DeadNode,
+    /// A `div`/`sqrt` whose input is not guarded against zero (by `clamp`
+    /// with a positive bound, a nonzero `add_scalar`, or a positive-output
+    /// op), risking NaN/Inf values or exploding gradients.
+    NanHazard,
+    /// A recorded value already contains NaN or Inf.
+    NonFiniteValue,
+}
+
+impl fmt::Display for DiagnosticKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DiagnosticKind::ShapeMismatch => "shape-mismatch",
+            DiagnosticKind::UnreachableParam => "unreachable-param",
+            DiagnosticKind::DeadNode => "dead-node",
+            DiagnosticKind::NanHazard => "nan-hazard",
+            DiagnosticKind::NonFiniteValue => "non-finite-value",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One finding from [`Graph::validate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Offending node's tape id.
+    pub node: usize,
+    /// Offending node's op name.
+    pub op: String,
+    /// Severity.
+    pub severity: Severity,
+    /// Category.
+    pub kind: DiagnosticKind,
+    /// Human-readable detail (operand shapes, guard advice, ...).
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        };
+        write!(
+            f,
+            "{sev}[{}] node {} ({}): {}",
+            self.kind, self.node, self.op, self.message
+        )
+    }
+}
+
+/// Expected output shape of `op` given operand shapes, or a mismatch report.
+///
+/// Returns `Ok(None)` for ops whose output shape cannot be inferred
+/// symbolically (custom ops, reshape targets).
+fn infer_shape(nodes: &[Node], op: &Op) -> Result<Option<Vec<usize>>, String> {
+    let shape = |v: &Var| nodes[v.0].value.shape().to_vec();
+    let fmt_s = |s: &[usize]| format!("{s:?}");
+    match op {
+        Op::Leaf => Ok(None),
+        Op::Add(a, b) | Op::Sub(a, b) | Op::Mul(a, b) | Op::Div(a, b) => {
+            let (sa, sb) = (shape(a), shape(b));
+            if sa != sb {
+                return Err(format!(
+                    "elementwise operands disagree: {} vs {}",
+                    fmt_s(&sa),
+                    fmt_s(&sb)
+                ));
+            }
+            Ok(Some(sa))
+        }
+        Op::Neg(a)
+        | Op::AddScalar(a, _)
+        | Op::MulScalar(a, _)
+        | Op::Relu(a)
+        | Op::LeakyRelu(a, _)
+        | Op::Sigmoid(a)
+        | Op::Tanh(a)
+        | Op::Softplus(a)
+        | Op::Sqrt(a)
+        | Op::Square(a)
+        | Op::Clamp(a, _, _) => Ok(Some(shape(a))),
+        Op::Matmul(a, b) => {
+            let (sa, sb) = (shape(a), shape(b));
+            if sa.len() != 2 || sb.len() != 2 {
+                return Err(format!(
+                    "matmul needs rank-2 operands, got {} x {}",
+                    fmt_s(&sa),
+                    fmt_s(&sb)
+                ));
+            }
+            if sa[1] != sb[0] {
+                return Err(format!(
+                    "matmul inner dims disagree: {} x {}",
+                    fmt_s(&sa),
+                    fmt_s(&sb)
+                ));
+            }
+            Ok(Some(vec![sa[0], sb[1]]))
+        }
+        Op::AddBiasRow(x, b) => {
+            let (sx, sb) = (shape(x), shape(b));
+            if sx.len() != 2 || sb != vec![sx[1]] {
+                return Err(format!(
+                    "row bias {} does not broadcast over {}",
+                    fmt_s(&sb),
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(sx))
+        }
+        Op::AddBiasChan(x, b) => {
+            let (sx, sb) = (shape(x), shape(b));
+            if sx.len() != 4 || sb != vec![sx[1]] {
+                return Err(format!(
+                    "channel bias {} does not broadcast over {}",
+                    fmt_s(&sb),
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(sx))
+        }
+        Op::SumAll(_) | Op::MeanAll(_) => Ok(Some(vec![1])),
+        Op::Reshape(_) => Ok(None), // target shape lives only in the output
+        Op::Conv2d {
+            x,
+            w,
+            b,
+            stride,
+            pad,
+        } => {
+            let (sx, sw) = (shape(x), shape(w));
+            if sx.len() != 4 || sw.len() != 4 {
+                return Err(format!(
+                    "conv2d needs 4D x and w, got {} and {}",
+                    fmt_s(&sx),
+                    fmt_s(&sw)
+                ));
+            }
+            if sx[1] != sw[1] {
+                return Err(format!(
+                    "conv2d channel mismatch: x {} vs w {}",
+                    fmt_s(&sx),
+                    fmt_s(&sw)
+                ));
+            }
+            if let Some(bb) = b {
+                let sb = shape(bb);
+                if sb != vec![sw[0]] {
+                    return Err(format!("conv2d bias {} must be [{}]", fmt_s(&sb), sw[0]));
+                }
+            }
+            if sx[2] + 2 * pad < sw[2] || sx[3] + 2 * pad < sw[3] {
+                return Err(format!(
+                    "conv2d kernel {} exceeds padded input {}",
+                    fmt_s(&sw),
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(vec![
+                sx[0],
+                sw[0],
+                conv_out_size(sx[2], sw[2], *stride, *pad),
+                conv_out_size(sx[3], sw[3], *stride, *pad),
+            ]))
+        }
+        Op::ConvT2d {
+            x,
+            w,
+            b,
+            stride,
+            pad,
+        } => {
+            let (sx, sw) = (shape(x), shape(w));
+            if sx.len() != 4 || sw.len() != 4 {
+                return Err(format!(
+                    "conv_transpose2d needs 4D x and w, got {} and {}",
+                    fmt_s(&sx),
+                    fmt_s(&sw)
+                ));
+            }
+            if sx[1] != sw[0] {
+                return Err(format!(
+                    "conv_transpose2d channel mismatch: x {} vs w {}",
+                    fmt_s(&sx),
+                    fmt_s(&sw)
+                ));
+            }
+            if let Some(bb) = b {
+                let sb = shape(bb);
+                if sb != vec![sw[1]] {
+                    return Err(format!(
+                        "conv_transpose2d bias {} must be [{}]",
+                        fmt_s(&sb),
+                        sw[1]
+                    ));
+                }
+            }
+            Ok(Some(vec![
+                sx[0],
+                sw[1],
+                convt_out_size(sx[2], sw[2], *stride, *pad),
+                convt_out_size(sx[3], sw[3], *stride, *pad),
+            ]))
+        }
+        Op::MaxPool2d { x, k, .. } => {
+            let sx = shape(x);
+            if sx.len() != 4 || *k == 0 || sx[2] % k != 0 || sx[3] % k != 0 {
+                return Err(format!("maxpool2d({k}) does not tile input {}", fmt_s(&sx)));
+            }
+            Ok(Some(vec![sx[0], sx[1], sx[2] / k, sx[3] / k]))
+        }
+        Op::ConcatChan(parts) => {
+            let first = shape(&parts[0]);
+            if first.len() != 4 {
+                return Err(format!(
+                    "concat_chan needs 4D inputs, got {}",
+                    fmt_s(&first)
+                ));
+            }
+            let mut c = 0;
+            for p in parts.iter() {
+                let s = shape(p);
+                if s.len() != 4 || (s[0], s[2], s[3]) != (first[0], first[2], first[3]) {
+                    return Err(format!(
+                        "concat_chan input {} disagrees with {}",
+                        fmt_s(&s),
+                        fmt_s(&first)
+                    ));
+                }
+                c += s[1];
+            }
+            Ok(Some(vec![first[0], c, first[2], first[3]]))
+        }
+        Op::SliceChan { x, start, len } => {
+            let sx = shape(x);
+            if sx.len() != 4 || start + len > sx[1] {
+                return Err(format!(
+                    "channel slice [{start}, {start}+{len}) out of range for {}",
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(vec![sx[0], *len, sx[2], sx[3]]))
+        }
+        Op::SliceCols { x, start, len } => {
+            let sx = shape(x);
+            if sx.len() != 2 || start + len > sx[1] {
+                return Err(format!(
+                    "column slice [{start}, {start}+{len}) out of range for {}",
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(vec![sx[0], *len]))
+        }
+        Op::Spmm { a, x } => {
+            let sx = shape(x);
+            if sx.len() != 2 || sx[0] != a.n_cols() {
+                return Err(format!(
+                    "spmm [{}, {}] x {} inner dims disagree",
+                    a.n_rows(),
+                    a.n_cols(),
+                    fmt_s(&sx)
+                ));
+            }
+            Ok(Some(vec![a.n_rows(), sx[1]]))
+        }
+        Op::Custom { .. } => Ok(None),
+    }
+}
+
+/// Whether `v`'s op guarantees an output bounded away from zero (or at least
+/// non-negative for sqrt), making a downstream `div`/`sqrt` safe.
+fn guards_against_zero(nodes: &[Node], v: Var) -> bool {
+    match &nodes[v.0].op {
+        // The canonical eps guard: x + eps with eps != 0.
+        Op::AddScalar(_, s) => *s != 0.0,
+        // Clamp with a bound excluding zero.
+        Op::Clamp(_, lo, hi) => *lo > 0.0 || *hi < 0.0,
+        // Strictly positive by construction.
+        Op::Softplus(_) | Op::Sigmoid(_) => true,
+        // Scaling preserves whatever guarantee the operand has.
+        Op::MulScalar(a, s) => *s != 0.0 && guards_against_zero(nodes, *a),
+        _ => false,
+    }
+}
+
+/// Whether `v`'s op guarantees a non-negative output (safe under sqrt).
+fn non_negative(nodes: &[Node], v: Var) -> bool {
+    match &nodes[v.0].op {
+        Op::Square(_) | Op::Relu(_) | Op::Sigmoid(_) | Op::Softplus(_) | Op::Sqrt(_) => true,
+        Op::Clamp(_, lo, _) => *lo >= 0.0,
+        Op::AddScalar(a, s) => *s >= 0.0 && non_negative(nodes, *a),
+        Op::MulScalar(a, s) => *s >= 0.0 && non_negative(nodes, *a),
+        Op::MeanAll(a) | Op::SumAll(a) | Op::Reshape(a) => non_negative(nodes, *a),
+        Op::Mul(a, b) => a == b, // x * x
+        _ => false,
+    }
+}
+
+impl Graph {
+    /// Number of nodes on the tape (alias of [`Graph::len`]).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Introspection snapshot of node `v`.
+    pub fn node_info(&self, v: Var) -> NodeInfo {
+        let n = &self.nodes[v.0];
+        NodeInfo {
+            id: v.0,
+            op: to_tape_op(&n.op),
+            shape: n.value.shape().to_vec(),
+            requires_grad: n.requires_grad,
+        }
+    }
+
+    /// Introspection snapshots of every node, in tape order.
+    pub fn nodes_info(&self) -> Vec<NodeInfo> {
+        (0..self.nodes.len())
+            .map(|i| self.node_info(Var(i)))
+            .collect()
+    }
+
+    /// All trainable leaves (`param`) on the tape.
+    pub fn param_vars(&self) -> Vec<Var> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| matches!(n.op, Op::Leaf) && n.requires_grad)
+            .map(|(i, _)| Var(i))
+            .collect()
+    }
+
+    /// Statically analyze the tape against backward from `root`.
+    ///
+    /// Runs four passes without executing any op:
+    ///
+    /// 1. **Shape inference** — recompute each node's expected output shape
+    ///    from its operands' recorded shapes; incompatible operands or a
+    ///    stale recorded shape (possible after [`Graph::set_leaf`]) are
+    ///    errors.
+    /// 2. **Gradient reachability** — every `param` must have a path to
+    ///    `root`, else `backward(root)` silently leaves it without a
+    ///    gradient (warning).
+    /// 3. **Dead nodes** — non-leaf nodes that do not feed `root` were
+    ///    computed for nothing (warning).
+    /// 4. **NaN hazards** — `div` whose divisor and `sqrt` whose input is
+    ///    not visibly guarded (eps `add_scalar`, zero-excluding `clamp`, or
+    ///    a positive-output op) (warning). Recorded non-finite values are
+    ///    errors.
+    ///
+    /// Diagnostics are ordered by node id.
+    pub fn validate(&self, root: Var) -> Vec<Diagnostic> {
+        let mut diags = Vec::new();
+        let nodes = &self.nodes;
+
+        // Pass 1: shape inference + non-finite recorded values.
+        for (i, n) in nodes.iter().enumerate() {
+            match infer_shape(nodes, &n.op) {
+                Err(msg) => diags.push(Diagnostic {
+                    node: i,
+                    op: to_tape_op(&n.op).name().to_string(),
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::ShapeMismatch,
+                    message: msg,
+                }),
+                Ok(Some(expected)) if expected != n.value.shape() => {
+                    diags.push(Diagnostic {
+                        node: i,
+                        op: to_tape_op(&n.op).name().to_string(),
+                        severity: Severity::Error,
+                        kind: DiagnosticKind::ShapeMismatch,
+                        message: format!(
+                            "recorded output shape {:?} but operands imply {:?}",
+                            n.value.shape(),
+                            expected
+                        ),
+                    });
+                }
+                _ => {}
+            }
+            if n.value.data().iter().any(|v| !v.is_finite()) {
+                diags.push(Diagnostic {
+                    node: i,
+                    op: to_tape_op(&n.op).name().to_string(),
+                    severity: Severity::Error,
+                    kind: DiagnosticKind::NonFiniteValue,
+                    message: "recorded value contains NaN or Inf".to_string(),
+                });
+            }
+        }
+
+        // Reachability: which nodes feed `root`?
+        let mut reachable = vec![false; nodes.len()];
+        reachable[root.0] = true;
+        for i in (0..=root.0).rev() {
+            if !reachable[i] {
+                continue;
+            }
+            for v in to_tape_op(&nodes[i].op).operands() {
+                reachable[v.0] = true;
+            }
+        }
+
+        // Pass 2: unreachable params.
+        for (i, n) in nodes.iter().enumerate() {
+            if matches!(n.op, Op::Leaf) && n.requires_grad && !reachable[i] {
+                diags.push(Diagnostic {
+                    node: i,
+                    op: "leaf".to_string(),
+                    severity: Severity::Warning,
+                    kind: DiagnosticKind::UnreachableParam,
+                    message: format!(
+                        "param has no path to backward root (node {}); it will never \
+                         receive a gradient",
+                        root.0
+                    ),
+                });
+            }
+        }
+
+        // Pass 3: dead non-leaf nodes.
+        for (i, n) in nodes.iter().enumerate() {
+            if !matches!(n.op, Op::Leaf) && !reachable[i] {
+                diags.push(Diagnostic {
+                    node: i,
+                    op: to_tape_op(&n.op).name().to_string(),
+                    severity: Severity::Warning,
+                    kind: DiagnosticKind::DeadNode,
+                    message: format!("computed but does not feed root (node {})", root.0),
+                });
+            }
+        }
+
+        // Pass 4: unguarded div / sqrt.
+        for (i, n) in nodes.iter().enumerate() {
+            match &n.op {
+                Op::Div(_, b) if !guards_against_zero(nodes, *b) => diags.push(Diagnostic {
+                    node: i,
+                    op: "div".to_string(),
+                    severity: Severity::Warning,
+                    kind: DiagnosticKind::NanHazard,
+                    message: format!(
+                        "divisor (node {}, {}) is not guarded against zero; add an eps \
+                         via add_scalar or clamp away from zero",
+                        b.0,
+                        to_tape_op(&nodes[b.0].op).name()
+                    ),
+                }),
+                Op::Sqrt(a) if !guards_against_zero(nodes, *a) && !non_negative(nodes, *a) => {
+                    diags.push(Diagnostic {
+                        node: i,
+                        op: "sqrt".to_string(),
+                        severity: Severity::Warning,
+                        kind: DiagnosticKind::NanHazard,
+                        message: format!(
+                            "input (node {}, {}) may be zero or negative; the gradient \
+                             explodes near zero — guard with add_scalar(eps)",
+                            a.0,
+                            to_tape_op(&nodes[a.0].op).name()
+                        ),
+                    });
+                }
+                _ => {}
+            }
+        }
+
+        diags.sort_by_key(|d| d.node);
+        diags
+    }
+
+    /// Re-execute the tape up to `target` and return its recomputed value.
+    ///
+    /// `overrides` substitutes values for leaf nodes (by `Var`); all other
+    /// leaves use their recorded values. Non-leaf nodes are recomputed from
+    /// scratch — including max-pool argmax indices and custom-op forwards —
+    /// so this is a true forward pass, suitable as the function evaluation
+    /// inside finite-difference gradient checks.
+    ///
+    /// # Panics
+    /// Panics if an override targets a non-leaf node or changes a leaf's
+    /// shape, or if recomputation hits an op-level shape violation
+    /// (validate first to get diagnostics instead).
+    pub fn replay_value(&self, target: Var, overrides: &[(Var, Tensor)]) -> Tensor {
+        for (v, t) in overrides {
+            assert!(
+                matches!(self.nodes[v.0].op, Op::Leaf),
+                "replay override on non-leaf node {}",
+                v.0
+            );
+            assert_eq!(
+                t.shape(),
+                self.nodes[v.0].value.shape(),
+                "replay override changes shape of node {}",
+                v.0
+            );
+        }
+        let mut values: Vec<Tensor> = Vec::with_capacity(target.0 + 1);
+        for i in 0..=target.0 {
+            let val = |v: &Var| &values[v.0];
+            let out = match &self.nodes[i].op {
+                Op::Leaf => overrides
+                    .iter()
+                    .find(|(v, _)| v.0 == i)
+                    .map(|(_, t)| t.clone())
+                    .unwrap_or_else(|| self.nodes[i].value.clone()),
+                Op::Add(a, b) => val(a).zip(val(b), |x, y| x + y),
+                Op::Sub(a, b) => val(a).zip(val(b), |x, y| x - y),
+                Op::Mul(a, b) => val(a).zip(val(b), |x, y| x * y),
+                Op::Div(a, b) => val(a).zip(val(b), |x, y| x / y),
+                Op::Neg(a) => val(a).map(|x| -x),
+                Op::AddScalar(a, s) => {
+                    let s = *s;
+                    val(a).map(|x| x + s)
+                }
+                Op::MulScalar(a, s) => {
+                    let s = *s;
+                    val(a).map(|x| x * s)
+                }
+                Op::Relu(a) => val(a).map(|x| x.max(0.0)),
+                Op::LeakyRelu(a, alpha) => {
+                    let alpha = *alpha;
+                    val(a).map(|x| if x >= 0.0 { x } else { alpha * x })
+                }
+                Op::Sigmoid(a) => val(a).map(|x| 1.0 / (1.0 + (-x).exp())),
+                Op::Tanh(a) => val(a).map(f32::tanh),
+                Op::Softplus(a) => val(a).map(|x| if x > 20.0 { x } else { (1.0 + x.exp()).ln() }),
+                Op::Sqrt(a) => val(a).map(|x| x.max(0.0).sqrt()),
+                Op::Square(a) => val(a).map(|x| x * x),
+                Op::Clamp(a, lo, hi) => {
+                    let (lo, hi) = (*lo, *hi);
+                    val(a).map(|x| x.clamp(lo, hi))
+                }
+                Op::Matmul(a, b) => val(a).matmul(val(b)),
+                Op::AddBiasRow(x, b) => {
+                    let (xv, bv) = (val(x), val(b));
+                    let n = bv.len();
+                    let mut out = xv.clone();
+                    for row in 0..xv.shape()[0] {
+                        for j in 0..n {
+                            out.data_mut()[row * n + j] += bv.data()[j];
+                        }
+                    }
+                    out
+                }
+                Op::AddBiasChan(x, b) => {
+                    let (xv, bv) = (val(x), val(b));
+                    let s = xv.shape().to_vec();
+                    let (bsz, c, h, w) = (s[0], s[1], s[2], s[3]);
+                    let mut out = xv.clone();
+                    for bi in 0..bsz {
+                        for ci in 0..c {
+                            let base = (bi * c + ci) * h * w;
+                            let bias = bv.data()[ci];
+                            for v in &mut out.data_mut()[base..base + h * w] {
+                                *v += bias;
+                            }
+                        }
+                    }
+                    out
+                }
+                Op::SumAll(a) => Tensor::scalar(val(a).sum()),
+                Op::MeanAll(a) => Tensor::scalar(val(a).mean()),
+                Op::Reshape(a) => val(a).clone().reshaped(self.nodes[i].value.shape()),
+                Op::Conv2d {
+                    x,
+                    w,
+                    b,
+                    stride,
+                    pad,
+                } => conv2d_forward(val(x), val(w), b.as_ref().map(val), *stride, *pad),
+                Op::ConvT2d {
+                    x,
+                    w,
+                    b,
+                    stride,
+                    pad,
+                } => conv_transpose2d_forward(val(x), val(w), b.as_ref().map(val), *stride, *pad),
+                Op::MaxPool2d { x, k, .. } => maxpool2d_forward(val(x), *k).0,
+                Op::ConcatChan(parts) => {
+                    let first = val(&parts[0]).shape().to_vec();
+                    let (bsz, h, w) = (first[0], first[2], first[3]);
+                    let c_total: usize = parts.iter().map(|p| val(p).shape()[1]).sum();
+                    let plane = h * w;
+                    let mut out = Tensor::zeros(&[bsz, c_total, h, w]);
+                    for bi in 0..bsz {
+                        let mut c_off = 0;
+                        for p in parts.iter() {
+                            let pv = val(p);
+                            let c = pv.shape()[1];
+                            for ci in 0..c {
+                                let sbase = (bi * c + ci) * plane;
+                                let dbase = (bi * c_total + c_off + ci) * plane;
+                                out.data_mut()[dbase..dbase + plane]
+                                    .copy_from_slice(&pv.data()[sbase..sbase + plane]);
+                            }
+                            c_off += c;
+                        }
+                    }
+                    out
+                }
+                Op::SliceChan { x, start, len } => {
+                    let xv = val(x);
+                    let s = xv.shape().to_vec();
+                    let (bsz, c, h, w) = (s[0], s[1], s[2], s[3]);
+                    let plane = h * w;
+                    let mut out = Tensor::zeros(&[bsz, *len, h, w]);
+                    for bi in 0..bsz {
+                        for ci in 0..*len {
+                            let sbase = (bi * c + start + ci) * plane;
+                            let dbase = (bi * len + ci) * plane;
+                            out.data_mut()[dbase..dbase + plane]
+                                .copy_from_slice(&xv.data()[sbase..sbase + plane]);
+                        }
+                    }
+                    out
+                }
+                Op::SliceCols { x, start, len } => {
+                    let xv = val(x);
+                    let s = xv.shape().to_vec();
+                    let (rows, cols) = (s[0], s[1]);
+                    let mut out = Tensor::zeros(&[rows, *len]);
+                    for r in 0..rows {
+                        for j in 0..*len {
+                            out.data_mut()[r * len + j] = xv.data()[r * cols + start + j];
+                        }
+                    }
+                    out
+                }
+                Op::Spmm { a, x } => a.matmul_dense(val(x)),
+                Op::Custom { op, inputs } => {
+                    let refs: Vec<&Tensor> = inputs.iter().map(|v| &values[v.0]).collect();
+                    op.forward(&refs)
+                }
+            };
+            values.push(out);
+        }
+        // the loop pushed exactly target.0 + 1 values
+        values.swap_remove(target.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+
+    fn well_formed() -> (Graph, Var, Var) {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![0.5, -1.0, 2.0, 0.1], &[4]));
+        let sq = g.square(x);
+        let eps = g.add_scalar(sq, 1e-6);
+        let one = g.input(Tensor::ones(&[4]));
+        let d = g.div(one, eps);
+        let root = g.sum_all(d);
+        (g, x, root)
+    }
+
+    #[test]
+    fn clean_graph_has_no_diagnostics() {
+        let (g, _, root) = well_formed();
+        let diags = g.validate(root);
+        assert!(diags.is_empty(), "unexpected diagnostics: {diags:?}");
+    }
+
+    #[test]
+    fn introspection_reports_ops_and_shapes() {
+        let (g, x, root) = well_formed();
+        assert_eq!(g.node_count(), 6);
+        assert_eq!(g.node_info(x).op, TapeOp::Leaf);
+        assert!(g.node_info(x).is_param());
+        assert_eq!(g.node_info(root).shape, vec![1]);
+        assert_eq!(g.node_info(root).op.name(), "sum_all");
+        assert_eq!(g.param_vars(), vec![x]);
+        let infos = g.nodes_info();
+        assert_eq!(infos.len(), 6);
+        assert_eq!(infos[1].op.operands(), vec![x]);
+    }
+
+    #[test]
+    fn stale_leaf_shape_is_an_error() {
+        let (mut g, x, root) = well_formed();
+        g.set_leaf(x, Tensor::ones(&[3]));
+        let diags = g.validate(root);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::ShapeMismatch && d.severity == Severity::Error));
+        // the first mismatch is at the square node, whose operand changed
+        let first = diags
+            .iter()
+            .find(|d| d.kind == DiagnosticKind::ShapeMismatch)
+            .expect("diag");
+        assert_eq!(first.node, 1);
+        assert_eq!(first.op, "square");
+    }
+
+    #[test]
+    fn unreachable_param_and_dead_node_flagged() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(1.0));
+        let orphan = g.param(Tensor::scalar(5.0));
+        let dead = g.square(orphan); // never feeds root
+        let root = g.sum_all(x);
+        let diags = g.validate(root);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::UnreachableParam && d.node == orphan.index()));
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::DeadNode && d.node == dead.index()));
+    }
+
+    #[test]
+    fn unguarded_div_and_sqrt_flagged_guarded_pass() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.input(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let bad_div = g.div(x, y); // y not guarded
+        let bad_sqrt = g.sqrt(bad_div); // quotient may be negative
+        let root = g.sum_all(bad_sqrt);
+        let diags = g.validate(root);
+        let hazards: Vec<_> = diags
+            .iter()
+            .filter(|d| d.kind == DiagnosticKind::NanHazard)
+            .collect();
+        assert_eq!(hazards.len(), 2, "{diags:?}");
+        assert_eq!(hazards[0].node, bad_div.index());
+        assert_eq!(hazards[1].node, bad_sqrt.index());
+
+        // same computation, guarded: no hazards
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = g.input(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        let safe = g.add_scalar(y, 1e-6);
+        let d = g.div(x, safe);
+        let sq = g.square(d);
+        let s = g.sqrt(sq);
+        let root = g.sum_all(s);
+        assert!(g
+            .validate(root)
+            .iter()
+            .all(|d| d.kind != DiagnosticKind::NanHazard));
+    }
+
+    #[test]
+    fn non_finite_values_are_errors() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![f32::NAN, 1.0], &[2]));
+        let root = g.sum_all(x);
+        let diags = g.validate(root);
+        assert!(diags
+            .iter()
+            .any(|d| d.kind == DiagnosticKind::NonFiniteValue && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn replay_matches_recorded_values() {
+        let (g, _, root) = well_formed();
+        let replayed = g.replay_value(root, &[]);
+        assert_eq!(replayed.data(), g.value(root).data());
+    }
+
+    #[test]
+    fn replay_honours_overrides() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(3.0));
+        let y = g.square(x);
+        let root = g.sum_all(y);
+        assert_eq!(g.value(root).data(), &[9.0]);
+        let out = g.replay_value(root, &[(x, Tensor::scalar(4.0))]);
+        assert_eq!(out.data(), &[16.0]);
+        // the recorded tape is untouched
+        assert_eq!(g.value(root).data(), &[9.0]);
+    }
+
+    #[test]
+    fn replay_recomputes_maxpool_indices() {
+        let mut g = Graph::new();
+        let x = g.param(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]));
+        let p = g.maxpool2d(x, 2);
+        let root = g.sum_all(p);
+        assert_eq!(g.value(root).data(), &[4.0]);
+        // flip which element is the max; a stale argmax would return 9 from
+        // index 3 instead of the new max at index 0
+        let out = g.replay_value(
+            root,
+            &[(x, Tensor::from_vec(vec![9.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]))],
+        );
+        assert_eq!(out.data(), &[9.0]);
+    }
+
+    #[test]
+    fn replay_runs_custom_ops() {
+        struct Scale(f32);
+        impl crate::CustomOp for Scale {
+            fn name(&self) -> &str {
+                "scale"
+            }
+            fn forward(&self, inputs: &[&Tensor]) -> Tensor {
+                let s = self.0;
+                inputs[0].map(|v| s * v)
+            }
+            fn backward(
+                &self,
+                _inputs: &[&Tensor],
+                _output: &Tensor,
+                grad_output: &Tensor,
+            ) -> Vec<Option<Tensor>> {
+                let s = self.0;
+                vec![Some(grad_output.map(|v| s * v))]
+            }
+        }
+        let mut g = Graph::new();
+        let x = g.param(Tensor::scalar(2.0));
+        let y = g.custom(Rc::new(Scale(10.0)), &[x]);
+        let root = g.sum_all(y);
+        let out = g.replay_value(root, &[(x, Tensor::scalar(-1.0))]);
+        assert_eq!(out.data(), &[-10.0]);
+    }
+}

@@ -36,12 +36,14 @@
 pub mod conv;
 mod graph;
 mod init;
+pub mod inspect;
 mod optim;
 mod sparse;
 mod tensor;
 
 pub use graph::{CustomOp, Graph, Var};
 pub use init::Initializer;
+pub use inspect::{Diagnostic, DiagnosticKind, NodeInfo, Severity, TapeOp};
 pub use optim::{Adam, ParamStore, Sgd};
 pub use sparse::Csr;
 pub use tensor::Tensor;

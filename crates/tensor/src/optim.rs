@@ -105,7 +105,11 @@ impl ParamStore {
 
     /// Global gradient L2 norm (0.0 when no gradients are present).
     pub fn grad_norm(&self) -> f32 {
-        self.grads.values().map(|g| g.data().iter().map(|v| v * v).sum::<f32>()).sum::<f32>().sqrt()
+        self.grads
+            .values()
+            .map(|g| g.data().iter().map(|v| v * v).sum::<f32>())
+            .sum::<f32>()
+            .sqrt()
     }
 
     /// Scale all gradients so the global norm is at most `max_norm`.
@@ -133,12 +137,20 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given learning rate and no momentum.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: BTreeMap::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: BTreeMap::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: BTreeMap::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: BTreeMap::new(),
+        }
     }
 
     /// Apply one update using the store's accumulated gradients, then clear
@@ -158,7 +170,12 @@ impl Sgd {
             } else {
                 grad
             };
-            let p = store.values.get_mut(&name).expect("bound parameter exists");
+            let Some(p) = store.values.get_mut(&name) else {
+                // a gradient for a name never inserted: apply_grads only
+                // records names bound from this store, so this is unreachable
+                debug_assert!(false, "gradient for unbound parameter `{name}`");
+                continue;
+            };
             for (pv, &gv) in p.data_mut().iter_mut().zip(update.data()) {
                 *pv -= self.lr * gv;
             }
@@ -186,7 +203,15 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas (0.9, 0.999).
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: BTreeMap::new(), v: BTreeMap::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: BTreeMap::new(),
+            v: BTreeMap::new(),
+        }
     }
 
     /// Apply one update using the store's accumulated gradients, then clear
@@ -198,13 +223,24 @@ impl Adam {
         let names: Vec<String> = store.grads.keys().cloned().collect();
         for name in names {
             let grad = store.grads[&name].clone();
-            let m = self.m.entry(name.clone()).or_insert_with(|| Tensor::zeros(grad.shape()));
-            let v = self.v.entry(name.clone()).or_insert_with(|| Tensor::zeros(grad.shape()));
+            let m = self
+                .m
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(grad.shape()));
+            let v = self
+                .v
+                .entry(name.clone())
+                .or_insert_with(|| Tensor::zeros(grad.shape()));
             for ((mi, vi), &gi) in m.data_mut().iter_mut().zip(v.data_mut()).zip(grad.data()) {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }
-            let p = store.values.get_mut(&name).expect("bound parameter exists");
+            let Some(p) = store.values.get_mut(&name) else {
+                // a gradient for a name never inserted: apply_grads only
+                // records names bound from this store, so this is unreachable
+                debug_assert!(false, "gradient for unbound parameter `{name}`");
+                continue;
+            };
             for ((pv, &mi), &vi) in p.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
                 let mhat = mi / bc1;
                 let vhat = vi / bc2;
@@ -264,7 +300,11 @@ mod tests {
             quadratic_step(&mut store);
             opt.step(&mut store);
         }
-        assert!(store.get("w").norm() < 1e-2, "norm = {}", store.get("w").norm());
+        assert!(
+            store.get("w").norm() < 1e-2,
+            "norm = {}",
+            store.get("w").norm()
+        );
     }
 
     #[test]

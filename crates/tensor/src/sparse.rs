@@ -52,7 +52,13 @@ impl Csr {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { n_rows, n_cols, row_ptr, col_idx, vals }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
     }
 
     /// Number of rows.
@@ -136,12 +142,15 @@ impl Csr {
         for &(u, _, w) in &trip {
             deg[u] += w;
         }
-        let inv_sqrt: Vec<f32> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let inv_sqrt: Vec<f32> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
         Self::from_triplets(
             n,
             n,
-            trip.into_iter().map(|(u, v, w)| (u, v, w * inv_sqrt[u] * inv_sqrt[v])),
+            trip.into_iter()
+                .map(|(u, v, w)| (u, v, w * inv_sqrt[u] * inv_sqrt[v])),
         )
     }
 }

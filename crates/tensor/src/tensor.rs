@@ -28,7 +28,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, " {:?}", self.data)
         } else {
-            write!(f, " [{:.4}, {:.4}, ... ({} elems)]", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                " [{:.4}, {:.4}, ... ({} elems)]",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }
@@ -36,7 +42,10 @@ impl fmt::Debug for Tensor {
 impl Tensor {
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { data: vec![0.0; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// All-one tensor of the given shape.
@@ -46,12 +55,18 @@ impl Tensor {
 
     /// Tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Self { data: vec![value; shape.iter().product()], shape: shape.to_vec() }
+        Self {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
     }
 
     /// A scalar (shape `[1]`) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { data: vec![value], shape: vec![1] }
+        Self {
+            data: vec![value],
+            shape: vec![1],
+        }
     }
 
     /// Build from a flat vector and shape.
@@ -65,7 +80,10 @@ impl Tensor {
             "data length {} does not match shape {shape:?}",
             data.len()
         );
-        Self { data, shape: shape.to_vec() }
+        Self {
+            data,
+            shape: shape.to_vec(),
+        }
     }
 
     /// Shape of the tensor.
@@ -147,7 +165,10 @@ impl Tensor {
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Self { data: self.data.iter().map(|&v| f(v)).collect(), shape: self.shape.clone() }
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
     }
 
     /// Elementwise combination of two same-shaped tensors.
@@ -157,7 +178,12 @@ impl Tensor {
     pub fn zip(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Self {
         assert_eq!(self.shape, other.shape, "zip shape mismatch");
         Self {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             shape: self.shape.clone(),
         }
     }
@@ -229,7 +255,10 @@ impl Tensor {
                 }
             }
         }
-        Self { data: out, shape: vec![m, n] }
+        Self {
+            data: out,
+            shape: vec![m, n],
+        }
     }
 
     /// Transpose of a rank-2 tensor.
@@ -245,7 +274,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Self { data: out, shape: vec![n, m] }
+        Self {
+            data: out,
+            shape: vec![n, m],
+        }
     }
 
     /// Frobenius norm.

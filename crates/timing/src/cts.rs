@@ -32,7 +32,12 @@ pub fn synthesize_clock_tree(design: &Design, placement: &Placement3) -> ClockTr
         .collect();
     let n = sinks.len();
     if n == 0 {
-        return ClockTreeReport { wirelength: 0.0, skew_ps: 0.0, sinks: 0, depth: 0 };
+        return ClockTreeReport {
+            wirelength: 0.0,
+            skew_ps: 0.0,
+            sinks: 0,
+            depth: 0,
+        };
     }
     let mut wirelength = 0.0;
     let mut depth = 0usize;
@@ -41,10 +46,14 @@ pub fn synthesize_clock_tree(design: &Design, placement: &Placement3) -> ClockTr
     // the average leaf-level segment length and the RC constant.
     let tech = &design.technology;
     let avg_leg = wirelength / (2.0 * n as f64).max(1.0);
-    let rc_ps = 0.69 * (tech.wire_res_per_um / 1000.0) * tech.wire_cap_per_um
-        * avg_leg * avg_leg;
+    let rc_ps = 0.69 * (tech.wire_res_per_um / 1000.0) * tech.wire_cap_per_um * avg_leg * avg_leg;
     let skew_ps = rc_ps * (depth as f64).sqrt() * 0.25;
-    ClockTreeReport { wirelength, skew_ps, sinks: n, depth }
+    ClockTreeReport {
+        wirelength,
+        skew_ps,
+        sinks: n,
+        depth,
+    }
 }
 
 /// Recursive bipartition: connect the centroids of the two halves, recurse.
@@ -54,7 +63,7 @@ fn recurse(pts: &mut [(f64, f64)], level: usize, wl: &mut f64, depth: &mut usize
         return;
     }
     // Alternate split axis; median split keeps the tree balanced.
-    let horizontal = level % 2 == 0;
+    let horizontal = level.is_multiple_of(2);
     if horizontal {
         pts.sort_by(|a, b| a.0.total_cmp(&b.0));
     } else {
@@ -71,7 +80,9 @@ fn recurse(pts: &mut [(f64, f64)], level: usize, wl: &mut f64, depth: &mut usize
 
 fn centroid(pts: &[(f64, f64)]) -> (f64, f64) {
     let n = pts.len().max(1) as f64;
-    let (sx, sy) = pts.iter().fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
+    let (sx, sy) = pts
+        .iter()
+        .fold((0.0, 0.0), |(ax, ay), &(x, y)| (ax + x, ay + y));
     (sx / n, sy / n)
 }
 
@@ -106,7 +117,13 @@ mod tests {
         let mut b = dco_netlist::NetlistBuilder::new("nosinks");
         let a = b.add_cell_simple("a", CellClass::Combinational);
         let c = b.add_cell_simple("c", CellClass::Combinational);
-        b.add_net("w", &[(a, dco_netlist::PinDirection::Output), (c, dco_netlist::PinDirection::Input)]);
+        b.add_net(
+            "w",
+            &[
+                (a, dco_netlist::PinDirection::Output),
+                (c, dco_netlist::PinDirection::Input),
+            ],
+        );
         let nl = b.finish().expect("valid");
         let tech = dco_netlist::Technology::sim_3nm();
         let fp = dco_netlist::Floorplan::for_area(1.0, 0.6, &tech);

@@ -188,8 +188,14 @@ mod tests {
             .net_ids()
             .map(|nid| d.placement.net_hpwl(&d.netlist, nid) * 3.0 + 1.0)
             .collect();
-        let costly =
-            run_timing_eco(&d, &d.placement, Some(&lens), None, &sta, &EcoConfig::default());
+        let costly = run_timing_eco(
+            &d,
+            &d.placement,
+            Some(&lens),
+            None,
+            &sta,
+            &EcoConfig::default(),
+        );
         assert!(
             costly.total_upsizes >= cheap.total_upsizes,
             "longer wires should need at least as much ECO: {} vs {}",
@@ -202,7 +208,10 @@ mod tests {
     fn drive_scale_is_bounded() {
         let d = violating_design();
         let sta = Sta::new(&d);
-        let cfg = EcoConfig { max_rounds: 20, ..EcoConfig::default() };
+        let cfg = EcoConfig {
+            max_rounds: 20,
+            ..EcoConfig::default()
+        };
         let rep = run_timing_eco(&d, &d.placement, None, None, &sta, &cfg);
         for &s in &rep.drive_scale {
             assert!(s >= cfg.min_scale - 1e-12 && s <= 1.0);

@@ -36,13 +36,18 @@ pub struct PowerAnalyzer<'a> {
 impl<'a> PowerAnalyzer<'a> {
     /// An analyzer for `design` at the technology's nominal frequency.
     pub fn new(design: &'a Design) -> Self {
-        Self { design, freq_ghz: 1000.0 / design.technology.clock_period_ps }
+        Self {
+            design,
+            freq_ghz: 1000.0 / design.technology.clock_period_ps,
+        }
     }
 
     /// Deterministic activity factor for a net.
     pub fn activity(&self, net: dco_netlist::NetId) -> f64 {
         // splitmix-style hash for a stable pseudo-random activity
-        let mut x = (net.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(0xDC03);
+        let mut x = (net.0 as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(0xDC03);
         x ^= x >> 30;
         x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
         x ^= x >> 27;
@@ -78,7 +83,11 @@ impl<'a> PowerAnalyzer<'a> {
                 })
                 .sum();
             // Clock nets toggle every cycle (alpha = 1), signals by activity.
-            let alpha = if net.is_clock { 1.0 } else { self.activity(net_id) };
+            let alpha = if net.is_clock {
+                1.0
+            } else {
+                self.activity(net_id)
+            };
             switching_w += alpha * f_hz * (c_wire_f + c_pins_f) * vdd2;
         }
 
@@ -98,7 +107,9 @@ impl<'a> PowerAnalyzer<'a> {
     }
 
     fn cell_activity(&self, cell_index: usize) -> f64 {
-        let mut x = (cell_index as u64).wrapping_mul(0xD129_0C27_8F73_1D5D).wrapping_add(0x3D);
+        let mut x = (cell_index as u64)
+            .wrapping_mul(0xD129_0C27_8F73_1D5D)
+            .wrapping_add(0x3D);
         x ^= x >> 33;
         x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
         0.05 + 0.20 * ((x % 10_000) as f64 / 10_000.0)
@@ -111,7 +122,10 @@ mod tests {
     use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 
     fn design() -> Design {
-        GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.03).generate(9).expect("gen")
+        GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.03)
+            .generate(9)
+            .expect("gen")
     }
 
     #[test]
@@ -121,7 +135,9 @@ mod tests {
         assert!(rep.switching_mw > 0.0);
         assert!(rep.internal_mw > 0.0);
         assert!(rep.leakage_mw > 0.0);
-        assert!((rep.total_mw() - (rep.switching_mw + rep.internal_mw + rep.leakage_mw)).abs() < 1e-12);
+        assert!(
+            (rep.total_mw() - (rep.switching_mw + rep.internal_mw + rep.leakage_mw)).abs() < 1e-12
+        );
     }
 
     #[test]

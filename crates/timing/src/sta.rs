@@ -61,7 +61,12 @@ impl<'a> Sta<'a> {
     /// An analyzer for `design` with a 5 ps setup margin, 2 ps hold
     /// requirement, and a 0.5x fast corner.
     pub fn new(design: &'a Design) -> Self {
-        Self { design, setup_ps: 5.0, hold_ps: 2.0, fast_corner: 0.5 }
+        Self {
+            design,
+            setup_ps: 5.0,
+            hold_ps: 2.0,
+            fast_corner: 0.5,
+        }
     }
 
     /// Analyze `placement`, using per-net routed lengths when available
@@ -128,18 +133,18 @@ impl<'a> Sta<'a> {
         // edge (from_pin -> to_pin, delay)
         let mut succ: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_pins];
         let mut indeg = vec![0u32; n_pins];
-        let add_edge = |succ: &mut Vec<Vec<(u32, f64)>>, indeg: &mut Vec<u32>, a: PinId, b: PinId, d: f64| {
-            succ[a.index()].push((b.0, d));
-            indeg[b.index()] += 1;
-        };
+        let add_edge =
+            |succ: &mut Vec<Vec<(u32, f64)>>, indeg: &mut Vec<u32>, a: PinId, b: PinId, d: f64| {
+                succ[a.index()].push((b.0, d));
+                indeg[b.index()] += 1;
+            };
         // net arcs: driver output pin -> every input pin
         for net_id in netlist.net_ids() {
             if netlist.net(net_id).is_clock {
                 continue; // ideal clock
             }
-            let driver = match netlist.net_driver(net_id) {
-                Some(d) => d,
-                None => continue,
+            let Some(driver) = netlist.net_driver(net_id) else {
+                continue;
             };
             let d = net_wire_delay[net_id.index()];
             for &p in &netlist.net(net_id).pins {
@@ -164,8 +169,7 @@ impl<'a> Sta<'a> {
                         continue;
                     }
                     let load = net_load[netlist.pin(po).net.index()];
-                    let d =
-                        cell.intrinsic_delay + drive(cell_id.index(), cell.drive_res) * load;
+                    let d = cell.intrinsic_delay + drive(cell_id.index(), cell.drive_res) * load;
                     add_edge(&mut succ, &mut indeg, pi, po, d);
                 }
             }
@@ -195,8 +199,9 @@ impl<'a> Sta<'a> {
         }
 
         // --- Kahn propagation with cycle breaking ------------------------------
-        let mut queue: std::collections::VecDeque<u32> =
-            (0..n_pins as u32).filter(|&p| indeg[p as usize] == 0).collect();
+        let mut queue: std::collections::VecDeque<u32> = (0..n_pins as u32)
+            .filter(|&p| indeg[p as usize] == 0)
+            .collect();
         let mut processed = vec![false; n_pins];
         let mut n_done = 0usize;
         let mut broken = 0usize;
@@ -300,9 +305,9 @@ impl<'a> Sta<'a> {
         // back-annotate worst slack onto every cell on the path (approximate:
         // a cell's slack is the worst endpoint slack reachable, here we use
         // arrival-based estimate: slack_i = period - setup - arrival_worst_i).
-        for pin_id in 0..n_pins {
+        for (pin_id, &arr) in arrival.iter().enumerate().take(n_pins) {
             let ci = netlist.pin(PinId(pin_id as u32)).cell.index();
-            let s = period - self.setup_ps - arrival[pin_id];
+            let s = period - self.setup_ps - arr;
             if s < cell_slack[ci] {
                 cell_slack[ci] = s;
             }
@@ -327,7 +332,11 @@ impl<'a> Sta<'a> {
 
 /// Convenience: worst slack including positive values (not clipped at 0).
 pub fn raw_wns(report: &TimingReport) -> f64 {
-    report.cell_slack.iter().copied().fold(f64::INFINITY, f64::min)
+    report
+        .cell_slack
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
 }
 
 /// HPWL-based pre-route analysis shortcut.
@@ -386,8 +395,14 @@ mod tests {
         let ff1 = b.add_cell_simple("ff1", CellClass::Sequential);
         let g1 = b.add_cell_simple("g1", CellClass::Combinational);
         let ff2 = b.add_cell_simple("ff2", CellClass::Sequential);
-        b.add_net("a", &[(ff1, PinDirection::Output), (g1, PinDirection::Input)]);
-        b.add_net("b", &[(g1, PinDirection::Output), (ff2, PinDirection::Input)]);
+        b.add_net(
+            "a",
+            &[(ff1, PinDirection::Output), (g1, PinDirection::Input)],
+        );
+        b.add_net(
+            "b",
+            &[(g1, PinDirection::Output), (ff2, PinDirection::Input)],
+        );
         let nl = b.finish().expect("valid");
         let d = wrap_design(nl);
         let rep = Sta::new(&d).analyze(&d.placement, None, None);
@@ -401,8 +416,14 @@ mod tests {
         let mut b = NetlistBuilder::new("loop");
         let g1 = b.add_cell_simple("g1", CellClass::Combinational);
         let g2 = b.add_cell_simple("g2", CellClass::Combinational);
-        b.add_net("a", &[(g1, PinDirection::Output), (g2, PinDirection::Input)]);
-        b.add_net("b", &[(g2, PinDirection::Output), (g1, PinDirection::Input)]);
+        b.add_net(
+            "a",
+            &[(g1, PinDirection::Output), (g2, PinDirection::Input)],
+        );
+        b.add_net(
+            "b",
+            &[(g2, PinDirection::Output), (g1, PinDirection::Input)],
+        );
         let nl = b.finish().expect("valid");
         let d = wrap_design(nl);
         let rep = Sta::new(&d).analyze(&d.placement, None, None);
@@ -416,7 +437,10 @@ mod tests {
         let mut b = NetlistBuilder::new("hold");
         let ff1 = b.add_cell_simple("ff1", CellClass::Sequential);
         let ff2 = b.add_cell_simple("ff2", CellClass::Sequential);
-        b.add_net("q", &[(ff1, PinDirection::Output), (ff2, PinDirection::Input)]);
+        b.add_net(
+            "q",
+            &[(ff1, PinDirection::Output), (ff2, PinDirection::Input)],
+        );
         let nl = b.finish().expect("valid");
         let d = wrap_design(nl);
         let mut sta = Sta::new(&d);
@@ -432,7 +456,7 @@ mod tests {
     }
 
     #[test]
-    fn hold_and_setup_move_oppositely_with_wire_length(){
+    fn hold_and_setup_move_oppositely_with_wire_length() {
         let d = GeneratorConfig::for_profile(DesignProfile::Dma)
             .with_scale(0.02)
             .generate(7)
@@ -524,11 +548,7 @@ pub struct PathPoint {
 /// Each path is traced from a violating (or worst-slack) endpoint back
 /// through the worst-arrival predecessors to its launch point. Paths are
 /// returned worst-first, each as `(endpoint slack, points start → end)`.
-pub fn worst_paths(
-    design: &Design,
-    report: &TimingReport,
-    k: usize,
-) -> Vec<(f64, Vec<PathPoint>)> {
+pub fn worst_paths(design: &Design, report: &TimingReport, k: usize) -> Vec<(f64, Vec<PathPoint>)> {
     let netlist = &design.netlist;
     let period = design.technology.clock_period_ps;
     // endpoints ranked by slack
@@ -562,8 +582,7 @@ pub fn worst_paths(
                 // Broken combinational cycles can leave a stale predecessor
                 // whose arrival exceeds ours; truncate the trace there.
                 if pred != u32::MAX
-                    && report.pin_arrival[pred as usize]
-                        > report.pin_arrival[cur as usize] + 1e-9
+                    && report.pin_arrival[pred as usize] > report.pin_arrival[cur as usize] + 1e-9
                 {
                     break;
                 }

@@ -1,7 +1,9 @@
 //! Dataset plumbing: samples, normalization, tensor conversion, and the
 //! 8-fold orientation augmentation of Sec. III-B3.
 
-use dco_features::{apply_orientation, resize_nearest, DieFeatures, GridMap, Orientation, NUM_CHANNELS};
+use dco_features::{
+    apply_orientation, resize_nearest, DieFeatures, GridMap, Orientation, NUM_CHANNELS,
+};
 use dco_tensor::Tensor;
 
 /// One supervised sample: per-die feature stacks and congestion labels,
@@ -19,7 +21,10 @@ impl Sample {
     /// everything to `size` × `size` with nearest-neighbour interpolation.
     pub fn from_maps(features: [&DieFeatures; 2], labels: [&GridMap; 2], size: usize) -> Self {
         let resize_all = |f: &DieFeatures| -> Vec<GridMap> {
-            f.channels().iter().map(|m| resize_nearest(m, size, size)).collect()
+            f.channels()
+                .iter()
+                .map(|m| resize_nearest(m, size, size))
+                .collect()
         };
         Self {
             features: [resize_all(features[0]), resize_all(features[1])],
@@ -35,8 +40,14 @@ impl Sample {
     pub fn oriented(&self, o: Orientation) -> Self {
         Self {
             features: [
-                self.features[0].iter().map(|m| apply_orientation(m, o)).collect(),
-                self.features[1].iter().map(|m| apply_orientation(m, o)).collect(),
+                self.features[0]
+                    .iter()
+                    .map(|m| apply_orientation(m, o))
+                    .collect(),
+                self.features[1]
+                    .iter()
+                    .map(|m| apply_orientation(m, o))
+                    .collect(),
             ],
             labels: [
                 apply_orientation(&self.labels[0], o),
@@ -78,7 +89,10 @@ impl Normalization {
         if label_scale <= 1e-6 {
             label_scale = 1.0;
         }
-        Self { channel_scale, label_scale }
+        Self {
+            channel_scale,
+            label_scale,
+        }
     }
 
     /// Stack one die's features into a normalized `[1, C, H, W]` tensor.
@@ -108,7 +122,10 @@ impl Normalization {
         GridMap::from_vec(
             nx,
             ny,
-            t.data().iter().map(|&v| (v * self.label_scale).max(0.0)).collect(),
+            t.data()
+                .iter()
+                .map(|&v| (v * self.label_scale).max(0.0))
+                .collect(),
         )
     }
 }

@@ -26,8 +26,8 @@ mod persist;
 mod trainer;
 
 pub use data::{Normalization, Sample};
-pub use persist::{load_predictor, save_predictor, PersistError, PredictorBundle};
 pub use model::{SiameseUNet, UNetConfig};
+pub use persist::{load_predictor, save_predictor, PersistError, PredictorBundle};
 pub use trainer::{
     evaluate_loss, evaluate_metrics, predict_maps, train, EvalRecord, TrainConfig, TrainResult,
 };

@@ -23,7 +23,11 @@ impl Default for UNetConfig {
     fn default() -> Self {
         // The paper trains at 224x224; tests/benches use smaller sizes for
         // single-core wall-clock sanity (EXPERIMENTS.md records actual sizes).
-        Self { in_channels: 7, base_channels: 8, size: 32 }
+        Self {
+            in_channels: 7,
+            base_channels: 8,
+            size: 32,
+        }
     }
 }
 
@@ -54,16 +58,29 @@ impl SiameseUNet {
     /// # Panics
     /// Panics unless `cfg.size` is divisible by 4.
     pub fn new(cfg: UNetConfig, seed: u64) -> Self {
-        assert!(cfg.size % 4 == 0, "input size must be divisible by 4");
+        assert!(
+            cfg.size.is_multiple_of(4),
+            "input size must be divisible by 4"
+        );
         let mut init = Initializer::new(seed);
         let mut store = ParamStore::new();
         let f = cfg.base_channels;
         let c = cfg.in_channels;
-        let conv = |init: &mut Initializer, store: &mut ParamStore, name: &str, co: usize, ci: usize, k: usize| {
+        let conv = |init: &mut Initializer,
+                    store: &mut ParamStore,
+                    name: &str,
+                    co: usize,
+                    ci: usize,
+                    k: usize| {
             store.insert(format!("{name}.w"), init.xavier_uniform(&[co, ci, k, k]));
             store.insert(format!("{name}.b"), Tensor::zeros(&[co]));
         };
-        let convt = |init: &mut Initializer, store: &mut ParamStore, name: &str, ci: usize, co: usize, k: usize| {
+        let convt = |init: &mut Initializer,
+                     store: &mut ParamStore,
+                     name: &str,
+                     ci: usize,
+                     co: usize,
+                     k: usize| {
             store.insert(format!("{name}.w"), init.xavier_uniform(&[ci, co, k, k]));
             store.insert(format!("{name}.b"), Tensor::zeros(&[co]));
         };
@@ -175,7 +192,10 @@ impl SiameseUNet {
     /// `∂C_d/∂F_d` term).
     pub fn forward_frozen(&self, g: &mut Graph, x0: Var, x1: Var) -> (Var, Var) {
         let c = |g: &mut Graph, s: &ParamStore, n: &str| -> (Var, Var) {
-            (g.input(s.get(&format!("{n}.w")).clone()), g.input(s.get(&format!("{n}.b")).clone()))
+            (
+                g.input(s.get(&format!("{n}.w")).clone()),
+                g.input(s.get(&format!("{n}.b")).clone()),
+            )
         };
         let p_enc1 = c(g, &self.store, "enc1");
         let p_enc2 = c(g, &self.store, "enc2");
@@ -258,7 +278,11 @@ mod tests {
     use dco_tensor::Adam;
 
     fn tiny_cfg() -> UNetConfig {
-        UNetConfig { in_channels: 7, base_channels: 4, size: 8 }
+        UNetConfig {
+            in_channels: 7,
+            base_channels: 4,
+            size: 8,
+        }
     }
 
     #[test]
@@ -275,15 +299,31 @@ mod tests {
         // One set of encoder/decoder weights serves both dies: perturbing a
         // single shared weight must change BOTH predictions.
         let mut model = SiameseUNet::new(tiny_cfg(), 2);
-        let f = Tensor::from_vec((0..7 * 64).map(|v| (v % 13) as f32 * 0.1).collect(), &[1, 7, 8, 8]);
-        let f_alt = Tensor::from_vec((0..7 * 64).map(|v| (v % 7) as f32 * 0.1).collect(), &[1, 7, 8, 8]);
+        let f = Tensor::from_vec(
+            (0..7 * 64).map(|v| (v % 13) as f32 * 0.1).collect(),
+            &[1, 7, 8, 8],
+        );
+        let f_alt = Tensor::from_vec(
+            (0..7 * 64).map(|v| (v % 7) as f32 * 0.1).collect(),
+            &[1, 7, 8, 8],
+        );
         let (a0, a1) = model.predict(&f, &f_alt);
         let mut w = model.store_mut().get("enc1.w").clone();
         w.data_mut()[0] += 0.5;
         model.store_mut().insert("enc1.w", w);
         let (b0, b1) = model.predict(&f, &f_alt);
-        let diff0: f32 = a0.data().iter().zip(b0.data()).map(|(x, y)| (x - y).abs()).sum();
-        let diff1: f32 = a1.data().iter().zip(b1.data()).map(|(x, y)| (x - y).abs()).sum();
+        let diff0: f32 = a0
+            .data()
+            .iter()
+            .zip(b0.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        let diff1: f32 = a1
+            .data()
+            .iter()
+            .zip(b1.data())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
         assert!(diff0 > 1e-5, "die 0 unaffected by shared weight");
         assert!(diff1 > 1e-5, "die 1 unaffected by shared weight");
     }
@@ -296,14 +336,25 @@ mod tests {
         let f_alt = Tensor::full(&[1, 7, 8, 8], 2.0);
         let (c0_a, _) = model.predict(&f, &f);
         let (c0_b, _) = model.predict(&f, &f_alt);
-        let diff: f32 = c0_a.data().iter().zip(c0_b.data()).map(|(a, b)| (a - b).abs()).sum();
-        assert!(diff > 1e-4, "communication layer seems disconnected (diff {diff})");
+        let diff: f32 = c0_a
+            .data()
+            .iter()
+            .zip(c0_b.data())
+            .map(|(a, b)| (a - b).abs())
+            .sum();
+        assert!(
+            diff > 1e-4,
+            "communication layer seems disconnected (diff {diff})"
+        );
     }
 
     #[test]
     fn one_training_step_reduces_loss() {
         let mut model = SiameseUNet::new(tiny_cfg(), 4);
-        let f = Tensor::from_vec((0..7 * 64).map(|v| (v % 5) as f32 * 0.2).collect(), &[1, 7, 8, 8]);
+        let f = Tensor::from_vec(
+            (0..7 * 64).map(|v| (v % 5) as f32 * 0.2).collect(),
+            &[1, 7, 8, 8],
+        );
         let label = Tensor::full(&[1, 1, 8, 8], 0.7);
         let mut opt = Adam::new(0.01);
         let mut losses = Vec::new();
@@ -329,7 +380,10 @@ mod tests {
     #[test]
     fn raw_predictions_are_finite() {
         let model = SiameseUNet::new(tiny_cfg(), 5);
-        let f = Tensor::from_vec((0..7 * 64).map(|v| -(v as f32) * 0.01).collect(), &[1, 7, 8, 8]);
+        let f = Tensor::from_vec(
+            (0..7 * 64).map(|v| -(v as f32) * 0.01).collect(),
+            &[1, 7, 8, 8],
+        );
         let (c0, _) = model.predict(&f, &f);
         assert!(c0.data().iter().all(|v| v.is_finite()));
     }
@@ -337,6 +391,13 @@ mod tests {
     #[test]
     #[should_panic(expected = "divisible by 4")]
     fn bad_size_is_rejected() {
-        let _ = SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 10 }, 0);
+        let _ = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 10,
+            },
+            0,
+        );
     }
 }

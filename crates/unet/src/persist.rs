@@ -93,7 +93,10 @@ pub fn load_predictor(
     let bytes = std::fs::read(path)?;
     let bundle: PredictorBundle = serde_json::from_slice(&bytes)?;
     if bundle.version != 1 {
-        return Err(PersistError::Invalid(format!("unsupported version {}", bundle.version)));
+        return Err(PersistError::Invalid(format!(
+            "unsupported version {}",
+            bundle.version
+        )));
     }
     let mut model = SiameseUNet::new(bundle.config, 0);
     // Validate the weight set against the freshly initialized architecture.
@@ -122,19 +125,32 @@ mod tests {
     use dco_tensor::Tensor;
 
     fn tmp(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!("dco_unet_persist_{name}_{}.json", std::process::id()))
+        std::env::temp_dir().join(format!(
+            "dco_unet_persist_{name}_{}.json",
+            std::process::id()
+        ))
     }
 
     #[test]
     fn save_load_round_trips_predictions() {
-        let cfg = UNetConfig { in_channels: 7, base_channels: 4, size: 8 };
+        let cfg = UNetConfig {
+            in_channels: 7,
+            base_channels: 4,
+            size: 8,
+        };
         let model = SiameseUNet::new(cfg, 9);
-        let norm = Normalization { channel_scale: [2.0; 7], label_scale: 3.5 };
+        let norm = Normalization {
+            channel_scale: [2.0; 7],
+            label_scale: 3.5,
+        };
         let path = tmp("roundtrip");
         save_predictor(&path, &model, &norm).expect("save");
         let (loaded, norm2) = load_predictor(&path).expect("load");
         assert_eq!(norm, norm2);
-        let f = Tensor::from_vec((0..7 * 64).map(|v| (v % 11) as f32 * 0.1).collect(), &[1, 7, 8, 8]);
+        let f = Tensor::from_vec(
+            (0..7 * 64).map(|v| (v % 11) as f32 * 0.1).collect(),
+            &[1, 7, 8, 8],
+        );
         let (a, _) = model.predict(&f, &f);
         let (b, _) = loaded.predict(&f, &f);
         assert_eq!(a, b, "loaded model must predict identically");
@@ -151,15 +167,24 @@ mod tests {
 
     #[test]
     fn shape_mismatch_is_rejected() {
-        let cfg = UNetConfig { in_channels: 7, base_channels: 4, size: 8 };
+        let cfg = UNetConfig {
+            in_channels: 7,
+            base_channels: 4,
+            size: 8,
+        };
         let model = SiameseUNet::new(cfg, 1);
-        let norm = Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+        let norm = Normalization {
+            channel_scale: [1.0; 7],
+            label_scale: 1.0,
+        };
         let path = tmp("shape");
         save_predictor(&path, &model, &norm).expect("save");
         // tamper: change one weight's shape
         let mut bundle: PredictorBundle =
             serde_json::from_slice(&std::fs::read(&path).expect("read")).expect("parse");
-        bundle.weights.insert("enc1.w".into(), Tensor::zeros(&[1, 1, 1, 1]));
+        bundle
+            .weights
+            .insert("enc1.w".into(), Tensor::zeros(&[1, 1, 1, 1]));
         std::fs::write(&path, serde_json::to_vec(&bundle).expect("ser")).expect("write");
         match load_predictor(&path) {
             Err(PersistError::Invalid(msg)) => assert!(msg.contains("enc1.w")),

@@ -24,7 +24,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 30, learning_rate: 5e-3, test_fraction: 0.2, augment: true, seed: 0 }
+        Self {
+            epochs: 30,
+            learning_rate: 5e-3,
+            test_fraction: 0.2,
+            augment: true,
+            seed: 0,
+        }
     }
 }
 
@@ -66,7 +72,12 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
     let train_samples: Vec<&Sample> = train_idx.iter().map(|&i| &dataset[i]).collect();
     let test_samples: Vec<&Sample> = test_idx.iter().map(|&i| &dataset[i]).collect();
 
-    let norm = Normalization::fit(&train_idx.iter().map(|&i| dataset[i].clone()).collect::<Vec<_>>());
+    let norm = Normalization::fit(
+        &train_idx
+            .iter()
+            .map(|&i| dataset[i].clone())
+            .collect::<Vec<_>>(),
+    );
     let mut opt = Adam::new(cfg.learning_rate);
     let mut train_loss = Vec::with_capacity(cfg.epochs);
     let mut test_loss = Vec::with_capacity(cfg.epochs);
@@ -99,7 +110,12 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
     }
 
     let test_metrics = evaluate_metrics(model, &test_samples, &norm);
-    TrainResult { train_loss, test_loss, test_metrics, normalization: norm }
+    TrainResult {
+        train_loss,
+        test_loss,
+        test_metrics,
+        normalization: norm,
+    }
 }
 
 /// Mean Eq.-4 loss over a sample set (no gradient).
@@ -143,7 +159,10 @@ pub fn evaluate_metrics(
         for (pred_t, label) in [(c0, &s.labels[0]), (c1, &s.labels[1])] {
             let pred = norm.prediction_to_map(&pred_t);
             let range = label.max().max(pred.max()).max(1e-6);
-            out.push(EvalRecord { nrmse: nrmse(&pred, label), ssim: ssim(&pred, label, range) });
+            out.push(EvalRecord {
+                nrmse: nrmse(&pred, label),
+                ssim: ssim(&pred, label, range),
+            });
         }
     }
     out
@@ -178,7 +197,9 @@ mod tests {
                     GridMap::from_vec(
                         size,
                         size,
-                        (0..size * size).map(|_| rng.gen_range(0.0..1.0f32)).collect(),
+                        (0..size * size)
+                            .map(|_| rng.gen_range(0.0..1.0f32))
+                            .collect(),
                     )
                 };
                 let mut features0 = Vec::new();
@@ -203,9 +224,20 @@ mod tests {
     #[test]
     fn training_reduces_loss_on_learnable_task() {
         let data = synthetic_dataset(10, 8, 1);
-        let mut model =
-            SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 7);
-        let cfg = TrainConfig { epochs: 6, learning_rate: 5e-3, augment: false, ..TrainConfig::default() };
+        let mut model = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 8,
+            },
+            7,
+        );
+        let cfg = TrainConfig {
+            epochs: 6,
+            learning_rate: 5e-3,
+            augment: false,
+            ..TrainConfig::default()
+        };
         let result = train(&mut model, &data, &cfg);
         assert_eq!(result.train_loss.len(), 6);
         let first = result.train_loss[0];
@@ -217,9 +249,26 @@ mod tests {
     #[test]
     fn metrics_improve_with_training() {
         let data = synthetic_dataset(10, 8, 2);
-        let make = || SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 3);
-        let cfg0 = TrainConfig { epochs: 1, augment: false, ..TrainConfig::default() };
-        let cfg1 = TrainConfig { epochs: 10, augment: false, ..TrainConfig::default() };
+        let make = || {
+            SiameseUNet::new(
+                UNetConfig {
+                    in_channels: 7,
+                    base_channels: 4,
+                    size: 8,
+                },
+                3,
+            )
+        };
+        let cfg0 = TrainConfig {
+            epochs: 1,
+            augment: false,
+            ..TrainConfig::default()
+        };
+        let cfg1 = TrainConfig {
+            epochs: 10,
+            augment: false,
+            ..TrainConfig::default()
+        };
         let mut m0 = make();
         let r0 = train(&mut m0, &data, &cfg0);
         let mut m1 = make();
@@ -238,9 +287,19 @@ mod tests {
     #[test]
     fn predict_maps_round_trips_shapes() {
         let data = synthetic_dataset(4, 8, 3);
-        let mut model =
-            SiameseUNet::new(UNetConfig { in_channels: 7, base_channels: 4, size: 8 }, 9);
-        let cfg = TrainConfig { epochs: 1, augment: false, ..TrainConfig::default() };
+        let mut model = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 8,
+            },
+            9,
+        );
+        let cfg = TrainConfig {
+            epochs: 1,
+            augment: false,
+            ..TrainConfig::default()
+        };
         let result = train(&mut model, &data, &cfg);
         let maps = predict_maps(
             &model,

@@ -13,26 +13,50 @@ use dco_route::RouterConfig;
 use dco_unet::{predict_maps, train, SiameseUNet, TrainConfig, UNetConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let design = GeneratorConfig::for_profile(DesignProfile::Aes).with_scale(0.01).generate(7)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Aes)
+        .with_scale(0.01)
+        .generate(7)?;
     let cfg = FlowConfig::default();
     println!(
         "building dataset: {} layouts of {} at {}x{} ...",
         cfg.train_layouts, design.name, cfg.map_size, cfg.map_size
     );
-    let dataset = build_dataset(&design, cfg.train_layouts, cfg.map_size, &RouterConfig::default(), 7);
-
-    let mut model = SiameseUNet::new(
-        UNetConfig { in_channels: 7, base_channels: cfg.unet_channels, size: cfg.map_size },
+    let dataset = build_dataset(
+        &design,
+        cfg.train_layouts,
+        cfg.map_size,
+        &RouterConfig::default(),
         7,
     );
-    println!("training SiameseUNet ({} parameters) ...", model.num_parameters());
+
+    let mut model = SiameseUNet::new(
+        UNetConfig {
+            in_channels: 7,
+            base_channels: cfg.unet_channels,
+            size: cfg.map_size,
+        },
+        7,
+    );
+    println!(
+        "training SiameseUNet ({} parameters) ...",
+        model.num_parameters()
+    );
     let result = train(
         &mut model,
         &dataset,
-        &TrainConfig { epochs: 6, seed: 7, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 6,
+            seed: 7,
+            ..TrainConfig::default()
+        },
     );
     for (e, (tr, te)) in result.train_loss.iter().zip(&result.test_loss).enumerate() {
-        println!("epoch {:>2}: train loss {:.4}, test loss {:.4}", e + 1, tr, te);
+        println!(
+            "epoch {:>2}: train loss {:.4}, test loss {:.4}",
+            e + 1,
+            tr,
+            te
+        );
     }
     let mean_nrmse: f32 =
         result.test_metrics.iter().map(|m| m.nrmse).sum::<f32>() / result.test_metrics.len() as f32;

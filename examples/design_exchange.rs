@@ -18,19 +18,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     std::fs::create_dir_all(&dir)?;
 
     // 1. Generate and persist a design as JSON (full fidelity).
-    let design = GeneratorConfig::for_profile(DesignProfile::Ecg).with_scale(0.02).generate(5)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Ecg)
+        .with_scale(0.02)
+        .generate(5)?;
     let json_path = dir.join("ecg.json");
     design.save_json(&json_path)?;
     let reloaded = Design::load_json(&json_path)?;
     assert_eq!(reloaded.netlist, design.netlist);
-    println!("JSON round trip: {} cells intact ({})", reloaded.netlist.num_cells(), json_path.display());
+    println!(
+        "JSON round trip: {} cells intact ({})",
+        reloaded.netlist.num_cells(),
+        json_path.display()
+    );
 
     // 2. Export to Bookshelf for external placement tools.
     let nodes = bookshelf::to_nodes(&design.netlist);
     let nets = bookshelf::to_nets(&design.netlist);
     std::fs::write(dir.join("ecg.nodes"), &nodes)?;
     std::fs::write(dir.join("ecg.nets"), &nets)?;
-    println!("Bookshelf export: {} node lines, {} net lines", nodes.lines().count(), nets.lines().count());
+    println!(
+        "Bookshelf export: {} node lines, {} net lines",
+        nodes.lines().count(),
+        nets.lines().count()
+    );
 
     // 3. Place here, export the .pl, re-import it (as an external tool would
     //    hand back a placement), and verify equivalence.
@@ -38,7 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut placement = GlobalPlacer::new(&design).place(&params, 5);
     legalize(&design, &mut placement, params.displacement_threshold);
     let stats = detailed_place(&design, &mut placement, 4, 2);
-    println!("detailed placement: {} swaps, {:.2} um HPWL recovered", stats.swaps, stats.hpwl_gain);
+    println!(
+        "detailed placement: {} swaps, {:.2} um HPWL recovered",
+        stats.swaps, stats.hpwl_gain
+    );
     let pl = bookshelf::to_pl(&design.netlist, &placement);
     std::fs::write(dir.join("ecg.pl"), &pl)?;
     let imported = bookshelf::pl_into_placement(&design.netlist, &pl)?;
@@ -51,12 +64,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Persist an (untrained, for speed) predictor and reload it.
     let model = SiameseUNet::new(UNetConfig::default(), 5);
-    let norm = dco_unet::Normalization { channel_scale: [1.0; 7], label_scale: 1.0 };
+    let norm = dco_unet::Normalization {
+        channel_scale: [1.0; 7],
+        label_scale: 1.0,
+    };
     let pred_path = dir.join("predictor.json");
     save_predictor(&pred_path, &model, &norm)?;
     let (loaded, _) = load_predictor(&pred_path)?;
     assert_eq!(loaded.num_parameters(), model.num_parameters());
-    println!("predictor bundle: {} parameters ({})", loaded.num_parameters(), pred_path.display());
+    println!(
+        "predictor bundle: {} parameters ({})",
+        loaded.num_parameters(),
+        pred_path.display()
+    );
 
     // 5. Export spreading directives between two placements as TCL.
     let mut nudged = placement.clone();

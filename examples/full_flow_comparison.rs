@@ -9,9 +9,14 @@ use dco_flow::{format_design_block, train_predictor, FlowConfig, FlowKind, FlowR
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let scale: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.02);
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.02);
     let seed = 1u64;
-    let design = GeneratorConfig::for_profile(DesignProfile::Vga).with_scale(scale).generate(seed)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Vga)
+        .with_scale(scale)
+        .generate(seed)?;
     let cfg = FlowConfig::default();
 
     println!("training DCO-3D predictor ...");

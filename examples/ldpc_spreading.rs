@@ -16,8 +16,14 @@ use dco_route::{Router, RouterConfig};
 use dco_timing::Sta;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc).with_scale(0.02).generate(11)?;
-    let cfg = FlowConfig { train_layouts: 6, train_epochs: 3, ..FlowConfig::default() };
+    let design = GeneratorConfig::for_profile(DesignProfile::Ldpc)
+        .with_scale(0.02)
+        .generate(11)?;
+    let cfg = FlowConfig {
+        train_layouts: 6,
+        train_epochs: 3,
+        ..FlowConfig::default()
+    };
 
     println!("training congestion predictor for {} ...", design.name);
     let predictor = train_predictor(&design, &cfg, 11);
@@ -37,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &predictor.normalization,
         features,
         Gcn::new(GcnConfig::default(), 11),
-        DcoConfig { max_iter: 15, ..DcoConfig::default() },
+        DcoConfig {
+            max_iter: 15,
+            ..DcoConfig::default()
+        },
     );
     let result = dco.run(&before);
     let mut after = result.placement.clone();
@@ -57,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    println!("\npost-route overflow: Pin3D {:.0} -> DCO-3D {:.0}", routed_before.report.total, routed_after.report.total);
+    println!(
+        "\npost-route overflow: Pin3D {:.0} -> DCO-3D {:.0}",
+        routed_before.report.total, routed_after.report.total
+    );
     println!(
         "cut size: {} -> {}",
         before.cut_size(&design.netlist),
@@ -66,19 +78,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Fig. 6: congestion maps.
     println!("\nFig.6-style congestion maps (top die), Pin3D (left) vs DCO-3D (right):");
-    side_by_side(&routed_before.congestion[1].to_ascii(), &routed_after.congestion[1].to_ascii());
+    side_by_side(
+        &routed_before.congestion[1].to_ascii(),
+        &routed_after.congestion[1].to_ascii(),
+    );
 
     // Fig. 7: density maps.
     let fx = FeatureExtractor::new(design.floorplan.grid);
     let [_, top_before] = fx.extract(&design.netlist, &before);
     let [_, top_after] = fx.extract(&design.netlist, &after);
     println!("\nFig.7-style density maps (top die), Pin3D (left) vs DCO-3D (right):");
-    side_by_side(&top_before.cell_density.to_ascii(), &top_after.cell_density.to_ascii());
+    side_by_side(
+        &top_before.cell_density.to_ascii(),
+        &top_after.cell_density.to_ascii(),
+    );
 
     // The TCL export the paper hands to ICC2.
     let directives = diff_placements(&design.netlist, &before, &after, 0.05);
     let tcl = directives_to_tcl(&directives);
-    println!("\nexported {} spreading directives; first lines:", directives.len());
+    println!(
+        "\nexported {} spreading directives; first lines:",
+        directives.len()
+    );
     for line in tcl.lines().take(6) {
         println!("  {line}");
     }

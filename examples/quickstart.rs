@@ -11,7 +11,9 @@ use dco_timing::{PowerAnalyzer, Sta};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. A miniature DMA-profile design (5% of the paper's 13K cells).
-    let design = GeneratorConfig::for_profile(DesignProfile::Dma).with_scale(0.05).generate(42)?;
+    let design = GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.05)
+        .generate(42)?;
     println!(
         "design {}: {} cells, {} nets, {} IOs, die {:.1} x {:.1} um",
         design.name,
@@ -47,7 +49,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Signoff-style timing and power.
-    let timing = Sta::new(&design).analyze(&placement, Some(&routed.net_lengths), Some(&routed.net_bonds));
+    let timing = Sta::new(&design).analyze(
+        &placement,
+        Some(&routed.net_lengths),
+        Some(&routed.net_bonds),
+    );
     let power = PowerAnalyzer::new(&design).analyze(&placement, Some(&routed.net_lengths));
     println!(
         "timing: WNS {:.1} ps, TNS {:.0} ps ({} violations)",

@@ -1,0 +1,112 @@
+//! Offline stand-in for `rand_distr`: just the [`Geometric`] and
+//! [`LogNormal`] distributions the synthetic netlist generator draws from.
+
+use rand::RngCore;
+
+/// Types that can be sampled given a generator.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error for invalid distribution parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistError(&'static str);
+
+impl std::fmt::Display for DistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for DistError {}
+
+/// Number of failures before the first success of a Bernoulli(p) trial.
+#[derive(Debug, Clone, Copy)]
+pub struct Geometric {
+    ln_one_minus_p: f64,
+}
+
+impl Geometric {
+    /// `p` is the per-trial success probability, in `(0, 1]`.
+    pub fn new(p: f64) -> Result<Self, DistError> {
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(DistError("geometric p must be in (0, 1]"));
+        }
+        Ok(Self {
+            ln_one_minus_p: (1.0 - p).ln(),
+        })
+    }
+}
+
+impl Distribution<u64> for Geometric {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+        if self.ln_one_minus_p == f64::NEG_INFINITY {
+            return 0; // p == 1: always succeed immediately
+        }
+        // Inversion: floor(ln(U) / ln(1 - p)), U in (0, 1).
+        let u = (1.0 - rng.next_f64()).max(f64::MIN_POSITIVE);
+        (u.ln() / self.ln_one_minus_p).floor() as u64
+    }
+}
+
+/// exp of a normal variate: `exp(mu + sigma * N(0, 1))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// `mu`/`sigma` are the mean and std-dev of the underlying normal.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistError> {
+        if !(sigma >= 0.0 && sigma.is_finite() && mu.is_finite()) {
+            return Err(DistError("lognormal needs finite mu and sigma >= 0"));
+        }
+        Ok(Self { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller.
+        let u1 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2 = rng.next_f64();
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * n).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_median_near_exp_mu() {
+        let d = LogNormal::new(0.5, 0.3).expect("params");
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<f64> = (0..4001).map(|_| d.sample(&mut rng)).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let median = v[v.len() / 2];
+        assert!((median - 0.5f64.exp()).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn geometric_mean_matches() {
+        let p = 0.4;
+        let d = Geometric::new(p).expect("params");
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 20_000;
+        let mean = (0..n).map(|_| d.sample(&mut rng)).sum::<u64>() as f64 / n as f64;
+        let want = (1.0 - p) / p;
+        assert!((mean - want).abs() < 0.1, "mean {mean} want {want}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Geometric::new(0.0).is_err());
+        assert!(LogNormal::new(f64::NAN, 1.0).is_err());
+    }
+}

@@ -1,0 +1,309 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline `serde` shim.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes the
+//! workspace derives:
+//!
+//! - structs with named fields -> JSON objects,
+//! - tuple structs: newtypes serialize transparently, larger ones as arrays,
+//! - enums with only unit variants -> the variant name as a JSON string.
+//!
+//! Generics and `#[serde(...)]` attributes are rejected with a compile
+//! error rather than silently mis-serialized.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    /// Named-field struct and its field names.
+    Struct(Vec<String>),
+    /// Tuple struct and its field count.
+    Tuple(usize),
+    /// Enum and its unit variant names.
+    Enum(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`) prefixes.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // attribute: `#` followed by a bracket group
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) / pub(super)
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token slice on commas that sit outside `<...>` nesting.
+/// Parenthesized/bracketed/braced subtrees are single tokens already.
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_input(input: TokenStream, trait_name: &str) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive({trait_name}): expected struct/enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "derive({trait_name}): expected a name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "derive({trait_name}) on `{name}`: generic types are not supported by the serde shim"
+            ));
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for chunk in split_top_level_commas(&body) {
+                    let j = skip_attrs_and_vis(&chunk, 0);
+                    match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        None => continue, // trailing comma
+                        other => {
+                            return Err(format!(
+                                "derive({trait_name}) on `{name}`: unexpected field token {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Ok(Input {
+                    name,
+                    shape: Shape::Struct(fields),
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let n = split_top_level_commas(&body).len();
+                if n == 0 {
+                    return Err(format!(
+                        "derive({trait_name}) on `{name}`: empty tuple structs are not supported"
+                    ));
+                }
+                Ok(Input {
+                    name,
+                    shape: Shape::Tuple(n),
+                })
+            }
+            other => Err(format!(
+                "derive({trait_name}) on `{name}`: unsupported struct body {other:?}"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for chunk in split_top_level_commas(&body) {
+                    let j = skip_attrs_and_vis(&chunk, 0);
+                    match chunk.get(j) {
+                        Some(TokenTree::Ident(id)) => {
+                            if chunk.get(j + 1).is_some() {
+                                return Err(format!(
+                                    "derive({trait_name}) on `{name}`: only unit enum variants are supported"
+                                ));
+                            }
+                            variants.push(id.to_string());
+                        }
+                        None => continue,
+                        other => {
+                            return Err(format!(
+                            "derive({trait_name}) on `{name}`: unexpected variant token {other:?}"
+                        ))
+                        }
+                    }
+                }
+                Ok(Input {
+                    name,
+                    shape: Shape::Enum(variants),
+                })
+            }
+            other => Err(format!(
+                "derive({trait_name}) on `{name}`: unsupported enum body {other:?}"
+            )),
+        },
+        other => Err(format!(
+            "derive({trait_name}): unsupported item kind `{other}`"
+        )),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        // lint: allow(unwrap) — a panic in a proc macro is a compile error
+        .expect("compile_error tokens")
+}
+
+/// Derive `serde::Serialize` (shim data model: `fn to_value(&self) -> Value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Serialize") {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::String(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    // lint: allow(unwrap) — a panic in a proc macro is a compile error
+    .expect("generated Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim data model: `fn from_value(&Value)`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = match parse_input(input, "Deserialize") {
+        Ok(p) => p,
+        Err(msg) => return compile_error(&msg),
+    };
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::object_field(v, {name:?}, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Array(items) if items.len() == {n} => \
+                         ::std::result::Result::Ok(Self({inner})),\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected({exp:?}, other)),\n\
+                 }}",
+                inner = items.join(", "),
+                exp = format!("{n}-element array for {name}"),
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::String(s) => match s.as_str() {{\n\
+                         {arms},\n\
+                         other => ::std::result::Result::Err(::serde::DeError(\
+                             ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                     }},\n\
+                     other => ::std::result::Result::Err(::serde::DeError::expected({exp:?}, other)),\n\
+                 }}",
+                arms = arms.join(",\n"),
+                exp = format!("string naming a {name} variant"),
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    // lint: allow(unwrap) — a panic in a proc macro is a compile error
+    .expect("generated Deserialize impl")
+}

@@ -6,10 +6,10 @@
 //! uses a small but non-trivial design and a fixed seed; the full sweep
 //! lives in `repro_table3`.
 
+use dco3d::DcoConfig;
 use dco_flow::{train_predictor, FlowConfig, FlowKind, FlowRunner};
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 use dco_route::RouterConfig;
-use dco3d::DcoConfig;
 
 fn fast_cfg() -> FlowConfig {
     FlowConfig {
@@ -19,9 +19,19 @@ fn fast_cfg() -> FlowConfig {
         unet_channels: 4,
         train_layouts: 8,
         train_epochs: 12,
-        dco: DcoConfig { max_iter: 25, ..DcoConfig::default() },
-        stage_router: RouterConfig { rrr_iterations: 1, maze_margin: 0, ..RouterConfig::default() },
-        router: RouterConfig { rrr_iterations: 4, ..RouterConfig::default() },
+        dco: DcoConfig {
+            max_iter: 25,
+            ..DcoConfig::default()
+        },
+        stage_router: RouterConfig {
+            rrr_iterations: 1,
+            maze_margin: 0,
+            ..RouterConfig::default()
+        },
+        router: RouterConfig {
+            rrr_iterations: 4,
+            ..RouterConfig::default()
+        },
         ..FlowConfig::default()
     }
 }

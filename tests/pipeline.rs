@@ -9,7 +9,10 @@ use dco_route::{Router, RouterConfig};
 use dco_timing::{synthesize_clock_tree, PowerAnalyzer, Sta};
 
 fn small(profile: DesignProfile, seed: u64) -> Design {
-    GeneratorConfig::for_profile(profile).with_scale(0.02).generate(seed).expect("gen")
+    GeneratorConfig::for_profile(profile)
+        .with_scale(0.02)
+        .generate(seed)
+        .expect("gen")
 }
 
 #[test]
@@ -93,19 +96,34 @@ fn congestion_labels_match_features_grid() {
 fn sampled_layouts_have_diverse_congestion() {
     let d = small(DesignProfile::Dma, 4);
     let layouts = LayoutSampler::new(&d).sample(3, 4);
-    let router = Router::new(&d, RouterConfig { rrr_iterations: 2, ..RouterConfig::default() });
-    let overflows: Vec<f64> =
-        layouts.iter().map(|l| router.route(&l.placement).report.total).collect();
+    let router = Router::new(
+        &d,
+        RouterConfig {
+            rrr_iterations: 2,
+            ..RouterConfig::default()
+        },
+    );
+    let overflows: Vec<f64> = layouts
+        .iter()
+        .map(|l| router.route(&l.placement).report.total)
+        .collect();
     let min = overflows.iter().copied().fold(f64::INFINITY, f64::min);
     let max = overflows.iter().copied().fold(0.0f64, f64::max);
-    assert!(max > min, "parameter sampling should change congestion: {overflows:?}");
+    assert!(
+        max > min,
+        "parameter sampling should change congestion: {overflows:?}"
+    );
 }
 
 #[test]
 fn tier_balance_is_reasonable_after_placement() {
     let d = small(DesignProfile::Rocket, 5);
     let p = GlobalPlacer::new(&d).place(&PlacementParams::default(), 5);
-    let movable: Vec<_> = d.netlist.cell_ids().filter(|&c| d.netlist.cell(c).movable()).collect();
+    let movable: Vec<_> = d
+        .netlist
+        .cell_ids()
+        .filter(|&c| d.netlist.cell(c).movable())
+        .collect();
     let top_area: f64 = movable
         .iter()
         .filter(|&&c| p.tier(c) == Tier::Top)
@@ -113,5 +131,8 @@ fn tier_balance_is_reasonable_after_placement() {
         .sum();
     let total: f64 = movable.iter().map(|&c| d.netlist.cell(c).area()).sum();
     let frac = top_area / total;
-    assert!((0.3..=0.7).contains(&frac), "tier split {frac} too lopsided");
+    assert!(
+        (0.3..=0.7).contains(&frac),
+        "tier split {frac} too lopsided"
+    );
 }

@@ -6,8 +6,7 @@ use dco_netlist::{Die, GcellGrid};
 use proptest::prelude::*;
 
 fn arb_grid_map(nx: usize, ny: usize) -> impl Strategy<Value = GridMap> {
-    proptest::collection::vec(0.0f32..10.0, nx * ny)
-        .prop_map(move |v| GridMap::from_vec(nx, ny, v))
+    proptest::collection::vec(0.0f32..10.0, nx * ny).prop_map(move |v| GridMap::from_vec(nx, ny, v))
 }
 
 proptest! {
@@ -83,7 +82,7 @@ proptest! {
 
 mod placement_props {
     use super::*;
-    use dco_netlist::{CellClass, CellId, NetlistBuilder, Placement3, PinDirection};
+    use dco_netlist::{CellClass, CellId, NetlistBuilder, PinDirection, Placement3};
 
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(32))]
@@ -182,7 +181,9 @@ mod tensor_props {
 
 mod conv_props {
     use super::*;
-    use dco_tensor::conv::{conv2d_forward, conv_out_size, convt_out_size, conv_transpose2d_forward};
+    use dco_tensor::conv::{
+        conv2d_forward, conv_out_size, conv_transpose2d_forward, convt_out_size,
+    };
     use dco_tensor::Tensor;
 
     proptest! {
