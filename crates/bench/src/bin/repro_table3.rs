@@ -69,6 +69,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         test_loss: Vec::new(),
                         test_metrics: Vec::new(),
                         normalization,
+                        divergence_events: 0,
+                        degraded: false,
                     },
                 }
             }

@@ -11,12 +11,26 @@
 //! ```
 //!
 //! All subcommands share `--design <name>`, `--scale <f>`, `--seed <n>`.
+//!
+//! Exit codes (distinct so CI can assert on the failure class):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | success |
+//! | 2 | usage error (unknown subcommand/design, bad `--inject` spec) |
+//! | 3 | input / parse / IO failure |
+//! | 4 | flow completed but degraded (best-so-far results) |
+//! | 5 | a stage panicked on every retry |
+//! | 6 | checkpoint directory belongs to a different design/seed |
 
 mod args;
 
 use args::Args;
 use dco3d::{DcoConfig, DcoOptimizer};
-use dco_flow::{format_design_block, train_predictor, FlowConfig, FlowKind, FlowRunner, Predictor};
+use dco_flow::{
+    format_design_block, train_predictor, train_predictor_resilient, CheckpointError, FaultSpec,
+    FlowConfig, FlowError, FlowKind, FlowRunner, Predictor, ResilienceOptions,
+};
 use dco_gnn::{build_node_features, Gcn, GcnConfig};
 use dco_netlist::bookshelf;
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
@@ -25,6 +39,7 @@ use dco_place::{legalize, GlobalPlacer, PlacementParams};
 use dco_route::{Router, RouterConfig};
 use dco_timing::{synthesize_clock_tree, PowerAnalyzer, Sta};
 use dco_unet::{load_predictor, save_predictor, TrainResult};
+use std::path::PathBuf;
 
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
@@ -38,7 +53,7 @@ fn main() {
         "flow" => cmd_flow(&args),
         "" | "help" | "-h" => {
             print_help();
-            Ok(())
+            Ok(0)
         }
         other => {
             eprintln!("unknown subcommand `{other}`\n");
@@ -46,13 +61,69 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match result {
+        Ok(0) => {}
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("error: {}", e.message);
+            for cause in &e.chain {
+                eprintln!("  caused by: {cause}");
+            }
+            std::process::exit(e.code);
+        }
     }
 }
 
-type CliResult = Result<(), Box<dyn std::error::Error>>;
+/// A CLI failure: an exit code plus the error's full context chain
+/// (collected by walking [`std::error::Error::source`]).
+struct CliError {
+    code: i32,
+    message: String,
+    chain: Vec<String>,
+}
+
+impl CliError {
+    fn with_code(code: i32, err: &dyn std::error::Error) -> Self {
+        let mut chain = Vec::new();
+        let mut src = err.source();
+        while let Some(s) = src {
+            chain.push(s.to_string());
+            src = s.source();
+        }
+        Self {
+            code,
+            message: err.to_string(),
+            chain,
+        }
+    }
+
+    fn usage(message: impl Into<String>) -> Self {
+        Self {
+            code: 2,
+            message: message.into(),
+            chain: Vec::new(),
+        }
+    }
+}
+
+impl<E: std::error::Error> From<E> for CliError {
+    fn from(e: E) -> Self {
+        Self::with_code(3, &e)
+    }
+}
+
+/// Map flow errors onto the exit-code taxonomy.
+fn flow_error(e: FlowError) -> CliError {
+    let code = match &e {
+        FlowError::StagePanic { .. } => 5,
+        FlowError::Checkpoint(CheckpointError::Mismatch(_)) => 6,
+        FlowError::Checkpoint(_) => 3,
+        FlowError::MissingPredictor => 2,
+    };
+    CliError::with_code(code, &e)
+}
+
+type CliResult = Result<i32, CliError>;
 
 fn print_help() {
     println!(
@@ -65,17 +136,28 @@ fn print_help() {
          \x20 train      train the congestion predictor (--out <file.json>)\n\
          \x20 dco        run differentiable congestion optimization (--predictor <file>,\n\
          \x20            --validate to statically check the autograd tape)\n\
-         \x20 flow       run all four Table-III flows and print the comparison block\n\n\
-         common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>"
+         \x20 flow       run the Table-III flows and print the comparison block\n\
+         \x20            --kind <pin3d|pin3d-cong|pin3d-bo|dco3d|all>\n\
+         \x20            --resume <dir>    checkpoint each stage; resume from the last good one\n\
+         \x20            --inject <spec>   deterministic fault: panic@<stage>, nan@dco,\n\
+         \x20                              nan@train, corrupt@<stage>, route-stall\n\
+         \x20            --retries <n>     per-stage panic retries (default 1)\n\
+         \x20            --map-size/--channels/--layouts/--epochs/--dco-iters  speed knobs\n\n\
+         common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>\n\
+         exit codes: 0 ok, 2 usage, 3 input/io, 4 degraded, 5 stage panic, 6 checkpoint mismatch"
     );
 }
 
-fn load_design(args: &Args) -> Result<Design, Box<dyn std::error::Error>> {
+fn load_design(args: &Args) -> Result<Design, CliError> {
     let name = args.get_str("design", "DMA").to_uppercase();
     let profile = DesignProfile::ALL
         .into_iter()
         .find(|p| p.name().to_uppercase() == name)
-        .ok_or_else(|| format!("unknown design `{name}` (try DMA/AES/ECG/LDPC/VGA/Rocket)"))?;
+        .ok_or_else(|| {
+            CliError::usage(format!(
+                "unknown design `{name}` (try DMA/AES/ECG/LDPC/VGA/Rocket)"
+            ))
+        })?;
     let scale = args.get("scale", 0.03f64);
     let seed = args.get("seed", 1u64);
     Ok(GeneratorConfig::for_profile(profile)
@@ -117,7 +199,7 @@ fn cmd_generate(args: &Args) -> CliResult {
         design.netlist.num_nets(),
         design.netlist.num_pins()
     );
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_place(args: &Args) -> CliResult {
@@ -135,7 +217,7 @@ fn cmd_place(args: &Args) -> CliResult {
         std::fs::write(out, bookshelf::to_pl(&design.netlist, &p))?;
         println!("wrote placement to {out}");
     }
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_route(args: &Args) -> CliResult {
@@ -160,7 +242,7 @@ fn cmd_route(args: &Args) -> CliResult {
     if args.flag("map") {
         println!("bottom-die congestion:\n{}", r.congestion[0].to_ascii());
     }
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_sta(args: &Args) -> CliResult {
@@ -183,7 +265,7 @@ fn cmd_sta(args: &Args) -> CliResult {
         pw.internal_mw,
         pw.leakage_mw
     );
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_train(args: &Args) -> CliResult {
@@ -206,7 +288,7 @@ fn cmd_train(args: &Args) -> CliResult {
     let out = args.get_str("out", "predictor.json");
     save_predictor(&out, &predictor.unet, &predictor.normalization)?;
     println!("saved predictor to {out}");
-    Ok(())
+    Ok(0)
 }
 
 fn cmd_dco(args: &Args) -> CliResult {
@@ -260,36 +342,106 @@ fn cmd_dco(args: &Args) -> CliResult {
         std::fs::write(out, bookshelf::to_pl(&design.netlist, &after))?;
         println!("wrote optimized placement to {out}");
     }
-    Ok(())
+    Ok(0)
+}
+
+/// Flow-level knobs shared by `flow` runs; small values make CI fast.
+fn flow_config(args: &Args) -> FlowConfig {
+    let mut cfg = FlowConfig::default();
+    cfg.map_size = args.get("map-size", cfg.map_size);
+    cfg.unet_channels = args.get("channels", cfg.unet_channels);
+    cfg.train_layouts = args.get("layouts", cfg.train_layouts);
+    cfg.train_epochs = args.get("epochs", cfg.train_epochs);
+    cfg.dco.max_iter = args.get("dco-iters", cfg.dco.max_iter);
+    cfg
+}
+
+/// Resilience knobs shared by `flow` runs: `--resume <dir>` enables
+/// checkpoint/resume, `--inject <spec>` arms one deterministic fault,
+/// `--retries <n>` bounds per-stage panic retries.
+fn resilience_options(args: &Args) -> Result<ResilienceOptions, CliError> {
+    let inject = match args.options.get("inject") {
+        Some(spec) => Some(
+            spec.parse::<FaultSpec>()
+                .map_err(|e| CliError::usage(e.to_string()))?,
+        ),
+        None => None,
+    };
+    Ok(ResilienceOptions {
+        checkpoint_dir: args.options.get("resume").map(PathBuf::from),
+        isolate_panics: true,
+        max_stage_retries: args.get("retries", 1usize),
+        inject,
+    })
 }
 
 fn cmd_flow(args: &Args) -> CliResult {
     let design = load_design(args)?;
     let seed = args.get("seed", 1u64);
-    let cfg = FlowConfig::default();
-    let predictor: Predictor = match args.options.get("predictor") {
-        Some(path) => {
-            let (unet, normalization) = load_predictor(path)?;
-            Predictor {
-                unet,
-                normalization: normalization.clone(),
-                train_result: TrainResult {
-                    train_loss: Vec::new(),
-                    test_loss: Vec::new(),
-                    test_metrics: Vec::new(),
-                    normalization,
-                },
-            }
-        }
-        None => train_predictor(&design, &cfg, seed),
+    let cfg = flow_config(args);
+    let opts = resilience_options(args)?;
+    let kinds: Vec<FlowKind> = match args.get_str("kind", "all").as_str() {
+        "all" => FlowKind::ALL.to_vec(),
+        one => vec![FlowKind::ALL
+            .into_iter()
+            .find(|k| k.slug() == one)
+            .ok_or_else(|| {
+                CliError::usage(format!(
+                    "unknown flow kind `{one}` (try pin3d/pin3d-cong/pin3d-bo/dco3d/all)"
+                ))
+            })?],
     };
+    let mut degraded = false;
+
+    let predictor: Option<Predictor> = if !kinds.contains(&FlowKind::Dco3d) {
+        None
+    } else if let Some(path) = args.options.get("predictor") {
+        let (unet, normalization) = load_predictor(path)?;
+        Some(Predictor {
+            unet,
+            normalization: normalization.clone(),
+            train_result: TrainResult {
+                train_loss: Vec::new(),
+                test_loss: Vec::new(),
+                test_metrics: Vec::new(),
+                normalization,
+                divergence_events: 0,
+                degraded: false,
+            },
+        })
+    } else {
+        eprintln!("training predictor ...");
+        let (p, report) =
+            train_predictor_resilient(&design, &cfg, seed, &opts).map_err(flow_error)?;
+        for event in &report.events {
+            eprintln!("  recovery[train]: {event}");
+        }
+        degraded |= report.degraded;
+        Some(p)
+    };
+
     let runner = FlowRunner::new(&design, cfg);
     let mut outcomes = Vec::new();
-    for kind in FlowKind::ALL {
+    for kind in kinds {
         eprintln!("running {} ...", kind.label());
-        let p = (kind == FlowKind::Dco3d).then_some(&predictor);
-        outcomes.push(runner.run(kind, seed, p));
+        let p = if kind == FlowKind::Dco3d {
+            predictor.as_ref()
+        } else {
+            None
+        };
+        let resilient = runner
+            .run_resilient(kind, seed, p, &opts)
+            .map_err(flow_error)?;
+        for event in &resilient.report.events {
+            eprintln!("  recovery[{}]: {event}", kind.slug());
+        }
+        degraded |= resilient.report.degraded;
+        outcomes.push(resilient.outcome);
     }
     println!("{}", format_design_block(&design, &outcomes));
-    Ok(())
+    if degraded {
+        eprintln!("warning: flow finished with best-so-far (degraded) results");
+        return Ok(4);
+    }
+    Ok(0)
 }

@@ -233,6 +233,8 @@ impl<'a> DirectOptimizer<'a> {
             iterations,
             converged,
             diagnostics: Vec::new(),
+            divergence_events: 0,
+            degraded: false,
         }
     }
 

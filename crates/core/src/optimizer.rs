@@ -40,6 +40,15 @@ pub struct DcoConfig {
     /// collect warnings into [`DcoResult::diagnostics`]. Off by default; a
     /// debugging aid with a one-iteration analysis cost.
     pub validate_graph: bool,
+    /// Divergence guard: how many non-finite loss/gradient events to absorb
+    /// (rollback to the last good parameters and retry with a backed-off
+    /// learning rate) before degrading to the best-so-far placement.
+    pub max_divergence_retries: usize,
+    /// Learning-rate multiplier applied on each divergence rollback.
+    pub lr_backoff: f32,
+    /// Fault injection: force the loss non-finite at this attempt index
+    /// (testing hook for the divergence guard; `None` in production).
+    pub inject_nan_loss_at: Option<usize>,
 }
 
 impl Default for DcoConfig {
@@ -57,6 +66,9 @@ impl Default for DcoConfig {
             convergence_tol: 1e-5,
             enable_z: true,
             validate_graph: false,
+            max_divergence_retries: 3,
+            lr_backoff: 0.5,
+            inject_nan_loss_at: None,
         }
     }
 }
@@ -92,6 +104,12 @@ pub struct DcoResult {
     /// Warning-severity diagnostics from the first iteration's tape when
     /// [`DcoConfig::validate_graph`] is set (empty otherwise).
     pub diagnostics: Vec<dco_tensor::Diagnostic>,
+    /// Number of non-finite loss/gradient events absorbed by the divergence
+    /// guard (each one rolled back to the last good parameters).
+    pub divergence_events: usize,
+    /// True when the divergence guard exhausted its retries and returned the
+    /// best-so-far placement instead of a fully optimized one.
+    pub degraded: bool,
 }
 
 /// The DCO-3D optimizer (paper Sec. IV, Algorithm 2).
@@ -205,15 +223,19 @@ impl<'a> DcoOptimizer<'a> {
         // matches the UNet's training normalization
         let inv_scale = self.channel_inverse_scale();
 
-        let mut opt = Adam::new(self.cfg.learning_rate);
+        let mut lr = self.cfg.learning_rate;
+        let mut opt = Adam::new(lr);
         let mut history: Vec<LossBreakdown> = Vec::with_capacity(self.cfg.max_iter);
         let mut calm_iters = 0usize;
         let mut converged = false;
-        let mut iterations = 0usize;
         let mut diagnostics: Vec<dco_tensor::Diagnostic> = Vec::new();
+        // Divergence guard state: parameters known to have produced a finite
+        // loss, so a poisoned update can be rolled back instead of cascading.
+        let mut last_good = self.gcn.store_mut().snapshot();
+        let mut divergence_events = 0usize;
+        let mut degraded = false;
 
         for iter in 0..self.cfg.max_iter {
-            iterations = iter + 1;
             let mut g = Graph::new();
             let (x, y, z, dx, dy) =
                 self.decode(&mut g, &adj, &x0, &y0, &z_bias, &movable, max_disp);
@@ -266,16 +288,39 @@ impl<'a> DcoOptimizer<'a> {
                 diagnostics = diags;
             }
 
-            let breakdown = LossBreakdown {
+            let mut breakdown = LossBreakdown {
                 total: g.value(total).data()[0],
                 displacement: g.value(l_disp).data()[0],
                 overlap: g.value(l_ovlp).data()[0],
                 cutsize: g.value(l_cut).data()[0],
                 congestion: g.value(l_cong).data()[0],
             };
+            if self.cfg.inject_nan_loss_at == Some(iter) {
+                breakdown.total = f32::NAN;
+            }
 
             g.backward(total);
             self.gcn.store_mut().apply_grads(&g);
+
+            let finite =
+                breakdown.total.is_finite() && self.gcn.store_mut().grad_norm().is_finite();
+            if !finite {
+                divergence_events += 1;
+                self.gcn.store_mut().restore(&last_good);
+                lr *= self.cfg.lr_backoff;
+                opt = Adam::new(lr);
+                calm_iters = 0;
+                if divergence_events > self.cfg.max_divergence_retries {
+                    degraded = true;
+                    break;
+                }
+                continue;
+            }
+
+            // Parameter values at this point are pre-step (apply_grads only
+            // accumulates gradients), i.e. the ones that produced this
+            // finite loss — snapshot them before the optimizer mutates.
+            last_good = self.gcn.store_mut().snapshot();
             self.gcn.store_mut().clip_grad_norm(5.0);
             opt.step(self.gcn.store_mut());
 
@@ -327,6 +372,7 @@ impl<'a> DcoOptimizer<'a> {
                 soft_z.push(initial.tier(id).as_z());
             }
         }
+        let iterations = history.len();
         DcoResult {
             placement,
             soft_z,
@@ -334,6 +380,8 @@ impl<'a> DcoOptimizer<'a> {
             iterations,
             converged,
             diagnostics,
+            divergence_events,
+            degraded,
         }
     }
 
@@ -539,6 +587,48 @@ mod tests {
         };
         let result = optimizer(&design, &unet, &norm, cfg).run(&design.placement);
         assert!(result.diagnostics.is_empty());
+    }
+
+    #[test]
+    fn divergence_guard_recovers_from_injected_nan() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig {
+            max_iter: 5,
+            inject_nan_loss_at: Some(1),
+            ..DcoConfig::default()
+        };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        assert_eq!(result.divergence_events, 1);
+        assert!(!result.degraded);
+        // The poisoned attempt is rolled back and excluded from history.
+        assert_eq!(result.history.len(), result.iterations);
+        assert_eq!(result.iterations, 4);
+        for lb in &result.history {
+            assert!(lb.total.is_finite());
+        }
+    }
+
+    #[test]
+    fn divergence_guard_degrades_when_retries_exhausted() {
+        let (design, unet, norm) = setup();
+        let cfg = DcoConfig {
+            max_iter: 5,
+            max_divergence_retries: 0,
+            inject_nan_loss_at: Some(0),
+            ..DcoConfig::default()
+        };
+        let mut dco = optimizer(&design, &unet, &norm, cfg);
+        let result = dco.run(&design.placement);
+        assert!(result.degraded);
+        assert_eq!(result.divergence_events, 1);
+        // Best-so-far: the rolled-back (initial) parameters still decode to
+        // a usable, budget-respecting placement.
+        assert_eq!(result.soft_z.len(), design.netlist.num_cells());
+        for id in design.netlist.cell_ids() {
+            assert!(result.placement.x(id).is_finite());
+            assert!(result.placement.y(id).is_finite());
+        }
     }
 
     #[test]

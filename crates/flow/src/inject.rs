@@ -1,0 +1,197 @@
+//! Deterministic fault injection for exercising the resilience layer.
+//!
+//! A [`FaultSpec`] names one fault class and the point where it fires; the
+//! [`FaultInjector`] arms it for a single run and guarantees one-shot
+//! semantics (an injected stage panic fires once, so the bounded retry is
+//! what recovers — exactly the code path a real transient fault takes).
+//! Everything is plumbed through configuration, never randomness, so a run
+//! with a given spec is exactly reproducible.
+
+use crate::checkpoint::Stage;
+use std::cell::Cell;
+use std::str::FromStr;
+
+/// One injectable fault, parsed from a `--inject` spec string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSpec {
+    /// `panic@<stage>`: panic at the start of the named stage (once).
+    StagePanic(Stage),
+    /// `nan@dco`: force a non-finite DCO loss at iteration 1 (once).
+    NanDco,
+    /// `nan@train`: force a non-finite training loss in epoch 0 (once).
+    NanTrain,
+    /// `corrupt@<stage>`: truncate the stage's checkpoint right after it is
+    /// written, simulating a torn write discovered on the next resume.
+    CorruptCheckpoint(Stage),
+    /// `route-stall`: force the signoff router to burn its whole RRR budget
+    /// without converging (best-so-far degradation path).
+    RouteStall,
+}
+
+/// Error for an unparseable fault spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultError(String);
+
+impl std::fmt::Display for ParseFaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "invalid fault spec `{}`; expected panic@<stage>, nan@dco, nan@train, \
+             corrupt@<stage>, or route-stall (stages: train, place, dco, tier-assign, \
+             cts, route, sta)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultError {}
+
+impl FromStr for FaultSpec {
+    type Err = ParseFaultError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "route-stall" {
+            return Ok(FaultSpec::RouteStall);
+        }
+        let bad = || ParseFaultError(s.to_string());
+        let (class, at) = s.split_once('@').ok_or_else(bad)?;
+        match class {
+            "panic" => Stage::from_name(at)
+                .map(FaultSpec::StagePanic)
+                .ok_or_else(bad),
+            "corrupt" => Stage::from_name(at)
+                .map(FaultSpec::CorruptCheckpoint)
+                .ok_or_else(bad),
+            "nan" => match at {
+                "dco" => Ok(FaultSpec::NanDco),
+                "train" => Ok(FaultSpec::NanTrain),
+                _ => Err(bad()),
+            },
+            _ => Err(bad()),
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSpec::StagePanic(s) => write!(f, "panic@{s}"),
+            FaultSpec::NanDco => f.write_str("nan@dco"),
+            FaultSpec::NanTrain => f.write_str("nan@train"),
+            FaultSpec::CorruptCheckpoint(s) => write!(f, "corrupt@{s}"),
+            FaultSpec::RouteStall => f.write_str("route-stall"),
+        }
+    }
+}
+
+/// Arms at most one [`FaultSpec`] for a run; panic/corrupt faults fire once.
+#[derive(Debug, Default)]
+pub struct FaultInjector {
+    spec: Option<FaultSpec>,
+    fired: Cell<bool>,
+}
+
+impl FaultInjector {
+    /// An injector armed with `spec` (or a no-op one for `None`).
+    pub fn new(spec: Option<FaultSpec>) -> Self {
+        Self {
+            spec,
+            fired: Cell::new(false),
+        }
+    }
+
+    fn take(&self, want: FaultSpec) -> bool {
+        if self.spec == Some(want) && !self.fired.get() {
+            self.fired.set(true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether to panic at the start of `stage` (true at most once).
+    pub fn take_panic(&self, stage: Stage) -> bool {
+        self.take(FaultSpec::StagePanic(stage))
+    }
+
+    /// Whether to corrupt the checkpoint just written for `stage` (true at
+    /// most once).
+    pub fn take_corrupt(&self, stage: Stage) -> bool {
+        self.take(FaultSpec::CorruptCheckpoint(stage))
+    }
+
+    /// DCO-loop iteration at which to inject a non-finite loss, if armed.
+    pub fn dco_nan_iteration(&self) -> Option<usize> {
+        (self.spec == Some(FaultSpec::NanDco)).then_some(1)
+    }
+
+    /// Training epoch at which to inject a non-finite loss, if armed.
+    pub fn train_nan_epoch(&self) -> Option<usize> {
+        (self.spec == Some(FaultSpec::NanTrain)).then_some(0)
+    }
+
+    /// Whether the signoff router should be forced to not converge.
+    pub fn route_stall(&self) -> bool {
+        self.spec == Some(FaultSpec::RouteStall)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_parse_and_display_round_trip() {
+        for s in [
+            "panic@place",
+            "panic@tier-assign",
+            "panic@train",
+            "nan@dco",
+            "nan@train",
+            "corrupt@cts",
+            "corrupt@sta",
+            "route-stall",
+        ] {
+            let spec: FaultSpec = s.parse().expect(s);
+            assert_eq!(spec.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        for s in [
+            "",
+            "panic",
+            "panic@nope",
+            "nan@route",
+            "explode@cts",
+            "@dco",
+        ] {
+            assert!(s.parse::<FaultSpec>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn panic_faults_fire_once() {
+        let inj = FaultInjector::new(Some(FaultSpec::StagePanic(Stage::Cts)));
+        assert!(!inj.take_panic(Stage::Place));
+        assert!(inj.take_panic(Stage::Cts));
+        assert!(!inj.take_panic(Stage::Cts), "must be one-shot");
+    }
+
+    #[test]
+    fn nan_and_stall_map_to_config_hooks() {
+        assert_eq!(
+            FaultInjector::new(Some(FaultSpec::NanDco)).dco_nan_iteration(),
+            Some(1)
+        );
+        assert_eq!(
+            FaultInjector::new(Some(FaultSpec::NanTrain)).train_nan_epoch(),
+            Some(0)
+        );
+        assert!(FaultInjector::new(Some(FaultSpec::RouteStall)).route_stall());
+        let idle = FaultInjector::new(None);
+        assert_eq!(idle.dco_nan_iteration(), None);
+        assert!(!idle.route_stall());
+    }
+}

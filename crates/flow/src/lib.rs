@@ -33,14 +33,20 @@
 //! ```
 
 mod bo;
+mod checkpoint;
 mod dataset;
 mod flow;
+mod inject;
 mod report;
+mod resilience;
 
 pub use bo::{bayesian_minimize, BoConfig};
+pub use checkpoint::{CheckpointError, CheckpointStore, Stage};
 pub use dataset::build_dataset;
 pub use flow::{
-    train_predictor, FlowConfig, FlowKind, FlowOutcome, FlowRunner, Predictor, SignoffMetrics,
-    StageMetrics,
+    train_predictor, train_predictor_resilient, FlowConfig, FlowKind, FlowOutcome, FlowRunner,
+    Predictor, ResilientOutcome, SignoffMetrics, StageMetrics,
 };
+pub use inject::{FaultInjector, FaultSpec, ParseFaultError};
 pub use report::{format_design_block, to_csv};
+pub use resilience::{FlowError, RecoveryEvent, ResilienceOptions, ResilienceReport};

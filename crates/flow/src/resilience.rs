@@ -1,0 +1,443 @@
+//! Resilient stage execution: panic isolation, bounded retries, resume.
+//!
+//! [`run_stage`] is the generic executor every pipeline stage goes through:
+//! it first tries to resume from a checkpoint (discarding corrupt ones),
+//! then runs the stage body under [`std::panic::catch_unwind`] with a
+//! bounded retry budget, and finally persists the result. Recovery actions
+//! are recorded as [`RecoveryEvent`]s in a [`ResilienceReport`] so a caller
+//! can tell a clean run from one that survived faults — without the report
+//! leaking into [`crate::FlowOutcome`], which must stay bitwise-comparable
+//! across resumed and uninterrupted runs.
+
+use crate::checkpoint::{CheckpointError, CheckpointStore, Stage};
+use crate::inject::{FaultInjector, FaultSpec};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+/// How resilient a flow run should be.
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceOptions {
+    /// Directory for stage checkpoints; `None` disables checkpoint/resume.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Catch per-stage panics and retry instead of unwinding the caller.
+    pub isolate_panics: bool,
+    /// How many times a panicking stage is retried before the flow fails
+    /// with [`FlowError::StagePanic`].
+    pub max_stage_retries: usize,
+    /// Deterministic fault to inject (testing; `None` in production).
+    pub inject: Option<FaultSpec>,
+}
+
+impl ResilienceOptions {
+    /// The production default: isolation on, one retry, checkpoints off.
+    pub fn resilient() -> Self {
+        Self {
+            checkpoint_dir: None,
+            isolate_panics: true,
+            max_stage_retries: 1,
+            inject: None,
+        }
+    }
+
+    /// Resilience with checkpoint/resume rooted at `dir`.
+    pub fn with_checkpoints(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            checkpoint_dir: Some(dir.into()),
+            ..Self::resilient()
+        }
+    }
+}
+
+/// The workspace error taxonomy for a resilient flow run.
+#[derive(Debug)]
+pub enum FlowError {
+    /// A stage panicked on every attempt; the message is the final panic
+    /// payload.
+    StagePanic {
+        /// Which stage kept failing.
+        stage: &'static str,
+        /// Panic payload of the last attempt.
+        message: String,
+        /// Total attempts made (1 + retries).
+        attempts: usize,
+    },
+    /// Checkpoint store failure (IO or an identity mismatch on resume).
+    Checkpoint(CheckpointError),
+    /// [`crate::FlowKind::Dco3d`] was requested without a trained predictor.
+    MissingPredictor,
+}
+
+impl std::fmt::Display for FlowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::StagePanic {
+                stage,
+                message,
+                attempts,
+            } => write!(
+                f,
+                "stage `{stage}` panicked on all {attempts} attempt(s): {message}"
+            ),
+            Self::Checkpoint(e) => write!(f, "checkpoint failure: {e}"),
+            Self::MissingPredictor => {
+                f.write_str("FlowKind::Dco3d requires a trained predictor bundle; train one first")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for FlowError {
+    fn from(e: CheckpointError) -> Self {
+        Self::Checkpoint(e)
+    }
+}
+
+/// One recovery action the resilience layer took.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecoveryEvent {
+    /// A stage was skipped because a valid checkpoint was loaded.
+    ResumedFromCheckpoint {
+        /// The resumed stage.
+        stage: &'static str,
+    },
+    /// A stage panicked and was retried.
+    PanicRetried {
+        /// The stage that panicked.
+        stage: &'static str,
+        /// The panic payload.
+        message: String,
+    },
+    /// An unusable checkpoint was discarded and the stage re-run.
+    CorruptCheckpointDiscarded {
+        /// The stage whose checkpoint was unusable.
+        stage: &'static str,
+        /// Why it was unusable.
+        detail: String,
+    },
+    /// An optimizer absorbed non-finite losses/gradients by rolling back.
+    DivergenceRollback {
+        /// `"dco"` or `"train"`.
+        stage: &'static str,
+        /// How many rollbacks were needed.
+        events: usize,
+    },
+    /// The signoff router exhausted its iteration budget without clearing
+    /// all overflow and returned best-so-far routing.
+    RouterNonConvergence {
+        /// Remaining total overflow.
+        overflow: f64,
+        /// Overflow removed by rip-up-and-reroute before it stalled.
+        improvement: f64,
+    },
+}
+
+impl std::fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ResumedFromCheckpoint { stage } => {
+                write!(f, "resumed `{stage}` from checkpoint")
+            }
+            Self::PanicRetried { stage, message } => {
+                write!(f, "stage `{stage}` panicked ({message}); retried")
+            }
+            Self::CorruptCheckpointDiscarded { stage, detail } => {
+                write!(
+                    f,
+                    "discarded corrupt `{stage}` checkpoint ({detail}); re-ran"
+                )
+            }
+            Self::DivergenceRollback { stage, events } => write!(
+                f,
+                "`{stage}` rolled back {events} non-finite update(s) with lr backoff"
+            ),
+            Self::RouterNonConvergence {
+                overflow,
+                improvement,
+            } => write!(
+                f,
+                "signoff route did not converge: {overflow:.1} overflow remains \
+                 (RRR removed {improvement:.1}); best-so-far routing kept"
+            ),
+        }
+    }
+}
+
+/// What the resilience layer did during a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ResilienceReport {
+    /// Recovery actions in the order they happened.
+    pub events: Vec<RecoveryEvent>,
+    /// True when some result is best-so-far rather than fully converged
+    /// (exhausted divergence retries or a non-converged signoff route).
+    pub degraded: bool,
+}
+
+impl ResilienceReport {
+    /// Whether any recovery action was taken.
+    pub fn recovered(&self) -> bool {
+        !self.events.is_empty()
+    }
+}
+
+/// Turn a panic payload into a displayable message.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run a stage body under panic isolation with a bounded retry budget,
+/// firing the injected stage panic (once) if armed.
+///
+/// # Errors
+/// [`FlowError::StagePanic`] when every attempt panicked.
+pub(crate) fn execute_stage_body<T, F>(
+    stage: Stage,
+    injector: &FaultInjector,
+    opts: &ResilienceOptions,
+    report: &mut ResilienceReport,
+    body: &F,
+) -> Result<T, FlowError>
+where
+    F: Fn() -> T,
+{
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        let inject_panic = injector.take_panic(stage);
+        if !opts.isolate_panics {
+            // Legacy behaviour: let panics unwind to the caller.
+            assert!(!inject_panic, "panic injection requires isolate_panics");
+            return Ok(body());
+        }
+        match catch_unwind(AssertUnwindSafe(|| {
+            assert!(!inject_panic, "injected panic at stage `{stage}`");
+            body()
+        })) {
+            Ok(v) => return Ok(v),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                if attempts > opts.max_stage_retries {
+                    return Err(FlowError::StagePanic {
+                        stage: stage.name(),
+                        message,
+                        attempts,
+                    });
+                }
+                report.events.push(RecoveryEvent::PanicRetried {
+                    stage: stage.name(),
+                    message,
+                });
+            }
+        }
+    }
+}
+
+/// Execute one stage resiliently: resume from a checkpoint when possible,
+/// otherwise run `body` with panic isolation and bounded retries, then
+/// persist the result (and apply the corrupt-checkpoint fault if armed).
+///
+/// # Errors
+/// [`FlowError::StagePanic`] when every attempt panicked;
+/// [`FlowError::Checkpoint`] on checkpoint IO failure.
+pub(crate) fn run_stage<T, F>(
+    stage: Stage,
+    ckpt: Option<&CheckpointStore>,
+    injector: &FaultInjector,
+    opts: &ResilienceOptions,
+    report: &mut ResilienceReport,
+    body: F,
+) -> Result<T, FlowError>
+where
+    T: Serialize + Deserialize,
+    F: Fn() -> T,
+{
+    // --- resume path -------------------------------------------------------
+    if let Some(store) = ckpt {
+        match store.load(stage) {
+            Ok(Some(payload)) => match T::from_value(&payload) {
+                Ok(v) => {
+                    report.events.push(RecoveryEvent::ResumedFromCheckpoint {
+                        stage: stage.name(),
+                    });
+                    return Ok(v);
+                }
+                Err(e) => {
+                    report
+                        .events
+                        .push(RecoveryEvent::CorruptCheckpointDiscarded {
+                            stage: stage.name(),
+                            detail: e.to_string(),
+                        });
+                    store.discard(stage)?;
+                }
+            },
+            Ok(None) => {}
+            Err(CheckpointError::Corrupt { detail, .. }) => {
+                report
+                    .events
+                    .push(RecoveryEvent::CorruptCheckpointDiscarded {
+                        stage: stage.name(),
+                        detail,
+                    });
+                store.discard(stage)?;
+            }
+            Err(e) => return Err(FlowError::Checkpoint(e)),
+        }
+    }
+
+    // --- execute path ------------------------------------------------------
+    let value = execute_stage_body(stage, injector, opts, report, &body)?;
+
+    // --- persist path ------------------------------------------------------
+    if let Some(store) = ckpt {
+        store.save(stage, &serde_json::to_value(&value))?;
+        if injector.take_corrupt(stage) {
+            // Simulate a torn write: chop the file in half. The next resume
+            // must detect this, discard, and re-run the stage.
+            let path = store.stage_path(stage);
+            if let Ok(bytes) = std::fs::read(&path) {
+                let _ = std::fs::write(&path, &bytes[..bytes.len() / 2]);
+            }
+        }
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FlowKind;
+    use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+    use serde_json::json;
+
+    #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+    struct Payload {
+        n: u32,
+        x: f64,
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dco_flow_resil_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn store(dir: &std::path::Path) -> CheckpointStore {
+        let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+            .with_scale(0.01)
+            .generate(1)
+            .expect("gen");
+        CheckpointStore::open(dir, FlowKind::Pin3d, 1, &d).expect("open")
+    }
+
+    #[test]
+    fn injected_panic_is_retried_once_and_recovers() {
+        let inj = FaultInjector::new(Some(FaultSpec::StagePanic(Stage::Cts)));
+        let opts = ResilienceOptions::resilient();
+        let mut report = ResilienceReport::default();
+        let out: Payload = run_stage(Stage::Cts, None, &inj, &opts, &mut report, || Payload {
+            n: 3,
+            x: 1.5,
+        })
+        .expect("recovers");
+        assert_eq!(out, Payload { n: 3, x: 1.5 });
+        assert!(matches!(
+            report.events.as_slice(),
+            [RecoveryEvent::PanicRetried { stage: "cts", .. }]
+        ));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_stage_panic() {
+        let inj = FaultInjector::new(Some(FaultSpec::StagePanic(Stage::Route)));
+        let opts = ResilienceOptions {
+            max_stage_retries: 0,
+            ..ResilienceOptions::resilient()
+        };
+        let mut report = ResilienceReport::default();
+        let res: Result<Payload, _> =
+            run_stage(Stage::Route, None, &inj, &opts, &mut report, || Payload {
+                n: 0,
+                x: 0.0,
+            });
+        match res {
+            Err(FlowError::StagePanic {
+                stage, attempts, ..
+            }) => {
+                assert_eq!(stage, "route");
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected StagePanic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn resume_skips_the_body() {
+        let dir = tmp_dir("resume");
+        let s = store(&dir);
+        let inj = FaultInjector::new(None);
+        let opts = ResilienceOptions::with_checkpoints(&dir);
+        let mut report = ResilienceReport::default();
+        let first: Payload = run_stage(Stage::Place, Some(&s), &inj, &opts, &mut report, || {
+            Payload { n: 9, x: -2.25 }
+        })
+        .expect("first run");
+        let mut report2 = ResilienceReport::default();
+        let second: Payload = run_stage(Stage::Place, Some(&s), &inj, &opts, &mut report2, || {
+            panic!("body must not run on resume")
+        })
+        .expect("resume");
+        assert_eq!(first, second);
+        assert!(matches!(
+            report2.events.as_slice(),
+            [RecoveryEvent::ResumedFromCheckpoint { stage: "place" }]
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_injection_then_resume_discards_and_reruns() {
+        let dir = tmp_dir("corrupt");
+        let s = store(&dir);
+        let inj = FaultInjector::new(Some(FaultSpec::CorruptCheckpoint(Stage::Sta)));
+        let opts = ResilienceOptions::with_checkpoints(&dir);
+        let mut report = ResilienceReport::default();
+        let _: Payload = run_stage(Stage::Sta, Some(&s), &inj, &opts, &mut report, || Payload {
+            n: 1,
+            x: 0.5,
+        })
+        .expect("first run");
+        // Next run (no fault): the torn file is discarded and the body re-runs.
+        let clean = FaultInjector::new(None);
+        let mut report2 = ResilienceReport::default();
+        let v: Payload = run_stage(Stage::Sta, Some(&s), &clean, &opts, &mut report2, || {
+            Payload { n: 2, x: 2.5 }
+        })
+        .expect("re-run");
+        assert_eq!(v.n, 2);
+        assert!(matches!(
+            report2.events.as_slice(),
+            [RecoveryEvent::CorruptCheckpointDiscarded { stage: "sta", .. }]
+        ));
+        // And the re-run result was checkpointed for the next resume.
+        let payload = s.load(Stage::Sta).expect("load").expect("present");
+        assert_eq!(payload.get("n"), Some(&json!(2)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

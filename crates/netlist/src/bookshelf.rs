@@ -80,41 +80,84 @@ pub fn to_pl(netlist: &Netlist, placement: &Placement3) -> String {
     out
 }
 
+/// Shorthand for a line-anchored [`NetlistError::Parse`].
+fn parse_err(line: usize, msg: impl Into<String>) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Parse a `Key : value` header count (e.g. `NumNodes : 42`).
+fn header_count(line_no: usize, line: &str) -> Result<usize, NetlistError> {
+    line.split(':')
+        .nth(1)
+        .and_then(|v| v.trim().parse().ok())
+        .ok_or_else(|| parse_err(line_no, format!("malformed header `{line}`")))
+}
+
+/// A finite, non-negative dimension/coordinate token.
+fn finite_f64(line_no: usize, token: Option<&str>, what: &str) -> Result<f64, NetlistError> {
+    let raw = token.ok_or_else(|| parse_err(line_no, format!("missing {what}")))?;
+    let v: f64 = raw
+        .parse()
+        .map_err(|_| parse_err(line_no, format!("bad {what} `{raw}`")))?;
+    if !v.is_finite() {
+        return Err(parse_err(line_no, format!("non-finite {what} `{raw}`")));
+    }
+    Ok(v)
+}
+
 /// Parse `.nodes` + `.nets` into a [`Netlist`].
 ///
 /// Cells not mentioned in any net are kept (they still occupy area).
 /// Electrical attributes are filled with nominal values (Bookshelf does not
 /// carry them).
 ///
+/// The parser is strict about structural consistency: declared header counts
+/// (`NumNodes`, `NumTerminals`, `NumNets`, `NumPins`) must match what the
+/// file actually contains, `NetDegree` must match the collected pin count,
+/// node names must be unique, dimensions must be finite and non-negative,
+/// and pin lines may not appear before a `NetDegree` header.
+///
 /// # Errors
-/// Returns [`NetlistError::InvalidConfig`] on malformed input and the usual
-/// construction errors for inconsistent connectivity.
+/// Returns [`NetlistError::Parse`] (with a 1-based line number) on malformed
+/// or inconsistent input, and the usual construction errors for
+/// inconsistent connectivity.
 pub fn from_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, NetlistError> {
     let mut b = NetlistBuilder::new("bookshelf");
     let mut index = std::collections::HashMap::new();
-    for line in nodes.lines().map(str::trim) {
-        if line.is_empty()
-            || line.starts_with('#')
-            || line.starts_with("UCLA")
-            || line.starts_with("NumNodes")
-            || line.starts_with("NumTerminals")
-        {
+    let mut declared_nodes = None;
+    let mut declared_terminals = None;
+    let mut terminals = 0usize;
+    for (line_no, line) in nodes.lines().map(str::trim).enumerate() {
+        let line_no = line_no + 1;
+        if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
+            continue;
+        }
+        if line.starts_with("NumNodes") {
+            declared_nodes = Some(header_count(line_no, line)?);
+            continue;
+        }
+        if line.starts_with("NumTerminals") {
+            declared_terminals = Some(header_count(line_no, line)?);
             continue;
         }
         let mut parts = line.split_whitespace();
         let name = parts
             .next()
-            .ok_or_else(|| NetlistError::InvalidConfig("missing node name".into()))?;
-        let width: f64 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad width for node {name}")))?;
-        let height: f64 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad height for node {name}")))?;
+            .ok_or_else(|| parse_err(line_no, "missing node name"))?;
+        let width = finite_f64(line_no, parts.next(), &format!("width for node {name}"))?;
+        let height = finite_f64(line_no, parts.next(), &format!("height for node {name}"))?;
+        if width < 0.0 || height < 0.0 {
+            return Err(parse_err(
+                line_no,
+                format!("negative dimensions {width}x{height} for node {name}"),
+            ));
+        }
         let terminal = parts.next() == Some("terminal");
         let class = if terminal {
+            terminals += 1;
             CellClass::Macro
         } else {
             CellClass::Combinational
@@ -130,91 +173,159 @@ pub fn from_bookshelf(nodes: &str, nets: &str) -> Result<Netlist, NetlistError> 
             internal_energy: 0.25,
             intrinsic_delay: 4.0,
         });
-        index.insert(name.to_string(), id);
+        if index.insert(name.to_string(), id).is_some() {
+            return Err(parse_err(line_no, format!("duplicate node `{name}`")));
+        }
+    }
+    if let Some(n) = declared_nodes {
+        if n != index.len() {
+            return Err(parse_err(
+                0,
+                format!("NumNodes declares {n} but file has {} nodes", index.len()),
+            ));
+        }
+    }
+    if let Some(t) = declared_terminals {
+        if t != terminals {
+            return Err(parse_err(
+                0,
+                format!("NumTerminals declares {t} but file has {terminals} terminals"),
+            ));
+        }
     }
 
-    let mut current: Option<(String, Vec<(CellId, PinDirection)>)> = None;
-    let flush = |b: &mut NetlistBuilder,
-                 cur: &mut Option<(String, Vec<(CellId, PinDirection)>)>|
-     -> Result<(), NetlistError> {
-        if let Some((name, conns)) = cur.take() {
+    // (net name, declared degree, header line, collected pins)
+    type OpenNet = (String, usize, usize, Vec<(CellId, PinDirection)>);
+    let mut current: Option<OpenNet> = None;
+    let mut total_pins = 0usize;
+    let mut declared_nets = None;
+    let mut declared_pins = None;
+    let flush = |b: &mut NetlistBuilder, cur: &mut Option<OpenNet>| -> Result<(), NetlistError> {
+        if let Some((name, degree, header_line, conns)) = cur.take() {
+            if conns.len() != degree {
+                return Err(parse_err(
+                    header_line,
+                    format!(
+                        "net {name} declares NetDegree {degree} but has {} pins",
+                        conns.len()
+                    ),
+                ));
+            }
             if conns.len() < 2 {
-                return Err(NetlistError::InvalidConfig(format!(
-                    "net {name} has < 2 pins"
-                )));
+                return Err(parse_err(header_line, format!("net {name} has < 2 pins")));
             }
             b.add_net(name, &conns);
         }
         Ok(())
     };
-    for line in nets.lines().map(str::trim) {
-        if line.is_empty()
-            || line.starts_with('#')
-            || line.starts_with("UCLA")
-            || line.starts_with("NumNets")
-            || line.starts_with("NumPins")
-        {
+    for (line_no, line) in nets.lines().map(str::trim).enumerate() {
+        let line_no = line_no + 1;
+        if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
+            continue;
+        }
+        if line.starts_with("NumNets") {
+            declared_nets = Some(header_count(line_no, line)?);
+            continue;
+        }
+        if line.starts_with("NumPins") {
+            declared_pins = Some(header_count(line_no, line)?);
             continue;
         }
         if let Some(rest) = line.strip_prefix("NetDegree") {
             flush(&mut b, &mut current)?;
-            let name = rest
-                .split_whitespace()
-                .nth(2)
+            let mut parts = rest.split_whitespace();
+            if parts.next() != Some(":") {
+                return Err(parse_err(line_no, format!("malformed NetDegree `{line}`")));
+            }
+            let degree: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| parse_err(line_no, format!("bad NetDegree count in `{line}`")))?;
+            let name = parts
+                .next()
                 .map(str::to_string)
                 .unwrap_or_else(|| format!("n{}", b.num_nets()));
-            current = Some((name, Vec::new()));
-        } else if let Some((_, conns)) = current.as_mut() {
+            current = Some((name, degree, line_no, Vec::new()));
+        } else if let Some((_, _, _, conns)) = current.as_mut() {
             let mut parts = line.split_whitespace();
             let cell_name = parts
                 .next()
-                .ok_or_else(|| NetlistError::InvalidConfig("missing pin cell".into()))?;
+                .ok_or_else(|| parse_err(line_no, "missing pin cell"))?;
             let dir = match parts.next() {
                 Some("O") => PinDirection::Output,
                 _ => PinDirection::Input,
             };
             let id = *index
                 .get(cell_name)
-                .ok_or_else(|| NetlistError::InvalidConfig(format!("unknown cell {cell_name}")))?;
+                .ok_or_else(|| parse_err(line_no, format!("unknown cell `{cell_name}`")))?;
             conns.push((id, dir));
+            total_pins += 1;
+        } else {
+            return Err(parse_err(
+                line_no,
+                format!("pin line `{line}` before any NetDegree header"),
+            ));
         }
     }
     flush(&mut b, &mut current)?;
+    if let Some(n) = declared_nets {
+        if n != b.num_nets() {
+            return Err(parse_err(
+                0,
+                format!("NumNets declares {n} but file has {} nets", b.num_nets()),
+            ));
+        }
+    }
+    if let Some(p) = declared_pins {
+        if p != total_pins {
+            return Err(parse_err(
+                0,
+                format!("NumPins declares {p} but file has {total_pins} pins"),
+            ));
+        }
+    }
     b.finish()
 }
 
 /// Parse a `.pl` file against an existing netlist (cells matched by name).
 ///
+/// The `DIE_TOP` tier attribute is matched as a whole token after the `:`
+/// separator (a cell *named* `DIE_TOP...` does not flip its own tier), and
+/// coordinates must be finite. A cell may be placed at most once.
+///
 /// # Errors
-/// Returns [`NetlistError::InvalidConfig`] for unknown cells or malformed
-/// lines.
+/// Returns [`NetlistError::Parse`] (with a 1-based line number) for unknown
+/// or duplicated cells and malformed lines.
 pub fn pl_into_placement(netlist: &Netlist, pl: &str) -> Result<Placement3, NetlistError> {
     let mut index = std::collections::HashMap::new();
     for id in netlist.cell_ids() {
         index.insert(netlist.cell(id).name.clone(), id);
     }
     let mut placement = Placement3::zeroed(netlist.num_cells());
-    for line in pl.lines().map(str::trim) {
+    let mut seen = vec![false; netlist.num_cells()];
+    for (line_no, line) in pl.lines().map(str::trim).enumerate() {
+        let line_no = line_no + 1;
         if line.is_empty() || line.starts_with('#') || line.starts_with("UCLA") {
             continue;
         }
-        let mut parts = line.split_whitespace();
+        let (coords, attrs) = match line.split_once(':') {
+            Some((c, a)) => (c, a),
+            None => (line, ""),
+        };
+        let mut parts = coords.split_whitespace();
         let name = parts
             .next()
-            .ok_or_else(|| NetlistError::InvalidConfig("missing cell name".into()))?;
-        let x: f64 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad x for {name}")))?;
-        let y: f64 = parts
-            .next()
-            .and_then(|t| t.parse().ok())
-            .ok_or_else(|| NetlistError::InvalidConfig(format!("bad y for {name}")))?;
+            .ok_or_else(|| parse_err(line_no, "missing cell name"))?;
+        let x = finite_f64(line_no, parts.next(), &format!("x for {name}"))?;
+        let y = finite_f64(line_no, parts.next(), &format!("y for {name}"))?;
         let id = *index
             .get(name)
-            .ok_or_else(|| NetlistError::InvalidConfig(format!("unknown cell {name}")))?;
+            .ok_or_else(|| parse_err(line_no, format!("unknown cell `{name}`")))?;
+        if std::mem::replace(&mut seen[id.index()], true) {
+            return Err(parse_err(line_no, format!("cell `{name}` placed twice")));
+        }
         placement.set_xy(id, x, y);
-        let tier = if line.contains("DIE_TOP") {
+        let tier = if attrs.split_whitespace().any(|t| t == "DIE_TOP") {
             Tier::Top
         } else {
             Tier::Bottom
@@ -286,5 +397,118 @@ mod tests {
             .generate(8)
             .expect("gen");
         assert!(pl_into_placement(&d.netlist, "ghost 1.0 2.0 : N").is_err());
+    }
+
+    const GOOD_NODES: &str = "UCLA nodes 1.0\n\ta 1.0 2.0\n\tb 1.0 2.0\n";
+    const GOOD_NETS: &str = "UCLA nets 1.0\nNetDegree : 2 n0\n\ta O : 0 0\n\tb I : 0 0\n";
+
+    fn line_of(err: NetlistError) -> usize {
+        match err {
+            NetlistError::Parse { line, .. } => line,
+            other => panic!("expected Parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adversarial_nodes_are_rejected_with_line_numbers() {
+        // baseline parses
+        assert!(from_bookshelf(GOOD_NODES, GOOD_NETS).is_ok());
+        // non-finite width
+        let err = from_bookshelf("UCLA nodes 1.0\n\ta NaN 2.0\n\tb 1 2\n", GOOD_NETS)
+            .expect_err("NaN width");
+        assert_eq!(line_of(err), 2);
+        // negative height
+        let err = from_bookshelf("UCLA nodes 1.0\n\ta 1.0 -2.0\n\tb 1 2\n", GOOD_NETS)
+            .expect_err("negative height");
+        assert_eq!(line_of(err), 2);
+        // duplicate node name
+        let err = from_bookshelf("UCLA nodes 1.0\n\ta 1 2\n\ta 1 2\n", GOOD_NETS)
+            .expect_err("duplicate node");
+        assert_eq!(line_of(err), 3);
+        // header count mismatch
+        let err = from_bookshelf(
+            "UCLA nodes 1.0\nNumNodes : 5\n\ta 1 2\n\tb 1 2\n",
+            GOOD_NETS,
+        )
+        .expect_err("NumNodes mismatch");
+        assert!(err.to_string().contains("NumNodes declares 5"));
+        // terminal count mismatch
+        let err = from_bookshelf(
+            "UCLA nodes 1.0\nNumTerminals : 2\n\ta 1 2 terminal\n\tb 1 2\n",
+            GOOD_NETS,
+        )
+        .expect_err("NumTerminals mismatch");
+        assert!(err.to_string().contains("NumTerminals declares 2"));
+        // malformed header value
+        assert!(from_bookshelf("UCLA nodes 1.0\nNumNodes : lots\n", GOOD_NETS).is_err());
+    }
+
+    #[test]
+    fn adversarial_nets_are_rejected_with_line_numbers() {
+        // NetDegree disagrees with the collected pin count
+        let err = from_bookshelf(
+            GOOD_NODES,
+            "UCLA nets 1.0\nNetDegree : 3 n0\n\ta O : 0 0\n\tb I : 0 0\n",
+        )
+        .expect_err("degree mismatch");
+        assert_eq!(line_of(err), 2);
+        // orphan pin line before any NetDegree header
+        let err =
+            from_bookshelf(GOOD_NODES, "UCLA nets 1.0\n\ta O : 0 0\n").expect_err("orphan pin");
+        assert_eq!(line_of(err), 2);
+        // pin referencing an unknown cell
+        let err = from_bookshelf(
+            GOOD_NODES,
+            "UCLA nets 1.0\nNetDegree : 2 n0\n\ta O : 0 0\n\tzz I : 0 0\n",
+        )
+        .expect_err("unknown cell");
+        assert_eq!(line_of(err), 4);
+        // single-pin net
+        assert!(
+            from_bookshelf(GOOD_NODES, "UCLA nets 1.0\nNetDegree : 1 n0\n\ta O : 0 0\n").is_err()
+        );
+        // NumNets / NumPins header mismatches
+        let err = from_bookshelf(
+            GOOD_NODES,
+            "UCLA nets 1.0\nNumNets : 2\nNetDegree : 2 n0\n\ta O : 0 0\n\tb I : 0 0\n",
+        )
+        .expect_err("NumNets mismatch");
+        assert!(err.to_string().contains("NumNets declares 2"));
+        let err = from_bookshelf(
+            GOOD_NODES,
+            "UCLA nets 1.0\nNumPins : 7\nNetDegree : 2 n0\n\ta O : 0 0\n\tb I : 0 0\n",
+        )
+        .expect_err("NumPins mismatch");
+        assert!(err.to_string().contains("NumPins declares 7"));
+        // garbled NetDegree line
+        assert!(from_bookshelf(GOOD_NODES, "UCLA nets 1.0\nNetDegree 2 n0\n").is_err());
+    }
+
+    #[test]
+    fn adversarial_pl_is_rejected_and_die_top_is_token_matched() {
+        let nl = from_bookshelf(
+            "UCLA nodes 1.0\n\tDIE_TOP_cell 1 2\n\tb 1 2\n",
+            "UCLA nets 1.0\nNetDegree : 2 n0\n\tDIE_TOP_cell O : 0 0\n\tb I : 0 0\n",
+        )
+        .expect("parse");
+        // a cell whose *name* contains DIE_TOP must stay on the bottom die
+        let p = pl_into_placement(
+            &nl,
+            "UCLA pl 1.0\nDIE_TOP_cell 1.0 2.0 : N\nb 0 0 : N DIE_TOP\n",
+        )
+        .expect("pl");
+        let ids: Vec<_> = nl.cell_ids().collect();
+        assert_eq!(p.tier(ids[0]), Tier::Bottom);
+        assert_eq!(p.tier(ids[1]), Tier::Top);
+        // non-finite coordinate
+        let err = pl_into_placement(&nl, "UCLA pl 1.0\nb inf 2.0 : N\n").expect_err("inf x");
+        assert_eq!(line_of(err), 2);
+        // duplicate placement line
+        let err = pl_into_placement(&nl, "UCLA pl 1.0\nb 1 2 : N\nb 3 4 : N\n")
+            .expect_err("placed twice");
+        assert_eq!(line_of(err), 3);
+        // unknown cell, with its line number
+        let err = pl_into_placement(&nl, "UCLA pl 1.0\n\nghost 1 2 : N\n").expect_err("unknown");
+        assert_eq!(line_of(err), 3);
     }
 }

@@ -19,6 +19,13 @@ pub enum NetlistError {
         /// Length of the offending placement vector.
         got: usize,
     },
+    /// An interchange file (e.g. Bookshelf) failed to parse.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -34,6 +41,7 @@ impl fmt::Display for NetlistError {
                     "placement has {got} entries but netlist has {cells} cells"
                 )
             }
+            Self::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
         }
     }
 }

@@ -6,12 +6,13 @@
 //! optimization baseline (Pin-3D + BO) searches this same space.
 
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Effort levels mirroring ICC2's enum knobs (`[0, 4]` in Table I).
 pub type Effort = u8;
 
 /// Placement parameters; the Table-I analog.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlacementParams {
     /// `coarse.pin_density_aware`: include pin density in the spreading
     /// force, not just cell area.

@@ -15,10 +15,25 @@ pub struct OverflowReport {
     pub overflow_gcell_pct: f64,
     /// Overflow per die `[bottom, top]`.
     pub per_die: [f64; 2],
+    /// Rip-up-and-reroute iterations actually executed (0 when the initial
+    /// pattern routing was already overflow-free or RRR was disabled).
+    pub rrr_iterations: usize,
+    /// True when no over-capacity GCell remained once rip-up-and-reroute
+    /// stopped; false means the router returned best-so-far routing after
+    /// exhausting its iteration budget.
+    pub converged: bool,
+    /// Total overflow before any rip-up-and-reroute, so `initial_total -
+    /// total` is the improvement RRR bought (a diagnosable delta even on
+    /// non-convergence).
+    pub initial_total: f64,
 }
 
 impl OverflowReport {
     /// Build a report from per-die H/V usage grids and per-GCell capacities.
+    ///
+    /// Convergence bookkeeping is initialized to the trivial no-RRR state
+    /// (`rrr_iterations = 0`, `converged = true`, `initial_total = total`);
+    /// the router overwrites those fields with its actual loop history.
     pub fn from_usage(h: &[GridMap; 2], v: &[GridMap; 2], h_cap: f32, v_cap: f32) -> Self {
         let mut h_overflow = 0.0f64;
         let mut v_overflow = 0.0f64;
@@ -49,6 +64,9 @@ impl OverflowReport {
                 0.0
             },
             per_die,
+            rrr_iterations: 0,
+            converged: true,
+            initial_total: total,
         }
     }
 }

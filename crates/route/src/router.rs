@@ -22,6 +22,12 @@ pub struct RouterConfig {
     /// pattern-based RRR iterations (0 disables; the value is the window
     /// margin in GCells around each segment's bbox).
     pub maze_margin: usize,
+    /// Fault hook: model a router that burns its whole RRR budget without
+    /// improving anything — refinement and maze escalation are skipped, the
+    /// initial pattern routing is returned as best-so-far, and the report
+    /// carries `converged: false` with the full iteration count. Only used
+    /// by the fault-injection harness; `false` in production.
+    pub stall_rrr: bool,
 }
 
 impl Default for RouterConfig {
@@ -33,6 +39,7 @@ impl Default for RouterConfig {
             overflow_penalty: 4.0,
             z_candidates: 3,
             maze_margin: 8,
+            stall_rrr: false,
         }
     }
 }
@@ -145,13 +152,23 @@ impl<'a> Router<'a> {
             bond_at.push(bond);
         }
 
-        // Negotiated-congestion refinement.
+        let initial_total =
+            OverflowReport::from_usage(&state.h, &state.v, self.h_cap, self.v_cap).total;
+        let mut rrr_iterations = 0usize;
+
+        // Negotiated-congestion refinement (skipped entirely when the
+        // stall fault is armed: the initial routing is the best-so-far).
         for _ in 0..self.cfg.rrr_iterations {
+            if self.cfg.stall_rrr {
+                rrr_iterations = self.cfg.rrr_iterations;
+                break;
+            }
             let overfull =
                 state.mark_overflow_history(self.h_cap, self.v_cap, self.cfg.history_increment);
             if !overfull {
                 break;
             }
+            rrr_iterations += 1;
             for (i, seg) in segments.iter().enumerate() {
                 if !state.path_overflows(&paths[i], self.h_cap, self.v_cap) {
                     continue;
@@ -175,7 +192,7 @@ impl<'a> Router<'a> {
         // strictly reduces the segment's overflow contribution — in
         // saturated regions detours add demand without relieving anything,
         // so a cost-only comparison would make things globally worse.
-        if self.cfg.maze_margin > 0 {
+        if self.cfg.maze_margin > 0 && !self.cfg.stall_rrr {
             for (i, seg) in segments.iter().enumerate() {
                 if !state.path_overflows(&paths[i], self.h_cap, self.v_cap) {
                     continue;
@@ -225,7 +242,10 @@ impl<'a> Router<'a> {
                 utilization[die].data_mut()[i] = 0.5 * (hu / self.h_cap + vu / self.v_cap);
             }
         }
-        let report = OverflowReport::from_usage(&state.h, &state.v, self.h_cap, self.v_cap);
+        let mut report = OverflowReport::from_usage(&state.h, &state.v, self.h_cap, self.v_cap);
+        report.rrr_iterations = rrr_iterations;
+        report.converged = !self.cfg.stall_rrr && !state.any_overflow(self.h_cap, self.v_cap);
+        report.initial_total = initial_total;
         let bond_overflow: f64 = state
             .bonds
             .data()
@@ -487,6 +507,15 @@ impl RouteState {
             .sum()
     }
 
+    /// Whether any GCell on either die is over capacity (read-only, unlike
+    /// [`RouteState::mark_overflow_history`]).
+    fn any_overflow(&self, h_cap: f32, v_cap: f32) -> bool {
+        (0..2).any(|die| {
+            self.h[die].data().iter().any(|&u| u > h_cap)
+                || self.v[die].data().iter().any(|&u| u > v_cap)
+        })
+    }
+
     fn path_overflows(&self, path: &[Step], h_cap: f32, v_cap: f32) -> bool {
         path.iter().any(|s| {
             let i = self.idx(s);
@@ -700,6 +729,52 @@ mod tests {
             no_maze.report.total,
             with_maze.report.total
         );
+    }
+
+    #[test]
+    fn report_tracks_iterations_and_convergence() {
+        let d = design();
+        let cfg = RouterConfig::default();
+        let r = Router::new(&d, cfg.clone()).route(&d.placement);
+        assert!(r.report.rrr_iterations <= cfg.rrr_iterations);
+        // RRR never makes things worse, so the delta is non-negative.
+        assert!(
+            r.report.initial_total >= r.report.total,
+            "initial {} < final {}",
+            r.report.initial_total,
+            r.report.total
+        );
+        if r.report.converged {
+            assert_eq!(r.report.total, 0.0);
+        } else {
+            assert!(r.report.total > 0.0);
+        }
+    }
+
+    #[test]
+    fn stall_fault_degrades_to_best_so_far() {
+        let d = design();
+        let cfg = RouterConfig {
+            stall_rrr: true,
+            ..RouterConfig::default()
+        };
+        let r = Router::new(&d, cfg.clone()).route(&d.placement);
+        assert!(!r.report.converged);
+        assert_eq!(r.report.rrr_iterations, cfg.rrr_iterations);
+        // Best-so-far: the stalled run still returns a complete routing
+        // identical to plain pattern routing.
+        let base = Router::new(
+            &d,
+            RouterConfig {
+                rrr_iterations: 0,
+                maze_margin: 0,
+                ..RouterConfig::default()
+            },
+        )
+        .route(&d.placement);
+        assert!(r.wirelength > 0.0);
+        assert_eq!(r.report.total, base.report.total);
+        assert_eq!(r.report.initial_total, r.report.total);
     }
 
     #[test]

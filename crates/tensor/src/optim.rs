@@ -112,6 +112,26 @@ impl ParamStore {
             .sqrt()
     }
 
+    /// Copy the current parameter values into a standalone snapshot.
+    ///
+    /// The snapshot captures values only — not gradients or bindings — and
+    /// is intended for divergence-guard rollback: take one before a risky
+    /// update, hand it back to [`ParamStore::restore`] if the update
+    /// produced non-finite values.
+    pub fn snapshot(&self) -> BTreeMap<String, Tensor> {
+        self.values.clone()
+    }
+
+    /// Replace all parameter values with a snapshot taken earlier via
+    /// [`ParamStore::snapshot`], discarding accumulated gradients and any
+    /// live graph bindings (they refer to the poisoned step being rolled
+    /// back).
+    pub fn restore(&mut self, snap: &BTreeMap<String, Tensor>) {
+        self.values = snap.clone();
+        self.grads.clear();
+        self.bindings.clear();
+    }
+
     /// Scale all gradients so the global norm is at most `max_norm`.
     pub fn clip_grad_norm(&mut self, max_norm: f32) {
         let norm = self.grad_norm();
@@ -315,6 +335,23 @@ mod tests {
         assert!(store.grad_norm() > 10.0);
         store.clip_grad_norm(1.0);
         assert!((store.grad_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn snapshot_restore_rolls_back_values_and_clears_grads() {
+        let mut store = ParamStore::new();
+        store.insert("w", Tensor::from_vec(vec![4.0, -3.0], &[2]));
+        let snap = store.snapshot();
+        let mut opt = Sgd::new(0.5);
+        quadratic_step(&mut store);
+        opt.step(&mut store);
+        assert_ne!(store.get("w").data(), snap["w"].data());
+        quadratic_step(&mut store); // leave a pending gradient
+        assert!(store.grad("w").is_some());
+        store.restore(&snap);
+        assert_eq!(store.get("w").data(), snap["w"].data());
+        assert!(store.grad("w").is_none());
+        assert_eq!(store.grad_norm(), 0.0);
     }
 
     #[test]

@@ -20,6 +20,15 @@ pub struct TrainConfig {
     pub augment: bool,
     /// Shuffle/augmentation seed.
     pub seed: u64,
+    /// Divergence guard: how many non-finite loss/gradient events to absorb
+    /// (roll back to the epoch-start weights and retry the epoch with a
+    /// backed-off learning rate) before degrading to best-so-far weights.
+    pub max_divergence_retries: usize,
+    /// Learning-rate multiplier applied on each divergence rollback.
+    pub lr_backoff: f32,
+    /// Fault injection: force the first step of this epoch to report a
+    /// non-finite loss (testing hook for the divergence guard; fires once).
+    pub inject_nan_loss_at: Option<usize>,
 }
 
 impl Default for TrainConfig {
@@ -30,6 +39,9 @@ impl Default for TrainConfig {
             test_fraction: 0.2,
             augment: true,
             seed: 0,
+            max_divergence_retries: 3,
+            lr_backoff: 0.5,
+            inject_nan_loss_at: None,
         }
     }
 }
@@ -54,6 +66,12 @@ pub struct TrainResult {
     pub test_metrics: Vec<EvalRecord>,
     /// Fitted normalization (needed to run inference later).
     pub normalization: Normalization,
+    /// Number of non-finite loss/gradient events absorbed by the divergence
+    /// guard (each one rolled back to the epoch-start weights).
+    pub divergence_events: usize,
+    /// True when the divergence guard exhausted its retries and training
+    /// stopped early on the last good weights.
+    pub degraded: bool,
 }
 
 /// Train a [`SiameseUNet`] on a dataset of [`Sample`]s (Algorithm 1).
@@ -78,15 +96,24 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
             .map(|&i| dataset[i].clone())
             .collect::<Vec<_>>(),
     );
-    let mut opt = Adam::new(cfg.learning_rate);
+    let mut lr = cfg.learning_rate;
+    let mut opt = Adam::new(lr);
     let mut train_loss = Vec::with_capacity(cfg.epochs);
     let mut test_loss = Vec::with_capacity(cfg.epochs);
+    let mut divergence_events = 0usize;
+    let mut degraded = false;
+    let mut inject_at = cfg.inject_nan_loss_at;
 
     let mut shuffled: Vec<usize> = (0..train_samples.len()).collect();
-    for _epoch in 0..cfg.epochs {
+    let mut epoch = 0usize;
+    'epochs: while epoch < cfg.epochs {
         shuffled.shuffle(&mut rng);
+        // Epoch-start weights, known good: a non-finite step inside this
+        // epoch rolls back here and the epoch is retried at a lower rate.
+        let snapshot = model.store_ref().snapshot();
+        let inject_this_epoch = inject_at == Some(epoch);
         let mut epoch_loss = 0.0f32;
-        for &si in &shuffled {
+        for (step, &si) in shuffled.iter().enumerate() {
             let mut sample = train_samples[si].clone();
             if cfg.augment {
                 let o = Orientation::ALL[rng.gen_range(0..Orientation::ALL.len())];
@@ -99,14 +126,32 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
             let y1 = g.input(norm.label_tensor(&sample.labels[1]));
             let (c0, c1) = model.forward(&mut g, f0, f1);
             let loss = SiameseUNet::loss(&mut g, (c0, c1), (y0, y1));
-            epoch_loss += g.value(loss).data()[0];
+            let mut step_loss = g.value(loss).data()[0];
+            if inject_this_epoch && step == 0 {
+                inject_at = None;
+                step_loss = f32::NAN;
+            }
             g.backward(loss);
             model.store_mut().apply_grads(&g);
+            let finite = step_loss.is_finite() && model.store_mut().grad_norm().is_finite();
+            if !finite {
+                divergence_events += 1;
+                model.store_mut().restore(&snapshot);
+                lr *= cfg.lr_backoff;
+                opt = Adam::new(lr);
+                if divergence_events > cfg.max_divergence_retries {
+                    degraded = true;
+                    break 'epochs;
+                }
+                continue 'epochs; // retry this epoch from the rollback
+            }
+            epoch_loss += step_loss;
             model.store_mut().clip_grad_norm(5.0);
             opt.step(model.store_mut());
         }
         train_loss.push(epoch_loss / train_samples.len().max(1) as f32);
         test_loss.push(evaluate_loss(model, &test_samples, &norm));
+        epoch += 1;
     }
 
     let test_metrics = evaluate_metrics(model, &test_samples, &norm);
@@ -115,6 +160,8 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
         test_loss,
         test_metrics,
         normalization: norm,
+        divergence_events,
+        degraded,
     }
 }
 
@@ -282,6 +329,60 @@ mod tests {
             mean_nrmse(&r1),
             mean_nrmse(&r0)
         );
+    }
+
+    #[test]
+    fn trainer_divergence_guard_retries_epoch() {
+        let data = synthetic_dataset(8, 8, 4);
+        let mut model = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 8,
+            },
+            11,
+        );
+        let cfg = TrainConfig {
+            epochs: 3,
+            augment: false,
+            inject_nan_loss_at: Some(1),
+            ..TrainConfig::default()
+        };
+        let result = train(&mut model, &data, &cfg);
+        assert_eq!(result.divergence_events, 1);
+        assert!(!result.degraded);
+        // The poisoned epoch is retried, so all epochs still complete.
+        assert_eq!(result.train_loss.len(), 3);
+        assert!(result.train_loss.iter().all(|l| l.is_finite()));
+    }
+
+    #[test]
+    fn trainer_divergence_guard_degrades_when_exhausted() {
+        let data = synthetic_dataset(8, 8, 5);
+        let mut model = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 8,
+            },
+            13,
+        );
+        let baseline = model.store_ref().snapshot();
+        let cfg = TrainConfig {
+            epochs: 3,
+            augment: false,
+            max_divergence_retries: 0,
+            inject_nan_loss_at: Some(0),
+            ..TrainConfig::default()
+        };
+        let result = train(&mut model, &data, &cfg);
+        assert!(result.degraded);
+        assert_eq!(result.divergence_events, 1);
+        // Weights rolled back to the epoch-start (here: initial) snapshot —
+        // never left poisoned.
+        for name in model.store_ref().names() {
+            assert_eq!(model.store_ref().get(name).data(), baseline[name].data());
+        }
     }
 
     #[test]
