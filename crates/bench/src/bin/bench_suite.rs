@@ -1,0 +1,284 @@
+//! `bench_suite` — the reproducible parallel-scaling benchmark suite.
+//!
+//! Times every `dco-parallel` hot path (conv2d forward/backward, matmul,
+//! placement, routing, STA, and optionally a full Pin-3D flow) across a
+//! sweep of thread counts, and emits `BENCH_dco3d.json` with wall times,
+//! speedups vs `--threads 1`, and FNV-1a output checksums.
+//!
+//! The exit code gates **determinism only**: the process fails when any
+//! benchmark's output checksum differs between thread counts. Speedups are
+//! recorded but never gated — container CPU quotas (this repo's CI runs on
+//! a single core) make wall-clock ratios unreliable, while bitwise output
+//! equality is machine-independent. See BENCHMARKS.md for the reporting
+//! convention.
+//!
+//! ```sh
+//! cargo run --release -p dco-bench --bin bench_suite -- --quick
+//! cargo run --release -p dco-bench --bin bench_suite -- --threads 1,2,4 --reps 5
+//! ```
+
+use dco_flow::{FlowConfig, FlowKind, FlowRunner};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::Design;
+use dco_place::{GlobalPlacer, PlacementParams};
+use dco_route::{Router, RouterConfig};
+use dco_tensor::conv::{conv2d_backward, conv2d_forward};
+use dco_tensor::Tensor;
+use dco_timing::Sta;
+use serde_json::json;
+use std::time::Instant;
+
+/// One benchmark at one thread count.
+struct Run {
+    threads: usize,
+    wall_ms: f64,
+    checksum: u64,
+}
+
+/// One benchmark across the whole thread sweep.
+struct Entry {
+    name: &'static str,
+    runs: Vec<Run>,
+    deterministic: bool,
+}
+
+/// Time `f` at every thread count: one warmup, then `reps` timed runs
+/// keeping the best (min) wall time. `f` returns a checksum of its output;
+/// run-to-run checksum drift at a fixed thread count is a hard error
+/// (non-determinism that not even a serial run would excuse).
+fn sweep(name: &'static str, threads: &[usize], reps: usize, f: &dyn Fn() -> u64) -> Entry {
+    let mut runs = Vec::new();
+    for &n in threads {
+        dco_parallel::set_threads(n);
+        let mut best = f64::INFINITY;
+        let mut checksum = f(); // warmup (also seeds the checksum)
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let c = f();
+            best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            assert_eq!(
+                c, checksum,
+                "{name}: output drifted between runs at --threads {n}"
+            );
+            checksum = c;
+        }
+        runs.push(Run {
+            threads: n,
+            wall_ms: best,
+            checksum,
+        });
+        eprintln!("  {name:<24} threads={n:<2} {best:>10.3} ms  checksum {checksum:#018x}");
+    }
+    let deterministic = runs.windows(2).all(|w| w[0].checksum == w[1].checksum);
+    Entry {
+        name,
+        runs,
+        deterministic,
+    }
+}
+
+fn bench_design(scale: f64) -> Design {
+    GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(scale)
+        .generate(11)
+        .expect("design generation is infallible for the DMA profile")
+}
+
+fn checksum_placement(p: &dco_netlist::Placement3) -> u64 {
+    let x = dco_parallel::checksum_f64(p.xs());
+    dco_parallel::checksum_combine(x, dco_parallel::checksum_f64(p.ys()))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut reps = 3usize;
+    let mut out = String::from("BENCH_dco3d.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--threads" => {
+                let v = it.next().expect("--threads needs a comma-separated list");
+                threads = v
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse()
+                            .expect("--threads entries must be integers")
+                    })
+                    .collect();
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .expect("--reps needs a count")
+                    .parse()
+                    .expect("--reps must be an integer");
+            }
+            "--out" => out = it.next().expect("--out needs a path").clone(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: bench_suite [--quick] [--threads 1,2,4] [--reps N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        threads.contains(&1),
+        "the sweep must include --threads 1 (the speedup baseline)"
+    );
+
+    // Problem sizes: --quick keeps the CI smoke job under a minute.
+    let (bsz, cin, cout, hw, scale) = if quick {
+        (2, 4, 6, 24, 0.02)
+    } else {
+        (4, 6, 8, 48, 0.04)
+    };
+    let mm = if quick { 128 } else { 256 };
+
+    eprintln!(
+        "bench_suite: threads {threads:?}, reps {reps}, {} sizes",
+        if quick { "quick" } else { "full" }
+    );
+
+    // --- fixture setup (timed work only inside the closures) ---------------
+    let x = Tensor::from_vec(
+        (0..bsz * cin * hw * hw)
+            .map(|i| ((i as f32) * 0.731).sin())
+            .collect(),
+        &[bsz, cin, hw, hw],
+    );
+    let w = Tensor::from_vec(
+        (0..cout * cin * 9)
+            .map(|i| ((i as f32) * 0.17).cos())
+            .collect(),
+        &[cout, cin, 3, 3],
+    );
+    let b = Tensor::from_vec((0..cout).map(|i| i as f32 * 0.01).collect(), &[cout]);
+    let y = conv2d_forward(&x, &w, Some(&b), 1, 1);
+    let gy = y.map(|v| (v * 0.3).tanh());
+
+    let a = Tensor::from_vec(
+        (0..mm * mm).map(|i| ((i as f32) * 0.013).sin()).collect(),
+        &[mm, mm],
+    );
+    let design = bench_design(scale);
+    let params = PlacementParams::default();
+    let placed = GlobalPlacer::new(&design).place(&params, 11);
+    let router = Router::new(&design, RouterConfig::default());
+    let routed = router.route(&placed);
+    let sta = Sta::new(&design);
+
+    // --- the sweep ----------------------------------------------------------
+    let mut entries = Vec::new();
+    entries.push(sweep("conv2d_forward", &threads, reps, &|| {
+        dco_parallel::checksum_f32(conv2d_forward(&x, &w, Some(&b), 1, 1).data())
+    }));
+    entries.push(sweep("conv2d_backward", &threads, reps, &|| {
+        let (gx, gw, gb) = conv2d_backward(&x, &w, 1, 1, &gy);
+        let mut c = dco_parallel::checksum_f32(gx.data());
+        c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
+        dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
+    }));
+    entries.push(sweep("matmul", &threads, reps, &|| {
+        dco_parallel::checksum_f32(a.matmul(&a).data())
+    }));
+    entries.push(sweep("place", &threads, reps, &|| {
+        checksum_placement(&GlobalPlacer::new(&design).place(&params, 11))
+    }));
+    entries.push(sweep("route_rrr", &threads, reps, &|| {
+        let r = router.route(&placed);
+        let mut c = dco_parallel::checksum_f32(r.h_usage[0].data());
+        for m in [&r.h_usage[1], &r.v_usage[0], &r.v_usage[1]] {
+            c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(m.data()));
+        }
+        dco_parallel::checksum_combine(c, r.report.total.to_bits())
+    }));
+    entries.push(sweep("sta_levelized", &threads, reps, &|| {
+        let t = sta.analyze(&placed, Some(&routed.net_lengths), Some(&routed.net_bonds));
+        let c = dco_parallel::checksum_f64(&t.pin_arrival);
+        dco_parallel::checksum_combine(c, t.wns_ps.to_bits())
+    }));
+    if !quick {
+        // One end-to-end flow (placement -> route -> STA under one roof);
+        // slow, so full mode only.
+        let cfg = FlowConfig {
+            map_size: 16,
+            unet_channels: 4,
+            train_layouts: 2,
+            train_epochs: 2,
+            ..FlowConfig::default()
+        };
+        let runner = FlowRunner::new(&design, cfg);
+        entries.push(sweep("flow_pin3d", &threads, reps.min(2), &|| {
+            let o = runner.run(FlowKind::Pin3d, 11, None);
+            let c = checksum_placement(&o.placement);
+            dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits())
+        }));
+    }
+
+    // --- report -------------------------------------------------------------
+    let all_deterministic = entries.iter().all(|e| e.deterministic);
+    let benches: Vec<serde_json::Value> = entries
+        .iter()
+        .map(|e| {
+            let base = e
+                .runs
+                .iter()
+                .find(|r| r.threads == 1)
+                .map(|r| r.wall_ms)
+                .unwrap_or(f64::NAN);
+            let runs: Vec<serde_json::Value> = e
+                .runs
+                .iter()
+                .map(|r| {
+                    json!({
+                        "threads": r.threads,
+                        "wall_ms": r.wall_ms,
+                        "speedup_vs_1": base / r.wall_ms,
+                        "checksum": format!("{:#018x}", r.checksum),
+                    })
+                })
+                .collect();
+            json!({
+                "name": e.name,
+                "deterministic": e.deterministic,
+                "runs": runs,
+            })
+        })
+        .collect();
+    let report = json!({
+        "suite": "dco3d-parallel",
+        "quick": quick,
+        "reps": reps,
+        "thread_counts": threads,
+        "machine": {
+            "os": std::env::consts::OS,
+            "arch": std::env::consts::ARCH,
+            "available_parallelism": std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        },
+        "all_deterministic": all_deterministic,
+        "benches": benches,
+    });
+    let body = serde_json::to_string(&report).expect("report serializes");
+    std::fs::write(&out, &body).expect("write benchmark report");
+    println!("wrote {out}");
+
+    if !all_deterministic {
+        for e in entries.iter().filter(|e| !e.deterministic) {
+            eprintln!(
+                "DIVERGENCE: `{}` checksums differ across thread counts",
+                e.name
+            );
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "all {} benchmarks bitwise-identical across threads {threads:?}",
+        entries.len()
+    );
+}

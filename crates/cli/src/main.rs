@@ -43,6 +43,13 @@ use std::path::PathBuf;
 
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
+    // Worker-count policy for every parallel hot path: `--threads N` wins,
+    // then the DCO3D_THREADS env var, then the hardware default (both
+    // fallbacks are resolved inside dco-parallel on first use).
+    let threads = args.get("threads", 0usize);
+    if threads > 0 {
+        dco_parallel::set_threads(threads);
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "place" => cmd_place(&args),
@@ -144,6 +151,9 @@ fn print_help() {
          \x20            --retries <n>     per-stage panic retries (default 1)\n\
          \x20            --map-size/--channels/--layouts/--epochs/--dco-iters  speed knobs\n\n\
          common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>\n\
+         \x20               --threads <n>  worker threads for parallel hot paths\n\
+         \x20               (default: DCO3D_THREADS env var, then all hardware threads;\n\
+         \x20               results are bitwise identical at any thread count)\n\
          exit codes: 0 ok, 2 usage, 3 input/io, 4 degraded, 5 stage panic, 6 checkpoint mismatch"
     );
 }

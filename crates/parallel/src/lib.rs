@@ -1,0 +1,242 @@
+//! Thread-count policy and deterministic parallel helpers.
+//!
+//! Every parallel hot path in the workspace (conv2d, router RRR batches,
+//! placer density accumulation, STA level propagation) goes through this
+//! facade instead of calling the [`rayon`] shim directly. The facade owns
+//! exactly one piece of global state — the effective worker count — and
+//! re-exports the ordered primitives with that count already applied.
+//!
+//! # Thread-count resolution
+//!
+//! The worker count is resolved once, in priority order:
+//!
+//! 1. an explicit [`set_threads`] call (the CLI's `--threads N` flag),
+//! 2. the `DCO3D_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! # Determinism contract
+//!
+//! Callers must keep task boundaries independent of the thread count
+//! (fixed chunk sizes, per-item tasks). Under that rule every helper here
+//! returns results in task order and every reduction folds in task order,
+//! so outputs are **bitwise identical at any thread count** — `--threads
+//! 1/2/8` produce the same bytes. The checksum helpers at the bottom are
+//! what the benchmark suite and the determinism test matrix use to assert
+//! exactly that.
+//!
+//! # Example
+//!
+//! ```
+//! // Partial sums are produced in parallel but combined in chunk order,
+//! // so the result is bitwise stable at any thread count.
+//! let xs: Vec<f32> = (0..10_000).map(|i| (i as f32).sin()).collect();
+//! dco_parallel::set_threads(4);
+//! let parts = dco_parallel::par_chunks(&xs, 1024, |_, c| c.iter().sum::<f32>());
+//! let par4: f32 = dco_parallel::reduce_ordered(parts, 0.0, |a, b| a + b);
+//!
+//! dco_parallel::set_threads(1);
+//! let parts = dco_parallel::par_chunks(&xs, 1024, |_, c| c.iter().sum::<f32>());
+//! let par1: f32 = dco_parallel::reduce_ordered(parts, 0.0, |a, b| a + b);
+//! assert_eq!(par4.to_bits(), par1.to_bits());
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// 0 = unresolved; otherwise the effective worker count.
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolve the worker count from the environment / hardware (called once,
+/// lazily, when no explicit [`set_threads`] happened first).
+fn resolve_default() -> usize {
+    let n = std::env::var("DCO3D_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+    // Keep the first resolution if a racing thread beat us to it.
+    match THREADS.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
+        Ok(_) => n,
+        Err(prev) => prev,
+    }
+}
+
+/// The effective worker count for all parallel helpers in this crate.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => resolve_default(),
+        n => n,
+    }
+}
+
+/// Pin the worker count (clamped to at least 1) for the whole process.
+///
+/// The CLI calls this from `--threads N`; benchmarks and the determinism
+/// test matrix call it to sweep thread counts.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Whether the current thread is already inside a parallel region (nested
+/// calls run inline; see the [`rayon`] shim docs).
+pub fn in_parallel_region() -> bool {
+    rayon::in_parallel_region()
+}
+
+/// [`rayon::par_indexed`] with the process-wide thread count.
+pub fn par_indexed<T, R, F>(tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    rayon::par_indexed(threads(), tasks, f)
+}
+
+/// [`rayon::par_map`] with the process-wide thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    rayon::par_map(threads(), items, f)
+}
+
+/// [`rayon::par_chunks`] with the process-wide thread count.
+pub fn par_chunks<T, R, F>(items: &[T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    rayon::par_chunks(threads(), items, chunk_size, f)
+}
+
+/// [`rayon::par_chunks_mut`] with the process-wide thread count.
+pub fn par_chunks_mut<T, R, F>(items: &mut [T], chunk_size: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    rayon::par_chunks_mut(threads(), items, chunk_size, f)
+}
+
+/// Ordered (deterministic) fold of parallel partials; see
+/// [`rayon::reduce_ordered`].
+pub fn reduce_ordered<R, A, F>(parts: impl IntoIterator<Item = R>, init: A, f: F) -> A
+where
+    F: FnMut(A, R) -> A,
+{
+    rayon::reduce_ordered(parts, init, f)
+}
+
+/// Run two closures, potentially in parallel; see [`rayon::join`].
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if threads() <= 1 {
+        (a(), b())
+    } else {
+        rayon::join(a, b)
+    }
+}
+
+// --- output checksums ----------------------------------------------------
+//
+// FNV-1a over the little-endian bytes of each value. Used by the benchmark
+// suite and the determinism matrix to assert bitwise-identical outputs
+// across thread counts; NaNs with different payloads hash differently on
+// purpose (a NaN sneaking in IS a divergence).
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a checksum of raw bytes.
+pub fn checksum_bytes(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// FNV-1a checksum of the bit patterns of an `f32` slice.
+pub fn checksum_f32(values: &[f32]) -> u64 {
+    values.iter().fold(FNV_OFFSET, |h, v| {
+        v.to_bits()
+            .to_le_bytes()
+            .iter()
+            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+    })
+}
+
+/// FNV-1a checksum of the bit patterns of an `f64` slice.
+pub fn checksum_f64(values: &[f64]) -> u64 {
+    values.iter().fold(FNV_OFFSET, |h, v| {
+        v.to_bits()
+            .to_le_bytes()
+            .iter()
+            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(FNV_PRIME))
+    })
+}
+
+/// Combine two checksums (order-sensitive), for hashing several output
+/// buffers into one digest.
+pub fn checksum_combine(a: u64, b: u64) -> u64 {
+    b.to_le_bytes()
+        .iter()
+        .fold(a, |h, &x| (h ^ u64::from(x)).wrapping_mul(FNV_PRIME))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// The thread count is process-global; serialize tests that touch it.
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn thread_count_is_settable_and_clamped() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0);
+        assert_eq!(threads(), 1);
+        set_threads(2);
+        assert_eq!(threads(), 2);
+    }
+
+    #[test]
+    fn chunked_reduction_is_bitwise_stable_across_thread_counts() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let xs: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.37).sin()).collect();
+        let run = |n: usize| {
+            set_threads(n);
+            let parts = par_chunks(&xs, 4096, |_, c| c.iter().sum::<f32>());
+            reduce_ordered(parts, 0.0f32, |a, b| a + b).to_bits()
+        };
+        let bits1 = run(1);
+        for n in [2, 3, 8] {
+            assert_eq!(run(n), bits1, "threads={n} diverged");
+        }
+    }
+
+    #[test]
+    fn checksums_detect_single_bit_changes() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let mut b = a.clone();
+        b[1] = f32::from_bits(b[1].to_bits() ^ 1);
+        assert_ne!(checksum_f32(&a), checksum_f32(&b));
+        assert_eq!(checksum_f32(&a), checksum_f32(&a.clone()));
+        assert_ne!(checksum_bytes(b"ab"), checksum_bytes(b"ba"));
+        let h = checksum_bytes(b"seed");
+        assert_ne!(checksum_combine(h, 1), checksum_combine(h, 2));
+        assert_ne!(checksum_f64(&[0.0]), checksum_f64(&[-0.0]));
+    }
+}

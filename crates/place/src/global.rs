@@ -13,6 +13,29 @@ use dco_netlist::{CellClass, CellId, Design, Placement3, Tier};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Cells (or pins) accumulated per parallel chunk when building the
+/// per-tier density/demand maps. Fixed — never derived from the thread
+/// count — so chunk boundaries and the ordered partial-map merge are
+/// identical at any worker count, keeping the maps bitwise stable.
+const ACCUM_CHUNK: usize = 2048;
+
+/// Merge per-chunk `[bottom, top]` partial maps in chunk order.
+fn merge_tier_maps(
+    parts: impl IntoIterator<Item = [GridMap; 2]>,
+    nx: usize,
+    ny: usize,
+) -> [GridMap; 2] {
+    dco_parallel::reduce_ordered(
+        parts,
+        [GridMap::zeros(nx, ny), GridMap::zeros(nx, ny)],
+        |mut acc, part| {
+            acc[0].add_assign(&part[0]);
+            acc[1].add_assign(&part[1]);
+            acc
+        },
+    )
+}
+
 /// The global placement engine.
 ///
 /// # Example
@@ -158,21 +181,28 @@ impl<'a> GlobalPlacer<'a> {
         let netlist = &self.design.netlist;
         let g = self.design.floorplan.grid;
         let inv_area = 1.0 / g.cell_area();
-        let mut density = [GridMap::zeros(g.nx, g.ny), GridMap::zeros(g.nx, g.ny)];
-        for id in netlist.cell_ids() {
-            let cell = netlist.cell(id);
-            if cell.class == CellClass::Io {
-                continue;
+        // Per-chunk partial bin grids, merged in fixed chunk order.
+        let pview: &Placement3 = p;
+        let ids: Vec<CellId> = netlist.cell_ids().collect();
+        let parts = dco_parallel::par_chunks(&ids, ACCUM_CHUNK, |_, chunk| {
+            let mut part = [GridMap::zeros(g.nx, g.ny), GridMap::zeros(g.nx, g.ny)];
+            for &id in chunk {
+                let cell = netlist.cell(id);
+                if cell.class == CellClass::Io {
+                    continue;
+                }
+                let t = usize::from(pview.tier(id) == Tier::Top);
+                let col = g.col(pview.x(id) + cell.width / 2.0);
+                let row = g.row(pview.y(id) + cell.height / 2.0);
+                let mut amount = (cell.area() * inv_area) as f32;
+                if params.pin_density_aware {
+                    amount += 0.003 * netlist.cell_pins(id).len() as f32;
+                }
+                part[t].add(col, row, amount);
             }
-            let t = usize::from(p.tier(id) == Tier::Top);
-            let col = g.col(p.x(id) + cell.width / 2.0);
-            let row = g.row(p.y(id) + cell.height / 2.0);
-            let mut amount = (cell.area() * inv_area) as f32;
-            if params.pin_density_aware {
-                amount += 0.003 * netlist.cell_pins(id).len() as f32;
-            }
-            density[t].add(col, row, amount);
-        }
+            part
+        });
+        let density = merge_tier_maps(parts, g.nx, g.ny);
         let target = params
             .max_density
             .min(params.congestion_driven_max_util.max(0.3)) as f32;
@@ -248,16 +278,21 @@ impl<'a> GlobalPlacer<'a> {
             t.add_assign(&top.rudy_3d);
             [b, t]
         } else {
-            // pin-density proxy
-            let mut maps = [GridMap::zeros(g.nx, g.ny), GridMap::zeros(g.nx, g.ny)];
-            for pin in netlist.pins() {
-                let c = pin.cell;
-                let t = usize::from(p.tier(c) == Tier::Top);
-                let col = g.col(p.x(c) + pin.offset.0);
-                let row = g.row(p.y(c) + pin.offset.1);
-                maps[t].add(col, row, 1.0);
-            }
-            maps
+            // pin-density proxy, accumulated per chunk and merged in order
+            let pview: &Placement3 = p;
+            let pins: Vec<&dco_netlist::Pin> = netlist.pins().collect();
+            let parts = dco_parallel::par_chunks(&pins, ACCUM_CHUNK, |_, chunk| {
+                let mut part = [GridMap::zeros(g.nx, g.ny), GridMap::zeros(g.nx, g.ny)];
+                for pin in chunk {
+                    let c = pin.cell;
+                    let t = usize::from(pview.tier(c) == Tier::Top);
+                    let col = g.col(pview.x(c) + pin.offset.0);
+                    let row = g.row(pview.y(c) + pin.offset.1);
+                    part[t].add(col, row, 1.0);
+                }
+                part
+            });
+            merge_tier_maps(parts, g.nx, g.ny)
         };
         for (t, m) in demand.iter().enumerate() {
             let mx = m.max();

@@ -96,6 +96,24 @@ fn col2im(
 
 /// 2D convolution forward pass.
 ///
+/// Parallelism: batch images fan out as independent tasks; with a single
+/// image the per-image matmul fans out over output-channel rows instead
+/// (see [`Tensor::matmul`]). Both paths produce bits identical to the
+/// serial computation at any `dco_parallel` thread count.
+///
+/// # Example
+///
+/// ```
+/// use dco_tensor::conv::conv2d_forward;
+/// use dco_tensor::Tensor;
+///
+/// // A 1x1 identity kernel reproduces its input.
+/// let x = Tensor::from_vec((0..16).map(|v| v as f32).collect(), &[1, 1, 4, 4]);
+/// let w = Tensor::ones(&[1, 1, 1, 1]);
+/// let y = conv2d_forward(&x, &w, None, 1, 0);
+/// assert_eq!(y.data(), x.data());
+/// ```
+///
 /// # Panics
 /// Panics on rank or channel mismatches.
 pub fn conv2d_forward(
@@ -114,17 +132,18 @@ pub fn conv2d_forward(
     let mut out = vec![0.0f32; bsz * cout * oh * ow];
     let per_img = cin * h * wd;
     let per_out = cout * oh * ow;
-    for bi in 0..bsz {
+    let xd = x.data();
+    dco_parallel::par_chunks_mut(&mut out, per_out, |bi, out_img| {
         let cols = im2col(
-            &x.data()[bi * per_img..(bi + 1) * per_img],
+            &xd[bi * per_img..(bi + 1) * per_img],
             (cin, h, wd),
             (kh, kw),
             stride,
             pad,
         );
         let y = wmat.matmul(&cols); // [cout, oh*ow]
-        out[bi * per_out..(bi + 1) * per_out].copy_from_slice(y.data());
-    }
+        out_img.copy_from_slice(y.data());
+    });
     let mut out = Tensor::from_vec(out, &[bsz, cout, oh, ow]);
     if let Some(bias) = b {
         assert_eq!(bias.shape(), &[cout], "conv2d bias must be [C_out]");
@@ -143,6 +162,11 @@ pub fn conv2d_forward(
 }
 
 /// 2D convolution backward pass. Returns `(grad_x, grad_w, grad_b)`.
+///
+/// Parallelism: each batch image is an independent task producing its
+/// disjoint `grad_x` slice plus `(grad_w, grad_b)` partials; the partials
+/// are folded **in batch order**, matching the serial accumulation order
+/// bit for bit at any thread count.
 pub fn conv2d_backward(
     x: &Tensor,
     w: &Tensor,
@@ -150,7 +174,7 @@ pub fn conv2d_backward(
     pad: usize,
     gy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    let (bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
+    let (_bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
     let (cout, _, kh, kw) = dims4(w.shape(), "conv2d weight");
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(wd, kw, stride, pad);
@@ -159,32 +183,44 @@ pub fn conv2d_backward(
     let per_img = cin * h * wd;
     let per_out = cout * oh * ow;
     let mut gx = vec![0.0f32; x.len()];
+    let xd = x.data();
+    let gyd = gy.data();
+    // Per-image partials, produced in parallel, folded in batch order.
+    let parts: Vec<(Tensor, Vec<f32>)> =
+        dco_parallel::par_chunks_mut(&mut gx, per_img, |bi, gx_img| {
+            let gyb = Tensor::from_vec(
+                gyd[bi * per_out..(bi + 1) * per_out].to_vec(),
+                &[cout, oh * ow],
+            );
+            // grad bias: sum over spatial
+            let mut gb_img = vec![0.0f32; cout];
+            for (co, gbv) in gb_img.iter_mut().enumerate() {
+                *gbv = gyb.data()[co * oh * ow..(co + 1) * oh * ow]
+                    .iter()
+                    .sum::<f32>();
+            }
+            // grad weight: gy_b (cols)^T
+            let cols = im2col(
+                &xd[bi * per_img..(bi + 1) * per_img],
+                (cin, h, wd),
+                (kh, kw),
+                stride,
+                pad,
+            );
+            let gw_img = gyb.matmul(&cols.transposed());
+            // grad input: W^T gy_b, folded back into this image's slice
+            let gcols = wmat_t.matmul(&gyb);
+            let gimg = col2im(&gcols, (cin, h, wd), (kh, kw), stride, pad);
+            for (dst, src) in gx_img.iter_mut().zip(&gimg) {
+                *dst += src;
+            }
+            (gw_img, gb_img)
+        });
     let mut gw = Tensor::zeros(&[cout, cin * kh * kw]);
     let mut gb = Tensor::zeros(&[cout]);
-    for bi in 0..bsz {
-        let gyb = Tensor::from_vec(
-            gy.data()[bi * per_out..(bi + 1) * per_out].to_vec(),
-            &[cout, oh * ow],
-        );
-        // grad bias: sum over spatial
-        for co in 0..cout {
-            gb.data_mut()[co] += gyb.data()[co * oh * ow..(co + 1) * oh * ow]
-                .iter()
-                .sum::<f32>();
-        }
-        // grad weight: gy_b (cols)^T
-        let cols = im2col(
-            &x.data()[bi * per_img..(bi + 1) * per_img],
-            (cin, h, wd),
-            (kh, kw),
-            stride,
-            pad,
-        );
-        gw.add_assign(&gyb.matmul(&cols.transposed()));
-        // grad input: W^T gy_b, folded back
-        let gcols = wmat_t.matmul(&gyb);
-        let gimg = col2im(&gcols, (cin, h, wd), (kh, kw), stride, pad);
-        for (dst, src) in gx[bi * per_img..(bi + 1) * per_img].iter_mut().zip(&gimg) {
+    for (gw_img, gb_img) in parts {
+        gw.add_assign(&gw_img);
+        for (dst, src) in gb.data_mut().iter_mut().zip(&gb_img) {
             *dst += src;
         }
     }
@@ -222,36 +258,38 @@ pub fn conv_transpose2d_forward(
     let mut out = vec![0.0f32; bsz * cout * oh * ow];
     let xd = x.data();
     let wdta = w.data();
-    for bi in 0..bsz {
+    // One task per (batch, output-channel) plane. Relative to the serial
+    // loop nest this hoists `co` outermost; for any fixed output element
+    // the contributing (ci, iy, ix, u, v) iterations still run in the same
+    // order, so the scatter-accumulated sums are bitwise unchanged.
+    dco_parallel::par_chunks_mut(&mut out, oh * ow, |plane, out_plane| {
+        let (bi, co) = (plane / cout, plane % cout);
         for ci in 0..cin {
+            let wbase = ((ci * cout + co) * kh) * kw;
             for iy in 0..h {
                 for ix in 0..wd {
                     let xv = xd[((bi * cin + ci) * h + iy) * wd + ix];
                     if xv == 0.0 {
                         continue;
                     }
-                    for co in 0..cout {
-                        let wbase = ((ci * cout + co) * kh) * kw;
-                        let obase = (bi * cout + co) * oh * ow;
-                        for u in 0..kh {
-                            let oy = (iy * stride + u) as isize - pad as isize;
-                            if oy < 0 || oy >= oh as isize {
+                    for u in 0..kh {
+                        let oy = (iy * stride + u) as isize - pad as isize;
+                        if oy < 0 || oy >= oh as isize {
+                            continue;
+                        }
+                        for v in 0..kw {
+                            let ox = (ix * stride + v) as isize - pad as isize;
+                            if ox < 0 || ox >= ow as isize {
                                 continue;
                             }
-                            for v in 0..kw {
-                                let ox = (ix * stride + v) as isize - pad as isize;
-                                if ox < 0 || ox >= ow as isize {
-                                    continue;
-                                }
-                                out[obase + oy as usize * ow + ox as usize] +=
-                                    xv * wdta[wbase + u * kw + v];
-                            }
+                            out_plane[oy as usize * ow + ox as usize] +=
+                                xv * wdta[wbase + u * kw + v];
                         }
                     }
                 }
             }
         }
-    }
+    });
     if let Some(bias) = b {
         assert_eq!(bias.shape(), &[cout], "convT bias must be [C_out]");
         for bi in 0..bsz {
@@ -275,49 +313,64 @@ pub fn conv_transpose2d_backward(
     pad: usize,
     gy: &Tensor,
 ) -> (Tensor, Tensor, Tensor) {
-    let (bsz, cin, h, wd) = dims4(x.shape(), "convT input");
+    let (_bsz, cin, h, wd) = dims4(x.shape(), "convT input");
     let (_, cout, kh, kw) = dims4(w.shape(), "convT weight");
     let oh = convt_out_size(h, kh, stride, pad);
     let ow = convt_out_size(wd, kw, stride, pad);
     let mut gx = vec![0.0f32; x.len()];
-    let mut gw = vec![0.0f32; w.len()];
-    let mut gb = vec![0.0f32; cout];
     let xd = x.data();
     let wdta = w.data();
     let gyd = gy.data();
-    for bi in 0..bsz {
-        for (co, gbv) in gb.iter_mut().enumerate() {
-            let obase = (bi * cout + co) * oh * ow;
-            *gbv += gyd[obase..obase + oh * ow].iter().sum::<f32>();
-        }
-        for ci in 0..cin {
-            for iy in 0..h {
-                for ix in 0..wd {
-                    let xidx = ((bi * cin + ci) * h + iy) * wd + ix;
-                    let xv = xd[xidx];
-                    let mut acc = 0.0f32;
-                    for co in 0..cout {
-                        let wbase = ((ci * cout + co) * kh) * kw;
-                        let obase = (bi * cout + co) * oh * ow;
-                        for u in 0..kh {
-                            let oy = (iy * stride + u) as isize - pad as isize;
-                            if oy < 0 || oy >= oh as isize {
-                                continue;
-                            }
-                            for v in 0..kw {
-                                let ox = (ix * stride + v) as isize - pad as isize;
-                                if ox < 0 || ox >= ow as isize {
+    let per_img = cin * h * wd;
+    // Per-image tasks: disjoint grad_x slices plus (grad_w, grad_b)
+    // partials folded in batch order (same association as the serial loop).
+    let parts: Vec<(Vec<f32>, Vec<f32>)> =
+        dco_parallel::par_chunks_mut(&mut gx, per_img, |bi, gx_img| {
+            let mut gw_img = vec![0.0f32; wdta.len()];
+            let mut gb_img = vec![0.0f32; cout];
+            for (co, gbv) in gb_img.iter_mut().enumerate() {
+                let obase = (bi * cout + co) * oh * ow;
+                *gbv += gyd[obase..obase + oh * ow].iter().sum::<f32>();
+            }
+            for ci in 0..cin {
+                for iy in 0..h {
+                    for ix in 0..wd {
+                        let xidx = (ci * h + iy) * wd + ix;
+                        let xv = xd[bi * per_img + xidx];
+                        let mut acc = 0.0f32;
+                        for co in 0..cout {
+                            let wbase = ((ci * cout + co) * kh) * kw;
+                            let obase = (bi * cout + co) * oh * ow;
+                            for u in 0..kh {
+                                let oy = (iy * stride + u) as isize - pad as isize;
+                                if oy < 0 || oy >= oh as isize {
                                     continue;
                                 }
-                                let g = gyd[obase + oy as usize * ow + ox as usize];
-                                acc += g * wdta[wbase + u * kw + v];
-                                gw[wbase + u * kw + v] += g * xv;
+                                for v in 0..kw {
+                                    let ox = (ix * stride + v) as isize - pad as isize;
+                                    if ox < 0 || ox >= ow as isize {
+                                        continue;
+                                    }
+                                    let g = gyd[obase + oy as usize * ow + ox as usize];
+                                    acc += g * wdta[wbase + u * kw + v];
+                                    gw_img[wbase + u * kw + v] += g * xv;
+                                }
                             }
                         }
+                        gx_img[xidx] += acc;
                     }
-                    gx[xidx] += acc;
                 }
             }
+            (gw_img, gb_img)
+        });
+    let mut gw = vec![0.0f32; w.len()];
+    let mut gb = vec![0.0f32; cout];
+    for (gw_img, gb_img) in parts {
+        for (dst, src) in gw.iter_mut().zip(&gw_img) {
+            *dst += src;
+        }
+        for (dst, src) in gb.iter_mut().zip(&gb_img) {
+            *dst += src;
         }
     }
     (

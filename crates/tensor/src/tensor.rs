@@ -39,6 +39,23 @@ impl fmt::Debug for Tensor {
     }
 }
 
+/// One output row of a matmul: `orow += arow · B`, ikj order (streams B's
+/// rows for cache behaviour without BLAS). Shared verbatim by the serial
+/// and row-parallel paths so both produce identical bits.
+#[inline]
+fn matmul_row(arow: &[f32], b: &[f32], orow: &mut [f32]) {
+    let n = orow.len();
+    for (kk, &a) in arow.iter().enumerate() {
+        if a == 0.0 {
+            continue;
+        }
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += a * bv;
+        }
+    }
+}
+
 impl Tensor {
     /// All-zero tensor of the given shape.
     pub fn zeros(shape: &[usize]) -> Self {
@@ -241,18 +258,28 @@ impl Tensor {
         let (k2, n) = (rhs.shape[0], rhs.shape[1]);
         assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        // ikj loop order: streams rhs rows, good cache behaviour without BLAS.
-        for i in 0..m {
-            let arow = &self.data[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
+        // Output rows are independent, so large products fan out over rows
+        // in fixed-size blocks. Each row is computed by the exact same
+        // (serial) per-row kernel, so the result is bitwise identical at
+        // any thread count — including the all-inline 1-thread path.
+        // MATMUL_ROW_BLOCK is a constant (never derived from the thread
+        // count); that invariance is what the determinism tests pin.
+        const MATMUL_ROW_BLOCK: usize = 8;
+        const MATMUL_PAR_FLOPS: usize = 1 << 18;
+        if m > MATMUL_ROW_BLOCK && m * k * n >= MATMUL_PAR_FLOPS {
+            dco_parallel::par_chunks_mut(&mut out, MATMUL_ROW_BLOCK * n, |block, rows| {
+                let i0 = block * MATMUL_ROW_BLOCK;
+                for (r, orow) in rows.chunks_mut(n).enumerate() {
+                    matmul_row(&self.data[(i0 + r) * k..(i0 + r + 1) * k], &rhs.data, orow);
                 }
-                let brow = &rhs.data[kk * n..(kk + 1) * n];
-                for (o, &b) in orow.iter_mut().zip(brow) {
-                    *o += a * b;
-                }
+            });
+        } else {
+            for i in 0..m {
+                matmul_row(
+                    &self.data[i * k..(i + 1) * k],
+                    &rhs.data,
+                    &mut out[i * n..(i + 1) * n],
+                );
             }
         }
         Self {

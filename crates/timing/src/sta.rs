@@ -1,6 +1,22 @@
 //! Topological static timing analysis over the pin graph.
+//!
+//! # Threading model: levelized pull-based propagation
+//!
+//! Arrival times are propagated level by level: Kahn's algorithm assigns
+//! every pin a topological level (combinational cycles are broken by
+//! forcing the lowest-id stuck pin into the next level), then each level's
+//! pins *pull* their arrival/slew from their predecessors in parallel and
+//! the results are written back in pin order before the next level starts.
+//! Each pin folds its predecessor list in a fixed order, so the analysis
+//! is bitwise identical at any `dco_parallel` thread count.
 
 use dco_netlist::{CellClass, Design, PinDirection, PinId, Placement3};
+
+/// Pins below this count in a topological level are propagated inline —
+/// fan-out overhead would dominate the work on small levels. A fixed
+/// constant (not thread-count-derived); it only chooses *whether* to fan
+/// out, never how results are ordered, so it cannot affect output bits.
+const STA_LEVEL_PAR_MIN: usize = 64;
 
 /// A per-design STA report.
 #[derive(Debug, Clone, PartialEq)]
@@ -198,52 +214,98 @@ impl<'a> Sta<'a> {
             }
         }
 
-        // --- Kahn propagation with cycle breaking ------------------------------
-        let mut queue: std::collections::VecDeque<u32> = (0..n_pins as u32)
+        // --- levelized propagation with cycle breaking -------------------------
+        // Kahn leveling: a pin's level is ready once all its predecessors
+        // are processed; a drained frontier with pins remaining means a
+        // combinational cycle, broken by forcing the lowest-id stuck pin.
+        let mut levels: Vec<Vec<u32>> = Vec::new();
+        let mut queued = vec![false; n_pins];
+        let mut frontier: Vec<u32> = (0..n_pins as u32)
             .filter(|&p| indeg[p as usize] == 0)
             .collect();
-        let mut processed = vec![false; n_pins];
+        for &p in &frontier {
+            queued[p as usize] = true;
+        }
         let mut n_done = 0usize;
         let mut broken = 0usize;
         loop {
-            while let Some(p) = queue.pop_front() {
-                let pi = p as usize;
-                if processed[pi] {
-                    continue;
+            if frontier.is_empty() {
+                if n_done >= n_pins {
+                    break;
                 }
-                processed[pi] = true;
-                n_done += 1;
-                let a = arrival[pi];
-                let s = slew[pi];
-                for &(q, d) in &succ[pi] {
-                    let qi = q as usize;
-                    if arrival[pi] + d > arrival[qi] {
-                        arrival[qi] = a + d;
-                        worst_pred[qi] = p;
+                // Combinational cycle: force the lowest-id stuck pin. Its
+                // cycle edges pull the predecessors' *initial* values (the
+                // preds sit in later levels), which is the cycle-breaking
+                // approximation.
+                match queued.iter().position(|&q| !q) {
+                    Some(i) => {
+                        broken += 1;
+                        indeg[i] = 0;
+                        queued[i] = true;
+                        frontier.push(i as u32);
                     }
-                    let fast = min_arrival[pi] + self.fast_corner * d;
-                    if fast < min_arrival[qi] {
-                        min_arrival[qi] = fast;
+                    None => break,
+                }
+            }
+            n_done += frontier.len();
+            let mut next: Vec<u32> = Vec::new();
+            for &p in &frontier {
+                for &(q, _) in &succ[p as usize] {
+                    let qi = q as usize;
+                    indeg[qi] = indeg[qi].saturating_sub(1);
+                    if indeg[qi] == 0 && !queued[qi] {
+                        queued[qi] = true;
+                        next.push(q);
+                    }
+                }
+            }
+            levels.push(std::mem::replace(&mut frontier, next));
+        }
+
+        // Pull-based sweep: every pin of a level reads only values written
+        // by earlier levels (plus initial values across broken cycle
+        // edges), so a level's pins are independent and fan out in
+        // parallel; results are written back in pin order.
+        let mut pred: Vec<Vec<(u32, f64)>> = vec![Vec::new(); n_pins];
+        for (p, outs) in succ.iter().enumerate() {
+            for &(q, d) in outs {
+                pred[q as usize].push((p as u32, d));
+            }
+        }
+        let fc = self.fast_corner;
+        for level in &levels {
+            let pull = |&p: &u32| {
+                let pi = p as usize;
+                let mut a = arrival[pi];
+                let mut ma = min_arrival[pi];
+                let mut sl = slew[pi];
+                let mut wp = worst_pred[pi];
+                for &(q, d) in &pred[pi] {
+                    let qi = q as usize;
+                    if arrival[qi] + d > a {
+                        a = arrival[qi] + d;
+                        wp = q;
+                    }
+                    let fast = min_arrival[qi] + fc * d;
+                    if fast < ma {
+                        ma = fast;
                     }
                     // slew degrades along wires, regenerates at cell outputs
-                    slew[qi] = slew[qi].max(s * 0.5 + d * 0.4);
-                    indeg[qi] = indeg[qi].saturating_sub(1);
-                    if indeg[qi] == 0 {
-                        queue.push_back(q);
-                    }
+                    sl = sl.max(slew[qi] * 0.5 + d * 0.4);
                 }
-            }
-            if n_done >= n_pins {
-                break;
-            }
-            // Combinational cycle: force the lowest-id unprocessed pin.
-            match (0..n_pins).find(|&i| !processed[i]) {
-                Some(i) => {
-                    broken += 1;
-                    indeg[i] = 0;
-                    queue.push_back(i as u32);
-                }
-                None => break,
+                (a, ma, sl, wp)
+            };
+            let updates: Vec<(f64, f64, f64, u32)> = if level.len() >= STA_LEVEL_PAR_MIN {
+                dco_parallel::par_map(level, |_, p| pull(p))
+            } else {
+                level.iter().map(pull).collect()
+            };
+            for (&p, (a, ma, sl, wp)) in level.iter().zip(updates) {
+                let pi = p as usize;
+                arrival[pi] = a;
+                min_arrival[pi] = ma;
+                slew[pi] = sl;
+                worst_pred[pi] = wp;
             }
         }
 
