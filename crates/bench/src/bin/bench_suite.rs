@@ -42,20 +42,29 @@ struct Entry {
     deterministic: bool,
 }
 
-/// Time `f` at every thread count: one warmup, then `reps` timed runs
-/// keeping the best (min) wall time. `f` returns a checksum of its output;
-/// run-to-run checksum drift at a fixed thread count is a hard error
-/// (non-determinism that not even a serial run would excuse).
-fn sweep(name: &'static str, threads: &[usize], reps: usize, f: &dyn Fn() -> u64) -> Entry {
+/// Time `run` at every thread count: one warmup, then `reps` timed runs
+/// keeping the best (min) wall time. `check` reduces the run's output to an
+/// FNV checksum *outside* the timed window, so serial checksum folding never
+/// pollutes the parallel-scaling numbers. Run-to-run checksum drift at a
+/// fixed thread count is a hard error (non-determinism that not even a
+/// serial run would excuse).
+fn sweep<O>(
+    name: &'static str,
+    threads: &[usize],
+    reps: usize,
+    run: impl Fn() -> O,
+    check: impl Fn(&O) -> u64,
+) -> Entry {
     let mut runs = Vec::new();
     for &n in threads {
         dco_parallel::set_threads(n);
         let mut best = f64::INFINITY;
-        let mut checksum = f(); // warmup (also seeds the checksum)
+        let mut checksum = check(&run()); // warmup (also seeds the checksum)
         for _ in 0..reps {
             let t0 = Instant::now();
-            let c = f();
+            let o = run();
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            let c = check(&o);
             assert_eq!(
                 c, checksum,
                 "{name}: output drifted between runs at --threads {n}"
@@ -173,34 +182,61 @@ fn main() {
 
     // --- the sweep ----------------------------------------------------------
     let mut entries = Vec::new();
-    entries.push(sweep("conv2d_forward", &threads, reps, &|| {
-        dco_parallel::checksum_f32(conv2d_forward(&x, &w, Some(&b), 1, 1).data())
-    }));
-    entries.push(sweep("conv2d_backward", &threads, reps, &|| {
-        let (gx, gw, gb) = conv2d_backward(&x, &w, 1, 1, &gy);
-        let mut c = dco_parallel::checksum_f32(gx.data());
-        c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
-        dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
-    }));
-    entries.push(sweep("matmul", &threads, reps, &|| {
-        dco_parallel::checksum_f32(a.matmul(&a).data())
-    }));
-    entries.push(sweep("place", &threads, reps, &|| {
-        checksum_placement(&GlobalPlacer::new(&design).place(&params, 11))
-    }));
-    entries.push(sweep("route_rrr", &threads, reps, &|| {
-        let r = router.route(&placed);
-        let mut c = dco_parallel::checksum_f32(r.h_usage[0].data());
-        for m in [&r.h_usage[1], &r.v_usage[0], &r.v_usage[1]] {
-            c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(m.data()));
-        }
-        dco_parallel::checksum_combine(c, r.report.total.to_bits())
-    }));
-    entries.push(sweep("sta_levelized", &threads, reps, &|| {
-        let t = sta.analyze(&placed, Some(&routed.net_lengths), Some(&routed.net_bonds));
-        let c = dco_parallel::checksum_f64(&t.pin_arrival);
-        dco_parallel::checksum_combine(c, t.wns_ps.to_bits())
-    }));
+    entries.push(sweep(
+        "conv2d_forward",
+        &threads,
+        reps,
+        || conv2d_forward(&x, &w, Some(&b), 1, 1),
+        |y| dco_parallel::checksum_f32(y.data()),
+    ));
+    entries.push(sweep(
+        "conv2d_backward",
+        &threads,
+        reps,
+        || conv2d_backward(&x, &w, 1, 1, &gy),
+        |(gx, gw, gb)| {
+            let mut c = dco_parallel::checksum_f32(gx.data());
+            c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
+            dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
+        },
+    ));
+    entries.push(sweep(
+        "matmul",
+        &threads,
+        reps,
+        || a.matmul(&a),
+        |m| dco_parallel::checksum_f32(m.data()),
+    ));
+    entries.push(sweep(
+        "place",
+        &threads,
+        reps,
+        || GlobalPlacer::new(&design).place(&params, 11),
+        checksum_placement,
+    ));
+    entries.push(sweep(
+        "route_rrr",
+        &threads,
+        reps,
+        || router.route(&placed),
+        |r| {
+            let mut c = dco_parallel::checksum_f32(r.h_usage[0].data());
+            for m in [&r.h_usage[1], &r.v_usage[0], &r.v_usage[1]] {
+                c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(m.data()));
+            }
+            dco_parallel::checksum_combine(c, r.report.total.to_bits())
+        },
+    ));
+    entries.push(sweep(
+        "sta_levelized",
+        &threads,
+        reps,
+        || sta.analyze(&placed, Some(&routed.net_lengths), Some(&routed.net_bonds)),
+        |t| {
+            let c = dco_parallel::checksum_f64(&t.pin_arrival);
+            dco_parallel::checksum_combine(c, t.wns_ps.to_bits())
+        },
+    ));
     if !quick {
         // One end-to-end flow (placement -> route -> STA under one roof);
         // slow, so full mode only.
@@ -212,11 +248,16 @@ fn main() {
             ..FlowConfig::default()
         };
         let runner = FlowRunner::new(&design, cfg);
-        entries.push(sweep("flow_pin3d", &threads, reps.min(2), &|| {
-            let o = runner.run(FlowKind::Pin3d, 11, None);
-            let c = checksum_placement(&o.placement);
-            dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits())
-        }));
+        entries.push(sweep(
+            "flow_pin3d",
+            &threads,
+            reps.min(2),
+            || runner.run(FlowKind::Pin3d, 11, None),
+            |o| {
+                let c = checksum_placement(&o.placement);
+                dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits())
+            },
+        ));
     }
 
     // --- report -------------------------------------------------------------

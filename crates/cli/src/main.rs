@@ -39,7 +39,7 @@ use dco_place::{legalize, GlobalPlacer, PlacementParams};
 use dco_route::{Router, RouterConfig};
 use dco_timing::{synthesize_clock_tree, PowerAnalyzer, Sta};
 use dco_unet::{load_predictor, save_predictor, TrainResult};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn main() {
     let args = Args::parse(std::env::args().skip(1));
@@ -50,6 +50,13 @@ fn main() {
     if threads > 0 {
         dco_parallel::set_threads(threads);
     }
+    // Observability is opt-in; when off, the instrumented code paths cost a
+    // single relaxed atomic load each and record nothing.
+    let obs_on = args.flag("obs") || args.flag("obs-report");
+    if obs_on {
+        dco_obs::set_enabled(true);
+        dco_parallel::set_stats_enabled(true);
+    }
     let result = match args.command.as_str() {
         "generate" => cmd_generate(&args),
         "place" => cmd_place(&args),
@@ -58,6 +65,7 @@ fn main() {
         "train" => cmd_train(&args),
         "dco" => cmd_dco(&args),
         "flow" => cmd_flow(&args),
+        "obs-validate" => cmd_obs_validate(&args),
         "" | "help" | "-h" => {
             print_help();
             Ok(0)
@@ -67,6 +75,10 @@ fn main() {
             print_help();
             std::process::exit(2);
         }
+    };
+    let result = match (result, obs_on) {
+        (Ok(code), true) => finish_obs(&args).map(|()| code),
+        (r, _) => r,
     };
     match result {
         Ok(0) => {}
@@ -132,6 +144,66 @@ fn flow_error(e: FlowError) -> CliError {
 
 type CliResult = Result<i32, CliError>;
 
+/// Publish pool telemetry into the metrics registry, write the
+/// `OBS_dco3d.json` artifact, and (with `--obs-report`) print the
+/// human-readable span/metric table. Runs once, after the subcommand
+/// succeeded, so the artifact reflects the whole process.
+fn finish_obs(args: &Args) -> Result<(), CliError> {
+    let stats = dco_parallel::pool_stats();
+    dco_obs::counter_add("pool.calls", stats.calls);
+    dco_obs::counter_add("pool.tasks", stats.tasks);
+    dco_obs::counter_add("pool.steals", stats.steals);
+    for (worker, busy) in stats.busy_ns.iter().enumerate() {
+        dco_obs::gauge_set(&format!("pool.worker.{worker}.busy_ns"), *busy as f64);
+    }
+    let out = args.get_str("obs-out", dco_obs::report::ARTIFACT_FILE);
+    let artifact = dco_obs::report::write_report(Path::new(&out))?;
+    dco_obs::report::validate(&artifact).map_err(|msg| CliError {
+        code: 3,
+        message: format!("observability artifact failed self-validation: {msg}"),
+        chain: Vec::new(),
+    })?;
+    if args.flag("obs-report") {
+        let parsed = dco_obs::report::parse_report(&artifact).map_err(|msg| CliError {
+            code: 3,
+            message: format!("observability artifact failed to parse: {msg}"),
+            chain: Vec::new(),
+        })?;
+        print!("{}", dco_obs::report::render_table(&parsed));
+    }
+    eprintln!("wrote observability artifact to {out}");
+    Ok(())
+}
+
+/// `dco3d obs-validate --file OBS_dco3d.json` — parse and structurally
+/// validate a previously written observability artifact (for CI gates).
+fn cmd_obs_validate(args: &Args) -> CliResult {
+    let path = args.get_str("file", dco_obs::report::ARTIFACT_FILE);
+    let text = std::fs::read_to_string(&path)?;
+    let value: serde_json::Value = serde_json::from_str(&text)?;
+    match dco_obs::report::validate(&value) {
+        Ok(()) => {
+            let parsed = dco_obs::report::parse_report(&value).map_err(|msg| CliError {
+                code: 3,
+                message: format!("{path}: {msg}"),
+                chain: Vec::new(),
+            })?;
+            println!(
+                "{path}: valid (version {}, {} spans, {} metrics)",
+                dco_obs::report::ARTIFACT_VERSION,
+                parsed.spans.len(),
+                parsed.metrics.len()
+            );
+            Ok(0)
+        }
+        Err(msg) => Err(CliError {
+            code: 3,
+            message: format!("{path}: {msg}"),
+            chain: Vec::new(),
+        }),
+    }
+}
+
 fn print_help() {
     println!(
         "dco3d — DCO-3D reproduction CLI\n\n\
@@ -149,11 +221,15 @@ fn print_help() {
          \x20            --inject <spec>   deterministic fault: panic@<stage>, nan@dco,\n\
          \x20                              nan@train, corrupt@<stage>, route-stall\n\
          \x20            --retries <n>     per-stage panic retries (default 1)\n\
-         \x20            --map-size/--channels/--layouts/--epochs/--dco-iters  speed knobs\n\n\
+         \x20            --map-size/--channels/--layouts/--epochs/--dco-iters  speed knobs\n\
+         \x20 obs-validate  structurally validate an observability artifact (--file <path>)\n\n\
          common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>\n\
          \x20               --threads <n>  worker threads for parallel hot paths\n\
          \x20               (default: DCO3D_THREADS env var, then all hardware threads;\n\
          \x20               results are bitwise identical at any thread count)\n\
+         \x20               --obs          collect spans/metrics, write OBS_dco3d.json\n\
+         \x20               --obs-report   same, plus print a human-readable table\n\
+         \x20               --obs-out <p>  artifact path (default OBS_dco3d.json)\n\
          exit codes: 0 ok, 2 usage, 3 input/io, 4 degraded, 5 stage panic, 6 checkpoint mismatch"
     );
 }

@@ -236,6 +236,7 @@ impl<'a> DcoOptimizer<'a> {
         let mut degraded = false;
 
         for iter in 0..self.cfg.max_iter {
+            let _iter_span = dco_obs::span!("dco.iter", iter = iter);
             let mut g = Graph::new();
             let (x, y, z, dx, dy) =
                 self.decode(&mut g, &adj, &x0, &y0, &z_bias, &movable, max_disp);
@@ -306,6 +307,7 @@ impl<'a> DcoOptimizer<'a> {
                 breakdown.total.is_finite() && self.gcn.store_mut().grad_norm().is_finite();
             if !finite {
                 divergence_events += 1;
+                dco_obs::counter_add("dco.rollbacks", 1);
                 self.gcn.store_mut().restore(&last_good);
                 lr *= self.cfg.lr_backoff;
                 opt = Adam::new(lr);
@@ -332,6 +334,7 @@ impl<'a> DcoOptimizer<'a> {
                     calm_iters = 0;
                 }
             }
+            dco_obs::series_push("dco.loss", f64::from(breakdown.total));
             history.push(breakdown);
             if calm_iters >= 3 {
                 converged = true;
@@ -373,6 +376,7 @@ impl<'a> DcoOptimizer<'a> {
             }
         }
         let iterations = history.len();
+        dco_obs::gauge_set("dco.iterations", iterations as f64);
         DcoResult {
             placement,
             soft_z,

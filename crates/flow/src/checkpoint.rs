@@ -69,6 +69,19 @@ impl Stage {
     pub fn from_name(s: &str) -> Option<Stage> {
         Stage::ALL.into_iter().find(|st| st.name() == s)
     }
+
+    /// Observability span name for this stage (`flow.<stage>`).
+    pub fn span_name(self) -> &'static str {
+        match self {
+            Stage::Train => "flow.train",
+            Stage::Place => "flow.place",
+            Stage::Dco => "flow.dco",
+            Stage::TierAssign => "flow.tier-assign",
+            Stage::Cts => "flow.cts",
+            Stage::Route => "flow.route",
+            Stage::Sta => "flow.sta",
+        }
+    }
 }
 
 impl std::fmt::Display for Stage {
@@ -371,7 +384,91 @@ mod tests {
     fn stage_names_round_trip() {
         for s in Stage::ALL {
             assert_eq!(Stage::from_name(s.name()), Some(s));
+            assert_eq!(s.span_name(), format!("flow.{}", s.name()));
         }
         assert_eq!(Stage::from_name("nope"), None);
+    }
+
+    #[test]
+    fn atomic_write_failure_is_typed_io_not_panic() {
+        let d = design();
+        let dir = tmp_dir("atomicfail");
+        let store = CheckpointStore::open(&dir, FlowKind::Pin3d, 7, &d).expect("open");
+        // Plant a directory where atomic_write wants its temp file. Tests
+        // run as root in CI, so a read-only directory would not refuse the
+        // write — but File::create on a path occupied by a directory fails
+        // for every uid, exercising the same error path.
+        let tmp = store.stage_path(Stage::Dco).with_extension("json.tmp");
+        std::fs::create_dir_all(&tmp).expect("plant dir at tmp path");
+        match store.save(Stage::Dco, &json!({"loss": 1.0})) {
+            Err(CheckpointError::Io(_)) => {}
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        // The store stays usable for other stages after the failure.
+        store.save(Stage::Cts, &json!({"ok": true})).expect("save");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn version_mismatch_envelope_is_corrupt() {
+        let d = design();
+        let dir = tmp_dir("version");
+        let store = CheckpointStore::open(&dir, FlowKind::Pin3d, 7, &d).expect("open");
+        let envelope = json!({
+            "version": 999,
+            "stage": "route",
+            "payload": {"a": 1},
+        });
+        std::fs::write(
+            store.stage_path(Stage::Route),
+            serde_json::to_string(&envelope).expect("serialize"),
+        )
+        .expect("write");
+        match store.load(Stage::Route) {
+            Err(CheckpointError::Corrupt { stage, detail }) => {
+                assert_eq!(stage, "route");
+                assert!(detail.contains("version"), "{detail}");
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn garbage_json_is_corrupt_not_panic() {
+        let d = design();
+        let dir = tmp_dir("garbage");
+        let store = CheckpointStore::open(&dir, FlowKind::Dco3d, 2, &d).expect("open");
+        for garbage in ["", "not json at all", "{\"version\":", "[1,2,", "nul\0l"] {
+            std::fs::write(store.stage_path(Stage::Place), garbage).expect("write");
+            match store.load(Stage::Place) {
+                Err(CheckpointError::Corrupt { stage, .. }) => assert_eq!(stage, "place"),
+                other => panic!("garbage {garbage:?}: expected Corrupt, got {other:?}"),
+            }
+        }
+        // Valid JSON but missing the payload key is also corrupt.
+        std::fs::write(
+            store.stage_path(Stage::Place),
+            serde_json::to_string(&json!({"version": 1, "stage": "place"})).expect("serialize"),
+        )
+        .expect("write");
+        assert!(matches!(
+            store.load(Stage::Place),
+            Err(CheckpointError::Corrupt { stage: "place", .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unreadable_meta_is_mismatch() {
+        let d = design();
+        let dir = tmp_dir("badmeta");
+        let _ = CheckpointStore::open(&dir, FlowKind::Pin3d, 1, &d).expect("open");
+        std::fs::write(dir.join("meta.json"), "{{{").expect("clobber meta");
+        assert!(matches!(
+            CheckpointStore::open(&dir, FlowKind::Pin3d, 1, &d),
+            Err(CheckpointError::Mismatch(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

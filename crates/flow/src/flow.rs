@@ -282,6 +282,9 @@ pub fn train_predictor_resilient(
     seed: u64,
     opts: &ResilienceOptions,
 ) -> Result<(Predictor, ResilienceReport), FlowError> {
+    // Train is a flow-level pseudo-stage (shared predictor bundle), so it
+    // does not go through `run_stage`; open its span here instead.
+    let _train_span = dco_obs::span!(Stage::Train.span_name());
     let injector = FaultInjector::new(opts.inject);
     let mut report = ResilienceReport::default();
     let predictor_path = opts
@@ -359,6 +362,7 @@ pub fn train_predictor_resilient(
     };
     let (unet, train_result) =
         execute_stage_body(Stage::Train, &injector, opts, &mut report, &body)?;
+    dco_obs::report::record_stage_rss(Stage::Train.name());
     if train_result.divergence_events > 0 {
         report.events.push(RecoveryEvent::DivergenceRollback {
             stage: "train",
@@ -627,6 +631,17 @@ impl<'a> FlowRunner<'a> {
                 },
             }
         })?;
+
+        // Flow-level telemetry: publish the headline quality numbers as
+        // gauges (passive reads of already-computed results).
+        if dco_obs::enabled() {
+            dco_obs::gauge_set("flow.route.overflow_total", route.overflow_total);
+            dco_obs::gauge_set("flow.route.rrr_iterations", route.rrr_iterations as f64);
+            dco_obs::gauge_set("flow.signoff.wns_ps", sta_ck.signoff.wns_ps);
+            dco_obs::gauge_set("flow.signoff.total_power_mw", sta_ck.signoff.total_power_mw);
+            dco_obs::gauge_set("flow.signoff.wirelength_um", sta_ck.signoff.wirelength_um);
+            dco_obs::counter_add("flow.recovery_events", report.events.len() as u64);
+        }
 
         Ok(ResilientOutcome {
             outcome: FlowOutcome {

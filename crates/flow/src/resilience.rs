@@ -266,6 +266,12 @@ where
     T: Serialize + Deserialize,
     F: Fn() -> T,
 {
+    // Passive instrumentation: the span times the whole stage (resume,
+    // execute, or persist path alike) and the RSS gauge samples the
+    // process high-water mark after the stage ran. Neither touches the
+    // stage result, so enabled/disabled runs stay bitwise identical.
+    let _stage_span = dco_obs::span!(stage.span_name());
+
     // --- resume path -------------------------------------------------------
     if let Some(store) = ckpt {
         match store.load(stage) {
@@ -302,6 +308,7 @@ where
 
     // --- execute path ------------------------------------------------------
     let value = execute_stage_body(stage, injector, opts, report, &body)?;
+    dco_obs::report::record_stage_rss(stage.name());
 
     // --- persist path ------------------------------------------------------
     if let Some(store) = ckpt {
@@ -408,6 +415,29 @@ mod tests {
             report2.events.as_slice(),
             [RecoveryEvent::ResumedFromCheckpoint { stage: "place" }]
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_save_failure_maps_to_flow_error_not_panic() {
+        let dir = tmp_dir("savefail");
+        let s = store(&dir);
+        // Block the atomic write by occupying the temp-file path with a
+        // directory (works regardless of uid, unlike read-only perms).
+        let tmp = s.stage_path(Stage::Dco).with_extension("json.tmp");
+        std::fs::create_dir_all(&tmp).expect("plant dir");
+        let inj = FaultInjector::new(None);
+        let opts = ResilienceOptions::with_checkpoints(&dir);
+        let mut report = ResilienceReport::default();
+        let res: Result<Payload, _> =
+            run_stage(Stage::Dco, Some(&s), &inj, &opts, &mut report, || Payload {
+                n: 4,
+                x: 0.25,
+            });
+        match res {
+            Err(FlowError::Checkpoint(CheckpointError::Io(_))) => {}
+            other => panic!("expected Checkpoint(Io), got {other:?}"),
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 

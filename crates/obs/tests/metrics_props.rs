@@ -1,0 +1,160 @@
+//! Property-based coverage for the metrics registry invariants the
+//! artifact validator relies on: counter monotonicity, histogram bucket
+//! conservation, and order-independent shard merging.
+
+use dco_obs::{Histogram, Metric, Registry, Shard, DEFAULT_BOUNDS};
+use proptest::prelude::*;
+
+/// Fetch a counter's current value from a registry snapshot.
+fn counter_value(r: &Registry, name: &str) -> u64 {
+    r.snapshot()
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, m)| match m {
+            Metric::Counter(v) => *v,
+            other => panic!("expected counter, got {other:?}"),
+        })
+        .unwrap_or(0)
+}
+
+/// The small fixed name vocabulary shards publish under.
+const NAMES: [&str; 4] = ["pool.tasks", "pool.steals", "lat.task", "last.gauge"];
+
+/// Apply one derived operation to a shard. `op` picks the name and value;
+/// the metric *kind* is a fixed function of the name — names have one type
+/// for the life of the process (the registry's contract; merging is only
+/// commutative under it).
+fn apply_op(shard: &mut Shard, op: u64) {
+    let idx = (op % 4) as usize;
+    let name = NAMES[idx];
+    let value = ((op / 12) % 1000) as f64 * 0.37;
+    match idx % 3 {
+        0 => shard.counter_add(name, op % 17),
+        1 => shard.gauge_set(name, value),
+        _ => shard.histogram_observe_with(name, value, &DEFAULT_BOUNDS),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Counters only ever grow: after any sequence of `counter_add` calls
+    /// the running value is non-decreasing and the final value is the sum.
+    #[test]
+    fn counters_are_monotone(deltas in collection::vec(0u64..1000, 0..24)) {
+        let r = Registry::new();
+        let mut prev = 0u64;
+        let mut expected = 0u64;
+        for &d in &deltas {
+            r.counter_add("prop.count", d);
+            let now = counter_value(&r, "prop.count");
+            prop_assert!(now >= prev, "counter decreased: {prev} -> {now}");
+            expected += d;
+            prop_assert_eq!(now, expected);
+            prev = now;
+        }
+    }
+
+    /// Every observation lands in exactly one bucket: bucket counts always
+    /// sum to the observation count, NaN and out-of-range included.
+    #[test]
+    fn histogram_buckets_conserve_observations(
+        values in collection::vec(-1000.0f64..1000.0, 0..64),
+        nans in collection::vec(0u8..1, 0..4),
+    ) {
+        let mut h = Histogram::new(&DEFAULT_BOUNDS);
+        for &v in &values {
+            h.observe(v);
+        }
+        for _ in &nans {
+            h.observe(f64::NAN);
+        }
+        prop_assert_eq!(h.counts.len(), DEFAULT_BOUNDS.len() + 1);
+        let bucket_sum: u64 = h.counts.iter().sum();
+        prop_assert_eq!(bucket_sum, h.count);
+        prop_assert_eq!(h.count, (values.len() + nans.len()) as u64);
+        // Each finite observation respects its bucket's upper bound.
+        // Cross-check bucket 0 directly: it must hold exactly the
+        // observations <= the first bound.
+        let in_first = values.iter().filter(|v| **v <= DEFAULT_BOUNDS[0]).count();
+        prop_assert_eq!(h.counts[0], in_first as u64);
+    }
+
+    /// Merging histograms is commutative and conserves counts.
+    #[test]
+    fn histogram_merge_is_commutative(
+        xs in collection::vec(0.0f64..500.0, 0..32),
+        ys in collection::vec(0.0f64..500.0, 0..32),
+    ) {
+        let mut a = Histogram::new(&DEFAULT_BOUNDS);
+        let mut b = Histogram::new(&DEFAULT_BOUNDS);
+        for &v in &xs {
+            a.observe(v);
+        }
+        for &v in &ys {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(&ab.counts, &ba.counts);
+        prop_assert_eq!(ab.count, (xs.len() + ys.len()) as u64);
+        let bucket_sum: u64 = ab.counts.iter().sum();
+        prop_assert_eq!(bucket_sum, ab.count);
+    }
+
+    /// Merging per-worker shards into a registry yields the same snapshot
+    /// regardless of merge order (counters add, gauges resolve by global
+    /// sequence, histogram buckets add element-wise).
+    #[test]
+    fn shard_merge_order_is_irrelevant(ops in collection::vec(0u64..1_000_000, 3..36)) {
+        // Deal the operations round-robin onto three worker shards, as the
+        // pool does; the global gauge sequence stamps each write once so
+        // both merge orders see identical shard contents.
+        let mut shards = [Shard::new(), Shard::new(), Shard::new()];
+        for (i, &op) in ops.iter().enumerate() {
+            apply_op(&mut shards[i % 3], op);
+        }
+        let forward = Registry::new();
+        for s in &shards {
+            forward.merge_shard(s);
+        }
+        let reverse = Registry::new();
+        for s in shards.iter().rev() {
+            reverse.merge_shard(s);
+        }
+        let rotated = Registry::new();
+        for i in [1usize, 2, 0] {
+            rotated.merge_shard(&shards[i]);
+        }
+        assert_snapshots_equivalent(&forward.snapshot(), &reverse.snapshot());
+        assert_snapshots_equivalent(&forward.snapshot(), &rotated.snapshot());
+    }
+}
+
+/// Snapshot equality modulo float-summation rounding: counters, gauges,
+/// bucket counts, and observation counts must match *exactly*; a
+/// histogram's `sum` is a fold over f64 adds, which is commutative only up
+/// to rounding, so it gets a relative tolerance.
+fn assert_snapshots_equivalent(a: &[(String, Metric)], b: &[(String, Metric)]) {
+    assert_eq!(a.len(), b.len(), "snapshots differ in metric count");
+    for ((ka, ma), (kb, mb)) in a.iter().zip(b.iter()) {
+        assert_eq!(ka, kb, "metric name order diverged");
+        match (ma, mb) {
+            (Metric::Histogram(ha), Metric::Histogram(hb)) => {
+                assert_eq!(ha.bounds, hb.bounds, "{ka}: bounds differ");
+                assert_eq!(ha.counts, hb.counts, "{ka}: bucket counts differ");
+                assert_eq!(ha.count, hb.count, "{ka}: observation counts differ");
+                let scale = ha.sum.abs().max(hb.sum.abs()).max(1.0);
+                assert!(
+                    (ha.sum - hb.sum).abs() <= 1e-9 * scale,
+                    "{ka}: sums diverge beyond rounding: {} vs {}",
+                    ha.sum,
+                    hb.sum
+                );
+            }
+            (ma, mb) => assert_eq!(ma, mb, "{ka}: metrics differ"),
+        }
+    }
+}

@@ -86,6 +86,17 @@ pub fn in_parallel_region() -> bool {
     rayon::in_parallel_region()
 }
 
+// --- pool telemetry -------------------------------------------------------
+//
+// Passive observability re-exported from the pool shim: tasks executed,
+// steals, and per-worker busy time. Collection is off by default (hot
+// paths pay one relaxed load); the CLI enables it under `--obs` and
+// publishes the snapshot into the dco-obs metrics registry at flow end.
+// Telemetry never influences scheduling, so enabling it cannot change any
+// computed result.
+
+pub use rayon::{pool_stats, reset_pool_stats, set_stats_enabled, stats_enabled, PoolStats};
+
 /// [`rayon::par_indexed`] with the process-wide thread count.
 pub fn par_indexed<T, R, F>(tasks: Vec<T>, f: F) -> Vec<R>
 where

@@ -66,6 +66,7 @@ impl<'a> GlobalPlacer<'a> {
     /// legalization-ready 3D placement (tiers assigned, cells inside the
     /// die, density spread to the requested `max_density`).
     pub fn place(&self, params: &PlacementParams, seed: u64) -> Placement3 {
+        let _place_span = dco_obs::span!("place.global");
         let mut rng = StdRng::seed_from_u64(seed ^ 0x97ACE);
         let netlist = &self.design.netlist;
         let fp = &self.design.floorplan;
@@ -203,6 +204,15 @@ impl<'a> GlobalPlacer<'a> {
             part
         });
         let density = merge_tier_maps(parts, g.nx, g.ny);
+        // Passive telemetry: the merged density grid is already computed;
+        // reading its peak cannot perturb the spreading step.
+        if dco_obs::enabled() {
+            let max_bin = density
+                .iter()
+                .flat_map(|m| m.data().iter())
+                .fold(0.0f32, |a, &b| a.max(b));
+            dco_obs::gauge_set("place.max_bin_density", f64::from(max_bin));
+        }
         let target = params
             .max_density
             .min(params.congestion_driven_max_util.max(0.3)) as f32;

@@ -180,23 +180,29 @@ impl<'a> Router<'a> {
         }
         segments.sort_by(|a, b| a.manhattan_length().total_cmp(&b.manhattan_length()));
 
+        dco_obs::counter_add("route.calls", 1);
+        dco_obs::counter_add("route.segments", segments.len() as u64);
+
         // Initial pattern routing: waves of ROUTE_BATCH segments routed in
         // parallel against the grids as of the wave start, committed in
         // segment order.
         let mut paths: Vec<Vec<Step>> = Vec::with_capacity(segments.len());
         let mut bond_at: Vec<Option<(u16, u16)>> = Vec::with_capacity(segments.len());
         let mut bond_count = 0usize;
-        for wave in segments.chunks(ROUTE_BATCH) {
-            let routed =
-                dco_parallel::par_map(wave, |_, seg| self.route_segment(seg, &state, false));
-            for (path, bond) in routed {
-                state.commit(&path, 1.0);
-                if let Some((bc, br)) = bond {
-                    state.bonds.add(bc as usize, br as usize, 1.0);
-                    bond_count += 1;
+        {
+            let _pattern_span = dco_obs::span!("route.pattern");
+            for wave in segments.chunks(ROUTE_BATCH) {
+                let routed =
+                    dco_parallel::par_map(wave, |_, seg| self.route_segment(seg, &state, false));
+                for (path, bond) in routed {
+                    state.commit(&path, 1.0);
+                    if let Some((bc, br)) = bond {
+                        state.bonds.add(bc as usize, br as usize, 1.0);
+                        bond_count += 1;
+                    }
+                    paths.push(path);
+                    bond_at.push(bond);
                 }
-                paths.push(path);
-                bond_at.push(bond);
             }
         }
 
@@ -211,7 +217,7 @@ impl<'a> Router<'a> {
 
         // Negotiated-congestion refinement (skipped entirely when the
         // stall fault is armed: the initial routing is the best-so-far).
-        for _ in 0..self.cfg.rrr_iterations {
+        for rrr_pass in 0..self.cfg.rrr_iterations {
             if self.cfg.stall_rrr {
                 rrr_iterations = self.cfg.rrr_iterations;
                 break;
@@ -222,6 +228,7 @@ impl<'a> Router<'a> {
                 break;
             }
             rrr_iterations += 1;
+            let _rrr_span = dco_obs::span!("route.rrr", iter = rrr_pass);
             // Snapshot semantics: the set of segments to reroute is decided
             // once, at the top of the iteration.
             let over: Vec<usize> = (0..segments.len())
@@ -251,6 +258,7 @@ impl<'a> Router<'a> {
             }
             let total =
                 OverflowReport::from_usage(&state.h, &state.v, self.h_cap, self.v_cap).total;
+            dco_obs::series_push("route.rrr.overflow", total);
             if total < best_total {
                 best_total = total;
                 best = Some((state.clone(), paths.clone(), bond_at.clone()));
@@ -274,6 +282,7 @@ impl<'a> Router<'a> {
         // saturated regions detours add demand without relieving anything,
         // so a cost-only comparison would make things globally worse.
         if self.cfg.maze_margin > 0 && !self.cfg.stall_rrr {
+            let _maze_span = dco_obs::span!("route.maze");
             for (i, seg) in segments.iter().enumerate() {
                 if !state.path_overflows(&paths[i], self.h_cap, self.v_cap) {
                     continue;
@@ -327,6 +336,7 @@ impl<'a> Router<'a> {
         report.rrr_iterations = rrr_iterations;
         report.converged = !self.cfg.stall_rrr && !state.any_overflow(self.h_cap, self.v_cap);
         report.initial_total = initial_total;
+        dco_obs::gauge_set("route.overflow_total", report.total);
         let bond_overflow: f64 = state
             .bonds
             .data()

@@ -107,6 +107,7 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
     let mut shuffled: Vec<usize> = (0..train_samples.len()).collect();
     let mut epoch = 0usize;
     'epochs: while epoch < cfg.epochs {
+        let _epoch_span = dco_obs::span!("unet.train.epoch", epoch = epoch);
         shuffled.shuffle(&mut rng);
         // Epoch-start weights, known good: a non-finite step inside this
         // epoch rolls back here and the epoch is retried at a lower rate.
@@ -136,6 +137,7 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
             let finite = step_loss.is_finite() && model.store_mut().grad_norm().is_finite();
             if !finite {
                 divergence_events += 1;
+                dco_obs::counter_add("unet.train.rollbacks", 1);
                 model.store_mut().restore(&snapshot);
                 lr *= cfg.lr_backoff;
                 opt = Adam::new(lr);
@@ -149,7 +151,9 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
             model.store_mut().clip_grad_norm(5.0);
             opt.step(model.store_mut());
         }
-        train_loss.push(epoch_loss / train_samples.len().max(1) as f32);
+        let mean_loss = epoch_loss / train_samples.len().max(1) as f32;
+        dco_obs::series_push("unet.train.loss", f64::from(mean_loss));
+        train_loss.push(mean_loss);
         test_loss.push(evaluate_loss(model, &test_samples, &norm));
         epoch += 1;
     }

@@ -29,7 +29,100 @@
 
 use std::cell::Cell;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+// ---- pool telemetry -------------------------------------------------------
+//
+// Passive counters for observability: when enabled, workers accumulate
+// tasks/steals locally and flush once at exit, so the hot loop sees no
+// extra synchronization beyond what scheduling already does. When disabled
+// (the default) every parallel call pays a single relaxed load. Stats
+// never influence scheduling or task boundaries, so enabling them cannot
+// perturb results.
+
+/// Number of per-worker busy-time slots tracked; workers past this fold
+/// into the last slot (far above any sane thread count for this shim).
+pub const MAX_TRACKED_WORKERS: usize = 64;
+
+static STATS_ENABLED: AtomicBool = AtomicBool::new(false);
+static POOL_CALLS: AtomicU64 = AtomicU64::new(0);
+static POOL_TASKS: AtomicU64 = AtomicU64::new(0);
+static POOL_STEALS: AtomicU64 = AtomicU64::new(0);
+static POOL_MAX_WORKERS: AtomicUsize = AtomicUsize::new(0);
+static BUSY_NS: [AtomicU64; MAX_TRACKED_WORKERS] =
+    [const { AtomicU64::new(0) }; MAX_TRACKED_WORKERS];
+
+/// Turn pool telemetry collection on or off process-wide.
+pub fn set_stats_enabled(on: bool) {
+    STATS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether pool telemetry is currently being collected.
+#[inline]
+pub fn stats_enabled() -> bool {
+    STATS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Snapshot of pool activity since the last [`reset_pool_stats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Top-level parallel invocations (inline fast paths included; nested
+    /// inline calls are part of an outer task and are not re-counted).
+    pub calls: u64,
+    /// Tasks executed across all workers.
+    pub tasks: u64,
+    /// Tasks obtained by stealing from another worker's deque.
+    pub steals: u64,
+    /// Per-worker busy time in nanoseconds, indexed by worker id; length
+    /// equals the highest worker count seen (capped at
+    /// [`MAX_TRACKED_WORKERS`]).
+    pub busy_ns: Vec<u64>,
+}
+
+/// Read the accumulated pool telemetry.
+pub fn pool_stats() -> PoolStats {
+    let workers = POOL_MAX_WORKERS
+        .load(Ordering::Relaxed)
+        .min(MAX_TRACKED_WORKERS);
+    PoolStats {
+        calls: POOL_CALLS.load(Ordering::Relaxed),
+        tasks: POOL_TASKS.load(Ordering::Relaxed),
+        steals: POOL_STEALS.load(Ordering::Relaxed),
+        busy_ns: BUSY_NS[..workers]
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+/// Zero all pool telemetry counters.
+pub fn reset_pool_stats() {
+    POOL_CALLS.store(0, Ordering::Relaxed);
+    POOL_TASKS.store(0, Ordering::Relaxed);
+    POOL_STEALS.store(0, Ordering::Relaxed);
+    POOL_MAX_WORKERS.store(0, Ordering::Relaxed);
+    for b in &BUSY_NS {
+        b.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Flush one worker's locally-accumulated counters into the globals.
+fn flush_worker_stats(w: usize, tasks: u64, steals: u64, busy_ns: u64) {
+    POOL_TASKS.fetch_add(tasks, Ordering::Relaxed);
+    POOL_STEALS.fetch_add(steals, Ordering::Relaxed);
+    BUSY_NS[w.min(MAX_TRACKED_WORKERS - 1)].fetch_add(busy_ns, Ordering::Relaxed);
+}
+
+fn note_pool_call(workers: usize) {
+    POOL_CALLS.fetch_add(1, Ordering::Relaxed);
+    POOL_MAX_WORKERS.fetch_max(workers, Ordering::Relaxed);
+}
+
+fn elapsed_ns(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Lock a mutex, recovering the data from a poisoned lock.
 ///
@@ -94,14 +187,28 @@ where
     F: Fn(usize, T) -> R + Sync,
 {
     if threads <= 1 || tasks.len() <= 1 || in_parallel_region() {
-        return tasks
+        // Nested inline calls run inside an outer task whose stats are
+        // already being accumulated by its worker; only top-level inline
+        // calls are recorded.
+        let record = stats_enabled() && !in_parallel_region();
+        let t0 = record.then(|| (tasks.len() as u64, Instant::now()));
+        let out = tasks
             .into_iter()
             .enumerate()
             .map(|(i, t)| f(i, t))
             .collect();
+        if let Some((n_tasks, t0)) = t0 {
+            note_pool_call(1);
+            flush_worker_stats(0, n_tasks, 0, elapsed_ns(t0));
+        }
+        return out;
     }
     let n_tasks = tasks.len();
     let n = threads.min(n_tasks);
+    let record = stats_enabled();
+    if record {
+        note_pool_call(n);
+    }
 
     // Per-worker deques seeded with contiguous blocks of the task list.
     let mut queues: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(n);
@@ -117,6 +224,9 @@ where
 
     let worker = |w: usize| {
         let _guard = PoolGuard::enter();
+        let t0 = record.then(Instant::now);
+        let mut local_tasks = 0u64;
+        let mut local_steals = 0u64;
         loop {
             // Own work first (front — task order), then steal (back).
             let mut job = lock_recover(&queues[w]).pop_front();
@@ -125,14 +235,19 @@ where
                     let v = (w + off) % n;
                     job = lock_recover(&queues[v]).pop_back();
                     if job.is_some() {
+                        local_steals += 1;
                         break;
                     }
                 }
             }
             let Some((idx, task)) = job else { break };
+            local_tasks += 1;
             let out = f(idx, task);
             let prev = lock_recover(&slots[idx]).replace(out);
             assert!(prev.is_none(), "task {idx} ran twice");
+        }
+        if let Some(t0) = t0 {
+            flush_worker_stats(w, local_tasks, local_steals, elapsed_ns(t0));
         }
     };
 
@@ -317,6 +432,37 @@ mod tests {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!(a, 4);
         assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn pool_stats_count_tasks_and_workers() {
+        // Stats are process-global; run disabled+enabled checks in one
+        // test so no other test observes the toggled flag.
+        reset_pool_stats();
+        set_stats_enabled(false);
+        let _ = par_indexed(4, (0..32usize).collect(), |_, v| v);
+        assert_eq!(
+            pool_stats(),
+            PoolStats::default(),
+            "disabled collects nothing"
+        );
+
+        set_stats_enabled(true);
+        let out = par_indexed(4, (0..32usize).collect(), |_, v| {
+            if v < 8 {
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            v
+        });
+        let _ = par_indexed(1, (0..5usize).collect(), |_, v| v); // inline path
+        set_stats_enabled(false);
+        let stats = pool_stats();
+        reset_pool_stats();
+        assert_eq!(out.len(), 32);
+        assert_eq!(stats.calls, 2);
+        assert_eq!(stats.tasks, 32 + 5);
+        assert_eq!(stats.busy_ns.len(), 4);
+        assert!(stats.busy_ns.iter().any(|&b| b > 0));
     }
 
     #[test]

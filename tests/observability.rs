@@ -1,0 +1,239 @@
+//! Observability contract tests.
+//!
+//! The dco-obs layer promises two things at once: (a) when enabled, the
+//! span tree is balanced, nests according to the flow's stage graph, and
+//! round-trips through the `OBS_dco3d.json` artifact; (b) when disabled —
+//! and even when enabled — instrumentation never perturbs computed
+//! results, at any thread count (the zero-perturbation contract).
+
+use dco_flow::{train_predictor_resilient, FlowConfig, FlowKind, FlowRunner, ResilienceOptions};
+use dco_netlist::generate::{DesignProfile, GeneratorConfig};
+use dco_netlist::Design;
+use dco_obs::SpanRecord;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// Observability state (enable flag, records, metrics) and the worker
+/// count are process-global; tests in this binary must not interleave.
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn test_design() -> Design {
+    GeneratorConfig::for_profile(DesignProfile::Dma)
+        .with_scale(0.015)
+        .generate(5)
+        .expect("generation succeeds")
+}
+
+fn small_cfg() -> FlowConfig {
+    let mut cfg = FlowConfig {
+        map_size: 16,
+        unet_channels: 4,
+        train_layouts: 2,
+        train_epochs: 1,
+        ..FlowConfig::default()
+    };
+    cfg.dco.max_iter = 2;
+    cfg
+}
+
+/// Train a predictor and run the full DCO-3D flow, folding every
+/// numerically meaningful output into one FNV checksum.
+fn flow_checksum(design: &Design, seed: u64) -> u64 {
+    let cfg = small_cfg();
+    let opts = ResilienceOptions::default();
+    let (predictor, _report) =
+        train_predictor_resilient(design, &cfg, seed, &opts).expect("training succeeds");
+    let runner = FlowRunner::new(design, cfg);
+    let resilient = runner
+        .run_resilient(FlowKind::Dco3d, seed, Some(&predictor), &opts)
+        .expect("flow succeeds");
+    let o = &resilient.outcome;
+    let mut c = dco_parallel::checksum_f64(o.placement.xs());
+    c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f64(o.placement.ys()));
+    c = dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits());
+    c = dco_parallel::checksum_combine(c, o.signoff.wns_ps.to_bits());
+    c = dco_parallel::checksum_combine(c, o.signoff.total_power_mw.to_bits());
+    for l in &predictor.train_result.train_loss {
+        c = dco_parallel::checksum_combine(c, u64::from(l.to_bits()));
+    }
+    c
+}
+
+/// Restore the disabled-by-default state no matter how a test exits.
+struct ObsOff;
+impl Drop for ObsOff {
+    fn drop(&mut self) {
+        dco_obs::set_enabled(false);
+        dco_parallel::set_stats_enabled(false);
+    }
+}
+
+/// Whether `rec` has an ancestor span named `name` in the id-indexed tree.
+fn has_ancestor(by_id: &HashMap<u64, &SpanRecord>, rec: &SpanRecord, name: &str) -> bool {
+    let mut cur = rec.parent;
+    while let Some(pid) = cur {
+        let Some(p) = by_id.get(&pid) else {
+            return false;
+        };
+        if p.name == name {
+            return true;
+        }
+        cur = p.parent;
+    }
+    false
+}
+
+/// The zero-perturbation contract: the full flow produces bitwise
+/// identical outputs with observability off and on, at one worker thread
+/// and at eight.
+#[test]
+fn instrumentation_never_perturbs_flow_outputs() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _off = ObsOff;
+    let design = test_design();
+    for threads in [1usize, 8] {
+        dco_parallel::set_threads(threads);
+
+        dco_obs::set_enabled(false);
+        dco_parallel::set_stats_enabled(false);
+        dco_obs::reset();
+        let plain = flow_checksum(&design, 5);
+
+        dco_obs::set_enabled(true);
+        dco_parallel::set_stats_enabled(true);
+        let instrumented = flow_checksum(&design, 5);
+        dco_obs::set_enabled(false);
+        dco_parallel::set_stats_enabled(false);
+
+        assert_eq!(
+            plain, instrumented,
+            "observability perturbed flow outputs at --threads {threads}"
+        );
+    }
+}
+
+/// The span tree is balanced (every enter has an exit), every stage of the
+/// flow appears with nonzero wall time, and sub-spans nest under the stage
+/// that issued them.
+#[test]
+fn span_tree_is_balanced_and_matches_stage_graph() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _off = ObsOff;
+    let design = test_design();
+    dco_parallel::set_threads(2);
+    dco_obs::reset();
+    dco_obs::set_enabled(true);
+    flow_checksum(&design, 5);
+    dco_obs::set_enabled(false);
+
+    let (enters, exits) = dco_obs::span::balance();
+    assert_eq!(enters, exits, "span tree is unbalanced");
+    let spans = dco_obs::span::snapshot();
+    assert_eq!(spans.len() as u64, exits, "snapshot lost records");
+    let by_id: HashMap<u64, &SpanRecord> = spans.iter().map(|s| (s.id, s)).collect();
+
+    // All seven flow stages, each with nonzero wall time.
+    for stage in [
+        "flow.train",
+        "flow.place",
+        "flow.dco",
+        "flow.tier-assign",
+        "flow.cts",
+        "flow.route",
+        "flow.sta",
+    ] {
+        let found: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == stage).collect();
+        assert!(!found.is_empty(), "missing stage span `{stage}`");
+        assert!(
+            found.iter().all(|s| s.wall_ns > 0),
+            "stage span `{stage}` recorded zero wall time"
+        );
+    }
+
+    // Parent references resolve inside the snapshot.
+    for s in &spans {
+        if let Some(pid) = s.parent {
+            assert!(by_id.contains_key(&pid), "dangling parent id {pid}");
+        }
+    }
+
+    // Sub-spans nest under the stages that issue them. Routing runs both
+    // inside the route stage and while training generates labels, so
+    // `route.*` spans may sit under either; DCO iterations and training
+    // epochs are unambiguous.
+    let expect_under = |child: &str, parents: &[&str]| {
+        let recs: Vec<&SpanRecord> = spans.iter().filter(|s| s.name == child).collect();
+        assert!(!recs.is_empty(), "missing sub-span `{child}`");
+        for r in &recs {
+            assert!(
+                parents.iter().any(|p| has_ancestor(&by_id, r, p)),
+                "`{child}` span {} is not nested under any of {parents:?}",
+                r.id
+            );
+        }
+    };
+    expect_under("dco.iter", &["flow.dco"]);
+    expect_under("unet.train.epoch", &["flow.train"]);
+    expect_under("route.rrr", &["flow.route", "flow.train", "flow.dco"]);
+    assert!(
+        spans
+            .iter()
+            .filter(|s| s.name == "route.rrr")
+            .any(|r| has_ancestor(&by_id, r, "flow.route")),
+        "no route.rrr span inside the route stage itself"
+    );
+}
+
+/// The written artifact parses back into the same span/metric content and
+/// passes structural validation.
+#[test]
+fn artifact_round_trips_through_parser_and_validator() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let _off = ObsOff;
+    let design = test_design();
+    dco_parallel::set_threads(2);
+    dco_obs::reset();
+    dco_obs::set_enabled(true);
+    dco_parallel::set_stats_enabled(true);
+    flow_checksum(&design, 5);
+    // Publish pool telemetry the way the CLI does before writing.
+    let stats = dco_parallel::pool_stats();
+    dco_obs::counter_add("pool.tasks", stats.tasks);
+    dco_obs::set_enabled(false);
+    dco_parallel::set_stats_enabled(false);
+
+    let dir = std::env::temp_dir().join(format!("obs-artifact-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(dco_obs::report::ARTIFACT_FILE);
+    let written = dco_obs::report::write_report(&path).expect("artifact writes");
+    dco_obs::report::validate(&written).expect("written artifact validates");
+
+    // Round-trip: re-read from disk, re-parse, re-validate, compare.
+    let text = std::fs::read_to_string(&path).expect("artifact readable");
+    let reread: serde_json::Value = serde_json::from_str(&text).expect("artifact is valid JSON");
+    dco_obs::report::validate(&reread).expect("re-read artifact validates");
+    let parsed = dco_obs::report::parse_report(&reread).expect("artifact parses");
+
+    let spans = dco_obs::span::snapshot();
+    assert_eq!(parsed.version, dco_obs::report::ARTIFACT_VERSION);
+    assert!(parsed.balanced, "artifact reports unbalanced spans");
+    assert_eq!(
+        parsed.spans.len(),
+        spans.len(),
+        "span count changed in round-trip"
+    );
+    for (orig, back) in spans.iter().zip(parsed.spans.iter()) {
+        assert_eq!(orig, back, "span changed in round-trip");
+    }
+    let metrics = dco_obs::metrics::global().snapshot();
+    assert_eq!(
+        parsed.metrics.len(),
+        metrics.len(),
+        "metric count changed in round-trip"
+    );
+    assert!(
+        parsed.metrics.iter().any(|(name, _)| name == "pool.tasks"),
+        "pool telemetry missing from artifact"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
