@@ -61,9 +61,11 @@ fn sweep<O>(
         let mut best = f64::INFINITY;
         let mut checksum = check(&run()); // warmup (also seeds the checksum)
         for _ in 0..reps {
+            // bench-timed: sweep
             let t0 = Instant::now();
             let o = run();
             best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+            // bench-timed: end
             let c = check(&o);
             assert_eq!(
                 c, checksum,

@@ -1,0 +1,21 @@
+//! Negative fixture: a clean hot-path region — buffers hoisted outside,
+//! only in-place arithmetic within.
+
+pub fn scale_rows(data: &mut [f32], scales: &[f32], width: usize, maxima: &mut Vec<f32>) {
+    // Allocation before the region opens is fine.
+    maxima.clear();
+    maxima.reserve(scales.len());
+    let mut row_max = f32::MIN;
+    // hot-path: scale-rows
+    for (r, row) in data.chunks_mut(width).enumerate() {
+        row_max = f32::MIN;
+        for v in row.iter_mut() {
+            *v *= scales[r];
+            row_max = row_max.max(*v);
+        }
+        maxima.push(row_max);
+    }
+    // hot-path: end
+    // Allocation after the region closes is fine too.
+    let _report = format!("rows={} max={row_max}", scales.len());
+}

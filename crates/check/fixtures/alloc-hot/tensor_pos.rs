@@ -1,0 +1,28 @@
+//! Positive fixture: allocations inside an annotated hot-path region, and
+//! a region that is never closed.
+
+pub fn scale_rows(data: &mut [f32], scales: &[f32], width: usize) -> Vec<f32> {
+    let mut maxima = Vec::with_capacity(scales.len());
+    // hot-path: scale-rows
+    for (r, row) in data.chunks_mut(width).enumerate() {
+        // Finding: a fresh Vec per row inside the hot region.
+        let mut scratch = Vec::new();
+        for v in row.iter_mut() {
+            *v *= scales[r];
+            scratch.push(*v);
+        }
+        // Finding: .clone() allocates inside the hot region too.
+        maxima.push(scratch.clone().into_iter().fold(f32::MIN, f32::max));
+    }
+    // hot-path: end
+    maxima
+}
+
+pub fn never_closed(data: &mut [f32]) {
+    // Finding: this region marker is never terminated, which silently
+    // truncates coverage — flagged at the opener.
+    // hot-path: drift
+    for v in data.iter_mut() {
+        *v += 1.0;
+    }
+}

@@ -1,0 +1,21 @@
+//! Positive fixture: allocation and stdio inside a timed bench window.
+
+use std::time::Instant;
+
+pub fn measure<F: Fn() -> Vec<f32>>(run: F, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for rep in 0..reps {
+        // bench-timed: forward
+        let t0 = Instant::now();
+        let out = run();
+        // Finding: a per-rep allocation inside the timed window skews the
+        // measured wall time.
+        let copied = out.to_vec();
+        // Finding: stdio inside the timed window costs more than the
+        // kernel being measured.
+        println!("rep {rep}: {} values", copied.len());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+        // bench-timed: end
+    }
+    best
+}

@@ -1,0 +1,25 @@
+//! Negative fixture: hash containers used for lookup, ordered containers
+//! iterated, and one justified suppression.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn lookup_only(index: &HashMap<String, usize>, key: &str) -> Option<usize> {
+    // Keyed access is order-free: no finding.
+    index.get(key).copied()
+}
+
+pub fn merge_counts_sorted(updates: &[(String, u64)]) -> Vec<(String, u64)> {
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (k, v) in updates {
+        *counts.entry(k.clone()).or_insert(0) += v;
+    }
+    // BTreeMap iterates in key order: deterministic, no finding.
+    counts.into_iter().collect()
+}
+
+pub fn drain_unordered_scratch(scratch: &mut HashMap<u64, u64>) -> u64 {
+    // The fold is commutative over u64 addition, so order cannot change
+    // the result here.
+    // lint: allow(hashmap-iter)
+    scratch.drain().map(|(_, v)| v).fold(0, u64::wrapping_add)
+}

@@ -1,0 +1,21 @@
+//! Positive fixture: iterating a hash container in library code.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn merge_counts(updates: &[(String, u64)]) -> Vec<(String, u64)> {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    for (k, v) in updates {
+        *counts.entry(k.clone()).or_insert(0) += v;
+    }
+    // Finding: iteration order differs per process, so the returned Vec
+    // (and any checksum over it) is nondeterministic.
+    counts.into_iter().map(|(k, v)| (k, v)).collect()
+}
+
+pub fn visit_all(seen: &HashSet<u32>) -> u64 {
+    let mut acc = 0u64;
+    for v in seen {
+        acc = acc.wrapping_mul(31).wrapping_add(u64::from(*v));
+    }
+    acc
+}

@@ -1,0 +1,32 @@
+//! Negative fixture: every path takes the locks in one global order, and
+//! chained temporaries drop their guard at the end of the statement.
+
+use std::sync::Mutex;
+
+static GAMMA: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static DELTA: Mutex<u64> = Mutex::new(0);
+
+pub fn push_then_count() {
+    let mut items = GAMMA.lock().unwrap_or_else(|e| e.into_inner());
+    items.push(1);
+    let mut count = DELTA.lock().unwrap_or_else(|e| e.into_inner());
+    *count += 1;
+}
+
+pub fn also_push_then_count() {
+    // Same order as above: consistent, no cycle.
+    let mut items = GAMMA.lock().unwrap_or_else(|e| e.into_inner());
+    items.push(2);
+    let mut count = DELTA.lock().unwrap_or_else(|e| e.into_inner());
+    *count += 1;
+}
+
+pub fn steal(queues: &[Mutex<Vec<u64>>]) -> Option<u64> {
+    // The worker-loop idiom: each guard is a chained temporary that dies
+    // at its own `;`, so no ordering edge forms between the two pops.
+    let mut job = queues[0].lock().ok()?.pop();
+    if job.is_none() {
+        job = queues[1].lock().ok()?.pop();
+    }
+    job
+}

@@ -1,0 +1,31 @@
+//! Positive fixture: an acquisition-order inversion between two functions
+//! (a deadlock waiting for the right interleaving) and a re-entrant
+//! acquisition (an immediate self-deadlock under `std::sync::Mutex`).
+
+use std::sync::Mutex;
+
+static ALPHA: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static BETA: Mutex<u64> = Mutex::new(0);
+static OMEGA: Mutex<u64> = Mutex::new(0);
+
+pub fn push_then_count() {
+    let mut items = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    items.push(1);
+    let mut count = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    *count += 1;
+}
+
+pub fn count_then_push() {
+    // Finding (cycle): the opposite order from `push_then_count`.
+    let mut count = BETA.lock().unwrap_or_else(|e| e.into_inner());
+    *count += 1;
+    let mut items = ALPHA.lock().unwrap_or_else(|e| e.into_inner());
+    items.push(2);
+}
+
+pub fn double_tap() {
+    let a = OMEGA.lock().unwrap_or_else(|e| e.into_inner());
+    // Finding (re-entrant): OMEGA's guard is still live here.
+    let b = OMEGA.lock().unwrap_or_else(|e| e.into_inner());
+    drop((a, b));
+}

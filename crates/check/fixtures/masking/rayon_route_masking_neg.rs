@@ -1,0 +1,28 @@
+//! Negative fixture: every new-rule token appears only inside string
+//! literals or comments, so the masking state machine must hide all of it.
+//! The file name carries the `rayon` and `route` markers on purpose — this
+//! file IS in scope for nondet-order and lock-order.
+//!
+//! Tokens in doc/line comments that must not fire: Instant::now,
+//! counts.iter(), ALPHA.lock() then BETA.lock(), Vec::new inside a
+//! // hot-path: region is only prose here.
+
+use std::collections::HashMap;
+
+pub fn describe(counts: &HashMap<String, u64>) -> String {
+    // A real hash ident exists (`counts`), so an unmasked scanner would
+    // flag the .iter() text inside the strings below.
+    let n = counts.len();
+    let hints = [
+        "try: for (k, v) in counts.iter() { ... }",
+        "never call Instant::now() in route code",
+        "let a = ALPHA.lock(); let b = BETA.lock();",
+        "let xs = Vec::new(); xs.to_vec().clone()",
+        "rayon::par_chunks bypasses the facade",
+        "unsafe { transmute(x) } // no SAFETY here",
+    ];
+    /* block comment with the same traps:
+       Instant::now, counts.keys(), BETA.lock() before ALPHA.lock(),
+       vec![0; 4].collect::<Vec<_>>() */
+    format!("{n} entries; {} hints", hints.len())
+}

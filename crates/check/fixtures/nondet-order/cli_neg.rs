@@ -1,0 +1,10 @@
+//! Negative fixture: a file outside every determinism-covered path marker
+//! (no `tensor`/`place`/`route`/... in its name). Clock reads here are out
+//! of the rule's scope — the contract covers checksum-bearing crates, not
+//! e.g. CLI progress reporting.
+
+pub fn wall_ms<F: FnOnce()>(f: F) -> u128 {
+    let t0 = std::time::Instant::now();
+    f();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: the blessed patterns inside a checksum-covered crate.
+
+pub fn partial_sums(values: &[f32]) -> f32 {
+    // Facade call + ordered reduction: deterministic at any thread count.
+    let parts = dco_parallel::par_chunks(values, 64, |_, c| c.iter().sum::<f32>());
+    dco_parallel::reduce_ordered(parts, 0.0f32, |a, b| a + b)
+}
+
+pub fn route_span_ns() -> u64 {
+    // Telemetry that never feeds a computed result may read the clock,
+    // with a justification on record.
+    // lint: allow(nondet-order)
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,21 @@
+//! Positive fixture: nondeterminism sources inside a checksum-covered
+//! crate (the `route` path marker puts this in scope).
+
+use std::time::Instant;
+
+pub fn route_with_deadline(budget_ms: u64) -> u64 {
+    // Finding: a wall-clock read steering a routing decision means two
+    // runs of the same input can produce different nets.
+    let t0 = Instant::now();
+    let mut expanded = 0u64;
+    while (t0.elapsed().as_millis() as u64) < budget_ms {
+        expanded += 1;
+    }
+    expanded
+}
+
+pub fn partial_sums(values: &[f32]) -> Vec<f32> {
+    // Finding: calling the pool shim directly bypasses the dco-parallel
+    // facade (resolved thread count + ordered primitives).
+    rayon::par_chunks(4, values, 64, |_, c| c.iter().sum::<f32>())
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: every `unsafe` carries a SAFETY justification within
+//! the two lines above (or on the same line). Both still land in the
+//! machine-readable inventory.
+
+pub fn first_unchecked(values: &[f64]) -> f64 {
+    debug_assert!(!values.is_empty());
+    // SAFETY: callers uphold the non-empty precondition (debug-asserted
+    // above), so index 0 is in bounds.
+    unsafe { *values.get_unchecked(0) }
+}
+
+pub fn zeroed_page() -> [u8; 4096] {
+    // SAFETY: all-zero bytes are a valid bit pattern for [u8; 4096].
+    unsafe { std::mem::zeroed() }
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: `unsafe` with no SAFETY justification.
+
+pub fn reinterpret(bytes: &[u8]) -> &[u32] {
+    // Finding: nothing on record says why the cast is sound.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast(), bytes.len() / 4) }
+}

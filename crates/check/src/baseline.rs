@@ -1,0 +1,229 @@
+//! Versioned lint baselines (`lint.baseline.json`).
+//!
+//! A baseline is a checked-in snapshot of accepted findings so a new rule
+//! can land **strict** without a big-bang burn-down: existing findings are
+//! recorded once, CI fails only on *new* ones, and the baseline shrinks as
+//! debt is paid off. Entries match on `(file, rule, snippet)` — not line
+//! numbers — so unrelated edits that shift code up or down do not
+//! invalidate the baseline, while any edit to the offending line itself
+//! surfaces the finding again.
+//!
+//! The file carries a `schema_version`; loading a baseline written by an
+//! incompatible tool version is an error, not a silent mis-diff.
+
+use crate::lint::Violation;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+/// Version of both the baseline file format and the `lint --format json`
+/// payload. Bump on any breaking change to either.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// One accepted finding (line-number free; see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct BaselineEntry {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// Rule id.
+    pub rule: String,
+    /// The trimmed offending line.
+    pub snippet: String,
+    /// How many identical findings this entry absorbs.
+    pub count: usize,
+}
+
+/// A checked-in set of accepted findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Baseline {
+    /// Format version; must equal [`SCHEMA_VERSION`] to load.
+    pub schema_version: u32,
+    /// Accepted findings, sorted.
+    pub findings: Vec<BaselineEntry>,
+}
+
+/// Outcome of diffing findings against a baseline.
+#[derive(Debug, Default)]
+pub struct BaselineDiff {
+    /// Findings not absorbed by the baseline — the failures.
+    pub new: Vec<Violation>,
+    /// How many findings the baseline absorbed.
+    pub baselined: usize,
+    /// Baseline entries (with residual counts) that matched nothing —
+    /// stale debt that can be removed from the file.
+    pub stale: Vec<BaselineEntry>,
+}
+
+/// Errors loading or parsing a baseline file.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// The file could not be read.
+    Io(String),
+    /// The file is not valid baseline JSON or has the wrong version.
+    Format(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Io(m) => write!(f, "baseline I/O error: {m}"),
+            BaselineError::Format(m) => write!(f, "baseline format error: {m}"),
+        }
+    }
+}
+
+impl Baseline {
+    /// Snapshot current findings into a baseline.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut counts: BTreeMap<(String, String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *counts
+                .entry((v.file.clone(), v.rule.clone(), v.snippet.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline {
+            schema_version: SCHEMA_VERSION,
+            findings: counts
+                .into_iter()
+                .map(|((file, rule, snippet), count)| BaselineEntry {
+                    file,
+                    rule,
+                    snippet,
+                    count,
+                })
+                .collect(),
+        }
+    }
+
+    /// Load a baseline file, rejecting version mismatches.
+    pub fn load(path: &Path) -> Result<Self, BaselineError> {
+        let body = fs::read_to_string(path)
+            .map_err(|e| BaselineError::Io(format!("cannot read {}: {e}", path.display())))?;
+        let baseline: Baseline = serde_json::from_str(&body)
+            .map_err(|e| BaselineError::Format(format!("{}: {e}", path.display())))?;
+        if baseline.schema_version != SCHEMA_VERSION {
+            return Err(BaselineError::Format(format!(
+                "{}: schema_version {} (this tool writes {SCHEMA_VERSION}); regenerate \
+                 with --write-baseline",
+                path.display(),
+                baseline.schema_version
+            )));
+        }
+        Ok(baseline)
+    }
+
+    /// Serialize to JSON (stable field and entry order).
+    pub fn to_json(&self) -> String {
+        let mut sorted = self.clone();
+        sorted.findings.sort();
+        serde_json::to_string(&sorted).unwrap_or_else(|_| String::from("{}"))
+    }
+
+    /// Diff findings against this baseline: entries absorb up to `count`
+    /// matching findings each; the rest are new.
+    pub fn diff(&self, violations: &[Violation]) -> BaselineDiff {
+        let mut budget: BTreeMap<(&str, &str, &str), usize> = BTreeMap::new();
+        for e in &self.findings {
+            *budget
+                .entry((e.file.as_str(), e.rule.as_str(), e.snippet.as_str()))
+                .or_insert(0) += e.count;
+        }
+        let mut diff = BaselineDiff::default();
+        for v in violations {
+            let key = (v.file.as_str(), v.rule.as_str(), v.snippet.as_str());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    diff.baselined += 1;
+                }
+                _ => diff.new.push(v.clone()),
+            }
+        }
+        diff.stale = budget
+            .into_iter()
+            .filter(|(_, n)| *n > 0)
+            .map(|((file, rule, snippet), count)| BaselineEntry {
+                file: file.to_string(),
+                rule: rule.to_string(),
+                snippet: snippet.to_string(),
+                count,
+            })
+            .collect();
+        diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(file: &str, rule: &str, snippet: &str, line: usize) -> Violation {
+        Violation {
+            file: file.to_string(),
+            line,
+            column: 1,
+            rule: rule.to_string(),
+            snippet: snippet.to_string(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_and_diff() {
+        let findings = vec![
+            v("a.rs", "unwrap", "x.unwrap()", 3),
+            v("a.rs", "unwrap", "x.unwrap()", 9),
+            v("b.rs", "print", "println!(\"hi\")", 1),
+        ];
+        let baseline = Baseline::from_violations(&findings);
+        assert_eq!(baseline.schema_version, SCHEMA_VERSION);
+        assert_eq!(baseline.findings.len(), 2);
+        assert_eq!(baseline.findings[0].count, 2);
+
+        // identical findings: fully absorbed, nothing new, nothing stale
+        let diff = baseline.diff(&findings);
+        assert!(diff.new.is_empty());
+        assert_eq!(diff.baselined, 3);
+        assert!(diff.stale.is_empty());
+
+        // a shifted line still matches (snippet key, not line key)
+        let shifted = vec![
+            v("a.rs", "unwrap", "x.unwrap()", 30),
+            v("a.rs", "unwrap", "x.unwrap()", 90),
+            v("b.rs", "print", "println!(\"hi\")", 2),
+        ];
+        assert!(baseline.diff(&shifted).new.is_empty());
+
+        // a brand-new finding fails; a fixed one goes stale
+        let changed = vec![
+            v("a.rs", "unwrap", "x.unwrap()", 3),
+            v("c.rs", "float-eq", "x == 0.0", 7),
+        ];
+        let diff = baseline.diff(&changed);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].file, "c.rs");
+        assert_eq!(diff.baselined, 1);
+        assert_eq!(diff.stale.len(), 2, "{:?}", diff.stale);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_entries() {
+        let baseline = Baseline::from_violations(&[v("a.rs", "unwrap", "x.unwrap()", 3)]);
+        let body = baseline.to_json();
+        assert!(body.contains("\"schema_version\""));
+        let parsed: Baseline = serde_json::from_str(&body).expect("valid JSON");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("dco_check_baseline_test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("old.json");
+        std::fs::write(&path, r#"{"schema_version":1,"findings":[]}"#).expect("write");
+        let err = Baseline::load(&path).expect_err("must reject");
+        assert!(matches!(err, BaselineError::Format(_)), "{err}");
+    }
+}

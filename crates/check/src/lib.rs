@@ -7,9 +7,16 @@
 //!    `dco-tensor` and adds [`gradcheck`], a finite-difference harness
 //!    that verifies analytic gradients (built-in ops and `CustomOp`
 //!    backward passes alike) by replaying the recorded tape.
-//! 2. **Workspace lint** — [`lint::lint_path`] scans `.rs` sources for
-//!    panicking calls, stdio writes, and exact float comparisons in
-//!    library code; the `dco-check` binary drives it for CI.
+//! 2. **Workspace audit** — [`lint::audit_path`] scans `.rs` sources with
+//!    nine token-level rules: panicking calls, stdio writes, exact float
+//!    comparisons, `HashMap`/`HashSet` iteration in determinism-contract
+//!    crates, clock/thread-identity reads in checksum-covered paths,
+//!    allocation inside `// hot-path:` regions, `unsafe` without
+//!    `// SAFETY:` (with a machine-readable inventory), lock-acquisition
+//!    cycles across the pool shim and `dco-obs` shards ([`lockorder`]),
+//!    and allocation/stdio inside `// bench-timed:` regions. Findings
+//!    diff against a checked-in [`baseline`] so new rules land strict;
+//!    the `dco-check` binary drives it for CI.
 //!
 //! ```
 //! use dco_check::{gradcheck_fn};
@@ -26,11 +33,14 @@
 //! assert!(report.passed());
 //! ```
 
+pub mod baseline;
 mod gradcheck;
 pub mod lint;
+pub mod lockorder;
 
+pub use baseline::{Baseline, BaselineDiff, BaselineEntry, BaselineError, SCHEMA_VERSION};
 pub use gradcheck::{gradcheck, gradcheck_fn, GradcheckConfig, GradcheckFailure, GradcheckReport};
-pub use lint::{lint_path, lint_source, Violation};
+pub use lint::{audit_path, lint_path, lint_source, Audit, UnsafeSite, Violation};
 
 // Layer-1 diagnostic types live next to the tape; re-export them so tools
 // depending on dco-check see one coherent API.

@@ -1,6 +1,7 @@
 //! A line/token lint pass over workspace Rust sources.
 //!
-//! Three rules, tuned for a numerical codebase:
+//! Nine rules, tuned for a numerical codebase whose artifacts are diffed
+//! bitwise (see DESIGN.md "Static Analysis & Determinism Contract"):
 //!
 //! - **unwrap** — no `.unwrap()` / `.expect(...)` in library code. Panics
 //!   belong in tests, binaries, and benches; libraries return errors or
@@ -9,15 +10,43 @@
 //!   must not write to the driver program's stdio.
 //! - **float-eq** — no `==`/`!=` against floating-point literals in
 //!   loss/gradient code, where exact comparison is almost always a bug.
+//! - **hashmap-iter** — no iteration over `HashMap`/`HashSet` in library
+//!   code. Iteration order is randomized per process, so anything folded,
+//!   serialized, or accumulated from it breaks the bitwise determinism
+//!   contract. Use `BTreeMap`/`BTreeSet`, or sort before iterating (and
+//!   suppress with a justification).
+//! - **nondet-order** — no wall-clock or thread-identity reads
+//!   (`Instant::now`, `SystemTime::now`, `thread::current`,
+//!   `available_parallelism`) and no direct `rayon::` shim calls in
+//!   checksum-covered crates. The blessed route for parallel reductions is
+//!   `dco_parallel::reduce_ordered`; the blessed route for time is to keep
+//!   it out of computed results entirely.
+//! - **alloc-hot** — no allocation (`Vec::new`, `vec!`, `.to_vec()`,
+//!   `.clone()`, `Box::new`, `format!`, `.collect()`, ...) inside regions
+//!   annotated `// hot-path: <name>` ... `// hot-path: end`. This is the
+//!   enforcement hook for the ROADMAP tensor-arena item: once a loop is
+//!   annotated, allocations cannot silently creep back in.
+//! - **unsafe-audit** — every `unsafe` token needs a `// SAFETY:` comment
+//!   on the same line or within the two lines above. All sites (compliant
+//!   or not) are collected into a machine-readable inventory.
+//! - **lock-order** — see [`crate::lockorder`]: a lock-acquisition graph
+//!   over the pool shim and the observability shards; cycles and
+//!   re-entrant acquisitions fail.
+//! - **bench-hygiene** — no allocation or printing inside regions
+//!   annotated `// bench-timed: <name>` ... `// bench-timed: end`, so the
+//!   timed windows behind BENCH_dco3d.json stay honest.
 //!
 //! Sources are masked first (comments, strings, and char literals blanked
 //! with a small state machine) so matches inside literals or docs never
 //! fire. Test context — `tests/`, `benches/`, `examples/`, `src/bin/`,
 //! `main.rs`, `build.rs`, and `#[cfg(test)]` modules — is exempt from
-//! `unwrap` and `print`. A finding is suppressed by putting
+//! `unwrap`, `print`, `hashmap-iter`, and `nondet-order`. Region rules
+//! (`alloc-hot`, `bench-hygiene`) and `unsafe-audit` apply everywhere a
+//! region or an `unsafe` token appears. A finding is suppressed by putting
 //! `// lint: allow(<rule>)` on the offending line or the line above.
 
 use serde::Serialize;
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fs;
 use std::io;
@@ -29,6 +58,54 @@ const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "fixtures", "node_modu
 /// Path markers that make a file "loss/gradient code" for `float-eq`.
 const GRAD_CODE_MARKERS: &[&str] = &["loss", "grad", "optim", "raster", "graph"];
 
+/// Path markers for crates covered by the bitwise determinism contract
+/// (`nondet-order` scope): the parallel hot paths, the pool, and the
+/// facade. `dco-obs` is deliberately absent — reading clocks is its job,
+/// under a separately-tested zero-perturbation contract.
+const DETERMINISM_MARKERS: &[&str] = &[
+    "tensor", "place", "route", "timing", "unet", "features", "gnn", "parallel", "rayon",
+];
+
+/// Tokens that read wall-clock time or thread identity.
+const NONDET_TOKENS: &[&str] = &[
+    "Instant::now",
+    "SystemTime::now",
+    "thread::current",
+    "available_parallelism",
+];
+
+/// Method calls that iterate a hash container.
+const HASH_ITER_METHODS: &[&str] = &[
+    ".iter()",
+    ".iter_mut()",
+    ".keys()",
+    ".values()",
+    ".values_mut()",
+    ".drain(",
+    ".into_iter()",
+    ".into_keys()",
+    ".into_values()",
+    ".retain(",
+];
+
+/// Allocation tokens flagged inside `hot-path` and `bench-timed` regions.
+/// The first group must sit at a word boundary; the method-call group may
+/// match anywhere (a leading `.` or `!` already bounds them).
+const ALLOC_WORD_TOKENS: &[&str] = &["Vec::new", "Box::new", "String::new", "String::from"];
+const ALLOC_TAIL_TOKENS: &[&str] = &[
+    "vec!",
+    "format!",
+    ".to_vec()",
+    ".clone()",
+    ".to_string()",
+    ".collect()",
+    ".collect::<",
+    "with_capacity(",
+];
+
+/// Print macros (the `print` rule and `bench-timed` regions).
+const PRINT_MACROS: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Violation {
@@ -38,7 +115,9 @@ pub struct Violation {
     pub line: usize,
     /// 1-based column.
     pub column: usize,
-    /// Rule id: `unwrap`, `print`, or `float-eq`.
+    /// Rule id (`unwrap`, `print`, `float-eq`, `hashmap-iter`,
+    /// `nondet-order`, `alloc-hot`, `unsafe-audit`, `lock-order`, or
+    /// `bench-hygiene`).
     pub rule: String,
     /// The offending source line, trimmed.
     pub snippet: String,
@@ -54,6 +133,40 @@ impl fmt::Display for Violation {
             self.file, self.line, self.column, self.rule, self.message, self.snippet
         )
     }
+}
+
+/// One `unsafe` site, compliant or not, for the machine-readable
+/// inventory (`dco-check lint --unsafe-inventory FILE`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct UnsafeSite {
+    /// Path relative to the scan root.
+    pub file: String,
+    /// 1-based line of the `unsafe` token.
+    pub line: usize,
+    /// Whether a `// SAFETY:` comment covers the site.
+    pub has_safety: bool,
+    /// The safety comment text (empty when absent).
+    pub safety: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+}
+
+/// Everything one file scan produces.
+#[derive(Debug, Default)]
+pub struct FileScan {
+    /// Rule findings, in line order.
+    pub violations: Vec<Violation>,
+    /// Every `unsafe` token found, compliant or not.
+    pub unsafe_sites: Vec<UnsafeSite>,
+}
+
+/// Everything a tree audit produces.
+#[derive(Debug, Default)]
+pub struct Audit {
+    /// Findings across all files and rules, ordered by path, line, column.
+    pub violations: Vec<Violation>,
+    /// The `unsafe` inventory across all files.
+    pub unsafe_sites: Vec<UnsafeSite>,
 }
 
 /// Whether a relative path is test/bin context (unwrap + print allowed).
@@ -77,11 +190,24 @@ fn is_grad_code(rel: &Path) -> bool {
     GRAD_CODE_MARKERS.iter().any(|m| lower.contains(m))
 }
 
+/// Whether `nondet-order` applies to this file.
+fn is_determinism_covered(rel: &Path) -> bool {
+    let lower = rel.to_string_lossy().to_lowercase();
+    DETERMINISM_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Whether the file IS the parallel facade or the pool shim (which may
+/// name `rayon::` without bypassing anything).
+fn is_parallel_layer(rel: &Path) -> bool {
+    let lower = rel.to_string_lossy().to_lowercase();
+    lower.contains("parallel") || lower.contains("rayon")
+}
+
 /// Blank out comments, strings, and char literals, preserving layout.
 ///
 /// Returns `(masked, comments)` where `comments` holds each line's comment
-/// text (for `lint: allow` markers).
-fn mask_source(src: &str) -> (String, Vec<String>) {
+/// text (for `lint: allow` markers and region annotations).
+pub(crate) fn mask_source(src: &str) -> (String, Vec<String>) {
     #[derive(PartialEq)]
     enum State {
         Code,
@@ -221,7 +347,7 @@ fn mask_source(src: &str) -> (String, Vec<String>) {
 }
 
 /// Per-line flags: is the line inside a `#[cfg(test)]` module body?
-fn cfg_test_lines(masked: &str) -> Vec<bool> {
+pub(crate) fn cfg_test_lines(masked: &str) -> Vec<bool> {
     let n_lines = masked.lines().count().max(1);
     let mut in_test = vec![false; n_lines + 1];
     let bytes = masked.as_bytes();
@@ -313,13 +439,28 @@ fn float_operand_near(line: &str, op_start: usize, op_len: usize) -> bool {
     is_float_token(&ltok)
 }
 
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does this masked line contain a `fn` item token? (Used by the
+/// lock-order pass to reset held-guard state between functions.)
+pub(crate) fn has_fn_item(line: &str) -> bool {
+    find_word(line, "fn").is_some()
+}
+
+/// Crate-internal view of the `// lint: allow(<rule>)` check, for passes
+/// that run outside [`scan_source`].
+pub(crate) fn allow_marker(comments: &[String], line_idx: usize, rule: &str) -> bool {
+    allowed(comments, line_idx, rule)
+}
+
 /// Occurrences of `needle` in `hay` at macro-call word boundaries.
 fn find_macro(hay: &str, needle: &str) -> Option<usize> {
     let mut from = 0;
     while let Some(pos) = hay[from..].find(needle) {
         let abs = from + pos;
-        let before_ok = abs == 0
-            || !hay.as_bytes()[abs - 1].is_ascii_alphanumeric() && hay.as_bytes()[abs - 1] != b'_';
+        let before_ok = abs == 0 || !is_ident_byte(hay.as_bytes()[abs - 1]);
         if before_ok {
             return Some(abs);
         }
@@ -328,23 +469,233 @@ fn find_macro(hay: &str, needle: &str) -> Option<usize> {
     None
 }
 
-/// Lint one file's source text. `rel` is used for context classification
+/// First occurrence of `needle` bounded by non-identifier bytes on both
+/// sides (`::`-qualified paths still match: `:` is not an identifier byte).
+fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let abs = from + pos;
+        let before_ok = abs == 0 || !is_ident_byte(hay.as_bytes()[abs - 1]);
+        let end = abs + needle.len();
+        let after_ok = end >= hay.len() || !is_ident_byte(hay.as_bytes()[end]);
+        if before_ok && after_ok {
+            return Some(abs);
+        }
+        from = abs + needle.len();
+    }
+    None
+}
+
+/// Every word-bounded occurrence of `needle` in `hay`.
+fn find_word_all(hay: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let abs = from + pos;
+        let before_ok = abs == 0 || !is_ident_byte(hay.as_bytes()[abs - 1]);
+        let end = abs + needle.len();
+        let after_ok = end >= hay.len() || !is_ident_byte(hay.as_bytes()[end]);
+        if before_ok && after_ok {
+            out.push(abs);
+        }
+        from = abs + needle.len();
+    }
+    out
+}
+
+/// Collect identifiers bound or declared with a `HashMap`/`HashSet` type
+/// anywhere in the file: `let [mut] x = HashMap::new()`, `x: HashMap<...>`
+/// struct fields and parameters, and `let x: HashSet<_> = ...`.
+fn hash_idents(masked: &str) -> BTreeSet<String> {
+    let mut idents = BTreeSet::new();
+    for line in masked.lines() {
+        let has_hash = find_word(line, "HashMap").or_else(|| find_word(line, "HashSet"));
+        let Some(tok) = has_hash else { continue };
+        // `let [mut] <ident> ... HashMap...` — a binding on this line.
+        if let Some(let_pos) = find_word(line, "let") {
+            let rest = line[let_pos + 3..].trim_start();
+            let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+            let ident: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !ident.is_empty() {
+                idents.insert(ident);
+            }
+            continue;
+        }
+        // `<ident>: [&[mut ]]HashMap<...>` — a field or parameter.
+        let head = line[..tok].trim_end();
+        let head = head
+            .strip_suffix("&mut")
+            .or_else(|| head.strip_suffix('&'))
+            .unwrap_or(head)
+            .trim_end();
+        if let Some(head) = head.strip_suffix(':') {
+            let ident: String = head
+                .trim_end()
+                .chars()
+                .rev()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect::<Vec<_>>()
+                .into_iter()
+                .rev()
+                .collect();
+            if !ident.is_empty() && !ident.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                idents.insert(ident);
+            }
+        }
+    }
+    idents
+}
+
+/// Does the occurrence of `ident` ending at byte `end` iterate it? Either
+/// an iteration method follows, or the occurrence is a `for ... in` target.
+fn is_iteration_use(line: &str, start: usize, end: usize) -> bool {
+    let tail = &line[end..];
+    if HASH_ITER_METHODS.iter().any(|m| tail.starts_with(m)) {
+        return true;
+    }
+    // `for <pat> in [&[mut ]][path.]<ident> {` — direct loop over the
+    // container, possibly through a field path like `&self.seen`.
+    let mut head = line[..start].trim_end();
+    while let Some(h) = head.strip_suffix('.') {
+        head = h.trim_end_matches(|c: char| c.is_ascii_alphanumeric() || c == '_');
+    }
+    let head = head
+        .strip_suffix("&mut")
+        .or_else(|| head.strip_suffix('&'))
+        .unwrap_or(head)
+        .trim_end();
+    if head.ends_with(" in") || head.ends_with("\tin") {
+        let after = tail.trim_start();
+        return after.starts_with('{') || after.is_empty();
+    }
+    false
+}
+
+/// One comment-delimited region (`hot-path` / `bench-timed`).
+struct Region {
+    name: String,
+    open_line: usize,
+}
+
+/// Track `// <marker>: <name>` ... `// <marker>: end` regions over the
+/// per-line comments, reporting unterminated or dangling markers as
+/// violations through `on_error(line_idx, message)`.
+fn region_state(
+    comments: &[String],
+    marker: &str,
+    mut on_error: impl FnMut(usize, String),
+) -> Vec<Option<Region>> {
+    let tag = format!("{marker}:");
+    let mut open: Option<Region> = None;
+    let mut per_line: Vec<Option<Region>> = Vec::with_capacity(comments.len());
+    // A marker is only a marker when the whole tail is a single region
+    // token — prose that merely *mentions* `<marker>:` (docs, messages)
+    // must not open a region.
+    let is_region_token = |s: &str| {
+        !s.is_empty()
+            && s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+    };
+    for (idx, comment) in comments.iter().enumerate() {
+        if let Some(pos) = comment.find(&tag) {
+            let name = comment[pos + tag.len()..].trim().to_string();
+            if !is_region_token(&name) {
+                per_line.push(open.as_ref().map(|r| Region {
+                    name: r.name.clone(),
+                    open_line: r.open_line,
+                }));
+                continue;
+            }
+            if name == "end" {
+                if open.take().is_none() {
+                    on_error(idx, format!("`{marker}: end` without an open region"));
+                }
+            } else if let Some(prev) = &open {
+                on_error(
+                    idx,
+                    format!(
+                        "`{marker}: {name}` opened inside region `{}` (no nesting; \
+                         close it with `{marker}: end` first)",
+                        prev.name
+                    ),
+                );
+            } else {
+                open = Some(Region {
+                    name,
+                    open_line: idx,
+                });
+            }
+            per_line.push(None); // marker lines themselves are not scanned
+            continue;
+        }
+        per_line.push(open.as_ref().map(|r| Region {
+            name: r.name.clone(),
+            open_line: r.open_line,
+        }));
+    }
+    if let Some(r) = open {
+        on_error(
+            r.open_line,
+            format!("unterminated `{marker}` region `{}`", r.name),
+        );
+    }
+    per_line
+}
+
+/// Scan one file's source text for every token rule, returning findings
+/// plus the `unsafe` inventory. `rel` is used for context classification
 /// and reporting only.
-pub fn lint_source(rel: &Path, src: &str) -> Vec<Violation> {
+pub fn scan_source(rel: &Path, src: &str) -> FileScan {
     let (masked, comments) = mask_source(src);
     let in_test = cfg_test_lines(&masked);
     let bin_or_test = is_bin_or_test_context(rel);
     let grad_code = is_grad_code(rel);
+    let det_covered = is_determinism_covered(rel);
+    let parallel_layer = is_parallel_layer(rel);
+    let hash_idents = hash_idents(&masked);
     let rel_str = rel.to_string_lossy().into_owned();
     let originals: Vec<&str> = src.lines().collect();
 
     let mut out = Vec::new();
-    for (idx, line) in masked.lines().enumerate() {
-        let exempt = bin_or_test || in_test.get(idx).copied().unwrap_or(false);
-        let snippet = originals
+    let mut unsafe_sites = Vec::new();
+
+    // Region maps for alloc-hot and bench-hygiene; marker misuse is itself
+    // a finding of the respective rule.
+    let snippet_at = |idx: usize| -> String {
+        originals
             .get(idx)
             .map(|l| l.trim().to_string())
-            .unwrap_or_default();
+            .unwrap_or_default()
+    };
+    let mut region_errors: Vec<Violation> = Vec::new();
+    let hot_regions = region_state(&comments, "hot-path", |idx, message| {
+        region_errors.push(Violation {
+            file: rel_str.clone(),
+            line: idx + 1,
+            column: 1,
+            rule: "alloc-hot".to_string(),
+            snippet: snippet_at(idx),
+            message,
+        });
+    });
+    let bench_regions = region_state(&comments, "bench-timed", |idx, message| {
+        region_errors.push(Violation {
+            file: rel_str.clone(),
+            line: idx + 1,
+            column: 1,
+            rule: "bench-hygiene".to_string(),
+            snippet: snippet_at(idx),
+            message,
+        });
+    });
+    out.extend(region_errors);
+
+    for (idx, line) in masked.lines().enumerate() {
+        let exempt = bin_or_test || in_test.get(idx).copied().unwrap_or(false);
+        let snippet = snippet_at(idx);
         let mut push = |col: usize, rule: &str, message: String| {
             out.push(Violation {
                 file: rel_str.clone(),
@@ -378,7 +729,7 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Violation> {
         }
 
         if !exempt && !allowed(&comments, idx, "print") {
-            for mac in ["println!", "eprintln!", "print!", "eprint!"] {
+            for mac in PRINT_MACROS {
                 if let Some(col) = find_macro(line, mac) {
                     push(
                         col,
@@ -415,8 +766,138 @@ pub fn lint_source(rel: &Path, src: &str) -> Vec<Violation> {
                 from = abs + 2;
             }
         }
+
+        if !exempt && !allowed(&comments, idx, "hashmap-iter") {
+            'hash: for ident in &hash_idents {
+                for start in find_word_all(line, ident) {
+                    if is_iteration_use(line, start, start + ident.len()) {
+                        push(
+                            start,
+                            "hashmap-iter",
+                            format!(
+                                "iteration over hash container `{ident}`: order is \
+                                 nondeterministic per process; use BTreeMap/BTreeSet or \
+                                 sort before iterating"
+                            ),
+                        );
+                        break 'hash;
+                    }
+                }
+            }
+        }
+
+        if det_covered && !exempt && !allowed(&comments, idx, "nondet-order") {
+            for tok in NONDET_TOKENS {
+                if let Some(col) = find_word(line, tok) {
+                    push(
+                        col,
+                        "nondet-order",
+                        format!(
+                            "`{tok}` in a checksum-covered path: wall-clock and \
+                             thread-identity reads must not influence computed results \
+                             (parallel reductions go through dco_parallel::reduce_ordered)"
+                        ),
+                    );
+                    break;
+                }
+            }
+            if !parallel_layer {
+                if let Some(col) = line.find("rayon::") {
+                    push(
+                        col,
+                        "nondet-order",
+                        "direct `rayon::` shim call bypasses the dco-parallel facade; \
+                         the facade applies the resolved thread count and the ordered \
+                         primitives"
+                            .to_string(),
+                    );
+                }
+            }
+        }
+
+        if let Some(Some(region)) = hot_regions.get(idx) {
+            if !allowed(&comments, idx, "alloc-hot") {
+                let word_hit = ALLOC_WORD_TOKENS
+                    .iter()
+                    .filter_map(|t| find_word(line, t))
+                    .min();
+                let tail_hit = ALLOC_TAIL_TOKENS.iter().filter_map(|t| line.find(t)).min();
+                if let Some(col) = [word_hit, tail_hit].into_iter().flatten().min() {
+                    push(
+                        col,
+                        "alloc-hot",
+                        format!(
+                            "allocation inside hot-path region `{}` (opened on line {}); \
+                             hoist it out of the loop or pool the buffer",
+                            region.name,
+                            region.open_line + 1
+                        ),
+                    );
+                }
+            }
+        }
+
+        if let Some(Some(region)) = bench_regions.get(idx) {
+            if !allowed(&comments, idx, "bench-hygiene") {
+                let word_hit = ALLOC_WORD_TOKENS
+                    .iter()
+                    .filter_map(|t| find_word(line, t))
+                    .min();
+                let tail_hit = ALLOC_TAIL_TOKENS.iter().filter_map(|t| line.find(t)).min();
+                let print_hit = PRINT_MACROS
+                    .iter()
+                    .filter_map(|m| find_macro(line, m))
+                    .min();
+                if let Some(col) = [word_hit, tail_hit, print_hit].into_iter().flatten().min() {
+                    push(
+                        col,
+                        "bench-hygiene",
+                        format!(
+                            "allocation or stdio inside bench-timed region `{}` (opened \
+                             on line {}); it pollutes the wall-clock numbers in \
+                             BENCH_dco3d.json — move it outside the timed window",
+                            region.name,
+                            region.open_line + 1
+                        ),
+                    );
+                }
+            }
+        }
+
+        if let Some(col) = find_word(line, "unsafe") {
+            let safety = (idx.saturating_sub(2)..=idx).rev().find_map(|i| {
+                let c = comments.get(i)?;
+                let pos = c.find("SAFETY:")?;
+                Some(c[pos + "SAFETY:".len()..].trim().to_string())
+            });
+            unsafe_sites.push(UnsafeSite {
+                file: rel_str.clone(),
+                line: idx + 1,
+                has_safety: safety.is_some(),
+                safety: safety.clone().unwrap_or_default(),
+                snippet: snippet.clone(),
+            });
+            if safety.is_none() && !allowed(&comments, idx, "unsafe-audit") {
+                push(
+                    col,
+                    "unsafe-audit",
+                    "`unsafe` without a `// SAFETY:` comment on the same line or the \
+                     two lines above; state the invariant that makes this sound"
+                        .to_string(),
+                );
+            }
+        }
     }
-    out
+    out.sort_by_key(|a| (a.line, a.column));
+    FileScan {
+        violations: out,
+        unsafe_sites,
+    }
+}
+
+/// Lint one file's source text (findings only); see [`scan_source`].
+pub fn lint_source(rel: &Path, src: &str) -> Vec<Violation> {
+    scan_source(rel, src).violations
 }
 
 /// Recursively collect `.rs` files under `root`, skipping [`SKIP_DIRS`].
@@ -439,22 +920,39 @@ fn collect_rs_files(root: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Lint every Rust source under `root` (a directory) or `root` itself (a
-/// file). Violations are ordered by path, then line.
-pub fn lint_path(root: &Path) -> io::Result<Vec<Violation>> {
+/// Audit every Rust source under `root` (a directory) or `root` itself (a
+/// file): all token rules per file, plus the cross-file lock-acquisition
+/// graph ([`crate::lockorder`]) and the `unsafe` inventory. Violations are
+/// ordered by path, then line, then column.
+pub fn audit_path(root: &Path) -> io::Result<Audit> {
     let mut files = Vec::new();
     if root.is_file() {
         files.push(root.to_path_buf());
     } else {
         collect_rs_files(root, &mut files)?;
     }
-    let mut out = Vec::new();
+    let mut audit = Audit::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for file in files {
         let src = fs::read_to_string(&file)?;
         let rel = file.strip_prefix(root).unwrap_or(&file);
-        out.extend(lint_source(rel, &src));
+        let scan = scan_source(rel, &src);
+        audit.violations.extend(scan.violations);
+        audit.unsafe_sites.extend(scan.unsafe_sites);
+        sources.push((rel.to_string_lossy().into_owned(), src));
     }
-    Ok(out)
+    audit
+        .violations
+        .extend(crate::lockorder::analyze_sources(&sources));
+    audit.violations.sort_by(|a, b| {
+        (&a.file, a.line, a.column, &a.rule).cmp(&(&b.file, b.line, b.column, &b.rule))
+    });
+    Ok(audit)
+}
+
+/// Lint every Rust source under `root` (findings only); see [`audit_path`].
+pub fn lint_path(root: &Path) -> io::Result<Vec<Violation>> {
+    Ok(audit_path(root)?.violations)
 }
 
 #[cfg(test)]
@@ -531,5 +1029,137 @@ mod tests {
         let src = "pub fn f<'a>(v: &'a Option<u32>) -> u32 { v.clone().unwrap() }\n";
         let v = lint_source(Path::new("src/lib.rs"), src);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn hashmap_iteration_is_flagged_lookup_is_not() {
+        let src = "use std::collections::HashMap;\n\
+                   pub fn f() -> u64 {\n\
+                       let mut index = HashMap::new();\n\
+                       index.insert(\"k\".to_string(), 1u64);\n\
+                       let _ = index.get(\"k\");\n\
+                       index.values().sum()\n\
+                   }\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hashmap-iter");
+        assert_eq!(v[0].line, 6);
+    }
+
+    #[test]
+    fn hashmap_for_loop_and_field_decls_are_flagged() {
+        let src = "use std::collections::HashSet;\n\
+                   pub struct S { seen: HashSet<u32> }\n\
+                   impl S {\n\
+                       pub fn f(&self) -> u32 {\n\
+                           let mut t = 0;\n\
+                           for v in &self.seen { t += v; }\n\
+                           t\n\
+                       }\n\
+                   }\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "hashmap-iter");
+        assert_eq!(v[0].line, 6);
+        // BTreeMap iteration never fires
+        let ok = "use std::collections::BTreeMap;\n\
+                  pub fn f(m: &BTreeMap<String, u32>) -> u32 { m.values().sum() }\n";
+        assert!(lint_source(Path::new("src/lib.rs"), ok).is_empty());
+    }
+
+    #[test]
+    fn nondet_order_scopes_to_determinism_covered_paths() {
+        let src = "pub fn f() -> u128 { std::time::Instant::now().elapsed().as_nanos() }\n";
+        let v = lint_source(Path::new("crates/route/src/lib.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "nondet-order");
+        // uncovered crate: fine
+        assert!(lint_source(Path::new("crates/flow/src/report.rs"), src).is_empty());
+        // test context in a covered crate: fine
+        assert!(lint_source(Path::new("crates/route/tests/t.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn nondet_order_flags_facade_bypass() {
+        let src = "pub fn f() { let _ = rayon::par_indexed(2, vec![1], |_, v| v); }\n";
+        let v = lint_source(Path::new("crates/tensor/src/conv.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("facade"));
+        // the facade itself may name the shim
+        assert!(lint_source(Path::new("crates/parallel/src/lib.rs"), src).is_empty());
+    }
+
+    #[test]
+    fn alloc_hot_flags_allocation_only_inside_regions() {
+        let src = "pub fn f(xs: &[f32]) -> Vec<f32> {\n\
+                       let mut out = xs.to_vec();\n\
+                       // hot-path: axpy\n\
+                       for v in &mut out { *v = *v * 2.0 + 1.0; }\n\
+                       // hot-path: end\n\
+                       out\n\
+                   }\n";
+        assert!(lint_source(Path::new("src/lib.rs"), src).is_empty());
+        let bad = "pub fn f(xs: &[f32]) -> Vec<f32> {\n\
+                       // hot-path: axpy\n\
+                       let out = xs.to_vec();\n\
+                       // hot-path: end\n\
+                       out\n\
+                   }\n";
+        let v = lint_source(Path::new("src/lib.rs"), bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "alloc-hot");
+        assert!(v[0].message.contains("axpy"));
+    }
+
+    #[test]
+    fn unterminated_hot_region_is_a_finding() {
+        let src = "// hot-path: leaky\npub fn f() {}\n";
+        let v = lint_source(Path::new("src/lib.rs"), src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "alloc-hot");
+        assert!(v[0].message.contains("unterminated"));
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment_and_feeds_inventory() {
+        let bad = "pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let scan = scan_source(Path::new("src/lib.rs"), bad);
+        assert_eq!(scan.violations.len(), 1, "{:?}", scan.violations);
+        assert_eq!(scan.violations[0].rule, "unsafe-audit");
+        assert_eq!(scan.unsafe_sites.len(), 1);
+        assert!(!scan.unsafe_sites[0].has_safety);
+
+        let good = "// SAFETY: caller guarantees p is valid for reads\n\
+                    pub fn f(p: *const u8) -> u8 { unsafe { *p } }\n";
+        let scan = scan_source(Path::new("src/lib.rs"), good);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert_eq!(scan.unsafe_sites.len(), 1);
+        assert!(scan.unsafe_sites[0].has_safety);
+        assert!(scan.unsafe_sites[0].safety.contains("caller guarantees"));
+    }
+
+    #[test]
+    fn bench_hygiene_flags_alloc_and_print_in_timed_regions() {
+        let src = "fn main() {\n\
+                       // bench-timed: kernel\n\
+                       let v = vec![0u8; 16];\n\
+                       println!(\"{}\", v.len());\n\
+                       // bench-timed: end\n\
+                   }\n";
+        let v = lint_source(Path::new("src/bin/bench.rs"), src);
+        // one per line (first hit wins per line): vec! and println!
+        assert_eq!(v.len(), 2, "{v:?}");
+        assert!(v.iter().all(|x| x.rule == "bench-hygiene"));
+    }
+
+    #[test]
+    fn new_rule_tokens_in_strings_and_comments_never_fire() {
+        let src = "// Instant::now() and HashMap .iter() and unsafe in a comment\n\
+                   pub const HELP: &str = \"Instant::now unsafe vec! map.values()\";\n\
+                   /* for v in &seen { Box::new(v) } */\n";
+        let scan = scan_source(Path::new("crates/route/src/lib.rs"), src);
+        assert!(scan.violations.is_empty(), "{:?}", scan.violations);
+        assert!(scan.unsafe_sites.is_empty());
     }
 }

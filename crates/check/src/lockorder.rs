@@ -1,0 +1,465 @@
+//! Lock-acquisition-order analysis (the `lock-order` rule).
+//!
+//! A token-level pass over the concurrency-bearing files of the workspace
+//! (the `shims/rayon` pool and the `dco-obs` shards) that builds a
+//! directed **lock-acquisition graph**: an edge `A -> B` means some
+//! function acquires lock `B` while (by a conservative syntactic reading)
+//! a guard for lock `A` is still live. Two findings fall out:
+//!
+//! - **cycles** — `A -> B` somewhere and `B -> A` somewhere else is a
+//!   deadlock waiting for the right interleaving, even if today's call
+//!   graph never overlaps the two paths;
+//! - **re-entrant acquisition** — taking the *same* lock while its guard
+//!   is live self-deadlocks immediately under `std::sync::Mutex`.
+//!
+//! # What counts as "held"
+//!
+//! An acquisition is `lock_recover(&<expr>)` or `<expr>.lock()`. The guard
+//! is considered **held past its statement** only when the acquisition is
+//! `let`-bound and the expression ends at the acquisition (an optional
+//! `.unwrap…(…)` adapter is allowed — it returns the guard): e.g.
+//! `let g = m.lock().unwrap_or_else(PoisonError::into_inner);`. A chained
+//! temporary like `lock_recover(&q).pop_front()` drops its guard at the
+//! end of the statement and is held only for the rest of that line. Held
+//! guards expire when their enclosing block closes (brace depth) or at the
+//! next `fn` item, whichever comes first.
+//!
+//! The lock *name* is the base identifier of the locked expression with
+//! index and field paths stripped: `queues[w]` -> `queues`,
+//! `self.map` -> `map`, `INTERNED` -> `INTERNED`. Names are per-graph, so
+//! two different structs with a `map` field alias — acceptable for a
+//! workspace this size, and strictly conservative (aliasing can only add
+//! edges, never hide one).
+//!
+//! Test context (`tests/` dirs, `#[cfg(test)]` modules) is exempt: tests
+//! legitimately hold a serialization mutex across arbitrary calls.
+
+use crate::lint::Violation;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::Path;
+
+/// Path markers selecting the files the lock graph is built from.
+const LOCK_SCOPE_MARKERS: &[&str] = &["rayon", "obs"];
+
+/// One lock acquisition, as found by the token scan.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    /// Normalized lock name (base identifier of the locked expression).
+    name: String,
+    /// 1-based line.
+    line: usize,
+    /// 0-based column of the acquisition token.
+    column: usize,
+    /// Whether the guard outlives the statement (see module docs).
+    held: bool,
+}
+
+/// An edge `from -> to` with the site where `to` was acquired.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Edge {
+    from: String,
+    to: String,
+    file: String,
+    line: usize,
+    column: usize,
+    snippet: String,
+}
+
+/// Whether `rel` participates in the lock graph.
+fn in_scope(rel: &str) -> bool {
+    let lower = rel.to_lowercase();
+    let test_ctx = Path::new(rel)
+        .components()
+        .any(|c| matches!(c.as_os_str().to_str(), Some("tests") | Some("benches")));
+    !test_ctx && LOCK_SCOPE_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Extract the base identifier of the expression ending at `end`
+/// (exclusive): walk back over `ident`, `.`, `[..]`, `self`, `&`, taking
+/// the *last plain identifier segment* as the lock name.
+fn base_name(line: &str, end: usize) -> Option<String> {
+    let bytes = line.as_bytes();
+    let mut i = end;
+    let mut depth = 0usize; // inside [...] while walking backwards
+    let mut segment_end = end;
+    let mut best: Option<(usize, usize)> = None;
+    while i > 0 {
+        let b = bytes[i - 1];
+        match b {
+            b']' => {
+                if depth == 0 {
+                    segment_end = i - 1;
+                }
+                depth += 1;
+                i -= 1;
+            }
+            b'[' if depth > 0 => {
+                depth -= 1;
+                i -= 1;
+                segment_end = i;
+            }
+            _ if depth > 0 => i -= 1,
+            b'.' => {
+                segment_end = i - 1;
+                i -= 1;
+            }
+            _ if b.is_ascii_alphanumeric() || b == b'_' => {
+                let seg_start = {
+                    let mut j = i;
+                    while j > 0 && (bytes[j - 1].is_ascii_alphanumeric() || bytes[j - 1] == b'_') {
+                        j -= 1;
+                    }
+                    j
+                };
+                best = Some((seg_start, segment_end.min(i)));
+                // keep walking: an earlier segment may be the receiver
+                // (`self.map` -> we want `map`, the *last* non-self segment
+                // closest to the lock call — which is the first one we hit)
+                let seg = &line[seg_start..segment_end.min(i)];
+                if seg != "self" {
+                    break;
+                }
+                i = seg_start;
+                segment_end = seg_start;
+            }
+            _ => break,
+        }
+    }
+    let (s, e) = best?;
+    let name = &line[s..e];
+    if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return None;
+    }
+    Some(name.to_string())
+}
+
+/// Find every acquisition on a masked line.
+fn acquisitions_on_line(line: &str, line_no: usize) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    // `<expr>.lock()`
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(".lock()") {
+        let abs = from + pos;
+        if let Some(name) = base_name(line, abs) {
+            let after = abs + ".lock()".len();
+            out.push(Acquisition {
+                name,
+                line: line_no,
+                column: abs,
+                held: guard_escapes(line, after),
+            });
+        }
+        from = abs + ".lock()".len();
+    }
+    // `lock_recover(&<expr>)`
+    let mut from = 0;
+    while let Some(pos) = line[from..].find("lock_recover(") {
+        let abs = from + pos;
+        let open = abs + "lock_recover(".len();
+        // find the matching close paren on this line
+        let mut depth = 1usize;
+        let mut close = None;
+        for (off, ch) in line[open..].char_indices() {
+            match ch {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(open + off);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(close) = close else { break };
+        if let Some(name) = base_name(line, close) {
+            out.push(Acquisition {
+                name,
+                line: line_no,
+                column: abs,
+                held: line[..abs].contains("let ") && guard_escapes(line, close + 1),
+            });
+        }
+        from = close;
+    }
+    // `.lock()` sites are `let`-gated too
+    for a in &mut out {
+        if a.held && !line[..a.column].contains("let ") {
+            a.held = false;
+        }
+    }
+    out.sort_by_key(|a| a.column);
+    out
+}
+
+/// Does the guard produced at `line[..after]` survive the statement? True
+/// when what follows is `;` directly, or a single `.unwrap…(…)` adapter
+/// (which returns the guard) followed by `;`.
+fn guard_escapes(line: &str, after: usize) -> bool {
+    let tail = line[after..].trim_start();
+    if tail.starts_with(';') {
+        return true;
+    }
+    if let Some(rest) = tail.strip_prefix(".unwrap") {
+        // skip the adapter's argument list
+        if let Some(open) = rest.find('(') {
+            let mut depth = 0usize;
+            for (off, ch) in rest[open..].char_indices() {
+                match ch {
+                    '(' => depth += 1,
+                    ')' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return rest[open + off + 1..].trim_start().starts_with(';');
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Scan one in-scope file into lock-order edges and immediate re-entrancy
+/// violations.
+fn scan_file(rel: &str, src: &str, edges: &mut BTreeSet<Edge>, violations: &mut Vec<Violation>) {
+    let (masked, comments) = crate::lint::mask_source(src);
+    let in_test = crate::lint::cfg_test_lines(&masked);
+    let originals: Vec<&str> = src.lines().collect();
+    // Held guards: (lock name, brace depth at acquisition).
+    let mut held: Vec<(String, i64)> = Vec::new();
+    let mut depth = 0i64;
+    for (idx, line) in masked.lines().enumerate() {
+        if in_test.get(idx).copied().unwrap_or(false) {
+            continue;
+        }
+        // A new `fn` item invalidates anything still considered held
+        // (conservative recovery from brace-count drift).
+        if crate::lint::has_fn_item(line) {
+            held.clear();
+        }
+        let depth_before = depth;
+        for b in line.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ => {}
+            }
+        }
+        let acqs = acquisitions_on_line(line, idx + 1);
+        // Within the line, earlier acquisitions (held or temporary) are
+        // live while later ones happen.
+        let mut line_live: Vec<String> = Vec::new();
+        let allowed_here = crate::lint::allow_marker(&comments, idx, "lock-order");
+        for a in acqs {
+            let snippet = originals.get(idx).map(|l| l.trim()).unwrap_or_default();
+            for prior in held.iter().map(|(n, _)| n).chain(line_live.iter()) {
+                if allowed_here {
+                    continue;
+                }
+                if *prior == a.name {
+                    violations.push(Violation {
+                        file: rel.to_string(),
+                        line: a.line,
+                        column: a.column + 1,
+                        rule: "lock-order".to_string(),
+                        snippet: snippet.to_string(),
+                        message: format!(
+                            "lock `{}` re-acquired while its guard is still held — \
+                             self-deadlock under std::sync::Mutex",
+                            a.name
+                        ),
+                    });
+                } else {
+                    edges.insert(Edge {
+                        from: prior.clone(),
+                        to: a.name.clone(),
+                        file: rel.to_string(),
+                        line: a.line,
+                        column: a.column + 1,
+                        snippet: snippet.to_string(),
+                    });
+                }
+            }
+            if a.held {
+                held.push((a.name.clone(), depth_before.max(1)));
+            } else {
+                line_live.push(a.name.clone());
+            }
+        }
+        // Guards die when their enclosing block closes.
+        held.retain(|(_, d)| *d <= depth);
+    }
+}
+
+/// Depth-first cycle search over the edge set; returns one violation per
+/// distinct cycle (reported at the edge that closes it).
+fn find_cycles(edges: &BTreeSet<Edge>) -> Vec<Violation> {
+    let mut adjacency: BTreeMap<&str, Vec<&Edge>> = BTreeMap::new();
+    for e in edges {
+        adjacency.entry(&e.from).or_default().push(e);
+    }
+    let mut out = Vec::new();
+    let mut reported: BTreeSet<Vec<String>> = BTreeSet::new();
+    for start in adjacency.keys().copied().collect::<Vec<_>>() {
+        // iterative DFS carrying the path of edges
+        let mut stack: Vec<(&str, Vec<&Edge>)> = vec![(start, Vec::new())];
+        while let Some((node, path)) = stack.pop() {
+            for e in adjacency.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if e.to == start {
+                    // canonical cycle key: sorted node set
+                    let mut key: Vec<String> = path
+                        .iter()
+                        .map(|p| p.from.clone())
+                        .chain([e.from.clone(), e.to.clone()])
+                        .collect();
+                    key.sort();
+                    key.dedup();
+                    if reported.insert(key) {
+                        let chain: Vec<String> = path
+                            .iter()
+                            .copied()
+                            .chain(std::iter::once(*e))
+                            .map(|p| format!("{} -> {}", p.from, p.to))
+                            .collect();
+                        out.push(Violation {
+                            file: e.file.clone(),
+                            line: e.line,
+                            column: e.column,
+                            rule: "lock-order".to_string(),
+                            snippet: e.snippet.clone(),
+                            message: format!(
+                                "lock-acquisition cycle: {} (every path must take these \
+                                 locks in one global order)",
+                                chain.join(", ")
+                            ),
+                        });
+                    }
+                } else if !path.iter().any(|p| p.to == e.to) && e.to != *node {
+                    let mut next = path.clone();
+                    next.push(*e);
+                    stack.push((e.to.as_str(), next));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the lock graph over every in-scope `(relative path, source)` pair
+/// and report re-entrant acquisitions and cross-function cycles.
+pub fn analyze_sources(files: &[(String, String)]) -> Vec<Violation> {
+    let mut edges = BTreeSet::new();
+    let mut violations = Vec::new();
+    for (rel, src) in files {
+        if in_scope(rel) {
+            scan_file(rel, src, &mut edges, &mut violations);
+        }
+    }
+    violations.extend(find_cycles(&edges));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn analyze_one(rel: &str, src: &str) -> Vec<Violation> {
+        analyze_sources(&[(rel.to_string(), src.to_string())])
+    }
+
+    #[test]
+    fn inverted_order_across_functions_is_a_cycle() {
+        let src = "use std::sync::Mutex;\n\
+                   static A: Mutex<u32> = Mutex::new(0);\n\
+                   static B: Mutex<u32> = Mutex::new(0);\n\
+                   pub fn ab() {\n\
+                       let ga = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let gb = B.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((ga, gb));\n\
+                   }\n\
+                   pub fn ba() {\n\
+                       let gb = B.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let ga = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((ga, gb));\n\
+                   }\n";
+        let v = analyze_one("shims/rayon/src/lib.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "lock-order");
+        assert!(v[0].message.contains("cycle"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "use std::sync::Mutex;\n\
+                   static A: Mutex<u32> = Mutex::new(0);\n\
+                   static B: Mutex<u32> = Mutex::new(0);\n\
+                   pub fn ab() {\n\
+                       let ga = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let gb = B.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((ga, gb));\n\
+                   }\n\
+                   pub fn ab2() {\n\
+                       let ga = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let gb = B.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((gb, ga));\n\
+                   }\n";
+        assert!(analyze_one("shims/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn reacquiring_a_held_lock_is_flagged() {
+        let src = "use std::sync::Mutex;\n\
+                   static A: Mutex<u32> = Mutex::new(0);\n\
+                   pub fn oops() {\n\
+                       let g = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let h = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((g, h));\n\
+                   }\n";
+        let v = analyze_one("crates/obs/src/metrics.rs", src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("re-acquired"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn chained_temporaries_do_not_hold_the_lock() {
+        // the worker-loop idiom: the guard dies at the end of the statement
+        let src = "use std::sync::Mutex;\n\
+                   pub fn pop(queues: &[Mutex<Vec<u32>>]) -> Option<u32> {\n\
+                       let mut job = queues[0].lock().ok()?.pop();\n\
+                       if job.is_none() {\n\
+                           job = queues[1].lock().ok()?.pop();\n\
+                       }\n\
+                       job\n\
+                   }\n";
+        assert!(analyze_one("shims/rayon/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_and_test_files_are_ignored() {
+        let src = "use std::sync::Mutex;\n\
+                   static A: Mutex<u32> = Mutex::new(0);\n\
+                   pub fn oops() {\n\
+                       let g = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       let h = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((g, h));\n\
+                   }\n";
+        assert!(analyze_one("crates/flow/src/flow.rs", src).is_empty());
+        assert!(analyze_one("crates/obs/tests/metrics_props.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_marker_suppresses_lock_order() {
+        let src = "use std::sync::Mutex;\n\
+                   static A: Mutex<u32> = Mutex::new(0);\n\
+                   pub fn oops() {\n\
+                       let g = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       // lint: allow(lock-order)\n\
+                       let h = A.lock().unwrap_or_else(|e| e.into_inner());\n\
+                       drop((g, h));\n\
+                   }\n";
+        assert!(analyze_one("crates/obs/src/metrics.rs", src).is_empty());
+    }
+}

@@ -1,95 +1,231 @@
-//! `dco-check`: workspace lint driver.
+//! `dco-check`: workspace audit driver.
 //!
 //! ```text
-//! dco-check lint [PATH] [--format human|json]
+//! dco-check lint [PATH] [--format human|json] [--baseline FILE]
+//!                [--write-baseline FILE] [--unsafe-inventory FILE]
 //! ```
 //!
-//! Exit codes: 0 = clean, 1 = violations found, 2 = usage or I/O error.
+//! Exit codes:
+//!
+//! - `0` — no unbaselined findings (either fully clean, or every finding
+//!   was absorbed by `--baseline`; stdout distinguishes the two),
+//! - `1` — new (unbaselined) findings,
+//! - `2` — usage error,
+//! - `3` — I/O or baseline-format error.
 
-use dco_check::lint::lint_path;
+use dco_check::baseline::{Baseline, BaselineError, SCHEMA_VERSION};
+use dco_check::lint::audit_path;
 use serde_json::json;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: dco-check lint [PATH] [--format human|json]\n\
-                     \n\
-                     Lints every .rs file under PATH (default: current directory) for:\n\
-                     \x20 unwrap    .unwrap()/.expect() in library code\n\
-                     \x20 print     println!-family macros in library code\n\
-                     \x20 float-eq  exact float comparison in loss/gradient code\n\
-                     \n\
-                     Suppress a finding with `// lint: allow(<rule>)` on or above the line.";
+const USAGE: &str = "usage: dco-check lint [PATH] [OPTIONS]\n\
+    \n\
+    Audits every .rs file under PATH (default: current directory) with nine\n\
+    rules:\n\
+    \x20 unwrap         .unwrap()/.expect() in library code\n\
+    \x20 print          println!-family macros in library code\n\
+    \x20 float-eq       exact float comparison in loss/gradient code\n\
+    \x20 hashmap-iter   HashMap/HashSet iteration (nondeterministic order)\n\
+    \x20 nondet-order   clock/thread-identity reads or raw rayon:: calls in\n\
+    \x20                checksum-covered crates (use dco_parallel::reduce_ordered)\n\
+    \x20 alloc-hot      allocation inside `// hot-path: <name>` regions\n\
+    \x20 unsafe-audit   `unsafe` without a `// SAFETY:` comment\n\
+    \x20 lock-order     lock-acquisition cycles / re-entrant locking in the\n\
+    \x20                pool shim and dco-obs shards\n\
+    \x20 bench-hygiene  allocation or stdio inside `// bench-timed: <name>` regions\n\
+    \n\
+    Options:\n\
+    \x20 --format human|json      output format (JSON carries schema_version 2)\n\
+    \x20 --baseline FILE          diff findings against a checked-in baseline;\n\
+    \x20                          only new findings fail\n\
+    \x20 --write-baseline FILE    snapshot current findings as the baseline and exit 0\n\
+    \x20 --unsafe-inventory FILE  write the machine-readable `unsafe` inventory JSON\n\
+    \n\
+    Exit codes: 0 = no unbaselined findings (clean or baseline-matched),\n\
+    \x20           1 = new findings, 2 = usage error, 3 = I/O error.\n\
+    \n\
+    Suppress a finding with `// lint: allow(<rule>)` on or above the line\n\
+    (include a justification). See DESIGN.md \"Static Analysis & Determinism\n\
+    Contract\" for the rule catalog and annotation conventions.";
 
 enum Format {
     Human,
     Json,
 }
 
-fn run() -> Result<bool, String> {
+/// Failure modes with distinct exit codes.
+enum RunError {
+    /// Bad arguments (exit 2). Also carries `--help`.
+    Usage(String),
+    /// Filesystem or baseline-format trouble (exit 3).
+    Io(String),
+}
+
+fn run() -> Result<bool, RunError> {
     let mut args = std::env::args().skip(1);
-    let command = args.next().ok_or_else(|| USAGE.to_string())?;
+    let command = args
+        .next()
+        .ok_or_else(|| RunError::Usage(USAGE.to_string()))?;
     if command != "lint" {
-        return Err(format!("unknown command `{command}`\n{USAGE}"));
+        return Err(RunError::Usage(format!(
+            "unknown command `{command}`\n{USAGE}"
+        )));
     }
 
     let mut root: Option<PathBuf> = None;
     let mut format = Format::Human;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut unsafe_inventory: Option<PathBuf> = None;
+    let path_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .map(PathBuf::from)
+            .ok_or_else(|| RunError::Usage(format!("{flag} needs a value\n{USAGE}")))
+    };
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--format" => {
                 let value = args
                     .next()
-                    .ok_or_else(|| format!("--format needs a value\n{USAGE}"))?;
+                    .ok_or_else(|| RunError::Usage(format!("--format needs a value\n{USAGE}")))?;
                 format = match value.as_str() {
                     "human" => Format::Human,
                     "json" => Format::Json,
-                    other => return Err(format!("unknown format `{other}`\n{USAGE}")),
+                    other => {
+                        return Err(RunError::Usage(format!(
+                            "unknown format `{other}`\n{USAGE}"
+                        )))
+                    }
                 };
             }
-            "--help" | "-h" => return Err(USAGE.to_string()),
+            "--baseline" => baseline_path = Some(path_arg(&mut args, "--baseline")?),
+            "--write-baseline" => write_baseline = Some(path_arg(&mut args, "--write-baseline")?),
+            "--unsafe-inventory" => {
+                unsafe_inventory = Some(path_arg(&mut args, "--unsafe-inventory")?);
+            }
+            "--help" | "-h" => return Err(RunError::Usage(USAGE.to_string())),
             other if root.is_none() && !other.starts_with('-') => {
                 root = Some(PathBuf::from(other));
             }
-            other => return Err(format!("unexpected argument `{other}`\n{USAGE}")),
+            other => {
+                return Err(RunError::Usage(format!(
+                    "unexpected argument `{other}`\n{USAGE}"
+                )))
+            }
         }
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
-    let violations =
-        lint_path(&root).map_err(|e| format!("cannot lint {}: {e}", root.display()))?;
+    let audit = audit_path(&root)
+        .map_err(|e| RunError::Io(format!("cannot lint {}: {e}", root.display())))?;
+
+    if let Some(path) = &unsafe_inventory {
+        let payload = json!({
+            "schema_version": SCHEMA_VERSION,
+            "root": root.display().to_string(),
+            "count": audit.unsafe_sites.len(),
+            "missing_safety": audit
+                .unsafe_sites
+                .iter()
+                .filter(|s| !s.has_safety)
+                .count(),
+            "sites": audit.unsafe_sites,
+        });
+        let body = serde_json::to_string(&payload).map_err(|e| RunError::Io(e.to_string()))?;
+        std::fs::write(path, body)
+            .map_err(|e| RunError::Io(format!("cannot write {}: {e}", path.display())))?;
+    }
+
+    if let Some(path) = &write_baseline {
+        let baseline = Baseline::from_violations(&audit.violations);
+        std::fs::write(path, baseline.to_json())
+            .map_err(|e| RunError::Io(format!("cannot write {}: {e}", path.display())))?;
+        println!(
+            "dco-check: wrote baseline {} ({} entr{} absorbing {} finding(s))",
+            path.display(),
+            baseline.findings.len(),
+            if baseline.findings.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            audit.violations.len(),
+        );
+        return Ok(true);
+    }
+
+    let baseline = match &baseline_path {
+        Some(path) => Some(Baseline::load(path).map_err(|e| match e {
+            BaselineError::Io(m) | BaselineError::Format(m) => RunError::Io(m),
+        })?),
+        None => None,
+    };
+    let diff = baseline
+        .as_ref()
+        .map(|b| b.diff(&audit.violations))
+        .unwrap_or_else(|| dco_check::baseline::BaselineDiff {
+            new: audit.violations.clone(),
+            baselined: 0,
+            stale: Vec::new(),
+        });
 
     match format {
         Format::Human => {
-            for v in &violations {
+            for v in &diff.new {
                 println!("{v}");
             }
-            if violations.is_empty() {
+            for s in &diff.stale {
+                println!(
+                    "stale baseline entry (fixed? remove it): {} [{}] {}",
+                    s.file, s.rule, s.snippet
+                );
+            }
+            if diff.new.is_empty() && diff.baselined == 0 {
                 println!("dco-check: clean ({})", root.display());
+            } else if diff.new.is_empty() {
+                println!(
+                    "dco-check: {} finding(s), all baselined ({})",
+                    diff.baselined,
+                    root.display()
+                );
             } else {
-                println!("dco-check: {} violation(s)", violations.len());
+                println!(
+                    "dco-check: {} new finding(s), {} baselined",
+                    diff.new.len(),
+                    diff.baselined
+                );
             }
         }
         Format::Json => {
             let payload = json!({
+                "schema_version": SCHEMA_VERSION,
                 "root": root.display().to_string(),
-                "violations": violations,
-                "count": violations.len(),
+                "violations": diff.new,
+                "count": diff.new.len(),
+                "baselined": diff.baselined,
+                "stale_baseline": diff.stale,
+                "unsafe_sites": audit.unsafe_sites.len(),
             });
             println!(
                 "{}",
-                serde_json::to_string(&payload).map_err(|e| e.to_string())?
+                serde_json::to_string(&payload).map_err(|e| RunError::Io(e.to_string()))?
             );
         }
     }
-    Ok(violations.is_empty())
+    Ok(diff.new.is_empty())
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::from(1),
-        Err(msg) => {
+        Err(RunError::Usage(msg)) => {
             eprintln!("{msg}");
             ExitCode::from(2)
+        }
+        Err(RunError::Io(msg)) => {
+            eprintln!("{msg}");
+            ExitCode::from(3)
         }
     }
 }

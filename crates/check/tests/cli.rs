@@ -47,7 +47,7 @@ fn seeded_fixture_fails_with_nonzero_exit() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     // one unwrap(), one expect(), one println!, one float ==; the marked
     // site must be suppressed
-    assert!(stdout.contains("4 violation(s)"), "got:\n{stdout}");
+    assert!(stdout.contains("4 new finding(s)"), "got:\n{stdout}");
     assert!(stdout.contains("[unwrap]"), "got:\n{stdout}");
     assert!(stdout.contains("[print]"), "got:\n{stdout}");
     assert!(stdout.contains("[float-eq]"), "got:\n{stdout}");
@@ -63,6 +63,10 @@ fn json_output_is_machine_readable() {
     assert_eq!(out.status.code(), Some(1));
     let stdout = String::from_utf8_lossy(&out.stdout);
     let v: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON");
+    let Some(serde_json::Value::Number(schema)) = v.get("schema_version") else {
+        panic!("missing numeric `schema_version` in {v:?}");
+    };
+    assert_eq!(*schema as u32, dco_check::SCHEMA_VERSION);
     let Some(serde_json::Value::Number(count)) = v.get("count") else {
         panic!("missing numeric `count` in {v:?}");
     };
@@ -90,4 +94,181 @@ fn bad_arguments_exit_2() {
         .output()
         .expect("spawn dco-check");
     assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_documents_rules_exit_codes_and_suppression() {
+    let out = Command::new(bin())
+        .args(["lint", "--help"])
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(2), "help goes to stderr, exit 2");
+    let text = String::from_utf8_lossy(&out.stderr);
+    for needle in [
+        "unwrap",
+        "print",
+        "float-eq",
+        "hashmap-iter",
+        "nondet-order",
+        "alloc-hot",
+        "unsafe-audit",
+        "lock-order",
+        "bench-hygiene",
+        "--baseline",
+        "--write-baseline",
+        "--unsafe-inventory",
+        "lint: allow(",
+        "3 = I/O error",
+    ] {
+        assert!(
+            text.contains(needle),
+            "--help is missing `{needle}`:\n{text}"
+        );
+    }
+}
+
+/// A scratch dir unique per test (plain tempdir, no extra deps).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dco_check_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir scratch");
+    dir
+}
+
+#[test]
+fn baseline_roundtrip_distinguishes_matched_from_new() {
+    let dir = scratch("baseline");
+    let baseline = dir.join("lint.baseline.json");
+
+    // Snapshot the fixture findings, then diff against the snapshot: all
+    // baselined, exit 0, and stdout says so (distinct from "clean").
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .arg("--write-baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(0), "--write-baseline exits 0");
+
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(0), "fully-baselined run exits 0");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("all baselined") && !stdout.contains("clean"),
+        "baselined must be distinguishable from clean:\n{stdout}"
+    );
+
+    // A baseline that covers nothing leaves every finding "new": exit 1,
+    // and the stale entries are called out.
+    let empty = dir.join("empty.baseline.json");
+    std::fs::write(
+        &empty,
+        format!(
+            "{{\"schema_version\":{},\"findings\":[]}}",
+            dco_check::SCHEMA_VERSION
+        ),
+    )
+    .expect("write empty baseline");
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .arg("--baseline")
+        .arg(&empty)
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(1), "unbaselined findings exit 1");
+}
+
+#[test]
+fn io_and_format_errors_exit_3() {
+    // Unreadable scan root.
+    let out = Command::new(bin())
+        .args(["lint", "/nonexistent/dco-check-path"])
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(3), "missing root exits 3");
+
+    // Missing baseline file.
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .args(["--baseline", "/nonexistent/baseline.json"])
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(3), "missing baseline exits 3");
+
+    // Wrong baseline schema version.
+    let dir = scratch("schema");
+    let old = dir.join("old.json");
+    std::fs::write(&old, r#"{"schema_version":1,"findings":[]}"#).expect("write");
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(fixture_dir())
+        .arg("--baseline")
+        .arg(&old)
+        .output()
+        .expect("spawn dco-check");
+    assert_eq!(out.status.code(), Some(3), "schema mismatch exits 3");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("schema_version"), "got:\n{stderr}");
+}
+
+#[test]
+fn unsafe_inventory_is_written_as_versioned_json() {
+    let dir = scratch("inventory");
+    let inv = dir.join("unsafe.json");
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(repo_root().join("crates/check/fixtures/unsafe-audit"))
+        .arg("--unsafe-inventory")
+        .arg(&inv)
+        .output()
+        .expect("spawn dco-check");
+    // The pos fixture has an unjustified `unsafe`, so the lint itself
+    // fails — but the inventory must be written regardless.
+    assert_eq!(out.status.code(), Some(1));
+    let body = std::fs::read_to_string(&inv).expect("inventory written");
+    let v: serde_json::Value = serde_json::from_str(&body).expect("valid JSON");
+    let Some(serde_json::Value::Number(schema)) = v.get("schema_version") else {
+        panic!("missing schema_version in {v:?}");
+    };
+    assert_eq!(*schema as u32, dco_check::SCHEMA_VERSION);
+    let Some(serde_json::Value::Number(count)) = v.get("count") else {
+        panic!("missing count in {v:?}");
+    };
+    assert_eq!(*count as u64, 3, "three unsafe sites in the fixtures");
+    let Some(serde_json::Value::Number(missing)) = v.get("missing_safety") else {
+        panic!("missing missing_safety in {v:?}");
+    };
+    assert_eq!(*missing as u64, 1);
+    let Some(serde_json::Value::Array(sites)) = v.get("sites") else {
+        panic!("missing sites array in {v:?}");
+    };
+    assert_eq!(sites.len(), 3);
+}
+
+#[test]
+fn repo_lints_clean_against_checked_in_baseline() {
+    // The CI contract: the checked-in baseline plus the tree must produce
+    // zero unbaselined findings.
+    let baseline = repo_root().join("lint.baseline.json");
+    let out = Command::new(bin())
+        .arg("lint")
+        .arg(repo_root())
+        .arg("--baseline")
+        .arg(&baseline)
+        .output()
+        .expect("spawn dco-check");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "unbaselined findings (or baseline error):\n{stdout}{stderr}"
+    );
 }

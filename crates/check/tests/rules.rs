@@ -1,0 +1,109 @@
+//! Golden fixture tests for the audit rules.
+//!
+//! Every rule has a directory under `crates/check/fixtures/` with positive
+//! (`*_pos.rs`) and negative (`*_neg.rs`) sources plus an `expect.json`
+//! naming the exact `(file, rule, count)` findings. The test audits each
+//! directory and demands an exact match — a negative fixture that starts
+//! firing, or a positive one that stops, both fail loudly.
+//!
+//! Fixture file names matter: path-scoped rules see only the name relative
+//! to the audited directory, so e.g. `route_pos.rs` carries the `route`
+//! marker that puts it inside the determinism contract and `rayon_pos.rs`
+//! is inside the lock-graph scope.
+
+use dco_check::audit_path;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+#[derive(Deserialize)]
+struct Expect {
+    schema_version: u32,
+    expected: Vec<ExpectEntry>,
+}
+
+#[derive(Deserialize)]
+struct ExpectEntry {
+    file: String,
+    rule: String,
+    count: usize,
+}
+
+fn fixtures_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn counts_for(dir: &Path) -> BTreeMap<(String, String), usize> {
+    let audit = audit_path(dir).expect("audit fixture dir");
+    let mut counts = BTreeMap::new();
+    for v in &audit.violations {
+        *counts.entry((v.file.clone(), v.rule.clone())).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn every_rule_dir_matches_its_golden_expectations() {
+    let root = fixtures_root();
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(&root)
+        .expect("fixtures dir exists")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    dirs.sort();
+    assert!(
+        dirs.len() >= 7,
+        "expected one fixture dir per new rule plus masking, found {dirs:?}"
+    );
+    for dir in dirs {
+        let body = std::fs::read_to_string(dir.join("expect.json"))
+            .unwrap_or_else(|e| panic!("{}: missing expect.json: {e}", dir.display()));
+        let expect: Expect = serde_json::from_str(&body)
+            .unwrap_or_else(|e| panic!("{}: bad expect.json: {e}", dir.display()));
+        assert_eq!(
+            expect.schema_version,
+            dco_check::SCHEMA_VERSION,
+            "{}: expect.json written for a different schema",
+            dir.display()
+        );
+        let mut want: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for e in expect.expected {
+            want.insert((e.file, e.rule), e.count);
+        }
+        let got = counts_for(&dir);
+        assert_eq!(
+            got,
+            want,
+            "{}: findings diverge from expect.json",
+            dir.display()
+        );
+    }
+}
+
+#[test]
+fn unsafe_inventory_covers_justified_and_unjustified_sites() {
+    let audit = audit_path(&fixtures_root().join("unsafe-audit")).expect("audit");
+    assert_eq!(audit.unsafe_sites.len(), 3, "{:?}", audit.unsafe_sites);
+    let missing: Vec<_> = audit
+        .unsafe_sites
+        .iter()
+        .filter(|s| !s.has_safety)
+        .collect();
+    assert_eq!(missing.len(), 1);
+    assert_eq!(missing[0].file, "ffi_pos.rs");
+    // Justified sites carry their SAFETY text into the inventory.
+    assert!(audit
+        .unsafe_sites
+        .iter()
+        .any(|s| s.has_safety && s.safety.contains("valid bit pattern")));
+}
+
+#[test]
+fn masking_fixture_is_silent_across_all_rules() {
+    // Belt-and-braces on top of the golden match: the masking fixture must
+    // produce zero findings of any rule, and its unsafe-in-string must not
+    // reach the inventory either.
+    let audit = audit_path(&fixtures_root().join("masking")).expect("audit");
+    assert!(audit.violations.is_empty(), "{:?}", audit.violations);
+    assert!(audit.unsafe_sites.is_empty(), "{:?}", audit.unsafe_sites);
+}

@@ -53,6 +53,9 @@ fn resolve_default() -> usize {
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
         .unwrap_or_else(|| {
+            // Thread *count* selection never changes computed values (the
+            // invariance tests pin that); it only sizes the pool.
+            // lint: allow(nondet-order)
             std::thread::available_parallelism()
                 .map(std::num::NonZeroUsize::get)
                 .unwrap_or(1)

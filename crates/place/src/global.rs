@@ -187,6 +187,7 @@ impl<'a> GlobalPlacer<'a> {
         let ids: Vec<CellId> = netlist.cell_ids().collect();
         let parts = dco_parallel::par_chunks(&ids, ACCUM_CHUNK, |_, chunk| {
             let mut part = [GridMap::zeros(g.nx, g.ny), GridMap::zeros(g.nx, g.ny)];
+            // hot-path: density-accumulate
             for &id in chunk {
                 let cell = netlist.cell(id);
                 if cell.class == CellClass::Io {
@@ -201,6 +202,7 @@ impl<'a> GlobalPlacer<'a> {
                 }
                 part[t].add(col, row, amount);
             }
+            // hot-path: end
             part
         });
         let density = merge_tier_maps(parts, g.nx, g.ny);

@@ -148,6 +148,7 @@ pub fn conv2d_forward(
     if let Some(bias) = b {
         assert_eq!(bias.shape(), &[cout], "conv2d bias must be [C_out]");
         let od = out.data_mut();
+        // hot-path: conv2d-bias
         for bi in 0..bsz {
             for co in 0..cout {
                 let base = (bi * cout + co) * oh * ow;
@@ -157,6 +158,7 @@ pub fn conv2d_forward(
                 }
             }
         }
+        // hot-path: end
     }
     out
 }

@@ -266,6 +266,7 @@ impl Tensor {
         // count); that invariance is what the determinism tests pin.
         const MATMUL_ROW_BLOCK: usize = 8;
         const MATMUL_PAR_FLOPS: usize = 1 << 18;
+        // hot-path: matmul
         if m > MATMUL_ROW_BLOCK && m * k * n >= MATMUL_PAR_FLOPS {
             dco_parallel::par_chunks_mut(&mut out, MATMUL_ROW_BLOCK * n, |block, rows| {
                 let i0 = block * MATMUL_ROW_BLOCK;
@@ -282,6 +283,7 @@ impl Tensor {
                 );
             }
         }
+        // hot-path: end
         Self {
             data: out,
             shape: vec![m, n],

@@ -274,6 +274,7 @@ impl<'a> Sta<'a> {
         }
         let fc = self.fast_corner;
         for level in &levels {
+            // hot-path: sta-pull
             let pull = |&p: &u32| {
                 let pi = p as usize;
                 let mut a = arrival[pi];
@@ -295,6 +296,7 @@ impl<'a> Sta<'a> {
                 }
                 (a, ma, sl, wp)
             };
+            // hot-path: end
             let updates: Vec<(f64, f64, f64, u32)> = if level.len() >= STA_LEVEL_PAR_MIN {
                 dco_parallel::par_map(level, |_, p| pull(p))
             } else {

@@ -33,6 +33,36 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
+#[cfg(feature = "schedule-harness")]
+pub mod schedule;
+
+#[cfg(feature = "schedule-harness")]
+use schedule::Hooks;
+
+/// Release-build scheduling hooks: fixed round-robin victim order, no
+/// injected yields. Zero-sized and fully inlined — the worker loop
+/// compiles to exactly what it was before the hooks existed. The
+/// `schedule-harness` feature swaps in [`schedule::Hooks`], which derives
+/// both decisions from a seeded per-worker stream.
+#[cfg(not(feature = "schedule-harness"))]
+struct Hooks;
+
+#[cfg(not(feature = "schedule-harness"))]
+impl Hooks {
+    #[inline(always)]
+    fn new(_w: usize) -> Self {
+        Hooks
+    }
+
+    #[inline(always)]
+    fn yield_point(&mut self, _site: u32) {}
+
+    #[inline(always)]
+    fn victim(&mut self, w: usize, off: usize, n: usize) -> usize {
+        (w + off) % n
+    }
+}
+
 // ---- pool telemetry -------------------------------------------------------
 //
 // Passive counters for observability: when enabled, workers accumulate
@@ -191,6 +221,8 @@ where
         // already being accumulated by its worker; only top-level inline
         // calls are recorded.
         let record = stats_enabled() && !in_parallel_region();
+        // Telemetry only: the timestamp feeds pool stats, never results.
+        // lint: allow(nondet-order)
         let t0 = record.then(|| (tasks.len() as u64, Instant::now()));
         let out = tasks
             .into_iter()
@@ -224,15 +256,20 @@ where
 
     let worker = |w: usize| {
         let _guard = PoolGuard::enter();
+        // Telemetry only: the timestamp feeds pool stats, never results.
+        // lint: allow(nondet-order)
         let t0 = record.then(Instant::now);
+        let mut hooks = Hooks::new(w);
         let mut local_tasks = 0u64;
         let mut local_steals = 0u64;
         loop {
             // Own work first (front — task order), then steal (back).
+            hooks.yield_point(0);
             let mut job = lock_recover(&queues[w]).pop_front();
             if job.is_none() {
                 for off in 1..n {
-                    let v = (w + off) % n;
+                    let v = hooks.victim(w, off, n);
+                    hooks.yield_point(1);
                     job = lock_recover(&queues[v]).pop_back();
                     if job.is_some() {
                         local_steals += 1;
@@ -243,6 +280,7 @@ where
             let Some((idx, task)) = job else { break };
             local_tasks += 1;
             let out = f(idx, task);
+            hooks.yield_point(2);
             let prev = lock_recover(&slots[idx]).replace(out);
             assert!(prev.is_none(), "task {idx} ran twice");
         }

@@ -1,0 +1,174 @@
+//! Loom-lite schedule exploration for the work-stealing pool.
+//!
+//! Real parallel timing on a 1-core CI container exercises essentially one
+//! interleaving. This module makes scheduling decisions *injectable*: while
+//! a [`explore`] guard is alive, every worker derives its steal-victim
+//! order and extra yield points from a seeded per-worker `splitmix64`
+//! stream, so each seed replays a different (but reproducible) interleaving
+//! of the same task set. Sweeping thousands of seeds is a deterministic
+//! race detector for the pool's invariants — ordered results, exactly-once
+//! execution, bitwise-identical ordered reductions, panic safety.
+//!
+//! Honesty note: this is stochastic-but-seeded *exploration*, not
+//! loom-style exhaustive model checking. It cannot prove absence of races;
+//! it makes the schedule space cheap to sample and failures replayable
+//! (`explore(seed)` with the failing seed reproduces the interleaving
+//! modulo OS preemption).
+//!
+//! Everything here is compiled only under the `schedule-harness` feature.
+//! Without it, the pool's hook sites collapse to the fixed round-robin
+//! victim order and empty yield points (see `Hooks` in `lib.rs`), so the
+//! release binary pays nothing.
+//!
+//! Why missed steals are safe to perturb: a worker always drains its *own*
+//! deque before exiting, so no permutation or delay of the steal scan can
+//! strand a task — stealing only moves work earlier, never loses it. The
+//! harness checks exactly that.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::thread;
+
+static SEED: AtomicU64 = AtomicU64::new(0);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+/// Serializes harness users: two concurrent explorations would observe
+/// each other's seeds.
+static EXPLORE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Activates seeded schedule exploration until dropped.
+///
+/// Holding the guard serializes exploration process-wide (a second
+/// `explore` blocks until the first guard drops).
+pub struct ExploreGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+/// Start exploring the interleaving identified by `seed`.
+///
+/// ```
+/// # #[cfg(feature = "schedule-harness")] {
+/// let _guard = rayon::schedule::explore(42);
+/// let out = rayon::par_indexed(4, (0..64u32).collect(), |_, v| v * 2);
+/// assert_eq!(out[63], 126); // ordered results survive any interleaving
+/// # }
+/// ```
+pub fn explore(seed: u64) -> ExploreGuard {
+    let lock = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+    SEED.store(seed, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed);
+    ExploreGuard { _lock: lock }
+}
+
+impl Drop for ExploreGuard {
+    fn drop(&mut self) {
+        ACTIVE.store(false, Ordering::Relaxed);
+    }
+}
+
+/// `splitmix64` step — tiny, seedable, and good enough to decorrelate
+/// per-worker decision streams.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Per-worker scheduling decision stream (harness-active variant).
+///
+/// Decisions are a pure function of `(seed, worker id, local step count)` —
+/// deliberately *not* of any shared state — so a worker's decision sequence
+/// is identical across runs even though the OS interleaves workers
+/// differently.
+pub(crate) struct Hooks {
+    /// Rng state; `0` means the harness is inactive and every hook is a
+    /// pass-through.
+    state: u64,
+    /// Scratch for the current steal-scan victim permutation.
+    victims: Vec<usize>,
+}
+
+impl Hooks {
+    pub(crate) fn new(w: usize) -> Self {
+        let state = if ACTIVE.load(Ordering::Relaxed) {
+            // Distinct nonzero stream per worker under the shared seed.
+            (SEED.load(Ordering::Relaxed) ^ 0x6A09_E667_F3BC_C909_u64.wrapping_mul(w as u64 + 1))
+                | 1
+        } else {
+            0
+        };
+        Hooks {
+            state,
+            victims: Vec::new(),
+        }
+    }
+
+    /// Numbered preemption point in the worker loop: sometimes yields the
+    /// OS slice (once or twice) to shift which worker wins the next lock.
+    pub(crate) fn yield_point(&mut self, site: u32) {
+        if self.state == 0 {
+            return;
+        }
+        match (splitmix64(&mut self.state) ^ u64::from(site)) % 8 {
+            0 | 1 => thread::yield_now(),
+            2 => {
+                thread::yield_now();
+                thread::yield_now();
+            }
+            _ => {}
+        }
+    }
+
+    /// The `off`-th victim (1-based) of worker `w`'s steal scan over `n`
+    /// workers. Inactive: fixed round-robin `(w + off) % n`. Active: a
+    /// fresh seeded permutation of the other workers per scan.
+    pub(crate) fn victim(&mut self, w: usize, off: usize, n: usize) -> usize {
+        if self.state == 0 {
+            return (w + off) % n;
+        }
+        if off == 1 {
+            self.victims.clear();
+            self.victims.extend((1..n).map(|o| (w + o) % n));
+            for i in (1..self.victims.len()).rev() {
+                let j = (splitmix64(&mut self.state) % (i as u64 + 1)) as usize;
+                self.victims.swap(i, j);
+            }
+        }
+        self.victims[off - 1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_order_is_a_permutation_and_seed_deterministic() {
+        let _guard = explore(7);
+        for w in 0..4 {
+            let mut a = Hooks::new(w);
+            let mut b = Hooks::new(w);
+            let mut seen: Vec<usize> = (1..8).map(|off| a.victim(w, off, 8)).collect();
+            let again: Vec<usize> = (1..8).map(|off| b.victim(w, off, 8)).collect();
+            assert_eq!(seen, again, "same seed, same worker, same order");
+            seen.sort_unstable();
+            let mut expected: Vec<usize> = (0..8).filter(|&v| v != w).collect();
+            expected.sort_unstable();
+            assert_eq!(seen, expected, "every other worker exactly once");
+        }
+    }
+
+    #[test]
+    fn inactive_hooks_are_round_robin() {
+        // Hold the explore lock (without activating) so a concurrently
+        // running explore() test can't flip ACTIVE under us.
+        let _lock = EXPLORE_LOCK.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut h = Hooks::new(2);
+        for off in 1..5 {
+            assert_eq!(h.victim(2, off, 5), (2 + off) % 5);
+        }
+        h.yield_point(0); // must be a no-op (nothing observable to assert
+                          // beyond "does not panic")
+    }
+}
