@@ -8,6 +8,9 @@
 //! dco3d train    --design LDPC --scale 0.05 --out pred.json # train + save the predictor
 //! dco3d dco      --design LDPC --scale 0.05 --predictor pred.json   # run Algorithm 2
 //! dco3d flow     --design LDPC --scale 0.05                 # all four Table-III flows
+//! dco3d predict  --design LDPC --scale 0.05 --out pred.json # one-shot congestion prediction
+//! dco3d serve    --design LDPC --socket /tmp/dco3d.sock     # warm-weights daemon
+//! dco3d client   --socket /tmp/dco3d.sock --file jobs.ndjson # drive a running daemon
 //! ```
 //!
 //! All subcommands share `--design <name>`, `--scale <f>`, `--seed <n>`.
@@ -27,6 +30,9 @@ mod args;
 
 use args::Args;
 use dco3d::{DcoConfig, DcoOptimizer};
+use dco_flow::serve::{
+    predict_result, prediction_checksum, Bind, ServeOptions, WarmState, DEFAULT_MAX_LINE_BYTES,
+};
 use dco_flow::{
     format_design_block, train_predictor, train_predictor_resilient, CheckpointError, FaultSpec,
     FlowConfig, FlowError, FlowKind, FlowRunner, Predictor, ResilienceOptions,
@@ -65,6 +71,9 @@ fn main() {
         "train" => cmd_train(&args),
         "dco" => cmd_dco(&args),
         "flow" => cmd_flow(&args),
+        "predict" => cmd_predict(&args),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         "obs-validate" => cmd_obs_validate(&args),
         "" | "help" | "-h" => {
             print_help();
@@ -188,12 +197,22 @@ fn cmd_obs_validate(args: &Args) -> CliResult {
                 message: format!("{path}: {msg}"),
                 chain: Vec::new(),
             })?;
+            let jobs = dco_obs::report::job_rollup(&parsed);
             println!(
-                "{path}: valid (version {}, {} spans, {} metrics)",
+                "{path}: valid (version {}, {} spans, {} metrics, {} served jobs)",
                 dco_obs::report::ARTIFACT_VERSION,
                 parsed.spans.len(),
-                parsed.metrics.len()
+                parsed.metrics.len(),
+                jobs.len()
             );
+            if args.flag("jobs") {
+                for j in &jobs {
+                    println!(
+                        "job {} kind={} spans={} wall_ns={} cpu_ns={}",
+                        j.job, j.kind, j.spans, j.wall_ns, j.cpu_ns
+                    );
+                }
+            }
             Ok(0)
         }
         Err(msg) => Err(CliError {
@@ -222,7 +241,15 @@ fn print_help() {
          \x20                              nan@train, corrupt@<stage>, route-stall\n\
          \x20            --retries <n>     per-stage panic retries (default 1)\n\
          \x20            --map-size/--channels/--layouts/--epochs/--dco-iters  speed knobs\n\
-         \x20 obs-validate  structurally validate an observability artifact (--file <path>)\n\n\
+         \x20 predict    one-shot congestion prediction for the baseline placement\n\
+         \x20            (--out <file> writes the served-identical result payload)\n\
+         \x20 serve      warm-weights daemon: --socket <path> or --listen <addr>\n\
+         \x20            accepts predict/spread/flow/status/shutdown jobs as NDJSON\n\
+         \x20            (--predictor <file> to skip training; --max-batch <n> coalescing cap)\n\
+         \x20 client     lockstep NDJSON client: --socket/--connect, --file <requests>,\n\
+         \x20            --check exits 4 if any response is ok:false\n\
+         \x20 obs-validate  structurally validate an observability artifact (--file <path>,\n\
+         \x20            --jobs to print per-served-job span/wall/cpu attribution)\n\n\
          common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>\n\
          \x20               --threads <n>  worker threads for parallel hot paths\n\
          \x20               (default: DCO3D_THREADS env var, then all hardware threads;\n\
@@ -427,6 +454,161 @@ fn cmd_dco(args: &Args) -> CliResult {
     if let Some(out) = args.options.get("out") {
         std::fs::write(out, bookshelf::to_pl(&design.netlist, &after))?;
         println!("wrote optimized placement to {out}");
+    }
+    Ok(0)
+}
+
+/// Assemble the warm state shared by `predict` and `serve`: the generated
+/// design, the flow configuration, and a trained predictor (loaded from
+/// `--predictor <file>` when given, trained in-process otherwise).
+fn warm_state(args: &Args) -> Result<WarmState, CliError> {
+    let design = load_design(args)?;
+    let seed = args.get("seed", 1u64);
+    let cfg = flow_config(args);
+    let predictor = if let Some(path) = args.options.get("predictor") {
+        let (unet, normalization) = load_predictor(path)?;
+        Predictor {
+            unet,
+            normalization: normalization.clone(),
+            train_result: TrainResult {
+                train_loss: Vec::new(),
+                test_loss: Vec::new(),
+                test_metrics: Vec::new(),
+                normalization,
+                divergence_events: 0,
+                degraded: false,
+            },
+        }
+    } else {
+        eprintln!("training predictor ...");
+        train_predictor(&design, &cfg, seed)
+    };
+    Ok(WarmState::new(design, cfg, predictor))
+}
+
+/// `dco3d predict` — the one-shot counterpart of the served `predict`
+/// job: baseline placement at `--seed`, one forward pass, the same result
+/// payload. `--out <file>` writes the payload so CI and tests can diff it
+/// bitwise against a daemon response.
+fn cmd_predict(args: &Args) -> CliResult {
+    let state = warm_state(args)?;
+    let seed = args.get("seed", 1u64);
+    let placement = state.baseline_placement(seed);
+    let maps = state.predict(&placement);
+    println!(
+        "{}: predicted congestion {}x{} per die, checksum {:016x}, max {:.3}/{:.3}",
+        state.design().name,
+        maps[0].nx(),
+        maps[0].ny(),
+        prediction_checksum(&maps),
+        maps[0].max(),
+        maps[1].max()
+    );
+    if let Some(out) = args.options.get("out") {
+        std::fs::write(out, serde_json::to_string(&predict_result(&maps))?)?;
+        println!("wrote prediction to {out}");
+    }
+    Ok(0)
+}
+
+/// Resolve the listener spec: `--socket <path>` (unix) or `--listen
+/// <addr>` (TCP; port 0 picks a free port).
+fn bind_from_args(args: &Args) -> Result<Bind, CliError> {
+    match (args.options.get("socket"), args.options.get("listen")) {
+        (Some(path), None) => Ok(Bind::Unix(PathBuf::from(path))),
+        (None, Some(addr)) => Ok(Bind::Tcp(addr.clone())),
+        (Some(_), Some(_)) => Err(CliError::usage(
+            "--socket and --listen are mutually exclusive",
+        )),
+        (None, None) => Err(CliError::usage(
+            "serve needs --socket <path> or --listen <addr>",
+        )),
+    }
+}
+
+/// `dco3d serve` — hold the design and trained predictor warm and answer
+/// predict/spread/flow/status jobs over newline-delimited JSON until a
+/// client sends `shutdown`.
+fn cmd_serve(args: &Args) -> CliResult {
+    use std::io::Write as _;
+    let state = warm_state(args)?;
+    let bind = bind_from_args(args)?;
+    let opts = ServeOptions {
+        max_line_bytes: args.get("max-line-bytes", DEFAULT_MAX_LINE_BYTES),
+        max_batch: args.get("max-batch", ServeOptions::default().max_batch),
+        default_spread_iters: args
+            .get("spread-iters", ServeOptions::default().default_spread_iters),
+    };
+    let handle = dco_flow::serve::serve(state, bind, opts)?;
+    // Scripted clients block on this exact line to know the socket is live.
+    println!("listening on {}", handle.addr());
+    std::io::stdout().flush()?;
+    let stats = handle.join()?;
+    println!(
+        "served {} predict ({} batches, max batch {}), {} spread, {} flow, {} status, {} errors",
+        stats.predict,
+        stats.batches,
+        stats.max_batch_observed,
+        stats.spread,
+        stats.flow,
+        stats.status,
+        stats.errors
+    );
+    Ok(0)
+}
+
+/// `dco3d client` — drive a running daemon in lockstep: send one request
+/// line, print the response line, repeat. Requests come from `--file
+/// <path>` or stdin. With `--check`, any `"ok":false` response makes the
+/// exit code 4.
+fn cmd_client(args: &Args) -> CliResult {
+    use std::io::{BufRead as _, BufReader, Read, Write};
+    let (read_half, mut write_half): (Box<dyn Read>, Box<dyn Write>) =
+        match (args.options.get("socket"), args.options.get("connect")) {
+            (Some(path), None) => {
+                let s = std::os::unix::net::UnixStream::connect(path)?;
+                (Box::new(s.try_clone()?), Box::new(s))
+            }
+            (None, Some(addr)) => {
+                let s = std::net::TcpStream::connect(addr.as_str())?;
+                (Box::new(s.try_clone()?), Box::new(s))
+            }
+            _ => {
+                return Err(CliError::usage(
+                    "client needs exactly one of --socket <path> or --connect <addr>",
+                ))
+            }
+        };
+    let mut responses = BufReader::new(read_half);
+    let input: Box<dyn std::io::BufRead> = match args.options.get("file") {
+        Some(f) => Box::new(BufReader::new(std::fs::File::open(f)?)),
+        None => Box::new(BufReader::new(std::io::stdin())),
+    };
+    let mut failures = 0usize;
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        write_half.write_all(line.as_bytes())?;
+        write_half.write_all(b"\n")?;
+        write_half.flush()?;
+        let mut resp = String::new();
+        if responses.read_line(&mut resp)? == 0 {
+            return Err(CliError {
+                code: 3,
+                message: "server closed the connection mid-session".to_string(),
+                chain: Vec::new(),
+            });
+        }
+        print!("{resp}");
+        if resp.contains("\"ok\":false") {
+            failures += 1;
+        }
+    }
+    if args.flag("check") && failures > 0 {
+        eprintln!("{failures} request(s) failed");
+        return Ok(4);
     }
     Ok(0)
 }

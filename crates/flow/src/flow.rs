@@ -9,7 +9,6 @@ use crate::resilience::{
     execute_stage_body, run_stage, FlowError, RecoveryEvent, ResilienceOptions, ResilienceReport,
 };
 use dco3d::{DcoConfig, DcoOptimizer};
-use dco_features::GridMap;
 use dco_gnn::{build_node_features, Gcn, GcnConfig};
 use dco_netlist::{Design, NetId, Placement3};
 use dco_place::{detailed_place, legalize, GlobalPlacer, PlacementParams};
@@ -165,52 +164,10 @@ pub struct ResilientOutcome {
     pub report: ResilienceReport,
 }
 
-// Per-stage checkpoint payloads. Each carries exactly the state later
-// stages consume, so a resumed pipeline is indistinguishable from an
-// uninterrupted one.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct PlaceCheckpoint {
-    params: PlacementParams,
-    placement: Placement3,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct DcoCheckpoint {
-    placement: Placement3,
-    // Guard bookkeeping rides along so a resumed run reports the same
-    // divergence history as the run that produced the checkpoint.
-    divergence_events: usize,
-    degraded: bool,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TierAssignCheckpoint {
-    placement: Placement3,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct CtsCheckpoint {
-    wirelength: f64,
-    skew_ps: f64,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct RouteCheckpoint {
-    stage: StageMetrics,
-    wirelength: f64,
-    net_lengths: Vec<f64>,
-    net_bonds: Vec<u32>,
-    congestion: [GridMap; 2],
-    rrr_iterations: usize,
-    converged: bool,
-    overflow_total: f64,
-    initial_overflow: f64,
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct StaCheckpoint {
-    signoff: SignoffMetrics,
-}
+// The per-stage payload types (checkpoint format + library API) live in
+// `crate::stages`; each carries exactly the state later stages consume, so
+// a resumed pipeline is indistinguishable from an uninterrupted one.
+use crate::stages::{CtsStage, DcoStage, PlaceStage, RouteStage, StaStage, TierAssignStage};
 
 /// A trained congestion predictor plus its dataset normalization.
 #[derive(Debug)]
@@ -468,13 +425,7 @@ impl<'a> FlowRunner<'a> {
 
         // --- place: per-flow parameters + global 3D placement --------------
         let place = run_stage(Stage::Place, ckpt, &injector, opts, &mut report, || {
-            let params = match kind {
-                FlowKind::Pin3d | FlowKind::Dco3d => PlacementParams::pin3d_baseline(),
-                FlowKind::Pin3dCong => PlacementParams::congestion_focused(),
-                FlowKind::Pin3dBo => self.bo_optimize_params(seed),
-            };
-            let placement = GlobalPlacer::new(design).place(&params, seed);
-            PlaceCheckpoint { params, placement }
+            self.stage_place(kind, seed)
         })?;
 
         // --- dco: differentiable 3D cell spreading (DCO-3D only) -----------
@@ -483,40 +434,7 @@ impl<'a> FlowRunner<'a> {
                 return Err(FlowError::MissingPredictor);
             };
             let ck = run_stage(Stage::Dco, ckpt, &injector, opts, &mut report, || {
-                // Timing snapshot from a quick global route: the GNN's
-                // Table-II features (and the criticality anchors) reflect
-                // routed reality, as they would when DCO reads the tool's
-                // timing database.
-                let probe =
-                    Router::new(design, self.cfg.stage_router.clone()).route(&place.placement);
-                let timing = Sta::new(design).analyze(
-                    &place.placement,
-                    Some(&probe.net_lengths),
-                    Some(&probe.net_bonds),
-                );
-                let features = build_node_features(design, &place.placement, &timing);
-                let gcn = Gcn::new(GcnConfig::default(), seed);
-                let mut dco_cfg = self.cfg.dco.clone();
-                if let Some(iter) = injector.dco_nan_iteration() {
-                    dco_cfg.inject_nan_loss_at = Some(iter);
-                }
-                let mut dco = DcoOptimizer::new(
-                    design,
-                    &predictor.unet,
-                    &predictor.normalization,
-                    features,
-                    gcn,
-                    dco_cfg,
-                );
-                // Anchor timing-critical cells: congestion is optimized
-                // "without compromising overall design quality" (Sec. V-C).
-                dco.set_timing_criticality(&timing.cell_slack, 10.0);
-                let result = dco.run(&place.placement);
-                DcoCheckpoint {
-                    placement: result.placement,
-                    divergence_events: result.divergence_events,
-                    degraded: result.degraded,
-                }
+                self.stage_dco(predictor, &place, seed, injector.dco_nan_iteration())
             })?;
             if ck.divergence_events > 0 {
                 report.events.push(RecoveryEvent::DivergenceRollback {
@@ -540,49 +458,17 @@ impl<'a> FlowRunner<'a> {
             &injector,
             opts,
             &mut report,
-            || {
-                let mut placement = spread.clone();
-                legalize(design, &mut placement, place.params.displacement_threshold);
-                // Detailed placement: local HPWL-reducing swaps (all flows
-                // get the same refinement so comparisons stay fair).
-                detailed_place(design, &mut placement, 4, 2);
-                TierAssignCheckpoint { placement }
-            },
+            || self.stage_tier_assign(spread, &place.params),
         )?;
 
         // --- cts: clock-tree synthesis --------------------------------------
         let cts = run_stage(Stage::Cts, ckpt, &injector, opts, &mut report, || {
-            let tree = synthesize_clock_tree(design, &tier.placement);
-            CtsCheckpoint {
-                wirelength: tree.wirelength,
-                skew_ps: tree.skew_ps,
-            }
+            self.stage_cts(&tier.placement)
         })?;
 
         // --- route: placement-stage estimate + signoff route ----------------
         let route = run_stage(Stage::Route, ckpt, &injector, opts, &mut report, || {
-            let stage = Router::new(design, self.cfg.stage_router.clone()).route(&tier.placement);
-            let mut router_cfg = self.cfg.router.clone();
-            if injector.route_stall() {
-                router_cfg.stall_rrr = true;
-            }
-            let routed = Router::new(design, router_cfg).route(&tier.placement);
-            RouteCheckpoint {
-                stage: StageMetrics {
-                    overflow: stage.report.total,
-                    ovf_gcell_pct: stage.report.overflow_gcell_pct,
-                    h_overflow: stage.report.h_overflow,
-                    v_overflow: stage.report.v_overflow,
-                },
-                wirelength: routed.wirelength,
-                net_lengths: routed.net_lengths,
-                net_bonds: routed.net_bonds,
-                congestion: routed.congestion,
-                rrr_iterations: routed.report.rrr_iterations,
-                converged: routed.report.converged,
-                overflow_total: routed.report.total,
-                initial_overflow: routed.report.initial_total,
-            }
+            self.stage_route(&tier.placement, injector.route_stall())
         })?;
         // Residual overflow is a normal Table-III outcome; the resilience
         // layer only flags the route as degraded when rip-up-and-reroute
@@ -599,37 +485,7 @@ impl<'a> FlowRunner<'a> {
 
         // --- sta: STA + timing ECO + power ----------------------------------
         let sta_ck = run_stage(Stage::Sta, ckpt, &injector, opts, &mut report, || {
-            let net_lengths = self.lengths_with_clock_tree(&route.net_lengths, cts.wirelength);
-            let mut sta = Sta::new(design);
-            sta.setup_ps += cts.skew_ps;
-            // Signoff closure: the ECO pass burns sizing moves (and power)
-            // to claw back whatever timing the routed design is missing —
-            // the end-of-flow cost the paper's early optimization avoids.
-            // Limited ECO budget (2 sizing rounds): enough to recover
-            // shallow violations, not enough to mask large
-            // congestion-induced deficits — mirroring real signoff where
-            // ECO resources are finite.
-            let eco = run_timing_eco(
-                design,
-                &tier.placement,
-                Some(&net_lengths),
-                Some(&route.net_bonds),
-                &sta,
-                &EcoConfig {
-                    max_rounds: 2,
-                    ..EcoConfig::default()
-                },
-            );
-            let power = PowerAnalyzer::new(design).analyze(&tier.placement, Some(&net_lengths));
-            StaCheckpoint {
-                signoff: SignoffMetrics {
-                    wns_ps: eco.after.wns_ps,
-                    tns_ps: eco.after.tns_ps,
-                    total_power_mw: power.total_mw() + eco.power_penalty_mw,
-                    wirelength_um: route.wirelength + cts.wirelength,
-                    eco_cells: eco.resized_cells,
-                },
-            }
+            self.stage_sta(&tier.placement, &cts, &route)
         })?;
 
         // Flow-level telemetry: publish the headline quality numbers as
@@ -654,6 +510,180 @@ impl<'a> FlowRunner<'a> {
             },
             report,
         })
+    }
+
+    // --- the seven stages as a library API --------------------------------
+    //
+    // Each `stage_*` method is a pure function of its explicit inputs plus
+    // the runner's design/config: no checkpointing, no panic isolation, no
+    // fault injection — those wrap around these methods in
+    // [`FlowRunner::run_resilient`]. A long-lived process (the `dco3d
+    // serve` daemon) calls them directly with pre-loaded state instead of
+    // re-running the CLI pipeline per request; both paths execute the same
+    // code, so their outputs are bitwise identical at a given seed.
+
+    /// The place stage: resolve the flow's Table-I parameter point and run
+    /// global 3D placement.
+    pub fn stage_place(&self, kind: FlowKind, seed: u64) -> PlaceStage {
+        let params = match kind {
+            FlowKind::Pin3d | FlowKind::Dco3d => PlacementParams::pin3d_baseline(),
+            FlowKind::Pin3dCong => PlacementParams::congestion_focused(),
+            FlowKind::Pin3dBo => self.bo_optimize_params(seed),
+        };
+        let placement = GlobalPlacer::new(self.design).place(&params, seed);
+        PlaceStage { params, placement }
+    }
+
+    /// The DCO stage: one differentiable congestion-optimization run from
+    /// `place` using the runner's configured [`DcoConfig`].
+    /// `inject_nan_at` arms the trainer-side divergence fault (tests only;
+    /// `None` in production).
+    pub fn stage_dco(
+        &self,
+        predictor: &Predictor,
+        place: &PlaceStage,
+        seed: u64,
+        inject_nan_at: Option<usize>,
+    ) -> DcoStage {
+        let mut dco_cfg = self.cfg.dco.clone();
+        if let Some(iter) = inject_nan_at {
+            dco_cfg.inject_nan_loss_at = Some(iter);
+        }
+        self.stage_dco_with(predictor, place, seed, dco_cfg)
+    }
+
+    /// [`FlowRunner::stage_dco`] with an explicit [`DcoConfig`] (the serve
+    /// daemon's `spread` job uses this to run a bounded number of spreading
+    /// iterations per request).
+    pub fn stage_dco_with(
+        &self,
+        predictor: &Predictor,
+        place: &PlaceStage,
+        seed: u64,
+        dco_cfg: DcoConfig,
+    ) -> DcoStage {
+        let design = self.design;
+        // Timing snapshot from a quick global route: the GNN's Table-II
+        // features (and the criticality anchors) reflect routed reality, as
+        // they would when DCO reads the tool's timing database.
+        let probe = Router::new(design, self.cfg.stage_router.clone()).route(&place.placement);
+        let timing = Sta::new(design).analyze(
+            &place.placement,
+            Some(&probe.net_lengths),
+            Some(&probe.net_bonds),
+        );
+        let features = build_node_features(design, &place.placement, &timing);
+        let gcn = Gcn::new(GcnConfig::default(), seed);
+        let mut dco = DcoOptimizer::new(
+            design,
+            &predictor.unet,
+            &predictor.normalization,
+            features,
+            gcn,
+            dco_cfg,
+        );
+        // Anchor timing-critical cells: congestion is optimized "without
+        // compromising overall design quality" (Sec. V-C).
+        dco.set_timing_criticality(&timing.cell_slack, 10.0);
+        let result = dco.run(&place.placement);
+        DcoStage {
+            placement: result.placement,
+            divergence_events: result.divergence_events,
+            degraded: result.degraded,
+        }
+    }
+
+    /// The tier-assign stage: legalize `spread` and refine with detailed
+    /// placement, finalizing the hard tier assignment.
+    pub fn stage_tier_assign(
+        &self,
+        spread: &Placement3,
+        params: &PlacementParams,
+    ) -> TierAssignStage {
+        let mut placement = spread.clone();
+        legalize(self.design, &mut placement, params.displacement_threshold);
+        // Detailed placement: local HPWL-reducing swaps (all flows get the
+        // same refinement so comparisons stay fair).
+        detailed_place(self.design, &mut placement, 4, 2);
+        TierAssignStage { placement }
+    }
+
+    /// The CTS stage: synthesize the clock tree over the final placement.
+    pub fn stage_cts(&self, placement: &Placement3) -> CtsStage {
+        let tree = synthesize_clock_tree(self.design, placement);
+        CtsStage {
+            wirelength: tree.wirelength,
+            skew_ps: tree.skew_ps,
+        }
+    }
+
+    /// The route stage: quick placement-stage congestion estimate plus the
+    /// signoff route. `stall_rrr` forces the router's rip-up-and-reroute to
+    /// stall (fault-injection hook; `false` in production).
+    pub fn stage_route(&self, placement: &Placement3, stall_rrr: bool) -> RouteStage {
+        let design = self.design;
+        let stage = Router::new(design, self.cfg.stage_router.clone()).route(placement);
+        let mut router_cfg = self.cfg.router.clone();
+        if stall_rrr {
+            router_cfg.stall_rrr = true;
+        }
+        let routed = Router::new(design, router_cfg).route(placement);
+        RouteStage {
+            stage: StageMetrics {
+                overflow: stage.report.total,
+                ovf_gcell_pct: stage.report.overflow_gcell_pct,
+                h_overflow: stage.report.h_overflow,
+                v_overflow: stage.report.v_overflow,
+            },
+            wirelength: routed.wirelength,
+            net_lengths: routed.net_lengths,
+            net_bonds: routed.net_bonds,
+            congestion: routed.congestion,
+            rrr_iterations: routed.report.rrr_iterations,
+            converged: routed.report.converged,
+            overflow_total: routed.report.total,
+            initial_overflow: routed.report.initial_total,
+        }
+    }
+
+    /// The STA stage: signoff timing, the bounded ECO pass, and power.
+    pub fn stage_sta(
+        &self,
+        placement: &Placement3,
+        cts: &CtsStage,
+        route: &RouteStage,
+    ) -> StaStage {
+        let design = self.design;
+        let net_lengths = self.lengths_with_clock_tree(&route.net_lengths, cts.wirelength);
+        let mut sta = Sta::new(design);
+        sta.setup_ps += cts.skew_ps;
+        // Signoff closure: the ECO pass burns sizing moves (and power) to
+        // claw back whatever timing the routed design is missing — the
+        // end-of-flow cost the paper's early optimization avoids. Limited
+        // ECO budget (2 sizing rounds): enough to recover shallow
+        // violations, not enough to mask large congestion-induced deficits
+        // — mirroring real signoff where ECO resources are finite.
+        let eco = run_timing_eco(
+            design,
+            placement,
+            Some(&net_lengths),
+            Some(&route.net_bonds),
+            &sta,
+            &EcoConfig {
+                max_rounds: 2,
+                ..EcoConfig::default()
+            },
+        );
+        let power = PowerAnalyzer::new(design).analyze(placement, Some(&net_lengths));
+        StaStage {
+            signoff: SignoffMetrics {
+                wns_ps: eco.after.wns_ps,
+                tns_ps: eco.after.tns_ps,
+                total_power_mw: power.total_mw() + eco.power_penalty_mw,
+                wirelength_um: route.wirelength + cts.wirelength,
+                eco_cells: eco.resized_cells,
+            },
+        }
     }
 
     /// Clock nets are built by CTS, not the signal router; patch their

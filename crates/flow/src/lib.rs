@@ -39,6 +39,8 @@ mod flow;
 mod inject;
 mod report;
 mod resilience;
+pub mod serve;
+pub mod stages;
 
 pub use bo::{bayesian_minimize, BoConfig};
 pub use checkpoint::{CheckpointError, CheckpointStore, Stage};

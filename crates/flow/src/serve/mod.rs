@@ -1,0 +1,23 @@
+//! `dco3d serve`: a long-lived daemon that keeps trained UNet weights,
+//! the technology model, and the generated design warm between requests.
+//!
+//! One-shot CLI runs pay design generation + predictor training on every
+//! invocation; a serving deployment amortizes that cost once and then
+//! answers `predict` / `spread` / `flow` jobs over newline-delimited JSON
+//! on a unix-domain socket or TCP. See DESIGN.md, "Service Mode".
+//!
+//! The module is pure `std`: listeners from `std::net` /
+//! `std::os::unix::net`, threads + channels for plumbing, and the
+//! workspace serde shims for the wire format.
+
+mod protocol;
+mod queue;
+mod server;
+
+pub use protocol::{
+    error_response, map_payload, ok_response, parse_request, placement_checksum, predict_result,
+    prediction_checksum, read_frame, ErrorKind, Frame, JobRequest, ProtocolError, Request,
+    DEFAULT_MAX_LINE_BYTES,
+};
+pub use queue::{JobQueue, QueuedJob};
+pub use server::{serve, Bind, BoundAddr, ServeOptions, ServeStats, ServerHandle, WarmState};

@@ -1,0 +1,457 @@
+//! The `dco3d serve` wire protocol: newline-delimited JSON frames.
+//!
+//! Every request is one line of JSON; every response is one line of JSON.
+//! Requests carry a client-chosen `id` that the matching response echoes,
+//! so a client may pipeline several requests on one connection. The
+//! grammar (see DESIGN.md, "Service Mode"):
+//!
+//! ```text
+//! request  := { "id": uint, "job": kind, ...params }
+//! kind     := "predict" | "spread" | "flow" | "status" | "shutdown"
+//! response := { "id": uint, "ok": true,  "job": kind, "result": object }
+//!           | { "id": uint, "ok": false, "error": { "kind": str, "detail": str } }
+//! ```
+//!
+//! Parsing is deliberately manual over the [`serde_json::Value`] tree
+//! rather than derive-based: the serde shim's derived `Deserialize`
+//! rejects whole documents on any missing field, while a server must map
+//! each individual defect (bad id, unknown job, malformed placement) to a
+//! typed, recoverable error without dropping the connection.
+//!
+//! Checksums travel as fixed-width hex strings, not JSON numbers: the
+//! value tree stores numbers as `f64`, which cannot represent a full
+//! 64-bit FNV checksum exactly.
+
+use dco_netlist::Placement3;
+use serde::{Deserialize, Value};
+use std::io::{BufRead, ErrorKind as IoErrorKind};
+
+use crate::flow::FlowKind;
+
+/// Default cap on one request line (bytes, newline included).
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// One framed request line, or evidence that the client exceeded the line
+/// cap (the frame is discarded but the connection survives).
+#[derive(Debug)]
+pub enum Frame {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// A line longer than the cap; `discarded` bytes were drained.
+    Oversized {
+        /// How many bytes the server threw away (including the newline).
+        discarded: usize,
+    },
+}
+
+/// Read one newline-terminated frame with bounded memory.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte of a new frame. A
+/// truncated final frame (bytes then EOF, no newline) is returned as a
+/// normal line so the parser can reject it with a typed error rather than
+/// the connection dying silently. Lines longer than `max_bytes` are
+/// drained to their newline and reported as [`Frame::Oversized`] without
+/// ever buffering more than `max_bytes`.
+///
+/// # Errors
+/// Propagates transport-level IO errors (a mid-read disconnect, for
+/// example); `Interrupted` reads are retried internally.
+pub fn read_frame<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Result<Option<Frame>> {
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    let mut discarded = 0usize;
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(b) => b,
+            Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if buf.is_empty() {
+            // EOF. A partially read frame still gets surfaced.
+            if discarding {
+                return Ok(Some(Frame::Oversized { discarded }));
+            }
+            if line.is_empty() {
+                return Ok(None);
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Some(Frame::Line(text)));
+        }
+        let newline = buf.iter().position(|&b| b == b'\n');
+        let take = newline.map_or(buf.len(), |i| i + 1);
+        if discarding {
+            discarded += take;
+        } else if line.len() + take > max_bytes {
+            discarding = true;
+            discarded = line.len() + take;
+            line.clear();
+        } else {
+            line.extend_from_slice(&buf[..take.saturating_sub(usize::from(newline.is_some()))]);
+        }
+        reader.consume(take);
+        if newline.is_some() {
+            if discarding {
+                return Ok(Some(Frame::Oversized { discarded }));
+            }
+            // Tolerate CRLF clients.
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            let text = String::from_utf8_lossy(&line).into_owned();
+            return Ok(Some(Frame::Line(text)));
+        }
+    }
+}
+
+/// A parsed request: the echoed `id` plus the job to run.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed on the response.
+    pub id: u64,
+    /// What to do.
+    pub job: JobRequest,
+}
+
+/// The job kinds a server accepts.
+#[derive(Debug, Clone)]
+pub enum JobRequest {
+    /// Predict the congestion map for a placement (the given one, or the
+    /// warm design's baseline placement at `seed`).
+    Predict {
+        /// Baseline-placement seed (ignored when `placement` is given).
+        seed: u64,
+        /// Explicit placement to evaluate, if any.
+        placement: Option<Placement3>,
+    },
+    /// One bounded DCO spreading pass.
+    Spread {
+        /// Baseline-placement / optimizer seed.
+        seed: u64,
+        /// Spreading iteration budget (server default when absent).
+        iters: Option<usize>,
+        /// Explicit starting placement, if any.
+        placement: Option<Placement3>,
+    },
+    /// A full staged flow run.
+    Flow {
+        /// Which Table-III flow.
+        kind: FlowKind,
+        /// Flow seed.
+        seed: u64,
+    },
+    /// Server liveness/counters snapshot.
+    Status,
+    /// Graceful drain-and-exit.
+    Shutdown,
+}
+
+impl JobRequest {
+    /// The wire name of this job kind.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobRequest::Predict { .. } => "predict",
+            JobRequest::Spread { .. } => "spread",
+            JobRequest::Flow { .. } => "flow",
+            JobRequest::Status => "status",
+            JobRequest::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Typed error classes a response can carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The frame was not valid JSON.
+    Parse,
+    /// Valid JSON, but not a well-formed request.
+    BadRequest,
+    /// The frame exceeded the line cap.
+    Oversized,
+    /// The server is draining after a shutdown request.
+    ShuttingDown,
+    /// A job body panicked; the daemon survives, the job does not.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ErrorKind::Parse => "parse",
+            ErrorKind::BadRequest => "bad-request",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+/// A request defect mapped to a response-able error.
+#[derive(Debug, Clone)]
+pub struct ProtocolError {
+    /// The request id if one was readable, else 0.
+    pub id: u64,
+    /// Error class.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ProtocolError {
+    fn bad(id: u64, detail: impl Into<String>) -> Self {
+        ProtocolError {
+            id,
+            kind: ErrorKind::BadRequest,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Read an object field as a non-negative integer that fits `f64` exactly.
+fn get_uint(v: &Value, key: &str, id: u64) -> Result<Option<u64>, ProtocolError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(Value::Number(n)) => {
+            if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.0e15 {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                Ok(Some(*n as u64))
+            } else {
+                Err(ProtocolError::bad(
+                    id,
+                    format!("field `{key}` must be a non-negative integer"),
+                ))
+            }
+        }
+        Some(other) => Err(ProtocolError::bad(
+            id,
+            format!("field `{key}` must be a number, found {}", other.kind()),
+        )),
+    }
+}
+
+/// Parse a placement payload if present.
+fn get_placement(v: &Value, id: u64) -> Result<Option<Placement3>, ProtocolError> {
+    match v.get("placement") {
+        None | Some(Value::Null) => Ok(None),
+        Some(p) => Placement3::from_value(p)
+            .map(Some)
+            .map_err(|e| ProtocolError::bad(id, format!("invalid placement: {e}"))),
+    }
+}
+
+/// Parse one request line into a [`Request`].
+///
+/// # Errors
+/// [`ErrorKind::Parse`] for malformed JSON (with id 0: no id is trustable
+/// from an unparseable frame); [`ErrorKind::BadRequest`] for a valid JSON
+/// document that is not a request (missing/ill-typed `id` or `job`,
+/// unknown job kind, malformed parameters).
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let v: Value = serde_json::from_str(line).map_err(|e| ProtocolError {
+        id: 0,
+        kind: ErrorKind::Parse,
+        detail: format!("invalid JSON: {e}"),
+    })?;
+    if !matches!(v, Value::Object(_)) {
+        return Err(ProtocolError::bad(0, "request must be a JSON object"));
+    }
+    let id = get_uint(&v, "id", 0)?.ok_or_else(|| ProtocolError::bad(0, "missing field `id`"))?;
+    let job = match v.get("job") {
+        Some(Value::String(s)) => s.clone(),
+        Some(other) => {
+            return Err(ProtocolError::bad(
+                id,
+                format!("field `job` must be a string, found {}", other.kind()),
+            ))
+        }
+        None => return Err(ProtocolError::bad(id, "missing field `job`")),
+    };
+    let job = match job.as_str() {
+        "predict" => JobRequest::Predict {
+            seed: get_uint(&v, "seed", id)?.unwrap_or(1),
+            placement: get_placement(&v, id)?,
+        },
+        "spread" => JobRequest::Spread {
+            seed: get_uint(&v, "seed", id)?.unwrap_or(1),
+            iters: get_uint(&v, "iters", id)?.map(|n| n as usize),
+            placement: get_placement(&v, id)?,
+        },
+        "flow" => {
+            let slug = match v.get("kind") {
+                None | Some(Value::Null) => "pin3d".to_string(),
+                Some(Value::String(s)) => s.clone(),
+                Some(other) => {
+                    return Err(ProtocolError::bad(
+                        id,
+                        format!("field `kind` must be a string, found {}", other.kind()),
+                    ))
+                }
+            };
+            let kind = FlowKind::ALL
+                .into_iter()
+                .find(|k| k.slug() == slug)
+                .ok_or_else(|| ProtocolError::bad(id, format!("unknown flow kind `{slug}`")))?;
+            JobRequest::Flow {
+                kind,
+                seed: get_uint(&v, "seed", id)?.unwrap_or(1),
+            }
+        }
+        "status" => JobRequest::Status,
+        "shutdown" => JobRequest::Shutdown,
+        other => {
+            return Err(ProtocolError::bad(id, format!("unknown job `{other}`")));
+        }
+    };
+    Ok(Request { id, job })
+}
+
+/// Serialize a success response line (no trailing newline).
+pub fn ok_response(id: u64, job: &'static str, result: Value) -> String {
+    let v = serde_json::json!({
+        "id": id,
+        "ok": true,
+        "job": job,
+        "result": result,
+    });
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// Serialize an error response line (no trailing newline).
+pub fn error_response(id: u64, kind: ErrorKind, detail: &str) -> String {
+    let v = serde_json::json!({
+        "id": id,
+        "ok": false,
+        "error": { "kind": kind.label(), "detail": detail },
+    });
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// A congestion map as a wire payload.
+pub fn map_payload(m: &dco_features::GridMap) -> Value {
+    serde_json::json!({
+        "nx": m.nx(),
+        "ny": m.ny(),
+        "data": m.data(),
+    })
+}
+
+/// FNV checksum of a placement (coordinates + tier assignment), as used in
+/// spread/flow result payloads.
+pub fn placement_checksum(p: &Placement3) -> u64 {
+    let tiers: Vec<u8> = p.tiers().iter().map(|t| *t as u8).collect();
+    let c = dco_parallel::checksum_combine(
+        dco_parallel::checksum_f64(p.xs()),
+        dco_parallel::checksum_f64(p.ys()),
+    );
+    dco_parallel::checksum_combine(c, dco_parallel::checksum_bytes(&tiers))
+}
+
+/// FNV checksum of a two-die congestion prediction.
+pub fn prediction_checksum(maps: &[dco_features::GridMap; 2]) -> u64 {
+    dco_parallel::checksum_combine(
+        dco_parallel::checksum_f32(maps[0].data()),
+        dco_parallel::checksum_f32(maps[1].data()),
+    )
+}
+
+/// The `result` payload of a `predict` response.
+pub fn predict_result(maps: &[dco_features::GridMap; 2]) -> Value {
+    serde_json::json!({
+        "congestion": [map_payload(&maps[0]), map_payload(&maps[1])],
+        "checksum": format!("{:016x}", prediction_checksum(maps)),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn frames_split_on_newlines() {
+        let data = b"one\ntwo\r\nthree";
+        let mut r = BufReader::new(&data[..]);
+        let mut lines = Vec::new();
+        while let Some(f) = read_frame(&mut r, 64).expect("read") {
+            match f {
+                Frame::Line(l) => lines.push(l),
+                Frame::Oversized { .. } => panic!("unexpected oversize"),
+            }
+        }
+        assert_eq!(lines, vec!["one", "two", "three"]);
+    }
+
+    #[test]
+    fn oversized_line_is_drained_not_buffered() {
+        let mut data = vec![b'x'; 100];
+        data.push(b'\n');
+        data.extend_from_slice(b"ok\n");
+        let mut r = BufReader::new(&data[..]);
+        match read_frame(&mut r, 16).expect("read") {
+            Some(Frame::Oversized { discarded }) => assert_eq!(discarded, 101),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        match read_frame(&mut r, 16).expect("read") {
+            Some(Frame::Line(l)) => assert_eq!(l, "ok"),
+            other => panic!("expected line, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_rejects_defects_with_typed_errors() {
+        assert_eq!(
+            parse_request("{nope").expect_err("json").kind,
+            ErrorKind::Parse
+        );
+        assert_eq!(
+            parse_request("[1,2]").expect_err("shape").kind,
+            ErrorKind::BadRequest
+        );
+        assert_eq!(
+            parse_request("{\"id\":1}").expect_err("no job").kind,
+            ErrorKind::BadRequest
+        );
+        let e = parse_request("{\"id\":7,\"job\":\"frobnicate\"}").expect_err("unknown job");
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        assert_eq!(e.id, 7, "id is echoed when readable");
+        let e = parse_request("{\"id\":3,\"job\":\"flow\",\"kind\":\"nope\"}").expect_err("kind");
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+
+    #[test]
+    fn parse_accepts_all_job_kinds() {
+        let r = parse_request("{\"id\":1,\"job\":\"predict\",\"seed\":9}").expect("predict");
+        assert!(matches!(r.job, JobRequest::Predict { seed: 9, .. }));
+        let r = parse_request("{\"id\":2,\"job\":\"spread\",\"iters\":3}").expect("spread");
+        assert!(matches!(r.job, JobRequest::Spread { iters: Some(3), .. }));
+        let r = parse_request("{\"id\":3,\"job\":\"flow\",\"kind\":\"dco3d\",\"seed\":2}")
+            .expect("flow");
+        assert!(matches!(
+            r.job,
+            JobRequest::Flow {
+                kind: FlowKind::Dco3d,
+                seed: 2
+            }
+        ));
+        assert!(matches!(
+            parse_request("{\"id\":4,\"job\":\"status\"}")
+                .expect("status")
+                .job,
+            JobRequest::Status
+        ));
+        assert!(matches!(
+            parse_request("{\"id\":5,\"job\":\"shutdown\"}")
+                .expect("shutdown")
+                .job,
+            JobRequest::Shutdown
+        ));
+    }
+
+    #[test]
+    fn responses_are_single_json_lines() {
+        let ok = ok_response(4, "status", serde_json::json!({"cells": 10}));
+        assert!(ok.contains("\"ok\":true") && !ok.contains('\n'));
+        let err = error_response(0, ErrorKind::Parse, "bad");
+        assert!(err.contains("\"kind\":\"parse\"") && !err.contains('\n'));
+    }
+}

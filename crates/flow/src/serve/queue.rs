@@ -1,0 +1,166 @@
+//! The serve daemon's job queue: FIFO with predict coalescing.
+//!
+//! Connection reader threads push parsed jobs; the single executor thread
+//! pops them. [`JobQueue::pop_batch`] preserves arrival order but gathers
+//! a *run* of consecutive `predict` jobs from the front into one batch, so
+//! the executor can evaluate them in a single batched UNet forward pass
+//! (bitwise identical to evaluating them one by one — see
+//! `dco_unet::predict_maps_batch`). Non-predict jobs always come out
+//! alone.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, PoisonError};
+
+use super::protocol::{JobRequest, Request};
+
+/// One parsed job awaiting execution, with the channel that reaches its
+/// client's writer thread.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Originating connection (for log/span attribution).
+    pub conn: u64,
+    /// The parsed request.
+    pub request: Request,
+    /// Where the serialized response line goes.
+    pub reply: Sender<String>,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    jobs: VecDeque<QueuedJob>,
+    closed: bool,
+}
+
+/// A blocking multi-producer, single-consumer job queue.
+#[derive(Debug, Default)]
+pub struct JobQueue {
+    inner: Mutex<QueueInner>,
+    ready: Condvar,
+}
+
+impl JobQueue {
+    /// An empty, open queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a job. Returns `false` (and drops the job) when the queue
+    /// has been closed by a shutdown request.
+    pub fn push(&self, job: QueuedJob) -> bool {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.closed {
+            return false;
+        }
+        inner.jobs.push_back(job);
+        drop(inner);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Block until at least one job is available, then pop either one
+    /// non-predict job or a run of up to `max_predict_batch` consecutive
+    /// predict jobs from the front. Returns `None` once the queue is
+    /// closed *and* drained — the executor's exit signal.
+    pub fn pop_batch(&self, max_predict_batch: usize) -> Option<Vec<QueuedJob>> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        loop {
+            if let Some(first) = inner.jobs.pop_front() {
+                let mut batch = vec![first];
+                if matches!(batch[0].request.job, JobRequest::Predict { .. }) {
+                    while batch.len() < max_predict_batch.max(1) {
+                        match inner.jobs.front() {
+                            Some(j) if matches!(j.request.job, JobRequest::Predict { .. }) => {
+                                if let Some(j) = inner.jobs.pop_front() {
+                                    batch.push(j);
+                                }
+                            }
+                            _ => break,
+                        }
+                    }
+                }
+                return Some(batch);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self
+                .ready
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Close the queue: subsequent pushes fail, and `pop_batch` returns
+    /// `None` once the backlog drains.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.closed = true;
+        drop(inner);
+        self.ready.notify_all();
+    }
+
+    /// Jobs currently waiting (diagnostic; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .jobs
+            .len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serve::protocol::parse_request;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+
+    fn job(line: &str) -> QueuedJob {
+        let (tx, _rx) = channel();
+        QueuedJob {
+            conn: 0,
+            request: parse_request(line).expect("request"),
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn consecutive_predicts_coalesce_up_to_cap() {
+        let q = JobQueue::new();
+        for i in 0..3 {
+            assert!(q.push(job(&format!("{{\"id\":{i},\"job\":\"predict\"}}"))));
+        }
+        q.push(job("{\"id\":9,\"job\":\"status\"}"));
+        q.push(job("{\"id\":10,\"job\":\"predict\"}"));
+        let batch = q.pop_batch(2).expect("batch");
+        assert_eq!(batch.len(), 2, "cap bounds the run");
+        let batch = q.pop_batch(8).expect("batch");
+        assert_eq!(batch.len(), 1, "run stops at the status job");
+        let batch = q.pop_batch(8).expect("status");
+        assert!(matches!(batch[0].request.job, JobRequest::Status));
+        let batch = q.pop_batch(8).expect("tail");
+        assert_eq!(batch[0].request.id, 10);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = Arc::new(JobQueue::new());
+        q.push(job("{\"id\":1,\"job\":\"predict\"}"));
+        q.close();
+        assert!(!q.push(job("{\"id\":2,\"job\":\"predict\"}")), "closed");
+        assert_eq!(q.pop_batch(8).expect("drain").len(), 1);
+        assert!(q.pop_batch(8).is_none(), "closed + empty ends the loop");
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = Arc::new(JobQueue::new());
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop_batch(8).map(|b| b[0].request.id));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(job("{\"id\":42,\"job\":\"status\"}"));
+        assert_eq!(t.join().expect("join"), Some(42));
+    }
+}

@@ -1,0 +1,748 @@
+//! The `dco3d serve` daemon: warm state, listeners, and the executor.
+//!
+//! Architecture (one process, no external runtime):
+//!
+//! ```text
+//! accept thread ──▶ per-connection reader ──▶ JobQueue ──▶ executor thread
+//!                   per-connection writer ◀── mpsc<String> ◀── (responses)
+//! ```
+//!
+//! The executor is the *only* thread that touches the warm state (the
+//! generated design, trained predictor, and feature extractor), so jobs
+//! are data-race-free by construction and execute in a deterministic
+//! arrival order. Consecutive `predict` jobs are coalesced by the queue
+//! into one batched UNet forward pass; because every tensor op processes
+//! batch images independently, the batched results are bitwise identical
+//! to serving each request alone (`dco_unet::predict_maps_batch`).
+//!
+//! Panics inside a job body are caught per job: the client gets a typed
+//! `internal` error and the daemon keeps serving. Shutdown is graceful:
+//! the `shutdown` job closes the queue, the backlog drains, late requests
+//! get `shutting-down` errors, and the acceptor is unblocked by a
+//! self-connect poke.
+
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dco_features::{resize_nearest, FeatureExtractor, GridMap};
+use dco_netlist::{Design, Placement3};
+use dco_place::{legalize, PlacementParams};
+use dco_unet::{predict_maps, predict_maps_batch};
+use serde_json::json;
+
+use super::protocol::{
+    error_response, map_payload, ok_response, parse_request, placement_checksum, predict_result,
+    read_frame, ErrorKind, Frame, JobRequest, DEFAULT_MAX_LINE_BYTES,
+};
+use super::queue::{JobQueue, QueuedJob};
+use crate::flow::{FlowConfig, FlowKind, FlowRunner, Predictor};
+use crate::resilience::ResilienceOptions;
+use crate::stages::PlaceStage;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Per-line byte cap (requests larger than this are rejected).
+    pub max_line_bytes: usize,
+    /// Maximum consecutive `predict` jobs coalesced into one forward pass
+    /// (1 disables batching).
+    pub max_batch: usize,
+    /// Spreading iterations for `spread` jobs that don't specify `iters`.
+    pub default_spread_iters: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            max_line_bytes: DEFAULT_MAX_LINE_BYTES,
+            max_batch: 8,
+            default_spread_iters: 4,
+        }
+    }
+}
+
+/// Where to listen.
+#[derive(Debug, Clone)]
+pub enum Bind {
+    /// A unix-domain socket at this path (a stale file is removed first).
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:0` (port 0 picks a free port).
+    Tcp(String),
+}
+
+/// The address a server actually bound.
+#[derive(Debug, Clone)]
+pub enum BoundAddr {
+    /// Unix-domain socket path.
+    Unix(PathBuf),
+    /// Resolved TCP address (with the real port when 0 was requested).
+    Tcp(SocketAddr),
+}
+
+impl std::fmt::Display for BoundAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BoundAddr::Unix(p) => write!(f, "unix:{}", p.display()),
+            BoundAddr::Tcp(a) => write!(f, "tcp:{a}"),
+        }
+    }
+}
+
+/// Everything the daemon holds warm between requests: the generated
+/// design, the flow configuration, the trained congestion predictor, and
+/// the feature extractor bound to the design's floorplan grid.
+///
+/// The one-shot CLI `predict` path and the served `predict` job both run
+/// through this type, which is what makes their outputs bitwise identical
+/// at a given seed.
+#[derive(Debug)]
+pub struct WarmState {
+    design: Design,
+    cfg: FlowConfig,
+    predictor: Predictor,
+    extractor: FeatureExtractor,
+}
+
+impl WarmState {
+    /// Bundle pre-loaded state for serving.
+    pub fn new(design: Design, cfg: FlowConfig, predictor: Predictor) -> Self {
+        let extractor = FeatureExtractor::new(design.floorplan.grid);
+        Self {
+            design,
+            cfg,
+            predictor,
+            extractor,
+        }
+    }
+
+    /// The warm design.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The flow configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.cfg
+    }
+
+    /// The warm predictor.
+    pub fn predictor(&self) -> &Predictor {
+        &self.predictor
+    }
+
+    /// The deterministic baseline placement jobs fall back to when the
+    /// request carries no explicit placement: Pin-3D baseline parameters,
+    /// global placement at `seed`, then legalization.
+    pub fn baseline_placement(&self, seed: u64) -> Placement3 {
+        let params = PlacementParams::pin3d_baseline();
+        let stage = self.runner().stage_place(FlowKind::Pin3d, seed);
+        let mut placement = stage.placement;
+        legalize(&self.design, &mut placement, params.displacement_threshold);
+        placement
+    }
+
+    /// Extract the seven per-die feature channels for `placement`,
+    /// resized to the configured UNet input size.
+    pub fn features_for(&self, placement: &Placement3) -> [Vec<GridMap>; 2] {
+        let [bottom, top] = self.extractor.extract(&self.design.netlist, placement);
+        let size = self.cfg.map_size;
+        let resize_all = |f: &dco_features::DieFeatures| -> Vec<GridMap> {
+            f.channels()
+                .iter()
+                .map(|m| resize_nearest(m, size, size))
+                .collect()
+        };
+        [resize_all(&bottom), resize_all(&top)]
+    }
+
+    /// Predict the two-die congestion map for one placement (the one-shot
+    /// CLI path).
+    pub fn predict(&self, placement: &Placement3) -> [GridMap; 2] {
+        let f = self.features_for(placement);
+        predict_maps(
+            &self.predictor.unet,
+            &self.predictor.normalization,
+            [&f[0], &f[1]],
+        )
+    }
+
+    /// Predict congestion for several placements' features in one batched
+    /// forward pass (bitwise identical to per-placement [`Self::predict`]).
+    pub fn predict_batch(&self, features: &[[Vec<GridMap>; 2]]) -> Vec<[GridMap; 2]> {
+        let refs: Vec<[&[GridMap]; 2]> = features.iter().map(|f| [&f[0][..], &f[1][..]]).collect();
+        predict_maps_batch(&self.predictor.unet, &self.predictor.normalization, &refs)
+    }
+
+    /// A flow runner borrowing the warm design.
+    pub fn runner(&self) -> FlowRunner<'_> {
+        FlowRunner::new(&self.design, self.cfg.clone())
+    }
+}
+
+/// Job counters the executor accumulates (returned by
+/// [`ServerHandle::join`] and reported by `status`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServeStats {
+    /// Completed `predict` jobs.
+    pub predict: u64,
+    /// Completed `spread` jobs.
+    pub spread: u64,
+    /// Completed `flow` jobs.
+    pub flow: u64,
+    /// Answered `status` jobs.
+    pub status: u64,
+    /// Error responses sent by the executor (bad placement, panics, ...).
+    pub errors: u64,
+    /// Batched forward passes executed.
+    pub batches: u64,
+    /// Largest predict batch observed.
+    pub max_batch_observed: u64,
+}
+
+/// A running server. Join it to wait for graceful shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: BoundAddr,
+    accept: JoinHandle<()>,
+    exec: JoinHandle<ServeStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved port for `Tcp` binds).
+    pub fn addr(&self) -> &BoundAddr {
+        &self.addr
+    }
+
+    /// Whether a shutdown request has been accepted.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Wait for the daemon to drain and exit (a client must send the
+    /// `shutdown` job), returning the job counters.
+    ///
+    /// # Errors
+    /// An `Err` means the executor or acceptor thread itself panicked —
+    /// never a job failure, which is answered on the wire instead.
+    pub fn join(self) -> std::io::Result<ServeStats> {
+        let stats = self
+            .exec
+            .join()
+            .map_err(|_| std::io::Error::other("executor thread panicked"))?;
+        self.accept
+            .join()
+            .map_err(|_| std::io::Error::other("accept thread panicked"))?;
+        Ok(stats)
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+/// Start a server over `state` on `bind`.
+///
+/// # Errors
+/// Fails when the socket cannot be bound (address in use, bad path, ...).
+pub fn serve(state: WarmState, bind: Bind, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let (listener, addr) = match bind {
+        Bind::Unix(path) => {
+            // A crashed previous instance leaves the socket file behind;
+            // binding requires a fresh path.
+            if path.exists() {
+                std::fs::remove_file(&path)?;
+            }
+            let l = UnixListener::bind(&path)?;
+            (Listener::Unix(l), BoundAddr::Unix(path))
+        }
+        Bind::Tcp(spec) => {
+            let l = TcpListener::bind(spec.as_str())?;
+            let local = l.local_addr()?;
+            (Listener::Tcp(l), BoundAddr::Tcp(local))
+        }
+    };
+
+    let queue = Arc::new(JobQueue::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let started = Instant::now();
+    let max_line_bytes = opts.max_line_bytes;
+
+    let exec = {
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let addr = addr.clone();
+        std::thread::spawn(move || executor_loop(&state, &queue, &opts, &shutdown, &addr, started))
+    };
+
+    let accept = {
+        let queue = Arc::clone(&queue);
+        let shutdown = Arc::clone(&shutdown);
+        let max_line = max_line_bytes;
+        std::thread::spawn(move || accept_loop(&listener, &queue, &shutdown, max_line))
+    };
+
+    Ok(ServerHandle {
+        addr,
+        accept,
+        exec,
+        shutdown,
+    })
+}
+
+fn accept_loop(
+    listener: &Listener,
+    queue: &Arc<JobQueue>,
+    shutdown: &Arc<AtomicBool>,
+    max_line: usize,
+) {
+    let conn_ids = AtomicU64::new(1);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener {
+            Listener::Unix(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    spawn_connection(
+                        Conn::Unix(stream),
+                        conn_ids.fetch_add(1, Ordering::Relaxed),
+                        Arc::clone(queue),
+                        max_line,
+                    );
+                }
+                Err(_) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            },
+            Listener::Tcp(l) => match l.accept() {
+                Ok((stream, _)) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    spawn_connection(
+                        Conn::Tcp(stream),
+                        conn_ids.fetch_add(1, Ordering::Relaxed),
+                        Arc::clone(queue),
+                        max_line,
+                    );
+                }
+                Err(_) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                }
+            },
+        }
+    }
+    if let Listener::Unix(l) = listener {
+        if let Ok(a) = l.local_addr() {
+            if let Some(p) = a.as_pathname() {
+                let _ = std::fs::remove_file(p);
+            }
+        }
+    }
+}
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+fn spawn_connection(conn: Conn, conn_id: u64, queue: Arc<JobQueue>, max_line: usize) {
+    let (tx, rx) = channel::<String>();
+    match conn {
+        Conn::Unix(stream) => {
+            let Ok(write_half) = stream.try_clone() else {
+                return;
+            };
+            std::thread::spawn(move || writer_loop(write_half, &rx));
+            std::thread::spawn(move || {
+                reader_loop(&mut BufReader::new(stream), conn_id, &queue, &tx, max_line);
+            });
+        }
+        Conn::Tcp(stream) => {
+            let Ok(write_half) = stream.try_clone() else {
+                return;
+            };
+            std::thread::spawn(move || writer_loop(write_half, &rx));
+            std::thread::spawn(move || {
+                reader_loop(&mut BufReader::new(stream), conn_id, &queue, &tx, max_line);
+            });
+        }
+    }
+}
+
+fn writer_loop<W: Write>(mut w: W, rx: &std::sync::mpsc::Receiver<String>) {
+    while let Ok(line) = rx.recv() {
+        if w.write_all(line.as_bytes()).is_err()
+            || w.write_all(b"\n").is_err()
+            || w.flush().is_err()
+        {
+            // Client went away; executor sends into a dead channel, which
+            // it already tolerates.
+            break;
+        }
+    }
+}
+
+fn reader_loop<R: std::io::BufRead>(
+    reader: &mut R,
+    conn_id: u64,
+    queue: &Arc<JobQueue>,
+    tx: &Sender<String>,
+    max_line: usize,
+) {
+    loop {
+        match read_frame(reader, max_line) {
+            Ok(None) | Err(_) => break, // clean EOF or mid-read disconnect
+            Ok(Some(Frame::Oversized { discarded })) => {
+                let _ = tx.send(error_response(
+                    0,
+                    ErrorKind::Oversized,
+                    &format!("request line exceeded cap ({discarded} bytes discarded)"),
+                ));
+            }
+            Ok(Some(Frame::Line(line))) => match parse_request(&line) {
+                Err(e) => {
+                    let _ = tx.send(error_response(e.id, e.kind, &e.detail));
+                }
+                Ok(request) => {
+                    let id = request.id;
+                    let job = QueuedJob {
+                        conn: conn_id,
+                        request,
+                        reply: tx.clone(),
+                    };
+                    if !queue.push(job) {
+                        let _ = tx.send(error_response(
+                            id,
+                            ErrorKind::ShuttingDown,
+                            "server is draining; no new jobs accepted",
+                        ));
+                    }
+                }
+            },
+        }
+    }
+}
+
+fn poke(addr: &BoundAddr) {
+    // Unblock the acceptor's blocking accept() so it can observe the
+    // shutdown flag; the throwaway connection is dropped immediately.
+    match addr {
+        BoundAddr::Unix(p) => drop(UnixStream::connect(p)),
+        BoundAddr::Tcp(a) => drop(TcpStream::connect(a)),
+    }
+}
+
+fn executor_loop(
+    state: &WarmState,
+    queue: &Arc<JobQueue>,
+    opts: &ServeOptions,
+    shutdown: &Arc<AtomicBool>,
+    addr: &BoundAddr,
+    started: Instant,
+) -> ServeStats {
+    let mut stats = ServeStats::default();
+    while let Some(batch) = queue.pop_batch(opts.max_batch) {
+        if batch.len() > 1 || matches!(batch[0].request.job, JobRequest::Predict { .. }) {
+            run_predict_batch(state, batch, &mut stats);
+            continue;
+        }
+        let Some(job) = batch.into_iter().next() else {
+            continue;
+        };
+        match &job.request.job {
+            JobRequest::Predict { .. } => unreachable!("predicts route through the batch arm"),
+            JobRequest::Spread { .. } => run_spread(state, &job, opts, &mut stats),
+            JobRequest::Flow { .. } => run_flow(state, &job, &mut stats),
+            JobRequest::Status => {
+                stats.status += 1;
+                let snapshot = stats;
+                run_status(state, &job, queue, started, &snapshot);
+            }
+            JobRequest::Shutdown => {
+                let _ = job.reply.send(ok_response(
+                    job.request.id,
+                    "shutdown",
+                    json!({ "stopping": true }),
+                ));
+                shutdown.store(true, Ordering::SeqCst);
+                queue.close();
+                poke(addr);
+            }
+        }
+    }
+    stats
+}
+
+/// Reply with a typed error and count it.
+fn send_error(job: &QueuedJob, kind: ErrorKind, detail: &str, stats: &mut ServeStats) {
+    stats.errors += 1;
+    if dco_obs::enabled() {
+        dco_obs::counter_add("serve.jobs.errors", 1);
+    }
+    let _ = job.reply.send(error_response(job.request.id, kind, detail));
+}
+
+/// Resolve a job's placement: the explicit one (validated against the warm
+/// design) or the deterministic baseline at `seed`.
+fn resolve_placement(
+    state: &WarmState,
+    placement: Option<&Placement3>,
+    seed: u64,
+) -> Result<Placement3, String> {
+    match placement {
+        Some(p) => {
+            let want = state.design().netlist.num_cells();
+            if p.xs().len() != want {
+                return Err(format!(
+                    "placement has {} cells, design has {want}",
+                    p.xs().len()
+                ));
+            }
+            Ok(p.clone())
+        }
+        None => Ok(state.baseline_placement(seed)),
+    }
+}
+
+fn run_predict_batch(state: &WarmState, batch: Vec<QueuedJob>, stats: &mut ServeStats) {
+    let n = batch.len();
+    stats.batches += 1;
+    stats.max_batch_observed = stats.max_batch_observed.max(n as u64);
+    let _batch_span = dco_obs::span!("serve.batch", size = n);
+    if dco_obs::enabled() {
+        dco_obs::histogram_observe("serve.batch.size", n as f64);
+    }
+
+    // Per-job feature extraction, each under its own job span so the
+    // observability rollup attributes the cost to the request.
+    let mut ready: Vec<(QueuedJob, [Vec<GridMap>; 2])> = Vec::with_capacity(n);
+    for job in batch {
+        let JobRequest::Predict { seed, placement } = &job.request.job else {
+            send_error(&job, ErrorKind::Internal, "non-predict job in batch", stats);
+            continue;
+        };
+        let outcome = {
+            let _job_span = dco_obs::span!(
+                "serve.job",
+                job = job.request.id,
+                kind = "predict",
+                conn = job.conn
+            );
+            catch_unwind(AssertUnwindSafe(|| {
+                resolve_placement(state, placement.as_ref(), *seed).map(|p| state.features_for(&p))
+            }))
+        };
+        match outcome {
+            Ok(Ok(features)) => ready.push((job, features)),
+            Ok(Err(detail)) => send_error(&job, ErrorKind::BadRequest, &detail, stats),
+            Err(_) => send_error(
+                &job,
+                ErrorKind::Internal,
+                "feature extraction panicked",
+                stats,
+            ),
+        }
+    }
+    if ready.is_empty() {
+        return;
+    }
+
+    // One batched forward pass for the whole run of jobs.
+    let features: Vec<[Vec<GridMap>; 2]> = ready.iter().map(|(_, f)| f.clone()).collect();
+    let forward = {
+        let _fwd_span = dco_obs::span!("serve.batch.forward", size = ready.len());
+        catch_unwind(AssertUnwindSafe(|| state.predict_batch(&features)))
+    };
+    match forward {
+        Ok(maps) => {
+            for ((job, _), m) in ready.iter().zip(&maps) {
+                stats.predict += 1;
+                if dco_obs::enabled() {
+                    dco_obs::counter_add("serve.jobs.predict", 1);
+                }
+                let _ = job
+                    .reply
+                    .send(ok_response(job.request.id, "predict", predict_result(m)));
+            }
+        }
+        Err(_) => {
+            for (job, _) in &ready {
+                send_error(
+                    job,
+                    ErrorKind::Internal,
+                    "predictor forward pass panicked",
+                    stats,
+                );
+            }
+        }
+    }
+}
+
+fn run_spread(state: &WarmState, job: &QueuedJob, opts: &ServeOptions, stats: &mut ServeStats) {
+    let JobRequest::Spread {
+        seed,
+        iters,
+        placement,
+    } = &job.request.job
+    else {
+        return;
+    };
+    let _job_span = dco_obs::span!(
+        "serve.job",
+        job = job.request.id,
+        kind = "spread",
+        conn = job.conn
+    );
+    let budget = iters
+        .unwrap_or(opts.default_spread_iters)
+        .clamp(1, state.config().dco.max_iter.max(1));
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        let start = match placement {
+            Some(p) => {
+                let want = state.design().netlist.num_cells();
+                if p.xs().len() != want {
+                    return Err(format!(
+                        "placement has {} cells, design has {want}",
+                        p.xs().len()
+                    ));
+                }
+                p.clone()
+            }
+            None => state.runner().stage_place(FlowKind::Pin3d, *seed).placement,
+        };
+        let place = PlaceStage {
+            params: PlacementParams::pin3d_baseline(),
+            placement: start,
+        };
+        let mut dco_cfg = state.config().dco.clone();
+        dco_cfg.max_iter = budget;
+        let runner = state.runner();
+        Ok(runner.stage_dco_with(state.predictor(), &place, *seed, dco_cfg))
+    }));
+    match outcome {
+        Ok(Ok(stage)) => {
+            stats.spread += 1;
+            if dco_obs::enabled() {
+                dco_obs::counter_add("serve.jobs.spread", 1);
+            }
+            let result = json!({
+                "placement": stage.placement,
+                "divergence_events": stage.divergence_events,
+                "degraded": stage.degraded,
+                "iters": budget,
+                "checksum": format!("{:016x}", placement_checksum(&stage.placement)),
+            });
+            let _ = job
+                .reply
+                .send(ok_response(job.request.id, "spread", result));
+        }
+        Ok(Err(detail)) => send_error(job, ErrorKind::BadRequest, &detail, stats),
+        Err(_) => send_error(job, ErrorKind::Internal, "spread job panicked", stats),
+    }
+}
+
+fn run_flow(state: &WarmState, job: &QueuedJob, stats: &mut ServeStats) {
+    let JobRequest::Flow { kind, seed } = &job.request.job else {
+        return;
+    };
+    let _job_span = dco_obs::span!(
+        "serve.job",
+        job = job.request.id,
+        kind = "flow",
+        conn = job.conn,
+        flow = kind.slug()
+    );
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        state.runner().run_resilient(
+            *kind,
+            *seed,
+            Some(state.predictor()),
+            &ResilienceOptions::default(),
+        )
+    }));
+    match outcome {
+        Ok(Ok(r)) => {
+            stats.flow += 1;
+            if dco_obs::enabled() {
+                dco_obs::counter_add("serve.jobs.flow", 1);
+            }
+            let o = &r.outcome;
+            let result = json!({
+                "kind": kind.slug(),
+                "stage": o.placement_stage,
+                "signoff": o.signoff,
+                "cut_size": o.cut_size,
+                "congestion": [map_payload(&o.congestion[0]), map_payload(&o.congestion[1])],
+                "degraded": r.report.degraded,
+                "recovery_events": r.report.events.len(),
+                "checksum": format!("{:016x}", placement_checksum(&o.placement)),
+            });
+            let _ = job.reply.send(ok_response(job.request.id, "flow", result));
+        }
+        Ok(Err(e)) => send_error(
+            job,
+            ErrorKind::Internal,
+            &format!("flow failed: {e}"),
+            stats,
+        ),
+        Err(_) => send_error(job, ErrorKind::Internal, "flow job panicked", stats),
+    }
+}
+
+fn run_status(
+    state: &WarmState,
+    job: &QueuedJob,
+    queue: &Arc<JobQueue>,
+    started: Instant,
+    stats: &ServeStats,
+) {
+    let _job_span = dco_obs::span!(
+        "serve.job",
+        job = job.request.id,
+        kind = "status",
+        conn = job.conn
+    );
+    if dco_obs::enabled() {
+        dco_obs::counter_add("serve.jobs.status", 1);
+        dco_obs::gauge_set("serve.queue.depth", queue.depth() as f64);
+    }
+    let result = json!({
+        "design": state.design().name,
+        "cells": state.design().netlist.num_cells(),
+        "nets": state.design().netlist.num_nets(),
+        "map_size": state.config().map_size,
+        "uptime_ms": started.elapsed().as_millis() as u64,
+        "queue_depth": queue.depth(),
+        "threads": dco_parallel::threads(),
+        "jobs": {
+            "predict": stats.predict,
+            "spread": stats.spread,
+            "flow": stats.flow,
+            "status": stats.status,
+            "errors": stats.errors,
+            "batches": stats.batches,
+            "max_batch": stats.max_batch_observed,
+        },
+    });
+    let _ = job
+        .reply
+        .send(ok_response(job.request.id, "status", result));
+}

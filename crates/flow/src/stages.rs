@@ -1,0 +1,85 @@
+//! Public per-stage result types for the flow's library API.
+//!
+//! Each struct here is exactly the state that later stages (or a resumed
+//! pipeline) consume, produced by the corresponding
+//! [`FlowRunner`](crate::FlowRunner) `stage_*` method and — when
+//! checkpointing is on — serialized verbatim as that stage's checkpoint
+//! payload. Field names are part of the on-disk checkpoint format; keep
+//! them stable.
+//!
+//! Splitting the stages out of the monolithic pipeline is what lets a
+//! long-lived process (the `dco3d serve` daemon) hold a design and trained
+//! predictor warm and invoke individual stages per request instead of
+//! re-running the whole CLI path.
+
+use crate::flow::{SignoffMetrics, StageMetrics};
+use dco_features::GridMap;
+use dco_netlist::Placement3;
+use dco_place::PlacementParams;
+use serde::{Deserialize, Serialize};
+
+/// Output of the place stage: per-flow parameters + global 3D placement.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlaceStage {
+    /// The Table-I parameter point this flow placed with.
+    pub params: PlacementParams,
+    /// The (pre-legalization) global placement.
+    pub placement: Placement3,
+}
+
+/// Output of the DCO stage: one differentiable spreading run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DcoStage {
+    /// The spread placement (hard tier assignment).
+    pub placement: Placement3,
+    /// Non-finite loss/gradient events absorbed by the divergence guard.
+    pub divergence_events: usize,
+    /// True when the guard exhausted retries and kept the best-so-far.
+    pub degraded: bool,
+}
+
+/// Output of the tier-assign stage: legalized + detailed-placed cells.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TierAssignStage {
+    /// The final legal placement all downstream stages score.
+    pub placement: Placement3,
+}
+
+/// Output of clock-tree synthesis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CtsStage {
+    /// Total clock-tree wirelength, um.
+    pub wirelength: f64,
+    /// Global skew, ps (added to the STA setup margin).
+    pub skew_ps: f64,
+}
+
+/// Output of the route stage: placement-stage estimate + signoff route.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouteStage {
+    /// Placement-stage routability metrics (Table III, left).
+    pub stage: StageMetrics,
+    /// Routed signal wirelength, um.
+    pub wirelength: f64,
+    /// Per-net routed length, um.
+    pub net_lengths: Vec<f64>,
+    /// Per-net inter-die bond count.
+    pub net_bonds: Vec<u32>,
+    /// Per-die signoff congestion maps.
+    pub congestion: [GridMap; 2],
+    /// Rip-up-and-reroute iterations executed.
+    pub rrr_iterations: usize,
+    /// Whether RRR converged before its iteration cap.
+    pub converged: bool,
+    /// Final total overflow.
+    pub overflow_total: f64,
+    /// Overflow before the first RRR iteration.
+    pub initial_overflow: f64,
+}
+
+/// Output of the STA stage: signoff timing/power after the ECO pass.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StaStage {
+    /// End-of-flow PPA metrics (Table III, right).
+    pub signoff: SignoffMetrics,
+}

@@ -500,6 +500,79 @@ pub fn validate(artifact: &Value) -> Result<(), String> {
     Ok(())
 }
 
+/// Name of the span the daemon opens per served job; [`job_rollup`] keys
+/// attribution off these roots.
+pub const JOB_SPAN: &str = "serve.job";
+
+/// Per-served-job attribution computed by [`job_rollup`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobRollup {
+    /// Job id (the `job` attr on the `serve.job` span).
+    pub job: String,
+    /// Job kind (`predict`, `spread`, `flow`, ...).
+    pub kind: String,
+    /// Spans in the job's subtree, including the root.
+    pub spans: u64,
+    /// Wall-clock time of the job root span, nanoseconds.
+    pub wall_ns: u64,
+    /// CPU time summed over the job's subtree, nanoseconds.
+    pub cpu_ns: u64,
+}
+
+fn attr<'s>(s: &'s span::SpanRecord, key: &str) -> Option<&'s str> {
+    s.attrs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+}
+
+/// Group spans under their [`JOB_SPAN`] roots and attribute subtree work to
+/// each served job.
+///
+/// Wall time is the root span's own duration (children nest inside it, so
+/// summing the subtree would double-count); CPU time is summed across the
+/// subtree because child spans may run on other threads. Jobs are returned
+/// in ascending order of their `job` attr (numeric when both ids parse).
+pub fn job_rollup(a: &ObsArtifact) -> Vec<JobRollup> {
+    // Map every span id to the serve.job root it lives under, if any.
+    let by_id: BTreeMap<u64, &span::SpanRecord> = a.spans.iter().map(|s| (s.id, s)).collect();
+    let mut root_of: BTreeMap<u64, u64> = BTreeMap::new();
+    for s in &a.spans {
+        let mut cur = Some(s);
+        while let Some(node) = cur {
+            if node.name == JOB_SPAN {
+                root_of.insert(s.id, node.id);
+                break;
+            }
+            cur = node.parent.and_then(|p| by_id.get(&p).copied());
+        }
+    }
+    let mut rollups: BTreeMap<u64, JobRollup> = BTreeMap::new();
+    for s in &a.spans {
+        let Some(&root_id) = root_of.get(&s.id) else {
+            continue;
+        };
+        let entry = rollups.entry(root_id).or_insert_with(|| {
+            let root = by_id[&root_id];
+            JobRollup {
+                job: attr(root, "job").unwrap_or("?").to_string(),
+                kind: attr(root, "kind").unwrap_or("?").to_string(),
+                spans: 0,
+                wall_ns: root.wall_ns,
+                cpu_ns: 0,
+            }
+        });
+        entry.spans += 1;
+        entry.cpu_ns += s.cpu_ns;
+    }
+    let mut out: Vec<JobRollup> = rollups.into_values().collect();
+    out.sort_by(|a, b| match (a.job.parse::<u64>(), b.job.parse::<u64>()) {
+        (Ok(x), Ok(y)) => x.cmp(&y),
+        _ => a.job.cmp(&b.job),
+    });
+    out
+}
+
 fn fmt_ns(ns: u64) -> String {
     if ns >= 1_000_000_000 {
         format!("{:.3}s", ns as f64 / 1e9)
@@ -551,6 +624,26 @@ pub fn render_table(a: &ObsArtifact) -> String {
             fmt_ns(agg.total_cpu_ns),
             fmt_ns(agg.max_wall_ns)
         );
+    }
+    let jobs = job_rollup(a);
+    if !jobs.is_empty() {
+        let _ = writeln!(out);
+        let _ = writeln!(
+            out,
+            "{:<8}  {:<8}  {:>6}  {:>12}  {:>12}",
+            "job", "kind", "spans", "wall", "cpu"
+        );
+        for j in &jobs {
+            let _ = writeln!(
+                out,
+                "{:<8}  {:<8}  {:>6}  {:>12}  {:>12}",
+                j.job,
+                j.kind,
+                j.spans,
+                fmt_ns(j.wall_ns),
+                fmt_ns(j.cpu_ns)
+            );
+        }
     }
     if !a.metrics.is_empty() {
         let _ = writeln!(out);
@@ -686,6 +779,51 @@ mod tests {
         assert!(table.contains("flow.place"), "{table}");
         assert!(table.contains("dco.rollbacks"), "{table}");
         assert!(table.contains("balanced"), "{table}");
+    }
+
+    #[test]
+    fn job_rollup_attributes_subtrees_to_job_roots() {
+        let _lock = SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+        crate::reset();
+        span::set_enabled(true);
+        {
+            let _batch = crate::span!("serve.batch", size = 2);
+            {
+                let _job = crate::span!("serve.job", job = 7, kind = "predict");
+                let _inner = crate::span!("serve.features");
+            }
+            {
+                let _job = crate::span!("serve.job", job = 2, kind = "spread");
+            }
+        }
+        {
+            let _orphan = crate::span!("flow.place");
+        }
+        let artifact = collect();
+        span::set_enabled(false);
+        crate::reset();
+
+        let parsed = parse_report(&artifact).expect("parse");
+        let jobs = job_rollup(&parsed);
+        assert_eq!(jobs.len(), 2, "{jobs:?}");
+        // Numeric ordering: job 2 before job 7.
+        assert_eq!(jobs[0].job, "2");
+        assert_eq!(jobs[0].kind, "spread");
+        assert_eq!(jobs[0].spans, 1);
+        assert_eq!(jobs[1].job, "7");
+        assert_eq!(jobs[1].kind, "predict");
+        assert_eq!(jobs[1].spans, 2, "root + serve.features child");
+        let root = parsed
+            .spans
+            .iter()
+            .find(|s| s.name == "serve.job" && s.attrs.iter().any(|(_, v)| v == "7"))
+            .expect("job 7 root");
+        assert_eq!(jobs[1].wall_ns, root.wall_ns, "wall is the root's own");
+        assert!(jobs[1].cpu_ns >= root.cpu_ns, "cpu sums the subtree");
+
+        let table = render_table(&parsed);
+        assert!(table.contains("predict"), "{table}");
+        assert!(table.contains("spread"), "{table}");
     }
 
     #[test]

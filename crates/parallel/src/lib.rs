@@ -40,10 +40,20 @@
 //! assert_eq!(par4.to_bits(), par1.to_bits());
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// 0 = unresolved; otherwise the effective worker count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Adaptive sequential fallback (on by default): when the machine exposes
+/// a single hardware thread, a requested worker count > 1 only adds
+/// work-stealing overhead with zero parallelism, so the helpers run
+/// sequentially instead. Results are unaffected either way (the
+/// determinism contract), only wall time.
+static ADAPTIVE: AtomicBool = AtomicBool::new(true);
+
+/// 0 = unresolved; otherwise the cached hardware thread count.
+static HARDWARE: AtomicUsize = AtomicUsize::new(0);
 
 /// Resolve the worker count from the environment / hardware (called once,
 /// lazily, when no explicit [`set_threads`] happened first).
@@ -83,6 +93,51 @@ pub fn set_threads(n: usize) {
     THREADS.store(n.max(1), Ordering::Relaxed);
 }
 
+/// The machine's hardware thread count, resolved once and cached.
+pub fn hardware_parallelism() -> usize {
+    match HARDWARE.load(Ordering::Relaxed) {
+        0 => {
+            // Hardware sizing never changes computed values (the invariance
+            // tests pin that); it only decides whether spawning workers is
+            // worth the overhead.
+            // lint: allow(nondet-order)
+            let n = std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1);
+            match HARDWARE.compare_exchange(0, n, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => n,
+                Err(prev) => prev,
+            }
+        }
+        n => n,
+    }
+}
+
+/// Enable/disable the adaptive sequential fallback (on by default).
+///
+/// The determinism test matrix turns it off so a thread-count sweep on a
+/// single-core machine still genuinely exercises multi-worker pools.
+pub fn set_adaptive(on: bool) {
+    ADAPTIVE.store(on, Ordering::Relaxed);
+}
+
+/// Whether the adaptive sequential fallback is enabled.
+pub fn adaptive() -> bool {
+    ADAPTIVE.load(Ordering::Relaxed)
+}
+
+/// The worker count the helpers actually use: the configured
+/// [`threads`], collapsed to 1 when the adaptive fallback applies
+/// (requested > 1 on a machine with a single hardware thread).
+pub fn effective_threads() -> usize {
+    let n = threads();
+    if n > 1 && adaptive() && hardware_parallelism() == 1 {
+        1
+    } else {
+        n
+    }
+}
+
 /// Whether the current thread is already inside a parallel region (nested
 /// calls run inline; see the [`rayon`] shim docs).
 pub fn in_parallel_region() -> bool {
@@ -107,7 +162,7 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
-    rayon::par_indexed(threads(), tasks, f)
+    rayon::par_indexed(effective_threads(), tasks, f)
 }
 
 /// [`rayon::par_map`] with the process-wide thread count.
@@ -117,7 +172,7 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    rayon::par_map(threads(), items, f)
+    rayon::par_map(effective_threads(), items, f)
 }
 
 /// [`rayon::par_chunks`] with the process-wide thread count.
@@ -127,7 +182,7 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
-    rayon::par_chunks(threads(), items, chunk_size, f)
+    rayon::par_chunks(effective_threads(), items, chunk_size, f)
 }
 
 /// [`rayon::par_chunks_mut`] with the process-wide thread count.
@@ -137,7 +192,7 @@ where
     R: Send,
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
-    rayon::par_chunks_mut(threads(), items, chunk_size, f)
+    rayon::par_chunks_mut(effective_threads(), items, chunk_size, f)
 }
 
 /// Ordered (deterministic) fold of parallel partials; see
@@ -155,7 +210,7 @@ where
     RA: Send,
     RB: Send,
 {
-    if threads() <= 1 {
+    if effective_threads() <= 1 {
         (a(), b())
     } else {
         rayon::join(a, b)
@@ -229,6 +284,9 @@ mod tests {
     #[test]
     fn chunked_reduction_is_bitwise_stable_across_thread_counts() {
         let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        // Disable the adaptive fallback so the sweep genuinely exercises
+        // multi-worker pools even on a single-core machine.
+        set_adaptive(false);
         let xs: Vec<f32> = (0..50_000).map(|i| (i as f32 * 0.37).sin()).collect();
         let run = |n: usize| {
             set_threads(n);
@@ -239,6 +297,28 @@ mod tests {
         for n in [2, 3, 8] {
             assert_eq!(run(n), bits1, "threads={n} diverged");
         }
+        set_adaptive(true);
+    }
+
+    #[test]
+    fn adaptive_fallback_collapses_only_on_single_core_hardware() {
+        let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_threads(8);
+        set_adaptive(true);
+        if hardware_parallelism() == 1 {
+            assert_eq!(
+                effective_threads(),
+                1,
+                "8 workers on a 1-thread machine is pure overhead"
+            );
+        } else {
+            assert_eq!(effective_threads(), 8, "no fallback on real parallelism");
+        }
+        set_adaptive(false);
+        assert_eq!(effective_threads(), 8, "opt-out restores the request");
+        set_adaptive(true);
+        set_threads(1);
+        assert_eq!(effective_threads(), 1);
     }
 
     #[test]

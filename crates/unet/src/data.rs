@@ -107,6 +107,36 @@ impl Normalization {
         Tensor::from_vec(data, &[1, NUM_CHANNELS, ny, nx])
     }
 
+    /// Stack one die's feature maps for many placements into a single
+    /// normalized `[B, C, H, W]` tensor (the batched-inference input).
+    ///
+    /// Every image occupies a contiguous `C*H*W` block laid out exactly as
+    /// [`Normalization::features_tensor`] lays out its single image, so a
+    /// batched forward pass computes the same per-image arithmetic as `B`
+    /// separate `[1, C, H, W]` passes.
+    ///
+    /// # Panics
+    /// Panics when `batch` is empty, a stack has the wrong channel count,
+    /// or map sizes differ across the batch.
+    pub fn features_tensor_batch(&self, batch: &[&[GridMap]]) -> Tensor {
+        assert!(!batch.is_empty(), "features_tensor_batch needs >= 1 image");
+        let (nx, ny) = (batch[0][0].nx(), batch[0][0].ny());
+        let mut data = Vec::with_capacity(batch.len() * NUM_CHANNELS * nx * ny);
+        for maps in batch {
+            assert_eq!(maps.len(), NUM_CHANNELS, "expected {NUM_CHANNELS} channels");
+            for (c, m) in maps.iter().enumerate() {
+                assert_eq!(
+                    (m.nx(), m.ny()),
+                    (nx, ny),
+                    "batched feature maps must share one size"
+                );
+                let s = self.channel_scale[c];
+                data.extend(m.data().iter().map(|&v| v / s));
+            }
+        }
+        Tensor::from_vec(data, &[batch.len(), NUM_CHANNELS, ny, nx])
+    }
+
     /// Normalized `[1, 1, H, W]` label tensor.
     pub fn label_tensor(&self, map: &GridMap) -> Tensor {
         let data: Vec<f32> = map.data().iter().map(|&v| v / self.label_scale).collect();
@@ -127,6 +157,30 @@ impl Normalization {
                 .map(|&v| (v * self.label_scale).max(0.0))
                 .collect(),
         )
+    }
+
+    /// Split a batched `[B, 1, H, W]` prediction into `B` maps in label
+    /// units. Each image goes through exactly the per-element arithmetic of
+    /// [`Normalization::prediction_to_map`], so splitting a batched output
+    /// is bitwise identical to converting each single-image output.
+    pub fn predictions_to_maps(&self, t: &Tensor) -> Vec<GridMap> {
+        let shape = t.shape();
+        assert_eq!(shape.len(), 4, "prediction must be 4D");
+        assert_eq!(shape[1], 1, "prediction must have one channel");
+        let (bsz, ny, nx) = (shape[0], shape[2], shape[3]);
+        let plane = ny * nx;
+        (0..bsz)
+            .map(|bi| {
+                GridMap::from_vec(
+                    nx,
+                    ny,
+                    t.data()[bi * plane..(bi + 1) * plane]
+                        .iter()
+                        .map(|&v| (v * self.label_scale).max(0.0))
+                        .collect(),
+                )
+            })
+            .collect()
     }
 }
 

@@ -29,5 +29,6 @@ pub use data::{Normalization, Sample};
 pub use model::{SiameseUNet, UNetConfig};
 pub use persist::{load_predictor, save_predictor, PersistError, PredictorBundle};
 pub use trainer::{
-    evaluate_loss, evaluate_metrics, predict_maps, train, EvalRecord, TrainConfig, TrainResult,
+    evaluate_loss, evaluate_metrics, predict_maps, predict_maps_batch, train, EvalRecord,
+    TrainConfig, TrainResult,
 };

@@ -243,7 +243,11 @@ impl SiameseUNet {
 
     /// Inference without gradient tracking.
     ///
-    /// Inputs are `[1, in_channels, size, size]` tensors.
+    /// Inputs are `[B, in_channels, size, size]` tensors (any batch size;
+    /// single-placement callers pass `B = 1`). Batch images are processed
+    /// independently by every layer, so each image's output is bitwise
+    /// identical whether it is predicted alone or inside a larger batch —
+    /// the property the serving layer's batch coalescing depends on.
     pub fn predict(&self, f0: &Tensor, f1: &Tensor) -> (Tensor, Tensor) {
         let mut g = Graph::new();
         let x0 = g.input(f0.clone());

@@ -232,6 +232,34 @@ pub fn predict_maps(
     [norm.prediction_to_map(&c0), norm.prediction_to_map(&c1)]
 }
 
+/// Batched inference: predict congestion for many placements in a single
+/// forward pass (one set of batched conv2d calls instead of `B` separate
+/// ones). Each entry of `features` is one placement's per-die feature
+/// stacks `[bottom, top]`.
+///
+/// Every conv/pool/activation in the network treats batch images
+/// independently (same weights, same per-image summation order), so the
+/// `i`-th returned map pair is **bitwise identical** to
+/// `predict_maps(model, norm, features[i])` — the serving layer's batch
+/// coalescing relies on this and `tests/serve.rs` asserts it.
+pub fn predict_maps_batch(
+    model: &SiameseUNet,
+    norm: &Normalization,
+    features: &[[&[GridMap]; 2]],
+) -> Vec<[GridMap; 2]> {
+    if features.is_empty() {
+        return Vec::new();
+    }
+    let die0: Vec<&[GridMap]> = features.iter().map(|f| f[0]).collect();
+    let die1: Vec<&[GridMap]> = features.iter().map(|f| f[1]).collect();
+    let f0 = norm.features_tensor_batch(&die0);
+    let f1 = norm.features_tensor_batch(&die1);
+    let (c0, c1) = model.predict(&f0, &f1);
+    let m0 = norm.predictions_to_maps(&c0);
+    let m1 = norm.predictions_to_maps(&c1);
+    m0.into_iter().zip(m1).map(|(a, b)| [a, b]).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +298,39 @@ mod tests {
                 }
             })
             .collect()
+    }
+
+    #[test]
+    fn batched_inference_is_bitwise_identical_to_unbatched() {
+        let data = synthetic_dataset(5, 8, 4);
+        let model = SiameseUNet::new(
+            UNetConfig {
+                in_channels: 7,
+                base_channels: 4,
+                size: 8,
+            },
+            9,
+        );
+        let norm = Normalization::fit(&data);
+        let batch: Vec<[&[GridMap]; 2]> = data
+            .iter()
+            .map(|s| [s.features[0].as_slice(), s.features[1].as_slice()])
+            .collect();
+        let batched = predict_maps_batch(&model, &norm, &batch);
+        assert_eq!(batched.len(), data.len());
+        for (i, s) in data.iter().enumerate() {
+            let single = predict_maps(
+                &model,
+                &norm,
+                [s.features[0].as_slice(), s.features[1].as_slice()],
+            );
+            for die in 0..2 {
+                let a: Vec<u32> = single[die].data().iter().map(|v| v.to_bits()).collect();
+                let b: Vec<u32> = batched[i][die].data().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(a, b, "sample {i} die {die} diverged under batching");
+            }
+        }
+        assert!(predict_maps_batch(&model, &norm, &[]).is_empty());
     }
 
     #[test]

@@ -25,6 +25,10 @@ const SWEEP: [usize; 3] = [1, 2, 8];
 /// single-threaded one.
 fn assert_thread_invariant(name: &str, f: impl Fn() -> u64) {
     let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Disable the adaptive sequential fallback for the sweep: on a
+    // single-core machine it would collapse every entry to one worker and
+    // the matrix would stop exercising real multi-worker pools.
+    dco_parallel::set_adaptive(false);
     let mut base = None;
     for n in SWEEP {
         dco_parallel::set_threads(n);
@@ -37,6 +41,7 @@ fn assert_thread_invariant(name: &str, f: impl Fn() -> u64) {
             ),
         }
     }
+    dco_parallel::set_adaptive(true);
 }
 
 fn test_design() -> Design {
