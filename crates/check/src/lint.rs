@@ -1,6 +1,6 @@
 //! A line/token lint pass over workspace Rust sources.
 //!
-//! Nine rules, tuned for a numerical codebase whose artifacts are diffed
+//! Ten rules, tuned for a numerical codebase whose artifacts are diffed
 //! bitwise (see DESIGN.md "Static Analysis & Determinism Contract"):
 //!
 //! - **unwrap** — no `.unwrap()` / `.expect(...)` in library code. Panics
@@ -32,6 +32,12 @@
 //! - **lock-order** — see [`crate::lockorder`]: a lock-acquisition graph
 //!   over the pool shim and the observability shards; cycles and
 //!   re-entrant acquisitions fail.
+//! - **bounded-queue** — in serve-path code, every queue-growth site
+//!   (`.push_back(`, `channel()` creation) needs a `// bounded:` comment
+//!   on the same line or within the two lines above stating what caps its
+//!   depth. A daemon queue without a documented bound is an OOM waiting
+//!   for an overload (the admission-control layer exists precisely to
+//!   provide those bounds).
 //! - **bench-hygiene** — no allocation or printing inside regions
 //!   annotated `// bench-timed: <name>` ... `// bench-timed: end`, so the
 //!   timed windows behind BENCH_dco3d.json stay honest.
@@ -106,6 +112,9 @@ const ALLOC_TAIL_TOKENS: &[&str] = &[
 /// Print macros (the `print` rule and `bench-timed` regions).
 const PRINT_MACROS: &[&str] = &["println!", "eprintln!", "print!", "eprint!"];
 
+/// Queue-growth tokens covered by `bounded-queue` in serve-path code.
+const QUEUE_GROWTH_TOKENS: &[&str] = &[".push_back(", "channel()", "channel::<"];
+
 /// One lint finding.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize)]
 pub struct Violation {
@@ -116,8 +125,8 @@ pub struct Violation {
     /// 1-based column.
     pub column: usize,
     /// Rule id (`unwrap`, `print`, `float-eq`, `hashmap-iter`,
-    /// `nondet-order`, `alloc-hot`, `unsafe-audit`, `lock-order`, or
-    /// `bench-hygiene`).
+    /// `nondet-order`, `alloc-hot`, `unsafe-audit`, `lock-order`,
+    /// `bench-hygiene`, or `bounded-queue`).
     pub rule: String,
     /// The offending source line, trimmed.
     pub snippet: String,
@@ -194,6 +203,11 @@ fn is_grad_code(rel: &Path) -> bool {
 fn is_determinism_covered(rel: &Path) -> bool {
     let lower = rel.to_string_lossy().to_lowercase();
     DETERMINISM_MARKERS.iter().any(|m| lower.contains(m))
+}
+
+/// Whether `bounded-queue` applies to this file (daemon/server code).
+fn is_serve_code(rel: &Path) -> bool {
+    rel.to_string_lossy().to_lowercase().contains("serve")
 }
 
 /// Whether the file IS the parallel facade or the pool shim (which may
@@ -655,6 +669,7 @@ pub fn scan_source(rel: &Path, src: &str) -> FileScan {
     let grad_code = is_grad_code(rel);
     let det_covered = is_determinism_covered(rel);
     let parallel_layer = is_parallel_layer(rel);
+    let serve_code = is_serve_code(rel);
     let hash_idents = hash_idents(&masked);
     let rel_str = rel.to_string_lossy().into_owned();
     let originals: Vec<&str> = src.lines().collect();
@@ -859,6 +874,29 @@ pub fn scan_source(rel: &Path, src: &str) -> FileScan {
                             region.name,
                             region.open_line + 1
                         ),
+                    );
+                }
+            }
+        }
+
+        if serve_code && !exempt && !allowed(&comments, idx, "bounded-queue") {
+            if let Some(col) = QUEUE_GROWTH_TOKENS
+                .iter()
+                .filter_map(|t| line.find(t))
+                .min()
+            {
+                // Like SAFETY for unsafe: a `// bounded:` comment on the
+                // same line or within the two lines above documents the cap.
+                let documented = (idx.saturating_sub(2)..=idx)
+                    .any(|i| comments.get(i).is_some_and(|c| c.contains("bounded:")));
+                if !documented {
+                    push(
+                        col,
+                        "bounded-queue",
+                        "queue growth in serve code without a `// bounded:` comment; \
+                         state what caps this queue's depth (an uncapped daemon queue \
+                         is an OOM under overload)"
+                            .to_string(),
                     );
                 }
             }
@@ -1151,6 +1189,29 @@ mod tests {
         // one per line (first hit wins per line): vec! and println!
         assert_eq!(v.len(), 2, "{v:?}");
         assert!(v.iter().all(|x| x.rule == "bench-hygiene"));
+    }
+
+    #[test]
+    fn bounded_queue_requires_annotation_in_serve_code() {
+        let bad = "pub fn f(q: &mut std::collections::VecDeque<u32>) { q.push_back(1); }\n";
+        let v = lint_source(Path::new("crates/flow/src/serve/queue.rs"), bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "bounded-queue");
+        // same growth outside serve paths: no finding
+        assert!(lint_source(Path::new("crates/flow/src/flow.rs"), bad).is_empty());
+        // a `// bounded:` comment within two lines above satisfies the rule
+        let good = "pub fn f(q: &mut std::collections::VecDeque<u32>) {\n\
+                    // bounded: depth is capped by the admission layer\n\
+                    q.push_back(1);\n\
+                    }\n";
+        assert!(lint_source(Path::new("crates/flow/src/serve/queue.rs"), good).is_empty());
+        // channel creation counts as queue growth too
+        let chan = "pub fn f() { let (_tx, _rx) = std::sync::mpsc::channel::<u32>(); }\n";
+        let v = lint_source(Path::new("crates/flow/src/serve/server.rs"), chan);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].rule, "bounded-queue");
+        // test context in serve paths is exempt
+        assert!(lint_source(Path::new("crates/flow/tests/serve.rs"), bad).is_empty());
     }
 
     #[test]

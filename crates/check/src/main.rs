@@ -21,7 +21,7 @@ use std::process::ExitCode;
 
 const USAGE: &str = "usage: dco-check lint [PATH] [OPTIONS]\n\
     \n\
-    Audits every .rs file under PATH (default: current directory) with nine\n\
+    Audits every .rs file under PATH (default: current directory) with ten\n\
     rules:\n\
     \x20 unwrap         .unwrap()/.expect() in library code\n\
     \x20 print          println!-family macros in library code\n\
@@ -34,6 +34,8 @@ const USAGE: &str = "usage: dco-check lint [PATH] [OPTIONS]\n\
     \x20 lock-order     lock-acquisition cycles / re-entrant locking in the\n\
     \x20                pool shim and dco-obs shards\n\
     \x20 bench-hygiene  allocation or stdio inside `// bench-timed: <name>` regions\n\
+    \x20 bounded-queue  queue growth (.push_back, channel creation) in serve code\n\
+    \x20                without a `// bounded:` cap comment\n\
     \n\
     Options:\n\
     \x20 --format human|json      output format (JSON carries schema_version 2)\n\

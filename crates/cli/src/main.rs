@@ -25,6 +25,7 @@
 //! | 4 | flow completed but degraded (best-so-far results) |
 //! | 5 | a stage panicked on every retry |
 //! | 6 | checkpoint directory belongs to a different design/seed |
+//! | 7 | flow cancelled before completion (deadline exceeded) |
 
 mod args;
 
@@ -147,6 +148,7 @@ fn flow_error(e: FlowError) -> CliError {
         FlowError::Checkpoint(CheckpointError::Mismatch(_)) => 6,
         FlowError::Checkpoint(_) => 3,
         FlowError::MissingPredictor => 2,
+        FlowError::Cancelled => 7,
     };
     CliError::with_code(code, &e)
 }
@@ -246,8 +248,18 @@ fn print_help() {
          \x20 serve      warm-weights daemon: --socket <path> or --listen <addr>\n\
          \x20            accepts predict/spread/flow/status/shutdown jobs as NDJSON\n\
          \x20            (--predictor <file> to skip training; --max-batch <n> coalescing cap)\n\
+         \x20            --cheap-cap/--expensive-cap <n>   per-class admission caps (64/8)\n\
+         \x20            --max-deadline-ms <ms>  clamp for client deadline_ms (300000)\n\
+         \x20            --read-timeout-ms/--write-timeout-ms <ms>  socket timeouts (30000)\n\
+         \x20            --idle-strikes <n>      reap after n consecutive read timeouts (10)\n\
+         \x20            --max-conns <n>         concurrent connection cap (64)\n\
+         \x20            --serve-inject <class:seed[:rate_pct]>  socket chaos (partial-write,\n\
+         \x20                                    stall-read, disconnect, delay, mix); also\n\
+         \x20                                    honored from DCO3D_SERVE_INJECT\n\
          \x20 client     lockstep NDJSON client: --socket/--connect, --file <requests>,\n\
          \x20            --check exits 4 if any response is ok:false\n\
+         \x20            --retries <n> retry overloaded rejections with jittered backoff\n\
+         \x20            (--backoff-ms <base>, default 50; honors server retry_after_ms)\n\
          \x20 obs-validate  structurally validate an observability artifact (--file <path>,\n\
          \x20            --jobs to print per-served-job span/wall/cpu attribution)\n\n\
          common options: --design <DMA|AES|ECG|LDPC|VGA|Rocket> --scale <f> --seed <n>\n\
@@ -257,7 +269,8 @@ fn print_help() {
          \x20               --obs          collect spans/metrics, write OBS_dco3d.json\n\
          \x20               --obs-report   same, plus print a human-readable table\n\
          \x20               --obs-out <p>  artifact path (default OBS_dco3d.json)\n\
-         exit codes: 0 ok, 2 usage, 3 input/io, 4 degraded, 5 stage panic, 6 checkpoint mismatch"
+         exit codes: 0 ok, 2 usage, 3 input/io, 4 degraded, 5 stage panic,\n\
+         \x20           6 checkpoint mismatch, 7 deadline exceeded (flow cancelled)"
     );
 }
 
@@ -533,11 +546,28 @@ fn cmd_serve(args: &Args) -> CliResult {
     use std::io::Write as _;
     let state = warm_state(args)?;
     let bind = bind_from_args(args)?;
+    let defaults = ServeOptions::default();
+    let inject = match args.options.get("serve-inject") {
+        Some(spec) => Some(
+            spec.parse::<dco_flow::serve::ServeInjectSpec>()
+                .map_err(|e| CliError::usage(e.to_string()))?,
+        ),
+        None => None,
+    };
     let opts = ServeOptions {
         max_line_bytes: args.get("max-line-bytes", DEFAULT_MAX_LINE_BYTES),
-        max_batch: args.get("max-batch", ServeOptions::default().max_batch),
-        default_spread_iters: args
-            .get("spread-iters", ServeOptions::default().default_spread_iters),
+        max_batch: args.get("max-batch", defaults.max_batch),
+        default_spread_iters: args.get("spread-iters", defaults.default_spread_iters),
+        queue_caps: dco_flow::serve::QueueCaps {
+            cheap: args.get("cheap-cap", defaults.queue_caps.cheap),
+            expensive: args.get("expensive-cap", defaults.queue_caps.expensive),
+        },
+        max_deadline_ms: args.get("max-deadline-ms", defaults.max_deadline_ms),
+        read_timeout_ms: args.get("read-timeout-ms", defaults.read_timeout_ms),
+        write_timeout_ms: args.get("write-timeout-ms", defaults.write_timeout_ms),
+        idle_strikes: args.get("idle-strikes", defaults.idle_strikes),
+        max_conns: args.get("max-conns", defaults.max_conns),
+        inject,
     };
     let handle = dco_flow::serve::serve(state, bind, opts)?;
     // Scripted clients block on this exact line to know the socket is live.
@@ -554,13 +584,48 @@ fn cmd_serve(args: &Args) -> CliResult {
         stats.status,
         stats.errors
     );
+    println!(
+        "overload: {} shed, {} deadline-exceeded, {} conns rejected, {} conns reaped",
+        stats.shed, stats.deadline_exceeded, stats.conns_rejected, stats.conns_reaped
+    );
     Ok(0)
+}
+
+/// Is this response line an `overloaded` rejection, and if so what
+/// backoff did the server suggest?
+fn overloaded_hint(resp: &str) -> Option<u64> {
+    let v: serde_json::Value = serde_json::from_str(resp).ok()?;
+    let err = v.get("error")?;
+    match err.get("kind")? {
+        serde_json::Value::String(kind) if kind == "overloaded" => {}
+        _ => return None,
+    }
+    Some(match err.get("retry_after_ms") {
+        Some(serde_json::Value::Number(ms)) if *ms >= 0.0 => *ms as u64,
+        _ => 0,
+    })
+}
+
+/// Deterministic jitter for retry `attempt` of request line `line_idx`:
+/// a hash-derived 0..base spread, so concurrent scripted clients don't
+/// retry in lockstep yet every run replays identically.
+fn retry_jitter_ms(base_ms: u64, line_idx: u64, attempt: u64) -> u64 {
+    if base_ms == 0 {
+        return 0;
+    }
+    let mut z = line_idx
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) % base_ms
 }
 
 /// `dco3d client` — drive a running daemon in lockstep: send one request
 /// line, print the response line, repeat. Requests come from `--file
 /// <path>` or stdin. With `--check`, any `"ok":false` response makes the
-/// exit code 4.
+/// exit code 4. With `--retries <n>`, `overloaded` rejections are retried
+/// with jittered exponential backoff (base `--backoff-ms`, default 50),
+/// always waiting at least the server's `retry_after_ms` hint.
 fn cmd_client(args: &Args) -> CliResult {
     use std::io::{BufRead as _, BufReader, Read, Write};
     let (read_half, mut write_half): (Box<dyn Read>, Box<dyn Write>) =
@@ -579,31 +644,50 @@ fn cmd_client(args: &Args) -> CliResult {
                 ))
             }
         };
+    let retries = args.get("retries", 0u64);
+    let backoff_ms = args.get("backoff-ms", 50u64);
     let mut responses = BufReader::new(read_half);
     let input: Box<dyn std::io::BufRead> = match args.options.get("file") {
         Some(f) => Box::new(BufReader::new(std::fs::File::open(f)?)),
         None => Box::new(BufReader::new(std::io::stdin())),
     };
     let mut failures = 0usize;
-    for line in input.lines() {
+    for (line_idx, line) in input.lines().enumerate() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
-        write_half.write_all(line.as_bytes())?;
-        write_half.write_all(b"\n")?;
-        write_half.flush()?;
-        let mut resp = String::new();
-        if responses.read_line(&mut resp)? == 0 {
-            return Err(CliError {
-                code: 3,
-                message: "server closed the connection mid-session".to_string(),
-                chain: Vec::new(),
-            });
-        }
-        print!("{resp}");
-        if resp.contains("\"ok\":false") {
-            failures += 1;
+        let mut attempt = 0u64;
+        loop {
+            write_half.write_all(line.as_bytes())?;
+            write_half.write_all(b"\n")?;
+            write_half.flush()?;
+            let mut resp = String::new();
+            if responses.read_line(&mut resp)? == 0 {
+                return Err(CliError {
+                    code: 3,
+                    message: "server closed the connection mid-session".to_string(),
+                    chain: Vec::new(),
+                });
+            }
+            // A rejected job never started executing, so resending the
+            // same id cannot double-execute it.
+            if let Some(hint_ms) = overloaded_hint(&resp) {
+                if attempt < retries {
+                    let backoff = backoff_ms.saturating_mul(1 << attempt.min(10))
+                        + retry_jitter_ms(backoff_ms, line_idx as u64, attempt);
+                    let wait = hint_ms.max(backoff);
+                    eprintln!("overloaded; retry {}/{retries} in {wait} ms", attempt + 1);
+                    std::thread::sleep(std::time::Duration::from_millis(wait));
+                    attempt += 1;
+                    continue;
+                }
+            }
+            print!("{resp}");
+            if resp.contains("\"ok\":false") {
+                failures += 1;
+            }
+            break;
         }
     }
     if args.flag("check") && failures > 0 {
@@ -640,6 +724,7 @@ fn resilience_options(args: &Args) -> Result<ResilienceOptions, CliError> {
         isolate_panics: true,
         max_stage_retries: args.get("retries", 1usize),
         inject,
+        cancel: dco_parallel::CancelToken::never(),
     })
 }
 

@@ -49,6 +49,11 @@ pub struct DcoConfig {
     /// Fault injection: force the loss non-finite at this attempt index
     /// (testing hook for the divergence guard; `None` in production).
     pub inject_nan_loss_at: Option<usize>,
+    /// Cooperative cancellation, polled at each iteration boundary. The
+    /// default token never fires; the serve layer arms it to enforce
+    /// per-job deadlines. A cancelled run stops early and returns the
+    /// current (partial) placement — callers that care discard it.
+    pub cancel: dco_parallel::CancelToken,
 }
 
 impl Default for DcoConfig {
@@ -69,6 +74,7 @@ impl Default for DcoConfig {
             max_divergence_retries: 3,
             lr_backoff: 0.5,
             inject_nan_loss_at: None,
+            cancel: dco_parallel::CancelToken::never(),
         }
     }
 }
@@ -236,6 +242,9 @@ impl<'a> DcoOptimizer<'a> {
         let mut degraded = false;
 
         for iter in 0..self.cfg.max_iter {
+            if self.cfg.cancel.is_cancelled() {
+                break;
+            }
             let _iter_span = dco_obs::span!("dco.iter", iter = iter);
             let mut g = Graph::new();
             let (x, y, z, dx, dy) =

@@ -106,6 +106,23 @@ impl Default for FlowConfig {
     }
 }
 
+impl FlowConfig {
+    /// Arm every stage-loop cancellation hook — DCO iterations, signoff and
+    /// placement-stage route waves — with clones of `token`. Combined with
+    /// [`ResilienceOptions::cancel`] (stage boundaries) and
+    /// [`dco_unet::TrainConfig::cancel`] (epochs, armed by
+    /// [`train_predictor_resilient`]), this is how the serve layer enforces
+    /// per-job deadlines: cancel the token and every long loop bails at its
+    /// next boundary.
+    #[must_use]
+    pub fn with_cancel(mut self, token: &dco_parallel::CancelToken) -> Self {
+        self.dco.cancel = token.clone();
+        self.router.cancel = token.clone();
+        self.stage_router.cancel = token.clone();
+        self
+    }
+}
+
 /// Routability metrics after the 3D placement stage (Table III, left).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct StageMetrics {
@@ -293,6 +310,7 @@ pub fn train_predictor_resilient(
     let mut train_cfg = TrainConfig {
         epochs: cfg.train_epochs,
         seed,
+        cancel: opts.cancel.clone(),
         ..TrainConfig::default()
     };
     if let Some(epoch) = injector.train_nan_epoch() {
@@ -320,6 +338,12 @@ pub fn train_predictor_resilient(
     let (unet, train_result) =
         execute_stage_body(Stage::Train, &injector, opts, &mut report, &body)?;
     dco_obs::report::record_stage_rss(Stage::Train.name());
+    // A deadline that fired mid-training leaves half-trained weights;
+    // persisting them as the shared predictor bundle would poison every
+    // later resume. Fail typed instead (mirrors `run_stage`).
+    if opts.cancel.is_cancelled() {
+        return Err(FlowError::Cancelled);
+    }
     if train_result.divergence_events > 0 {
         report.events.push(RecoveryEvent::DivergenceRollback {
             stage: "train",

@@ -27,6 +27,13 @@ pub struct ResilienceOptions {
     pub max_stage_retries: usize,
     /// Deterministic fault to inject (testing; `None` in production).
     pub inject: Option<FaultSpec>,
+    /// Cooperative cancellation, polled at every stage boundary (and, via
+    /// the stage configs, inside the DCO/route/train loops). The default
+    /// token never fires; the serve layer arms it to enforce per-job
+    /// deadlines. A run observed cancelled fails with
+    /// [`FlowError::Cancelled`] *before* persisting any checkpoint, so a
+    /// deadline can never leave a partial result behind.
+    pub cancel: dco_parallel::CancelToken,
 }
 
 impl ResilienceOptions {
@@ -37,6 +44,7 @@ impl ResilienceOptions {
             isolate_panics: true,
             max_stage_retries: 1,
             inject: None,
+            cancel: dco_parallel::CancelToken::never(),
         }
     }
 
@@ -66,6 +74,10 @@ pub enum FlowError {
     Checkpoint(CheckpointError),
     /// [`crate::FlowKind::Dco3d`] was requested without a trained predictor.
     MissingPredictor,
+    /// The run's [`ResilienceOptions::cancel`] token fired (deadline or
+    /// shutdown); the flow stopped at a stage boundary without persisting
+    /// a checkpoint for the interrupted stage.
+    Cancelled,
 }
 
 impl std::fmt::Display for FlowError {
@@ -83,6 +95,7 @@ impl std::fmt::Display for FlowError {
             Self::MissingPredictor => {
                 f.write_str("FlowKind::Dco3d requires a trained predictor bundle; train one first")
             }
+            Self::Cancelled => f.write_str("flow cancelled before completion (deadline exceeded)"),
         }
     }
 }
@@ -272,6 +285,12 @@ where
     // stage result, so enabled/disabled runs stay bitwise identical.
     let _stage_span = dco_obs::span!(stage.span_name());
 
+    // A deadline that fired between stages stops the flow here; a resume
+    // of the same run must not consume the budget replaying old stages.
+    if opts.cancel.is_cancelled() {
+        return Err(FlowError::Cancelled);
+    }
+
     // --- resume path -------------------------------------------------------
     if let Some(store) = ckpt {
         match store.load(stage) {
@@ -309,6 +328,14 @@ where
     // --- execute path ------------------------------------------------------
     let value = execute_stage_body(stage, injector, opts, report, &body)?;
     dco_obs::report::record_stage_rss(stage.name());
+
+    // A body that observed cancellation mid-loop returned a *partial*
+    // result; persisting it would poison every later resume with a
+    // checkpoint that looks valid but was never fully computed. Fail the
+    // stage instead — the next run re-executes it from scratch.
+    if opts.cancel.is_cancelled() {
+        return Err(FlowError::Cancelled);
+    }
 
     // --- persist path ------------------------------------------------------
     if let Some(store) = ckpt {
@@ -415,6 +442,50 @@ mod tests {
             report2.events.as_slice(),
             [RecoveryEvent::ResumedFromCheckpoint { stage: "place" }]
         ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cancelled_stage_fails_typed_and_persists_nothing() {
+        let dir = tmp_dir("cancel");
+        let s = store(&dir);
+        let inj = FaultInjector::new(None);
+        let token = dco_parallel::CancelToken::new();
+        let opts = ResilienceOptions {
+            cancel: token.clone(),
+            ..ResilienceOptions::with_checkpoints(&dir)
+        };
+
+        // Pre-execute cancellation: the body never runs.
+        token.cancel();
+        let mut report = ResilienceReport::default();
+        let res: Result<Payload, _> =
+            run_stage(Stage::Place, Some(&s), &inj, &opts, &mut report, || {
+                panic!("body must not run when already cancelled")
+            });
+        assert!(matches!(res, Err(FlowError::Cancelled)));
+        assert!(
+            s.load(Stage::Place).expect("load").is_none(),
+            "no checkpoint may exist for a cancelled stage"
+        );
+
+        // Mid-body cancellation: the (partial) result is not persisted.
+        let token2 = dco_parallel::CancelToken::new();
+        let opts2 = ResilienceOptions {
+            cancel: token2.clone(),
+            ..ResilienceOptions::with_checkpoints(&dir)
+        };
+        let mut report2 = ResilienceReport::default();
+        let res2: Result<Payload, _> =
+            run_stage(Stage::Dco, Some(&s), &inj, &opts2, &mut report2, || {
+                token2.cancel(); // deadline fires while the body runs
+                Payload { n: 7, x: 0.5 } // partial result
+            });
+        assert!(matches!(res2, Err(FlowError::Cancelled)));
+        assert!(
+            s.load(Stage::Dco).expect("load").is_none(),
+            "partial result computed under cancellation must not be checkpointed"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 

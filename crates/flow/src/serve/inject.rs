@@ -1,0 +1,264 @@
+//! Deterministic socket-level fault injection for `dco3d serve`.
+//!
+//! Mirrors the flow-level injector (`crate::inject`): a spec parsed from
+//! `--serve-inject` / `DCO3D_SERVE_INJECT` arms one fault *class* with a
+//! seed and a firing rate, and every decision derives from that seed plus
+//! the connection id through a private xorshift64 stream — two runs with
+//! the same spec and connection order replay the same faults, which is
+//! what lets the chaos suite sweep hundreds of seeds and bisect any
+//! failure to one.
+//!
+//! Grammar: `class:seed[:rate_pct]` where `class` is one of
+//! `partial-write`, `stall-read`, `disconnect`, `delay`, `mix` and
+//! `rate_pct` (default 25) is the per-event firing probability in percent.
+
+use std::cell::Cell;
+use std::fmt;
+use std::str::FromStr;
+use std::time::Duration;
+
+/// The injectable socket-fault classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeFaultClass {
+    /// Write half a reply frame, then sever the connection.
+    PartialWrite,
+    /// Stall the connection's read path (exercises read timeouts and
+    /// idle-connection reaping).
+    StallRead,
+    /// Sever the connection instead of writing a reply.
+    Disconnect,
+    /// Delay a reply before writing it intact.
+    Delay,
+    /// Any of the above, chosen per event from the same seeded stream.
+    Mix,
+}
+
+impl ServeFaultClass {
+    fn label(self) -> &'static str {
+        match self {
+            ServeFaultClass::PartialWrite => "partial-write",
+            ServeFaultClass::StallRead => "stall-read",
+            ServeFaultClass::Disconnect => "disconnect",
+            ServeFaultClass::Delay => "delay",
+            ServeFaultClass::Mix => "mix",
+        }
+    }
+}
+
+/// A parsed `--serve-inject` specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeInjectSpec {
+    /// Which fault class to arm.
+    pub class: ServeFaultClass,
+    /// Seed for the per-connection decision streams.
+    pub seed: u64,
+    /// Per-event firing probability, percent (clamped to 100).
+    pub rate_pct: u8,
+}
+
+/// A `--serve-inject` argument that did not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseServeInjectError(pub String);
+
+impl fmt::Display for ParseServeInjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid serve-inject spec `{}`; expected class:seed[:rate_pct] with class one of \
+             partial-write|stall-read|disconnect|delay|mix",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseServeInjectError {}
+
+impl FromStr for ServeInjectSpec {
+    type Err = ParseServeInjectError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseServeInjectError(s.to_string());
+        let mut parts = s.split(':');
+        let class = match parts.next().ok_or_else(err)? {
+            "partial-write" => ServeFaultClass::PartialWrite,
+            "stall-read" => ServeFaultClass::StallRead,
+            "disconnect" => ServeFaultClass::Disconnect,
+            "delay" => ServeFaultClass::Delay,
+            "mix" => ServeFaultClass::Mix,
+            _ => return Err(err()),
+        };
+        let seed = parts
+            .next()
+            .ok_or_else(err)?
+            .parse::<u64>()
+            .map_err(|_| err())?;
+        let rate_pct = match parts.next() {
+            None => 25,
+            Some(r) => r.parse::<u8>().map_err(|_| err())?.min(100),
+        };
+        if parts.next().is_some() {
+            return Err(err());
+        }
+        Ok(ServeInjectSpec {
+            class,
+            seed,
+            rate_pct,
+        })
+    }
+}
+
+impl fmt::Display for ServeInjectSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}:{}", self.class.label(), self.seed, self.rate_pct)
+    }
+}
+
+impl ServeInjectSpec {
+    /// The decision stream for one connection thread. `salt`
+    /// disambiguates the reader (0) and writer (1) streams of the same
+    /// connection so they draw independent decisions.
+    pub fn for_conn(&self, conn_id: u64, salt: u64) -> ConnInjector {
+        // splitmix64-style seed scramble; never zero (xorshift fixpoint).
+        let mut z = self
+            .seed
+            .wrapping_add(conn_id.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ConnInjector {
+            class: self.class,
+            rate_pct: self.rate_pct,
+            state: Cell::new((z ^ (z >> 31)) | 1),
+        }
+    }
+}
+
+/// What to do to the next outbound reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteFault {
+    /// Sleep this long, then write the reply intact.
+    Delay(Duration),
+    /// Write roughly half the frame, flush, then sever the connection.
+    Partial,
+    /// Sever the connection without writing.
+    Disconnect,
+}
+
+/// Per-connection-thread deterministic fault stream.
+#[derive(Debug)]
+pub struct ConnInjector {
+    class: ServeFaultClass,
+    rate_pct: u8,
+    state: Cell<u64>,
+}
+
+impl ConnInjector {
+    fn roll(&self) -> u64 {
+        let mut x = self.state.get();
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.state.set(x);
+        x
+    }
+
+    fn fires(&self) -> bool {
+        self.roll() % 100 < u64::from(self.rate_pct)
+    }
+
+    /// Decide the fate of the next outbound reply (writer thread).
+    pub fn on_write(&self) -> Option<WriteFault> {
+        if !self.fires() {
+            return None;
+        }
+        let pick = |class: ServeFaultClass| match class {
+            ServeFaultClass::Delay => Some(WriteFault::Delay(Duration::from_millis(
+                5 + self.roll() % 40,
+            ))),
+            ServeFaultClass::PartialWrite => Some(WriteFault::Partial),
+            ServeFaultClass::Disconnect => Some(WriteFault::Disconnect),
+            ServeFaultClass::StallRead | ServeFaultClass::Mix => None,
+        };
+        match self.class {
+            ServeFaultClass::Mix => match self.roll() % 4 {
+                0 => pick(ServeFaultClass::Delay),
+                1 => pick(ServeFaultClass::PartialWrite),
+                2 => pick(ServeFaultClass::Disconnect),
+                _ => None, // mix sometimes leaves the write alone
+            },
+            other => pick(other),
+        }
+    }
+
+    /// How long to stall before the next read, if at all (reader thread).
+    pub fn on_read(&self) -> Option<Duration> {
+        let armed = matches!(
+            self.class,
+            ServeFaultClass::StallRead | ServeFaultClass::Mix
+        );
+        if armed && self.fires() {
+            Some(Duration::from_millis(5 + self.roll() % 40))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_display() {
+        for s in [
+            "partial-write:7:25",
+            "stall-read:0:100",
+            "disconnect:42:25",
+            "delay:9:1",
+            "mix:123456789:50",
+        ] {
+            let spec: ServeInjectSpec = s.parse().expect(s);
+            assert_eq!(spec.to_string(), s, "round trip");
+        }
+        // Default rate.
+        let spec: ServeInjectSpec = "mix:5".parse().expect("default rate");
+        assert_eq!(spec.rate_pct, 25);
+        // Rate clamped to 100.
+        let spec: ServeInjectSpec = "mix:5:200".parse().expect("clamped");
+        assert_eq!(spec.rate_pct, 100);
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_with_guidance() {
+        for bad in ["", "mix", "mix:x", "explode:1", "mix:1:2:3", "mix:-1"] {
+            let e = bad.parse::<ServeInjectSpec>().expect_err(bad);
+            assert!(e.to_string().contains("class:seed[:rate_pct]"));
+        }
+    }
+
+    #[test]
+    fn decision_streams_are_deterministic_per_conn_and_salt() {
+        let spec: ServeInjectSpec = "mix:99:50".parse().expect("spec");
+        let seq = |conn, salt| {
+            let inj = spec.for_conn(conn, salt);
+            (0..32).map(|_| inj.on_write()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3, 1), seq(3, 1), "same (conn, salt) replays");
+        assert_ne!(seq(3, 1), seq(4, 1), "different conns differ");
+        assert_ne!(seq(3, 0), seq(3, 1), "reader/writer streams differ");
+    }
+
+    #[test]
+    fn rate_zero_never_fires_and_rate_hundred_always_fires() {
+        let never: ServeInjectSpec = "disconnect:1:0".parse().expect("spec");
+        let inj = never.for_conn(0, 1);
+        assert!((0..100).all(|_| inj.on_write().is_none()));
+        let always: ServeInjectSpec = "disconnect:1:100".parse().expect("spec");
+        let inj = always.for_conn(0, 1);
+        assert!((0..100).all(|_| inj.on_write() == Some(WriteFault::Disconnect)));
+        let stall: ServeInjectSpec = "stall-read:1:100".parse().expect("spec");
+        let inj = stall.for_conn(0, 0);
+        assert!(inj.on_read().is_some());
+        assert!(inj.on_write().is_none(), "stall-read never touches writes");
+    }
+}

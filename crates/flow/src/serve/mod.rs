@@ -4,20 +4,27 @@
 //! One-shot CLI runs pay design generation + predictor training on every
 //! invocation; a serving deployment amortizes that cost once and then
 //! answers `predict` / `spread` / `flow` jobs over newline-delimited JSON
-//! on a unix-domain socket or TCP. See DESIGN.md, "Service Mode".
+//! on a unix-domain socket or TCP. See DESIGN.md, "Service Mode" —
+//! including the "Overload & Failure Semantics" contract (per-class
+//! admission control, server-clamped deadlines, deterministic retry
+//! hints, and the socket-level chaos injector).
 //!
 //! The module is pure `std`: listeners from `std::net` /
 //! `std::os::unix::net`, threads + channels for plumbing, and the
 //! workspace serde shims for the wire format.
 
+mod inject;
 mod protocol;
 mod queue;
 mod server;
 
-pub use protocol::{
-    error_response, map_payload, ok_response, parse_request, placement_checksum, predict_result,
-    prediction_checksum, read_frame, ErrorKind, Frame, JobRequest, ProtocolError, Request,
-    DEFAULT_MAX_LINE_BYTES,
+pub use inject::{
+    ConnInjector, ParseServeInjectError, ServeFaultClass, ServeInjectSpec, WriteFault,
 };
-pub use queue::{JobQueue, QueuedJob};
+pub use protocol::{
+    error_response, map_payload, ok_response, overloaded_response, parse_request,
+    placement_checksum, predict_result, prediction_checksum, read_frame, ErrorKind, Frame,
+    FrameEvent, FrameReader, JobRequest, ProtocolError, Request, DEFAULT_MAX_LINE_BYTES,
+};
+pub use queue::{JobClass, JobQueue, QueueCaps, QueuedJob, RejectReason, Rejection};
 pub use server::{serve, Bind, BoundAddr, ServeOptions, ServeStats, ServerHandle, WarmState};

@@ -103,6 +103,120 @@ pub fn read_frame<R: BufRead>(reader: &mut R, max_bytes: usize) -> std::io::Resu
     }
 }
 
+/// What one [`FrameReader::next`] call observed on the stream.
+#[derive(Debug)]
+pub enum FrameEvent {
+    /// A complete line (without the trailing newline).
+    Line(String),
+    /// A line longer than the cap; `discarded` bytes were drained.
+    Oversized {
+        /// How many bytes the server threw away (including the newline).
+        discarded: usize,
+    },
+    /// The read timed out before a newline arrived. Any partial frame is
+    /// retained; call [`FrameReader::next`] again to continue it.
+    TimedOut,
+    /// Clean end of stream with no pending partial frame.
+    Eof,
+}
+
+/// Stateful bounded-memory framing for sockets with read timeouts.
+///
+/// [`read_frame`]'s partial-line buffer is a local: returning on a
+/// timed-out read would drop the bytes already accumulated and corrupt the
+/// framing when the client resumes. `FrameReader` owns that buffer across
+/// calls, so a `WouldBlock`/`TimedOut` read surfaces as
+/// [`FrameEvent::TimedOut`] with the partial frame intact — the server
+/// counts idle strikes and either reaps the connection or keeps reading.
+#[derive(Debug)]
+pub struct FrameReader {
+    max_bytes: usize,
+    line: Vec<u8>,
+    discarding: bool,
+    discarded: usize,
+}
+
+impl FrameReader {
+    /// A framer enforcing `max_bytes` per line.
+    pub fn new(max_bytes: usize) -> Self {
+        FrameReader {
+            max_bytes,
+            line: Vec::new(),
+            discarding: false,
+            discarded: 0,
+        }
+    }
+
+    /// Read until a newline, EOF, or a transport timeout.
+    ///
+    /// A truncated final frame (bytes then EOF, no newline) is surfaced as
+    /// a [`FrameEvent::Line`] once; the next call returns
+    /// [`FrameEvent::Eof`]. Oversized lines are drained without buffering,
+    /// exactly like [`read_frame`].
+    ///
+    /// # Errors
+    /// Propagates transport-level IO errors other than `Interrupted`
+    /// (retried) and `WouldBlock`/`TimedOut` (reported as
+    /// [`FrameEvent::TimedOut`]).
+    pub fn next<R: BufRead>(&mut self, reader: &mut R) -> std::io::Result<FrameEvent> {
+        loop {
+            let buf = match reader.fill_buf() {
+                Ok(b) => b,
+                Err(e) if e.kind() == IoErrorKind::Interrupted => continue,
+                Err(e)
+                    if e.kind() == IoErrorKind::WouldBlock || e.kind() == IoErrorKind::TimedOut =>
+                {
+                    return Ok(FrameEvent::TimedOut)
+                }
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // EOF. A partially read frame still gets surfaced once.
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(FrameEvent::Oversized {
+                        discarded: std::mem::take(&mut self.discarded),
+                    });
+                }
+                if self.line.is_empty() {
+                    return Ok(FrameEvent::Eof);
+                }
+                let text = String::from_utf8_lossy(&self.line).into_owned();
+                self.line.clear();
+                return Ok(FrameEvent::Line(text));
+            }
+            let newline = buf.iter().position(|&b| b == b'\n');
+            let take = newline.map_or(buf.len(), |i| i + 1);
+            if self.discarding {
+                self.discarded += take;
+            } else if self.line.len() + take > self.max_bytes {
+                self.discarding = true;
+                self.discarded = self.line.len() + take;
+                self.line.clear();
+            } else {
+                self.line
+                    .extend_from_slice(&buf[..take.saturating_sub(usize::from(newline.is_some()))]);
+            }
+            reader.consume(take);
+            if newline.is_some() {
+                if self.discarding {
+                    self.discarding = false;
+                    return Ok(FrameEvent::Oversized {
+                        discarded: std::mem::take(&mut self.discarded),
+                    });
+                }
+                // Tolerate CRLF clients.
+                if self.line.last() == Some(&b'\r') {
+                    self.line.pop();
+                }
+                let text = String::from_utf8_lossy(&self.line).into_owned();
+                self.line.clear();
+                return Ok(FrameEvent::Line(text));
+            }
+        }
+    }
+}
+
 /// A parsed request: the echoed `id` plus the job to run.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -110,6 +224,10 @@ pub struct Request {
     pub id: u64,
     /// What to do.
     pub job: JobRequest,
+    /// Client-requested deadline budget in milliseconds, if any. The
+    /// server clamps it to its configured maximum before arming a timer;
+    /// a job that exceeds it gets a typed `deadline-exceeded` error.
+    pub deadline_ms: Option<u64>,
 }
 
 /// The job kinds a server accepts.
@@ -169,6 +287,12 @@ pub enum ErrorKind {
     Oversized,
     /// The server is draining after a shutdown request.
     ShuttingDown,
+    /// Admission control rejected the job: its class queue is at capacity.
+    /// The response carries a `retry_after_ms` hint.
+    Overloaded,
+    /// The job's (clamped) deadline expired before it finished; partial
+    /// work was abandoned at a loop boundary and discarded.
+    DeadlineExceeded,
     /// A job body panicked; the daemon survives, the job does not.
     Internal,
 }
@@ -181,6 +305,8 @@ impl ErrorKind {
             ErrorKind::BadRequest => "bad-request",
             ErrorKind::Oversized => "oversized",
             ErrorKind::ShuttingDown => "shutting-down",
+            ErrorKind::Overloaded => "overloaded",
+            ErrorKind::DeadlineExceeded => "deadline-exceeded",
             ErrorKind::Internal => "internal",
         }
     }
@@ -302,7 +428,12 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
             return Err(ProtocolError::bad(id, format!("unknown job `{other}`")));
         }
     };
-    Ok(Request { id, job })
+    let deadline_ms = get_uint(&v, "deadline_ms", id)?;
+    Ok(Request {
+        id,
+        job,
+        deadline_ms,
+    })
 }
 
 /// Serialize a success response line (no trailing newline).
@@ -322,6 +453,22 @@ pub fn error_response(id: u64, kind: ErrorKind, detail: &str) -> String {
         "id": id,
         "ok": false,
         "error": { "kind": kind.label(), "detail": detail },
+    });
+    serde_json::to_string(&v).unwrap_or_default()
+}
+
+/// Serialize an `overloaded` rejection carrying the retry hint the backoff
+/// contract promises: clients wait at least `retry_after_ms` (or their own
+/// jittered exponential backoff, whichever is larger) before resubmitting.
+pub fn overloaded_response(id: u64, detail: &str, retry_after_ms: u64) -> String {
+    let v = serde_json::json!({
+        "id": id,
+        "ok": false,
+        "error": {
+            "kind": ErrorKind::Overloaded.label(),
+            "detail": detail,
+            "retry_after_ms": retry_after_ms,
+        },
     });
     serde_json::to_string(&v).unwrap_or_default()
 }
@@ -453,5 +600,120 @@ mod tests {
         assert!(ok.contains("\"ok\":true") && !ok.contains('\n'));
         let err = error_response(0, ErrorKind::Parse, "bad");
         assert!(err.contains("\"kind\":\"parse\"") && !err.contains('\n'));
+        let over = overloaded_response(9, "expensive queue full", 250);
+        assert!(over.contains("\"kind\":\"overloaded\""));
+        assert!(over.contains("\"retry_after_ms\":250"));
+        assert!(!over.contains('\n'));
+    }
+
+    #[test]
+    fn deadline_ms_is_parsed_and_validated() {
+        let r = parse_request("{\"id\":1,\"job\":\"flow\",\"deadline_ms\":500}").expect("ok");
+        assert_eq!(r.deadline_ms, Some(500));
+        let r = parse_request("{\"id\":2,\"job\":\"status\"}").expect("ok");
+        assert_eq!(r.deadline_ms, None);
+        let e = parse_request("{\"id\":3,\"job\":\"status\",\"deadline_ms\":-4}")
+            .expect_err("negative");
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+        let e = parse_request("{\"id\":3,\"job\":\"status\",\"deadline_ms\":\"soon\"}")
+            .expect_err("string");
+        assert_eq!(e.kind, ErrorKind::BadRequest);
+    }
+
+    /// A reader that yields its scripted chunks one `fill_buf` at a time,
+    /// interleaving timeouts, to model a socket with a read timeout.
+    struct ChunkedReader {
+        chunks: Vec<Option<Vec<u8>>>, // None = timeout
+        pos: usize,
+        consumed: usize,
+    }
+
+    impl std::io::Read for ChunkedReader {
+        fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+            unreachable!("BufRead path only")
+        }
+    }
+
+    impl BufRead for ChunkedReader {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            loop {
+                if self.pos >= self.chunks.len() {
+                    return Ok(&[]);
+                }
+                if self.chunks[self.pos].is_none() {
+                    self.pos += 1;
+                    self.consumed = 0;
+                    return Err(std::io::Error::from(IoErrorKind::WouldBlock));
+                }
+                let len = self.chunks[self.pos].as_ref().map_or(0, Vec::len);
+                if self.consumed >= len {
+                    self.pos += 1;
+                    self.consumed = 0;
+                    continue;
+                }
+                let start = self.consumed;
+                match &self.chunks[self.pos] {
+                    Some(c) => return Ok(&c[start..]),
+                    None => unreachable!(),
+                }
+            }
+        }
+        fn consume(&mut self, amt: usize) {
+            self.consumed += amt;
+        }
+    }
+
+    #[test]
+    fn frame_reader_preserves_partial_frames_across_timeouts() {
+        let mut r = ChunkedReader {
+            chunks: vec![
+                Some(b"{\"id\":1,".to_vec()),
+                None, // socket read timeout mid-frame
+                None,
+                Some(b"\"job\":\"status\"}\n".to_vec()),
+                Some(b"tail".to_vec()),
+            ],
+            pos: 0,
+            consumed: 0,
+        };
+        let mut fr = FrameReader::new(1024);
+        assert!(matches!(fr.next(&mut r).expect("t1"), FrameEvent::TimedOut));
+        assert!(matches!(fr.next(&mut r).expect("t2"), FrameEvent::TimedOut));
+        match fr.next(&mut r).expect("line") {
+            FrameEvent::Line(l) => assert_eq!(l, "{\"id\":1,\"job\":\"status\"}"),
+            other => panic!("expected intact line, got {other:?}"),
+        }
+        // Truncated final frame surfaces once, then EOF.
+        match fr.next(&mut r).expect("tail") {
+            FrameEvent::Line(l) => assert_eq!(l, "tail"),
+            other => panic!("expected tail line, got {other:?}"),
+        }
+        assert!(matches!(fr.next(&mut r).expect("eof"), FrameEvent::Eof));
+    }
+
+    #[test]
+    fn frame_reader_drains_oversized_lines_across_calls() {
+        let mut big = vec![b'y'; 300];
+        big.push(b'\n');
+        let mut r = ChunkedReader {
+            chunks: vec![
+                Some(big[..100].to_vec()),
+                None, // timeout mid-drain
+                Some(big[100..].to_vec()),
+                Some(b"ok\n".to_vec()),
+            ],
+            pos: 0,
+            consumed: 0,
+        };
+        let mut fr = FrameReader::new(16);
+        assert!(matches!(fr.next(&mut r).expect("t"), FrameEvent::TimedOut));
+        match fr.next(&mut r).expect("over") {
+            FrameEvent::Oversized { discarded } => assert_eq!(discarded, 301),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        match fr.next(&mut r).expect("ok") {
+            FrameEvent::Line(l) => assert_eq!(l, "ok"),
+            other => panic!("expected line, got {other:?}"),
+        }
     }
 }

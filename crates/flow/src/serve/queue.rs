@@ -1,9 +1,18 @@
-//! The serve daemon's job queue: FIFO with predict coalescing.
+//! The serve daemon's job queue: bounded FIFO with admission control and
+//! predict coalescing.
 //!
 //! Connection reader threads push parsed jobs; the single executor thread
-//! pops them. [`JobQueue::pop_batch`] preserves arrival order but gathers
-//! a *run* of consecutive `predict` jobs from the front into one batch, so
-//! the executor can evaluate them in a single batched UNet forward pass
+//! pops them. Admission is per *class*: cheap jobs (`status`, `predict`)
+//! and expensive jobs (`spread`, `flow`) count against separate depth caps
+//! ([`QueueCaps`]), so a burst of flow requests cannot starve cheap
+//! telemetry and inference traffic. A push over the cap is rejected with a
+//! typed [`RejectReason::Overloaded`] carrying a deterministic
+//! `retry_after_ms` hint; `shutdown` bypasses the caps (an overloaded
+//! daemon must stay stoppable).
+//!
+//! [`JobQueue::pop_batch`] preserves arrival order but gathers a *run* of
+//! consecutive `predict` jobs from the front into one batch, so the
+//! executor can evaluate them in a single batched UNet forward pass
 //! (bitwise identical to evaluating them one by one — see
 //! `dco_unet::predict_maps_batch`). Non-predict jobs always come out
 //! alone.
@@ -11,6 +20,7 @@
 use std::collections::VecDeque;
 use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
 
 use super::protocol::{JobRequest, Request};
 
@@ -24,38 +34,180 @@ pub struct QueuedJob {
     pub request: Request,
     /// Where the serialized response line goes.
     pub reply: Sender<String>,
+    /// Wall-clock deadline (client-requested, server-clamped), if any.
+    /// Checked before execution starts and enforced cooperatively while
+    /// the job runs.
+    pub deadline: Option<Instant>,
+}
+
+/// Admission classes: jobs are capped per class so expensive work cannot
+/// crowd out cheap work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobClass {
+    /// `status` and `predict`: sub-second, bounded work.
+    Cheap,
+    /// `spread` and `flow`: multi-stage, variable-cost work.
+    Expensive,
+}
+
+impl JobClass {
+    /// The admission class of a job kind. `shutdown` is classified cheap
+    /// but bypasses the caps entirely in [`JobQueue::push`].
+    pub fn of(job: &JobRequest) -> Self {
+        match job {
+            JobRequest::Predict { .. } | JobRequest::Status | JobRequest::Shutdown => {
+                JobClass::Cheap
+            }
+            JobRequest::Spread { .. } | JobRequest::Flow { .. } => JobClass::Expensive,
+        }
+    }
+
+    /// Human/wire label.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobClass::Cheap => "cheap",
+            JobClass::Expensive => "expensive",
+        }
+    }
+}
+
+/// Per-class queue depth caps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueCaps {
+    /// Maximum queued cheap jobs (`status`, `predict`).
+    pub cheap: usize,
+    /// Maximum queued expensive jobs (`spread`, `flow`).
+    pub expensive: usize,
+}
+
+impl Default for QueueCaps {
+    fn default() -> Self {
+        Self {
+            cheap: 64,
+            expensive: 8,
+        }
+    }
+}
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The job's class queue is at capacity. Clients should wait at least
+    /// `retry_after_ms` before resubmitting.
+    Overloaded {
+        /// The class whose cap was hit.
+        class: JobClass,
+        /// Queue depth for that class at rejection time.
+        depth: usize,
+        /// The configured cap.
+        cap: usize,
+        /// Deterministic backoff hint, milliseconds.
+        retry_after_ms: u64,
+    },
+    /// The queue has been closed by a shutdown request.
+    ShuttingDown,
+}
+
+/// A refused push: the job back in the caller's hands plus the reason, so
+/// the call site can send the typed error itself (the queue never owns a
+/// rejected job).
+#[derive(Debug)]
+pub struct Rejection {
+    /// The job that was not admitted.
+    pub job: QueuedJob,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// Deterministic retry hint: a per-class base cost scaled by how deep the
+/// backlog is. Pure arithmetic on the observed depth — no clocks, no
+/// randomness — so chaos runs replay identically.
+fn retry_hint(class: JobClass, depth: usize) -> u64 {
+    let (base_ms, per_job_ms) = match class {
+        JobClass::Cheap => (25u64, 5u64),
+        JobClass::Expensive => (250u64, 250u64),
+    };
+    (base_ms + per_job_ms * depth as u64).min(5_000)
 }
 
 #[derive(Debug, Default)]
 struct QueueInner {
     jobs: VecDeque<QueuedJob>,
+    cheap_depth: usize,
+    expensive_depth: usize,
     closed: bool,
 }
 
-/// A blocking multi-producer, single-consumer job queue.
+/// A blocking multi-producer, single-consumer job queue with per-class
+/// admission caps.
 #[derive(Debug, Default)]
 pub struct JobQueue {
+    caps: QueueCaps,
     inner: Mutex<QueueInner>,
     ready: Condvar,
 }
 
 impl JobQueue {
-    /// An empty, open queue.
+    /// An empty, open queue with default caps.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_caps(QueueCaps::default())
     }
 
-    /// Enqueue a job. Returns `false` (and drops the job) when the queue
-    /// has been closed by a shutdown request.
-    pub fn push(&self, job: QueuedJob) -> bool {
+    /// An empty, open queue with explicit per-class caps.
+    pub fn with_caps(caps: QueueCaps) -> Self {
+        Self {
+            caps,
+            inner: Mutex::default(),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admit a job or hand it back with a typed rejection.
+    ///
+    /// `shutdown` bypasses the depth caps (it must remain deliverable
+    /// under overload) but still respects `closed`.
+    ///
+    /// # Errors
+    /// [`RejectReason::ShuttingDown`] once [`JobQueue::close`] has run;
+    /// [`RejectReason::Overloaded`] when the job's class is at its cap.
+    /// Boxed because the rejection carries the whole job back to the
+    /// caller, and the Ok path should stay a pointer wide.
+    pub fn push(&self, job: QueuedJob) -> Result<(), Box<Rejection>> {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
-            return false;
+            drop(inner);
+            return Err(Box::new(Rejection {
+                job,
+                reason: RejectReason::ShuttingDown,
+            }));
         }
+        let class = JobClass::of(&job.request.job);
+        let bypass_cap = matches!(job.request.job, JobRequest::Shutdown);
+        let (depth, cap) = match class {
+            JobClass::Cheap => (inner.cheap_depth, self.caps.cheap),
+            JobClass::Expensive => (inner.expensive_depth, self.caps.expensive),
+        };
+        if !bypass_cap && depth >= cap {
+            drop(inner);
+            return Err(Box::new(Rejection {
+                job,
+                reason: RejectReason::Overloaded {
+                    class,
+                    depth,
+                    cap,
+                    retry_after_ms: retry_hint(class, depth),
+                },
+            }));
+        }
+        match class {
+            JobClass::Cheap => inner.cheap_depth += 1,
+            JobClass::Expensive => inner.expensive_depth += 1,
+        }
+        // bounded: depth is capped per class right above (QueueCaps).
         inner.jobs.push_back(job);
         drop(inner);
         self.ready.notify_one();
-        true
+        Ok(())
     }
 
     /// Block until at least one job is available, then pop either one
@@ -66,12 +218,14 @@ impl JobQueue {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(first) = inner.jobs.pop_front() {
+                Self::on_popped(&mut inner, &first);
                 let mut batch = vec![first];
                 if matches!(batch[0].request.job, JobRequest::Predict { .. }) {
                     while batch.len() < max_predict_batch.max(1) {
                         match inner.jobs.front() {
                             Some(j) if matches!(j.request.job, JobRequest::Predict { .. }) => {
                                 if let Some(j) = inner.jobs.pop_front() {
+                                    Self::on_popped(&mut inner, &j);
                                     batch.push(j);
                                 }
                             }
@@ -88,6 +242,15 @@ impl JobQueue {
                 .ready
                 .wait(inner)
                 .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn on_popped(inner: &mut QueueInner, job: &QueuedJob) {
+        match JobClass::of(&job.request.job) {
+            JobClass::Cheap => inner.cheap_depth = inner.cheap_depth.saturating_sub(1),
+            JobClass::Expensive => {
+                inner.expensive_depth = inner.expensive_depth.saturating_sub(1);
+            }
         }
     }
 
@@ -108,6 +271,15 @@ impl JobQueue {
             .jobs
             .len()
     }
+
+    /// Jobs of one class currently waiting (diagnostic; racy by nature).
+    pub fn depth_of(&self, class: JobClass) -> usize {
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        match class {
+            JobClass::Cheap => inner.cheap_depth,
+            JobClass::Expensive => inner.expensive_depth,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -123,6 +295,7 @@ mod tests {
             conn: 0,
             request: parse_request(line).expect("request"),
             reply: tx,
+            deadline: None,
         }
     }
 
@@ -130,10 +303,13 @@ mod tests {
     fn consecutive_predicts_coalesce_up_to_cap() {
         let q = JobQueue::new();
         for i in 0..3 {
-            assert!(q.push(job(&format!("{{\"id\":{i},\"job\":\"predict\"}}"))));
+            q.push(job(&format!("{{\"id\":{i},\"job\":\"predict\"}}")))
+                .expect("admitted");
         }
-        q.push(job("{\"id\":9,\"job\":\"status\"}"));
-        q.push(job("{\"id\":10,\"job\":\"predict\"}"));
+        q.push(job("{\"id\":9,\"job\":\"status\"}"))
+            .expect("status");
+        q.push(job("{\"id\":10,\"job\":\"predict\"}"))
+            .expect("predict");
         let batch = q.pop_batch(2).expect("batch");
         assert_eq!(batch.len(), 2, "cap bounds the run");
         let batch = q.pop_batch(8).expect("batch");
@@ -147,9 +323,13 @@ mod tests {
     #[test]
     fn close_drains_then_ends() {
         let q = Arc::new(JobQueue::new());
-        q.push(job("{\"id\":1,\"job\":\"predict\"}"));
+        q.push(job("{\"id\":1,\"job\":\"predict\"}")).expect("open");
         q.close();
-        assert!(!q.push(job("{\"id\":2,\"job\":\"predict\"}")), "closed");
+        let rej = q
+            .push(job("{\"id\":2,\"job\":\"predict\"}"))
+            .expect_err("closed");
+        assert_eq!(rej.reason, RejectReason::ShuttingDown);
+        assert_eq!(rej.job.request.id, 2, "the job comes back to the caller");
         assert_eq!(q.pop_batch(8).expect("drain").len(), 1);
         assert!(q.pop_batch(8).is_none(), "closed + empty ends the loop");
     }
@@ -160,7 +340,74 @@ mod tests {
         let q2 = Arc::clone(&q);
         let t = std::thread::spawn(move || q2.pop_batch(8).map(|b| b[0].request.id));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.push(job("{\"id\":42,\"job\":\"status\"}"));
+        q.push(job("{\"id\":42,\"job\":\"status\"}")).expect("push");
         assert_eq!(t.join().expect("join"), Some(42));
+    }
+
+    #[test]
+    fn per_class_caps_shed_independently() {
+        let q = JobQueue::with_caps(QueueCaps {
+            cheap: 2,
+            expensive: 1,
+        });
+        q.push(job("{\"id\":1,\"job\":\"flow\"}")).expect("first");
+        let rej = q
+            .push(job("{\"id\":2,\"job\":\"spread\"}"))
+            .expect_err("expensive cap");
+        match rej.reason {
+            RejectReason::Overloaded {
+                class,
+                depth,
+                cap,
+                retry_after_ms,
+            } => {
+                assert_eq!(class, JobClass::Expensive);
+                assert_eq!((depth, cap), (1, 1));
+                assert!(retry_after_ms >= 250, "expensive hint reflects job cost");
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Cheap traffic still flows while the expensive queue is full.
+        q.push(job("{\"id\":3,\"job\":\"predict\"}"))
+            .expect("cheap");
+        q.push(job("{\"id\":4,\"job\":\"status\"}")).expect("cheap");
+        let rej = q
+            .push(job("{\"id\":5,\"job\":\"predict\"}"))
+            .expect_err("cheap cap");
+        assert!(matches!(
+            rej.reason,
+            RejectReason::Overloaded {
+                class: JobClass::Cheap,
+                ..
+            }
+        ));
+        // Popping frees capacity again.
+        let _ = q.pop_batch(8).expect("pop flow");
+        q.push(job("{\"id\":6,\"job\":\"flow\"}"))
+            .expect("slot freed by pop");
+    }
+
+    #[test]
+    fn shutdown_bypasses_caps_but_not_close() {
+        let q = JobQueue::with_caps(QueueCaps {
+            cheap: 0,
+            expensive: 0,
+        });
+        q.push(job("{\"id\":1,\"job\":\"shutdown\"}"))
+            .expect("shutdown must be deliverable under total overload");
+        q.close();
+        assert!(q.push(job("{\"id\":2,\"job\":\"shutdown\"}")).is_err());
+    }
+
+    #[test]
+    fn retry_hint_is_deterministic_and_bounded() {
+        assert_eq!(retry_hint(JobClass::Cheap, 0), 25);
+        assert_eq!(retry_hint(JobClass::Expensive, 1), 500);
+        assert_eq!(retry_hint(JobClass::Expensive, 10_000), 5_000, "capped");
+        assert_eq!(
+            retry_hint(JobClass::Cheap, 64),
+            retry_hint(JobClass::Cheap, 64),
+            "pure function of (class, depth)"
+        );
     }
 }

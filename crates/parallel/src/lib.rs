@@ -41,6 +41,71 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+// --- cooperative cancellation --------------------------------------------
+
+/// A cooperative cancellation token checked at loop boundaries.
+///
+/// Long-running stage loops (DCO iterations, RRR route waves, UNet epochs)
+/// poll [`CancelToken::is_cancelled`] at the top of each pass and abandon
+/// cleanly when it fires. The default token is *never cancelled* and costs
+/// nothing to poll beyond a branch on `None`, so embedding one in a config
+/// struct changes no behavior until a caller explicitly arms it.
+///
+/// The token carries no clock: *when* to cancel is the arming side's
+/// policy (the serve layer runs a deadline watchdog), which keeps this
+/// crate free of time reads and the stage loops deterministic — a token
+/// that never fires cannot perturb any computed value.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Option<Arc<AtomicBool>>,
+}
+
+impl CancelToken {
+    /// A token that can later be cancelled via [`CancelToken::cancel`].
+    pub fn new() -> Self {
+        Self {
+            flag: Some(Arc::new(AtomicBool::new(false))),
+        }
+    }
+
+    /// A token that never fires (identical to `Default`).
+    pub fn never() -> Self {
+        Self { flag: None }
+    }
+
+    /// Signal cancellation to every clone of this token. No-op on a
+    /// never-token.
+    pub fn cancel(&self) {
+        if let Some(flag) = &self.flag {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether cancellation has been signalled. Always `false` for a
+    /// never-token.
+    pub fn is_cancelled(&self) -> bool {
+        match &self.flag {
+            Some(flag) => flag.load(Ordering::Relaxed),
+            None => false,
+        }
+    }
+}
+
+/// Tokens compare by identity: two never-tokens are equal, two armed
+/// tokens are equal iff they share the same flag. This keeps `PartialEq`
+/// derives on config structs meaningful (a default-constructed config
+/// still equals another default-constructed config).
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        match (&self.flag, &other.flag) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+}
 
 /// 0 = unresolved; otherwise the effective worker count.
 static THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -319,6 +384,24 @@ mod tests {
         set_adaptive(true);
         set_threads(1);
         assert_eq!(effective_threads(), 1);
+    }
+
+    #[test]
+    fn cancel_token_default_never_fires_and_clones_share_state() {
+        let never = CancelToken::default();
+        assert!(!never.is_cancelled());
+        never.cancel();
+        assert!(!never.is_cancelled(), "never-token stays un-cancelled");
+        assert_eq!(never, CancelToken::never());
+
+        let armed = CancelToken::new();
+        let clone = armed.clone();
+        assert!(!clone.is_cancelled());
+        armed.cancel();
+        assert!(clone.is_cancelled(), "clones observe cancellation");
+        assert_eq!(armed, clone);
+        assert_ne!(armed, CancelToken::new(), "distinct flags are unequal");
+        assert_ne!(armed, CancelToken::never());
     }
 
     #[test]

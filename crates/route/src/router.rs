@@ -48,6 +48,12 @@ pub struct RouterConfig {
     /// carries `converged: false` with the full iteration count. Only used
     /// by the fault-injection harness; `false` in production.
     pub stall_rrr: bool,
+    /// Cooperative cancellation, polled between pattern waves and at each
+    /// RRR iteration boundary. The default token never fires; the serve
+    /// layer arms it to enforce per-job deadlines. A cancelled route
+    /// returns early with unrouted segments left empty (callers that care
+    /// discard the partial result).
+    pub cancel: dco_parallel::CancelToken,
 }
 
 impl Default for RouterConfig {
@@ -60,6 +66,7 @@ impl Default for RouterConfig {
             z_candidates: 3,
             maze_margin: 8,
             stall_rrr: false,
+            cancel: dco_parallel::CancelToken::never(),
         }
     }
 }
@@ -192,6 +199,9 @@ impl<'a> Router<'a> {
         {
             let _pattern_span = dco_obs::span!("route.pattern");
             for wave in segments.chunks(ROUTE_BATCH) {
+                if self.cfg.cancel.is_cancelled() {
+                    break;
+                }
                 let routed =
                     dco_parallel::par_map(wave, |_, seg| self.route_segment(seg, &state, false));
                 for (path, bond) in routed {
@@ -203,6 +213,13 @@ impl<'a> Router<'a> {
                     paths.push(path);
                     bond_at.push(bond);
                 }
+            }
+            // On cancellation, segments past the abandoned wave keep empty
+            // paths so `paths`/`bond_at` stay index-aligned with `segments`
+            // for the reporting pass below.
+            while paths.len() < segments.len() {
+                paths.push(Vec::new());
+                bond_at.push(None);
             }
         }
 
@@ -218,6 +235,9 @@ impl<'a> Router<'a> {
         // Negotiated-congestion refinement (skipped entirely when the
         // stall fault is armed: the initial routing is the best-so-far).
         for rrr_pass in 0..self.cfg.rrr_iterations {
+            if self.cfg.cancel.is_cancelled() {
+                break;
+            }
             if self.cfg.stall_rrr {
                 rrr_iterations = self.cfg.rrr_iterations;
                 break;
@@ -281,7 +301,7 @@ impl<'a> Router<'a> {
         // strictly reduces the segment's overflow contribution — in
         // saturated regions detours add demand without relieving anything,
         // so a cost-only comparison would make things globally worse.
-        if self.cfg.maze_margin > 0 && !self.cfg.stall_rrr {
+        if self.cfg.maze_margin > 0 && !self.cfg.stall_rrr && !self.cfg.cancel.is_cancelled() {
             let _maze_span = dco_obs::span!("route.maze");
             for (i, seg) in segments.iter().enumerate() {
                 if !state.path_overflows(&paths[i], self.h_cap, self.v_cap) {

@@ -29,6 +29,11 @@ pub struct TrainConfig {
     /// Fault injection: force the first step of this epoch to report a
     /// non-finite loss (testing hook for the divergence guard; fires once).
     pub inject_nan_loss_at: Option<usize>,
+    /// Cooperative cancellation, polled at each epoch boundary. The
+    /// default token never fires; the serve layer arms it to enforce
+    /// per-job deadlines. A cancelled run stops early with the weights as
+    /// of the last completed epoch (callers that care discard them).
+    pub cancel: dco_parallel::CancelToken,
 }
 
 impl Default for TrainConfig {
@@ -42,6 +47,7 @@ impl Default for TrainConfig {
             max_divergence_retries: 3,
             lr_backoff: 0.5,
             inject_nan_loss_at: None,
+            cancel: dco_parallel::CancelToken::never(),
         }
     }
 }
@@ -107,6 +113,9 @@ pub fn train(model: &mut SiameseUNet, dataset: &[Sample], cfg: &TrainConfig) -> 
     let mut shuffled: Vec<usize> = (0..train_samples.len()).collect();
     let mut epoch = 0usize;
     'epochs: while epoch < cfg.epochs {
+        if cfg.cancel.is_cancelled() {
+            break;
+        }
         let _epoch_span = dco_obs::span!("unet.train.epoch", epoch = epoch);
         shuffled.shuffle(&mut rng);
         // Epoch-start weights, known good: a non-finite step inside this

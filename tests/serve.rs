@@ -27,8 +27,8 @@ use std::path::PathBuf;
 use std::sync::{Mutex, OnceLock};
 
 use dco_flow::serve::{
-    map_payload, placement_checksum, predict_result, serve, Bind, BoundAddr, ServeOptions,
-    ServerHandle, WarmState,
+    map_payload, placement_checksum, predict_result, serve, Bind, BoundAddr, QueueCaps,
+    ServeOptions, ServerHandle, WarmState,
 };
 use dco_flow::{train_predictor, FlowConfig, FlowKind, Predictor, ResilienceOptions};
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
@@ -453,6 +453,304 @@ fn adversarial_inputs_yield_typed_errors_and_daemon_survives() {
         "shutdown",
     );
     handle.join().expect("daemon survived adversarial session");
+}
+
+// --- overload & deadlines --------------------------------------------------
+
+/// The `error.retry_after_ms` field of an `overloaded` response.
+fn retry_after_ms(resp: &Value) -> u64 {
+    assert_eq!(error_kind(resp), "overloaded");
+    match resp.get("error").and_then(|e| e.get("retry_after_ms")) {
+        Some(Value::Number(ms)) => *ms as u64,
+        other => panic!("retry_after_ms missing or not a number: {other:?}"),
+    }
+}
+
+#[test]
+fn expensive_jobs_are_shed_with_retry_hint_while_cheap_traffic_flows() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let opts = ServeOptions {
+        queue_caps: QueueCaps {
+            cheap: 64,
+            expensive: 0,
+        },
+        ..ServeOptions::default()
+    };
+    let (handle, path) = spawn_unix("overload", opts);
+    let mut c = Client::connect(&path);
+
+    // With a zero expensive cap, every spread/flow is shed at admission...
+    let resp = c.round_trip(r#"{"id":1,"job":"spread","seed":5}"#);
+    assert!(retry_after_ms(&resp) >= 250, "hint reflects expensive cost");
+    let resp = c.round_trip(r#"{"id":2,"job":"flow","kind":"pin3d","seed":1}"#);
+    assert!(retry_after_ms(&resp) >= 250);
+
+    // ...but cheap traffic is untouched by the expensive-cap pressure.
+    assert_ok(&c.round_trip(r#"{"id":3,"job":"status"}"#), 3, "status");
+    let status = c.round_trip(r#"{"id":4,"job":"status"}"#);
+    let overload = status
+        .get("result")
+        .and_then(|r| r.get("overload"))
+        .expect("status exposes the overload section");
+    match overload.get("shed") {
+        Some(Value::Number(n)) => assert!(*n >= 2.0, "shed jobs are counted: {overload:?}"),
+        other => panic!("overload.shed missing: {other:?}"),
+    }
+    assert_ok(
+        &c.round_trip(r#"{"id":5,"job":"predict","seed":5}"#),
+        5,
+        "predict",
+    );
+
+    // Shutdown bypasses the caps: an overloaded daemon stays stoppable.
+    assert_ok(&c.round_trip(r#"{"id":6,"job":"shutdown"}"#), 6, "shutdown");
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.shed, 2, "both expensive jobs were shed");
+    assert_eq!(stats.spread + stats.flow, 0, "shed jobs never executed");
+}
+
+#[test]
+fn deadline_exceeded_flow_gets_typed_reply_and_daemon_recovers() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // max_deadline_ms clamps the client's ask, so even an absurd client
+    // deadline cannot reserve the executor: with a 1 ms server clamp, a
+    // "one hour" flow request still expires almost immediately.
+    let opts = ServeOptions {
+        max_deadline_ms: 1,
+        ..ServeOptions::default()
+    };
+    let (handle, path) = spawn_unix("deadline", opts);
+    let mut c = Client::connect(&path);
+
+    let resp =
+        c.round_trip(r#"{"id":1,"job":"flow","kind":"pin3d","seed":1,"deadline_ms":3600000}"#);
+    assert_eq!(error_kind(&resp), "deadline-exceeded");
+
+    // The cancelled flow left no state behind: the very same request
+    // without a deadline completes, bitwise equal to the one-shot path.
+    let state = warm_state();
+    let one_shot = state
+        .runner()
+        .run_resilient(
+            FlowKind::Pin3d,
+            1,
+            Some(state.predictor()),
+            &ResilienceOptions::default(),
+        )
+        .expect("one-shot flow");
+    let expected = format!("{:016x}", placement_checksum(&one_shot.outcome.placement));
+    let resp = c.round_trip(r#"{"id":2,"job":"flow","kind":"pin3d","seed":1}"#);
+    assert_ok(&resp, 2, "flow");
+    assert_eq!(
+        resp.get("result").and_then(|r| r.get("checksum")),
+        Some(&Value::String(expected)),
+        "post-deadline flow still bitwise matches one-shot"
+    );
+
+    // A generous deadline does not perturb results either (the token
+    // simply never fires).
+    let resp = c.round_trip(r#"{"id":3,"job":"predict","seed":7,"deadline_ms":30000}"#);
+    assert_ok(&resp, 3, "predict");
+
+    assert_ok(&c.round_trip(r#"{"id":4,"job":"shutdown"}"#), 4, "shutdown");
+    let stats = handle.join().expect("clean shutdown");
+    assert!(stats.deadline_exceeded >= 1, "{stats:?}");
+    assert_eq!(stats.flow, 1, "only the un-deadlined flow completed");
+}
+
+// --- socket hardening ------------------------------------------------------
+
+#[test]
+fn stale_socket_file_is_rebound_live_daemon_is_not() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let path = socket_path("stale");
+    let _ = std::fs::remove_file(&path);
+
+    // A crashed daemon leaves a socket file nobody is accepting on.
+    drop(std::os::unix::net::UnixListener::bind(&path).expect("bind throwaway"));
+    assert!(path.exists(), "stale socket file left behind");
+    let handle = serve(
+        warm_state(),
+        Bind::Unix(path.clone()),
+        ServeOptions::default(),
+    )
+    .expect("stale socket probed and rebound");
+
+    // A *live* daemon on the same path must not be clobbered.
+    let err = serve(
+        warm_state(),
+        Bind::Unix(path.clone()),
+        ServeOptions::default(),
+    )
+    .expect_err("double bind refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    // ...and the live daemon is still serving after the failed bind.
+    let mut c = Client::connect(&path);
+    assert_ok(&c.round_trip(r#"{"id":1,"job":"status"}"#), 1, "status");
+    assert_ok(&c.round_trip(r#"{"id":2,"job":"shutdown"}"#), 2, "shutdown");
+    handle.join().expect("clean shutdown");
+
+    // A non-socket file at the path is never deleted.
+    std::fs::write(&path, b"precious").expect("write file");
+    let err = serve(
+        warm_state(),
+        Bind::Unix(path.clone()),
+        ServeOptions::default(),
+    )
+    .expect_err("regular file refused");
+    assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
+    assert_eq!(
+        std::fs::read(&path).expect("file intact"),
+        b"precious",
+        "bind probe must not delete non-socket files"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn idle_connections_are_reaped_and_connection_cap_rejects_with_typed_line() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let opts = ServeOptions {
+        read_timeout_ms: 20,
+        idle_strikes: 2,
+        max_conns: 1,
+        ..ServeOptions::default()
+    };
+    let (handle, path) = spawn_unix("reap", opts);
+
+    // First connection occupies the single slot and then sits idle.
+    let idle = Client::connect(&path);
+    std::thread::sleep(std::time::Duration::from_millis(10));
+
+    // Second connection is over the cap: one typed overloaded line, then
+    // a close — never a silent drop.
+    {
+        let over = UnixStream::connect(&path).expect("connect over cap");
+        let mut reader = BufReader::new(over);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("rejection line");
+        let resp: Value = serde_json::from_str(&line).expect("typed rejection");
+        assert_eq!(error_kind(&resp), "overloaded");
+        line.clear();
+        assert_eq!(
+            reader.read_line(&mut line).expect("after rejection"),
+            0,
+            "connection closed after the rejection line"
+        );
+    }
+
+    // The idle connection gets reaped after 2 strikes of the 20 ms read
+    // timeout; its socket closes from the server side.
+    let mut reader = BufReader::new(idle.reader.into_inner());
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).expect("reaped socket read");
+    assert_eq!(n, 0, "server closed the idle connection");
+
+    // The freed slot admits a new connection (poll briefly: the slot is
+    // released when the reaper thread exits).
+    let mut admitted = None;
+    for _ in 0..100 {
+        let mut c = Client::connect(&path);
+        c.send_raw(r#"{"id":1,"job":"status"}"#);
+        let mut line = String::new();
+        if c.reader.read_line(&mut line).expect("read") > 0 {
+            let resp: Value = serde_json::from_str(&line).expect("json");
+            if resp.get("ok") == Some(&Value::Bool(true)) {
+                admitted = Some(c);
+                break;
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let mut c = admitted.expect("slot freed by the reaper");
+    assert_ok(&c.round_trip(r#"{"id":2,"job":"shutdown"}"#), 2, "shutdown");
+    let stats = handle.join().expect("clean shutdown");
+    assert!(stats.conns_reaped >= 1, "{stats:?}");
+    assert!(stats.conns_rejected >= 1, "{stats:?}");
+}
+
+// --- write-path failures ---------------------------------------------------
+
+#[test]
+fn replies_larger_than_the_inbound_cap_are_delivered_intact() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // The inbound frame cap must not truncate outbound frames: a predict
+    // reply is far bigger than 512 bytes and must arrive whole.
+    let opts = ServeOptions {
+        max_line_bytes: 512,
+        ..ServeOptions::default()
+    };
+    let (handle, path) = spawn_unix("outbound", opts);
+    let mut c = Client::connect(&path);
+    let resp = c.round_trip(r#"{"id":1,"job":"predict","seed":5}"#);
+    assert_ok(&resp, 1, "predict");
+    assert!(
+        result_bytes(&resp).len() > 512,
+        "fixture reply exercises the over-cap outbound path"
+    );
+    assert_ok(&c.round_trip(r#"{"id":2,"job":"shutdown"}"#), 2, "shutdown");
+    handle.join().expect("clean shutdown");
+}
+
+#[test]
+fn client_vanishing_before_its_reply_never_wedges_the_daemon() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (handle, path) = spawn_unix("vanish", ServeOptions::default());
+
+    // Severing both directions (not just dropping the handle) forces the
+    // writer's next send onto a dead socket.
+    for i in 0..3u64 {
+        let mut t = UnixStream::connect(&path).expect("connect");
+        t.write_all(format!("{{\"id\":{i},\"job\":\"predict\",\"seed\":3}}\n").as_bytes())
+            .expect("write");
+        t.flush().expect("flush");
+        t.shutdown(std::net::Shutdown::Both).expect("sever");
+    }
+
+    // The executor worked through all three dead-reply jobs and lives on.
+    let mut c = Client::connect(&path);
+    assert_ok(&c.round_trip(r#"{"id":10,"job":"status"}"#), 10, "status");
+    assert_ok(
+        &c.round_trip(r#"{"id":11,"job":"shutdown"}"#),
+        11,
+        "shutdown",
+    );
+    handle.join().expect("daemon survived vanished clients");
+}
+
+#[test]
+fn partial_write_injection_tears_the_frame_then_closes() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    // Rate 100: the very first reply is torn mid-frame and the socket
+    // severed — the client must observe a close, never a torn frame
+    // followed by more data.
+    let opts = ServeOptions {
+        inject: Some("partial-write:7:100".parse().expect("spec")),
+        ..ServeOptions::default()
+    };
+    let (handle, path) = spawn_unix("torn", opts);
+    let mut c = Client::connect(&path);
+    c.send_raw(r#"{"id":1,"job":"status"}"#);
+    let mut buf = String::new();
+    let n = c.reader.read_line(&mut buf).expect("torn read");
+    assert!(
+        n == 0 || serde_json::from_str::<Value>(&buf).is_err(),
+        "frame must be torn or the socket closed, got a whole reply: {buf}"
+    );
+    let mut tail = String::new();
+    assert_eq!(
+        c.reader.read_line(&mut tail).expect("after tear"),
+        0,
+        "no data may follow a torn frame"
+    );
+
+    // The daemon itself is unharmed; shut down through a fresh connection
+    // (whose own reply may also be torn — the stop still lands).
+    let mut s = Client::connect(&path);
+    s.send_raw(r#"{"id":2,"job":"shutdown"}"#);
+    let mut line = String::new();
+    let _ = s.reader.read_line(&mut line);
+    handle.join().expect("daemon drained under write faults");
 }
 
 #[test]
