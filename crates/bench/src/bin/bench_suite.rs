@@ -22,20 +22,36 @@
 //! bitwise output equality is machine-independent. See BENCHMARKS.md for
 //! the reporting convention.
 //!
+//! `--paper` switches to the **paper-scale tier**: 224×224 congestion
+//! maps (the size DCO-3D trains and optimizes at), a UNet `predict`, one
+//! DCO iteration, and a matmul/conv sweep at UNet-shaped operands. Paper
+//! runs additionally
+//!
+//! - benchmark the packed conv2d kernel against the retained pre-blocking
+//!   reference in the same process and gate on the machine-independent
+//!   ratio (`speedup_vs_reference`), and
+//! - append a wall-time **trajectory** entry to the report so speed can
+//!   be tracked across PRs, gating single-thread regressions against the
+//!   previous entry when the machine fingerprint matches.
+//!
 //! ```sh
 //! cargo run --release -p dco-bench --bin bench_suite -- --quick
 //! cargo run --release -p dco-bench --bin bench_suite -- --threads 1,2,4 --reps 5
+//! cargo run --release -p dco-bench --bin bench_suite -- --paper
 //! ```
 
+use dco3d::{DcoConfig, DcoOptimizer};
 use dco_flow::{FlowConfig, FlowKind, FlowRunner};
+use dco_gnn::{build_node_features, Gcn, GcnConfig};
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
 use dco_netlist::Design;
 use dco_place::{GlobalPlacer, PlacementParams};
 use dco_route::{Router, RouterConfig};
-use dco_tensor::conv::{conv2d_backward, conv2d_forward};
+use dco_tensor::conv::{conv2d_backward, conv2d_forward, conv2d_forward_reference};
 use dco_tensor::Tensor;
 use dco_timing::Sta;
-use serde_json::json;
+use dco_unet::{Normalization, SiameseUNet, UNetConfig};
+use serde_json::{json, Value};
 use std::time::Instant;
 
 /// One benchmark at one thread count.
@@ -113,13 +129,15 @@ fn checksum_placement(p: &dco_netlist::Placement3) -> u64 {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut paper = false;
+    let mut threads: Vec<usize> = Vec::new();
     let mut reps = 3usize;
     let mut out = String::from("BENCH_dco3d.json");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--paper" => paper = true,
             "--threads" => {
                 let v = it.next().expect("--threads needs a comma-separated list");
                 threads = v
@@ -141,135 +159,298 @@ fn main() {
             "--out" => out = it.next().expect("--out needs a path").clone(),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: bench_suite [--quick] [--threads 1,2,4] [--reps N] [--out FILE]");
+                eprintln!(
+                    "usage: bench_suite [--quick | --paper] [--threads 1,2,4] [--reps N] [--out FILE]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+    if threads.is_empty() {
+        // The paper tier pins the thread-invariance contract at 1/2/8.
+        threads = if paper { vec![1, 2, 8] } else { vec![1, 2, 4] };
     }
     assert!(
         threads.contains(&1),
         "the sweep must include --threads 1 (the speedup baseline)"
     );
-
-    // Problem sizes: --quick keeps the CI smoke job under a minute.
-    let (bsz, cin, cout, hw, scale) = if quick {
-        (2, 4, 6, 24, 0.02)
-    } else {
-        (4, 6, 8, 48, 0.04)
-    };
-    let mm = if quick { 128 } else { 256 };
+    assert!(
+        !(quick && paper),
+        "--quick and --paper are mutually exclusive tiers"
+    );
 
     eprintln!(
         "bench_suite: threads {threads:?}, reps {reps}, {} sizes",
-        if quick { "quick" } else { "full" }
+        if paper {
+            "paper"
+        } else if quick {
+            "quick"
+        } else {
+            "full"
+        }
     );
 
-    // --- fixture setup (timed work only inside the closures) ---------------
-    let x = Tensor::from_vec(
-        (0..bsz * cin * hw * hw)
-            .map(|i| ((i as f32) * 0.731).sin())
-            .collect(),
-        &[bsz, cin, hw, hw],
-    );
-    let w = Tensor::from_vec(
-        (0..cout * cin * 9)
-            .map(|i| ((i as f32) * 0.17).cos())
-            .collect(),
-        &[cout, cin, 3, 3],
-    );
-    let b = Tensor::from_vec((0..cout).map(|i| i as f32 * 0.01).collect(), &[cout]);
-    let y = conv2d_forward(&x, &w, Some(&b), 1, 1);
-    let gy = y.map(|v| (v * 0.3).tanh());
-
-    let a = Tensor::from_vec(
-        (0..mm * mm).map(|i| ((i as f32) * 0.013).sin()).collect(),
-        &[mm, mm],
-    );
-    let design = bench_design(scale);
-    let params = PlacementParams::default();
-    let placed = GlobalPlacer::new(&design).place(&params, 11);
-    let router = Router::new(&design, RouterConfig::default());
-    let routed = router.route(&placed);
-    let sta = Sta::new(&design);
-
-    // --- the sweep ----------------------------------------------------------
     let mut entries = Vec::new();
-    entries.push(sweep(
-        "conv2d_forward",
-        &threads,
-        reps,
-        || conv2d_forward(&x, &w, Some(&b), 1, 1),
-        |y| dco_parallel::checksum_f32(y.data()),
-    ));
-    entries.push(sweep(
-        "conv2d_backward",
-        &threads,
-        reps,
-        || conv2d_backward(&x, &w, 1, 1, &gy),
-        |(gx, gw, gb)| {
-            let mut c = dco_parallel::checksum_f32(gx.data());
-            c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
-            dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
-        },
-    ));
-    entries.push(sweep(
-        "matmul",
-        &threads,
-        reps,
-        || a.matmul(&a),
-        |m| dco_parallel::checksum_f32(m.data()),
-    ));
-    entries.push(sweep(
-        "place",
-        &threads,
-        reps,
-        || GlobalPlacer::new(&design).place(&params, 11),
-        checksum_placement,
-    ));
-    entries.push(sweep(
-        "route_rrr",
-        &threads,
-        reps,
-        || router.route(&placed),
-        |r| {
-            let mut c = dco_parallel::checksum_f32(r.h_usage[0].data());
-            for m in [&r.h_usage[1], &r.v_usage[0], &r.v_usage[1]] {
-                c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(m.data()));
-            }
-            dco_parallel::checksum_combine(c, r.report.total.to_bits())
-        },
-    ));
-    entries.push(sweep(
-        "sta_levelized",
-        &threads,
-        reps,
-        || sta.analyze(&placed, Some(&routed.net_lengths), Some(&routed.net_bonds)),
-        |t| {
-            let c = dco_parallel::checksum_f64(&t.pin_arrival);
-            dco_parallel::checksum_combine(c, t.wns_ps.to_bits())
-        },
-    ));
-    if !quick {
-        // One end-to-end flow (placement -> route -> STA under one roof);
-        // slow, so full mode only.
-        let cfg = FlowConfig {
-            map_size: 16,
-            unet_channels: 4,
-            train_layouts: 2,
-            train_epochs: 2,
-            ..FlowConfig::default()
-        };
-        let runner = FlowRunner::new(&design, cfg);
+    if paper {
+        // --- paper-scale tier: 224×224 maps, the size DCO-3D runs at ------
+        // conv shapes mirror the UNet encoder: enc1 is 7→8 channels at
+        // 224×224 (im2col GEMM of [8, 63] × [63, 50176]), enc2 is 8→16 at
+        // 112×112 after pooling.
+        let x224 = Tensor::from_vec(
+            (0..7 * 224 * 224)
+                .map(|i| ((i as f32) * 0.731).sin())
+                .collect(),
+            &[1, 7, 224, 224],
+        );
+        let w224 = Tensor::from_vec(
+            (0..8 * 7 * 9).map(|i| ((i as f32) * 0.17).cos()).collect(),
+            &[8, 7, 3, 3],
+        );
+        let b224 = Tensor::from_vec((0..8).map(|i| i as f32 * 0.01).collect(), &[8]);
+        let y224 = conv2d_forward(&x224, &w224, Some(&b224), 1, 1);
+        let gy224 = y224.map(|v| (v * 0.3).tanh());
+        let x112 = Tensor::from_vec(
+            (0..8 * 112 * 112)
+                .map(|i| ((i as f32) * 0.417).sin())
+                .collect(),
+            &[1, 8, 112, 112],
+        );
+        let w112 = Tensor::from_vec(
+            (0..16 * 8 * 9).map(|i| ((i as f32) * 0.23).cos()).collect(),
+            &[16, 8, 3, 3],
+        );
+        // The two speedup-gate benches get extra reps: the min-wall ratio
+        // is the gated quantity, so both sides need a quiet-minimum sample
+        // even on noisy shared CI machines.
+        let gate_reps = reps.max(7);
         entries.push(sweep(
-            "flow_pin3d",
+            "conv2d_forward_224",
             &threads,
-            reps.min(2),
-            || runner.run(FlowKind::Pin3d, 11, None),
-            |o| {
-                let c = checksum_placement(&o.placement);
-                dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits())
+            gate_reps,
+            || conv2d_forward(&x224, &w224, Some(&b224), 1, 1),
+            |y| dco_parallel::checksum_f32(y.data()),
+        ));
+        entries.push(sweep(
+            "conv2d_forward_224_reference",
+            &threads,
+            gate_reps,
+            || conv2d_forward_reference(&x224, &w224, Some(&b224), 1, 1),
+            |y| dco_parallel::checksum_f32(y.data()),
+        ));
+        entries.push(sweep(
+            "conv2d_forward_112_c16",
+            &threads,
+            reps,
+            || conv2d_forward(&x112, &w112, None, 1, 1),
+            |y| dco_parallel::checksum_f32(y.data()),
+        ));
+        entries.push(sweep(
+            "conv2d_backward_224",
+            &threads,
+            reps,
+            || conv2d_backward(&x224, &w224, 1, 1, &gy224),
+            |(gx, gw, gb)| {
+                let mut c = dco_parallel::checksum_f32(gx.data());
+                c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
+                dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
             },
         ));
+        let a512 = Tensor::from_vec(
+            (0..512 * 512).map(|i| ((i as f32) * 0.013).sin()).collect(),
+            &[512, 512],
+        );
+        entries.push(sweep(
+            "matmul_512",
+            &threads,
+            reps,
+            || a512.matmul(&a512),
+            |m| dco_parallel::checksum_f32(m.data()),
+        ));
+        // The bottleneck-level GEMM shape: [C_out, C_in·KH·KW] × [·, OH·OW].
+        let au = Tensor::from_vec(
+            (0..64 * 576).map(|i| ((i as f32) * 0.019).sin()).collect(),
+            &[64, 576],
+        );
+        let bu = Tensor::from_vec(
+            (0..576 * 3136)
+                .map(|i| ((i as f32) * 0.007).cos())
+                .collect(),
+            &[576, 3136],
+        );
+        entries.push(sweep(
+            "matmul_unet_shape",
+            &threads,
+            reps,
+            || au.matmul(&bu),
+            |m| dco_parallel::checksum_f32(m.data()),
+        ));
+        // Full-model inference at paper size: Siamese UNet predict on a
+        // 224×224 feature pair — the served `predict` hot path.
+        let unet = SiameseUNet::new(
+            UNetConfig {
+                size: 224,
+                ..UNetConfig::default()
+            },
+            3,
+        );
+        let f1 = x224.map(|v| (v * 0.7).cos());
+        entries.push(sweep(
+            "unet_predict_224",
+            &threads,
+            reps,
+            || unet.predict(&x224, &f1),
+            |(c0, c1)| {
+                let c = dco_parallel::checksum_f32(c0.data());
+                dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(c1.data()))
+            },
+        ));
+        // One DCO iteration at paper scale: rasterize → UNet forward →
+        // four-term loss → backward through the frozen UNet to the GCN.
+        let design = bench_design(0.04);
+        let params = PlacementParams::default();
+        let placed = GlobalPlacer::new(&design).place(&params, 11);
+        let timing = Sta::new(&design).analyze(&placed, None, None);
+        let features = build_node_features(&design, &placed, &timing);
+        let norm = Normalization {
+            channel_scale: [1.0; 7],
+            label_scale: 1.0,
+        };
+        let dco_cfg = DcoConfig {
+            max_iter: 1,
+            ..DcoConfig::default()
+        };
+        entries.push(sweep(
+            "dco_iter_224",
+            &threads,
+            reps.min(2),
+            || {
+                let mut dco = DcoOptimizer::new(
+                    &design,
+                    &unet,
+                    &norm,
+                    features.clone(),
+                    Gcn::new(GcnConfig::default(), 11),
+                    dco_cfg.clone(),
+                );
+                dco.run(&placed)
+            },
+            |r| checksum_placement(&r.placement),
+        ));
+    } else {
+        // Problem sizes: --quick keeps the CI smoke job under a minute.
+        let (bsz, cin, cout, hw, scale) = if quick {
+            (2, 4, 6, 24, 0.02)
+        } else {
+            (4, 6, 8, 48, 0.04)
+        };
+        let mm = if quick { 128 } else { 256 };
+
+        // --- fixture setup (timed work only inside the closures) -----------
+        let x = Tensor::from_vec(
+            (0..bsz * cin * hw * hw)
+                .map(|i| ((i as f32) * 0.731).sin())
+                .collect(),
+            &[bsz, cin, hw, hw],
+        );
+        let w = Tensor::from_vec(
+            (0..cout * cin * 9)
+                .map(|i| ((i as f32) * 0.17).cos())
+                .collect(),
+            &[cout, cin, 3, 3],
+        );
+        let b = Tensor::from_vec((0..cout).map(|i| i as f32 * 0.01).collect(), &[cout]);
+        let y = conv2d_forward(&x, &w, Some(&b), 1, 1);
+        let gy = y.map(|v| (v * 0.3).tanh());
+
+        let a = Tensor::from_vec(
+            (0..mm * mm).map(|i| ((i as f32) * 0.013).sin()).collect(),
+            &[mm, mm],
+        );
+        let design = bench_design(scale);
+        let params = PlacementParams::default();
+        let placed = GlobalPlacer::new(&design).place(&params, 11);
+        let router = Router::new(&design, RouterConfig::default());
+        let routed = router.route(&placed);
+        let sta = Sta::new(&design);
+
+        // --- the sweep ------------------------------------------------------
+        entries.push(sweep(
+            "conv2d_forward",
+            &threads,
+            reps,
+            || conv2d_forward(&x, &w, Some(&b), 1, 1),
+            |y| dco_parallel::checksum_f32(y.data()),
+        ));
+        entries.push(sweep(
+            "conv2d_backward",
+            &threads,
+            reps,
+            || conv2d_backward(&x, &w, 1, 1, &gy),
+            |(gx, gw, gb)| {
+                let mut c = dco_parallel::checksum_f32(gx.data());
+                c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gw.data()));
+                dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(gb.data()))
+            },
+        ));
+        entries.push(sweep(
+            "matmul",
+            &threads,
+            reps,
+            || a.matmul(&a),
+            |m| dco_parallel::checksum_f32(m.data()),
+        ));
+        entries.push(sweep(
+            "place",
+            &threads,
+            reps,
+            || GlobalPlacer::new(&design).place(&params, 11),
+            checksum_placement,
+        ));
+        entries.push(sweep(
+            "route_rrr",
+            &threads,
+            reps,
+            || router.route(&placed),
+            |r| {
+                let mut c = dco_parallel::checksum_f32(r.h_usage[0].data());
+                for m in [&r.h_usage[1], &r.v_usage[0], &r.v_usage[1]] {
+                    c = dco_parallel::checksum_combine(c, dco_parallel::checksum_f32(m.data()));
+                }
+                dco_parallel::checksum_combine(c, r.report.total.to_bits())
+            },
+        ));
+        entries.push(sweep(
+            "sta_levelized",
+            &threads,
+            reps,
+            || sta.analyze(&placed, Some(&routed.net_lengths), Some(&routed.net_bonds)),
+            |t| {
+                let c = dco_parallel::checksum_f64(&t.pin_arrival);
+                dco_parallel::checksum_combine(c, t.wns_ps.to_bits())
+            },
+        ));
+        if !quick {
+            // One end-to-end flow (placement -> route -> STA under one roof);
+            // slow, so full mode only.
+            let cfg = FlowConfig {
+                map_size: 16,
+                unet_channels: 4,
+                train_layouts: 2,
+                train_epochs: 2,
+                ..FlowConfig::default()
+            };
+            let runner = FlowRunner::new(&design, cfg);
+            entries.push(sweep(
+                "flow_pin3d",
+                &threads,
+                reps.min(2),
+                || runner.run(FlowKind::Pin3d, 11, None),
+                |o| {
+                    let c = checksum_placement(&o.placement);
+                    dco_parallel::checksum_combine(c, o.signoff.wirelength_um.to_bits())
+                },
+            ));
+        }
     }
 
     // --- single-core overhead gate ------------------------------------------
@@ -298,6 +479,88 @@ fn main() {
                 }
             }
         }
+    }
+
+    // --- paper gates & trajectory -------------------------------------------
+    let wall1 = |name: &str| -> Option<f64> {
+        entries
+            .iter()
+            .find(|e| e.name == name)
+            .and_then(|e| e.runs.iter().find(|r| r.threads == 1))
+            .map(|r| r.wall_ms)
+    };
+    // Machine-independent gate: both kernels run in this process, so their
+    // single-thread ratio is meaningful on any machine (unlike wall times).
+    const SPEEDUP_GATE: f64 = 1.2;
+    let mut speedup_vs_reference = None;
+    if paper {
+        let new = wall1("conv2d_forward_224").expect("paper tier benches conv2d_forward_224");
+        let reference =
+            wall1("conv2d_forward_224_reference").expect("paper tier benches the reference");
+        let s = reference / new;
+        speedup_vs_reference = Some(s);
+        eprintln!("paper tier: conv2d forward speedup vs pre-blocking reference = {s:.2}x");
+    }
+
+    let machine = json!({
+        "os": std::env::consts::OS,
+        "arch": std::env::consts::ARCH,
+        "available_parallelism": std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    });
+
+    // Trajectory: carry previously recorded entries through every rewrite of
+    // the report; paper runs append one entry and gate single-thread
+    // regressions against the previous entry — but only when the machine
+    // fingerprint matches (cross-machine wall comparisons are meaningless;
+    // see BENCHMARKS.md).
+    let mut trajectory: Vec<Value> = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| serde_json::from_str::<Value>(&s).ok())
+        .and_then(|v| v.get("trajectory").cloned())
+        .map(|t| match t {
+            Value::Array(items) => items,
+            _ => Vec::new(),
+        })
+        .unwrap_or_default();
+    let mut trajectory_violations: Vec<String> = Vec::new();
+    if paper {
+        const TRAJECTORY_RATIO: f64 = 2.0;
+        const TRAJECTORY_EPS_MS: f64 = 0.5;
+        let gate_on = std::env::var("DCO_BENCH_NO_TRAJECTORY_GATE").is_err();
+        if let Some(prev) = trajectory.last() {
+            if gate_on && prev.get("machine") == Some(&machine) {
+                if let Some(Value::Object(prev_walls)) = prev.get("threads1_wall_ms") {
+                    for (name, v) in prev_walls {
+                        let Value::Number(old) = v else { continue };
+                        let Some(new) = wall1(name) else { continue };
+                        if new > old * TRAJECTORY_RATIO + TRAJECTORY_EPS_MS {
+                            trajectory_violations.push(format!(
+                                "{name}: {new:.3} ms vs {old:.3} ms recorded ({:.2}x > {TRAJECTORY_RATIO}x)",
+                                new / old
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        let walls: Vec<(String, Value)> = entries
+            .iter()
+            .filter_map(|e| {
+                e.runs
+                    .iter()
+                    .find(|r| r.threads == 1)
+                    .map(|r| (e.name.to_string(), Value::Number(r.wall_ms)))
+            })
+            .collect();
+        let label = std::env::var("DCO_BENCH_LABEL").unwrap_or_else(|_| String::from("local"));
+        trajectory.push(json!({
+            "label": label,
+            "machine": machine.clone(),
+            "speedup_vs_reference": speedup_vs_reference.unwrap_or(0.0),
+            "threads1_wall_ms": Value::Object(walls),
+        }));
     }
 
     // --- report -------------------------------------------------------------
@@ -330,23 +593,38 @@ fn main() {
             })
         })
         .collect();
-    let report = json!({
+    let tier = if paper {
+        "paper"
+    } else if quick {
+        "quick"
+    } else {
+        "full"
+    };
+    let mut report = json!({
         "suite": "dco3d-parallel",
+        "tier": tier,
         "quick": quick,
         "reps": reps,
         "thread_counts": threads,
-        "machine": {
-            "os": std::env::consts::OS,
-            "arch": std::env::consts::ARCH,
-            "available_parallelism": std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1),
-        },
+        "machine": machine,
         "all_deterministic": all_deterministic,
         "overhead_gated": gate_overhead,
         "overhead_violations": overhead_violations,
         "benches": benches,
     });
+    if let Value::Object(fields) = &mut report {
+        if let Some(s) = speedup_vs_reference {
+            fields.push((
+                String::from("paper"),
+                json!({
+                    "speedup_vs_reference": s,
+                    "speedup_gate_min": SPEEDUP_GATE,
+                    "trajectory_violations": trajectory_violations.clone(),
+                }),
+            ));
+        }
+        fields.push((String::from("trajectory"), Value::Array(trajectory)));
+    }
     let body = serde_json::to_string(&report).expect("report serializes");
     std::fs::write(&out, &body).expect("write benchmark report");
     println!("wrote {out}");
@@ -363,6 +641,20 @@ fn main() {
     if !overhead_violations.is_empty() {
         for v in &overhead_violations {
             eprintln!("OVERHEAD: {v}");
+        }
+        std::process::exit(1);
+    }
+    if let Some(s) = speedup_vs_reference {
+        if std::env::var("DCO_BENCH_NO_SPEEDUP_GATE").is_err() && s < SPEEDUP_GATE {
+            eprintln!(
+                "SPEEDUP: conv2d_forward_224 only {s:.2}x vs the pre-blocking reference (gate: {SPEEDUP_GATE}x)"
+            );
+            std::process::exit(1);
+        }
+    }
+    if !trajectory_violations.is_empty() {
+        for v in &trajectory_violations {
+            eprintln!("TRAJECTORY: {v}");
         }
         std::process::exit(1);
     }

@@ -1173,6 +1173,9 @@ fn run_status(
             counters.active_conns.load(Ordering::SeqCst) as f64,
         );
     }
+    // The executor thread runs every predict job, so its thread-local arena
+    // stats reflect how well inference scratch is being reused.
+    let arena_stats = dco_tensor::arena::scratch_stats();
     let result = json!({
         "design": state.design().name,
         "cells": state.design().netlist.num_cells(),
@@ -1189,6 +1192,12 @@ fn run_status(
             "errors": stats.errors,
             "batches": stats.batches,
             "max_batch": stats.max_batch_observed,
+        },
+        "arena": {
+            "hits": arena_stats.hits,
+            "misses": arena_stats.misses,
+            "pooled_buffers": arena_stats.pooled_buffers,
+            "pooled_bytes": arena_stats.pooled_bytes,
         },
         "overload": {
             "shed": stats.shed,

@@ -3,7 +3,7 @@
 //! This crate is the std-only telemetry substrate every other crate in the
 //! workspace publishes into. It has three parts:
 //!
-//! - [`span`] — a hierarchical span tracer. Stages and hot loops open RAII
+//! - [`mod@span`] — a hierarchical span tracer. Stages and hot loops open RAII
 //!   guards via the [`span!`] macro (`span!("route.rrr", iter = i)`); each
 //!   guard records monotonic wall time plus per-thread CPU time and links
 //!   to its parent through a thread-local stack, so the collected records

@@ -1,0 +1,272 @@
+//! Scratch-buffer pooling for the dense kernels.
+//!
+//! The im2col/GEMM lowering in [`crate::conv`] and [`crate::Tensor::matmul`]
+//! needs large short-lived `f32` workspaces (column matrices, packed A/B
+//! panels). Allocating them per op makes every DCO iteration, UNet epoch,
+//! and served `predict` job pay `mmap` + page-fault costs on multi-megabyte
+//! buffers that are immediately thrown away. [`TensorArena`] is a bounded
+//! free-list pool: `take` hands out a recycled buffer when one is large
+//! enough, `give` returns it for the next op.
+//!
+//! # Lifetime rules
+//!
+//! 1. **Scratch only.** Pooled buffers never escape an op: every `take` is
+//!    paired with a `give` before the op returns. Tensors that outlive the
+//!    op (outputs, gradients) own ordinary `Vec`s.
+//! 2. **Per-thread pools.** The process-wide entry points
+//!    ([`scratch_take_zeroed`] / [`scratch_take_raw`] / [`scratch_give`])
+//!    use a thread-local arena, so worker threads never contend on a lock
+//!    and the pool needs no synchronization. Which physical buffer a
+//!    computation receives can vary run to run — its *contents* never do
+//!    (rule 3).
+//! 3. **Contents are never trusted.** [`TensorArena::take_zeroed`] zero-fills
+//!    the buffer; [`TensorArena::take_raw`] may return stale values and the
+//!    caller must overwrite every element it later reads. The
+//!    arena-vs-heap bitwise test (`tests/kernel.rs`) exists to catch a
+//!    missed write: with pooling disabled both variants hand out fresh
+//!    zeroed memory, so any divergence means a `take_raw` user read a lane
+//!    it never wrote.
+//! 4. **Bounded.** A pool keeps at most [`MAX_POOLED_BUFFERS`] buffers /
+//!    [`MAX_POOLED_BYTES`] bytes per thread; anything beyond that is simply
+//!    dropped, so a one-off giant op cannot pin memory forever.
+//!
+//! # Example
+//!
+//! ```
+//! use dco_tensor::arena::TensorArena;
+//!
+//! let mut arena = TensorArena::new();
+//! let buf = arena.take_zeroed(1024);
+//! assert!(buf.iter().all(|&v| v == 0.0));
+//! arena.give(buf);
+//! // The second take reuses the first buffer: no new allocation.
+//! let again = arena.take_zeroed(512);
+//! assert!(again.capacity() >= 1024);
+//! assert_eq!(arena.stats().hits, 1);
+//! ```
+
+use std::cell::RefCell;
+
+/// Maximum buffers retained per pool (see module docs, rule 4).
+pub const MAX_POOLED_BUFFERS: usize = 16;
+/// Maximum total capacity retained per pool, in bytes (rule 4).
+pub const MAX_POOLED_BYTES: usize = 256 << 20;
+
+/// Pool counters, for observability and tests.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// `take` calls satisfied from the pool (no allocation).
+    pub hits: u64,
+    /// `take` calls that had to allocate a fresh buffer.
+    pub misses: u64,
+    /// Buffers currently parked in the pool.
+    pub pooled_buffers: usize,
+    /// Total capacity currently parked, in bytes.
+    pub pooled_bytes: usize,
+}
+
+/// A bounded free-list of `Vec<f32>` scratch buffers.
+///
+/// See the [module docs](self) for the lifetime rules. Most callers use the
+/// thread-local entry points instead of owning an arena directly.
+#[derive(Debug, Default)]
+pub struct TensorArena {
+    free: Vec<Vec<f32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TensorArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a buffer of exactly `len` elements, all zero.
+    pub fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take_raw(len);
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Take a buffer of exactly `len` elements with **unspecified
+    /// contents** (stale values from a previous user are possible). The
+    /// caller must overwrite every element it later reads — see rule 3 in
+    /// the [module docs](self).
+    pub fn take_raw(&mut self, len: usize) -> Vec<f32> {
+        // Best fit: smallest pooled buffer whose capacity suffices, so a
+        // small request does not squat on the one huge buffer.
+        let pick = self
+            .free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i);
+        match pick {
+            Some(i) => {
+                self.hits += 1;
+                let mut buf = self.free.swap_remove(i);
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => {
+                self.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    }
+
+    /// Return a buffer to the pool (dropped instead if the pool is at its
+    /// buffer-count or byte cap).
+    pub fn give(&mut self, buf: Vec<f32>) {
+        let pooled: usize = self.free.iter().map(|b| b.capacity() * 4).sum();
+        if self.free.len() < MAX_POOLED_BUFFERS && pooled + buf.capacity() * 4 <= MAX_POOLED_BYTES {
+            self.free.push(buf);
+        }
+    }
+
+    /// Current pool counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            hits: self.hits,
+            misses: self.misses,
+            pooled_buffers: self.free.len(),
+            pooled_bytes: self.free.iter().map(|b| b.capacity() * 4).sum(),
+        }
+    }
+
+    /// Drop every pooled buffer and zero the counters.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<TensorArena> = RefCell::new(TensorArena::new());
+    static POOLING: RefCell<bool> = const { RefCell::new(true) };
+}
+
+/// Enable or disable pooling on the **current thread** (default: enabled).
+///
+/// With pooling off, [`scratch_take_zeroed`] / [`scratch_take_raw`]
+/// allocate fresh zeroed memory and [`scratch_give`] drops the buffer —
+/// the heap-backed mode the bitwise-identity test compares against.
+pub fn set_pooling(on: bool) {
+    POOLING.with(|p| *p.borrow_mut() = on);
+}
+
+/// Whether pooling is enabled on the current thread.
+pub fn pooling() -> bool {
+    POOLING.with(|p| *p.borrow())
+}
+
+/// [`TensorArena::take_zeroed`] on the current thread's pool.
+pub fn scratch_take_zeroed(len: usize) -> Vec<f32> {
+    if pooling() {
+        SCRATCH.with(|a| a.borrow_mut().take_zeroed(len))
+    } else {
+        vec![0.0; len]
+    }
+}
+
+/// [`TensorArena::take_raw`] on the current thread's pool. The caller must
+/// overwrite every element it later reads (module docs, rule 3).
+pub fn scratch_take_raw(len: usize) -> Vec<f32> {
+    if pooling() {
+        SCRATCH.with(|a| a.borrow_mut().take_raw(len))
+    } else {
+        vec![0.0; len]
+    }
+}
+
+/// [`TensorArena::give`] on the current thread's pool.
+pub fn scratch_give(buf: Vec<f32>) {
+    if pooling() {
+        SCRATCH.with(|a| a.borrow_mut().give(buf));
+    }
+}
+
+/// Counters of the current thread's pool.
+///
+/// ```
+/// use dco_tensor::arena;
+///
+/// arena::reset_scratch();
+/// let b = arena::scratch_take_zeroed(256);
+/// arena::scratch_give(b);
+/// let _ = arena::scratch_take_zeroed(128); // reuses the 256-element buffer
+/// assert_eq!(arena::scratch_stats().hits, 1);
+/// ```
+pub fn scratch_stats() -> ArenaStats {
+    SCRATCH.with(|a| a.borrow().stats())
+}
+
+/// [`TensorArena::reset`] on the current thread's pool.
+pub fn reset_scratch() {
+    SCRATCH.with(|a| a.borrow_mut().reset());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_give_take_reuses_the_buffer() {
+        let mut a = TensorArena::new();
+        let mut b = a.take_zeroed(100);
+        b[3] = 7.0;
+        a.give(b);
+        let b2 = a.take_zeroed(50);
+        assert!(b2.iter().all(|&v| v == 0.0), "zeroed take must scrub");
+        let s = a.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn raw_take_may_keep_stale_contents_but_has_right_len() {
+        let mut a = TensorArena::new();
+        let mut b = a.take_raw(8);
+        b.iter_mut().for_each(|v| *v = 9.0);
+        a.give(b);
+        let b2 = a.take_raw(4);
+        assert_eq!(b2.len(), 4);
+    }
+
+    #[test]
+    fn pool_is_bounded_by_buffer_count() {
+        let mut a = TensorArena::new();
+        for _ in 0..MAX_POOLED_BUFFERS + 4 {
+            a.give(vec![0.0; 16]);
+        }
+        assert_eq!(a.stats().pooled_buffers, MAX_POOLED_BUFFERS);
+    }
+
+    #[test]
+    fn best_fit_prefers_the_smallest_sufficient_buffer() {
+        let mut a = TensorArena::new();
+        a.give(vec![0.0; 1000]);
+        a.give(vec![0.0; 10]);
+        let b = a.take_raw(8);
+        assert!(b.capacity() < 1000, "should pick the 10-element buffer");
+    }
+
+    #[test]
+    fn thread_local_pooling_toggle() {
+        set_pooling(false);
+        reset_scratch();
+        let b = scratch_take_zeroed(32);
+        scratch_give(b);
+        let _ = scratch_take_zeroed(32);
+        assert_eq!(scratch_stats().hits, 0, "disabled pool never hits");
+        set_pooling(true);
+        let b = scratch_take_zeroed(32);
+        scratch_give(b);
+        let _ = scratch_take_zeroed(32);
+        assert!(scratch_stats().hits >= 1);
+        reset_scratch();
+    }
+}

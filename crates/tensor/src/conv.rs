@@ -4,7 +4,20 @@
 //! wires them into the tape. Layout is `[B, C, H, W]` throughout;
 //! convolution weights are `[C_out, C_in, KH, KW]` and transposed-convolution
 //! weights are `[C_in, C_out, KH, KW]` (PyTorch conventions).
+//!
+//! `conv2d` is lowered to GEMM by im2col: each image unfolds into a
+//! column matrix whose rows are the `C_in·KH·KW` kernel taps and whose
+//! columns are the `OH·OW` output positions, so the convolution becomes
+//! `W[C_out, C_in·KH·KW] · cols`. The forward pass fuses the unfold
+//! directly into the packed B-panel layout of [`crate::kernel`]
+//! (the column matrix never materializes in plain form there), with scratch
+//! buffers pooled per thread by [`crate::arena`]. The pre-blocking
+//! implementation survives as [`conv2d_forward_reference`] so the
+//! paper-scale benchmark tier can measure the speedup in-process.
 
+use crate::arena;
+use crate::kernel;
+use crate::kernel::{KC, NR};
 use crate::Tensor;
 
 /// Output spatial size of a convolution.
@@ -31,7 +44,44 @@ fn im2col(
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(w, kw, stride, pad);
     let mut cols = vec![0.0f32; c * kh * kw * oh * ow];
+    im2col_into(x, (c, h, w), (kh, kw), stride, pad, &mut cols);
+    Tensor::from_vec(cols, &[c * kh * kw, oh * ow])
+}
+
+/// Unfold one image `[C, H, W]` into a caller-provided column buffer laid
+/// out `[C*KH*KW, OH*OW]` row-major — the im2col entry point behind the
+/// conv2d lowering (`conv = W · cols`, paper Eq. 1's congestion predictor
+/// convolutions). The buffer is fully overwritten (padding taps become
+/// zero), so arena scratch from [`crate::arena::scratch_take_raw`] is safe.
+///
+/// # Example
+///
+/// ```
+/// use dco_tensor::conv::im2col_into;
+///
+/// // 1 channel, 2×2 image, 1×1 kernel: columns are the pixels themselves.
+/// let img = [1.0, 2.0, 3.0, 4.0];
+/// let mut cols = [0.0; 4];
+/// im2col_into(&img, (1, 2, 2), (1, 1), 1, 0, &mut cols);
+/// assert_eq!(cols, img);
+/// ```
+///
+/// # Panics
+/// Panics if `cols` is not exactly `C·KH·KW · OH·OW` long.
+pub fn im2col_into(
+    x: &[f32],
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+    cols: &mut [f32],
+) {
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(w, kw, stride, pad);
     let ncols = oh * ow;
+    assert_eq!(cols.len(), c * kh * kw * ncols, "im2col buffer size");
+    cols.fill(0.0);
+    // hot-path: im2col
     for ci in 0..c {
         for u in 0..kh {
             for v in 0..kw {
@@ -42,34 +92,129 @@ fn im2col(
                     if iy < 0 || iy >= h as isize {
                         continue;
                     }
-                    for ox in 0..ow {
-                        let ix = (ox * stride + v) as isize - pad as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
+                    let src_row = &x[(ci * h + iy as usize) * w..(ci * h + iy as usize + 1) * w];
+                    if stride == 1 {
+                        // Contiguous run: ox and ix advance together, so the
+                        // in-bounds span is one slice copy.
+                        let lo = pad.saturating_sub(v);
+                        let hi = ow.min(w + pad - v);
+                        if lo < hi {
+                            let ix0 = lo + v - pad;
+                            dst[oy * ow + lo..oy * ow + hi]
+                                .copy_from_slice(&src_row[ix0..ix0 + hi - lo]);
                         }
-                        dst[oy * ow + ox] = x[(ci * h + iy as usize) * w + ix as usize];
+                    } else {
+                        for ox in 0..ow {
+                            let ix = (ox * stride + v) as isize - pad as isize;
+                            if ix < 0 || ix >= w as isize {
+                                continue;
+                            }
+                            dst[oy * ow + ox] = src_row[ix as usize];
+                        }
                     }
                 }
             }
         }
     }
-    Tensor::from_vec(cols, &[c * kh * kw, ncols])
+    // hot-path: end
 }
 
-/// Fold columns `[C*KH*KW, OH*OW]` back into an image `[C, H, W]`,
-/// accumulating overlapping contributions (adjoint of [`im2col`]).
-fn col2im(
-    cols: &Tensor,
+/// Fill one `KC×NR` B micro-panel of the im2col matrix for
+/// [`crate::kernel`]'s fused-B GEMM: panel column lanes are output
+/// positions `jt·NR..`, panel rows are kernel taps `chunk·KC..+klen`.
+/// Every lane is written for every k (zeros for padding / edge lanes), so
+/// raw arena scratch is safe. The panel never materializes the full
+/// column matrix — it lives in L1 and is consumed immediately.
+#[allow(clippy::too_many_arguments)]
+fn im2col_fill_panel(
+    x: &[f32],
     (c, h, w): (usize, usize, usize),
     (kh, kw): (usize, usize),
     stride: usize,
     pad: usize,
-) -> Vec<f32> {
+    jt: usize,
+    chunk: usize,
+    klen: usize,
+    panel: &mut [f32],
+) {
+    let _ = c;
+    let ow = conv_out_size(w, kw, stride, pad);
+    let oh = conv_out_size(h, kh, stride, pad);
+    let n = oh * ow;
+    let j0 = jt * NR;
+    let jn = NR.min(n - j0);
+    // All lanes on one output row and stride 1 → each (u, v) tap is a
+    // contiguous slice of the input row (the common interior case at the
+    // paper's 224×224 tier).
+    let same_row = (j0 / ow) == ((j0 + jn - 1) / ow);
+    // Incrementally track the (ci, u, v) tap of k = chunk·KC + kk_local:
+    // one div/mod at entry instead of two per k-step.
+    let k0 = chunk * KC;
+    let mut ci = k0 / (kh * kw);
+    let mut u = (k0 % (kh * kw)) / kw;
+    let mut v = k0 % kw;
+    let oy0 = j0 / ow;
+    let ox0 = j0 % ow;
+    // hot-path: im2col-panel
+    for kk_local in 0..klen {
+        let plane = &x[ci * h * w..(ci + 1) * h * w];
+        let dst = &mut panel[kk_local * NR..kk_local * NR + NR];
+        'fill: {
+            if same_row && stride == 1 {
+                let iy = (oy0 + u) as isize - pad as isize;
+                let ix0 = (ox0 + v) as isize - pad as isize;
+                if iy >= 0 && iy < h as isize && ix0 >= 0 && ix0 + jn as isize <= w as isize {
+                    let s = iy as usize * w + ix0 as usize;
+                    dst[..jn].copy_from_slice(&plane[s..s + jn]);
+                    for d in &mut dst[jn..] {
+                        *d = 0.0;
+                    }
+                    break 'fill;
+                }
+            }
+            for (lane, d) in dst.iter_mut().enumerate() {
+                *d = if lane < jn {
+                    let oy = (j0 + lane) / ow;
+                    let ox = (j0 + lane) % ow;
+                    let iy = (oy * stride + u) as isize - pad as isize;
+                    let ix = (ox * stride + v) as isize - pad as isize;
+                    if iy >= 0 && iy < h as isize && ix >= 0 && ix < w as isize {
+                        plane[iy as usize * w + ix as usize]
+                    } else {
+                        0.0
+                    }
+                } else {
+                    0.0
+                };
+            }
+        }
+        v += 1;
+        if v == kw {
+            v = 0;
+            u += 1;
+            if u == kh {
+                u = 0;
+                ci += 1;
+            }
+        }
+    }
+    // hot-path: end
+}
+
+/// Fold columns `[C*KH*KW, OH*OW]` back into an image `[C, H, W]`,
+/// accumulating overlapping contributions (adjoint of [`im2col_into`]).
+fn col2im_into(
+    data: &[f32],
+    (c, h, w): (usize, usize, usize),
+    (kh, kw): (usize, usize),
+    stride: usize,
+    pad: usize,
+    img: &mut [f32],
+) {
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(w, kw, stride, pad);
     let ncols = oh * ow;
-    let data = cols.data();
-    let mut img = vec![0.0f32; c * h * w];
+    // hot-path: col2im
     for ci in 0..c {
         for u in 0..kh {
             for v in 0..kw {
@@ -91,15 +236,23 @@ fn col2im(
             }
         }
     }
-    img
+    // hot-path: end
 }
 
-/// 2D convolution forward pass.
+/// 2D convolution forward pass, lowered to packed GEMM.
 ///
-/// Parallelism: batch images fan out as independent tasks; with a single
-/// image the per-image matmul fans out over output-channel rows instead
-/// (see [`Tensor::matmul`]). Both paths produce bits identical to the
-/// serial computation at any `dco_parallel` thread count.
+/// The weight matrix `[C_out, C_in·KH·KW]` is packed into A micro-panels
+/// once per call; each batch image runs the fused-B GEMM
+/// ([`crate::kernel`]): `im2col_fill_panel` materializes one L1-sized
+/// im2col micro-panel at a time, consumed immediately by the register
+/// micro-kernel with the bias folded into the write-back — the full
+/// column matrix never exists. Scratch comes from the per-thread
+/// [`crate::arena`].
+///
+/// Parallelism: batch images fan out as independent tasks. The
+/// accumulation order per output element (K chunks in order, k ascending)
+/// is fixed, so results are bitwise identical to the serial computation
+/// at any `dco_parallel` thread count.
 ///
 /// # Example
 ///
@@ -126,6 +279,65 @@ pub fn conv2d_forward(
     let (bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
     let (cout, cin2, kh, kw) = dims4(w.shape(), "conv2d weight");
     assert_eq!(cin, cin2, "conv2d channel mismatch");
+    if let Some(bias) = b {
+        assert_eq!(bias.shape(), &[cout], "conv2d bias must be [C_out]");
+    }
+    let oh = conv_out_size(h, kh, stride, pad);
+    let ow = conv_out_size(wd, kw, stride, pad);
+    let kdim = cin * kh * kw;
+    let nsp = oh * ow;
+    // Pack the weight matrix once; it is shared read-only by every image.
+    let mut apack = arena::scratch_take_raw(kernel::packed_a_len(cout, kdim));
+    kernel::pack_a(w.data(), cout, kdim, &mut apack);
+    let mut out = vec![0.0f32; bsz * cout * nsp];
+    let per_img = cin * h * wd;
+    let xd = x.data();
+    let bias = b.map(|t| t.data());
+    dco_parallel::par_chunks_mut(&mut out, cout * nsp, |bi, out_img| {
+        let ximg = &xd[bi * per_img..(bi + 1) * per_img];
+        kernel::gemm_fused_b(
+            cout,
+            kdim,
+            nsp,
+            &apack,
+            bias,
+            out_img,
+            |jt, chunk, klen, panel| {
+                im2col_fill_panel(
+                    ximg,
+                    (cin, h, wd),
+                    (kh, kw),
+                    stride,
+                    pad,
+                    jt,
+                    chunk,
+                    klen,
+                    panel,
+                );
+            },
+        );
+    });
+    arena::scratch_give(apack);
+    Tensor::from_vec(out, &[bsz, cout, oh, ow])
+}
+
+/// The pre-blocking conv2d forward (plain im2col + per-row matmul), kept
+/// as the benchmark reference the paper-scale tier measures the packed
+/// kernel's speedup against. Numerically it computes the same sums as the
+/// original implementation, bit for bit.
+///
+/// # Panics
+/// Panics on rank or channel mismatches.
+pub fn conv2d_forward_reference(
+    x: &Tensor,
+    w: &Tensor,
+    b: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Tensor {
+    let (bsz, cin, h, wd) = dims4(x.shape(), "conv2d input");
+    let (cout, cin2, kh, kw) = dims4(w.shape(), "conv2d weight");
+    assert_eq!(cin, cin2, "conv2d channel mismatch");
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(wd, kw, stride, pad);
     let wmat = w.clone().reshaped(&[cout, cin * kh * kw]);
@@ -141,14 +353,13 @@ pub fn conv2d_forward(
             stride,
             pad,
         );
-        let y = wmat.matmul(&cols); // [cout, oh*ow]
+        let y = wmat.matmul_reference(&cols); // [cout, oh*ow]
         out_img.copy_from_slice(y.data());
     });
     let mut out = Tensor::from_vec(out, &[bsz, cout, oh, ow]);
     if let Some(bias) = b {
         assert_eq!(bias.shape(), &[cout], "conv2d bias must be [C_out]");
         let od = out.data_mut();
-        // hot-path: conv2d-bias
         for bi in 0..bsz {
             for co in 0..cout {
                 let base = (bi * cout + co) * oh * ow;
@@ -158,12 +369,17 @@ pub fn conv2d_forward(
                 }
             }
         }
-        // hot-path: end
     }
     out
 }
 
 /// 2D convolution backward pass. Returns `(grad_x, grad_w, grad_b)`.
+///
+/// All three gradients run through the packed kernel:
+/// `∂L/∂X = col2im(Wᵀ · ∂L/∂Y)` packs `Wᵀ` once and each image's `∂L/∂Y`
+/// as B panels; `∂L/∂W = ∂L/∂Y · colsᵀ` uses [`crate::kernel::gemm_bt`]
+/// so the column matrix is consumed along its contiguous rows instead of
+/// materializing its transpose; `∂L/∂b` is a spatial sum.
 ///
 /// Parallelism: each batch image is an independent task producing its
 /// disjoint `grad_x` slice plus `(grad_w, grad_b)` partials; the partials
@@ -180,48 +396,55 @@ pub fn conv2d_backward(
     let (cout, _, kh, kw) = dims4(w.shape(), "conv2d weight");
     let oh = conv_out_size(h, kh, stride, pad);
     let ow = conv_out_size(wd, kw, stride, pad);
-    let wmat = w.clone().reshaped(&[cout, cin * kh * kw]);
-    let wmat_t = wmat.transposed();
+    let kdim = cin * kh * kw;
+    let nsp = oh * ow;
+    // Pack Wᵀ [kdim, cout] once; shared read-only by every image task.
+    let mut apack_wt = arena::scratch_take_raw(kernel::packed_a_len(kdim, cout));
+    kernel::pack_a_transposed(w.data(), kdim, cout, &mut apack_wt);
     let per_img = cin * h * wd;
-    let per_out = cout * oh * ow;
+    let per_out = cout * nsp;
     let mut gx = vec![0.0f32; x.len()];
     let xd = x.data();
     let gyd = gy.data();
     // Per-image partials, produced in parallel, folded in batch order.
-    let parts: Vec<(Tensor, Vec<f32>)> =
+    let parts: Vec<(Vec<f32>, Vec<f32>)> =
         dco_parallel::par_chunks_mut(&mut gx, per_img, |bi, gx_img| {
-            let gyb = Tensor::from_vec(
-                gyd[bi * per_out..(bi + 1) * per_out].to_vec(),
-                &[cout, oh * ow],
-            );
-            // grad bias: sum over spatial
+            let gyb = &gyd[bi * per_out..(bi + 1) * per_out]; // [cout, nsp]
+                                                              // grad bias: sum over spatial
             let mut gb_img = vec![0.0f32; cout];
             for (co, gbv) in gb_img.iter_mut().enumerate() {
-                *gbv = gyb.data()[co * oh * ow..(co + 1) * oh * ow]
-                    .iter()
-                    .sum::<f32>();
+                *gbv = gyb[co * nsp..(co + 1) * nsp].iter().sum::<f32>();
             }
-            // grad weight: gy_b (cols)^T
-            let cols = im2col(
+            // grad weight: gy_b · colsᵀ, walking cols along its rows
+            let mut cols = arena::scratch_take_raw(kdim * nsp);
+            im2col_into(
                 &xd[bi * per_img..(bi + 1) * per_img],
                 (cin, h, wd),
                 (kh, kw),
                 stride,
                 pad,
+                &mut cols,
             );
-            let gw_img = gyb.matmul(&cols.transposed());
-            // grad input: W^T gy_b, folded back into this image's slice
-            let gcols = wmat_t.matmul(&gyb);
-            let gimg = col2im(&gcols, (cin, h, wd), (kh, kw), stride, pad);
-            for (dst, src) in gx_img.iter_mut().zip(&gimg) {
-                *dst += src;
-            }
+            let mut gw_img = vec![0.0f32; cout * kdim];
+            kernel::gemm_bt(cout, nsp, kdim, gyb, &cols, &mut gw_img);
+            arena::scratch_give(cols);
+            // grad input: Wᵀ · gy_b, folded back into this image's slice
+            let mut bpack_gy = arena::scratch_take_raw(kernel::packed_b_len(cout, nsp));
+            kernel::pack_b(gyb, cout, nsp, &mut bpack_gy);
+            let mut gcols = arena::scratch_take_raw(kdim * nsp);
+            kernel::gemm_prepacked(kdim, cout, nsp, &apack_wt, &bpack_gy, None, &mut gcols);
+            arena::scratch_give(bpack_gy);
+            col2im_into(&gcols, (cin, h, wd), (kh, kw), stride, pad, gx_img);
+            arena::scratch_give(gcols);
             (gw_img, gb_img)
         });
-    let mut gw = Tensor::zeros(&[cout, cin * kh * kw]);
+    arena::scratch_give(apack_wt);
+    let mut gw = Tensor::zeros(&[cout, kdim]);
     let mut gb = Tensor::zeros(&[cout]);
     for (gw_img, gb_img) in parts {
-        gw.add_assign(&gw_img);
+        for (dst, src) in gw.data_mut().iter_mut().zip(&gw_img) {
+            *dst += src;
+        }
         for (dst, src) in gb.data_mut().iter_mut().zip(&gb_img) {
             *dst += src;
         }
@@ -503,6 +726,43 @@ mod tests {
         }
         // bias gradient of a sum loss = number of output pixels per channel
         assert_eq!(gb.data(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn conv2d_packed_matches_reference_at_awkward_shapes() {
+        // Non-square, non-power-of-two spatial dims, odd channel counts,
+        // strides 1 and 2, with and without padding/bias.
+        for &(bsz, cin, h, w, cout, k, stride, pad) in &[
+            (
+                1usize, 3usize, 5usize, 7usize, 2usize, 3usize, 1usize, 1usize,
+            ),
+            (2, 2, 9, 11, 5, 3, 2, 1),
+            (1, 1, 6, 10, 3, 1, 1, 0),
+            (3, 4, 7, 5, 6, 3, 1, 0),
+        ] {
+            let x = Tensor::from_vec(
+                (0..bsz * cin * h * w)
+                    .map(|v| (v as f32 * 0.37).sin())
+                    .collect(),
+                &[bsz, cin, h, w],
+            );
+            let wt = Tensor::from_vec(
+                (0..cout * cin * k * k)
+                    .map(|v| (v as f32 * 0.61).cos())
+                    .collect(),
+                &[cout, cin, k, k],
+            );
+            let bias = Tensor::from_vec((0..cout).map(|v| v as f32 * 0.1).collect(), &[cout]);
+            let fast = conv2d_forward(&x, &wt, Some(&bias), stride, pad);
+            let slow = conv2d_forward_reference(&x, &wt, Some(&bias), stride, pad);
+            assert_eq!(fast.shape(), slow.shape());
+            for (i, (&a, &b)) in fast.data().iter().zip(slow.data()).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-4 * (1.0 + b.abs()),
+                    "mismatch at {i}: packed {a} vs reference {b}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Static analysis and replay over a recorded autograd tape.
 //!
-//! A [`Graph`](crate::Graph) is a flat tape of ops; this module lets tools
+//! A [`Graph`] is a flat tape of ops; this module lets tools
 //! look at that tape without executing it:
 //!
 //! - [`Graph::node_info`] / [`Graph::nodes_info`] expose each node's op

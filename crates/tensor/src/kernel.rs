@@ -1,0 +1,544 @@
+//! Cache-blocked, packed-panel GEMM micro-kernels.
+//!
+//! This is the single dense-compute engine behind [`crate::Tensor::matmul`] and
+//! the im2col convolution lowering in [`crate::conv`]. The design is the
+//! classic GotoBLAS/BLIS decomposition, sized for the paper's 224×224
+//! congestion maps and written so LLVM's autovectorizer produces the SIMD
+//! inner loop (no intrinsics, no `unsafe` — the workspace denies it):
+//!
+//! - **Register tile** [`MR`]`×`[`NR`] (4×8): the micro-kernel keeps a
+//!   4-row × 8-column accumulator block in registers across the entire
+//!   K loop — 8 SIMD registers of 4 lanes at the x86-64 SSE2 baseline,
+//!   leaving headroom for the A broadcast and B loads (16 XMM total).
+//!   With `-C target-cpu=native` (AVX2) the same source compiles to 4 YMM
+//!   accumulators plus FMA.
+//! - **Packed panels**: A is repacked into `MR`-row column-major
+//!   micro-panels and B into `NR`-column row-major micro-panels, so the
+//!   micro-kernel's loads are unit-stride and TLB-friendly regardless of
+//!   the source layout. Packing costs O(MK + KN) against O(MNK) compute.
+//! - **K blocking** [`KC`] (256): the K dimension is split into chunks so
+//!   one B micro-panel (`KC`·`NR`·4 B = 8 KiB) stays L1-resident while it
+//!   is reused across all row tiles, and the packed A chunk
+//!   (M·`KC`·4 B) stays L2-resident. Partial tiles accumulate into C in
+//!   fixed chunk order, so results are bitwise independent of everything
+//!   but the (fixed) blocking constants.
+//!
+//! # Determinism
+//!
+//! Every output element is the strictly k-ascending sum
+//! `(((init + chunk₀) + chunk₁) + …)` where each chunk partial is itself
+//! accumulated in k order inside registers. Thread-level parallelism only
+//! ever splits C into fixed-size row blocks ([`GEMM_ROW_BLOCK`] rows) that
+//! run the identical per-block code, so outputs are bitwise identical at
+//! any `dco_parallel` thread count — the contract `tests/determinism.rs`
+//! pins.
+//!
+//! Scratch buffers (packed panels) come from the per-thread
+//! [`crate::arena`] pool; the compute loops inside the `// hot-path:`
+//! regions perform no allocation (enforced by `dco-check`'s `alloc-hot`
+//! rule).
+//!
+//! # Example
+//!
+//! ```
+//! use dco_tensor::kernel;
+//!
+//! // C = A·B for a 3×4 · 4×2 product, against a hand-rolled reference.
+//! let a: Vec<f32> = (0..12).map(|i| i as f32 * 0.5).collect();
+//! let b: Vec<f32> = (0..8).map(|i| 1.0 - i as f32 * 0.25).collect();
+//! let mut c = vec![0.0; 6];
+//! kernel::gemm(3, 4, 2, &a, &b, &mut c);
+//! for i in 0..3 {
+//!     for j in 0..2 {
+//!         let want: f32 = (0..4).map(|kk| a[i * 4 + kk] * b[kk * 2 + j]).sum();
+//!         assert!((c[i * 2 + j] - want).abs() < 1e-5);
+//!     }
+//! }
+//! ```
+
+use crate::arena;
+
+/// Micro-tile rows held in registers by the micro-kernel.
+pub const MR: usize = 4;
+/// Micro-tile columns held in registers by the micro-kernel.
+pub const NR: usize = 8;
+/// K-dimension chunk: one B micro-panel is `KC * NR * 4` bytes = 8 KiB
+/// (half of a typical 32 KiB L1d), reused across every row tile.
+pub const KC: usize = 256;
+/// Rows per parallel task: a multiple of [`MR`] so task boundaries never
+/// split a micro-tile.
+pub const GEMM_ROW_BLOCK: usize = 2 * MR;
+/// Minimum `m·k·n` before [`gemm_bias`] fans row blocks out to the pool
+/// (below this, coordination overhead exceeds the work).
+pub const GEMM_PAR_FLOPS: usize = 1 << 18;
+/// Minimum `m·k·n` before [`crate::Tensor::matmul`] routes through the
+/// packed kernel instead of the simple per-row loop (packing costs
+/// O(MK + KN) and only amortizes once tiles are reused).
+pub const GEMM_MIN_FLOPS: usize = 1 << 14;
+
+/// Length of the packed-A workspace for an `m × k` left operand.
+#[inline]
+pub(crate) fn packed_a_len(m: usize, k: usize) -> usize {
+    k.div_ceil(KC) * m.div_ceil(MR) * KC * MR
+}
+
+/// Length of the packed-B workspace for a `k × n` right operand.
+#[inline]
+pub(crate) fn packed_b_len(k: usize, n: usize) -> usize {
+    k.div_ceil(KC) * n.div_ceil(NR) * KC * NR
+}
+
+/// Flat offset of micro-panel (`chunk`, `it`) in a packed-A buffer.
+#[inline]
+fn a_panel(chunk: usize, mb: usize, it: usize) -> usize {
+    (chunk * mb + it) * (KC * MR)
+}
+
+/// Flat offset of micro-panel (`chunk`, `jt`) in a packed-B buffer.
+#[inline]
+fn b_panel(chunk: usize, nb: usize, jt: usize) -> usize {
+    (chunk * nb + jt) * (KC * NR)
+}
+
+/// Pack row-major `a` (`m × k`) into MR-row micro-panels.
+///
+/// Rows past `m` are zero-padded; k positions past the last chunk's span
+/// are left unwritten (the micro-kernel never reads them).
+pub(crate) fn pack_a(a: &[f32], m: usize, k: usize, ap: &mut [f32]) {
+    let mb = m.div_ceil(MR);
+    // hot-path: pack-a
+    for it in 0..mb {
+        for kk in 0..k {
+            let base = a_panel(kk / KC, mb, it) + (kk % KC) * MR;
+            for r in 0..MR {
+                let i = it * MR + r;
+                ap[base + r] = if i < m { a[i * k + kk] } else { 0.0 };
+            }
+        }
+    }
+    // hot-path: end
+}
+
+/// Pack the transpose of row-major `src` (`k × m`) into MR-row
+/// micro-panels, i.e. panels of the logical `m × k` matrix `srcᵀ`.
+pub(crate) fn pack_a_transposed(src: &[f32], m: usize, k: usize, ap: &mut [f32]) {
+    let mb = m.div_ceil(MR);
+    // hot-path: pack-a
+    for it in 0..mb {
+        for kk in 0..k {
+            let base = a_panel(kk / KC, mb, it) + (kk % KC) * MR;
+            let row = &src[kk * m..(kk + 1) * m];
+            for r in 0..MR {
+                let i = it * MR + r;
+                ap[base + r] = if i < m { row[i] } else { 0.0 };
+            }
+        }
+    }
+    // hot-path: end
+}
+
+/// Pack row-major `b` (`k × n`) into NR-column micro-panels.
+pub(crate) fn pack_b(b: &[f32], k: usize, n: usize, bp: &mut [f32]) {
+    let nb = n.div_ceil(NR);
+    // hot-path: pack-b
+    for jt in 0..nb {
+        let j0 = jt * NR;
+        let jn = NR.min(n - j0);
+        for kk in 0..k {
+            let base = b_panel(kk / KC, nb, jt) + (kk % KC) * NR;
+            let row = &b[kk * n + j0..kk * n + j0 + jn];
+            let dst = &mut bp[base..base + NR];
+            dst[..jn].copy_from_slice(row);
+            for d in &mut dst[jn..] {
+                *d = 0.0;
+            }
+        }
+    }
+    // hot-path: end
+}
+
+/// Pack the transpose of row-major `src` (`n × k`) into NR-column
+/// micro-panels, i.e. panels of the logical `k × n` matrix `srcᵀ`.
+/// The panel lanes walk `NR` source rows as parallel sequential streams.
+pub(crate) fn pack_b_transposed(src: &[f32], k: usize, n: usize, bp: &mut [f32]) {
+    let nb = n.div_ceil(NR);
+    // hot-path: pack-b
+    for jt in 0..nb {
+        let j0 = jt * NR;
+        let jn = NR.min(n - j0);
+        for kk in 0..k {
+            let base = b_panel(kk / KC, nb, jt) + (kk % KC) * NR;
+            let dst = &mut bp[base..base + NR];
+            for (c, d) in dst.iter_mut().enumerate() {
+                *d = if c < jn { src[(j0 + c) * k + kk] } else { 0.0 };
+            }
+        }
+    }
+    // hot-path: end
+}
+
+/// The register micro-kernel: `acc += Apanel · Bpanel` over `klen`
+/// k-steps. `ap`/`bp` are one micro-panel each; `acc` stays in registers.
+/// `chunks_exact` gives the optimizer constant-length slices, so the
+/// inner loop compiles to branch-free SIMD mul/adds.
+#[inline]
+fn micro_tile(klen: usize, ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    let ap = &ap[..klen * MR];
+    let bp = &bp[..klen * NR];
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for (r, &ar) in a.iter().enumerate() {
+            for (dst, &bv) in acc[r].iter_mut().zip(b) {
+                *dst += ar * bv;
+            }
+        }
+    }
+}
+
+/// Multiply packed panels into a row block of C.
+///
+/// `rows` is the `[i0, i0+nrows)` slice of C (row-major, width `n`);
+/// `i0` must be a multiple of [`MR`]. On the first K chunk the tile is
+/// *stored* (seeded with `bias[i]` when given); later chunks accumulate.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gemm_block(
+    m: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    bp: &[f32],
+    bias: Option<&[f32]>,
+    i0: usize,
+    rows: &mut [f32],
+) {
+    let mb = m.div_ceil(MR);
+    let nb = n.div_ceil(NR);
+    let nrows = rows.len() / n;
+    debug_assert_eq!(i0 % MR, 0, "row blocks must align to micro-tiles");
+    let kcb = k.div_ceil(KC).max(1);
+    // hot-path: gemm
+    for chunk in 0..kcb {
+        let klen = KC.min(k - chunk * KC);
+        let first = chunk == 0;
+        let mut lt = 0;
+        while lt * MR < nrows {
+            let it = i0 / MR + lt;
+            let apan = &ap[a_panel(chunk, mb, it)..];
+            let rvalid = MR.min(nrows - lt * MR);
+            for jt in 0..nb {
+                let bpan = &bp[b_panel(chunk, nb, jt)..];
+                let mut acc = [[0.0f32; NR]; MR];
+                micro_tile(klen, apan, bpan, &mut acc);
+                // Write-back: store on the first chunk, accumulate after.
+                let j0 = jt * NR;
+                let jn = NR.min(n - j0);
+                for r in 0..rvalid {
+                    let orow = &mut rows[(lt * MR + r) * n + j0..(lt * MR + r) * n + j0 + jn];
+                    if first {
+                        let seed = match bias {
+                            Some(bs) => bs[i0 + lt * MR + r],
+                            None => 0.0,
+                        };
+                        for (o, &v) in orow.iter_mut().zip(&acc[r]) {
+                            *o = seed + v;
+                        }
+                    } else {
+                        for (o, &v) in orow.iter_mut().zip(&acc[r]) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+            lt += 1;
+        }
+    }
+    // hot-path: end
+}
+
+/// GEMM with **on-the-fly B panels**: instead of packing all of B up
+/// front, `fill(jt, chunk, klen, panel)` materializes one `KC×NR` micro-
+/// panel (8 KiB, L1-resident) which is consumed immediately by every row
+/// tile. This halves DRAM traffic when `m` is small relative to `n` — the
+/// conv2d forward shape (`m = C_out` ≤ a few dozen, `n = OH·OW` ≈ 50 k at
+/// the paper's 224×224 tier), where a fully packed B would be written and
+/// re-read through memory. Per-element accumulation order is identical to
+/// [`gemm_prepacked`] (chunks in order, k ascending), so results are
+/// bitwise identical to the packed path.
+pub(crate) fn gemm_fused_b(
+    m: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+    mut fill: impl FnMut(usize, usize, usize, &mut [f32]),
+) {
+    let mb = m.div_ceil(MR);
+    let nb = n.div_ceil(NR);
+    let kcb = k.div_ceil(KC).max(1);
+    let mut panel = arena::scratch_take_raw(KC * NR);
+    // hot-path: gemm
+    for jt in 0..nb {
+        let j0 = jt * NR;
+        let jn = NR.min(n - j0);
+        for chunk in 0..kcb {
+            let klen = KC.min(k - chunk * KC);
+            fill(jt, chunk, klen, &mut panel);
+            let first = chunk == 0;
+            for it in 0..mb {
+                let apan = &ap[a_panel(chunk, mb, it)..];
+                let mut acc = [[0.0f32; NR]; MR];
+                micro_tile(klen, apan, &panel, &mut acc);
+                let rvalid = MR.min(m - it * MR);
+                for (r, accr) in acc.iter().enumerate().take(rvalid) {
+                    let i = it * MR + r;
+                    let orow = &mut out[i * n + j0..i * n + j0 + jn];
+                    if first {
+                        let seed = match bias {
+                            Some(bs) => bs[i],
+                            None => 0.0,
+                        };
+                        for (o, &v) in orow.iter_mut().zip(accr) {
+                            *o = seed + v;
+                        }
+                    } else {
+                        for (o, &v) in orow.iter_mut().zip(accr) {
+                            *o += v;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // hot-path: end
+    arena::scratch_give(panel);
+}
+
+/// Multiply pre-packed panels into all of C, fanning row blocks out to the
+/// pool when the product is large enough ([`GEMM_PAR_FLOPS`]). Sequential
+/// and parallel paths iterate identical fixed-size blocks, so the output
+/// bits never depend on the thread count.
+pub(crate) fn gemm_prepacked(
+    m: usize,
+    k: usize,
+    n: usize,
+    ap: &[f32],
+    bp: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), m * n);
+    if m > GEMM_ROW_BLOCK && m * k * n >= GEMM_PAR_FLOPS {
+        dco_parallel::par_chunks_mut(out, GEMM_ROW_BLOCK * n, |blk, rows| {
+            gemm_block(m, k, n, ap, bp, bias, blk * GEMM_ROW_BLOCK, rows);
+        });
+    } else {
+        let mut i0 = 0;
+        while i0 < m {
+            let nrows = GEMM_ROW_BLOCK.min(m - i0);
+            gemm_block(
+                m,
+                k,
+                n,
+                ap,
+                bp,
+                bias,
+                i0,
+                &mut out[i0 * n..(i0 + nrows) * n],
+            );
+            i0 += nrows;
+        }
+    }
+}
+
+/// `out = a · b (+ bias per row)` for row-major `a` (`m × k`) and `b`
+/// (`k × n`), through the packed micro-kernel. Packing workspaces come
+/// from the per-thread [`crate::arena`] pool.
+///
+/// # Example
+///
+/// ```
+/// use dco_tensor::kernel::gemm_bias;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2×2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2×2
+/// let mut c = [0.0; 4];
+/// gemm_bias(2, 2, 2, &a, &b, Some(&[100.0, 200.0]), &mut c);
+/// assert_eq!(c, [119.0, 122.0, 243.0, 250.0]);
+/// ```
+pub fn gemm_bias(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(a.len(), m * k, "gemm lhs size mismatch");
+    assert_eq!(b.len(), k * n, "gemm rhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm output size mismatch");
+    if let Some(bs) = bias {
+        assert_eq!(bs.len(), m, "gemm bias must have one entry per row");
+    }
+    let mut ap = arena::scratch_take_raw(packed_a_len(m, k));
+    let mut bp = arena::scratch_take_raw(packed_b_len(k, n));
+    pack_a(a, m, k, &mut ap);
+    pack_b(b, k, n, &mut bp);
+    gemm_prepacked(m, k, n, &ap, &bp, bias, out);
+    arena::scratch_give(bp);
+    arena::scratch_give(ap);
+}
+
+/// `out = a · b` (no bias); see [`gemm_bias`].
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    gemm_bias(m, k, n, a, b, None, out);
+}
+
+/// `out = a · bᵀ` for row-major `a` (`m × k`) and `b` (`n × k`): both
+/// operands are walked along their contiguous rows, which is how the
+/// conv2d weight gradient (`∂L/∂W = ∂L/∂Y · colsᵀ`) avoids materializing
+/// a 50 k × 576 transpose at the paper's 224×224 scale.
+///
+/// # Example
+///
+/// ```
+/// use dco_tensor::kernel::gemm_bt;
+///
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2×2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2×2, used as bᵀ
+/// let mut c = [0.0; 4];
+/// gemm_bt(2, 2, 2, &a, &b, &mut c);
+/// // c = a · bᵀ = [[17, 23], [39, 53]]
+/// assert_eq!(c, [17.0, 23.0, 39.0, 53.0]);
+/// ```
+pub fn gemm_bt(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "gemm_bt lhs size mismatch");
+    assert_eq!(b.len(), n * k, "gemm_bt rhs size mismatch");
+    assert_eq!(out.len(), m * n, "gemm_bt output size mismatch");
+    let mut ap = arena::scratch_take_raw(packed_a_len(m, k));
+    let mut bp = arena::scratch_take_raw(packed_b_len(k, n));
+    pack_a(a, m, k, &mut ap);
+    pack_b_transposed(b, k, n, &mut bp);
+    gemm_prepacked(m, k, n, &ap, &bp, None, out);
+    arena::scratch_give(bp);
+    arena::scratch_give(ap);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0f32;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    fn fixture(len: usize, seed: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i as f32) * seed).sin()).collect()
+    }
+
+    #[test]
+    fn gemm_matches_naive_at_awkward_sizes() {
+        // Deliberately non-multiples of MR/NR/KC, including k > KC.
+        for &(m, k, n) in &[(1, 1, 1), (3, 5, 7), (4, 8, 8), (5, 300, 13), (17, 513, 9)] {
+            let a = fixture(m * k, 0.13);
+            let b = fixture(k * n, 0.07);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            let want = naive(m, k, n, &a, &b);
+            for (i, (&got, &w)) in c.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - w).abs() < 1e-3 * (1.0 + w.abs()),
+                    "c[{i}]: {got} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bias_seeds_every_row() {
+        let a = fixture(6, 0.3);
+        let b = fixture(8, 0.5);
+        let bias = [10.0, -10.0, 0.5];
+        let mut c = vec![0.0; 12];
+        gemm_bias(3, 2, 4, &a, &b, Some(&bias), &mut c);
+        let want = naive(3, 2, 4, &a, &b);
+        for i in 0..3 {
+            for j in 0..4 {
+                let w = want[i * 4 + j] + bias[i];
+                assert!((c[i * 4 + j] - w).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_bt_matches_explicit_transpose() {
+        let (m, k, n) = (5, 37, 11);
+        let a = fixture(m * k, 0.21);
+        let bt = fixture(n * k, 0.11); // n×k, logical b = btᵀ
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        let mut c = vec![0.0; m * n];
+        gemm_bt(m, k, n, &a, &bt, &mut c);
+        let want = naive(m, k, n, &a, &b);
+        for (&got, &w) in c.iter().zip(&want) {
+            assert!((got - w).abs() < 1e-4 * (1.0 + w.abs()));
+        }
+    }
+
+    #[test]
+    fn gemm_is_bitwise_thread_invariant() {
+        let (m, k, n) = (64, 96, 80); // crosses GEMM_PAR_FLOPS
+        assert!(m * k * n >= GEMM_PAR_FLOPS);
+        let a = fixture(m * k, 0.017);
+        let b = fixture(k * n, 0.031);
+        dco_parallel::set_adaptive(false);
+        let run = |t: usize| {
+            dco_parallel::set_threads(t);
+            let mut c = vec![0.0; m * n];
+            gemm(m, k, n, &a, &b, &mut c);
+            dco_parallel::checksum_f32(&c)
+        };
+        let base = run(1);
+        for t in [2, 8] {
+            assert_eq!(run(t), base, "threads={t} diverged");
+        }
+        dco_parallel::set_adaptive(true);
+        dco_parallel::set_threads(1);
+    }
+
+    #[test]
+    fn gemm_is_bitwise_identical_with_and_without_pooling() {
+        let (m, k, n) = (9, 33, 21);
+        let a = fixture(m * k, 0.23);
+        let b = fixture(k * n, 0.41);
+        crate::arena::set_pooling(true);
+        crate::arena::reset_scratch();
+        let mut warm = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut warm); // populate the pool
+        let mut pooled = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut pooled); // reuses (possibly stale) buffers
+        crate::arena::set_pooling(false);
+        let mut heap = vec![0.0; m * n];
+        gemm(m, k, n, &a, &b, &mut heap);
+        crate::arena::set_pooling(true);
+        assert_eq!(
+            dco_parallel::checksum_f32(&pooled),
+            dco_parallel::checksum_f32(&heap),
+            "arena-backed and heap-backed GEMM must agree bit for bit"
+        );
+    }
+}

@@ -33,14 +33,17 @@
 //! Adam::new(1e-3).step(&mut store);
 //! ```
 
+pub mod arena;
 pub mod conv;
 mod graph;
 mod init;
 pub mod inspect;
+pub mod kernel;
 mod optim;
 mod sparse;
 mod tensor;
 
+pub use arena::{ArenaStats, TensorArena};
 pub use graph::{CustomOp, Graph, Var};
 pub use init::Initializer;
 pub use inspect::{Diagnostic, DiagnosticKind, NodeInfo, Severity, TapeOp};

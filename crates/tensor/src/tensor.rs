@@ -249,9 +249,47 @@ impl Tensor {
 
     /// Dense matrix multiply: `self` is `[m, k]`, `rhs` is `[k, n]`.
     ///
+    /// Products above [`crate::kernel::GEMM_MIN_FLOPS`] run through the
+    /// packed, cache-blocked micro-kernel in [`crate::kernel`]; tiny
+    /// products keep the simple per-row kernel, whose `a == 0` skip wins
+    /// when operands are mostly zero and blocking cannot pay off.
+    ///
     /// # Panics
     /// Panics unless both tensors are rank-2 with compatible inner dims.
     pub fn matmul(&self, rhs: &Self) -> Self {
+        assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
+        assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank 2");
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (rhs.shape[0], rhs.shape[1]);
+        assert_eq!(k, k2, "matmul inner dim mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        if m * k * n >= crate::kernel::GEMM_MIN_FLOPS {
+            crate::kernel::gemm_bias(m, k, n, &self.data, &rhs.data, None, &mut out);
+        } else {
+            // hot-path: matmul
+            for i in 0..m {
+                matmul_row(
+                    &self.data[i * k..(i + 1) * k],
+                    &rhs.data,
+                    &mut out[i * n..(i + 1) * n],
+                );
+            }
+            // hot-path: end
+        }
+        Self {
+            data: out,
+            shape: vec![m, n],
+        }
+    }
+
+    /// The pre-blocking matrix multiply, kept as the benchmark reference
+    /// the paper-scale tier measures speedups against. Row-parallel over
+    /// fixed-size blocks, one `matmul_row` per output row; bitwise
+    /// thread-count invariant like [`Tensor::matmul`].
+    ///
+    /// # Panics
+    /// Panics unless both tensors are rank-2 with compatible inner dims.
+    pub fn matmul_reference(&self, rhs: &Self) -> Self {
         assert_eq!(self.shape.len(), 2, "matmul lhs must be rank 2");
         assert_eq!(rhs.shape.len(), 2, "matmul rhs must be rank 2");
         let (m, k) = (self.shape[0], self.shape[1]);

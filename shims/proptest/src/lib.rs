@@ -219,7 +219,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification accepted by [`vec`]: an exact `usize` or a range.
+    /// Length specification accepted by [`fn@vec`]: an exact `usize` or a range.
     pub trait IntoSizeRange {
         /// Normalize into an inclusive-exclusive `(lo, hi)` pair.
         fn bounds(&self) -> (usize, usize);

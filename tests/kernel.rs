@@ -1,0 +1,85 @@
+//! Integration tests for the im2col + blocked-GEMM convolution kernel.
+//!
+//! These exercise the packed kernel path end-to-end from outside the tensor
+//! crate: a numerical gradient check at a deliberately awkward shape
+//! (non-square, non-power-of-two spatial dims) and bitwise identity between
+//! arena-pooled and plain-heap execution.
+
+use dco_tensor::conv::{conv2d_backward, conv2d_forward};
+use dco_tensor::Tensor;
+
+fn fixture(n: usize, scale: f32) -> Vec<f32> {
+    (0..n).map(|v| (v as f32 * scale).sin()).collect()
+}
+
+/// Numerical gradient check for the im2col conv2d at a non-square,
+/// non-power-of-two shape (5x7 spatial, 3 input channels, 4 filters).
+#[test]
+fn im2col_conv2d_gradcheck_awkward_shape() {
+    let (bsz, cin, h, w, cout, k, stride, pad) = (1usize, 3usize, 5, 7, 4, 3, 1, 1);
+    let x = Tensor::from_vec(fixture(bsz * cin * h * w, 0.13), &[bsz, cin, h, w]);
+    let wt = Tensor::from_vec(fixture(cout * cin * k * k, 0.29), &[cout, cin, k, k]);
+    let gy = Tensor::ones(&[bsz, cout, h, w]);
+    let (gx, gw, gb) = conv2d_backward(&x, &wt, stride, pad, &gy);
+    let f = |x: &Tensor, w: &Tensor| conv2d_forward(x, w, None, stride, pad).sum();
+    let eps = 1e-2f32;
+    for i in 0..x.len() {
+        let mut xp = x.clone();
+        xp.data_mut()[i] += eps;
+        let mut xm = x.clone();
+        xm.data_mut()[i] -= eps;
+        let num = (f(&xp, &wt) - f(&xm, &wt)) / (2.0 * eps);
+        assert!(
+            (num - gx.data()[i]).abs() < 2e-2,
+            "gx[{i}]: numeric {num} vs analytic {}",
+            gx.data()[i]
+        );
+    }
+    for i in 0..wt.len() {
+        let mut wp = wt.clone();
+        wp.data_mut()[i] += eps;
+        let mut wm = wt.clone();
+        wm.data_mut()[i] -= eps;
+        let num = (f(&x, &wp) - f(&x, &wm)) / (2.0 * eps);
+        assert!(
+            (num - gw.data()[i]).abs() < 2e-2,
+            "gw[{i}]: numeric {num} vs analytic {}",
+            gw.data()[i]
+        );
+    }
+    // Sum-loss bias gradient = number of output pixels per channel.
+    assert_eq!(gb.data(), &[(h * w) as f32; 4][..]);
+}
+
+/// The arena is a pure allocation cache: pooled and heap execution must be
+/// bitwise identical for the whole forward + backward pass.
+#[test]
+fn conv2d_arena_vs_heap_is_bitwise_identical() {
+    let (bsz, cin, h, w, cout, k, stride, pad) = (2usize, 5usize, 13, 17, 6, 3, 1, 1);
+    let x = Tensor::from_vec(fixture(bsz * cin * h * w, 0.41), &[bsz, cin, h, w]);
+    let wt = Tensor::from_vec(fixture(cout * cin * k * k, 0.23), &[cout, cin, k, k]);
+    let bias = Tensor::from_vec((0..cout).map(|v| v as f32 * 0.1 - 0.2).collect(), &[cout]);
+    let gy = Tensor::from_vec(fixture(bsz * cout * h * w, 0.07), &[bsz, cout, h, w]);
+
+    let run = || {
+        dco_tensor::arena::reset_scratch();
+        let y = conv2d_forward(&x, &wt, Some(&bias), stride, pad);
+        let (gx, gw, gb) = conv2d_backward(&x, &wt, stride, pad, &gy);
+        (y, gx, gw, gb)
+    };
+
+    dco_tensor::arena::set_pooling(false);
+    let (y_heap, gx_heap, gw_heap, gb_heap) = run();
+    dco_tensor::arena::set_pooling(true);
+    // Two pooled runs: the second is guaranteed to hit recycled buffers.
+    let _ = run();
+    let (y_pool, gx_pool, gw_pool, gb_pool) = run();
+    let stats = dco_tensor::arena::scratch_stats();
+    dco_tensor::arena::reset_scratch();
+
+    assert!(stats.hits > 0, "second pooled run should reuse scratch");
+    assert_eq!(y_heap.data(), y_pool.data(), "forward outputs differ");
+    assert_eq!(gx_heap.data(), gx_pool.data(), "input grads differ");
+    assert_eq!(gw_heap.data(), gw_pool.data(), "weight grads differ");
+    assert_eq!(gb_heap.data(), gb_pool.data(), "bias grads differ");
+}
