@@ -246,7 +246,7 @@ fn print_help() {
          \x20 predict    one-shot congestion prediction for the baseline placement\n\
          \x20            (--out <file> writes the served-identical result payload)\n\
          \x20 serve      warm-weights daemon: --socket <path> or --listen <addr>\n\
-         \x20            accepts predict/spread/flow/status/shutdown jobs as NDJSON\n\
+         \x20            accepts predict/delta/spread/flow/status/shutdown jobs as NDJSON\n\
          \x20            (--predictor <file> to skip training; --max-batch <n> coalescing cap)\n\
          \x20            --cheap-cap/--expensive-cap <n>   per-class admission caps (64/8)\n\
          \x20            --max-deadline-ms <ms>  clamp for client deadline_ms (300000)\n\
@@ -575,10 +575,11 @@ fn cmd_serve(args: &Args) -> CliResult {
     std::io::stdout().flush()?;
     let stats = handle.join()?;
     println!(
-        "served {} predict ({} batches, max batch {}), {} spread, {} flow, {} status, {} errors",
+        "served {} predict ({} batches, max batch {}), {} delta, {} spread, {} flow, {} status, {} errors",
         stats.predict,
         stats.batches,
         stats.max_batch_observed,
+        stats.delta,
         stats.spread,
         stats.flow,
         stats.status,

@@ -395,6 +395,11 @@ impl<'a> FlowRunner<'a> {
         &self.cfg
     }
 
+    /// The design under evaluation.
+    pub fn design(&self) -> &'a Design {
+        self.design
+    }
+
     /// Run one flow. `predictor` is required for [`FlowKind::Dco3d`] (train
     /// one with [`train_predictor`]); other flows ignore it.
     ///

@@ -36,6 +36,7 @@ mod bo;
 mod checkpoint;
 mod dataset;
 mod flow;
+mod incremental;
 mod inject;
 mod report;
 mod resilience;
@@ -49,6 +50,7 @@ pub use flow::{
     train_predictor, train_predictor_resilient, FlowConfig, FlowKind, FlowOutcome, FlowRunner,
     Predictor, ResilientOutcome, SignoffMetrics, StageMetrics,
 };
+pub use incremental::{IncrEvalReport, IncrementalEval};
 pub use inject::{FaultInjector, FaultSpec, ParseFaultError};
 pub use report::{format_design_block, to_csv};
 pub use resilience::{FlowError, RecoveryEvent, ResilienceOptions, ResilienceReport};

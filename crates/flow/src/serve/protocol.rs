@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! request  := { "id": uint, "job": kind, ...params }
-//! kind     := "predict" | "spread" | "flow" | "status" | "shutdown"
+//! kind     := "predict" | "delta" | "spread" | "flow" | "status" | "shutdown"
 //! response := { "id": uint, "ok": true,  "job": kind, "result": object }
 //!           | { "id": uint, "ok": false, "error": { "kind": str, "detail": str } }
 //! ```
@@ -241,6 +241,18 @@ pub enum JobRequest {
         /// Explicit placement to evaluate, if any.
         placement: Option<Placement3>,
     },
+    /// Incrementally re-evaluate a placement against the connection-shared
+    /// delta session: route + STA + congestion prediction, patched from
+    /// the previous `delta` placement when one is cached (bitwise equal to
+    /// a from-scratch evaluation either way).
+    Delta {
+        /// Baseline-placement seed (ignored when `placement` is given).
+        seed: u64,
+        /// Explicit placement to evaluate, if any.
+        placement: Option<Placement3>,
+        /// Drop the cached session first, forcing a full evaluation.
+        reset: bool,
+    },
     /// One bounded DCO spreading pass.
     Spread {
         /// Baseline-placement / optimizer seed.
@@ -268,6 +280,7 @@ impl JobRequest {
     pub fn name(&self) -> &'static str {
         match self {
             JobRequest::Predict { .. } => "predict",
+            JobRequest::Delta { .. } => "delta",
             JobRequest::Spread { .. } => "spread",
             JobRequest::Flow { .. } => "flow",
             JobRequest::Status => "status",
@@ -355,6 +368,18 @@ fn get_uint(v: &Value, key: &str, id: u64) -> Result<Option<u64>, ProtocolError>
     }
 }
 
+/// Read an object field as a boolean (absent/null means `false`).
+fn get_bool(v: &Value, key: &str, id: u64) -> Result<bool, ProtocolError> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(false),
+        Some(Value::Bool(b)) => Ok(*b),
+        Some(other) => Err(ProtocolError::bad(
+            id,
+            format!("field `{key}` must be a boolean, found {}", other.kind()),
+        )),
+    }
+}
+
 /// Parse a placement payload if present.
 fn get_placement(v: &Value, id: u64) -> Result<Option<Placement3>, ProtocolError> {
     match v.get("placement") {
@@ -396,6 +421,11 @@ pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
         "predict" => JobRequest::Predict {
             seed: get_uint(&v, "seed", id)?.unwrap_or(1),
             placement: get_placement(&v, id)?,
+        },
+        "delta" => JobRequest::Delta {
+            seed: get_uint(&v, "seed", id)?.unwrap_or(1),
+            placement: get_placement(&v, id)?,
+            reset: get_bool(&v, "reset", id)?,
         },
         "spread" => JobRequest::Spread {
             seed: get_uint(&v, "seed", id)?.unwrap_or(1),
@@ -569,6 +599,19 @@ mod tests {
     fn parse_accepts_all_job_kinds() {
         let r = parse_request("{\"id\":1,\"job\":\"predict\",\"seed\":9}").expect("predict");
         assert!(matches!(r.job, JobRequest::Predict { seed: 9, .. }));
+        let r = parse_request("{\"id\":8,\"job\":\"delta\",\"seed\":4}").expect("delta");
+        assert!(matches!(
+            r.job,
+            JobRequest::Delta {
+                seed: 4,
+                reset: false,
+                ..
+            }
+        ));
+        let r = parse_request("{\"id\":9,\"job\":\"delta\",\"reset\":true}").expect("delta reset");
+        assert!(matches!(r.job, JobRequest::Delta { reset: true, .. }));
+        let e = parse_request("{\"id\":9,\"job\":\"delta\",\"reset\":1}").expect_err("bad reset");
+        assert_eq!(e.kind, ErrorKind::BadRequest);
         let r = parse_request("{\"id\":2,\"job\":\"spread\",\"iters\":3}").expect("spread");
         assert!(matches!(r.job, JobRequest::Spread { iters: Some(3), .. }));
         let r = parse_request("{\"id\":3,\"job\":\"flow\",\"kind\":\"dco3d\",\"seed\":2}")

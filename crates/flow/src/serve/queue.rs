@@ -46,7 +46,7 @@ pub struct QueuedJob {
 pub enum JobClass {
     /// `status` and `predict`: sub-second, bounded work.
     Cheap,
-    /// `spread` and `flow`: multi-stage, variable-cost work.
+    /// `spread`, `flow` and `delta`: multi-stage, variable-cost work.
     Expensive,
 }
 
@@ -58,7 +58,9 @@ impl JobClass {
             JobRequest::Predict { .. } | JobRequest::Status | JobRequest::Shutdown => {
                 JobClass::Cheap
             }
-            JobRequest::Spread { .. } | JobRequest::Flow { .. } => JobClass::Expensive,
+            JobRequest::Spread { .. } | JobRequest::Flow { .. } | JobRequest::Delta { .. } => {
+                JobClass::Expensive
+            }
         }
     }
 

@@ -53,11 +53,12 @@ use serde_json::json;
 use super::inject::{ConnInjector, ServeInjectSpec, WriteFault};
 use super::protocol::{
     error_response, map_payload, ok_response, overloaded_response, parse_request,
-    placement_checksum, predict_result, ErrorKind, FrameEvent, FrameReader, JobRequest,
-    DEFAULT_MAX_LINE_BYTES,
+    placement_checksum, predict_result, prediction_checksum, ErrorKind, FrameEvent, FrameReader,
+    JobRequest, DEFAULT_MAX_LINE_BYTES,
 };
 use super::queue::{JobClass, JobQueue, QueueCaps, QueuedJob, RejectReason};
 use crate::flow::{FlowConfig, FlowKind, FlowRunner, Predictor};
+use crate::incremental::IncrementalEval;
 use crate::resilience::{FlowError, ResilienceOptions};
 use crate::stages::PlaceStage;
 
@@ -241,6 +242,8 @@ impl WarmState {
 pub struct ServeStats {
     /// Completed `predict` jobs.
     pub predict: u64,
+    /// Completed `delta` jobs.
+    pub delta: u64,
     /// Completed `spread` jobs.
     pub spread: u64,
     /// Completed `flow` jobs.
@@ -824,6 +827,11 @@ fn executor_loop(
     watchdog: &Sender<(Instant, CancelToken)>,
 ) -> ServeStats {
     let mut stats = ServeStats::default();
+    // The incremental-evaluation session shared by all `delta` jobs. It
+    // lives on the executor thread only (like the warm state), so the
+    // cached router/STA/feature/prediction state is race-free and jobs
+    // see a deterministic arrival order.
+    let mut delta_session: Option<IncrementalEval<'_>> = None;
     while let Some(batch) = queue.pop_batch(opts.max_batch) {
         if batch.len() > 1 || matches!(batch[0].request.job, JobRequest::Predict { .. }) {
             run_predict_batch(state, batch, &mut stats, counters);
@@ -839,6 +847,9 @@ fn executor_loop(
         }
         match &job.request.job {
             JobRequest::Predict { .. } => unreachable!("predicts route through the batch arm"),
+            JobRequest::Delta { .. } => {
+                run_delta(state, &job, &mut delta_session, &mut stats, counters);
+            }
             JobRequest::Spread { .. } => {
                 run_spread(state, &job, opts, &mut stats, counters, watchdog);
             }
@@ -998,6 +1009,109 @@ fn run_predict_batch(
                     stats,
                 );
             }
+        }
+    }
+}
+
+/// Run a `delta` job against the executor's shared incremental session.
+///
+/// The session caches the previous placement's routing usage, STA arrival
+/// cones, feature maps and congestion prediction; each job diffs the new
+/// placement against that cache and re-evaluates only the dirtied nets,
+/// cones and tiles — bitwise identical to a from-scratch evaluation (the
+/// contract `crate::incremental` tests enforce). `reset: true` (or a
+/// panicking job body, which may leave torn caches) drops the session so
+/// the next job runs the full path.
+fn run_delta<'a>(
+    state: &'a WarmState,
+    job: &QueuedJob,
+    session: &mut Option<IncrementalEval<'a>>,
+    stats: &mut ServeStats,
+    counters: &ServeCounters,
+) {
+    let JobRequest::Delta {
+        seed,
+        placement,
+        reset,
+    } = &job.request.job
+    else {
+        return;
+    };
+    let _job_span = dco_obs::span!(
+        "serve.job",
+        job = job.request.id,
+        kind = "delta",
+        conn = job.conn
+    );
+    if *reset {
+        *session = None;
+    }
+    let placement = match resolve_placement(state, placement.as_ref(), *seed) {
+        Ok(p) => p,
+        Err(detail) => {
+            send_error(job, ErrorKind::BadRequest, &detail, stats);
+            return;
+        }
+    };
+    let sess = session.get_or_insert_with(|| {
+        IncrementalEval::new(
+            state.design(),
+            state.config().stage_router.clone(),
+            state.predictor(),
+            state.config().map_size,
+        )
+    });
+    let outcome = catch_unwind(AssertUnwindSafe(|| sess.eval(&placement)));
+    match outcome {
+        Ok(report) => {
+            // A blown deadline after a *completed* evaluation keeps the
+            // session: the caches are consistent, only the reply is late.
+            if expired(job) {
+                send_deadline_exceeded(job, stats, counters);
+                return;
+            }
+            stats.delta += 1;
+            if dco_obs::enabled() {
+                dco_obs::counter_add("serve.jobs.delta", 1);
+            }
+            let delta_stats = match &report.delta {
+                Some(d) => json!({
+                    "moved_cells": d.moved_cells,
+                    "tiles_dirtied": d.tiles_dirtied,
+                    "router_nets": d.router_nets,
+                    "sta_nets": d.sta_nets,
+                }),
+                None => serde::Value::Null,
+            };
+            let result = json!({
+                "incremental": report.incremental,
+                "wns_ps": report.timing.wns_ps,
+                "tns_ps": report.timing.tns_ps,
+                "overflow": report.overflow,
+                "wirelength_um": report.wirelength,
+                "delta": delta_stats,
+                "work": {
+                    "nets_ripped": report.route_stats.nets_ripped,
+                    "segments_routed": report.route_stats.segments_routed,
+                    "sta_nets_changed": report.sta_stats.nets_changed,
+                    "sta_cone_pins": report.sta_stats.cone_pins,
+                    "unet_dirty_pixels": report.unet_stats.dirty_pixels,
+                    "unet_full_fallback": report.unet_stats.full_fallback,
+                },
+                "congestion": [map_payload(&report.congestion[0]), map_payload(&report.congestion[1])],
+                "checksum": format!("{:016x}", prediction_checksum(&report.congestion)),
+            });
+            let _ = job.reply.send(ok_response(job.request.id, "delta", result));
+        }
+        Err(_) => {
+            // Torn caches are unrecoverable; the next delta job rebuilds.
+            *session = None;
+            send_error(
+                job,
+                ErrorKind::Internal,
+                "delta job panicked; session reset",
+                stats,
+            );
         }
     }
 }
@@ -1186,6 +1300,7 @@ fn run_status(
         "threads": dco_parallel::threads(),
         "jobs": {
             "predict": stats.predict,
+            "delta": stats.delta,
             "spread": stats.spread,
             "flow": stats.flow,
             "status": stats.status,

@@ -28,11 +28,13 @@
 //! # }
 //! ```
 
+mod incremental;
 pub mod maze;
 mod report;
 mod router;
 mod topology;
 
+pub use incremental::{IncrRouteStats, IncrementalRouter};
 pub use maze::{maze_route, MazeCost};
 pub use report::OverflowReport;
 pub use router::{RouteResult, Router, RouterConfig};

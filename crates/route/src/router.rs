@@ -73,7 +73,7 @@ impl Default for RouterConfig {
 
 /// One unit of track usage: a GCell on a die, in one routing direction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Step {
+pub(crate) struct Step {
     die: u8,
     col: u16,
     row: u16,
@@ -116,11 +116,11 @@ pub struct RouteResult {
 pub struct Router<'a> {
     design: &'a Design,
     cfg: RouterConfig,
-    grid: GcellGrid,
-    h_cap: f32,
-    v_cap: f32,
+    pub(crate) grid: GcellGrid,
+    pub(crate) h_cap: f32,
+    pub(crate) v_cap: f32,
     /// Hybrid-bond sites per GCell: `gcell_area / bond_pitch^2`.
-    bond_cap: f32,
+    pub(crate) bond_cap: f32,
 }
 
 impl<'a> Router<'a> {
@@ -380,7 +380,7 @@ impl<'a> Router<'a> {
 
     /// Route one segment; returns the path and the bond location (for
     /// cross-tier segments).
-    fn route_segment(
+    pub(crate) fn route_segment(
         &self,
         seg: &Segment3,
         state: &RouteState,
@@ -529,18 +529,18 @@ impl crate::maze::MazeCost for DieCost<'_> {
 
 /// Usage + history grids for both dies.
 #[derive(Debug, Clone)]
-struct RouteState {
-    h: [GridMap; 2],
-    v: [GridMap; 2],
+pub(crate) struct RouteState {
+    pub(crate) h: [GridMap; 2],
+    pub(crate) v: [GridMap; 2],
     h_hist: [GridMap; 2],
     v_hist: [GridMap; 2],
     /// Hybrid-bond demand per GCell (shared between dies).
-    bonds: GridMap,
+    pub(crate) bonds: GridMap,
     nx: usize,
 }
 
 impl RouteState {
-    fn new(g: GcellGrid) -> Self {
+    pub(crate) fn new(g: GcellGrid) -> Self {
         let z = || GridMap::zeros(g.nx, g.ny);
         Self {
             h: [z(), z()],
@@ -569,7 +569,7 @@ impl RouteState {
         1.0 + hist + penalty * over
     }
 
-    fn commit(&mut self, path: &[Step], delta: f32) {
+    pub(crate) fn commit(&mut self, path: &[Step], delta: f32) {
         for s in path {
             let i = s.row as usize * self.nx + s.col as usize;
             let die = s.die as usize;

@@ -32,10 +32,12 @@
 
 mod cts;
 mod eco;
+mod incremental;
 mod power;
 mod sta;
 
 pub use cts::{synthesize_clock_tree, ClockTreeReport};
 pub use eco::{run_timing_eco, EcoConfig, EcoReport};
+pub use incremental::{IncrStaStats, IncrementalSta};
 pub use power::{PowerAnalyzer, PowerReport};
 pub use sta::{analyze_preroute, raw_wns, worst_paths, PathPoint, Sta, TimingReport};

@@ -22,11 +22,13 @@
 
 mod data;
 mod model;
+mod patch;
 mod persist;
 mod trainer;
 
 pub use data::{Normalization, Sample};
 pub use model::{SiameseUNet, UNetConfig};
+pub use patch::{patch_predict_maps, resized_stacks, UnetPatchStats, RF_RADIUS};
 pub use persist::{load_predictor, save_predictor, PersistError, PredictorBundle};
 pub use trainer::{
     evaluate_loss, evaluate_metrics, predict_maps, predict_maps_batch, train, EvalRecord,

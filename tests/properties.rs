@@ -355,5 +355,99 @@ mod bookshelf_props {
                 prop_assert_eq!(placement.tier(id), d.placement.tier(id));
             }
         }
+
+        /// Mutated Bookshelf inputs never panic the parser: every mutation
+        /// of a valid export either still parses or fails with a typed
+        /// error, and `Parse` errors carry a line number inside the file
+        /// (0 is reserved for whole-file consistency defects).
+        #[test]
+        fn bookshelf_mutations_never_panic(seed in 0u64..200, raw_mut in 0u64..u64::MAX) {
+            let d = GeneratorConfig::for_profile(DesignProfile::Dma)
+                .with_scale(0.008)
+                .generate(seed % 5)
+                .expect("gen");
+            let mut nodes = to_nodes(&d.netlist);
+            let mut nets = to_nets(&d.netlist);
+
+            // A tiny splitmix-style scramble of `raw_mut` drives which file
+            // is damaged, how, and where.
+            let mut s = raw_mut;
+            let mut next = move || {
+                s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = s;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            let target = if next() % 2 == 0 { &mut nodes } else { &mut nets };
+            match next() % 6 {
+                // Delete one line.
+                0 => {
+                    let lines: Vec<&str> = target.lines().collect();
+                    let drop = (next() % lines.len().max(1) as u64) as usize;
+                    *target = lines
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, l)| *l)
+                        .collect::<Vec<_>>()
+                        .join("\n");
+                }
+                // Duplicate one line.
+                1 => {
+                    let lines: Vec<&str> = target.lines().collect();
+                    let pick = (next() % lines.len().max(1) as u64) as usize;
+                    let mut out: Vec<&str> = lines.clone();
+                    out.insert(pick, lines[pick]);
+                    *target = out.join("\n");
+                }
+                // Truncate mid-file.
+                2 => {
+                    let mut cut = (next() % target.len().max(1) as u64) as usize;
+                    while cut > 0 && !target.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    target.truncate(cut);
+                }
+                // Replace a byte with a garbage token character.
+                3 => {
+                    let pos = (next() % target.len().max(1) as u64) as usize;
+                    let garbage = [b'?', b'-', b'x', b'9', b' '][(next() % 5) as usize];
+                    let mut bytes = target.clone().into_bytes();
+                    if !bytes.is_empty() {
+                        let at = pos.min(bytes.len() - 1);
+                        bytes[at] = garbage;
+                    }
+                    *target = String::from_utf8_lossy(&bytes).into_owned();
+                }
+                // Corrupt a header count.
+                4 => {
+                    *target = target.replacen(" : ", " : 9", 1);
+                }
+                // Inject a stray pin/node line at the top.
+                _ => {
+                    *target = format!("bogus 1.0 1.0\n{target}");
+                }
+            }
+
+            let total_lines = nodes.lines().count().max(nets.lines().count());
+            match from_bookshelf(&nodes, &nets) {
+                Ok(back) => {
+                    // Still structurally valid: the counts must be sane.
+                    prop_assert!(back.num_cells() > 0);
+                }
+                Err(dco_netlist::NetlistError::Parse { line, .. }) => {
+                    prop_assert!(
+                        line <= total_lines + 1,
+                        "parse error points past the file: line {} of {}",
+                        line,
+                        total_lines
+                    );
+                }
+                // Construction errors (degenerate nets, unknown cells) are
+                // legitimate rejections of structurally broken files.
+                Err(_) => {}
+            }
+        }
     }
 }

@@ -336,3 +336,88 @@ proptest! {
         let _ = std::fs::remove_dir_all(&dir);
     }
 }
+
+// --- cooperative cancellation ----------------------------------------------
+//
+// RRR waves and training epochs poll a `CancelToken`; the typed
+// `deadline-exceeded` reply built on top of these polls is covered by the
+// serve suite. Here we pin the structural contract of the polls
+// themselves: a cancelled router still returns an index-aligned,
+// fully-sized result, and a cancelled trainer leaves the weights bitwise
+// identical to the pre-training snapshot (no torn checkpoint).
+
+/// A pre-cancelled token stops the router at the first wave and the
+/// trainer at the first epoch, at both 1 and 8 threads, without ever
+/// producing a structurally torn artifact.
+#[test]
+fn cancelled_router_and_trainer_stop_clean_at_threads_1_and_8() {
+    use dco_parallel::CancelToken;
+    use dco_route::{Router, RouterConfig};
+    use dco_unet::{train, SiameseUNet, TrainConfig, UNetConfig};
+
+    let d = design(6);
+    for threads in [1usize, 8] {
+        dco_parallel::set_adaptive(false);
+        dco_parallel::set_threads(threads);
+        let token = CancelToken::new();
+        token.cancel();
+
+        // Router: every per-net vector stays index-aligned with the
+        // netlist even though no segment was actually routed.
+        let router = Router::new(
+            &d,
+            RouterConfig {
+                cancel: token.clone(),
+                ..RouterConfig::default()
+            },
+        );
+        let result = router.route(&d.placement);
+        let n = d.netlist.num_nets();
+        assert_eq!(result.net_lengths.len(), n, "net_lengths torn at {threads}t");
+        assert_eq!(result.net_bonds.len(), n, "net_bonds torn at {threads}t");
+        assert!(
+            result.net_lengths.iter().all(|l| l.is_finite()),
+            "cancelled route produced non-finite lengths"
+        );
+        for die in 0..2 {
+            assert_eq!(result.h_usage[die].len(), result.congestion[die].len());
+            assert_eq!(result.v_usage[die].len(), result.utilization[die].len());
+        }
+
+        // Trainer: a cancel before the first epoch leaves the model
+        // bitwise at its initial weights and records no epochs.
+        let dataset = dco_flow::build_dataset(&d, 2, 16, &RouterConfig::default(), 5);
+        let cfg = UNetConfig {
+            in_channels: 7,
+            base_channels: 4,
+            size: 16,
+        };
+        let mut model = SiameseUNet::new(cfg, 21);
+        let before = model.store_ref().snapshot();
+        let out = train(
+            &mut model,
+            &dataset,
+            &TrainConfig {
+                epochs: 3,
+                cancel: token,
+                ..TrainConfig::default()
+            },
+        );
+        assert!(
+            out.train_loss.is_empty() && out.test_loss.is_empty(),
+            "cancelled training must record no completed epochs"
+        );
+        assert!(!out.degraded);
+        let after = model.store_ref().snapshot();
+        assert_eq!(before.len(), after.len());
+        for (k, t) in &before {
+            assert_eq!(
+                t.data(),
+                after[k].data(),
+                "weights for {k} torn by cancellation at {threads} threads"
+            );
+        }
+    }
+    dco_parallel::set_threads(1);
+    dco_parallel::set_adaptive(true);
+}

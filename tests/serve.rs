@@ -32,7 +32,7 @@ use dco_flow::serve::{
 };
 use dco_flow::{train_predictor, FlowConfig, FlowKind, Predictor, ResilienceOptions};
 use dco_netlist::generate::{DesignProfile, GeneratorConfig};
-use dco_netlist::Design;
+use dco_netlist::{CellId, Design};
 use dco_unet::{load_predictor, save_predictor, TrainResult};
 use serde_json::Value;
 
@@ -389,6 +389,127 @@ fn interleaved_concurrent_predicts_match_sequential_bitwise() {
             );
         }
     }
+}
+
+/// The served `delta` job: a cold session runs the full path, a warm one
+/// patches, and both answer bitwise identically to one-shot `predict` of
+/// the same placement — including after moves sent over the wire, a
+/// `reset:true`, and a rejected bad placement in between.
+#[test]
+fn served_delta_jobs_match_one_shot_predict_bitwise() {
+    let _lock = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let (handle, path) = spawn_unix("delta", ServeOptions::default());
+    let mut c = Client::connect(&path);
+
+    let congestion_bytes = |resp: &Value| {
+        let maps = resp
+            .get("result")
+            .and_then(|r| r.get("congestion"))
+            .expect("congestion maps");
+        serde_json::to_string(maps).expect("serialize congestion")
+    };
+    let checksum = |resp: &Value| match resp.get("result").and_then(|r| r.get("checksum")) {
+        Some(Value::String(s)) => s.clone(),
+        other => panic!("checksum missing: {other:?}"),
+    };
+    let incremental = |resp: &Value| match resp.get("result").and_then(|r| r.get("incremental")) {
+        Some(Value::Bool(b)) => *b,
+        other => panic!("incremental flag missing: {other:?}"),
+    };
+
+    // One-shot ground truth for the baseline placement at seed 7.
+    let predict = c.round_trip(r#"{"id":1,"job":"predict","seed":7}"#);
+    assert_ok(&predict, 1, "predict");
+
+    // Cold session: the full path, same bits as predict.
+    let d1 = c.round_trip(r#"{"id":2,"job":"delta","seed":7}"#);
+    assert_ok(&d1, 2, "delta");
+    assert!(!incremental(&d1), "first delta runs from scratch");
+    assert_eq!(
+        d1.get("result").and_then(|r| r.get("delta")),
+        Some(&Value::Null),
+        "no diff on a full pass"
+    );
+    assert_eq!(checksum(&d1), checksum(&predict));
+    assert_eq!(congestion_bytes(&d1), congestion_bytes(&predict));
+
+    // Warm session, unchanged placement: an empty diff, same bits.
+    let d2 = c.round_trip(r#"{"id":3,"job":"delta","seed":7}"#);
+    assert_ok(&d2, 3, "delta");
+    assert!(incremental(&d2), "second delta patches");
+    match d2
+        .get("result")
+        .and_then(|r| r.get("delta"))
+        .and_then(|d| d.get("moved_cells"))
+    {
+        Some(Value::Number(n)) => assert_eq!(*n, 0.0, "no-op delta moved nothing"),
+        other => panic!("delta.moved_cells missing: {other:?}"),
+    }
+    assert_eq!(checksum(&d2), checksum(&predict));
+
+    // Move cells over the wire: the patched answer must be bitwise equal
+    // to one-shot prediction of the moved placement.
+    let state = warm_state();
+    let mut moved = state.baseline_placement(7);
+    moved.set_xy(CellId(3), moved.x(CellId(3)) + 2.0, moved.y(CellId(3)) + 0.5);
+    moved.set_tier(CellId(5), moved.tier(CellId(5)).flipped());
+    let expected = predict_result(&state.predict(&moved));
+    let req = format!(
+        "{{\"id\":4,\"job\":\"delta\",\"placement\":{}}}",
+        serde_json::to_string(&moved).expect("serialize placement")
+    );
+    let d3 = c.round_trip(&req);
+    assert_ok(&d3, 4, "delta");
+    assert!(incremental(&d3), "warm session patches the move");
+    match d3
+        .get("result")
+        .and_then(|r| r.get("delta"))
+        .and_then(|d| d.get("moved_cells"))
+    {
+        Some(Value::Number(n)) => assert!(*n >= 2.0, "both touched cells counted: {n}"),
+        other => panic!("delta.moved_cells missing: {other:?}"),
+    }
+    assert_eq!(
+        Some(&Value::String(checksum(&d3))),
+        expected.get("checksum"),
+        "patched prediction diverged from one-shot"
+    );
+    assert_eq!(
+        congestion_bytes(&d3),
+        serde_json::to_string(expected.get("congestion").expect("maps")).expect("serialize"),
+        "patched congestion maps diverged from one-shot"
+    );
+
+    // reset:true drops the caches and runs full again — same bits still.
+    let d4 = c.round_trip(r#"{"id":5,"job":"delta","seed":7,"reset":true}"#);
+    assert_ok(&d4, 5, "delta");
+    assert!(!incremental(&d4), "reset forces the full path");
+    assert_eq!(checksum(&d4), checksum(&predict));
+
+    // A bad placement is rejected typed; the warm session survives it.
+    let bad = c.round_trip(r#"{"id":6,"job":"delta","placement":{"x":[1.0],"y":[2.0],"tier":["Top"]}}"#);
+    assert_eq!(error_kind(&bad), "bad-request");
+    let d5 = c.round_trip(r#"{"id":7,"job":"delta","seed":7}"#);
+    assert_ok(&d5, 7, "delta");
+    assert!(incremental(&d5), "session survived the rejected job");
+    assert_eq!(checksum(&d5), checksum(&predict));
+
+    // Status reports the delta counter.
+    let status = c.round_trip(r#"{"id":8,"job":"status"}"#);
+    match status
+        .get("result")
+        .and_then(|r| r.get("jobs"))
+        .and_then(|j| j.get("delta"))
+    {
+        Some(Value::Number(n)) => assert_eq!(*n, 5.0, "status counts delta jobs"),
+        other => panic!("jobs.delta missing: {other:?}"),
+    }
+
+    assert_ok(&c.round_trip(r#"{"id":9,"job":"shutdown"}"#), 9, "shutdown");
+    let stats = handle.join().expect("clean shutdown");
+    assert_eq!(stats.delta, 5);
+    assert_eq!(stats.predict, 1);
+    assert_eq!(stats.errors, 1, "only the bad placement errored");
 }
 
 // --- adversarial inputs ----------------------------------------------------
